@@ -1,0 +1,133 @@
+/// \file bench_ablation_harmonics.cpp
+/// Ablation of the switching waveform (paper Sec. 5.1): on-off chopping
+/// creates harmonic images at -f_switch, 2 f_switch, 3 f_switch, ... The
+/// paper notes negative harmonics land behind the radar / outside the home
+/// and single-sideband modulation (Hitchhike-style) can remove them.
+/// This bench measures the observed power of each harmonic image relative
+/// to the intended phantom, for square-wave duty cycles and for SSB.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/scenario.h"
+#include "radar/frontend.h"
+#include "radar/processor.h"
+#include "reflector/switched_reflector.h"
+
+namespace {
+
+using namespace rfp;
+
+/// Power observed at the map cell nearest (range, bearing-from-axis).
+double powerNear(const radar::RangeAngleMap& map, double rangeM,
+                 double angleRad) {
+  double best = 0.0;
+  for (std::size_t r = 0; r < map.numRanges(); ++r) {
+    if (std::fabs(map.rangesM[r] - rangeM) > 0.25) continue;
+    for (std::size_t a = 0; a < map.numAngles(); ++a) {
+      if (std::fabs(map.anglesRad[a] - angleRad) > 0.1) continue;
+      best = std::max(best, map.at(r, a));
+    }
+  }
+  return best;
+}
+
+void printAblation() {
+  bench::printHeader(
+      "Ablation -- switching-waveform harmonics (square wave vs SSB)");
+
+  core::Scenario scenario = core::makeOfficeScenario();
+  scenario.sensing.radar.noisePower = 1e-7;  // expose weak harmonics
+  scenario.sensing.processor.maxRangeM = 30.0;  // see the 3rd harmonic
+  common::Rng rng(13);
+
+  const radar::Frontend frontend(scenario.sensing.radar);
+  const radar::Processor processor(scenario.sensing.radar,
+                                   scenario.sensing.processor);
+
+  const common::Vec2 antennaPos = scenario.panel.position(2);
+  const auto antennaPolar = processor.toRadarPolar(antennaPos);
+  const double extra = 4.0;  // spoofed extra distance
+  const double fSwitch = 2.0 * scenario.sensing.radar.chirp.slope() * extra /
+                         common::kSpeedOfLight;
+
+  struct Config {
+    const char* name;
+    double duty;
+    bool ssb;
+  };
+  const Config configs[] = {
+      {"square, 50% duty", 0.5, false},
+      {"square, 30% duty", 0.3, false},
+      {"single sideband ", 0.5, true},
+  };
+
+  std::printf("\n  f_switch = %.1f kHz -> +%.1f m offset; reflector at "
+              "%.2f m\n",
+              fSwitch / 1e3, extra, antennaPolar.range);
+  std::printf(
+      "\n  waveform           fundamental   2nd [dB]   3rd [dB]   "
+      "-1st [dB]\n");
+
+  for (const Config& cfg : configs) {
+    reflector::ReflectorHardware hw;
+    hw.dutyCycle = cfg.duty;
+    hw.singleSideband = cfg.ssb;
+    hw.maxHarmonic = 3;
+    const reflector::SwitchedReflector refl(hw);
+    const auto tones = refl.emit(antennaPos, fSwitch, 1.0, 0.0, 1000);
+
+    const auto frame = frontend.synthesize(tones, 0.0, rng);
+    const auto map = processor.process(frame);
+
+    const double fundamental =
+        powerNear(map, antennaPolar.range + extra, antennaPolar.angle);
+    auto rel = [&](double harmonicRange) {
+      const double p =
+          powerNear(map, harmonicRange, antennaPolar.angle);
+      return 10.0 * std::log10((p + 1e-12) / (fundamental + 1e-12));
+    };
+    std::printf("  %-18s %8.1f dB   %8.1f   %8.1f   ", cfg.name,
+                10.0 * std::log10(fundamental + 1e-12),
+                rel(antennaPolar.range + 2.0 * extra),
+                rel(antennaPolar.range + 3.0 * extra));
+    // The -1st harmonic would appear at range - extra (behind the radar
+    // when extra > range); report only when it lands in front.
+    const double negRange = antennaPolar.range - extra;
+    if (negRange > processor.options().minRangeM) {
+      std::printf("%8.1f\n", rel(negRange));
+    } else {
+      std::printf("  (behind radar)\n");
+    }
+  }
+
+  std::printf(
+      "\nExpected shape: 50%% duty has no 2nd harmonic; odd harmonics fall\n"
+      "as 1/n^2 in power (-9.5 dB at n=3); SSB suppresses the negative\n"
+      "image entirely. The paper's observation that 'higher harmonics are\n"
+      "typically much weaker than human motion' corresponds to the 3rd\n"
+      "harmonic sitting ~10 dB below the phantom.\n");
+}
+
+void BM_ReflectorEmit(benchmark::State& state) {
+  reflector::ReflectorHardware hw;
+  hw.maxHarmonic = static_cast<int>(state.range(0));
+  const reflector::SwitchedReflector refl(hw);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(refl.emit({1.0, 1.0}, 50e3, 1.0, 0.0, 1));
+  }
+}
+BENCHMARK(BM_ReflectorEmit)->Arg(1)->Arg(3)->Arg(9);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printAblation();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

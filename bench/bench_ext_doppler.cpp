@@ -1,0 +1,166 @@
+/// \file bench_ext_doppler.cpp
+/// Extension experiment: Doppler-filtering eavesdroppers. The paper's
+/// introduction notes sensing systems reject static clutter "by background
+/// subtraction or doppler shift filtering"; the paper evaluates only the
+/// former. This bench implements the latter (range-Doppler MTI) and shows:
+///   1. static clutter is excised at zero Doppler,
+///   2. a walking human survives at its radial velocity,
+///   3. a *per-chirp re-triggered* reflector switch leaves the phantom at
+///      zero Doppler -- an MTI eavesdropper erases it,
+///   4. a *free-running, Doppler-aligned* switch (f_switch nudged by less
+///      than half a PRF so f_switch mod PRF = 2 v / lambda) restores the
+///      phantom at exactly its trajectory's velocity.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/scenario.h"
+#include "env/environment.h"
+#include "radar/doppler.h"
+#include "radar/frontend.h"
+
+namespace {
+
+using namespace rfp;
+
+struct MapSummary {
+  double rangeM = 0.0;
+  double velocityMps = 0.0;
+  double peakDb = -300.0;
+};
+
+MapSummary summarize(const radar::RangeDopplerMap& map) {
+  MapSummary s;
+  if (map.maxPower() <= 0.0) return s;
+  const auto [ri, vi] = map.argmax();
+  s.rangeM = map.rangesM[ri];
+  s.velocityMps = map.velocitiesMps[vi];
+  s.peakDb = 10.0 * std::log10(map.maxPower() + 1e-12);
+  return s;
+}
+
+void printExtension() {
+  bench::printHeader(
+      "Extension -- Doppler (MTI) eavesdropper vs switch phase discipline");
+  const core::Scenario scenario = core::makeOfficeScenario();
+  radar::RadarConfig cfg = scenario.sensing.radar;
+  cfg.noisePower = 1e-7;
+  const radar::Frontend fe(cfg);
+  const auto controller = scenario.makeController();
+  common::Rng rng(9);
+
+  const double pri = 1e-3;
+  constexpr std::size_t kChirps = 64;
+  const common::Vec2 ghostSpot{3.0, 4.2};
+  const double walkVelocity = 0.9;
+
+  auto report = [](const char* label, radar::RangeDopplerMap map) {
+    const MapSummary before = summarize(map);
+    map.suppressZeroDoppler(1);
+    const MapSummary after = summarize(map);
+    std::printf(
+        "  %-34s peak %6.1f dB @ (%.2f m, %+5.2f m/s) | after MTI %6.1f dB "
+        "@ %+5.2f m/s\n",
+        label, before.peakDb, before.rangeM, before.velocityMps,
+        after.peakDb, after.velocityMps);
+  };
+
+  // 1. Static clutter only.
+  {
+    env::Environment environment(scenario.plan);
+    std::vector<radar::Frame> burst;
+    env::SnapshotOptions opts = scenario.snapshot;
+    opts.includeMultipath = false;
+    opts.rcsJitter = 0.0;
+    for (std::size_t m = 0; m < kChirps; ++m) {
+      const double t = static_cast<double>(m) * pri;
+      burst.push_back(
+          fe.synthesize(environment.snapshot(t, rng, opts), t, rng));
+    }
+    report("static clutter", radar::computeRangeDoppler(burst, cfg));
+  }
+
+  // 2. Walking human (no clutter, to isolate the signature).
+  {
+    env::Environment environment(scenario.plan);
+    const common::Vec2 start{3.8, 3.5};
+    const common::Vec2 dir =
+        (start - cfg.position).normalized();  // radial walk
+    environment.addHuman(
+        env::TimedPath({start, start + dir * walkVelocity}, 1.0));
+    env::SnapshotOptions opts = scenario.snapshot;
+    opts.includeClutter = false;
+    opts.includeMultipath = false;
+    opts.rcsJitter = 0.0;
+    std::vector<radar::Frame> burst;
+    for (std::size_t m = 0; m < kChirps; ++m) {
+      const double t = static_cast<double>(m) * pri;
+      burst.push_back(
+          fe.synthesize(environment.snapshot(t, rng, opts), t, rng));
+    }
+    report("walking human (0.9 m/s)",
+           radar::computeRangeDoppler(burst, cfg));
+  }
+
+  // 3. Phantom, per-chirp re-triggered switch (naive).
+  {
+    std::vector<radar::Frame> burst;
+    for (std::size_t m = 0; m < kChirps; ++m) {
+      const double t = static_cast<double>(m) * pri;
+      burst.push_back(
+          fe.synthesize(controller.spoof(ghostSpot, t, 1000), t, rng));
+    }
+    report("phantom, re-triggered switch",
+           radar::computeRangeDoppler(burst, cfg));
+  }
+
+  // 4. Phantom, free-running Doppler-aligned switch.
+  {
+    const auto tones = controller.spoofBurst(ghostSpot, 0.0, pri, kChirps,
+                                             walkVelocity, 1000);
+    std::vector<radar::Frame> burst;
+    for (std::size_t m = 0; m < tones.size(); ++m) {
+      burst.push_back(
+          fe.synthesize(tones[m], static_cast<double>(m) * pri, rng));
+    }
+    report("phantom, Doppler-aligned switch",
+           radar::computeRangeDoppler(burst, cfg));
+  }
+
+  std::printf(
+      "\nExpected shape: clutter and the re-triggered phantom vanish after\n"
+      "MTI; the human and the Doppler-aligned phantom survive at ~+0.9 m/s\n"
+      "-- the aligned switch costs < half a PRF of f_switch (< 0.1 mm of\n"
+      "spoofed range).\n");
+}
+
+void BM_RangeDoppler(benchmark::State& state) {
+  const core::Scenario scenario = core::makeOfficeScenario();
+  radar::RadarConfig cfg = scenario.sensing.radar;
+  const radar::Frontend fe(cfg);
+  common::Rng rng(1);
+  std::vector<radar::Frame> burst;
+  env::PointScatterer s;
+  s.position = {3.0, 4.0};
+  for (std::size_t m = 0; m < static_cast<std::size_t>(state.range(0)); ++m) {
+    burst.push_back(fe.synthesize(std::vector<env::PointScatterer>{s},
+                                  static_cast<double>(m) * 1e-3, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(radar::computeRangeDoppler(burst, cfg));
+  }
+}
+BENCHMARK(BM_RangeDoppler)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printExtension();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

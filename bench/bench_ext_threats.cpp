@@ -1,0 +1,210 @@
+/// \file bench_ext_threats.cpp
+/// Extension experiments for the paper's Sec. 8 / Sec. 13 discussion items:
+///   A. Floor-plan awareness: ghosts rerouted around interior walls (an
+///      eavesdropper with a floor plan cannot catch them walking through
+///      walls).
+///   B. RCS fingerprinting: an eavesdropper flags tracks with
+///      suspiciously steady echo power; RF-Protect's gain-fluctuation
+///      spoofing closes the gap.
+///   C. Multi-radar consistency: two coordinated radars cross-check
+///      targets; a single-panel phantom is flagged -- the limitation the
+///      paper explicitly defers to future work, here made measurable.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/harness.h"
+#include "core/multiradar.h"
+#include "core/rfprotect_system.h"
+#include "core/scenario.h"
+#include "privacy/rcs.h"
+#include "trajectory/floorplan_router.h"
+#include "trajectory/human_walk.h"
+
+namespace {
+
+using namespace rfp;
+
+trajectory::Trace fittingTrace(trajectory::HumanWalkModel& model,
+                               common::Rng& rng, double maxRange) {
+  trajectory::Trace t;
+  do {
+    t = trajectory::centered(model.sample(rng));
+  } while (trajectory::motionRange(t) > maxRange);
+  return t;
+}
+
+void partA_floorPlan() {
+  std::printf("\n[A] Floor-plan-aware trajectories (paper Sec. 8)\n");
+  core::Scenario scenario = core::makeHomeScenario();
+  // A partition wall inside the panel's wedge, with a doorway gap.
+  scenario.plan.addWall({{6.8, 1.2}, {6.8, 5.2}, 0.4});
+
+  common::Rng rng(21);
+  trajectory::HumanWalkModel model;
+
+  std::size_t naiveCrossings = 0;
+  std::size_t routedCrossings = 0;
+  std::size_t runs = 12;
+  for (std::size_t i = 0; i < runs; ++i) {
+    const auto trace = fittingTrace(model, rng, 4.5);
+
+    // Naive placement (no interior-wall awareness): place at the same
+    // anchor the auto-placer picks but skip rerouting by using a plan copy
+    // without the partition for placement.
+    core::Scenario bare = core::makeHomeScenario();
+    core::RfProtectSystem naive(bare.makeController());
+    common::Rng rngA = rng;
+    naive.addGhostAuto(trace, 0.0, bare.plan, rngA);
+    naiveCrossings += trajectory::checkWallConformance(
+                          scenario.plan, naive.ghosts().back().placedPoints)
+                          .crossingSegments;
+
+    // Floor-plan-aware placement (rerouting enabled by the interior wall).
+    core::RfProtectSystem aware(scenario.makeController());
+    common::Rng rngB = rng;
+    aware.addGhostAuto(trace, 0.0, scenario.plan, rngB);
+    routedCrossings += trajectory::checkWallConformance(
+                           scenario.plan, aware.ghosts().back().placedPoints)
+                           .crossingSegments;
+  }
+  std::printf("  wall-crossing segments over %zu ghosts: naive %zu -> "
+              "floor-plan-aware %zu\n",
+              runs, naiveCrossings, routedCrossings);
+  std::printf("  phantoms walking through walls eliminated: %s\n",
+              routedCrossings == 0 ? "holds" : "VIOLATED");
+}
+
+void partB_rcs() {
+  std::printf("\n[B] RCS-fingerprint attack and gain-fluctuation counter "
+              "(paper Sec. 8)\n");
+  common::Rng rng(22);
+  trajectory::HumanWalkModel model;
+
+  // Human reference: echo-power fluctuation of tracked humans.
+  std::vector<double> humanStats;
+  for (int i = 0; i < 6; ++i) {
+    const core::Scenario scenario = core::makeOfficeScenario();
+    core::EavesdropperRadar radar(scenario.sensing);
+    env::Environment environment(scenario.plan);
+    environment.addHuman(
+        env::TimedPath(model.longWalk(10.0, 0.05, rng), 0.05));
+    std::vector<double> powers;
+    for (double t = 0.0; t <= 10.0; t += 0.05) {
+      const auto sc = core::combineScatterers(environment, t, rng,
+                                              scenario.snapshot, {});
+      const auto obs = radar.observe(sc, t, rng);
+      if (obs && !obs->detections.empty()) {
+        powers.push_back(obs->detections.front().power);
+      }
+    }
+    humanStats.push_back(privacy::amplitudeFluctuation(powers));
+  }
+  const privacy::RcsClassifier classifier(humanStats);
+  std::printf("  human fluctuation stats:");
+  for (double s : humanStats) std::printf(" %.2f", s);
+  std::printf("  (flag threshold %.2f)\n", classifier.threshold());
+
+  auto phantomPowers = [&](bool spoofRcs) {
+    core::Scenario scenario = core::makeOfficeScenario();
+    scenario.controllerConfig.rcsSpoof.enabled = spoofRcs;
+    // A slow, steady phantom is the worst case for the RCS attack.
+    const common::Vec2 radial =
+        (scenario.panel.position(2) - scenario.sensing.radar.position)
+            .normalized();
+    trajectory::Trace trace;
+    for (int i = 0; i < 50; ++i) {
+      trace.points.push_back(radial * (0.25 * trajectory::kTraceDt * i));
+    }
+    core::EavesdropperRadar radar(scenario.sensing);
+    core::RfProtectSystem system(scenario.makeController());
+    system.addGhostPlaced(
+        [&] {
+          std::vector<common::Vec2> placed;
+          const common::Vec2 anchor =
+              scenario.sensing.radar.position + radial * 4.0;
+          for (const auto& p : trace.points) placed.push_back(anchor + p);
+          return placed;
+        }(),
+        0.1);
+    env::Environment environment(scenario.plan);
+    std::vector<double> powers;
+    for (double t = 0.0; t <= 10.0; t += 0.05) {
+      const auto injected = system.injectAt(t);
+      const auto sc = core::combineScatterers(environment, t, rng,
+                                              scenario.snapshot, injected);
+      const auto obs = radar.observe(sc, t, rng);
+      if (obs && !obs->detections.empty()) {
+        powers.push_back(obs->detections.front().power);
+      }
+    }
+    return powers;
+  };
+
+  const auto naive = classifier.classify(phantomPowers(false));
+  const auto spoofed = classifier.classify(phantomPowers(true));
+  std::printf("  phantom, steady gain      : stat %.2f -> %s\n",
+              naive.statistic,
+              naive.flaggedAsReflector ? "FLAGGED as reflector" : "passes");
+  std::printf("  phantom, RCS spoofing on  : stat %.2f -> %s\n",
+              spoofed.statistic,
+              spoofed.flaggedAsReflector ? "FLAGGED as reflector"
+                                         : "passes as human");
+}
+
+void partC_multiRadar() {
+  std::printf("\n[C] Multi-radar consistency attack (paper Sec. 13)\n");
+  const core::Scenario scenario = core::makeHomeScenario();
+  common::Rng rng(23);
+  trajectory::HumanWalkModel model;
+  const auto ghostTrace = fittingTrace(model, rng, 4.0);
+  const auto humanPath =
+      trajectory::scriptedRectanglePath({10.5, 3.2}, 2.5, 2.0, 0.8, 0.05);
+
+  const auto result = core::runMultiRadarConsistencyAttack(
+      scenario, humanPath, 0.05, ghostTrace, rng);
+
+  std::printf("  primary-radar tracks: %zu (confirmed by 2nd radar: %zu, "
+              "flagged: %zu)\n",
+              result.tracks.size(), result.confirmedCount,
+              result.flaggedCount);
+  for (const auto& t : result.tracks) {
+    std::printf("    track len %3zu  cross-radar error %6.2f m  -> %s\n",
+                t.history.size(), t.bestMatchErrorM,
+                t.confirmedBySecondRadar ? "confirmed (real)"
+                                         : "flagged (phantom)");
+  }
+  std::printf(
+      "  Single-panel RF-Protect cannot satisfy two radars at once -- the\n"
+      "  limitation the paper defers to multi-reflector future work.\n");
+}
+
+void BM_MultiRadarAttack(benchmark::State& state) {
+  const core::Scenario scenario = core::makeHomeScenario();
+  common::Rng rng(5);
+  trajectory::HumanWalkModel model;
+  const auto ghostTrace = fittingTrace(model, rng, 4.0);
+  const auto humanPath =
+      trajectory::scriptedRectanglePath({10.5, 3.2}, 2.0, 1.5, 0.9, 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::runMultiRadarConsistencyAttack(
+        scenario, humanPath, 0.05, ghostTrace, rng));
+  }
+}
+BENCHMARK(BM_MultiRadarAttack)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  rfp::bench::printHeader(
+      "Extensions -- Sec. 8 / Sec. 13 discussion items made measurable");
+  partA_floorPlan();
+  partB_rcs();
+  partC_multiRadar();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

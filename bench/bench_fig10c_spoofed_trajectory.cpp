@@ -1,0 +1,88 @@
+/// \file bench_fig10c_spoofed_trajectory.cpp
+/// Reproduces paper Fig. 10c: one generated trajectory spoofed end to end
+/// in the office; the radar-measured path must closely follow the intended
+/// one with the relative shape intact. (The paper's example spans ~20 feet
+/// of total motion.)
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/harness.h"
+#include "core/scenario.h"
+#include "trajectory/trace.h"
+
+namespace {
+
+using namespace rfp;
+
+void printFigure10c() {
+  bench::printHeader(
+      "Fig. 10c -- One cGAN trajectory: generated vs radar-measured");
+
+  const auto bundle = bench::sharedGan();
+  common::Rng rng(17);
+
+  // Pick a generated trajectory with substantial motion (the paper's
+  // example walks ~20 ft of path).
+  trajectory::Trace ghost;
+  double bestPath = -1.0;
+  for (const auto& candidate : bundle.sampleFittingFakes(12, 4.5, rng)) {
+    const double path = trajectory::pathLength(candidate);
+    if (path > bestPath) {
+      bestPath = path;
+      ghost = candidate;
+    }
+  }
+
+  const core::Scenario scenario = core::makeOfficeScenario();
+  const auto result = core::runSpoofingExperiment(scenario, ghost, rng);
+
+  std::printf("\nGenerated trajectory: path length %.2f m (%.1f ft), "
+              "motion range %.2f m\n",
+              bestPath, bestPath * 3.281, trajectory::motionRange(ghost));
+  std::printf("Radar detected the phantom in %zu / %zu frames\n",
+              result.framesDetected, result.framesTotal);
+  bench::printErrorSummary("trajectory error (aligned)",
+                           result.locationErrorsM);
+
+  std::printf("\n  intended (x, y)  ->  measured (x, y)   [every 0.5 s]\n");
+  const std::size_t stride =
+      std::max<std::size_t>(1, result.intended.size() / 20);
+  for (std::size_t i = 0; i < result.intended.size(); i += stride) {
+    std::printf("  (%6.2f, %5.2f)  ->  (%6.2f, %5.2f)\n",
+                result.intended[i].x, result.intended[i].y,
+                result.measured[i].x, result.measured[i].y);
+  }
+}
+
+void BM_SpoofOneFrame(benchmark::State& state) {
+  const core::Scenario scenario = core::makeOfficeScenario();
+  core::RfProtectSystem system(scenario.makeController());
+  trajectory::Trace ghost;
+  for (int i = 0; i < 50; ++i) {
+    ghost.points.push_back({0.02 * i - 0.5, 0.01 * i - 0.25});
+  }
+  common::Rng rng(3);
+  system.addGhostAuto(ghost, 0.0, scenario.plan, rng);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 0.05;
+    if (t > 9.5) t = 0.0;
+    benchmark::DoNotOptimize(system.injectAt(t));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpoofOneFrame);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure10c();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,133 @@
+/// \file bench_fig11_spoofing_accuracy.cpp
+/// Reproduces paper Fig. 11a/b/c: CDFs of distance, angle, and rigid-
+/// aligned 2-D location spoofing error over 45 generated trajectories in
+/// each environment.
+///
+/// Paper numbers to compare shapes against:
+///   distance: median 5.56 cm (home), 10.19 cm (office) -- within one
+///             15 cm range bin;
+///   angle   : median 2.05 deg (home), 4.94 deg (office);
+///   location: median 12.70 cm (home), 24.49 cm (office); the office is
+///             worse because of metal-cabinet multipath.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/harness.h"
+#include "core/scenario.h"
+
+namespace {
+
+using namespace rfp;
+
+struct EnvResults {
+  std::vector<double> distanceM;
+  std::vector<double> angleDeg;
+  std::vector<double> locationM;
+  std::size_t framesDetected = 0;
+  std::size_t framesTotal = 0;
+};
+
+EnvResults runEnvironment(const core::Scenario& scenario,
+                          const bench::GanBundle& bundle,
+                          std::size_t numTrajectories, std::uint64_t seed) {
+  common::Rng rng(seed);
+  EnvResults out;
+  const auto ghosts = [&] {
+    common::Rng sampleRng(seed + 1);
+    // Spoof trajectories that fit the deployment room (see bench_util.h).
+    const double maxRange = scenario.plan.name() == "office" ? 4.5 : 5.5;
+    return bundle.sampleFittingFakes(numTrajectories, maxRange, sampleRng);
+  }();
+  for (const auto& ghost : ghosts) {
+    const auto result = core::runSpoofingExperiment(scenario, ghost, rng);
+    out.distanceM.insert(out.distanceM.end(),
+                         result.distanceErrorsM.begin(),
+                         result.distanceErrorsM.end());
+    out.angleDeg.insert(out.angleDeg.end(), result.angleErrorsDeg.begin(),
+                        result.angleErrorsDeg.end());
+    out.locationM.insert(out.locationM.end(),
+                         result.locationErrorsM.begin(),
+                         result.locationErrorsM.end());
+    out.framesDetected += result.framesDetected;
+    out.framesTotal += result.framesTotal;
+  }
+  return out;
+}
+
+void report(const char* name, const EnvResults& r, double paperDistCm,
+            double paperAngleDeg, double paperLocCm) {
+  std::printf("\n--- %s: %zu/%zu frames detected ---\n", name,
+              r.framesDetected, r.framesTotal);
+  std::printf("  (paper medians: %.2f cm distance, %.2f deg angle, "
+              "%.2f cm location)\n",
+              paperDistCm, paperAngleDeg, paperLocCm);
+  bench::printErrorSummary("Fig.11a distance error", r.distanceM, 100.0,
+                           "cm");
+  bench::printErrorSummary("Fig.11b angle error", r.angleDeg, 1.0, "deg");
+  bench::printErrorSummary("Fig.11c location error", r.locationM, 100.0,
+                           "cm");
+  bench::printCdf("distance error", r.distanceM, 100.0, "cm");
+  bench::printCdf("angle error", r.angleDeg, 1.0, "deg");
+  bench::printCdf("location error", r.locationM, 100.0, "cm");
+}
+
+void printFigure11() {
+  bench::printHeader(
+      "Fig. 11 -- Spoofing accuracy over 45 generated trajectories per "
+      "environment");
+  const auto bundle = bench::sharedGan();
+
+  const auto home =
+      runEnvironment(core::makeHomeScenario(), bundle, 45, 1001);
+  const auto office =
+      runEnvironment(core::makeOfficeScenario(), bundle, 45, 2002);
+
+  report("home (15.24 x 7.62 m)", home, 5.56, 2.05, 12.70);
+  report("office (10.0 x 6.6 m)", office, 10.19, 4.94, 24.49);
+
+  std::printf(
+      "\nShape check: office errors should exceed home errors "
+      "(cabinet multipath):\n");
+  std::printf("  location median home %.1f cm vs office %.1f cm -> %s\n",
+              100.0 * common::median(home.locationM),
+              100.0 * common::median(office.locationM),
+              common::median(office.locationM) >
+                      common::median(home.locationM)
+                  ? "holds"
+                  : "VIOLATED");
+  std::printf("  distance medians within one 15 cm range bin: %s\n",
+              common::median(home.distanceM) < 0.15 &&
+                      common::median(office.distanceM) < 0.15
+                  ? "holds"
+                  : "VIOLATED");
+}
+
+void BM_FullSpoofRun(benchmark::State& state) {
+  const core::Scenario scenario = core::makeHomeScenario();
+  trajectory::Trace ghost;
+  for (int i = 0; i < 50; ++i) {
+    ghost.points.push_back({0.03 * i - 0.75, 0.015 * i - 0.375});
+  }
+  common::Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::runSpoofingExperiment(scenario, ghost, rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FullSpoofRun)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure11();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,155 @@
+/// \file bench_fig14_breathing.cpp
+/// Reproduces paper Fig. 14: the phase trace of RF-Protect's breathing
+/// spoof mimics the phase trace of a real breathing human, and a
+/// breath-rate monitor extracts the same rate from both.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/breathing_analysis.h"
+#include "core/eavesdropper.h"
+#include "core/scenario.h"
+#include "env/environment.h"
+#include "reflector/breathing_spoofer.h"
+
+namespace {
+
+using namespace rfp;
+
+struct PhaseRun {
+  std::vector<double> phase;
+  double estimatedRateHz = 0.0;
+};
+
+PhaseRun measureHuman(const core::Scenario& scenario, double rateHz,
+                      common::Rng& rng, int frames) {
+  core::SensingConfig sensing = scenario.sensing;
+  sensing.radar.noisePower = 1e-5;
+  core::EavesdropperRadar radar(sensing);
+
+  env::Environment environment(scenario.plan);
+  env::BreathingModel breathing;
+  breathing.rateHz = rateHz;
+  breathing.amplitudeM = 0.005;
+  const common::Vec2 subject{4.1, 3.2};
+  environment.addHuman(env::TimedPath::stationary(subject), breathing);
+
+  env::SnapshotOptions opts;
+  opts.includeClutter = false;
+  opts.includeMultipath = false;
+  opts.rcsJitter = 0.0;
+
+  std::vector<radar::Frame> framesVec;
+  const double frameRate = sensing.radar.frameRateHz;
+  for (int i = 0; i < frames; ++i) {
+    const double t = i / frameRate;
+    framesVec.push_back(
+        radar.senseRaw(environment.snapshot(t, rng, opts), t, rng));
+  }
+  PhaseRun run;
+  run.phase = core::extractPhaseSeries(
+      framesVec, radar.processor(),
+      distance(subject, sensing.radar.position));
+  run.estimatedRateHz = core::estimateRateHz(run.phase, frameRate);
+  return run;
+}
+
+PhaseRun measureSpoof(const core::Scenario& scenario, double rateHz,
+                      common::Rng& rng, int frames) {
+  core::SensingConfig sensing = scenario.sensing;
+  sensing.radar.noisePower = 1e-5;
+  core::EavesdropperRadar radar(sensing);
+
+  const reflector::BreathingSpoofer spoofer(
+      rateHz, 0.005, sensing.radar.chirp.wavelength());
+  auto controller = scenario.makeController(spoofer);
+
+  std::vector<radar::Frame> framesVec;
+  const double frameRate = sensing.radar.frameRateHz;
+  double spoofRange = 0.0;
+  for (int i = 0; i < frames; ++i) {
+    const double t = i / frameRate;
+    reflector::ControlCommand cmd;
+    const auto tones = controller.spoof({3.4, 4.4}, t, 1000, &cmd);
+    spoofRange = cmd.spoofedRangeM;
+    framesVec.push_back(radar.senseRaw(tones, t, rng));
+  }
+  PhaseRun run;
+  run.phase =
+      core::extractPhaseSeries(framesVec, radar.processor(), spoofRange);
+  run.estimatedRateHz = core::estimateRateHz(run.phase, frameRate);
+  return run;
+}
+
+void printFigure14() {
+  bench::printHeader("Fig. 14 -- Breathing-rate spoofing");
+  const core::Scenario scenario = core::makeOfficeScenario();
+  common::Rng rng(3);
+  constexpr int kFrames = 500;  // 25 s at 20 Hz
+
+  std::printf("\n  target rate   human-measured   spoof-measured\n");
+  std::vector<double> humanErr;
+  std::vector<double> fakeErr;
+  for (double rate : {0.20, 0.25, 0.30, 0.35, 0.40}) {
+    const PhaseRun human = measureHuman(scenario, rate, rng, kFrames);
+    const PhaseRun fake = measureSpoof(scenario, rate, rng, kFrames);
+    std::printf("   %.2f Hz       %.3f Hz         %.3f Hz\n", rate,
+                human.estimatedRateHz, fake.estimatedRateHz);
+    humanErr.push_back(std::fabs(human.estimatedRateHz - rate) * 60.0);
+    fakeErr.push_back(std::fabs(fake.estimatedRateHz - rate) * 60.0);
+  }
+  bench::printErrorSummary("human rate error", humanErr, 1.0, "bpm");
+  bench::printErrorSummary("spoof rate error", fakeErr, 1.0, "bpm");
+
+  // Fig. 14's actual plot: the two phase traces over ~10 s.
+  const PhaseRun human = measureHuman(scenario, 0.28, rng, 220);
+  const PhaseRun fake = measureSpoof(scenario, 0.28, rng, 220);
+  const auto humanPhase = core::detrend(human.phase);
+  const auto fakePhase = core::detrend(fake.phase);
+  std::printf("\n  phase traces at 0.28 Hz [radians]:\n");
+  std::printf("      t      human     fake\n");
+  for (int i = 0; i < 200; i += 10) {
+    std::printf("    %5.2f   %+6.3f   %+6.3f\n", i / 20.0,
+                humanPhase[static_cast<std::size_t>(i)],
+                fakePhase[static_cast<std::size_t>(i)]);
+  }
+  const double corr = common::pearsonCorrelation(
+      std::span<const double>(humanPhase.data(), 200),
+      std::span<const double>(fakePhase.data(), 200));
+  std::printf("\n  phase-trace correlation (human vs spoof): %.3f\n", corr);
+}
+
+void BM_PhaseExtraction(benchmark::State& state) {
+  const core::Scenario scenario = core::makeOfficeScenario();
+  core::SensingConfig sensing = scenario.sensing;
+  core::EavesdropperRadar radar(sensing);
+  common::Rng rng(4);
+  env::Environment environment(scenario.plan);
+  environment.addHuman(env::TimedPath::stationary({4.0, 3.0}));
+  env::SnapshotOptions opts;
+  std::vector<radar::Frame> frames;
+  for (int i = 0; i < 64; ++i) {
+    frames.push_back(radar.senseRaw(
+        environment.snapshot(i * 0.05, rng, opts), i * 0.05, rng));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::extractPhaseSeries(frames, radar.processor(), 5.0));
+  }
+}
+BENCHMARK(BM_PhaseExtraction)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure14();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,81 @@
+/// \file bench_fig7_mutual_information.cpp
+/// Reproduces paper Fig. 7: mutual information I(X, Z) between the true
+/// occupant count X ~ Bin(N=4, p=0.2) and the adversary's observation
+/// Z = X + Y with Y ~ Bin(M, q), swept over q for M in {1, 2, 4, 8}.
+///
+/// Expected shape: maximal leakage at q = 0 and q = 1 (deterministic
+/// phantoms), a dip near q = 0.5, and lower curves for larger M.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "privacy/mutual_information.h"
+
+namespace {
+
+constexpr int kOccupants = 4;      // N (paper: "a home with 4 occupants")
+constexpr double kMoveProb = 0.2;  // p (paper's "higher estimate")
+constexpr int kPhantomCounts[] = {1, 2, 4, 8};
+
+void printFigure7() {
+  using namespace rfp;
+  bench::printHeader(
+      "Fig. 7 -- Mutual information I(X;Z) vs phantom probability q");
+  std::printf("X ~ Bin(%d, %.1f); Y ~ Bin(M, q); Z = X + Y\n\n", kOccupants,
+              kMoveProb);
+
+  std::printf("     q  ");
+  for (int m : kPhantomCounts) std::printf("    M=%-2d", m);
+  std::printf("\n");
+
+  for (int i = 0; i <= 20; ++i) {
+    const double q = i / 20.0;
+    std::printf("  %5.2f ", q);
+    for (int m : kPhantomCounts) {
+      privacy::OccupancyModel model{kOccupants, kMoveProb, m, q};
+      std::printf("  %6.4f", privacy::occupancyMutualInformation(model));
+    }
+    std::printf("\n");
+  }
+
+  // Shape assertions the paper implies.
+  const double h = rfp::privacy::entropyBits(
+      rfp::privacy::binomialDistribution(kOccupants, kMoveProb));
+  std::printf("\nH(X) = %.4f bits (leak ceiling, reached at q = 0 and 1)\n",
+              h);
+  for (int m : kPhantomCounts) {
+    const double mid = rfp::privacy::occupancyMutualInformation(
+        {kOccupants, kMoveProb, m, 0.5});
+    std::printf("M=%d: leakage at q=0.5 is %.1f%% of H(X)\n", m,
+                100.0 * mid / h);
+  }
+}
+
+void BM_MutualInformation(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    rfp::privacy::OccupancyModel model{kOccupants, kMoveProb, m, 0.5};
+    benchmark::DoNotOptimize(
+        rfp::privacy::occupancyMutualInformation(model));
+  }
+}
+BENCHMARK(BM_MutualInformation)->Arg(1)->Arg(4)->Arg(8)->Arg(32);
+
+void BM_MutualInformationSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        rfp::privacy::mutualInformationSweep(kOccupants, kMoveProb, 4, 51));
+  }
+}
+BENCHMARK(BM_MutualInformationSweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  printFigure7();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,178 @@
+#pragma once
+
+/// \file bench_util.h
+/// Shared plumbing for the paper-reproduction benchmarks: table printing,
+/// CDF summaries, and a lazily trained conditional GAN shared across the
+/// benchmarks that need generated trajectories (Fig. 10c, 11, 12, Table 1).
+/// The first benchmark to need the GAN trains it (a few minutes on CPU,
+/// with best-FID checkpoint selection) and writes
+/// `rfprotect_gan_checkpoint.txt` next to the binary; later runs reload it.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "gan/trajectory_gan.h"
+#include "trajectory/fid.h"
+#include "trajectory/human_walk.h"
+#include "trajectory/trace.h"
+
+namespace rfp::bench {
+
+inline void printHeader(const std::string& title) {
+  std::printf("\n%s\n", title.c_str());
+  std::printf("%s\n", std::string(title.size(), '=').c_str());
+}
+
+/// Prints the standard percentile summary used for the Fig. 11 CDFs.
+inline void printErrorSummary(const std::string& label,
+                              std::vector<double> errors,
+                              double unitScale = 1.0,
+                              const char* unit = "m") {
+  if (errors.empty()) {
+    std::printf("  %-28s (no samples)\n", label.c_str());
+    return;
+  }
+  for (double& e : errors) e *= unitScale;
+  std::printf(
+      "  %-28s median %7.3f %-3s  p75 %7.3f  p90 %7.3f  (n=%zu)\n",
+      label.c_str(), rfp::common::median(errors), unit,
+      rfp::common::percentile(errors, 75.0),
+      rfp::common::percentile(errors, 90.0), errors.size());
+}
+
+/// Prints a coarse CDF (the series a plot of Fig. 11 would draw).
+inline void printCdf(const std::string& label,
+                     const std::vector<double>& errors, double unitScale,
+                     const char* unit) {
+  std::printf("  CDF of %s [%s]:\n", label.c_str(), unit);
+  std::printf("    pct :");
+  for (double q : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0}) {
+    std::printf(" %6.0f%%", q);
+  }
+  std::printf("\n    val :");
+  for (double q : {10.0, 25.0, 50.0, 75.0, 90.0, 95.0}) {
+    std::printf(" %7.3f",
+                rfp::common::percentile(errors, q) * unitScale);
+  }
+  std::printf("\n");
+}
+
+/// The GAN configuration every benchmark shares (CPU-scaled version of the
+/// paper's architecture; see DESIGN.md).
+inline gan::GeneratorConfig benchGeneratorConfig() {
+  gan::GeneratorConfig g;
+  g.hiddenSize = 32;
+  g.noiseDim = 16;
+  g.perStepNoiseDim = 8;
+  g.labelEmbeddingDim = 8;
+  g.traceLength = rfp::common::kTracePoints - 1;  // step space
+  return g;
+}
+
+inline gan::DiscriminatorConfig benchDiscriminatorConfig() {
+  gan::DiscriminatorConfig d;
+  d.hiddenSize = 32;
+  d.featureSize = 24;
+  d.labelEmbeddingDim = 8;
+  d.traceLength = rfp::common::kTracePoints - 1;
+  return d;
+}
+
+/// A trained GAN plus the dataset it was trained on.
+struct GanBundle {
+  std::unique_ptr<gan::TrajectoryGan> gan;
+  std::vector<trajectory::Trace> dataset;        ///< raw (room coords)
+  std::vector<trajectory::Trace> centeredReal;   ///< centered copies
+  std::vector<double> labelHistogram;
+
+  std::vector<trajectory::Trace> sampleFakes(std::size_t count,
+                                             rfp::common::Rng& rng) const {
+    return gan->sample(count, labelHistogram, rng);
+  }
+
+  /// Samples fakes whose motion range fits the deployment room (the paper
+  /// spoofs trajectories that fit its office/home; a trace wider than the
+  /// room cannot be walked there by a human either). Oversamples and
+  /// filters; falls back to the smallest candidates if needed.
+  std::vector<trajectory::Trace> sampleFittingFakes(
+      std::size_t count, double maxMotionRangeM,
+      rfp::common::Rng& rng) const {
+    std::vector<trajectory::Trace> out;
+    for (int round = 0; round < 8 && out.size() < count; ++round) {
+      for (auto& t : gan->sample(count, labelHistogram, rng)) {
+        if (trajectory::motionRange(t) <= maxMotionRangeM &&
+            out.size() < count) {
+          out.push_back(std::move(t));
+        }
+      }
+    }
+    // Fallback: top up with whatever comes (rare).
+    while (out.size() < count) {
+      auto extra = gan->sample(1, labelHistogram, rng);
+      out.push_back(std::move(extra.front()));
+    }
+    return out;
+  }
+};
+
+inline constexpr const char* kGanCheckpointPath =
+    "rfprotect_gan_checkpoint.txt";
+
+/// Loads the shared GAN checkpoint or trains one (with best-FID round
+/// selection). Deterministic: seeded independently of the caller's RNG.
+inline GanBundle sharedGan(std::size_t datasetSize = 600,
+                           std::size_t trainRounds = 4,
+                           std::size_t epochsPerRound = 10) {
+  GanBundle bundle;
+  rfp::common::Rng rng(42);
+
+  trajectory::HumanWalkModel walker;
+  bundle.dataset = walker.dataset(datasetSize, rng);
+  bundle.centeredReal.reserve(bundle.dataset.size());
+  for (const auto& t : bundle.dataset) {
+    bundle.centeredReal.push_back(trajectory::centered(t));
+  }
+  bundle.labelHistogram = gan::TrajectoryGan::labelHistogram(
+      bundle.dataset, rfp::common::kRangeClasses);
+
+  gan::GanTrainingConfig tc;
+  tc.batchSize = 32;
+  tc.epochs = epochsPerRound;
+  bundle.gan = std::make_unique<gan::TrajectoryGan>(
+      benchGeneratorConfig(), benchDiscriminatorConfig(), tc, rng);
+
+  if (std::ifstream(kGanCheckpointPath).good()) {
+    std::printf("[gan] loading shared checkpoint %s\n", kGanCheckpointPath);
+    bundle.gan->load(kGanCheckpointPath);
+    return bundle;
+  }
+
+  std::printf(
+      "[gan] no checkpoint found; training %zu x %zu epochs "
+      "(one-time, shared by all benchmarks)...\n",
+      trainRounds, epochsPerRound);
+  double bestFid = 1e300;
+  for (std::size_t round = 0; round < trainRounds; ++round) {
+    bundle.gan->train(bundle.dataset, rng);
+    rfp::common::Rng evalRng(1234);
+    const auto fake = bundle.gan->sample(200, bundle.labelHistogram, evalRng);
+    const auto fid =
+        trajectory::normalizedFidScores(bundle.centeredReal, {fake});
+    std::printf("[gan] round %zu: normalized FID %.1f\n", round + 1,
+                fid.normalized[0]);
+    if (fid.normalized[0] < bestFid) {
+      bestFid = fid.normalized[0];
+      bundle.gan->save(kGanCheckpointPath);
+    }
+  }
+  std::printf("[gan] kept best checkpoint (normalized FID %.1f)\n", bestFid);
+  bundle.gan->load(kGanCheckpointPath);
+  return bundle;
+}
+
+}  // namespace rfp::bench

@@ -1,0 +1,95 @@
+/// \file breathing_spoof.cpp
+/// Spoofing vital signs (paper Sec. 5.3 / 11.4, Fig. 14): the reflector's
+/// phase shifter imitates the chest-motion phase signature of a breathing
+/// human, so breath-rate monitors cannot tell phantom from person.
+///
+///   ./breathing_spoof
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/breathing_analysis.h"
+#include "core/eavesdropper.h"
+#include "core/scenario.h"
+#include "env/environment.h"
+#include "reflector/breathing_spoofer.h"
+
+int main() {
+  using namespace rfp;
+  common::Rng rng(31);
+
+  std::printf("Breathing-rate spoofing\n");
+  std::printf("=======================\n\n");
+
+  const core::Scenario scenario = core::makeOfficeScenario();
+  core::SensingConfig sensing = scenario.sensing;
+  sensing.radar.noisePower = 1e-5;
+  core::EavesdropperRadar radar(sensing);
+
+  const double frameRate = sensing.radar.frameRateHz;
+  const int frames = 600;  // 30 seconds of monitoring
+
+  // --- A real static human breathing at 0.28 Hz (16.8 breaths/min). -----
+  env::Environment withHuman(scenario.plan);
+  env::BreathingModel breathing;
+  breathing.rateHz = 0.28;
+  breathing.amplitudeM = 0.005;
+  const common::Vec2 subject{4.2, 3.1};
+  withHuman.addHuman(env::TimedPath::stationary(subject), breathing);
+
+  env::SnapshotOptions opts;
+  opts.includeClutter = false;
+  opts.includeMultipath = false;
+  opts.rcsJitter = 0.0;
+
+  std::vector<radar::Frame> humanFrames;
+  for (int i = 0; i < frames; ++i) {
+    const double t = i / frameRate;
+    humanFrames.push_back(
+        radar.senseRaw(withHuman.snapshot(t, rng, opts), t, rng));
+  }
+  const double humanRange = distance(subject, sensing.radar.position);
+  const auto humanPhase =
+      core::extractPhaseSeries(humanFrames, radar.processor(), humanRange);
+  const double humanRate =
+      core::estimateRateHz(humanPhase, frameRate);
+
+  // --- RF-Protect's phase shifter imitating the same vital sign. --------
+  const reflector::BreathingSpoofer spoofer(
+      0.28, 0.005, sensing.radar.chirp.wavelength());
+  auto controller = scenario.makeController(spoofer);
+  std::vector<radar::Frame> fakeFrames;
+  const common::Vec2 ghostSpot{3.6, 4.2};
+  double ghostRange = 0.0;
+  for (int i = 0; i < frames; ++i) {
+    const double t = i / frameRate;
+    reflector::ControlCommand cmd;
+    const auto tones = controller.spoof(ghostSpot, t, 1000, &cmd);
+    ghostRange = cmd.spoofedRangeM;
+    fakeFrames.push_back(radar.senseRaw(tones, t, rng));
+  }
+  const auto fakePhase =
+      core::extractPhaseSeries(fakeFrames, radar.processor(), ghostRange);
+  const double fakeRate = core::estimateRateHz(fakePhase, frameRate);
+
+  std::printf("Target breathing rate      : %.3f Hz (%.1f breaths/min)\n",
+              0.28, 0.28 * 60.0);
+  std::printf("Radar-measured, human      : %.3f Hz (%.1f breaths/min)\n",
+              humanRate, humanRate * 60.0);
+  std::printf("Radar-measured, RF-Protect : %.3f Hz (%.1f breaths/min)\n\n",
+              fakeRate, fakeRate * 60.0);
+
+  std::printf("Phase traces (first 10 s, radians, mean-removed):\n");
+  std::printf("    t      human     fake\n");
+  const auto humanCentered = core::detrend(humanPhase);
+  const auto fakeCentered = core::detrend(fakePhase);
+  for (int i = 0; i < 200; i += 20) {
+    std::printf("  %5.2f   %+6.3f   %+6.3f\n", i / frameRate,
+                humanCentered[static_cast<std::size_t>(i)],
+                fakeCentered[static_cast<std::size_t>(i)]);
+  }
+  std::printf("\nA sleep/health monitor sees the same vital sign either "
+              "way.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// \file legit_sensing.cpp
+/// The paper's Fig. 13 story: RF-Protect fools eavesdroppers while an
+/// *authorized* sensor, which receives the ghost ledger from the reflector,
+/// filters the phantoms and recovers the real occupant's trajectory.
+///
+///   ./legit_sensing
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "core/harness.h"
+#include "core/scenario.h"
+#include "trajectory/human_walk.h"
+
+int main() {
+  using namespace rfp;
+  common::Rng rng(23);
+
+  std::printf("Legitimate sensing with RF-Protect deployed\n");
+  std::printf("===========================================\n\n");
+
+  const core::Scenario scenario = core::makeHomeScenario();
+
+  // A real human walks a rectangle in the far half of the home while a
+  // phantom (human-statistics trajectory) is injected near the panel side.
+  const auto humanPath =
+      trajectory::scriptedRectanglePath({10.0, 3.0}, 2.5, 2.0, 0.8, 0.05);
+  trajectory::HumanWalkModel walker;
+  trajectory::Trace ghostTrace;
+  do {
+    ghostTrace = trajectory::centered(walker.sample(rng));
+  } while (trajectory::motionRange(ghostTrace) > 4.5);
+
+  const auto result = core::runLegitimateSensingExperiment(
+      scenario, humanPath, 0.05, ghostTrace, rng);
+
+  std::printf("Eavesdropper (no ledger)  : %zu moving targets tracked\n",
+              result.eavesdropperTrajectories.size());
+  std::printf("Legitimate sensor (ledger): %zu moving targets tracked\n",
+              result.legitimateTrajectories.size());
+  std::printf("Legit recovery error vs ground truth: %.3f m RMS\n\n",
+              result.legitRecoveryErrorM);
+
+  std::printf("The eavesdropper cannot tell which target is human; the\n");
+  std::printf("authorized sensor subtracts the ledgered ghost positions\n");
+  std::printf("and keeps only the real occupant.\n\n");
+
+  // Print a coarse overlay: truth vs the legit sensor's best track.
+  if (!result.legitimateTrajectories.empty()) {
+    const auto& track = result.legitimateTrajectories.front();
+    std::printf("   sample    human truth         legit track\n");
+    const std::size_t n = std::min(track.size(), result.humanTruth.size());
+    for (std::size_t i = 0; i < n; i += n / 8 + 1) {
+      std::printf("   %6zu    (%5.2f, %5.2f)      (%5.2f, %5.2f)\n", i,
+                  result.humanTruth[i].x, result.humanTruth[i].y,
+                  track[i].x, track[i].y);
+    }
+  }
+  return 0;
+}

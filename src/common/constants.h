@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file constants.h
+/// Physical constants and paper-wide default parameters for the RF-Protect
+/// reproduction (Shenoy et al., SIGCOMM 2022).
+
+namespace rfp::common {
+
+/// Speed of light in vacuum [m/s]. Indoor propagation is close enough to
+/// vacuum for FMCW ranging purposes.
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Chirp start frequency used by the paper's prototype [Hz] (6 GHz).
+inline constexpr double kChirpStartHz = 6.0e9;
+
+/// Chirp stop frequency used by the paper's prototype [Hz] (7 GHz).
+inline constexpr double kChirpStopHz = 7.0e9;
+
+/// Chirp sweep duration used by the paper's prototype [s] (500 us).
+inline constexpr double kChirpDurationS = 500e-6;
+
+/// Number of receive antennas in the eavesdropper's uniform linear array
+/// (paper Sec. 9.1 uses seven antennas).
+inline constexpr int kRadarAntennas = 7;
+
+/// Number of reflector panel antennas (paper Sec. 9.2 uses six directional
+/// antennas behind an SP8T switch).
+inline constexpr int kPanelAntennas = 6;
+
+/// Reflector panel antenna separation [m] (paper Sec. 9.2: roughly 20 cm).
+inline constexpr double kPanelSpacingM = 0.20;
+
+/// Points per trajectory trace (paper Sec. 6: 50 two-dimensional points
+/// covering roughly ten seconds).
+inline constexpr int kTracePoints = 50;
+
+/// Duration covered by one trace [s].
+inline constexpr double kTraceDurationS = 10.0;
+
+/// Number of motion-range classes used to condition the GAN (paper Sec. 6).
+inline constexpr int kRangeClasses = 5;
+
+constexpr double pi() { return 3.14159265358979323846; }
+
+/// Degrees -> radians.
+constexpr double deg2rad(double deg) { return deg * pi() / 180.0; }
+
+/// Radians -> degrees.
+constexpr double rad2deg(double rad) { return rad * 180.0 / pi(); }
+
+}  // namespace rfp::common

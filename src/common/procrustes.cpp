@@ -1,0 +1,74 @@
+#include "common/procrustes.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rfp::common {
+
+namespace {
+
+Vec2 centroid(std::span<const Vec2> pts) {
+  Vec2 c{};
+  for (Vec2 p : pts) c += p;
+  return c / static_cast<double>(pts.size());
+}
+
+}  // namespace
+
+RigidTransform fitRigidTransform(std::span<const Vec2> source,
+                                 std::span<const Vec2> target) {
+  if (source.empty() || source.size() != target.size()) {
+    throw std::invalid_argument(
+        "fitRigidTransform: point sets must be equal-length and non-empty");
+  }
+  const Vec2 cs = centroid(source);
+  const Vec2 ct = centroid(target);
+
+  // In 2-D the optimal rotation has a closed form: theta = atan2(B, A) with
+  // A = sum(s . t) and B = sum(s x t) over centered points.
+  double a = 0.0;
+  double b = 0.0;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    const Vec2 s = source[i] - cs;
+    const Vec2 t = target[i] - ct;
+    a += s.dot(t);
+    b += s.cross(t);
+  }
+  const double theta = (a == 0.0 && b == 0.0) ? 0.0 : std::atan2(b, a);
+
+  RigidTransform out;
+  out.rotation = theta;
+  out.translation = ct - cs.rotated(theta);
+  return out;
+}
+
+std::vector<Vec2> transformPoints(std::span<const Vec2> pts,
+                                  const RigidTransform& t) {
+  std::vector<Vec2> out;
+  out.reserve(pts.size());
+  for (Vec2 p : pts) out.push_back(t.apply(p));
+  return out;
+}
+
+double rmsError(std::span<const Vec2> a, std::span<const Vec2> b) {
+  if (a.empty() || a.size() != b.size()) {
+    throw std::invalid_argument(
+        "rmsError: point sets must be equal-length and non-empty");
+  }
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += (a[i] - b[i]).norm2();
+  return std::sqrt(s / static_cast<double>(a.size()));
+}
+
+std::vector<double> alignedPointErrors(std::span<const Vec2> source,
+                                       std::span<const Vec2> target) {
+  const RigidTransform t = fitRigidTransform(source, target);
+  std::vector<double> errors;
+  errors.reserve(source.size());
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    errors.push_back(distance(t.apply(source[i]), target[i]));
+  }
+  return errors;
+}
+
+}  // namespace rfp::common

@@ -1,0 +1,46 @@
+#pragma once
+
+/// \file procrustes.h
+/// Rigid (rotation + translation, no scaling) alignment of two point sets.
+///
+/// The paper evaluates spoofing accuracy "modulo translation and rotation of
+/// the entire trajectory" (Sec. 11.1): RF-Protect's goal is to reproduce the
+/// *relative* trajectory, because the absolute frame depends on unknown radar
+/// position and chirp slope. This module provides the canonical alignment
+/// used by those metrics.
+
+#include <span>
+#include <vector>
+
+#include "common/vec2.h"
+
+namespace rfp::common {
+
+/// A rigid 2-D transform: p -> R(theta) * p + t.
+struct RigidTransform {
+  double rotation = 0.0;  ///< counter-clockwise rotation [rad]
+  Vec2 translation{};     ///< translation applied after rotation
+
+  /// Applies the transform to a point.
+  Vec2 apply(Vec2 p) const { return p.rotated(rotation) + translation; }
+};
+
+/// Least-squares rigid transform mapping \p source onto \p target
+/// (Kabsch/Procrustes in 2-D, reflections disallowed). Both spans must have
+/// the same non-zero length. Throws std::invalid_argument otherwise.
+RigidTransform fitRigidTransform(std::span<const Vec2> source,
+                                 std::span<const Vec2> target);
+
+/// Applies \p t to every point of \p pts.
+std::vector<Vec2> transformPoints(std::span<const Vec2> pts,
+                                  const RigidTransform& t);
+
+/// Root-mean-square point-to-point distance between two equal-length paths.
+double rmsError(std::span<const Vec2> a, std::span<const Vec2> b);
+
+/// Per-point distances after optimally aligning \p source to \p target with
+/// a rigid transform. This is the paper's "relative trajectory error".
+std::vector<double> alignedPointErrors(std::span<const Vec2> source,
+                                       std::span<const Vec2> target);
+
+}  // namespace rfp::common

@@ -1,0 +1,94 @@
+#include "common/special.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rfp::common {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEps = 1e-14;
+
+/// Series representation of P(a, x); converges quickly for x < a + 1.
+double gammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * kEps) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Continued-fraction representation of Q(a, x); converges for x >= a + 1.
+double gammaQContinuedFraction(double a, double x) {
+  const double tiny = std::numeric_limits<double>::min() / kEps;
+  double b = x + 1.0 - a;
+  double c = 1.0 / tiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < tiny) d = tiny;
+    c = b + an / c;
+    if (std::fabs(c) < tiny) c = tiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return std::exp(-x + a * std::log(x) - std::lgamma(a)) * h;
+}
+
+}  // namespace
+
+double gammaP(double a, double x) {
+  if (a <= 0.0 || x < 0.0) {
+    throw std::invalid_argument("gammaP requires a > 0 and x >= 0");
+  }
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gammaPSeries(a, x);
+  return 1.0 - gammaQContinuedFraction(a, x);
+}
+
+double gammaQ(double a, double x) {
+  if (a <= 0.0 || x < 0.0) {
+    throw std::invalid_argument("gammaQ requires a > 0 and x >= 0");
+  }
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gammaPSeries(a, x);
+  return gammaQContinuedFraction(a, x);
+}
+
+double chiSquareSurvival(double x, int dof) {
+  if (dof <= 0) throw std::invalid_argument("chi-square dof must be positive");
+  if (x <= 0.0) return 1.0;
+  return gammaQ(0.5 * dof, 0.5 * x);
+}
+
+double logBinomialCoefficient(int n, int k) {
+  if (k < 0 || k > n) return -std::numeric_limits<double>::infinity();
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) -
+         std::lgamma(n - k + 1.0);
+}
+
+double binomialPmf(int n, double p, int k) {
+  if (n < 0 || p < 0.0 || p > 1.0) {
+    throw std::invalid_argument("binomialPmf requires n >= 0, p in [0,1]");
+  }
+  if (k < 0 || k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  const double logPmf = logBinomialCoefficient(n, k) + k * std::log(p) +
+                        (n - k) * std::log1p(-p);
+  return std::exp(logPmf);
+}
+
+}  // namespace rfp::common

@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file special.h
+/// Special mathematical functions needed by the statistics layer: the
+/// regularized incomplete gamma function (for chi-square p-values) and the
+/// log-binomial coefficient (for binomial pmfs used by the privacy analysis).
+
+namespace rfp::common {
+
+/// Regularized lower incomplete gamma function P(a, x) = gamma(a,x)/Gamma(a).
+/// Uses the series expansion for x < a+1 and the continued fraction
+/// otherwise (Numerical Recipes style). Domain: a > 0, x >= 0.
+double gammaP(double a, double x);
+
+/// Regularized upper incomplete gamma function Q(a, x) = 1 - P(a, x).
+double gammaQ(double a, double x);
+
+/// Survival function of the chi-square distribution with \p dof degrees of
+/// freedom evaluated at \p x, i.e. Pr[X >= x]. This is the p-value of a
+/// chi-square test statistic.
+double chiSquareSurvival(double x, int dof);
+
+/// log of the binomial coefficient C(n, k). Returns -inf for k outside
+/// [0, n].
+double logBinomialCoefficient(int n, int k);
+
+/// Binomial pmf Pr[Bin(n, p) = k]. Handles p = 0 and p = 1 exactly.
+double binomialPmf(int n, double p, int k);
+
+}  // namespace rfp::common

@@ -1,0 +1,100 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/special.h"
+
+namespace rfp::common {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("percentile of empty sample");
+  if (q < 0.0 || q > 100.0) {
+    throw std::invalid_argument("percentile q must be in [0, 100]");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::vector<CdfPoint> empiricalCdf(std::span<const double> xs) {
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(sorted.size());
+  const double n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cdf.push_back({sorted[i], static_cast<double>(i + 1) / n});
+  }
+  return cdf;
+}
+
+double pearsonCorrelation(std::span<const double> xs,
+                          std::span<const double> ys) {
+  if (xs.size() != ys.size()) {
+    throw std::invalid_argument("pearsonCorrelation: length mismatch");
+  }
+  if (xs.size() < 2) {
+    throw std::invalid_argument("pearsonCorrelation: need at least 2 samples");
+  }
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+    syy += (ys[i] - my) * (ys[i] - my);
+  }
+  if (sxx == 0.0 || syy == 0.0) {
+    throw std::invalid_argument("pearsonCorrelation: zero-variance input");
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+ChiSquareResult chiSquare2x2(double a, double b, double c, double d) {
+  const double row1 = a + b;
+  const double row2 = c + d;
+  const double col1 = a + c;
+  const double col2 = b + d;
+  const double total = row1 + row2;
+  if (row1 <= 0.0 || row2 <= 0.0 || col1 <= 0.0 || col2 <= 0.0) {
+    throw std::invalid_argument("chiSquare2x2: zero marginal total");
+  }
+  const double expected[4] = {row1 * col1 / total, row1 * col2 / total,
+                              row2 * col1 / total, row2 * col2 / total};
+  const double observed[4] = {a, b, c, d};
+  double stat = 0.0;
+  for (int i = 0; i < 4; ++i) {
+    const double diff = observed[i] - expected[i];
+    stat += diff * diff / expected[i];
+  }
+  return {stat, chiSquareSurvival(stat, 1)};
+}
+
+}  // namespace rfp::common

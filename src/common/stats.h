@@ -1,0 +1,55 @@
+#pragma once
+
+/// \file stats.h
+/// Descriptive statistics, empirical CDFs, and the Pearson chi-square test
+/// used by the evaluation harness (Fig. 11 CDFs, Table 1 user study).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rfp::common {
+
+/// Arithmetic mean; returns 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Unbiased sample variance (n-1 denominator); returns 0 for n < 2.
+double variance(std::span<const double> xs);
+
+/// Sample standard deviation.
+double stddev(std::span<const double> xs);
+
+/// Median (average of the two central order statistics for even n).
+/// Throws std::invalid_argument for an empty input.
+double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, \p q in [0, 100].
+/// Throws std::invalid_argument for an empty input or q outside [0, 100].
+double percentile(std::span<const double> xs, double q);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;        ///< sorted sample value
+  double probability = 0.0;  ///< fraction of samples <= value
+};
+
+/// Empirical CDF of \p xs: sorted values paired with i/n probabilities.
+std::vector<CdfPoint> empiricalCdf(std::span<const double> xs);
+
+/// Pearson correlation coefficient of two equal-length samples.
+/// Throws std::invalid_argument on length mismatch or n < 2.
+double pearsonCorrelation(std::span<const double> xs,
+                          std::span<const double> ys);
+
+/// Result of a Pearson chi-square independence test on a 2x2 table.
+struct ChiSquareResult {
+  double statistic = 0.0;  ///< chi-square test statistic
+  double pValue = 1.0;     ///< survival probability at the statistic (1 dof)
+};
+
+/// Pearson chi-square test of independence on a 2x2 contingency table
+/// [[a, b], [c, d]]. This is the test the paper applies to its Table 1
+/// user-study counts. Throws if any marginal total is zero.
+ChiSquareResult chiSquare2x2(double a, double b, double c, double d);
+
+}  // namespace rfp::common

@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file vec2.h
+/// Minimal 2-D vector used for positions, velocities, and trajectory points.
+
+#include <cmath>
+
+namespace rfp::common {
+
+/// A 2-D point or vector in meters (or meters/second for velocities).
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  constexpr Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  constexpr Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  /// Euclidean norm.
+  double norm() const { return std::hypot(x, y); }
+
+  /// Squared Euclidean norm (cheaper when only comparing magnitudes).
+  constexpr double norm2() const { return x * x + y * y; }
+
+  /// Dot product.
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+
+  /// 2-D cross product (z component of the 3-D cross product).
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+
+  /// Unit vector in the same direction; returns {0,0} for the zero vector.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+
+  /// Vector rotated counter-clockwise by \p angleRad radians.
+  Vec2 rotated(double angleRad) const {
+    const double c = std::cos(angleRad);
+    const double s = std::sin(angleRad);
+    return {c * x - s * y, s * x + c * y};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+/// Euclidean distance between two points.
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Polar coordinates of a point relative to an origin: range in meters and
+/// bearing in radians measured counter-clockwise from the +x axis.
+struct Polar {
+  double range = 0.0;
+  double angle = 0.0;
+};
+
+/// Converts \p p to polar coordinates around \p origin.
+inline Polar toPolar(Vec2 p, Vec2 origin = {}) {
+  const Vec2 d = p - origin;
+  return {d.norm(), std::atan2(d.y, d.x)};
+}
+
+/// Converts polar coordinates around \p origin back to a cartesian point.
+inline Vec2 fromPolar(Polar pol, Vec2 origin = {}) {
+  return origin + Vec2{pol.range * std::cos(pol.angle),
+                       pol.range * std::sin(pol.angle)};
+}
+
+/// Smallest absolute difference between two angles, in radians ([0, pi]).
+inline double angularDistance(double a, double b) {
+  double d = std::fmod(std::fabs(a - b), 2.0 * 3.14159265358979323846);
+  if (d > 3.14159265358979323846) d = 2.0 * 3.14159265358979323846 - d;
+  return d;
+}
+
+}  // namespace rfp::common

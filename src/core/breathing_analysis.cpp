@@ -1,0 +1,91 @@
+#include "core/breathing_analysis.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/constants.h"
+#include "signal/fft.h"
+
+namespace rfp::core {
+
+std::vector<double> extractPhaseSeries(const std::vector<radar::Frame>& frames,
+                                       const radar::Processor& processor,
+                                       double targetRangeM) {
+  std::vector<double> phases;
+  phases.reserve(frames.size());
+  double prev = 0.0;
+  bool first = true;
+
+  for (const radar::Frame& frame : frames) {
+    // Range FFT of antenna 0 (the paper's breath monitors use the phase of
+    // one receive chain at the subject's bin).
+    const auto& samples = frame.samples.front();
+    const auto spectrum = rfp::signal::fft(
+        samples, rfp::signal::nextPowerOfTwo(2 * samples.size()));
+    const double freqPerBin =
+        processor.config().chirp.sampleRateHz /
+        static_cast<double>(spectrum.size());
+    const double targetFreq =
+        processor.config().chirp.beatFrequencyAt(targetRangeM);
+    const auto bin = static_cast<std::size_t>(
+        std::llround(targetFreq / freqPerBin));
+    if (bin >= spectrum.size()) {
+      throw std::invalid_argument("extractPhaseSeries: range out of band");
+    }
+
+    double phase = std::arg(spectrum[bin]);
+    if (!first) {
+      // Unwrap against the previous sample.
+      while (phase - prev > rfp::common::pi()) phase -= 2.0 * rfp::common::pi();
+      while (phase - prev < -rfp::common::pi()) {
+        phase += 2.0 * rfp::common::pi();
+      }
+    }
+    first = false;
+    prev = phase;
+    phases.push_back(phase);
+  }
+  return phases;
+}
+
+std::vector<double> detrend(const std::vector<double>& series) {
+  double mean = 0.0;
+  for (double v : series) mean += v;
+  if (!series.empty()) mean /= static_cast<double>(series.size());
+  std::vector<double> out;
+  out.reserve(series.size());
+  for (double v : series) out.push_back(v - mean);
+  return out;
+}
+
+double estimateRateHz(const std::vector<double>& series, double sampleRateHz,
+                      double minHz, double maxHz) {
+  if (series.size() < 8) {
+    throw std::invalid_argument("estimateRateHz: series too short");
+  }
+  const std::vector<double> centered = detrend(series);
+  std::vector<rfp::signal::Complex> x;
+  x.reserve(centered.size());
+  for (double v : centered) x.emplace_back(v, 0.0);
+  const auto spectrum =
+      rfp::signal::fft(x, rfp::signal::nextPowerOfTwo(4 * x.size()));
+
+  const double freqPerBin =
+      sampleRateHz / static_cast<double>(spectrum.size());
+  const auto firstBin = static_cast<std::size_t>(
+      std::ceil(minHz / freqPerBin));
+  const auto lastBin = std::min<std::size_t>(
+      spectrum.size() / 2,
+      static_cast<std::size_t>(std::floor(maxHz / freqPerBin)) + 1);
+  if (firstBin >= lastBin) {
+    throw std::invalid_argument("estimateRateHz: empty search band");
+  }
+
+  const std::size_t peak =
+      rfp::signal::peakBin(spectrum, firstBin, lastBin);
+  const double refined =
+      rfp::signal::parabolicPeakInterpolation(spectrum, peak);
+  return refined * freqPerBin;
+}
+
+}  // namespace rfp::core

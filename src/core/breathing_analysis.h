@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file breathing_analysis.h
+/// Phase-based breathing extraction (paper Sec. 11.4, Fig. 14): for a
+/// static subject (or a spoofing reflector), the carrier phase at the
+/// subject's range bin oscillates at the breathing rate. These helpers pull
+/// that phase series out of raw frames and estimate the rate.
+
+#include <vector>
+
+#include "radar/frame.h"
+#include "radar/processor.h"
+
+namespace rfp::core {
+
+/// Unwrapped phase (antenna 0) of the range-FFT bin nearest \p targetRangeM
+/// for each frame. \p processor supplies the radar geometry / FFT layout.
+std::vector<double> extractPhaseSeries(const std::vector<radar::Frame>& frames,
+                                       const radar::Processor& processor,
+                                       double targetRangeM);
+
+/// Removes the series mean (breathing rides on a constant offset set by the
+/// absolute range).
+std::vector<double> detrend(const std::vector<double>& series);
+
+/// Dominant oscillation frequency [Hz] of a series sampled at \p sampleRate,
+/// searched within [minHz, maxHz] via an FFT periodogram. Throws when the
+/// series is shorter than 8 samples.
+double estimateRateHz(const std::vector<double>& series, double sampleRateHz,
+                      double minHz = 0.1, double maxHz = 0.7);
+
+}  // namespace rfp::core

@@ -1,0 +1,40 @@
+#include "core/eavesdropper.h"
+
+namespace rfp::core {
+
+EavesdropperRadar::EavesdropperRadar(SensingConfig config)
+    : config_(config),
+      frontend_(config.radar),
+      processor_(config.radar, config.processor),
+      detector_(config.detector),
+      tracker_(config.tracker) {}
+
+std::optional<Observation> EavesdropperRadar::observe(
+    std::span<const env::PointScatterer> scatterers, double timestampS,
+    rfp::common::Rng& rng) {
+  const radar::Frame frame =
+      frontend_.synthesize(scatterers, timestampS, rng);
+  std::optional<radar::RangeAngleMap> map =
+      processor_.processWithBackgroundSubtraction(frame);
+  if (!map.has_value()) return std::nullopt;
+
+  Observation obs;
+  obs.timestampS = timestampS;
+  obs.detections = detector_.detect(*map, processor_);
+  obs.map = std::move(*map);
+  tracker_.update(obs.detections, timestampS);
+  return obs;
+}
+
+radar::Frame EavesdropperRadar::senseRaw(
+    std::span<const env::PointScatterer> scatterers, double timestampS,
+    rfp::common::Rng& rng) const {
+  return frontend_.synthesize(scatterers, timestampS, rng);
+}
+
+void EavesdropperRadar::reset() {
+  processor_.resetBackground();
+  tracker_ = tracking::MultiTargetTracker(config_.tracker);
+}
+
+}  // namespace rfp::core

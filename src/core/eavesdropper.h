@@ -1,0 +1,75 @@
+#pragma once
+
+/// \file eavesdropper.h
+/// The adversary of the threat model (paper Sec. 2) as one object: FMCW
+/// front end + processing pipeline + peak detector + multi-target tracker.
+/// The legitimate sensor reuses the same sensing stack (Sec. 11.3) -- the
+/// only difference is what it does with the ledger.
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "env/scatterer.h"
+#include "radar/frontend.h"
+#include "radar/processor.h"
+#include "tracking/detection.h"
+#include "tracking/tracker.h"
+
+namespace rfp::core {
+
+/// Bundled configuration for a sensing stack.
+struct SensingConfig {
+  radar::RadarConfig radar{};
+  radar::ProcessorOptions processor{};
+  tracking::DetectorOptions detector{};
+  tracking::TrackerOptions tracker{};
+};
+
+/// One frame's sensing output.
+struct Observation {
+  std::vector<tracking::Detection> detections;
+  radar::RangeAngleMap map;  ///< background-subtracted range-angle profile
+  double timestampS = 0.0;
+};
+
+/// A complete FMCW sensing stack.
+class EavesdropperRadar {
+ public:
+  explicit EavesdropperRadar(SensingConfig config);
+
+  const SensingConfig& config() const { return config_; }
+  const radar::Processor& processor() const { return processor_; }
+  const radar::Frontend& frontend() const { return frontend_; }
+  const tracking::MultiTargetTracker& tracker() const { return tracker_; }
+
+  /// Senses one frame of the world. Returns std::nullopt for the very first
+  /// frame (background subtraction needs a predecessor). Tracker state is
+  /// updated with the frame's detections.
+  std::optional<Observation> observe(
+      std::span<const env::PointScatterer> scatterers, double timestampS,
+      rfp::common::Rng& rng);
+
+  /// Raw frame synthesis without processing (for phase-level analyses such
+  /// as breathing extraction, Fig. 14).
+  radar::Frame senseRaw(std::span<const env::PointScatterer> scatterers,
+                        double timestampS, rfp::common::Rng& rng) const;
+
+  /// Range-angle map without background subtraction (Fig. 10 visuals).
+  radar::RangeAngleMap mapOf(const radar::Frame& frame) const {
+    return processor_.process(frame);
+  }
+
+  /// Resets tracker and background state.
+  void reset();
+
+ private:
+  SensingConfig config_;
+  radar::Frontend frontend_;
+  radar::Processor processor_;
+  tracking::PeakDetector detector_;
+  tracking::MultiTargetTracker tracker_;
+};
+
+}  // namespace rfp::core

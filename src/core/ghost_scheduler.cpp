@@ -1,0 +1,45 @@
+#include "core/ghost_scheduler.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rfp::core {
+
+GhostScheduler::GhostScheduler(GhostScheduleConfig config, TraceSource source)
+    : config_(config), source_(std::move(source)) {
+  if (config_.maxPhantoms < 0) {
+    throw std::invalid_argument("GhostScheduler: maxPhantoms >= 0");
+  }
+  if (config_.activationProbability < 0.0 ||
+      config_.activationProbability > 1.0) {
+    throw std::invalid_argument("GhostScheduler: q must be in [0, 1]");
+  }
+  if (config_.epochSeconds <= 0.0) {
+    throw std::invalid_argument("GhostScheduler: epoch must be positive");
+  }
+  if (!source_) {
+    throw std::invalid_argument("GhostScheduler: trace source required");
+  }
+}
+
+void GhostScheduler::tick(double t, RfProtectSystem& system,
+                          const env::FloorPlan& plan,
+                          rfp::common::Rng& rng) {
+  const long epochNow =
+      static_cast<long>(std::floor(t / config_.epochSeconds));
+  if (epochNow <= epoch_) return;
+  epoch_ = epochNow;
+
+  // Roll the M slots: Y ~ Bin(M, q) phantoms this epoch (paper Sec. 7).
+  activeCount_ = 0;
+  const double epochStart =
+      static_cast<double>(epochNow) * config_.epochSeconds;
+  for (int slot = 0; slot < config_.maxPhantoms; ++slot) {
+    if (!rng.bernoulli(config_.activationProbability)) continue;
+    ++activeCount_;
+    system.addGhostAuto(source_(rng), epochStart, plan, rng);
+  }
+  history_.push_back(activeCount_);
+}
+
+}  // namespace rfp::core

@@ -1,0 +1,62 @@
+#pragma once
+
+/// \file ghost_scheduler.h
+/// Long-horizon phantom management. The paper's privacy analysis (Sec. 7)
+/// models RF-Protect's phantoms as Y ~ Bin(M, q): up to M phantom slots,
+/// each independently active with probability q per epoch. This scheduler
+/// is the physical-layer realization: every trace-duration epoch it
+/// re-rolls each slot and schedules a fresh trajectory (from a pluggable
+/// source, typically the GAN) through the RfProtectSystem.
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/rfprotect_system.h"
+#include "env/floorplan.h"
+#include "trajectory/trace.h"
+
+namespace rfp::core {
+
+/// Supplies (centered) ghost trajectories; typically wraps the trained GAN
+/// or the synthetic walk model.
+using TraceSource = std::function<trajectory::Trace(rfp::common::Rng&)>;
+
+/// Scheduler configuration (the Sec. 7 knobs).
+struct GhostScheduleConfig {
+  int maxPhantoms = 4;             ///< M
+  double activationProbability = 0.5;  ///< q
+  double epochSeconds = rfp::common::kTraceDurationS;
+};
+
+/// Drives an RfProtectSystem with Bin(M, q) phantom activity.
+class GhostScheduler {
+ public:
+  GhostScheduler(GhostScheduleConfig config, TraceSource source);
+
+  const GhostScheduleConfig& config() const { return config_; }
+
+  /// Advances to time \p t: at each epoch boundary, rolls each of the M
+  /// slots with probability q and schedules the active ones into
+  /// \p system. Call once per frame (cheap between epochs).
+  void tick(double t, RfProtectSystem& system, const env::FloorPlan& plan,
+            rfp::common::Rng& rng);
+
+  /// Number of phantoms active in the current epoch.
+  int activeCount() const { return activeCount_; }
+
+  /// Epochs elapsed so far.
+  long epochsElapsed() const { return epoch_; }
+
+  /// History of per-epoch activation counts (for distribution analysis).
+  const std::vector<int>& activationHistory() const { return history_; }
+
+ private:
+  GhostScheduleConfig config_;
+  TraceSource source_;
+  long epoch_ = -1;
+  int activeCount_ = 0;
+  std::vector<int> history_;
+};
+
+}  // namespace rfp::core

@@ -1,0 +1,283 @@
+#include "core/harness.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/constants.h"
+#include "common/procrustes.h"
+#include "tracking/stitcher.h"
+
+namespace rfp::core {
+
+using rfp::common::Vec2;
+
+std::vector<env::PointScatterer> combineScatterers(
+    const env::Environment& environment, double t, rfp::common::Rng& rng,
+    const env::SnapshotOptions& opts,
+    const std::vector<env::PointScatterer>& injected) {
+  std::vector<env::PointScatterer> all =
+      environment.snapshot(t, rng, opts);
+  for (const env::PointScatterer& s : injected) {
+    all.push_back(s);
+    if (opts.includeMultipath && s.dynamic) {
+      for (const env::PointScatterer& img :
+           environment.plan().multipathImages(s, opts.multipathLoss,
+                                              opts.multipathObserver)) {
+        all.push_back(img);
+      }
+    }
+  }
+  return all;
+}
+
+namespace {
+
+/// Strongest detection in an observation, or nullptr.
+const tracking::Detection* strongestDetection(const Observation& obs) {
+  const tracking::Detection* best = nullptr;
+  for (const tracking::Detection& d : obs.detections) {
+    if (best == nullptr || d.power > best->power) best = &d;
+  }
+  return best;
+}
+
+/// Track-continuous detection selection: once a target has been acquired,
+/// prefer the detection nearest the previous pick (rejecting jumps beyond
+/// \p gateM); before acquisition fall back to the strongest peak. This is
+/// the standard single-target follower an eavesdropper would run and keeps
+/// sporadic multipath blobs from hijacking the measurement.
+class DetectionFollower {
+ public:
+  explicit DetectionFollower(double gateM) : gateM_(gateM) {}
+
+  const tracking::Detection* select(const Observation& obs) {
+    const tracking::Detection* chosen = nullptr;
+    if (acquired_) {
+      double best = gateM_;
+      for (const tracking::Detection& d : obs.detections) {
+        const double dist = distance(d.world, last_);
+        if (dist < best) {
+          best = dist;
+          chosen = &d;
+        }
+      }
+    } else {
+      chosen = strongestDetection(obs);
+    }
+    if (chosen == nullptr) {
+      // Re-acquire on the strongest peak after a sustained loss (the
+      // target may have drifted out of the gate during a pause).
+      if (++missStreak_ > 12) {
+        chosen = strongestDetection(obs);
+        missStreak_ = 0;
+      }
+    } else {
+      missStreak_ = 0;
+    }
+    if (chosen != nullptr) {
+      last_ = chosen->world;
+      acquired_ = true;
+    }
+    return chosen;
+  }
+
+ private:
+  double gateM_;
+  int missStreak_ = 0;
+  bool acquired_ = false;
+  Vec2 last_{};
+};
+
+/// Rigid-aligned point errors with one trimmed refit: fit, drop the worst
+/// quartile, refit on the inliers, report errors of all points under the
+/// refined transform. Sporadic radar outliers otherwise skew the global
+/// alignment (the paper applies standard "peak rejection" smoothing).
+std::vector<double> robustAlignedErrors(const std::vector<Vec2>& source,
+                                        const std::vector<Vec2>& target) {
+  const auto firstPass = rfp::common::alignedPointErrors(source, target);
+  std::vector<double> sorted = firstPass;
+  std::sort(sorted.begin(), sorted.end());
+  const double cutoff = sorted[sorted.size() * 3 / 4];
+
+  std::vector<Vec2> inSrc;
+  std::vector<Vec2> inTgt;
+  for (std::size_t i = 0; i < firstPass.size(); ++i) {
+    if (firstPass[i] <= cutoff) {
+      inSrc.push_back(source[i]);
+      inTgt.push_back(target[i]);
+    }
+  }
+  if (inSrc.size() < 3) return firstPass;
+  const auto transform = rfp::common::fitRigidTransform(inSrc, inTgt);
+  std::vector<double> errors;
+  errors.reserve(source.size());
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    errors.push_back(distance(transform.apply(source[i]), target[i]));
+  }
+  return errors;
+}
+
+}  // namespace
+
+namespace {
+
+/// Shared frame loop of the spoofing experiments.
+SpoofRunResult runSpoofLoop(const Scenario& scenario,
+                            RfProtectSystem& system, int ghostId,
+                            double start, rfp::common::Rng& rng) {
+  env::Environment environment(scenario.plan);  // no humans: phantom only
+  EavesdropperRadar radar(scenario.sensing);
+  const double dt = 1.0 / scenario.sensing.radar.frameRateHz;
+  const double duration =
+      start + rfp::common::kTraceDurationS + 2.0 * dt;
+
+  SpoofRunResult result;
+  DetectionFollower follower(/*gateM=*/1.2);
+  for (double t = 0.0; t <= duration; t += dt) {
+    const auto injected = system.injectAt(t);
+    const auto scatterers =
+        combineScatterers(environment, t, rng, scenario.snapshot, injected);
+    const auto obs = radar.observe(scatterers, t, rng);
+    if (!obs.has_value()) continue;
+
+    const auto intended = system.intendedPosition(ghostId, t);
+    if (!intended.has_value()) continue;
+    ++result.framesTotal;
+
+    const tracking::Detection* det = follower.select(*obs);
+    if (det == nullptr) continue;
+    ++result.framesDetected;
+
+    result.intended.push_back(*intended);
+    result.measured.push_back(det->world);
+
+    const auto intendedPolar = radar.processor().toRadarPolar(*intended);
+    result.distanceErrorsM.push_back(
+        std::fabs(det->rangeM - intendedPolar.range));
+    result.angleErrorsDeg.push_back(rfp::common::rad2deg(
+        rfp::common::angularDistance(det->angleRad, intendedPolar.angle)));
+  }
+
+  if (result.measured.size() >= 4) {
+    result.locationErrorsM =
+        robustAlignedErrors(result.measured, result.intended);
+  }
+  return result;
+}
+
+}  // namespace
+
+SpoofRunResult runSpoofingExperiment(const Scenario& scenario,
+                                     const trajectory::Trace& centeredTrace,
+                                     rfp::common::Rng& rng) {
+  RfProtectSystem system(scenario.makeController());
+  const double dt = 1.0 / scenario.sensing.radar.frameRateHz;
+  const double start = 2.0 * dt;  // let background subtraction settle
+  const int ghostId =
+      system.addGhostAuto(centeredTrace, start, scenario.plan, rng);
+  return runSpoofLoop(scenario, system, ghostId, start, rng);
+}
+
+SpoofRunResult runSpoofingArc(const Scenario& scenario,
+                              const trajectory::Trace& centeredTrace,
+                              rfp::common::Vec2 anchor,
+                              rfp::common::Rng& rng) {
+  RfProtectSystem system(scenario.makeController());
+  const double dt = 1.0 / scenario.sensing.radar.frameRateHz;
+  const double start = 2.0 * dt;
+  const int ghostId = system.addGhost(centeredTrace, anchor, start);
+  return runSpoofLoop(scenario, system, ghostId, start, rng);
+}
+
+LocalizationRunResult runLocalizationExperiment(
+    const Scenario& scenario, const std::vector<Vec2>& path, double pathDt,
+    rfp::common::Rng& rng) {
+  env::Environment environment(scenario.plan);
+  environment.addHuman(env::TimedPath(path, pathDt));
+  EavesdropperRadar radar(scenario.sensing);
+
+  const double dt = 1.0 / scenario.sensing.radar.frameRateHz;
+  const double duration = pathDt * static_cast<double>(path.size() - 1);
+
+  LocalizationRunResult result;
+  for (double t = 0.0; t <= duration; t += dt) {
+    const auto scatterers =
+        combineScatterers(environment, t, rng, scenario.snapshot, {});
+    const auto obs = radar.observe(scatterers, t, rng);
+    if (!obs.has_value()) continue;
+    const tracking::Detection* det = strongestDetection(*obs);
+    if (det == nullptr) continue;
+    const Vec2 truth = environment.humans().front().positionAt(t);
+    result.truth.push_back(truth);
+    result.measured.push_back(det->world);
+    result.errorsM.push_back(distance(det->world, truth));
+  }
+  return result;
+}
+
+LegitSensingRunResult runLegitimateSensingExperiment(
+    const Scenario& scenario, const std::vector<Vec2>& humanPath,
+    double pathDt, const trajectory::Trace& ghostTrace,
+    rfp::common::Rng& rng) {
+  env::Environment environment(scenario.plan);
+  environment.addHuman(env::TimedPath(humanPath, pathDt));
+  EavesdropperRadar radar(scenario.sensing);
+  RfProtectSystem system(scenario.makeController());
+  LegitimateSensor legit(scenario.sensing.tracker);
+
+  const double dt = 1.0 / scenario.sensing.radar.frameRateHz;
+  const double start = 2.0 * dt;
+  const int ghostId =
+      system.addGhostAuto(ghostTrace, start, scenario.plan, rng);
+  const double duration =
+      std::max(pathDt * static_cast<double>(humanPath.size() - 1),
+               start + rfp::common::kTraceDurationS);
+
+  LegitSensingRunResult result;
+  for (double t = 0.0; t <= duration; t += dt) {
+    const auto injected = system.injectAt(t);
+    const auto scatterers =
+        combineScatterers(environment, t, rng, scenario.snapshot, injected);
+    const auto obs = radar.observe(scatterers, t, rng);
+    if (!obs.has_value()) continue;
+
+    legit.update(obs->detections, t, system.ledger());
+
+    result.humanTruth.push_back(environment.humans().front().positionAt(t));
+    if (const auto g = system.intendedPosition(ghostId, t)) {
+      result.ghostIntended.push_back(*g);
+    }
+  }
+
+  // Stitch fragmented segments into per-target trajectories (>= ~1 s)
+  // before counting -- the statistic occupancy eavesdroppers care about.
+  tracking::StitchOptions stitchOpts;
+  stitchOpts.minLength = 25;
+  const auto eavesChains =
+      tracking::stitchTracker(radar.tracker(), stitchOpts);
+  for (const auto& chain : eavesChains) {
+    result.eavesdropperTrajectories.push_back(chain.history);
+  }
+  const auto legitChains =
+      tracking::stitchTracker(legit.tracker(), stitchOpts);
+  for (const auto& chain : legitChains) {
+    result.legitimateTrajectories.push_back(chain.history);
+  }
+
+  // Score the legitimate sensor's best recovered trajectory against the
+  // truth, comparing time-aligned samples.
+  const env::TimedPath truthPath(humanPath, pathDt);
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& chain : legitChains) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < chain.history.size(); ++i) {
+      sum += distance(chain.history[i], truthPath.at(chain.timestamps[i]));
+    }
+    best = std::min(best, sum / static_cast<double>(chain.history.size()));
+  }
+  result.legitRecoveryErrorM = std::isfinite(best) ? best : -1.0;
+  return result;
+}
+
+}  // namespace rfp::core

@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file harness.h
+/// End-to-end experiment runners behind the paper's evaluation figures:
+/// spoofing-accuracy runs (Fig. 10c / 11), radar localization of real
+/// humans (Fig. 9), and combined human+ghost legitimate-sensing runs
+/// (Fig. 13).
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec2.h"
+#include "core/eavesdropper.h"
+#include "core/legit_sensor.h"
+#include "core/rfprotect_system.h"
+#include "core/scenario.h"
+#include "trajectory/trace.h"
+
+namespace rfp::core {
+
+/// Per-frame paired samples plus the paper's three error metrics.
+struct SpoofRunResult {
+  std::vector<rfp::common::Vec2> intended;   ///< ghost positions (world)
+  std::vector<rfp::common::Vec2> measured;   ///< radar detections (world)
+  std::vector<double> distanceErrorsM;       ///< |polar radius| deviation
+  std::vector<double> angleErrorsDeg;        ///< bearing deviation
+  std::vector<double> locationErrorsM;       ///< rigid-aligned 2-D errors
+  std::size_t framesTotal = 0;
+  std::size_t framesDetected = 0;
+};
+
+/// Spoofs one (centered) ghost trajectory in the scenario and measures it
+/// with the eavesdropper stack. This is one of the 45-per-environment runs
+/// behind Fig. 11; Fig. 10c plots one run's intended vs measured paths.
+SpoofRunResult runSpoofingExperiment(const Scenario& scenario,
+                                     const trajectory::Trace& centeredTrace,
+                                     rfp::common::Rng& rng);
+
+/// Variant with an explicitly placed trace (anchor + centered trace points,
+/// no automatic radial alignment); used by ablations that need to pin the
+/// exact geometry, e.g. a tangential bearing sweep.
+SpoofRunResult runSpoofingArc(const Scenario& scenario,
+                              const trajectory::Trace& centeredTrace,
+                              rfp::common::Vec2 anchor,
+                              rfp::common::Rng& rng);
+
+/// Radar-only localization of one real human following \p path (room
+/// coordinates, sampled at \p pathDt). Reproduces Fig. 9. Returns per-frame
+/// localization errors of the strongest detection against ground truth.
+struct LocalizationRunResult {
+  std::vector<rfp::common::Vec2> truth;
+  std::vector<rfp::common::Vec2> measured;
+  std::vector<double> errorsM;
+};
+
+LocalizationRunResult runLocalizationExperiment(
+    const Scenario& scenario, const std::vector<rfp::common::Vec2>& path,
+    double pathDt, rfp::common::Rng& rng);
+
+/// One human + one ghost observed by an eavesdropper and by a
+/// ledger-carrying legitimate sensor (Fig. 13).
+struct LegitSensingRunResult {
+  std::vector<std::vector<rfp::common::Vec2>> eavesdropperTrajectories;
+  std::vector<std::vector<rfp::common::Vec2>> legitimateTrajectories;
+  std::vector<rfp::common::Vec2> humanTruth;
+  std::vector<rfp::common::Vec2> ghostIntended;
+  double legitRecoveryErrorM = 0.0;  ///< RMS error of the best legit track
+                                     ///< against the human truth
+};
+
+LegitSensingRunResult runLegitimateSensingExperiment(
+    const Scenario& scenario, const std::vector<rfp::common::Vec2>& humanPath,
+    double pathDt, const trajectory::Trace& ghostTrace,
+    rfp::common::Rng& rng);
+
+/// Combines environment and injected scatterers, adding first-order wall
+/// multipath for the injected (dynamic) reflections as well.
+std::vector<env::PointScatterer> combineScatterers(
+    const env::Environment& environment, double t, rfp::common::Rng& rng,
+    const env::SnapshotOptions& opts,
+    const std::vector<env::PointScatterer>& injected);
+
+}  // namespace rfp::core

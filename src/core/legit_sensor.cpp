@@ -1,0 +1,23 @@
+#include "core/legit_sensor.h"
+
+namespace rfp::core {
+
+LegitimateSensor::LegitimateSensor(tracking::TrackerOptions trackerOptions,
+                                   double ghostMatchRadiusM)
+    : ghostMatchRadiusM_(ghostMatchRadiusM), tracker_(trackerOptions) {}
+
+std::vector<tracking::Detection> LegitimateSensor::update(
+    const std::vector<tracking::Detection>& detections, double timestampS,
+    const reflector::GhostLedger& ledger) {
+  std::vector<tracking::Detection> real;
+  real.reserve(detections.size());
+  for (const tracking::Detection& d : detections) {
+    if (!ledger.matchesGhost(d.world, timestampS, ghostMatchRadiusM_)) {
+      real.push_back(d);
+    }
+  }
+  tracker_.update(real, timestampS);
+  return real;
+}
+
+}  // namespace rfp::core

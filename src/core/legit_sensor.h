@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file legit_sensor.h
+/// The authorized sensor (paper Sec. 11.3, Fig. 13): it receives the same
+/// detections an eavesdropper would, but also the RF-Protect ghost ledger,
+/// so it can drop phantom detections before tracking and recover the real
+/// occupants' trajectories.
+
+#include <vector>
+
+#include "reflector/ghost_ledger.h"
+#include "tracking/detection.h"
+#include "tracking/tracker.h"
+
+namespace rfp::core {
+
+/// Ledger-aware tracking stack.
+class LegitimateSensor {
+ public:
+  /// \p ghostMatchRadiusM: detections within this distance of a ledgered
+  /// ghost position (at the same frame time) are treated as fake.
+  explicit LegitimateSensor(tracking::TrackerOptions trackerOptions = {},
+                            double ghostMatchRadiusM = 0.75);
+
+  /// Removes ledger-matched detections and feeds the rest to the tracker.
+  /// Returns the surviving (real) detections.
+  std::vector<tracking::Detection> update(
+      const std::vector<tracking::Detection>& detections, double timestampS,
+      const reflector::GhostLedger& ledger);
+
+  const tracking::MultiTargetTracker& tracker() const { return tracker_; }
+
+  /// Recovered real trajectories.
+  std::vector<std::vector<rfp::common::Vec2>> trajectories(
+      std::size_t minLength = 5) const {
+    return tracker_.trajectories(minLength);
+  }
+
+ private:
+  double ghostMatchRadiusM_;
+  tracking::MultiTargetTracker tracker_;
+};
+
+}  // namespace rfp::core

@@ -1,0 +1,121 @@
+#include "core/multiradar.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/harness.h"
+#include "core/rfprotect_system.h"
+#include "env/environment.h"
+
+namespace rfp::core {
+
+using rfp::common::Vec2;
+
+namespace {
+
+/// Time-aligned mean distance between two tracks over their overlapping
+/// timestamps (linear interpolation on the second track); infinity when
+/// the overlap is under a second.
+double trackDistance(const tracking::Track& a, const tracking::Track& b) {
+  const double t0 = std::max(a.timestamps.front(), b.timestamps.front());
+  const double t1 = std::min(a.timestamps.back(), b.timestamps.back());
+  if (t1 - t0 < 1.0) return std::numeric_limits<double>::infinity();
+
+  const env::TimedPath bPath(
+      b.history, b.timestamps.size() > 1
+                     ? (b.timestamps.back() - b.timestamps.front()) /
+                           static_cast<double>(b.timestamps.size() - 1)
+                     : 1.0);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < a.history.size(); ++i) {
+    const double t = a.timestamps[i];
+    if (t < t0 || t > t1) continue;
+    sum += distance(a.history[i], bPath.at(t - b.timestamps.front()));
+    ++count;
+  }
+  if (count == 0) return std::numeric_limits<double>::infinity();
+  return sum / static_cast<double>(count);
+}
+
+std::vector<const tracking::Track*> confirmedTracksOf(
+    const tracking::MultiTargetTracker& tracker, std::size_t minLength) {
+  std::vector<const tracking::Track*> out;
+  for (const auto& t : tracker.finishedTracks()) {
+    if (t.confirmed && t.history.size() >= minLength) out.push_back(&t);
+  }
+  for (const auto& t : tracker.tracks()) {
+    if (t.confirmed && t.history.size() >= minLength) out.push_back(&t);
+  }
+  return out;
+}
+
+}  // namespace
+
+MultiRadarResult runMultiRadarConsistencyAttack(
+    const Scenario& scenario, const std::vector<Vec2>& humanPath,
+    double pathDt, const trajectory::Trace& ghostTrace,
+    rfp::common::Rng& rng, double matchRadiusM) {
+  env::Environment environment(scenario.plan);
+  environment.addHuman(env::TimedPath(humanPath, pathDt));
+
+  // Primary radar: the scenario's. Secondary: same hardware on the left
+  // wall, outside, array along that wall.
+  EavesdropperRadar primary(scenario.sensing);
+  SensingConfig secondCfg = scenario.sensing;
+  secondCfg.radar.position = {-0.8, scenario.plan.height() * 0.45};
+  // Axis chosen so the (0, pi) beamforming wedge opens into the room.
+  secondCfg.radar.arrayAxis = {0.0, -1.0};
+  EavesdropperRadar secondary(secondCfg);
+
+  RfProtectSystem system(scenario.makeController());
+  const double dt = 1.0 / scenario.sensing.radar.frameRateHz;
+  const double start = 2.0 * dt;
+  system.addGhostAuto(ghostTrace, start, scenario.plan, rng);
+  const double duration =
+      std::max(pathDt * static_cast<double>(humanPath.size() - 1),
+               start + rfp::common::kTraceDurationS);
+
+  for (double t = 0.0; t <= duration; t += dt) {
+    const auto injected = system.injectAt(t);
+    // Each radar sees the same physical world; multipath validity is
+    // radar-specific, so snapshots are drawn per radar.
+    env::SnapshotOptions optsA = scenario.snapshot;
+    const auto scatterersA =
+        combineScatterers(environment, t, rng, optsA, injected);
+    primary.observe(scatterersA, t, rng);
+
+    env::SnapshotOptions optsB = scenario.snapshot;
+    optsB.multipathObserver = secondCfg.radar.position;
+    const auto scatterersB =
+        combineScatterers(environment, t, rng, optsB, injected);
+    secondary.observe(scatterersB, t, rng);
+  }
+
+  constexpr std::size_t kMinTrack = 25;
+  const auto primaryTracks = confirmedTracksOf(primary.tracker(), kMinTrack);
+  const auto secondaryTracks =
+      confirmedTracksOf(secondary.tracker(), kMinTrack);
+
+  MultiRadarResult result;
+  for (const tracking::Track* a : primaryTracks) {
+    CrossCheckedTrack checked;
+    checked.history = a->history;
+    double best = std::numeric_limits<double>::infinity();
+    for (const tracking::Track* b : secondaryTracks) {
+      best = std::min(best, trackDistance(*a, *b));
+    }
+    checked.bestMatchErrorM = best;
+    checked.confirmedBySecondRadar = best <= matchRadiusM;
+    if (checked.confirmedBySecondRadar) {
+      ++result.confirmedCount;
+    } else {
+      ++result.flaggedCount;
+    }
+    result.tracks.push_back(std::move(checked));
+  }
+  return result;
+}
+
+}  // namespace rfp::core

@@ -1,0 +1,48 @@
+#pragma once
+
+/// \file multiradar.h
+/// The paper's extended threat model (Sec. 13): an eavesdropper deploying
+/// *multiple coordinated radars* can cross-check targets. A real human
+/// resolves to the same world position from every radar; an RF-Protect
+/// phantom does not -- each radar sees the reflection physically originate
+/// at the panel and pushed out along *its own* bearing to the panel, so
+/// the phantom's apparent positions disagree across radars. The paper
+/// names defeating this configuration as future work; this module
+/// implements the attack so the limitation is measurable.
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec2.h"
+#include "core/scenario.h"
+#include "trajectory/trace.h"
+
+namespace rfp::core {
+
+/// One cross-checked track from the primary radar's perspective.
+struct CrossCheckedTrack {
+  std::vector<rfp::common::Vec2> history;  ///< primary radar's track
+  double bestMatchErrorM = 0.0;  ///< distance to closest secondary track
+  bool confirmedBySecondRadar = false;
+};
+
+/// Attack outcome.
+struct MultiRadarResult {
+  std::vector<CrossCheckedTrack> tracks;
+  std::size_t confirmedCount = 0;    ///< consistent across radars (real)
+  std::size_t flaggedCount = 0;      ///< inconsistent (phantom suspects)
+};
+
+/// Runs the two-radar consistency attack: the primary radar is the
+/// scenario's; the secondary is an identical radar mounted on the *left*
+/// wall (outside, axis along that wall). One human walks \p humanPath
+/// while RF-Protect spoofs \p ghostTrace (placed for the primary radar, as
+/// the defender would). Tracks from the primary radar whose time-aligned
+/// positions match a secondary-radar track within \p matchRadiusM are
+/// confirmed; the rest are flagged as phantoms.
+MultiRadarResult runMultiRadarConsistencyAttack(
+    const Scenario& scenario, const std::vector<rfp::common::Vec2>& humanPath,
+    double pathDt, const trajectory::Trace& ghostTrace,
+    rfp::common::Rng& rng, double matchRadiusM = 1.0);
+
+}  // namespace rfp::core

@@ -1,0 +1,185 @@
+#include "core/rfprotect_system.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/constants.h"
+#include "trajectory/floorplan_router.h"
+
+namespace rfp::core {
+
+using rfp::common::Vec2;
+
+bool Ghost::activeAt(double t) const {
+  return t >= startTimeS && t <= endTimeS();
+}
+
+double Ghost::endTimeS() const {
+  return startTimeS +
+         pointDtS * static_cast<double>(placedPoints.size() - 1);
+}
+
+Vec2 Ghost::positionAt(double t) const {
+  if (placedPoints.empty()) return {};
+  const double idx = (t - startTimeS) / pointDtS;
+  if (idx <= 0.0) return placedPoints.front();
+  if (idx >= static_cast<double>(placedPoints.size() - 1)) {
+    return placedPoints.back();
+  }
+  const auto lo = static_cast<std::size_t>(idx);
+  const double frac = idx - static_cast<double>(lo);
+  return placedPoints[lo] * (1.0 - frac) + placedPoints[lo + 1] * frac;
+}
+
+std::vector<Vec2> alignPrincipalAxis(const std::vector<Vec2>& centeredPoints,
+                                     Vec2 targetDirection) {
+  if (centeredPoints.size() < 2) return centeredPoints;
+  // 2x2 covariance of the point cloud.
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (const Vec2& p : centeredPoints) {
+    sxx += p.x * p.x;
+    sxy += p.x * p.y;
+    syy += p.y * p.y;
+  }
+  // Principal axis angle of a 2x2 symmetric matrix.
+  const double principal = 0.5 * std::atan2(2.0 * sxy, sxx - syy);
+  const double target = std::atan2(targetDirection.y, targetDirection.x);
+  const double rot = target - principal;
+
+  std::vector<Vec2> out;
+  out.reserve(centeredPoints.size());
+  for (const Vec2& p : centeredPoints) out.push_back(p.rotated(rot));
+  return out;
+}
+
+RfProtectSystem::RfProtectSystem(reflector::ReflectorController controller)
+    : controller_(std::move(controller)) {}
+
+int RfProtectSystem::addGhost(const trajectory::Trace& centeredTrace,
+                              Vec2 anchor, double startTimeS,
+                              double rotationRad) {
+  if (centeredTrace.points.size() < 2) {
+    throw std::invalid_argument("addGhost: trace too short");
+  }
+  std::vector<Vec2> placed;
+  placed.reserve(centeredTrace.points.size());
+  for (const Vec2& p : centeredTrace.points) {
+    placed.push_back(anchor + p.rotated(rotationRad));
+  }
+  return addGhostPlaced(std::move(placed), startTimeS);
+}
+
+int RfProtectSystem::addGhostPlaced(std::vector<Vec2> placedPoints,
+                                    double startTimeS) {
+  if (placedPoints.size() < 2) {
+    throw std::invalid_argument("addGhostPlaced: trace too short");
+  }
+  Ghost g;
+  g.id = nextGhostId_++;
+  g.startTimeS = startTimeS;
+  g.placedPoints = std::move(placedPoints);
+  ghosts_.push_back(std::move(g));
+  return ghosts_.back().id;
+}
+
+int RfProtectSystem::addGhostAuto(const trajectory::Trace& centeredTrace,
+                                  double startTimeS,
+                                  const env::FloorPlan& plan,
+                                  rfp::common::Rng& rng) {
+  if (centeredTrace.points.size() < 2) {
+    throw std::invalid_argument("addGhostAuto: trace too short");
+  }
+  const Vec2 radarPos = controller_.config().assumedRadarPosition;
+
+  // The panel's angular wedge as seen from the assumed radar.
+  const auto& antennas = controller_.panel().positions();
+  double minAng = 1e9;
+  double maxAng = -1e9;
+  double maxAntennaRange = 0.0;
+  for (const Vec2& a : antennas) {
+    const Vec2 d = a - radarPos;
+    const double ang = std::atan2(d.y, d.x);
+    minAng = std::min(minAng, ang);
+    maxAng = std::max(maxAng, ang);
+    maxAntennaRange = std::max(maxAntennaRange, d.norm());
+  }
+  const double midAng = 0.5 * (minAng + maxAng);
+
+  // Rotate the trace radially (its long axis costs no panel angle).
+  const Vec2 radial{std::cos(midAng), std::sin(midAng)};
+  trajectory::Trace aligned = centeredTrace;
+  aligned.points = alignPrincipalAxis(centeredTrace.points, radial);
+
+  // Radial extent of the aligned trace along the wedge axis.
+  double minR = 1e9;
+  double maxR = -1e9;
+  for (const Vec2& p : aligned.points) {
+    const double r = p.dot(radial);
+    minR = std::min(minR, r);
+    maxR = std::max(maxR, r);
+  }
+
+  // Anchor ranges that keep the whole trace beyond the panel and inside
+  // the room; retry a few jittered candidates and keep the best-contained.
+  const double nearLimit =
+      maxAntennaRange + controller_.config().minExtraRangeM + 0.5 - minR;
+  Vec2 bestAnchor = radarPos + radial * (nearLimit + 1.0);
+  double bestScore = -1e18;
+  for (int attempt = 0; attempt < 24; ++attempt) {
+    const double range = nearLimit + rng.uniform(0.5, 4.5);
+    const double angle = rng.uniform(minAng, maxAng);
+    const Vec2 anchor =
+        radarPos + Vec2{std::cos(angle), std::sin(angle)} * range;
+    // Score: how well all points stay inside the room with margin.
+    double score = 0.0;
+    for (const Vec2& p : aligned.points) {
+      const Vec2 w = anchor + p;
+      const Vec2 clamped = plan.clamp(w, 0.3);
+      score -= distance(w, clamped);
+    }
+    if (score > bestScore) {
+      bestScore = score;
+      bestAnchor = anchor;
+    }
+    if (score == 0.0) break;  // fully contained
+  }
+
+  std::vector<Vec2> placed;
+  placed.reserve(aligned.points.size());
+  for (const Vec2& p : aligned.points) placed.push_back(bestAnchor + p);
+
+  // Floor-plan awareness (paper Sec. 8): if the plan has interior walls,
+  // reroute any wall-crossing segments around them so the phantom never
+  // "walks through walls".
+  if (plan.walls().size() > 4 &&
+      !trajectory::checkWallConformance(plan, placed).conformant()) {
+    placed = trajectory::routeAroundWalls(plan, placed);
+  }
+  return addGhostPlaced(std::move(placed), startTimeS);
+}
+
+std::vector<env::PointScatterer> RfProtectSystem::injectAt(double t) {
+  std::vector<env::PointScatterer> out;
+  for (const Ghost& g : ghosts_) {
+    if (!g.activeAt(t)) continue;
+    reflector::ControlCommand cmd;
+    const std::vector<env::PointScatterer> tones =
+        controller_.spoof(g.positionAt(t), t, g.id, &cmd);
+    ledger_.add(g.id, t, cmd);
+    out.insert(out.end(), tones.begin(), tones.end());
+  }
+  return out;
+}
+
+std::optional<Vec2> RfProtectSystem::intendedPosition(int id,
+                                                      double t) const {
+  for (const Ghost& g : ghosts_) {
+    if (g.id == id && g.activeAt(t)) return g.positionAt(t);
+  }
+  return std::nullopt;
+}
+
+}  // namespace rfp::core

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file rfprotect_system.h
+/// The deployed RF-Protect unit: reflector controller + ghost schedule +
+/// ledger. Ghost trajectories (typically sampled from the GAN) are anchored
+/// into room coordinates inside the reflector's spoofable wedge and spoofed
+/// frame by frame.
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec2.h"
+#include "env/floorplan.h"
+#include "env/scatterer.h"
+#include "reflector/controller.h"
+#include "reflector/ghost_ledger.h"
+#include "trajectory/trace.h"
+
+namespace rfp::core {
+
+/// A scheduled phantom.
+struct Ghost {
+  int id = 0;
+  std::vector<rfp::common::Vec2> placedPoints;  ///< room coordinates
+  double startTimeS = 0.0;
+  double pointDtS = trajectory::kTraceDt;
+
+  bool activeAt(double t) const;
+  rfp::common::Vec2 positionAt(double t) const;  ///< clamped interpolation
+  double endTimeS() const;
+};
+
+/// RF-Protect deployment.
+class RfProtectSystem {
+ public:
+  explicit RfProtectSystem(reflector::ReflectorController controller);
+
+  const reflector::ReflectorController& controller() const {
+    return controller_;
+  }
+  const reflector::GhostLedger& ledger() const { return ledger_; }
+  const std::vector<Ghost>& ghosts() const { return ghosts_; }
+
+  /// Schedules a ghost whose (centered) trace is placed at \p anchor with
+  /// an optional extra rotation; returns the ghost id.
+  int addGhost(const trajectory::Trace& centeredTrace,
+               rfp::common::Vec2 anchor, double startTimeS,
+               double rotationRad = 0.0);
+
+  /// Places and schedules a ghost automatically: rotates the trace so its
+  /// principal axis is radial to the assumed radar (maximizing fit inside
+  /// the panel's angular wedge), anchors it at a feasible range, and --
+  /// when the floor plan has interior walls -- reroutes wall-crossing
+  /// segments around them (paper Sec. 8, "Incorporating Floor Plan
+  /// Information"). Returns the ghost id.
+  int addGhostAuto(const trajectory::Trace& centeredTrace, double startTimeS,
+                   const env::FloorPlan& plan, rfp::common::Rng& rng);
+
+  /// Schedules a ghost from pre-placed room-coordinate points.
+  int addGhostPlaced(std::vector<rfp::common::Vec2> placedPoints,
+                     double startTimeS);
+
+  /// Scatterers injected at time \p t for all active ghosts. Appends the
+  /// executed commands to the ledger.
+  std::vector<env::PointScatterer> injectAt(double t);
+
+  /// Intended position of ghost \p id at time \p t (nullopt if inactive).
+  std::optional<rfp::common::Vec2> intendedPosition(int id, double t) const;
+
+  /// Ghost ids tagged into injected scatterers start here, so they never
+  /// collide with environment human ids.
+  static constexpr int kGhostIdBase = 1000;
+
+ private:
+  reflector::ReflectorController controller_;
+  reflector::GhostLedger ledger_;
+  std::vector<Ghost> ghosts_;
+  int nextGhostId_ = kGhostIdBase;
+};
+
+/// Rotates a centered trace so that its principal (largest-spread) axis
+/// points along \p targetDirection. Exposed for tests.
+std::vector<rfp::common::Vec2> alignPrincipalAxis(
+    const std::vector<rfp::common::Vec2>& centeredPoints,
+    rfp::common::Vec2 targetDirection);
+
+}  // namespace rfp::core

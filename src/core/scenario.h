@@ -1,0 +1,41 @@
+#pragma once
+
+/// \file scenario.h
+/// The paper's two evaluation deployments (Sec. 9.3, Fig. 8): an office and
+/// a home, each with the eavesdropper radar on a boundary wall and the
+/// RF-Protect panel roughly 1.2 m away along the same wall.
+
+#include "core/eavesdropper.h"
+#include "env/environment.h"
+#include "env/floorplan.h"
+#include "reflector/antenna_panel.h"
+#include "reflector/controller.h"
+
+namespace rfp::core {
+
+/// A fully specified deployment.
+struct Scenario {
+  env::FloorPlan plan;
+  SensingConfig sensing;
+  reflector::AntennaPanel panel;
+  reflector::ControllerConfig controllerConfig;
+  reflector::ReflectorHardware reflectorHardware;
+  env::SnapshotOptions snapshot;
+
+  /// Builds the reflector controller (optionally with breathing spoofing).
+  reflector::ReflectorController makeController(
+      std::optional<reflector::BreathingSpoofer> breathing =
+          std::nullopt) const {
+    return reflector::ReflectorController(
+        panel, reflector::SwitchedReflector(reflectorHardware),
+        controllerConfig, breathing);
+  }
+};
+
+/// Office: 10 x 6.6 m, metal cabinets, stronger multipath (Fig. 8b).
+Scenario makeOfficeScenario();
+
+/// Home: 15.24 x 7.62 m, milder multipath (Fig. 8c).
+Scenario makeHomeScenario();
+
+}  // namespace rfp::core

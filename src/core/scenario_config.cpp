@@ -1,0 +1,140 @@
+#include "core/scenario_config.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "common/constants.h"
+
+namespace rfp::core {
+
+using rfp::common::Vec2;
+
+namespace {
+
+struct ParsedScenario {
+  std::string roomName = "custom";
+  double roomWidth = 10.0;
+  double roomHeight = 6.6;
+  double wallReflectivity = 0.3;
+  std::vector<env::PointScatterer> clutter;
+  std::vector<env::Wall> interiorWalls;
+  Vec2 radarPos{4.0, -0.8};
+  Vec2 radarAxis{1.0, 0.0};
+  Vec2 panelBase{3.3, 0.35};
+  Vec2 panelDirection{1.0, 0.0};
+  int panelCount = rfp::common::kPanelAntennas;
+  double panelSpacing = rfp::common::kPanelSpacingM;
+  double multipathLoss = 0.5;
+};
+
+[[noreturn]] void fail(const std::string& line, const std::string& why) {
+  throw std::invalid_argument("loadScenario: " + why + ": '" + line + "'");
+}
+
+std::vector<double> parseNumbers(const std::string& value,
+                                 const std::string& line,
+                                 std::size_t expected) {
+  std::istringstream in(value);
+  std::vector<double> numbers;
+  double x = 0.0;
+  while (in >> x) numbers.push_back(x);
+  if (numbers.size() != expected) fail(line, "wrong number of values");
+  return numbers;
+}
+
+}  // namespace
+
+Scenario loadScenario(std::istream& in) {
+  ParsedScenario p;
+  std::string line;
+  while (std::getline(in, line)) {
+    // Strip comments and whitespace.
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t\r");
+    const std::string trimmed = line.substr(begin, end - begin + 1);
+
+    const auto eq = trimmed.find('=');
+    if (eq == std::string::npos) fail(trimmed, "expected key = value");
+    std::string key = trimmed.substr(0, eq);
+    std::string value = trimmed.substr(eq + 1);
+    const auto keyEnd = key.find_last_not_of(" \t");
+    key = key.substr(0, keyEnd == std::string::npos ? 0 : keyEnd + 1);
+    const auto valueBegin = value.find_first_not_of(" \t");
+    value = valueBegin == std::string::npos ? "" : value.substr(valueBegin);
+
+    if (key == "room.name") {
+      p.roomName = value;
+    } else if (key == "room.width") {
+      p.roomWidth = parseNumbers(value, trimmed, 1)[0];
+    } else if (key == "room.height") {
+      p.roomHeight = parseNumbers(value, trimmed, 1)[0];
+    } else if (key == "room.wall_reflectivity") {
+      p.wallReflectivity = parseNumbers(value, trimmed, 1)[0];
+    } else if (key == "clutter") {
+      const auto v = parseNumbers(value, trimmed, 3);
+      env::PointScatterer s;
+      s.position = {v[0], v[1]};
+      s.amplitude = v[2];
+      s.dynamic = false;
+      p.clutter.push_back(s);
+    } else if (key == "interior_wall") {
+      const auto v = parseNumbers(value, trimmed, 5);
+      p.interiorWalls.push_back({{v[0], v[1]}, {v[2], v[3]}, v[4]});
+    } else if (key == "radar.x") {
+      p.radarPos.x = parseNumbers(value, trimmed, 1)[0];
+    } else if (key == "radar.y") {
+      p.radarPos.y = parseNumbers(value, trimmed, 1)[0];
+    } else if (key == "radar.axis") {
+      const auto v = parseNumbers(value, trimmed, 2);
+      p.radarAxis = {v[0], v[1]};
+    } else if (key == "panel.base") {
+      const auto v = parseNumbers(value, trimmed, 2);
+      p.panelBase = {v[0], v[1]};
+    } else if (key == "panel.direction") {
+      const auto v = parseNumbers(value, trimmed, 2);
+      p.panelDirection = {v[0], v[1]};
+    } else if (key == "panel.count") {
+      p.panelCount = static_cast<int>(parseNumbers(value, trimmed, 1)[0]);
+    } else if (key == "panel.spacing") {
+      p.panelSpacing = parseNumbers(value, trimmed, 1)[0];
+    } else if (key == "multipath.loss") {
+      p.multipathLoss = parseNumbers(value, trimmed, 1)[0];
+    } else {
+      fail(trimmed, "unknown key '" + key + "'");
+    }
+  }
+
+  // Assemble on top of the office defaults (sensing chain, detector...).
+  Scenario scenario = makeOfficeScenario();
+  env::FloorPlan plan(p.roomName, p.roomWidth, p.roomHeight,
+                      p.wallReflectivity);
+  for (const auto& c : p.clutter) plan.addClutter(c.position, c.amplitude);
+  for (const auto& w : p.interiorWalls) plan.addWall(w);
+  scenario.plan = std::move(plan);
+
+  scenario.sensing.radar.position = p.radarPos;
+  scenario.sensing.radar.arrayAxis = p.radarAxis.normalized();
+  constexpr double kMargin = 0.75;
+  scenario.sensing.detector.bounds = tracking::WorldBounds{
+      {-kMargin, -kMargin}, {p.roomWidth + kMargin, p.roomHeight + kMargin}};
+
+  scenario.panel = reflector::AntennaPanel(p.panelBase, p.panelDirection,
+                                           p.panelCount, p.panelSpacing);
+  scenario.controllerConfig.assumedRadarPosition = p.radarPos;
+  scenario.snapshot.multipathLoss = p.multipathLoss;
+  scenario.snapshot.multipathObserver = p.radarPos;
+  return scenario;
+}
+
+Scenario loadScenarioFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("loadScenarioFile: cannot open " + path);
+  return loadScenario(in);
+}
+
+}  // namespace rfp::core

@@ -1,0 +1,42 @@
+#pragma once
+
+/// \file scenario_config.h
+/// Text-file scenario definitions, so downstream users can model their own
+/// home/office and deployment without recompiling. A small key = value
+/// format with one section per concern:
+///
+///   # my_flat.scenario
+///   room.name = flat
+///   room.width = 9.5
+///   room.height = 6.0
+///   room.wall_reflectivity = 0.35
+///   clutter = 2.0 5.5 0.8        # x y amplitude (repeatable)
+///   interior_wall = 4 0 4 3 0.4  # ax ay bx by reflectivity (repeatable)
+///   radar.x = 3.0
+///   radar.y = -0.8
+///   radar.axis = 1 0
+///   panel.base = 2.4 0.35
+///   panel.direction = 1 0
+///   panel.count = 6
+///   panel.spacing = 0.2
+///   multipath.loss = 0.5
+///
+/// Unknown keys throw (catching typos beats ignoring them); every key has
+/// the defaults of the built-in office scenario.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/scenario.h"
+
+namespace rfp::core {
+
+/// Parses a scenario definition from a stream. Throws
+/// std::invalid_argument with the offending line on malformed input.
+Scenario loadScenario(std::istream& in);
+
+/// Parses a scenario definition file. Throws std::runtime_error if the
+/// file cannot be opened.
+Scenario loadScenarioFile(const std::string& path);
+
+}  // namespace rfp::core

@@ -1,0 +1,33 @@
+#include "env/environment.h"
+
+namespace rfp::env {
+
+int Environment::addHuman(TimedPath path, BreathingModel breathing,
+                          double baseAmplitude) {
+  const int id = static_cast<int>(humans_.size());
+  humans_.emplace_back(id, std::move(path), breathing, baseAmplitude);
+  return id;
+}
+
+std::vector<PointScatterer> Environment::snapshot(
+    double t, rfp::common::Rng& rng, const SnapshotOptions& opts) const {
+  std::vector<PointScatterer> out;
+
+  for (const Human& h : humans_) {
+    const PointScatterer s = h.scatterAt(t, rng, opts.rcsJitter);
+    out.push_back(s);
+    if (opts.includeMultipath) {
+      for (PointScatterer img : plan_.multipathImages(
+               s, opts.multipathLoss, opts.multipathObserver)) {
+        out.push_back(img);
+      }
+    }
+  }
+
+  if (opts.includeClutter) {
+    for (const PointScatterer& c : plan_.clutter()) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace rfp::env

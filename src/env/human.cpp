@@ -1,0 +1,64 @@
+#include "env/human.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/constants.h"
+
+namespace rfp::env {
+
+using rfp::common::Vec2;
+
+TimedPath::TimedPath(std::vector<Vec2> points, double dt)
+    : points_(std::move(points)), dt_(dt) {
+  if (points_.empty()) throw std::invalid_argument("TimedPath: empty path");
+  if (dt <= 0.0) throw std::invalid_argument("TimedPath: dt must be positive");
+}
+
+Vec2 TimedPath::at(double t) const {
+  if (points_.empty()) return {};
+  if (points_.size() == 1 || t <= 0.0) return points_.front();
+  const double idx = t / dt_;
+  if (idx >= static_cast<double>(points_.size() - 1)) return points_.back();
+  const auto lo = static_cast<std::size_t>(idx);
+  const double frac = idx - static_cast<double>(lo);
+  return points_[lo] * (1.0 - frac) + points_[lo + 1] * frac;
+}
+
+double TimedPath::duration() const {
+  return points_.empty() ? 0.0
+                         : dt_ * static_cast<double>(points_.size() - 1);
+}
+
+TimedPath TimedPath::stationary(Vec2 p) { return TimedPath({p}, 1.0); }
+
+double BreathingModel::displacement(double t) const {
+  return amplitudeM *
+         std::sin(2.0 * rfp::common::pi() * rateHz * t + phaseRad);
+}
+
+Human::Human(int id, TimedPath path, BreathingModel breathing,
+             double baseAmplitude)
+    : id_(id),
+      path_(std::move(path)),
+      breathing_(breathing),
+      baseAmplitude_(baseAmplitude) {
+  if (baseAmplitude <= 0.0) {
+    throw std::invalid_argument("Human: base amplitude must be positive");
+  }
+}
+
+PointScatterer Human::scatterAt(double t, rfp::common::Rng& rng,
+                                double rcsJitter) const {
+  PointScatterer s;
+  s.position = path_.at(t);
+  s.radialOffsetM = breathing_.displacement(t);
+  const double jitter = 1.0 + rcsJitter * rng.gaussian();
+  s.amplitude = baseAmplitude_ * std::max(0.2, jitter);
+  s.dynamic = true;
+  s.sourceId = id_;
+  return s;
+}
+
+}  // namespace rfp::env

@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file human.h
+/// Human subjects as the radar sees them: a moving point scatterer whose
+/// path length is modulated by breathing chest motion and whose reflection
+/// amplitude fluctuates with posture/orientation.
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec2.h"
+#include "env/scatterer.h"
+
+namespace rfp::env {
+
+/// A 2-D path sampled at a fixed period, linearly interpolated in between
+/// and clamped at the ends.
+class TimedPath {
+ public:
+  TimedPath() = default;
+
+  /// \p points sampled every \p dt seconds starting at t = 0.
+  TimedPath(std::vector<rfp::common::Vec2> points, double dt);
+
+  /// Position at time \p t (clamped to the path's time span).
+  rfp::common::Vec2 at(double t) const;
+
+  /// Total time span covered by the path [s].
+  double duration() const;
+
+  bool empty() const { return points_.empty(); }
+  const std::vector<rfp::common::Vec2>& points() const { return points_; }
+  double dt() const { return dt_; }
+
+  /// A path that stays at one point forever.
+  static TimedPath stationary(rfp::common::Vec2 p);
+
+ private:
+  std::vector<rfp::common::Vec2> points_;
+  double dt_ = 1.0;
+};
+
+/// Sinusoidal chest displacement model. Breathing shows up in the *phase*
+/// of the reflected signal (paper Sec. 5.3 / 11.4): a few-millimeter radial
+/// displacement at the breathing rate.
+struct BreathingModel {
+  double rateHz = 0.25;        ///< ~15 breaths per minute
+  double amplitudeM = 0.005;   ///< chest displacement amplitude [m]
+  double phaseRad = 0.0;       ///< initial phase
+
+  /// Radial chest displacement at time \p t [m].
+  double displacement(double t) const;
+};
+
+/// A human in the environment: follows a path, breathes, reflects.
+class Human {
+ public:
+  /// \p id must be unique per environment; used by evaluation to match
+  /// radar tracks back to subjects.
+  Human(int id, TimedPath path, BreathingModel breathing = {},
+        double baseAmplitude = 1.0);
+
+  int id() const { return id_; }
+  const TimedPath& path() const { return path_; }
+  const BreathingModel& breathing() const { return breathing_; }
+
+  rfp::common::Vec2 positionAt(double t) const { return path_.at(t); }
+
+  /// Scatterer snapshot at time \p t. \p rng drives the radar-cross-section
+  /// fluctuation (orientation-dependent reflectivity), sigma given by
+  /// \p rcsJitter as a fraction of the base amplitude.
+  PointScatterer scatterAt(double t, rfp::common::Rng& rng,
+                           double rcsJitter = 0.1) const;
+
+ private:
+  int id_;
+  TimedPath path_;
+  BreathingModel breathing_;
+  double baseAmplitude_;
+};
+
+}  // namespace rfp::env

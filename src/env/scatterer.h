@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file scatterer.h
+/// Point-scatterer abstraction shared by the environment, the radar front
+/// end, and the RF-Protect reflector. Everything the simulated radar sees is
+/// a list of these.
+
+#include "common/vec2.h"
+
+namespace rfp::env {
+
+/// Identifier conventions for PointScatterer::sourceId.
+inline constexpr int kClutterId = -1;
+
+/// One point reflection the radar front end turns into a complex tone.
+///
+/// A plain environmental reflector has only position + amplitude. Humans add
+/// a radial offset (breathing chest displacement modulates the path length).
+/// The RF-Protect reflector additionally injects a beat-frequency offset
+/// (its on-off switching at f_switch; paper Eq. 3) and a carrier phase
+/// offset (its phase shifter, used for breathing spoofing).
+struct PointScatterer {
+  rfp::common::Vec2 position{};   ///< true physical location [m]
+  double amplitude = 1.0;         ///< linear reflection amplitude
+  double radialOffsetM = 0.0;     ///< extra one-way path length [m]
+  double beatFreqOffsetHz = 0.0;  ///< extra beat frequency (switching) [Hz]
+  double phaseOffsetRad = 0.0;    ///< extra carrier phase [rad]
+  bool dynamic = true;            ///< false: removed by background subtraction
+  int sourceId = kClutterId;      ///< originating entity (human/ghost id)
+};
+
+}  // namespace rfp::env

@@ -1,0 +1,142 @@
+#include "gan/discriminator.h"
+
+#include <stdexcept>
+
+#include "nn/ops.h"
+
+namespace rfp::gan {
+
+using nn::Matrix;
+
+Discriminator::Discriminator(DiscriminatorConfig config,
+                             rfp::common::Rng& rng)
+    : config_(config),
+      labelEmbedding_("D.embed", config.numClasses, config.labelEmbeddingDim,
+                      rng),
+      fcIn_("D.fcIn", 2 + config.labelEmbeddingDim, config.featureSize, rng),
+      bilstm_("D.bilstm", config.featureSize, config.hiddenSize, rng),
+      poolDropout_(config.dropout),
+      fcOut_("D.fcOut", 2 * config.hiddenSize, 1, rng) {}
+
+Matrix Discriminator::forward(const std::vector<Matrix>& xs,
+                              const std::vector<int>& labels, bool training,
+                              rfp::common::Rng& rng) {
+  if (xs.size() != config_.traceLength) {
+    throw std::invalid_argument("Discriminator::forward: timestep mismatch");
+  }
+  const std::size_t batch = xs.front().rows();
+  cachedBatch_ = batch;
+  if (labels.size() != batch) {
+    throw std::invalid_argument("Discriminator::forward: label count");
+  }
+
+  const Matrix emb = labelEmbedding_.forward(labels);
+
+  // Stack timesteps into a tall matrix (row = t * batch + b) so the input
+  // FC runs (and caches) once.
+  Matrix tallIn(config_.traceLength * batch, 2 + config_.labelEmbeddingDim);
+  for (std::size_t t = 0; t < config_.traceLength; ++t) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      tallIn(t * batch + b, 0) = xs[t](b, 0);
+      tallIn(t * batch + b, 1) = xs[t](b, 1);
+      for (std::size_t c = 0; c < config_.labelEmbeddingDim; ++c) {
+        tallIn(t * batch + b, 2 + c) = emb(b, c);
+      }
+    }
+  }
+  cachedTallFeat_ = nn::reluForward(fcIn_.forward(tallIn));
+
+  std::vector<Matrix> feats(config_.traceLength);
+  for (std::size_t t = 0; t < config_.traceLength; ++t) {
+    Matrix f(batch, config_.featureSize);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t c = 0; c < config_.featureSize; ++c) {
+        f(b, c) = cachedTallFeat_(t * batch + b, c);
+      }
+    }
+    feats[t] = std::move(f);
+  }
+
+  const std::vector<Matrix> hs = bilstm_.forward(feats);
+
+  // Mean pooling over time.
+  Matrix pooled(batch, 2 * config_.hiddenSize);
+  for (const Matrix& h : hs) pooled += h;
+  pooled *= 1.0 / static_cast<double>(config_.traceLength);
+
+  const Matrix dropped = poolDropout_.forward(pooled, training, rng);
+  return fcOut_.forward(dropped);
+}
+
+std::vector<Matrix> Discriminator::backward(const Matrix& dLogits) {
+  const std::size_t batch = cachedBatch_;
+
+  const Matrix dDropped = fcOut_.backward(dLogits);
+  const Matrix dPooled = poolDropout_.backward(dDropped);
+
+  const double invT = 1.0 / static_cast<double>(config_.traceLength);
+  std::vector<Matrix> dHs(config_.traceLength, dPooled * invT);
+
+  const std::vector<Matrix> dFeats = bilstm_.backward(dHs);
+
+  Matrix dTallFeat(config_.traceLength * batch, config_.featureSize);
+  for (std::size_t t = 0; t < config_.traceLength; ++t) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t c = 0; c < config_.featureSize; ++c) {
+        dTallFeat(t * batch + b, c) = dFeats[t](b, c);
+      }
+    }
+  }
+  const Matrix dTallIn =
+      fcIn_.backward(nn::reluBackward(dTallFeat, cachedTallFeat_));
+
+  // Split the tall input gradient back into per-timestep point gradients
+  // and the label-embedding gradient (summed over timesteps).
+  std::vector<Matrix> dXs(config_.traceLength);
+  Matrix dEmb(batch, config_.labelEmbeddingDim);
+  for (std::size_t t = 0; t < config_.traceLength; ++t) {
+    Matrix dx(batch, 2);
+    for (std::size_t b = 0; b < batch; ++b) {
+      dx(b, 0) = dTallIn(t * batch + b, 0);
+      dx(b, 1) = dTallIn(t * batch + b, 1);
+      for (std::size_t c = 0; c < config_.labelEmbeddingDim; ++c) {
+        dEmb(b, c) += dTallIn(t * batch + b, 2 + c);
+      }
+    }
+    dXs[t] = std::move(dx);
+  }
+  labelEmbedding_.backward(dEmb);
+  return dXs;
+}
+
+std::vector<double> Discriminator::scoreTraces(
+    const std::vector<trajectory::Trace>& traces, rfp::common::Rng& rng) {
+  std::vector<double> scores;
+  scores.reserve(traces.size());
+  for (const trajectory::Trace& trace : traces) {
+    if (trace.points.size() != config_.traceLength) {
+      throw std::invalid_argument("scoreTraces: trace length mismatch");
+    }
+    std::vector<Matrix> xs(config_.traceLength);
+    for (std::size_t t = 0; t < config_.traceLength; ++t) {
+      Matrix step(1, 2);
+      step(0, 0) = trace.points[t].x;
+      step(0, 1) = trace.points[t].y;
+      xs[t] = std::move(step);
+    }
+    const Matrix logit = forward(xs, {trace.label}, /*training=*/false, rng);
+    scores.push_back(nn::sigmoidForward(logit)(0, 0));
+  }
+  return scores;
+}
+
+nn::ParameterList Discriminator::parameters() {
+  nn::ParameterList out;
+  for (auto* p : labelEmbedding_.parameters()) out.push_back(p);
+  for (auto* p : fcIn_.parameters()) out.push_back(p);
+  for (auto* p : bilstm_.parameters()) out.push_back(p);
+  for (auto* p : fcOut_.parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace rfp::gan

@@ -1,0 +1,172 @@
+#include "gan/generator.h"
+
+#include <stdexcept>
+
+#include "nn/ops.h"
+
+namespace rfp::gan {
+
+using nn::Matrix;
+
+Generator::Generator(GeneratorConfig config, rfp::common::Rng& rng)
+    : config_(config),
+      labelEmbedding_("G.embed", config.numClasses, config.labelEmbeddingDim,
+                      rng),
+      fcIn_("G.fcIn", config.noiseDim + config.labelEmbeddingDim,
+            config.hiddenSize, rng),
+      lstm_("G.lstm", config.hiddenSize + config.perStepNoiseDim,
+            config.hiddenSize, config.lstmLayers, config.dropout, rng),
+      fcOut_("G.fcOut", config.hiddenSize, 2, rng) {
+  if (config_.traceLength < 2) {
+    throw std::invalid_argument("GeneratorConfig: traceLength >= 2");
+  }
+}
+
+std::vector<Matrix> Generator::forward(const Matrix& z,
+                                       const std::vector<int>& labels,
+                                       bool training,
+                                       rfp::common::Rng& rng) {
+  if (z.rows() != labels.size() || z.cols() != config_.noiseDim) {
+    throw std::invalid_argument("Generator::forward: input shape mismatch");
+  }
+  cachedBatch_ = z.rows();
+
+  const Matrix emb = labelEmbedding_.forward(labels);
+  const Matrix ctxPre = fcIn_.forward(nn::concatCols(z, emb));
+  cachedContextPre_ = nn::tanhForward(ctxPre);
+
+  // The context vector drives the LSTM at every timestep, concatenated
+  // with fresh per-step noise so temporal variation is not limited to the
+  // LSTM's internal dynamics.
+  std::vector<Matrix> xs;
+  xs.reserve(config_.traceLength);
+  for (std::size_t t = 0; t < config_.traceLength; ++t) {
+    Matrix stepNoise(cachedBatch_, config_.perStepNoiseDim);
+    nn::fillGaussian(stepNoise, rng);
+    xs.push_back(nn::concatCols(cachedContextPre_, stepNoise));
+  }
+  const std::vector<Matrix> hs = lstm_.forward(xs, training, rng);
+
+  // Apply the output FC to all timesteps in one tall matrix so the Linear
+  // layer's single-input cache suffices. Row layout: t * batch + b.
+  const std::size_t batch = cachedBatch_;
+  Matrix tall(config_.traceLength * batch, config_.hiddenSize);
+  for (std::size_t t = 0; t < config_.traceLength; ++t) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t c = 0; c < config_.hiddenSize; ++c) {
+        tall(t * batch + b, c) = hs[t](b, c);
+      }
+    }
+  }
+  const Matrix tallOut = fcOut_.forward(tall);
+
+  std::vector<Matrix> outputs(config_.traceLength);
+  for (std::size_t t = 0; t < config_.traceLength; ++t) {
+    Matrix step(batch, 2);
+    for (std::size_t b = 0; b < batch; ++b) {
+      step(b, 0) = tallOut(t * batch + b, 0);
+      step(b, 1) = tallOut(t * batch + b, 1);
+    }
+    outputs[t] = std::move(step);
+  }
+  return outputs;
+}
+
+void Generator::backward(const std::vector<Matrix>& dOutputs) {
+  if (dOutputs.size() != config_.traceLength) {
+    throw std::invalid_argument("Generator::backward: timestep mismatch");
+  }
+  const std::size_t batch = cachedBatch_;
+
+  Matrix dTallOut(config_.traceLength * batch, 2);
+  for (std::size_t t = 0; t < config_.traceLength; ++t) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      dTallOut(t * batch + b, 0) = dOutputs[t](b, 0);
+      dTallOut(t * batch + b, 1) = dOutputs[t](b, 1);
+    }
+  }
+  const Matrix dTall = fcOut_.backward(dTallOut);
+
+  std::vector<Matrix> dHs(config_.traceLength);
+  for (std::size_t t = 0; t < config_.traceLength; ++t) {
+    Matrix dh(batch, config_.hiddenSize);
+    for (std::size_t b = 0; b < batch; ++b) {
+      for (std::size_t c = 0; c < config_.hiddenSize; ++c) {
+        dh(b, c) = dTall(t * batch + b, c);
+      }
+    }
+    dHs[t] = std::move(dh);
+  }
+
+  const std::vector<Matrix> dXs = lstm_.backward(dHs);
+  Matrix dCtx(batch, config_.hiddenSize);
+  for (const Matrix& dx : dXs) {
+    // Only the context slice backpropagates; the per-step noise is input.
+    dCtx += nn::sliceCols(dx, 0, config_.hiddenSize);
+  }
+
+  const Matrix dCtxPre = nn::tanhBackward(dCtx, cachedContextPre_);
+  const Matrix dConcat = fcIn_.backward(dCtxPre);
+  const Matrix dEmb = nn::sliceCols(dConcat, config_.noiseDim,
+                                    dConcat.cols());
+  labelEmbedding_.backward(dEmb);
+  // dZ (columns [0, noiseDim)) is discarded: z is an input, not a parameter.
+}
+
+std::vector<trajectory::Trace> Generator::sample(std::size_t count, int label,
+                                                 rfp::common::Rng& rng) {
+  std::vector<trajectory::Trace> traces;
+  traces.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Matrix z(1, config_.noiseDim);
+    nn::fillGaussian(z, rng);
+    const std::vector<Matrix> out = forward(z, {label}, /*training=*/false,
+                                            rng);
+    trajectory::Trace t;
+    t.label = label;
+    t.points.reserve(out.size());
+    for (const Matrix& step : out) t.points.push_back({step(0, 0), step(0, 1)});
+    traces.push_back(std::move(t));
+  }
+  return traces;
+}
+
+std::vector<trajectory::Trace> Generator::sampleMixed(
+    std::size_t count, const std::vector<double>& labelWeights,
+    rfp::common::Rng& rng) {
+  if (labelWeights.size() != config_.numClasses) {
+    throw std::invalid_argument("sampleMixed: weight count mismatch");
+  }
+  double total = 0.0;
+  for (double w : labelWeights) total += w;
+  if (total <= 0.0) throw std::invalid_argument("sampleMixed: zero weights");
+
+  std::vector<trajectory::Trace> traces;
+  traces.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    double u = rng.uniform(0.0, total);
+    int label = 0;
+    for (std::size_t k = 0; k < labelWeights.size(); ++k) {
+      if (u < labelWeights[k]) {
+        label = static_cast<int>(k);
+        break;
+      }
+      u -= labelWeights[k];
+      label = static_cast<int>(k);
+    }
+    auto one = sample(1, label, rng);
+    traces.push_back(std::move(one.front()));
+  }
+  return traces;
+}
+
+nn::ParameterList Generator::parameters() {
+  nn::ParameterList out;
+  for (auto* p : labelEmbedding_.parameters()) out.push_back(p);
+  for (auto* p : fcIn_.parameters()) out.push_back(p);
+  for (auto* p : lstm_.parameters()) out.push_back(p);
+  for (auto* p : fcOut_.parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace rfp::gan

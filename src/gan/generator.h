@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file generator.h
+/// Conditional trajectory generator (paper Fig. 6, left): a Gaussian noise
+/// vector z and an embedded range label are concatenated, passed through a
+/// fully connected layer, expanded through a two-layer LSTM over
+/// kTracePoints steps, and reshaped to (x, y) points by a final FC layer.
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/dropout.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/lstm.h"
+#include "nn/parameter.h"
+#include "trajectory/trace.h"
+
+namespace rfp::gan {
+
+/// Architecture hyperparameters. The paper uses hidden size 512; the
+/// default here is smaller so CPU training in tests/benches stays fast --
+/// pass 512 to reproduce the paper's exact architecture.
+struct GeneratorConfig {
+  std::size_t noiseDim = 16;
+  std::size_t perStepNoiseDim = 8;  ///< fresh noise injected every timestep
+  std::size_t labelEmbeddingDim = 8;
+  std::size_t hiddenSize = 64;
+  std::size_t lstmLayers = 2;
+  double dropout = 0.5;
+  std::size_t numClasses = 5;
+  std::size_t traceLength = 50;
+};
+
+/// Conditional generator G(z | n).
+class Generator {
+ public:
+  Generator(GeneratorConfig config, rfp::common::Rng& rng);
+
+  const GeneratorConfig& config() const { return config_; }
+
+  /// Forward pass: z [batch x noiseDim], labels [batch] -> per-timestep
+  /// outputs, each [batch x 2]. Caches activations for backward().
+  std::vector<nn::Matrix> forward(const nn::Matrix& z,
+                                  const std::vector<int>& labels,
+                                  bool training, rfp::common::Rng& rng);
+
+  /// Backward pass from per-timestep output gradients; accumulates all
+  /// parameter gradients.
+  void backward(const std::vector<nn::Matrix>& dOutputs);
+
+  /// Samples \p count traces of class \p label (eval mode, no dropout).
+  std::vector<trajectory::Trace> sample(std::size_t count, int label,
+                                        rfp::common::Rng& rng);
+
+  /// Samples traces with labels drawn from \p labelWeights (unnormalized).
+  std::vector<trajectory::Trace> sampleMixed(
+      std::size_t count, const std::vector<double>& labelWeights,
+      rfp::common::Rng& rng);
+
+  nn::ParameterList parameters();
+
+ private:
+  GeneratorConfig config_;
+  nn::Embedding labelEmbedding_;
+  nn::Linear fcIn_;
+  nn::StackedLstm lstm_;
+  nn::Linear fcOut_;
+  nn::Matrix cachedContextPre_;   ///< fc output before ReLU... (post-ReLU)
+  std::size_t cachedBatch_ = 0;
+};
+
+}  // namespace rfp::gan

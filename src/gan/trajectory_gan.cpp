@@ -1,0 +1,236 @@
+#include "gan/trajectory_gan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "nn/adam.h"
+#include "nn/loss.h"
+#include "nn/ops.h"
+#include "nn/serialize.h"
+
+namespace rfp::gan {
+
+using nn::Matrix;
+using trajectory::Trace;
+
+namespace {
+
+/// Per-timestep [batch x 2] step (displacement) matrices from a batch of
+/// traces: a trace of P points yields P-1 steps.
+std::vector<Matrix> tracesToStepSequences(
+    const std::vector<const Trace*>& batch, std::size_t numSteps) {
+  std::vector<Matrix> xs(numSteps);
+  for (std::size_t t = 0; t < numSteps; ++t) {
+    Matrix step(batch.size(), 2);
+    for (std::size_t b = 0; b < batch.size(); ++b) {
+      if (batch[b]->points.size() != numSteps + 1) {
+        throw std::invalid_argument(
+            "tracesToStepSequences: trace length must be traceLength + 1");
+      }
+      const auto d = batch[b]->points[t + 1] - batch[b]->points[t];
+      step(b, 0) = d.x;
+      step(b, 1) = d.y;
+    }
+    xs[t] = std::move(step);
+  }
+  return xs;
+}
+
+}  // namespace
+
+TrajectoryGan::TrajectoryGan(GeneratorConfig gConfig,
+                             DiscriminatorConfig dConfig,
+                             GanTrainingConfig tConfig,
+                             rfp::common::Rng& rng)
+    : tConfig_(tConfig),
+      generator_(gConfig, rng),
+      discriminator_(dConfig, rng),
+      gOptimizer_(generator_.parameters(), {tConfig.generatorLr}),
+      dOptimizer_(discriminator_.parameters(), {tConfig.discriminatorLr}) {
+  if (gConfig.traceLength != dConfig.traceLength ||
+      gConfig.numClasses != dConfig.numClasses) {
+    throw std::invalid_argument(
+        "TrajectoryGan: generator/discriminator shape mismatch");
+  }
+}
+
+std::vector<double> TrajectoryGan::labelHistogram(
+    const std::vector<Trace>& dataset, std::size_t numClasses) {
+  std::vector<double> hist(numClasses, 0.0);
+  for (const Trace& t : dataset) {
+    if (t.label >= 0 && static_cast<std::size_t>(t.label) < numClasses) {
+      hist[static_cast<std::size_t>(t.label)] += 1.0;
+    }
+  }
+  return hist;
+}
+
+GanEpochStats TrajectoryGan::trainBatch(
+    const std::vector<const Trace*>& batch, rfp::common::Rng& rng) {
+  const std::size_t b = batch.size();
+  const std::size_t traceLength = generator_.config().traceLength;
+  GanEpochStats stats;
+
+  std::vector<int> realLabels(b);
+  for (std::size_t i = 0; i < b; ++i) realLabels[i] = batch[i]->label;
+  const std::vector<Matrix> realXs = tracesToStepSequences(batch, traceLength);
+
+  // Fakes use the real batch's label mix (conditioning, paper Sec. 6).
+  std::vector<int> fakeLabels = realLabels;
+  rng.shuffle(fakeLabels);
+  Matrix z(b, generator_.config().noiseDim);
+  nn::fillGaussian(z, rng);
+
+  // ---- Discriminator step: push D(real) -> 1 and D(fake) -> 0. -----------
+  const std::vector<Matrix> fakeXs =
+      generator_.forward(z, fakeLabels, /*training=*/true, rng);
+
+  const Matrix realLogits =
+      discriminator_.forward(realXs, realLabels, /*training=*/true, rng);
+  const Matrix ones(b, 1, 1.0);
+  const Matrix smoothOnes(b, 1, tConfig_.realLabelSmoothing);
+  const nn::LossResult realLoss = nn::bceWithLogits(realLogits, smoothOnes);
+  discriminator_.backward(realLoss.dLogits);
+
+  const Matrix fakeLogitsD =
+      discriminator_.forward(fakeXs, fakeLabels, /*training=*/true, rng);
+  const Matrix zeros(b, 1, 0.0);
+  const nn::LossResult fakeLoss = nn::bceWithLogits(fakeLogitsD, zeros);
+  discriminator_.backward(fakeLoss.dLogits);
+
+  nn::clipGradientNorm(discriminator_.parameters(), tConfig_.gradientClip);
+  dOptimizer_.stepAndZero();
+  nn::zeroGradients(generator_.parameters());  // G grads from D's fake pass
+
+  // ---- Generator step: push D(G(z)) -> 1 (non-saturating form). ----------
+  const std::vector<Matrix> fakeXs2 =
+      generator_.forward(z, fakeLabels, /*training=*/true, rng);
+  const Matrix fakeLogitsG =
+      discriminator_.forward(fakeXs2, fakeLabels, /*training=*/true, rng);
+  const nn::LossResult genLoss = nn::bceWithLogits(fakeLogitsG, ones);
+  const std::vector<Matrix> dFake = discriminator_.backward(genLoss.dLogits);
+  generator_.backward(dFake);
+
+  nn::clipGradientNorm(generator_.parameters(), tConfig_.gradientClip);
+  gOptimizer_.stepAndZero();
+  nn::zeroGradients(discriminator_.parameters());  // D grads from G's pass
+
+  stats.discriminatorLoss = realLoss.loss + fakeLoss.loss;
+  stats.generatorLoss = genLoss.loss;
+  stats.realScoreMean = nn::meanAll(nn::sigmoidForward(realLogits));
+  stats.fakeScoreMean = nn::meanAll(nn::sigmoidForward(fakeLogitsD));
+  return stats;
+}
+
+void TrajectoryGan::train(
+    const std::vector<Trace>& dataset, rfp::common::Rng& rng,
+    const std::function<void(const GanEpochStats&)>& onEpoch) {
+  if (dataset.size() < tConfig_.batchSize) {
+    throw std::invalid_argument("TrajectoryGan::train: dataset too small");
+  }
+
+  const std::size_t expectedPoints = generator_.config().traceLength + 1;
+  for (const Trace& t : dataset) {
+    if (t.points.size() != expectedPoints) {
+      throw std::invalid_argument(
+          "TrajectoryGan::train: traces must have traceLength + 1 points");
+    }
+  }
+
+  // The GAN models relative motion: center each trace, then normalize so
+  // the per-frame *steps* have unit coordinate variance.
+  std::vector<Trace> centered;
+  centered.reserve(dataset.size());
+  for (const Trace& t : dataset) centered.push_back(trajectory::centered(t));
+
+  double sumSq = 0.0;
+  std::size_t n = 0;
+  for (const Trace& t : centered) {
+    for (std::size_t i = 1; i < t.points.size(); ++i) {
+      const auto d = t.points[i] - t.points[i - 1];
+      sumSq += d.x * d.x + d.y * d.y;
+      n += 2;
+    }
+  }
+  scale_ = n > 0 ? std::sqrt(std::max(sumSq / static_cast<double>(n), 1e-12))
+                 : 1.0;
+  for (Trace& t : centered) {
+    for (auto& p : t.points) p *= 1.0 / scale_;
+  }
+
+  std::vector<const Trace*> order;
+  order.reserve(centered.size());
+  for (const Trace& t : centered) order.push_back(&t);
+
+  for (std::size_t epoch = 0; epoch < tConfig_.epochs; ++epoch) {
+    rng.shuffle(order);
+    GanEpochStats epochStats;
+    epochStats.epoch = epoch;
+    std::size_t batches = 0;
+
+    for (std::size_t start = 0; start + tConfig_.batchSize <= order.size();
+         start += tConfig_.batchSize) {
+      const std::vector<const Trace*> batch(
+          order.begin() + start, order.begin() + start + tConfig_.batchSize);
+      const GanEpochStats s = trainBatch(batch, rng);
+      epochStats.discriminatorLoss += s.discriminatorLoss;
+      epochStats.generatorLoss += s.generatorLoss;
+      epochStats.realScoreMean += s.realScoreMean;
+      epochStats.fakeScoreMean += s.fakeScoreMean;
+      ++batches;
+    }
+    if (batches > 0) {
+      const double inv = 1.0 / static_cast<double>(batches);
+      epochStats.discriminatorLoss *= inv;
+      epochStats.generatorLoss *= inv;
+      epochStats.realScoreMean *= inv;
+      epochStats.fakeScoreMean *= inv;
+    }
+    if (onEpoch) onEpoch(epochStats);
+  }
+}
+
+std::vector<Trace> TrajectoryGan::sample(
+    std::size_t count, const std::vector<double>& labelWeights,
+    rfp::common::Rng& rng) {
+  // The generator emits normalized step sequences; integrate them into
+  // positional traces (cumulative sum from the origin), rescale, center.
+  std::vector<Trace> stepTraces =
+      generator_.sampleMixed(count, labelWeights, rng);
+  std::vector<Trace> out;
+  out.reserve(stepTraces.size());
+  for (const Trace& steps : stepTraces) {
+    Trace t;
+    t.points.reserve(steps.points.size() + 1);
+    rfp::common::Vec2 pos{};
+    t.points.push_back(pos);
+    for (const auto& d : steps.points) {
+      pos += d * scale_;
+      t.points.push_back(pos);
+    }
+    t = trajectory::centered(t);
+    t.label = trajectory::rangeClassOf(t);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+void TrajectoryGan::save(const std::string& path) {
+  nn::Parameter scaleParam("gan.scale", nn::Matrix(1, 1, scale_));
+  nn::ParameterList all = generator_.parameters();
+  for (auto* p : discriminator_.parameters()) all.push_back(p);
+  all.push_back(&scaleParam);
+  nn::saveParameters(path, all);
+}
+
+void TrajectoryGan::load(const std::string& path) {
+  nn::Parameter scaleParam("gan.scale", nn::Matrix(1, 1, 1.0));
+  nn::ParameterList all = generator_.parameters();
+  for (auto* p : discriminator_.parameters()) all.push_back(p);
+  all.push_back(&scaleParam);
+  nn::loadParameters(path, all);
+  scale_ = scaleParam.value(0, 0);
+}
+
+}  // namespace rfp::gan

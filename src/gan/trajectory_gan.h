@@ -1,0 +1,95 @@
+#pragma once
+
+/// \file trajectory_gan.h
+/// The conditional GAN training harness (paper Sec. 6 Eq. 4, Sec. 9.2):
+/// alternating Adam updates of the discriminator (lr 2e-4) and generator
+/// (lr 1e-4), mini-batches of real traces vs G(z | n) samples, BCE loss.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/adam.h"
+#include "gan/discriminator.h"
+#include "gan/generator.h"
+#include "trajectory/trace.h"
+
+namespace rfp::gan {
+
+/// Training hyperparameters (defaults follow the paper, except batch size
+/// and network width which are scaled for CPU training).
+struct GanTrainingConfig {
+  std::size_t batchSize = 32;
+  double generatorLr = 1e-4;      ///< paper Sec. 9.2
+  double discriminatorLr = 2e-4;  ///< paper Sec. 9.2
+  double gradientClip = 5.0;
+  std::size_t epochs = 30;
+  double realLabelSmoothing = 0.9;  ///< one-sided label smoothing target
+};
+
+/// Per-epoch training telemetry.
+struct GanEpochStats {
+  std::size_t epoch = 0;
+  double discriminatorLoss = 0.0;
+  double generatorLoss = 0.0;
+  double realScoreMean = 0.0;  ///< mean D(real); ~0.5 at equilibrium
+  double fakeScoreMean = 0.0;  ///< mean D(fake); ~0.5 at equilibrium
+};
+
+/// Conditional trajectory GAN: generator + discriminator + training loop.
+///
+/// The networks operate in *step space*: sequences of per-frame
+/// displacements rather than absolute positions (a trace of P points is a
+/// sequence of P-1 steps, so configure traceLength = P-1). Step space makes
+/// the learning problem dramatically easier for recurrent generators --
+/// smoothness and speed structure live directly in the step distribution --
+/// and sample() integrates the steps back into positional traces.
+class TrajectoryGan {
+ public:
+  TrajectoryGan(GeneratorConfig gConfig, DiscriminatorConfig dConfig,
+                GanTrainingConfig tConfig, rfp::common::Rng& rng);
+
+  Generator& generator() { return generator_; }
+  Discriminator& discriminator() { return discriminator_; }
+
+  /// Trains on \p dataset. Traces are internally centered (the GAN models
+  /// relative motion) and scaled to unit coordinate variance (LSTMs train
+  /// poorly on multi-meter magnitudes); sample() undoes the scaling. The
+  /// optional callback receives per-epoch stats (for logging).
+  void train(const std::vector<trajectory::Trace>& dataset,
+             rfp::common::Rng& rng,
+             const std::function<void(const GanEpochStats&)>& onEpoch = {});
+
+  /// Samples traces in the original (meter) scale with labels drawn from
+  /// \p labelWeights; the generator itself produces normalized traces.
+  std::vector<trajectory::Trace> sample(std::size_t count,
+                                        const std::vector<double>& labelWeights,
+                                        rfp::common::Rng& rng);
+
+  /// Coordinate scale learned from the last train() call (1.0 untrained).
+  double coordinateScale() const { return scale_; }
+
+  /// Empirical label distribution of a dataset (used to sample labels for
+  /// fakes in the same proportion as the real data).
+  static std::vector<double> labelHistogram(
+      const std::vector<trajectory::Trace>& dataset, std::size_t numClasses);
+
+  /// Saves / loads both networks' parameters.
+  void save(const std::string& path);
+  void load(const std::string& path);
+
+ private:
+  /// One optimization step on a mini-batch; returns the stats contribution.
+  GanEpochStats trainBatch(const std::vector<const trajectory::Trace*>& batch,
+                           rfp::common::Rng& rng);
+
+  GanTrainingConfig tConfig_;
+  Generator generator_;
+  Discriminator discriminator_;
+  nn::Adam gOptimizer_;
+  nn::Adam dOptimizer_;
+  double scale_ = 1.0;
+};
+
+}  // namespace rfp::gan

@@ -1,0 +1,155 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace rfp::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = rows.size();
+  cols_ = rows_ > 0 ? rows.begin()->size() : 0;
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw std::invalid_argument("Matrix: ragged initializer list");
+    }
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::diagonal(std::span<const double> diag) {
+  Matrix m(diag.size(), diag.size());
+  for (std::size_t i = 0; i < diag.size(); ++i) m(i, i) = diag[i];
+  return m;
+}
+
+Matrix Matrix::columnVector(std::span<const double> values) {
+  Matrix m(values.size(), 1);
+  for (std::size_t i = 0; i < values.size(); ++i) m(i, 0) = values[i];
+  return m;
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+  return data_[r * cols_ + c];
+}
+
+void Matrix::requireSameShape(const Matrix& o, const char* op) const {
+  if (rows_ != o.rows_ || cols_ != o.cols_) {
+    throw std::invalid_argument(std::string("Matrix shape mismatch in ") + op);
+  }
+}
+
+Matrix Matrix::operator+(const Matrix& o) const {
+  Matrix out = *this;
+  out += o;
+  return out;
+}
+
+Matrix Matrix::operator-(const Matrix& o) const {
+  Matrix out = *this;
+  out -= o;
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& o) {
+  requireSameShape(o, "+");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& o) {
+  requireSameShape(o, "-");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+  return *this;
+}
+
+Matrix Matrix::operator*(const Matrix& o) const {
+  if (cols_ != o.rows_) {
+    throw std::invalid_argument("Matrix product: inner dimension mismatch");
+  }
+  Matrix out(rows_, o.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double aik = (*this)(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < o.cols_; ++j) {
+        out(i, j) += aik * o(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::operator*(double s) const {
+  Matrix out = *this;
+  out *= s;
+  return out;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& x : data_) x *= s;
+  return *this;
+}
+
+Matrix Matrix::hadamard(const Matrix& o) const {
+  requireSameShape(o, "hadamard");
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] *= o.data_[i];
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+double Matrix::trace() const {
+  if (rows_ != cols_) throw std::invalid_argument("trace of non-square matrix");
+  double t = 0.0;
+  for (std::size_t i = 0; i < rows_; ++i) t += (*this)(i, i);
+  return t;
+}
+
+double Matrix::frobeniusNorm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+double Matrix::maxAbsDiff(const Matrix& o) const {
+  requireSameShape(o, "maxAbsDiff");
+  double m = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    m = std::max(m, std::fabs(data_[i] - o.data_[i]));
+  }
+  return m;
+}
+
+bool Matrix::approxEquals(const Matrix& o, double tol) const {
+  if (rows_ != o.rows_ || cols_ != o.cols_) return false;
+  return maxAbsDiff(o) <= tol;
+}
+
+Matrix operator*(double s, const Matrix& m) { return m * s; }
+
+}  // namespace rfp::linalg

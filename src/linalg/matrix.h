@@ -1,0 +1,89 @@
+#pragma once
+
+/// \file matrix.h
+/// Dense row-major matrix of doubles. This is the numeric workhorse shared
+/// by the Kalman filter, the FID metric, and the neural-network layers.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace rfp::linalg {
+
+/// Dense matrix with value semantics. Sizes are fixed at construction;
+/// element access is bounds-checked in at() and unchecked in operator().
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix filled with \p fill.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Construction from nested initializer lists:
+  /// Matrix m{{1, 2}, {3, 4}}; Throws on ragged rows.
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(std::size_t n);
+
+  /// Diagonal matrix from a vector of diagonal entries.
+  static Matrix diagonal(std::span<const double> diag);
+
+  /// Column vector (n x 1) from values.
+  static Matrix columnVector(std::span<const double> values);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked access; throws std::out_of_range.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Raw storage (row-major).
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+
+  Matrix operator+(const Matrix& o) const;
+  Matrix operator-(const Matrix& o) const;
+  Matrix operator*(const Matrix& o) const;  ///< matrix product
+  Matrix operator*(double s) const;
+  Matrix& operator+=(const Matrix& o);
+  Matrix& operator-=(const Matrix& o);
+  Matrix& operator*=(double s);
+
+  /// Element-wise (Hadamard) product.
+  Matrix hadamard(const Matrix& o) const;
+
+  Matrix transposed() const;
+
+  /// Trace of a square matrix; throws for non-square.
+  double trace() const;
+
+  /// Frobenius norm.
+  double frobeniusNorm() const;
+
+  /// Largest absolute difference with another same-shape matrix.
+  double maxAbsDiff(const Matrix& o) const;
+
+  /// True when shapes match and every entry differs by at most \p tol.
+  bool approxEquals(const Matrix& o, double tol) const;
+
+ private:
+  void requireSameShape(const Matrix& o, const char* op) const;
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator*(double s, const Matrix& m);
+
+}  // namespace rfp::linalg

@@ -1,0 +1,68 @@
+#include "nn/adam.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rfp::nn {
+
+Adam::Adam(ParameterList params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  if (options_.learningRate <= 0.0) {
+    throw std::invalid_argument("Adam: learning rate must be positive");
+  }
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Parameter* p : params_) {
+    m_.emplace_back(p->value.rows(), p->value.cols());
+    v_.emplace_back(p->value.rows(), p->value.cols());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double b1 = options_.beta1;
+  const double b2 = options_.beta2;
+  const double correction1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double correction2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    auto g = p.grad.data();
+    auto m = m_[i].data();
+    auto v = v_[i].data();
+    auto w = p.value.data();
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      m[k] = b1 * m[k] + (1.0 - b1) * g[k];
+      v[k] = b2 * v[k] + (1.0 - b2) * g[k] * g[k];
+      const double mHat = m[k] / correction1;
+      const double vHat = v[k] / correction2;
+      w[k] -= options_.learningRate * mHat /
+              (std::sqrt(vHat) + options_.epsilon);
+    }
+  }
+}
+
+void Adam::stepAndZero() {
+  step();
+  zeroGradients(params_);
+}
+
+double clipGradientNorm(const ParameterList& params, double maxNorm) {
+  if (maxNorm <= 0.0) {
+    throw std::invalid_argument("clipGradientNorm: maxNorm must be positive");
+  }
+  double sq = 0.0;
+  for (const Parameter* p : params) {
+    for (double g : p->grad.data()) sq += g * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > maxNorm && norm > 0.0) {
+    const double scale = maxNorm / norm;
+    for (Parameter* p : params) {
+      for (double& g : p->grad.data()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace rfp::nn

@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file adam.h
+/// Adam optimizer (paper Sec. 9.2 trains both GAN networks with Adam) and
+/// global-norm gradient clipping.
+
+#include "nn/parameter.h"
+
+namespace rfp::nn {
+
+/// Adam hyperparameters.
+struct AdamOptions {
+  double learningRate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+};
+
+/// Adam with bias correction over a fixed parameter list.
+class Adam {
+ public:
+  Adam(ParameterList params, AdamOptions options = {});
+
+  /// Applies one update from the accumulated gradients, then leaves the
+  /// gradients untouched (call zeroGradients separately, or use stepAndZero).
+  void step();
+
+  /// step() followed by zeroing all gradients.
+  void stepAndZero();
+
+  const AdamOptions& options() const { return options_; }
+  void setLearningRate(double lr) { options_.learningRate = lr; }
+  long iterations() const { return t_; }
+
+ private:
+  ParameterList params_;
+  AdamOptions options_;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+  long t_ = 0;
+};
+
+/// Scales all gradients so their global L2 norm is at most \p maxNorm.
+/// Returns the pre-clip norm.
+double clipGradientNorm(const ParameterList& params, double maxNorm);
+
+}  // namespace rfp::nn

@@ -1,0 +1,28 @@
+#include "nn/dropout.h"
+
+#include <stdexcept>
+
+namespace rfp::nn {
+
+Dropout::Dropout(double probability) : p_(probability) {
+  if (p_ < 0.0 || p_ >= 1.0) {
+    throw std::invalid_argument("Dropout: probability must be in [0, 1)");
+  }
+}
+
+Matrix Dropout::forward(const Matrix& x, bool training,
+                        rfp::common::Rng& rng) {
+  lastTraining_ = training;
+  if (!training || p_ == 0.0) return x;
+  mask_ = Matrix(x.rows(), x.cols());
+  const double scale = 1.0 / (1.0 - p_);
+  for (double& m : mask_.data()) m = rng.bernoulli(p_) ? 0.0 : scale;
+  return x.hadamard(mask_);
+}
+
+Matrix Dropout::backward(const Matrix& dy) const {
+  if (!lastTraining_ || p_ == 0.0) return dy;
+  return dy.hadamard(mask_);
+}
+
+}  // namespace rfp::nn

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file dropout.h
+/// Inverted dropout (paper Sec. 6 uses dropout probability 0.5 in both the
+/// generator LSTM and the discriminator Bi-LSTM).
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace rfp::nn {
+
+using linalg::Matrix;
+
+/// Inverted-dropout layer: at train time zeroes each activation with
+/// probability p and scales survivors by 1/(1-p); identity at eval time.
+class Dropout {
+ public:
+  explicit Dropout(double probability);
+
+  double probability() const { return p_; }
+
+  /// \p training selects train vs eval behaviour.
+  Matrix forward(const Matrix& x, bool training, rfp::common::Rng& rng);
+
+  /// Applies the cached mask (train) or passes through (eval).
+  Matrix backward(const Matrix& dy) const;
+
+ private:
+  double p_;
+  bool lastTraining_ = false;
+  Matrix mask_;
+};
+
+}  // namespace rfp::nn

@@ -1,0 +1,47 @@
+#include "nn/embedding.h"
+
+#include <stdexcept>
+
+#include "nn/ops.h"
+
+namespace rfp::nn {
+
+Embedding::Embedding(std::string name, std::size_t numClasses,
+                     std::size_t dim, rfp::common::Rng& rng)
+    : table_(name + ".table", Matrix(numClasses, dim)) {
+  if (numClasses == 0 || dim == 0) {
+    throw std::invalid_argument("Embedding: zero dimension");
+  }
+  fillGaussian(table_.value, rng, 0.0, 0.1);
+}
+
+Matrix Embedding::forward(const std::vector<int>& labels) {
+  Matrix out(labels.size(), dim());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int label = labels[i];
+    if (label < 0 || static_cast<std::size_t>(label) >= numClasses()) {
+      throw std::out_of_range("Embedding: label out of range");
+    }
+    for (std::size_t c = 0; c < dim(); ++c) {
+      out(i, c) = table_.value(static_cast<std::size_t>(label), c);
+    }
+  }
+  cachedLabels_ = labels;
+  return out;
+}
+
+void Embedding::backward(const Matrix& dy) {
+  if (dy.rows() != cachedLabels_.size() || dy.cols() != dim()) {
+    throw std::invalid_argument("Embedding::backward: gradient shape");
+  }
+  for (std::size_t i = 0; i < cachedLabels_.size(); ++i) {
+    const auto row = static_cast<std::size_t>(cachedLabels_[i]);
+    for (std::size_t c = 0; c < dim(); ++c) {
+      table_.grad(row, c) += dy(i, c);
+    }
+  }
+}
+
+ParameterList Embedding::parameters() { return {&table_}; }
+
+}  // namespace rfp::nn

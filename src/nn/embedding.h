@@ -1,0 +1,38 @@
+#pragma once
+
+/// \file embedding.h
+/// Label embedding used to condition the GAN on the motion-range class
+/// (paper Sec. 6: "z and n (after embedding) are concatenated").
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/parameter.h"
+
+namespace rfp::nn {
+
+/// Lookup table of trainable class embeddings.
+class Embedding {
+ public:
+  Embedding(std::string name, std::size_t numClasses, std::size_t dim,
+            rfp::common::Rng& rng);
+
+  std::size_t numClasses() const { return table_.value.rows(); }
+  std::size_t dim() const { return table_.value.cols(); }
+
+  /// Rows of the table selected by \p labels -> [batch x dim]. Caches the
+  /// labels for the backward pass. Throws on out-of-range labels.
+  Matrix forward(const std::vector<int>& labels);
+
+  /// Accumulates gradient rows for the cached labels.
+  void backward(const Matrix& dy);
+
+  ParameterList parameters();
+
+ private:
+  Parameter table_;  ///< [numClasses x dim]
+  std::vector<int> cachedLabels_;
+};
+
+}  // namespace rfp::nn

@@ -1,0 +1,35 @@
+#include "nn/gradcheck.h"
+
+#include <cmath>
+
+namespace rfp::nn {
+
+GradCheckResult checkGradient(Parameter& param,
+                              const std::function<double()>& lossFn,
+                              double epsilon, double tolerance) {
+  GradCheckResult result;
+  auto values = param.value.data();
+  auto grads = param.grad.data();
+
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double original = values[i];
+    values[i] = original + epsilon;
+    const double lossPlus = lossFn();
+    values[i] = original - epsilon;
+    const double lossMinus = lossFn();
+    values[i] = original;
+
+    const double numeric = (lossPlus - lossMinus) / (2.0 * epsilon);
+    const double analytic = grads[i];
+    const double absErr = std::fabs(numeric - analytic);
+    const double denom =
+        std::max({std::fabs(numeric), std::fabs(analytic), 1e-8});
+    result.maxAbsError = std::max(result.maxAbsError, absErr);
+    result.maxRelError = std::max(result.maxRelError, absErr / denom);
+  }
+  result.passed =
+      result.maxAbsError <= tolerance || result.maxRelError <= tolerance;
+  return result;
+}
+
+}  // namespace rfp::nn

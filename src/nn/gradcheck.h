@@ -1,0 +1,33 @@
+#pragma once
+
+/// \file gradcheck.h
+/// Finite-difference gradient verification. The test suite uses this to
+/// prove every layer's hand-derived backward pass against the numeric
+/// derivative -- the substitute for trusting a framework's autograd.
+
+#include <functional>
+
+#include "nn/parameter.h"
+
+namespace rfp::nn {
+
+/// Result of a gradient check.
+struct GradCheckResult {
+  double maxAbsError = 0.0;   ///< worst |analytic - numeric|
+  double maxRelError = 0.0;   ///< worst relative error (guarded denominator)
+  bool passed = false;
+};
+
+/// Compares the analytic gradient stored in \p param.grad against the
+/// central finite difference of \p lossFn (a function that runs the full
+/// forward pass and returns the scalar loss; it must not mutate state
+/// other than reading param.value).
+///
+/// Call pattern:
+///   1. zero grads, run forward+backward once to fill param.grad,
+///   2. call checkGradient(param, lossFn).
+GradCheckResult checkGradient(Parameter& param,
+                              const std::function<double()>& lossFn,
+                              double epsilon = 1e-5, double tolerance = 1e-6);
+
+}  // namespace rfp::nn

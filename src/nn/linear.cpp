@@ -1,0 +1,37 @@
+#include "nn/linear.h"
+
+#include <stdexcept>
+
+namespace rfp::nn {
+
+Linear::Linear(std::string name, std::size_t inFeatures,
+               std::size_t outFeatures, rfp::common::Rng& rng)
+    : weight_(name + ".weight", Matrix(inFeatures, outFeatures)),
+      bias_(name + ".bias", Matrix(1, outFeatures)) {
+  if (inFeatures == 0 || outFeatures == 0) {
+    throw std::invalid_argument("Linear: zero feature dimension");
+  }
+  xavierInit(weight_.value, inFeatures, outFeatures, rng);
+}
+
+Matrix Linear::forward(const Matrix& x) {
+  cachedInput_ = x;
+  return forwardInference(x);
+}
+
+Matrix Linear::forwardInference(const Matrix& x) const {
+  return addRowBroadcast(x * weight_.value, bias_.value);
+}
+
+Matrix Linear::backward(const Matrix& dy) {
+  if (cachedInput_.empty()) {
+    throw std::logic_error("Linear::backward before forward");
+  }
+  weight_.grad += cachedInput_.transposed() * dy;
+  bias_.grad += colSums(dy);
+  return dy * weight_.value.transposed();
+}
+
+ParameterList Linear::parameters() { return {&weight_, &bias_}; }
+
+}  // namespace rfp::nn

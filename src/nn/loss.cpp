@@ -1,0 +1,57 @@
+#include "nn/loss.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rfp::nn {
+
+LossResult bceWithLogits(const Matrix& logits, const Matrix& targets) {
+  if (logits.rows() != targets.rows() || logits.cols() != targets.cols()) {
+    throw std::invalid_argument("bceWithLogits: shape mismatch");
+  }
+  const auto n = static_cast<double>(logits.rows() * logits.cols());
+  if (n == 0.0) throw std::invalid_argument("bceWithLogits: empty input");
+
+  LossResult out;
+  out.dLogits = Matrix(logits.rows(), logits.cols());
+  auto x = logits.data();
+  auto z = targets.data();
+  auto dx = out.dLogits.data();
+  double loss = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    loss += std::max(x[i], 0.0) - x[i] * z[i] +
+            std::log1p(std::exp(-std::fabs(x[i])));
+    // d/dx = sigmoid(x) - z.
+    const double sig = x[i] >= 0.0
+                           ? 1.0 / (1.0 + std::exp(-x[i]))
+                           : std::exp(x[i]) / (1.0 + std::exp(x[i]));
+    dx[i] = (sig - z[i]) / n;
+  }
+  out.loss = loss / n;
+  return out;
+}
+
+LossResult meanSquaredError(const Matrix& predictions, const Matrix& targets) {
+  if (predictions.rows() != targets.rows() ||
+      predictions.cols() != targets.cols()) {
+    throw std::invalid_argument("meanSquaredError: shape mismatch");
+  }
+  const auto n = static_cast<double>(predictions.rows() * predictions.cols());
+  if (n == 0.0) throw std::invalid_argument("meanSquaredError: empty input");
+
+  LossResult out;
+  out.dLogits = Matrix(predictions.rows(), predictions.cols());
+  auto p = predictions.data();
+  auto t = targets.data();
+  auto d = out.dLogits.data();
+  double loss = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double diff = p[i] - t[i];
+    loss += diff * diff;
+    d[i] = 2.0 * diff / n;
+  }
+  out.loss = loss / n;
+  return out;
+}
+
+}  // namespace rfp::nn

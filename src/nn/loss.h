@@ -1,0 +1,26 @@
+#pragma once
+
+/// \file loss.h
+/// Binary cross-entropy for the GAN's minimax objective (paper Eq. 4).
+
+#include "linalg/matrix.h"
+
+namespace rfp::nn {
+
+using linalg::Matrix;
+
+/// Loss value plus the gradient w.r.t. the logits (already divided by the
+/// batch size, so optimizers can use it directly).
+struct LossResult {
+  double loss = 0.0;
+  Matrix dLogits;
+};
+
+/// Numerically stable BCE-with-logits against targets in {0, 1} (shape must
+/// match logits): loss = mean(max(x,0) - x*z + log(1 + exp(-|x|))).
+LossResult bceWithLogits(const Matrix& logits, const Matrix& targets);
+
+/// Mean squared error and its gradient (utility for regression smoke tests).
+LossResult meanSquaredError(const Matrix& predictions, const Matrix& targets);
+
+}  // namespace rfp::nn

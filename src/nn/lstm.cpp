@@ -1,0 +1,229 @@
+#include "nn/lstm.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "nn/ops.h"
+
+namespace rfp::nn {
+
+Lstm::Lstm(std::string name, std::size_t inputSize, std::size_t hiddenSize,
+           rfp::common::Rng& rng)
+    : inputSize_(inputSize),
+      hiddenSize_(hiddenSize),
+      wx_(name + ".wx", Matrix(inputSize, 4 * hiddenSize)),
+      wh_(name + ".wh", Matrix(hiddenSize, 4 * hiddenSize)),
+      b_(name + ".b", Matrix(1, 4 * hiddenSize)) {
+  if (inputSize == 0 || hiddenSize == 0) {
+    throw std::invalid_argument("Lstm: zero dimension");
+  }
+  xavierInit(wx_.value, inputSize, hiddenSize, rng);
+  xavierInit(wh_.value, hiddenSize, hiddenSize, rng);
+  // Forget-gate bias of 1.0 is the standard trick to keep early gradients
+  // flowing through the cell state.
+  for (std::size_t c = hiddenSize; c < 2 * hiddenSize; ++c) {
+    b_.value(0, c) = 1.0;
+  }
+}
+
+std::vector<Matrix> Lstm::forward(const std::vector<Matrix>& xs) {
+  if (xs.empty()) throw std::invalid_argument("Lstm::forward: empty sequence");
+  const std::size_t batch = xs.front().rows();
+  const std::size_t h = hiddenSize_;
+
+  cache_.clear();
+  cache_.reserve(xs.size());
+
+  Matrix hPrev(batch, h);
+  Matrix cPrev(batch, h);
+  std::vector<Matrix> outputs;
+  outputs.reserve(xs.size());
+
+  for (const Matrix& x : xs) {
+    if (x.rows() != batch || x.cols() != inputSize_) {
+      throw std::invalid_argument("Lstm::forward: input shape mismatch");
+    }
+    const Matrix a = addRowBroadcast(x * wx_.value + hPrev * wh_.value,
+                                     b_.value);
+    StepCache sc;
+    sc.x = x;
+    sc.hPrev = hPrev;
+    sc.cPrev = cPrev;
+    sc.i = sigmoidForward(sliceCols(a, 0, h));
+    sc.f = sigmoidForward(sliceCols(a, h, 2 * h));
+    sc.g = tanhForward(sliceCols(a, 2 * h, 3 * h));
+    sc.o = sigmoidForward(sliceCols(a, 3 * h, 4 * h));
+    sc.c = sc.f.hadamard(cPrev) + sc.i.hadamard(sc.g);
+    sc.tanhC = tanhForward(sc.c);
+    const Matrix hNew = sc.o.hadamard(sc.tanhC);
+
+    hPrev = hNew;
+    cPrev = sc.c;
+    outputs.push_back(hNew);
+    cache_.push_back(std::move(sc));
+  }
+  return outputs;
+}
+
+std::vector<Matrix> Lstm::backward(const std::vector<Matrix>& dHs) {
+  if (dHs.size() != cache_.size()) {
+    throw std::invalid_argument("Lstm::backward: timestep count mismatch");
+  }
+  const std::size_t t = cache_.size();
+  const std::size_t h = hiddenSize_;
+  const std::size_t batch = cache_.front().x.rows();
+
+  std::vector<Matrix> dXs(t);
+  Matrix dhNext(batch, h);  // gradient flowing from step k+1 into h_k
+  Matrix dcNext(batch, h);  // ... and into c_k
+
+  for (std::size_t step = t; step-- > 0;) {
+    const StepCache& sc = cache_[step];
+    const Matrix dh = dHs[step] + dhNext;
+
+    // h = o * tanh(c)
+    const Matrix dOut = dh.hadamard(sc.tanhC);
+    Matrix dTanhC = sc.tanhC;
+    for (double& v : dTanhC.data()) v = 1.0 - v * v;
+    Matrix dc = dcNext + dh.hadamard(sc.o).hadamard(dTanhC);
+
+    const Matrix dI = dc.hadamard(sc.g);
+    const Matrix dG = dc.hadamard(sc.i);
+    const Matrix dF = dc.hadamard(sc.cPrev);
+    dcNext = dc.hadamard(sc.f);
+
+    // Pre-activation gradients.
+    const Matrix daI = sigmoidBackward(dI, sc.i);
+    const Matrix daF = sigmoidBackward(dF, sc.f);
+    const Matrix daG = tanhBackward(dG, sc.g);
+    const Matrix daO = sigmoidBackward(dOut, sc.o);
+
+    Matrix da(batch, 4 * h);
+    for (std::size_t r = 0; r < batch; ++r) {
+      for (std::size_t c = 0; c < h; ++c) {
+        da(r, c) = daI(r, c);
+        da(r, h + c) = daF(r, c);
+        da(r, 2 * h + c) = daG(r, c);
+        da(r, 3 * h + c) = daO(r, c);
+      }
+    }
+
+    wx_.grad += sc.x.transposed() * da;
+    wh_.grad += sc.hPrev.transposed() * da;
+    b_.grad += colSums(da);
+
+    dXs[step] = da * wx_.value.transposed();
+    dhNext = da * wh_.value.transposed();
+  }
+  return dXs;
+}
+
+ParameterList Lstm::parameters() { return {&wx_, &wh_, &b_}; }
+
+StackedLstm::StackedLstm(std::string name, std::size_t inputSize,
+                         std::size_t hiddenSize, std::size_t numLayers,
+                         double dropout, rfp::common::Rng& rng)
+    : dropoutP_(dropout) {
+  if (numLayers == 0) throw std::invalid_argument("StackedLstm: zero layers");
+  layers_.reserve(numLayers);
+  for (std::size_t l = 0; l < numLayers; ++l) {
+    const std::size_t in = l == 0 ? inputSize : hiddenSize;
+    layers_.emplace_back(name + ".layer" + std::to_string(l), in, hiddenSize,
+                         rng);
+  }
+}
+
+std::size_t StackedLstm::hiddenSize() const {
+  return layers_.back().hiddenSize();
+}
+
+std::vector<Matrix> StackedLstm::forward(const std::vector<Matrix>& xs,
+                                         bool training,
+                                         rfp::common::Rng& rng) {
+  dropouts_.assign(layers_.size() > 1 ? layers_.size() - 1 : 0, {});
+  std::vector<Matrix> h = layers_.front().forward(xs);
+  for (std::size_t l = 1; l < layers_.size(); ++l) {
+    auto& layerDropouts = dropouts_[l - 1];
+    layerDropouts.reserve(h.size());
+    std::vector<Matrix> dropped;
+    dropped.reserve(h.size());
+    for (const Matrix& ht : h) {
+      layerDropouts.emplace_back(dropoutP_);
+      dropped.push_back(layerDropouts.back().forward(ht, training, rng));
+    }
+    h = layers_[l].forward(dropped);
+  }
+  return h;
+}
+
+std::vector<Matrix> StackedLstm::backward(const std::vector<Matrix>& dHs) {
+  std::vector<Matrix> grad = dHs;
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    grad = layers_[l].backward(grad);
+    if (l > 0) {
+      auto& layerDropouts = dropouts_[l - 1];
+      for (std::size_t st = 0; st < grad.size(); ++st) {
+        grad[st] = layerDropouts[st].backward(grad[st]);
+      }
+    }
+  }
+  return grad;
+}
+
+ParameterList StackedLstm::parameters() {
+  ParameterList out;
+  for (Lstm& l : layers_) {
+    for (Parameter* p : l.parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+BiLstm::BiLstm(std::string name, std::size_t inputSize,
+               std::size_t hiddenSize, rfp::common::Rng& rng)
+    : fwd_(name + ".fwd", inputSize, hiddenSize, rng),
+      bwd_(name + ".bwd", inputSize, hiddenSize, rng) {}
+
+std::vector<Matrix> BiLstm::forward(const std::vector<Matrix>& xs) {
+  const std::vector<Matrix> hf = fwd_.forward(xs);
+
+  std::vector<Matrix> reversed(xs.rbegin(), xs.rend());
+  std::vector<Matrix> hbRev = bwd_.forward(reversed);
+  std::reverse(hbRev.begin(), hbRev.end());
+
+  std::vector<Matrix> out;
+  out.reserve(xs.size());
+  for (std::size_t t = 0; t < xs.size(); ++t) {
+    out.push_back(concatCols(hf[t], hbRev[t]));
+  }
+  return out;
+}
+
+std::vector<Matrix> BiLstm::backward(const std::vector<Matrix>& dHs) {
+  const std::size_t h = hiddenSize();
+  std::vector<Matrix> dFwd;
+  std::vector<Matrix> dBwdRev(dHs.size());
+  dFwd.reserve(dHs.size());
+  for (std::size_t t = 0; t < dHs.size(); ++t) {
+    dFwd.push_back(sliceCols(dHs[t], 0, h));
+    dBwdRev[dHs.size() - 1 - t] = sliceCols(dHs[t], h, 2 * h);
+  }
+
+  const std::vector<Matrix> dXf = fwd_.backward(dFwd);
+  std::vector<Matrix> dXbRev = bwd_.backward(dBwdRev);
+  std::reverse(dXbRev.begin(), dXbRev.end());
+
+  std::vector<Matrix> dXs;
+  dXs.reserve(dXf.size());
+  for (std::size_t t = 0; t < dXf.size(); ++t) {
+    dXs.push_back(dXf[t] + dXbRev[t]);
+  }
+  return dXs;
+}
+
+ParameterList BiLstm::parameters() {
+  ParameterList out = fwd_.parameters();
+  for (Parameter* p : bwd_.parameters()) out.push_back(p);
+  return out;
+}
+
+}  // namespace rfp::nn

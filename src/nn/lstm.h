@@ -1,0 +1,96 @@
+#pragma once
+
+/// \file lstm.h
+/// LSTM layers with full backpropagation-through-time, plus the stacked and
+/// bidirectional variants the paper's generator (2-layer LSTM) and
+/// discriminator (Bi-LSTM) require (Sec. 6, Fig. 6).
+///
+/// Conventions: sequences are vectors of [batch x features] matrices, one
+/// per timestep. Gate order inside the fused 4H dimension is [i, f, g, o].
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/dropout.h"
+#include "nn/parameter.h"
+
+namespace rfp::nn {
+
+/// Single LSTM layer.
+class Lstm {
+ public:
+  Lstm(std::string name, std::size_t inputSize, std::size_t hiddenSize,
+       rfp::common::Rng& rng);
+
+  std::size_t inputSize() const { return inputSize_; }
+  std::size_t hiddenSize() const { return hiddenSize_; }
+
+  /// Runs the sequence from zero initial state; returns hidden states per
+  /// timestep and caches everything backward() needs.
+  std::vector<Matrix> forward(const std::vector<Matrix>& xs);
+
+  /// BPTT. \p dHs holds the loss gradient w.r.t. each output hidden state
+  /// (same shape as forward's output). Returns gradients w.r.t. each input
+  /// and accumulates the weight gradients.
+  std::vector<Matrix> backward(const std::vector<Matrix>& dHs);
+
+  ParameterList parameters();
+
+ private:
+  struct StepCache {
+    Matrix x, hPrev, cPrev;
+    Matrix i, f, g, o;  ///< post-activation gates
+    Matrix c, tanhC;
+  };
+
+  std::size_t inputSize_;
+  std::size_t hiddenSize_;
+  Parameter wx_;  ///< [input x 4H]
+  Parameter wh_;  ///< [hidden x 4H]
+  Parameter b_;   ///< [1 x 4H]
+  std::vector<StepCache> cache_;
+};
+
+/// Stack of LSTM layers with dropout between layers (not after the last),
+/// mirroring the paper's "two-layer LSTM ... dropout probability 0.5".
+class StackedLstm {
+ public:
+  StackedLstm(std::string name, std::size_t inputSize, std::size_t hiddenSize,
+              std::size_t numLayers, double dropout, rfp::common::Rng& rng);
+
+  std::size_t hiddenSize() const;
+  std::size_t numLayers() const { return layers_.size(); }
+
+  std::vector<Matrix> forward(const std::vector<Matrix>& xs, bool training,
+                              rfp::common::Rng& rng);
+  std::vector<Matrix> backward(const std::vector<Matrix>& dHs);
+
+  ParameterList parameters();
+
+ private:
+  std::vector<Lstm> layers_;
+  std::vector<std::vector<Dropout>> dropouts_;  ///< [layer][timestep]
+  double dropoutP_;
+};
+
+/// Bidirectional LSTM: forward and reverse passes concatenated per step
+/// -> [batch x 2H].
+class BiLstm {
+ public:
+  BiLstm(std::string name, std::size_t inputSize, std::size_t hiddenSize,
+         rfp::common::Rng& rng);
+
+  std::size_t hiddenSize() const { return fwd_.hiddenSize(); }
+
+  std::vector<Matrix> forward(const std::vector<Matrix>& xs);
+  std::vector<Matrix> backward(const std::vector<Matrix>& dHs);
+
+  ParameterList parameters();
+
+ private:
+  Lstm fwd_;
+  Lstm bwd_;
+};
+
+}  // namespace rfp::nn

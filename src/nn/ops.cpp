@@ -1,0 +1,125 @@
+#include "nn/ops.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rfp::nn {
+
+Matrix tanhForward(const Matrix& x) {
+  Matrix y = x;
+  for (double& v : y.data()) v = std::tanh(v);
+  return y;
+}
+
+Matrix tanhBackward(const Matrix& dy, const Matrix& y) {
+  Matrix dx = dy;
+  auto yd = y.data();
+  auto dxd = dx.data();
+  for (std::size_t i = 0; i < dxd.size(); ++i) {
+    dxd[i] *= 1.0 - yd[i] * yd[i];
+  }
+  return dx;
+}
+
+Matrix sigmoidForward(const Matrix& x) {
+  Matrix y = x;
+  for (double& v : y.data()) {
+    // Numerically stable logistic.
+    v = v >= 0.0 ? 1.0 / (1.0 + std::exp(-v))
+                 : std::exp(v) / (1.0 + std::exp(v));
+  }
+  return y;
+}
+
+Matrix sigmoidBackward(const Matrix& dy, const Matrix& y) {
+  Matrix dx = dy;
+  auto yd = y.data();
+  auto dxd = dx.data();
+  for (std::size_t i = 0; i < dxd.size(); ++i) {
+    dxd[i] *= yd[i] * (1.0 - yd[i]);
+  }
+  return dx;
+}
+
+Matrix reluForward(const Matrix& x) {
+  Matrix y = x;
+  for (double& v : y.data()) v = v > 0.0 ? v : 0.0;
+  return y;
+}
+
+Matrix reluBackward(const Matrix& dy, const Matrix& y) {
+  Matrix dx = dy;
+  auto yd = y.data();
+  auto dxd = dx.data();
+  for (std::size_t i = 0; i < dxd.size(); ++i) {
+    if (yd[i] <= 0.0) dxd[i] = 0.0;
+  }
+  return dx;
+}
+
+Matrix concatCols(const Matrix& a, const Matrix& b) {
+  if (a.rows() != b.rows()) {
+    throw std::invalid_argument("concatCols: row count mismatch");
+  }
+  Matrix out(a.rows(), a.cols() + b.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c);
+    for (std::size_t c = 0; c < b.cols(); ++c) out(r, a.cols() + c) = b(r, c);
+  }
+  return out;
+}
+
+Matrix sliceCols(const Matrix& m, std::size_t from, std::size_t to) {
+  if (from > to || to > m.cols()) {
+    throw std::invalid_argument("sliceCols: bad column range");
+  }
+  Matrix out(m.rows(), to - from);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = from; c < to; ++c) out(r, c - from) = m(r, c);
+  }
+  return out;
+}
+
+Matrix addRowBroadcast(const Matrix& m, const Matrix& row) {
+  if (row.rows() != 1 || row.cols() != m.cols()) {
+    throw std::invalid_argument("addRowBroadcast: row shape mismatch");
+  }
+  Matrix out = m;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) out(r, c) += row(0, c);
+  }
+  return out;
+}
+
+Matrix colSums(const Matrix& m) {
+  Matrix out(1, m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) out(0, c) += m(r, c);
+  }
+  return out;
+}
+
+double meanAll(const Matrix& m) {
+  if (m.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : m.data()) s += v;
+  return s / static_cast<double>(m.rows() * m.cols());
+}
+
+void fillUniform(Matrix& m, double limit, rfp::common::Rng& rng) {
+  for (double& v : m.data()) v = rng.uniform(-limit, limit);
+}
+
+void xavierInit(Matrix& m, std::size_t fanIn, std::size_t fanOut,
+                rfp::common::Rng& rng) {
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(fanIn + fanOut));
+  fillUniform(m, limit, rng);
+}
+
+void fillGaussian(Matrix& m, rfp::common::Rng& rng, double mean,
+                  double stddev) {
+  for (double& v : m.data()) v = rng.gaussian(mean, stddev);
+}
+
+}  // namespace rfp::nn

@@ -1,0 +1,57 @@
+#pragma once
+
+/// \file ops.h
+/// Element-wise activations and small matrix utilities used by the layers.
+/// Activations come in forward/backward pairs; backward takes the *output*
+/// of the forward pass (cheaper than re-deriving from the input).
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+
+namespace rfp::nn {
+
+using linalg::Matrix;
+
+// --- activations -----------------------------------------------------------
+
+Matrix tanhForward(const Matrix& x);
+/// dX given dY and the forward output y = tanh(x): dX = dY * (1 - y^2).
+Matrix tanhBackward(const Matrix& dy, const Matrix& y);
+
+Matrix sigmoidForward(const Matrix& x);
+/// dX given dY and y = sigmoid(x): dX = dY * y * (1 - y).
+Matrix sigmoidBackward(const Matrix& dy, const Matrix& y);
+
+Matrix reluForward(const Matrix& x);
+/// dX given dY and y = relu(x): dX = dY * [y > 0].
+Matrix reluBackward(const Matrix& dy, const Matrix& y);
+
+// --- shape utilities --------------------------------------------------------
+
+/// Horizontal concatenation [a | b]; row counts must match.
+Matrix concatCols(const Matrix& a, const Matrix& b);
+
+/// Columns [from, to) of m.
+Matrix sliceCols(const Matrix& m, std::size_t from, std::size_t to);
+
+/// Adds a 1 x C row vector to every row of an R x C matrix.
+Matrix addRowBroadcast(const Matrix& m, const Matrix& row);
+
+/// 1 x C column sums of an R x C matrix (the bias gradient).
+Matrix colSums(const Matrix& m);
+
+/// Mean of all entries.
+double meanAll(const Matrix& m);
+
+/// Fills \p m with uniform samples in [-limit, limit].
+void fillUniform(Matrix& m, double limit, rfp::common::Rng& rng);
+
+/// Xavier/Glorot uniform initialization for a fanIn x fanOut weight.
+void xavierInit(Matrix& m, std::size_t fanIn, std::size_t fanOut,
+                rfp::common::Rng& rng);
+
+/// Standard-normal fill (for noise vectors).
+void fillGaussian(Matrix& m, rfp::common::Rng& rng, double mean = 0.0,
+                  double stddev = 1.0);
+
+}  // namespace rfp::nn

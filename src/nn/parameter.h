@@ -1,0 +1,47 @@
+#pragma once
+
+/// \file parameter.h
+/// Trainable parameter storage shared by every layer: a value matrix plus
+/// the gradient accumulated by backward passes.
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rfp::nn {
+
+using linalg::Matrix;
+
+/// One trainable tensor.
+struct Parameter {
+  std::string name;
+  Matrix value;
+  Matrix grad;
+
+  Parameter() = default;
+  Parameter(std::string n, Matrix v)
+      : name(std::move(n)), value(std::move(v)),
+        grad(value.rows(), value.cols()) {}
+
+  void zeroGrad() { grad = Matrix(value.rows(), value.cols()); }
+  std::size_t size() const { return value.rows() * value.cols(); }
+};
+
+/// Non-owning list of a module's parameters, used by optimizers, gradient
+/// clipping, and checkpointing.
+using ParameterList = std::vector<Parameter*>;
+
+/// Total number of scalar parameters in a list.
+inline std::size_t parameterCount(const ParameterList& params) {
+  std::size_t n = 0;
+  for (const Parameter* p : params) n += p->size();
+  return n;
+}
+
+/// Zeroes every gradient in the list.
+inline void zeroGradients(const ParameterList& params) {
+  for (Parameter* p : params) p->zeroGrad();
+}
+
+}  // namespace rfp::nn

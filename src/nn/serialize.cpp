@@ -1,0 +1,44 @@
+#include "nn/serialize.h"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace rfp::nn {
+
+void saveParameters(const std::string& path, const ParameterList& params) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("saveParameters: cannot open " + path);
+  out.precision(17);
+  out << params.size() << '\n';
+  for (const Parameter* p : params) {
+    out << p->name << ' ' << p->value.rows() << ' ' << p->value.cols()
+        << '\n';
+    for (double v : p->value.data()) out << v << ' ';
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("saveParameters: write failed: " + path);
+}
+
+void loadParameters(const std::string& path, const ParameterList& params) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("loadParameters: cannot open " + path);
+  std::size_t count = 0;
+  in >> count;
+  if (count != params.size()) {
+    throw std::runtime_error("loadParameters: parameter count mismatch");
+  }
+  for (Parameter* p : params) {
+    std::string name;
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    in >> name >> rows >> cols;
+    if (name != p->name || rows != p->value.rows() ||
+        cols != p->value.cols()) {
+      throw std::runtime_error("loadParameters: mismatch at " + p->name);
+    }
+    for (double& v : p->value.data()) in >> v;
+  }
+  if (!in) throw std::runtime_error("loadParameters: truncated file " + path);
+}
+
+}  // namespace rfp::nn

@@ -1,0 +1,21 @@
+#pragma once
+
+/// \file serialize.h
+/// Plain-text checkpointing of parameter lists, so a trained GAN can be
+/// saved once and reused by benchmarks and examples.
+
+#include <string>
+
+#include "nn/parameter.h"
+
+namespace rfp::nn {
+
+/// Writes every parameter (name, shape, values) to \p path.
+/// Throws std::runtime_error on IO failure.
+void saveParameters(const std::string& path, const ParameterList& params);
+
+/// Loads values into an *existing* parameter list; names and shapes must
+/// match the file exactly (this guards against architecture mismatch).
+void loadParameters(const std::string& path, const ParameterList& params);
+
+}  // namespace rfp::nn

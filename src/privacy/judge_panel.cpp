@@ -1,0 +1,106 @@
+#include "privacy/judge_panel.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "trajectory/features.h"
+
+namespace rfp::privacy {
+
+namespace {
+
+/// Feature indices judges are assumed to be sensitive to: straightness,
+/// step-length std, mean |turn|, step autocorrelation, curvature.
+constexpr std::size_t kJudgeFeatures[] = {3, 5, 6, 8, 9};
+
+}  // namespace
+
+HumanJudgePanel::HumanJudgePanel(
+    const std::vector<trajectory::Trace>& referenceReal, StudyOptions options)
+    : options_(options) {
+  if (referenceReal.size() < 8) {
+    throw std::invalid_argument("HumanJudgePanel: need >= 8 reference traces");
+  }
+  const linalg::Matrix f = trajectory::featureMatrix(referenceReal);
+  featureMean_.assign(f.cols(), 0.0);
+  featureStd_.assign(f.cols(), 0.0);
+  for (std::size_t c = 0; c < f.cols(); ++c) {
+    double m = 0.0;
+    for (std::size_t r = 0; r < f.rows(); ++r) m += f(r, c);
+    m /= static_cast<double>(f.rows());
+    double v = 0.0;
+    for (std::size_t r = 0; r < f.rows(); ++r) {
+      v += (f(r, c) - m) * (f(r, c) - m);
+    }
+    v /= static_cast<double>(f.rows() - 1);
+    featureMean_[c] = m;
+    featureStd_[c] = std::sqrt(std::max(v, 1e-12));
+  }
+
+  // Calibration anchor: where a typical real trace sits on the judges'
+  // plausibility scale.
+  double sum = 0.0;
+  for (const auto& t : referenceReal) sum += plausibility(t);
+  meanReferencePlausibility_ = sum / static_cast<double>(referenceReal.size());
+}
+
+double HumanJudgePanel::plausibility(const trajectory::Trace& trace) const {
+  const std::vector<double> f = trajectory::traceFeatures(trace);
+  double sumAbsZ = 0.0;
+  for (std::size_t idx : kJudgeFeatures) {
+    sumAbsZ += std::fabs((f[idx] - featureMean_[idx]) / featureStd_[idx]);
+  }
+  return -sumAbsZ / static_cast<double>(std::size(kJudgeFeatures));
+}
+
+bool HumanJudgePanel::perceivedAsReal(const trajectory::Trace& trace,
+                                      rfp::common::Rng& rng) const {
+  // Logistic decision on noisy plausibility, biased so a typical real
+  // trace is called real with probability baselinePerceivedReal (even a
+  // genuine trace is called fake ~42% of the time in the paper's study).
+  const double p0 = options_.baselinePerceivedReal;
+  const double baseLogit = std::log(p0 / (1.0 - p0));
+  const double score = plausibility(trace) - meanReferencePlausibility_ +
+                       rng.gaussian(0.0, options_.judgeNoiseSigma);
+  const double logit = options_.decisionSlope * score + baseLogit;
+  const double pReal = 1.0 / (1.0 + std::exp(-logit));
+  return rng.uniform() < pReal;
+}
+
+StudyResult HumanJudgePanel::runStudy(
+    const std::vector<trajectory::Trace>& realSet,
+    const std::vector<trajectory::Trace>& fakeSet,
+    rfp::common::Rng& rng) const {
+  if (realSet.empty() || fakeSet.empty()) {
+    throw std::invalid_argument("runStudy: empty stimulus set");
+  }
+  StudyResult result;
+  for (int p = 0; p < options_.participants; ++p) {
+    for (int i = 0; i < options_.realPerParticipant; ++i) {
+      const trajectory::Trace& t =
+          realSet[static_cast<std::size_t>(rng.uniformInt(
+              0, static_cast<int>(realSet.size()) - 1))];
+      if (perceivedAsReal(t, rng)) {
+        ++result.realPerceivedReal;
+      } else {
+        ++result.realPerceivedFake;
+      }
+    }
+    for (int i = 0; i < options_.fakePerParticipant; ++i) {
+      const trajectory::Trace& t =
+          fakeSet[static_cast<std::size_t>(rng.uniformInt(
+              0, static_cast<int>(fakeSet.size()) - 1))];
+      if (perceivedAsReal(t, rng)) {
+        ++result.fakePerceivedReal;
+      } else {
+        ++result.fakePerceivedFake;
+      }
+    }
+  }
+  result.chiSquare = rfp::common::chiSquare2x2(
+      result.realPerceivedReal, result.fakePerceivedReal,
+      result.realPerceivedFake, result.fakePerceivedFake);
+  return result;
+}
+
+}  // namespace rfp::privacy

@@ -1,0 +1,92 @@
+#include "privacy/mutual_information.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/special.h"
+
+namespace rfp::privacy {
+
+double entropyBits(const std::vector<double>& pmf) {
+  double h = 0.0;
+  for (double p : pmf) {
+    if (p > 0.0) h -= p * std::log2(p);
+  }
+  return h;
+}
+
+std::vector<double> binomialDistribution(int n, double p) {
+  if (n < 0) throw std::invalid_argument("binomialDistribution: n >= 0");
+  std::vector<double> pmf(static_cast<std::size_t>(n) + 1);
+  for (int k = 0; k <= n; ++k) {
+    pmf[static_cast<std::size_t>(k)] = rfp::common::binomialPmf(n, p, k);
+  }
+  return pmf;
+}
+
+std::vector<double> observedCountDistribution(const OccupancyModel& model) {
+  const auto px = binomialDistribution(model.maxOccupants,
+                                       model.moveProbability);
+  const auto py = binomialDistribution(model.maxPhantoms,
+                                       model.phantomProbability);
+  std::vector<double> pz(px.size() + py.size() - 1, 0.0);
+  for (std::size_t x = 0; x < px.size(); ++x) {
+    for (std::size_t y = 0; y < py.size(); ++y) {
+      pz[x + y] += px[x] * py[y];
+    }
+  }
+  return pz;
+}
+
+double occupancyMutualInformation(const OccupancyModel& model) {
+  const auto px = binomialDistribution(model.maxOccupants,
+                                       model.moveProbability);
+  const auto py = binomialDistribution(model.maxPhantoms,
+                                       model.phantomProbability);
+  const auto pz = observedCountDistribution(model);
+
+  // I(X, Z) = sum_x sum_z P(z|x) P(x) log2( P(z|x) / P(z) ), with
+  // P(z|x) = P_Y(z - x) because Z = X + Y and X, Y independent (Eq. 6).
+  double mi = 0.0;
+  for (std::size_t x = 0; x < px.size(); ++x) {
+    if (px[x] <= 0.0) continue;
+    for (std::size_t y = 0; y < py.size(); ++y) {
+      const double pzGivenX = py[y];
+      if (pzGivenX <= 0.0) continue;
+      const std::size_t z = x + y;
+      mi += pzGivenX * px[x] * std::log2(pzGivenX / pz[z]);
+    }
+  }
+  return mi;
+}
+
+std::vector<MiPoint> mutualInformationSweep(int maxOccupants,
+                                            double moveProbability,
+                                            int maxPhantoms, int numPoints) {
+  if (numPoints < 2) {
+    throw std::invalid_argument("mutualInformationSweep: numPoints >= 2");
+  }
+  std::vector<MiPoint> out;
+  out.reserve(static_cast<std::size_t>(numPoints));
+  for (int i = 0; i < numPoints; ++i) {
+    OccupancyModel model;
+    model.maxOccupants = maxOccupants;
+    model.moveProbability = moveProbability;
+    model.maxPhantoms = maxPhantoms;
+    model.phantomProbability =
+        static_cast<double>(i) / static_cast<double>(numPoints - 1);
+    out.push_back({model.phantomProbability,
+                   occupancyMutualInformation(model)});
+  }
+  return out;
+}
+
+double breathingGuessProbability(int realCount, int fakeCount) {
+  if (realCount < 0 || fakeCount < 0 || realCount + fakeCount == 0) {
+    throw std::invalid_argument("breathingGuessProbability: bad counts");
+  }
+  return static_cast<double>(realCount) /
+         static_cast<double>(realCount + fakeCount);
+}
+
+}  // namespace rfp::privacy

@@ -1,0 +1,52 @@
+#pragma once
+
+/// \file mutual_information.h
+/// Information-theoretic privacy analysis (paper Sec. 7, Fig. 7).
+///
+/// X ~ Bin(N, p) is the number of real humans moving, Y ~ Bin(M, q) the
+/// number of phantoms RF-Protect injects, and the adversary observes
+/// Z = X + Y. The mutual information I(X, Z) (paper Eq. 5-6) quantifies how
+/// much the observation leaks about the true occupancy distribution.
+
+#include <vector>
+
+namespace rfp::privacy {
+
+/// Parameters of the occupancy model.
+struct OccupancyModel {
+  int maxOccupants = 4;     ///< N
+  double moveProbability = 0.2;  ///< p
+  int maxPhantoms = 4;      ///< M
+  double phantomProbability = 0.5;  ///< q (controlled by RF-Protect)
+};
+
+/// Shannon entropy (bits) of a discrete distribution; zero terms skipped.
+double entropyBits(const std::vector<double>& pmf);
+
+/// pmf of Bin(n, p) over k = 0..n.
+std::vector<double> binomialDistribution(int n, double p);
+
+/// pmf of Z = X + Y for the model (discrete convolution of binomials).
+std::vector<double> observedCountDistribution(const OccupancyModel& model);
+
+/// I(X, Z) in bits, evaluated exactly from paper Eq. 6.
+double occupancyMutualInformation(const OccupancyModel& model);
+
+/// One point of the Fig. 7 sweep.
+struct MiPoint {
+  double q = 0.0;
+  double mutualInformationBits = 0.0;
+};
+
+/// I(X, Z) as a function of q for a fixed M (one Fig. 7 curve).
+std::vector<MiPoint> mutualInformationSweep(int maxOccupants,
+                                            double moveProbability,
+                                            int maxPhantoms,
+                                            int numPoints = 51);
+
+/// The eavesdropper's best breathing-identification success probability
+/// when N real and M fake breathing patterns are present: N / (M + N)
+/// (paper Sec. 7, "Breath Monitoring").
+double breathingGuessProbability(int realCount, int fakeCount);
+
+}  // namespace rfp::privacy

@@ -1,0 +1,76 @@
+#include "privacy/occupancy_attack.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rfp::privacy {
+
+namespace {
+
+void validate(const OccupancyModel& model, std::size_t trials) {
+  if (trials == 0) throw std::invalid_argument("attack: zero trials");
+  if (model.maxOccupants < 0 || model.maxPhantoms < 0) {
+    throw std::invalid_argument("attack: negative counts");
+  }
+}
+
+}  // namespace
+
+AttackResult occupancyStatusAttack(const OccupancyModel& model,
+                                   std::size_t trials,
+                                   rfp::common::Rng& rng) {
+  validate(model, trials);
+  std::size_t correctProtected = 0;
+  std::size_t correctBaseline = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const int x = rng.binomial(model.maxOccupants, model.moveProbability);
+    const int y = rng.binomial(model.maxPhantoms, model.phantomProbability);
+    const bool truth = x > 0;
+    // Adversary sees Z and answers "occupied" iff Z > 0.
+    if (((x + y) > 0) == truth) ++correctProtected;
+    if ((x > 0) == truth) ++correctBaseline;  // M = 0 world
+  }
+  return {static_cast<double>(correctProtected) / trials,
+          static_cast<double>(correctBaseline) / trials};
+}
+
+AttackResult occupantCountingAttack(const OccupancyModel& model,
+                                    std::size_t trials,
+                                    rfp::common::Rng& rng) {
+  validate(model, trials);
+  std::size_t correctProtected = 0;
+  std::size_t correctBaseline = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const int x = rng.binomial(model.maxOccupants, model.moveProbability);
+    const int y = rng.binomial(model.maxPhantoms, model.phantomProbability);
+    if (x + y == x) ++correctProtected;  // correct only when y == 0
+    ++correctBaseline;                   // without phantoms Z == X always
+  }
+  return {static_cast<double>(correctProtected) / trials,
+          static_cast<double>(correctBaseline) / trials};
+}
+
+DistributionAttackResult occupancyDistributionAttack(
+    const OccupancyModel& model, std::size_t samples, rfp::common::Rng& rng) {
+  validate(model, samples);
+  double sumZ = 0.0;
+  double sumX = 0.0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const int x = rng.binomial(model.maxOccupants, model.moveProbability);
+    const int y = rng.binomial(model.maxPhantoms, model.phantomProbability);
+    sumZ += static_cast<double>(x + y);
+    sumX += static_cast<double>(x);
+  }
+  DistributionAttackResult out;
+  out.trueMeanOccupancy =
+      static_cast<double>(model.maxOccupants) * model.moveProbability;
+  out.estimatedMeanOccupancy = sumZ / static_cast<double>(samples);
+  out.absoluteError =
+      std::fabs(out.estimatedMeanOccupancy - out.trueMeanOccupancy);
+  // Without phantoms the estimator sees X directly; only sampling noise.
+  out.baselineAbsoluteError =
+      std::fabs(sumX / static_cast<double>(samples) - out.trueMeanOccupancy);
+  return out;
+}
+
+}  // namespace rfp::privacy

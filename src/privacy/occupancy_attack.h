@@ -1,0 +1,49 @@
+#pragma once
+
+/// \file occupancy_attack.h
+/// Monte-Carlo versions of the eavesdropper inferences the paper analyzes
+/// (Sec. 7): occupancy status, occupant counting, and distribution-level
+/// estimation -- each evaluated with and without RF-Protect phantoms.
+
+#include <vector>
+
+#include "common/rng.h"
+#include "privacy/mutual_information.h"
+
+namespace rfp::privacy {
+
+/// Outcome of a simulated attack campaign.
+struct AttackResult {
+  double accuracy = 0.0;        ///< fraction of correct inferences
+  double baselineAccuracy = 0.0;  ///< same attack with no phantoms (M = 0)
+};
+
+/// Occupancy-status attack: "is someone moving at home right now?" The
+/// adversary answers Z > 0. With phantoms present, the answer is forced
+/// positive whenever a phantom is active -- accuracy collapses toward the
+/// prior.
+AttackResult occupancyStatusAttack(const OccupancyModel& model,
+                                   std::size_t trials,
+                                   rfp::common::Rng& rng);
+
+/// Occupant-counting attack: adversary reports Z as the count; correct only
+/// when no phantom happened to be active.
+AttackResult occupantCountingAttack(const OccupancyModel& model,
+                                    std::size_t trials,
+                                    rfp::common::Rng& rng);
+
+/// Distribution-level attack: the adversary estimates E[X] from the
+/// empirical mean of Z (knowing RF-Protect exists but not q; it assumes
+/// q = 0). Returns absolute error of the estimate in expected-person units,
+/// plus the no-defense error.
+struct DistributionAttackResult {
+  double estimatedMeanOccupancy = 0.0;
+  double trueMeanOccupancy = 0.0;
+  double absoluteError = 0.0;
+  double baselineAbsoluteError = 0.0;
+};
+
+DistributionAttackResult occupancyDistributionAttack(
+    const OccupancyModel& model, std::size_t samples, rfp::common::Rng& rng);
+
+}  // namespace rfp::privacy

@@ -1,0 +1,35 @@
+#include "privacy/rcs.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.h"
+
+namespace rfp::privacy {
+
+double amplitudeFluctuation(std::span<const double> powers) {
+  if (powers.size() < 3) return 0.0;
+  std::vector<double> logs;
+  logs.reserve(powers.size());
+  for (double p : powers) logs.push_back(std::log(std::max(p, 1e-12)));
+  return rfp::common::stddev(logs);
+}
+
+RcsClassifier::RcsClassifier(std::span<const double> humanStatistics,
+                             double sigmas) {
+  if (humanStatistics.size() < 3) {
+    throw std::invalid_argument("RcsClassifier: need >= 3 reference tracks");
+  }
+  const double mean = rfp::common::mean(humanStatistics);
+  const double sd = rfp::common::stddev(humanStatistics);
+  threshold_ = mean - sigmas * sd;
+}
+
+RcsVerdict RcsClassifier::classify(std::span<const double> trackPowers) const {
+  RcsVerdict v;
+  v.statistic = amplitudeFluctuation(trackPowers);
+  v.flaggedAsReflector = v.statistic < threshold_;
+  return v;
+}
+
+}  // namespace rfp::privacy

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file rcs.h
+/// Radar-cross-section fingerprinting (paper Sec. 8, "Radar Cross
+/// Section"): a human's reflected power fluctuates with posture and
+/// orientation, while a naive reflector returns an eerily steady echo. An
+/// eavesdropper can threshold on amplitude fluctuation to unmask phantoms;
+/// RF-Protect's counter-counter is to modulate the LNA gain with a
+/// human-like fluctuation profile (ReflectorController::RcsSpoofConfig).
+
+#include <span>
+#include <vector>
+
+namespace rfp::privacy {
+
+/// Amplitude-fluctuation statistic of a track: standard deviation of the
+/// log-power series (scale-invariant; insensitive to absolute RCS).
+/// Returns 0 for fewer than 3 samples.
+double amplitudeFluctuation(std::span<const double> powers);
+
+/// Decision of the RCS classifier.
+struct RcsVerdict {
+  double statistic = 0.0;
+  bool flaggedAsReflector = false;  ///< "too steady to be human"
+};
+
+/// Classifier calibrated on real-human power tracks: flags tracks whose
+/// fluctuation statistic falls below mean - k*sigma of the human reference.
+class RcsClassifier {
+ public:
+  /// \p humanStatistics: amplitudeFluctuation() of >= 3 reference human
+  /// tracks. \p sigmas: how far below the human mean counts as suspicious.
+  explicit RcsClassifier(std::span<const double> humanStatistics,
+                         double sigmas = 2.0);
+
+  double threshold() const { return threshold_; }
+
+  RcsVerdict classify(std::span<const double> trackPowers) const;
+
+ private:
+  double threshold_;
+};
+
+}  // namespace rfp::privacy

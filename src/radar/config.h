@@ -1,0 +1,125 @@
+#pragma once
+
+/// \file config.h
+/// FMCW radar configuration mirroring the paper's prototype (Sec. 9.1):
+/// a 6-7 GHz chirp swept over 500 us (TI LMX2492EVM-class generator) and a
+/// seven-element receive array.
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "common/constants.h"
+#include "common/vec2.h"
+
+namespace rfp::radar {
+
+/// Chirp (sweep) parameters.
+struct ChirpConfig {
+  double startHz = rfp::common::kChirpStartHz;  ///< sweep start (6 GHz)
+  double stopHz = rfp::common::kChirpStopHz;    ///< sweep stop (7 GHz)
+  double durationS = rfp::common::kChirpDurationS;  ///< sweep time (500 us)
+  double sampleRateHz = 1.0e6;  ///< beat-signal ADC rate
+
+  /// Swept bandwidth B [Hz].
+  double bandwidth() const { return stopHz - startHz; }
+
+  /// Chirp slope sl = B / T [Hz/s]; the constant that converts beat
+  /// frequency to distance (paper Eq. 1).
+  double slope() const { return bandwidth() / durationS; }
+
+  /// Native range resolution C / 2B (paper Sec. 3); 15 cm for 1 GHz.
+  double rangeResolution() const {
+    return rfp::common::kSpeedOfLight / (2.0 * bandwidth());
+  }
+
+  /// Beat-signal samples captured per chirp.
+  std::size_t samplesPerChirp() const {
+    return static_cast<std::size_t>(durationS * sampleRateHz);
+  }
+
+  /// Beat frequency produced by a reflector at distance \p d (paper Eq. 1
+  /// inverted): f = 2 * sl * d / C.
+  double beatFrequencyAt(double distanceM) const {
+    return 2.0 * slope() * distanceM / rfp::common::kSpeedOfLight;
+  }
+
+  /// Distance corresponding to beat frequency \p f (paper Eq. 1).
+  double distanceAt(double beatHz) const {
+    return rfp::common::kSpeedOfLight * beatHz / (2.0 * slope());
+  }
+
+  /// Effective carrier wavelength [m], evaluated at the sweep *center*
+  /// frequency: the phase of a beat tone integrated over the chirp
+  /// corresponds to f0 + B/2, so array steering must use this wavelength
+  /// (using the start frequency biases angle estimates by ~B/2f0).
+  double wavelength() const {
+    return rfp::common::kSpeedOfLight / (0.5 * (startHz + stopHz));
+  }
+
+  /// Throws std::invalid_argument when parameters are inconsistent.
+  void validate() const {
+    if (stopHz <= startHz) {
+      throw std::invalid_argument("ChirpConfig: stop must exceed start");
+    }
+    if (durationS <= 0.0 || sampleRateHz <= 0.0) {
+      throw std::invalid_argument("ChirpConfig: non-positive timing");
+    }
+    if (samplesPerChirp() < 8) {
+      throw std::invalid_argument("ChirpConfig: too few samples per chirp");
+    }
+  }
+};
+
+/// Full radar configuration: chirp + array + placement + front-end noise.
+struct RadarConfig {
+  ChirpConfig chirp{};
+  int numAntennas = rfp::common::kRadarAntennas;  ///< ULA elements
+  double antennaSpacingM = 0.0;  ///< 0 -> default to lambda / 2
+
+  rfp::common::Vec2 position{};   ///< array reference element location
+  rfp::common::Vec2 arrayAxis{1.0, 0.0};  ///< unit vector along the ULA
+
+  double frameRateHz = 20.0;   ///< chirp frames per second
+  double noisePower = 1e-4;    ///< AWGN power added to each beat sample
+  double pathLossRefM = 3.0;   ///< distance at which unit amplitude holds
+  double pathLossExponent = 2.0;  ///< amplitude ~ (ref / d)^exp
+
+  /// Array spacing as a fraction of the carrier wavelength when
+  /// antennaSpacingM is 0. Slightly below lambda/2 (the common practical
+  /// choice) so near-endfire reflections -- e.g. a reflector panel mounted
+  /// along the same wall as the radar -- cannot alias coherently to the
+  /// opposite endfire direction.
+  double spacingWavelengths = 0.4;
+
+  /// Effective antenna spacing.
+  double spacing() const {
+    return antennaSpacingM > 0.0
+               ? antennaSpacingM
+               : spacingWavelengths * chirp.wavelength();
+  }
+
+  /// World position of array element \p k.
+  rfp::common::Vec2 antennaPosition(int k) const {
+    return position + arrayAxis * (spacing() * static_cast<double>(k));
+  }
+
+  /// Approximate angular resolution of the array, pi / K (paper Sec. 5.2).
+  double angularResolution() const {
+    return rfp::common::pi() / static_cast<double>(numAntennas);
+  }
+
+  void validate() const {
+    chirp.validate();
+    if (numAntennas < 1) {
+      throw std::invalid_argument("RadarConfig: need at least one antenna");
+    }
+    if (frameRateHz <= 0.0) {
+      throw std::invalid_argument("RadarConfig: frame rate must be positive");
+    }
+    if (noisePower < 0.0) {
+      throw std::invalid_argument("RadarConfig: negative noise power");
+    }
+  }
+};
+
+}  // namespace rfp::radar

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file doppler.h
+/// Range-Doppler processing -- the *other* moving-target filter the paper's
+/// introduction credits eavesdroppers with ("e.g. by background subtraction
+/// or doppler shift filtering"). A burst of chirps is range-FFT'd per chirp
+/// and then FFT'd across chirps (slow time): static clutter lands in the
+/// zero-Doppler column and is excised; movers appear at their radial
+/// velocity.
+///
+/// Interaction with RF-Protect: a reflector whose switch waveform is
+/// re-triggered per burst has *constant* sideband phase across chirps and
+/// would land at zero Doppler -- a Doppler-filtering eavesdropper could
+/// excise the phantom like furniture. A *free-running* switch advances its
+/// phase by 2*pi*f_switch*PRI per chirp, aliasing to an apparent Doppler of
+/// (f_switch mod PRF); the controller can nudge f_switch (by less than a
+/// range bin's worth) so the phantom's apparent velocity matches its
+/// trajectory (see ReflectorController::dopplerAlignedSwitchHz).
+
+#include <vector>
+
+#include "radar/config.h"
+#include "radar/frame.h"
+
+namespace rfp::radar {
+
+/// Power over (range, radial velocity) for one burst.
+struct RangeDopplerMap {
+  std::vector<double> rangesM;        ///< rows
+  std::vector<double> velocitiesMps;  ///< columns (negative = approaching)
+  std::vector<double> power;          ///< row-major
+
+  std::size_t numRanges() const { return rangesM.size(); }
+  std::size_t numVelocities() const { return velocitiesMps.size(); }
+  double at(std::size_t r, std::size_t v) const {
+    return power[r * velocitiesMps.size() + v];
+  }
+  double& at(std::size_t r, std::size_t v) {
+    return power[r * velocitiesMps.size() + v];
+  }
+
+  /// (rangeIdx, velocityIdx) of the strongest cell.
+  std::pair<std::size_t, std::size_t> argmax() const;
+
+  /// Strongest cell power.
+  double maxPower() const;
+
+  /// Index of the column whose velocity is closest to zero.
+  std::size_t zeroVelocityColumn() const;
+
+  /// Zeroes the +-\p guard columns around zero velocity -- the Doppler
+  /// moving-target-indication filter.
+  void suppressZeroDoppler(std::size_t guard = 1);
+};
+
+/// Doppler processing options.
+struct DopplerOptions {
+  int antenna = 0;             ///< receive chain used for the map
+  std::size_t fftSize = 0;     ///< slow-time FFT size; 0 -> next pow2
+  double maxRangeM = 17.0;
+  double minRangeM = 0.4;
+};
+
+/// Computes the range-Doppler map of a burst of equally spaced chirps.
+/// Frames must share shape; chirp spacing (PRI) is taken from the first two
+/// timestamps. Throws std::invalid_argument for fewer than 4 chirps or
+/// non-increasing timestamps.
+RangeDopplerMap computeRangeDoppler(const std::vector<Frame>& burst,
+                                    const RadarConfig& config,
+                                    const DopplerOptions& options = {});
+
+}  // namespace rfp::radar

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file frame.h
+/// One radar frame: the complex beat signal captured on every antenna for a
+/// single chirp (the paper calls the 7-beat matrix "a frame", Sec. 9.1).
+
+#include <complex>
+#include <stdexcept>
+#include <vector>
+
+namespace rfp::radar {
+
+using Complex = std::complex<double>;
+
+/// Beat-signal samples for one chirp across all antennas.
+struct Frame {
+  /// samples[k][n] = beat sample n on antenna k.
+  std::vector<std::vector<Complex>> samples;
+  double timestampS = 0.0;
+
+  std::size_t numAntennas() const { return samples.size(); }
+  std::size_t samplesPerChirp() const {
+    return samples.empty() ? 0 : samples.front().size();
+  }
+
+  /// Element-wise difference (this - other); the paper's background
+  /// subtraction subtracts successive frames. Throws on shape mismatch.
+  Frame operator-(const Frame& other) const {
+    if (numAntennas() != other.numAntennas() ||
+        samplesPerChirp() != other.samplesPerChirp()) {
+      throw std::invalid_argument("Frame subtraction: shape mismatch");
+    }
+    Frame out = *this;
+    for (std::size_t k = 0; k < samples.size(); ++k) {
+      for (std::size_t n = 0; n < samples[k].size(); ++n) {
+        out.samples[k][n] -= other.samples[k][n];
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace rfp::radar

@@ -1,0 +1,69 @@
+#include "radar/frontend.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "signal/noise.h"
+
+namespace rfp::radar {
+
+using rfp::common::Vec2;
+
+Frontend::Frontend(RadarConfig config) : config_(std::move(config)) {
+  config_.validate();
+}
+
+double Frontend::pathAmplitude(double distanceM) const {
+  const double d = std::max(distanceM, 0.3);
+  return std::pow(config_.pathLossRefM / d, config_.pathLossExponent);
+}
+
+Frame Frontend::synthesize(std::span<const env::PointScatterer> scatterers,
+                           double timestampS, rfp::common::Rng& rng) const {
+  const std::size_t numSamples = config_.chirp.samplesPerChirp();
+  const int numAntennas = config_.numAntennas;
+  const double dt = 1.0 / config_.chirp.sampleRateHz;
+  const double sl = config_.chirp.slope();
+  const double f0 = config_.chirp.startHz;
+  const double twoPi = 2.0 * rfp::common::pi();
+  const Vec2 txPos = config_.position;  // TX colocated with element 0
+
+  Frame frame;
+  frame.timestampS = timestampS;
+  frame.samples.assign(numAntennas, std::vector<Complex>(numSamples));
+
+  for (const env::PointScatterer& s : scatterers) {
+    const double dTx =
+        (s.position - txPos).norm() + s.radialOffsetM;
+    const double amp = s.amplitude * pathAmplitude(dTx);
+    if (amp <= 0.0) continue;
+
+    for (int k = 0; k < numAntennas; ++k) {
+      const double dRx =
+          (s.position - config_.antennaPosition(k)).norm() + s.radialOffsetM;
+      const double tau = (dTx + dRx) / rfp::common::kSpeedOfLight;
+      const double beatHz = sl * tau + s.beatFreqOffsetHz;
+      const double basePhase = twoPi * f0 * tau + s.phaseOffsetRad;
+
+      // Accumulate the tone with a per-sample phase rotation; the recurrence
+      // avoids numSamples sin/cos calls per scatterer-antenna pair.
+      const Complex rot =
+          std::polar(1.0, twoPi * beatHz * dt);
+      Complex phasor = std::polar(amp, basePhase);
+      std::vector<Complex>& dst = frame.samples[k];
+      for (std::size_t n = 0; n < numSamples; ++n) {
+        dst[n] += phasor;
+        phasor *= rot;
+      }
+    }
+  }
+
+  if (config_.noisePower > 0.0) {
+    for (auto& antenna : frame.samples) {
+      rfp::signal::addAwgn(antenna, config_.noisePower, rng);
+    }
+  }
+  return frame;
+}
+
+}  // namespace rfp::radar

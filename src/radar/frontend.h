@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file frontend.h
+/// Simulated FMCW front end: turns a list of point scatterers into the
+/// complex beat signal each receive antenna would capture.
+///
+/// Physics. The radar transmits a chirp f(t) = f0 + sl*t. A reflection with
+/// round-trip delay tau mixes down to a tone exp(j*2*pi*(sl*tau*t + f0*tau))
+/// (paper Sec. 3). We use exact per-antenna delays
+/// tau_k = (|s - p_tx| + |s - p_k|)/C, which yields both the beat frequency
+/// (range) and the across-array phase gradient (angle) without assuming the
+/// far field. RF-Protect's switching adds `beatFreqOffsetHz` to the tone and
+/// its phase shifter adds `phaseOffsetRad` (paper Eq. 3 / Sec. 5.3).
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "env/scatterer.h"
+#include "radar/config.h"
+#include "radar/frame.h"
+
+namespace rfp::radar {
+
+/// Beat-signal synthesizer for a configured radar.
+class Frontend {
+ public:
+  explicit Frontend(RadarConfig config);
+
+  const RadarConfig& config() const { return config_; }
+
+  /// Synthesizes the frame observed at time \p timestamp for the given
+  /// scatterer snapshot. Adds AWGN from \p rng at the configured power.
+  Frame synthesize(std::span<const env::PointScatterer> scatterers,
+                   double timestampS, rfp::common::Rng& rng) const;
+
+  /// Amplitude observed from a scatterer of unit reflectivity at distance
+  /// \p d (radar-equation path loss, normalized at config.pathLossRefM).
+  double pathAmplitude(double distanceM) const;
+
+ private:
+  RadarConfig config_;
+};
+
+}  // namespace rfp::radar

@@ -1,0 +1,165 @@
+#include "radar/processor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/constants.h"
+#include "signal/fft.h"
+
+namespace rfp::radar {
+
+using rfp::common::Vec2;
+
+std::pair<std::size_t, std::size_t> RangeAngleMap::argmax() const {
+  if (power.empty()) throw std::logic_error("RangeAngleMap::argmax: empty map");
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < power.size(); ++i) {
+    if (power[i] > power[best]) best = i;
+  }
+  return {best / anglesRad.size(), best % anglesRad.size()};
+}
+
+double RangeAngleMap::maxPower() const {
+  if (power.empty()) return 0.0;
+  return *std::max_element(power.begin(), power.end());
+}
+
+double RangeAngleMap::totalPower() const {
+  double s = 0.0;
+  for (double p : power) s += p;
+  return s;
+}
+
+Processor::Processor(RadarConfig config, ProcessorOptions options)
+    : config_(std::move(config)), options_(options) {
+  config_.validate();
+  if (options_.numAngleBins < 3) {
+    throw std::invalid_argument("ProcessorOptions: need >= 3 angle bins");
+  }
+  const std::size_t samples = config_.chirp.samplesPerChirp();
+  fftSize_ = options_.fftSize != 0
+                 ? options_.fftSize
+                 : rfp::signal::nextPowerOfTwo(2 * samples);
+  if (fftSize_ < samples) {
+    throw std::invalid_argument("ProcessorOptions: fftSize < samples/chirp");
+  }
+  windowCoeffs_ = rfp::signal::makeWindow(options_.window, samples);
+
+  // Beat-frequency resolution of the padded FFT and the induced range axis.
+  const double freqPerBin =
+      config_.chirp.sampleRateHz / static_cast<double>(fftSize_);
+  const double rangePerBin = config_.chirp.distanceAt(freqPerBin);
+  firstBin_ = static_cast<std::size_t>(
+      std::ceil(options_.minRangeM / rangePerBin));
+  lastBin_ = std::min<std::size_t>(
+      fftSize_ / 2,
+      static_cast<std::size_t>(std::floor(options_.maxRangeM / rangePerBin)) +
+          1);
+  if (firstBin_ >= lastBin_) {
+    throw std::invalid_argument("ProcessorOptions: empty range window");
+  }
+}
+
+double Processor::rangeOfBin(std::size_t rangeIdx) const {
+  const double freqPerBin =
+      config_.chirp.sampleRateHz / static_cast<double>(fftSize_);
+  return config_.chirp.distanceAt(
+      freqPerBin * static_cast<double>(firstBin_ + rangeIdx));
+}
+
+Vec2 Processor::toWorld(double rangeM, double angleRad) const {
+  const Vec2 dir = config_.arrayAxis.rotated(angleRad);
+  return config_.position + dir * rangeM;
+}
+
+rfp::common::Polar Processor::toRadarPolar(Vec2 world) const {
+  const Vec2 d = world - config_.position;
+  const double range = d.norm();
+  const Vec2 u = config_.arrayAxis;
+  // Angle from the array axis, counter-clockwise, in [0, pi] for points on
+  // the scene side of the array.
+  const double angle = std::atan2(u.cross(d), u.dot(d));
+  return {range, angle};
+}
+
+std::vector<std::vector<Complex>> Processor::rangeSpectra(
+    const Frame& frame) const {
+  if (frame.numAntennas() != static_cast<std::size_t>(config_.numAntennas)) {
+    throw std::invalid_argument("Processor: frame antenna count mismatch");
+  }
+  if (frame.samplesPerChirp() != config_.chirp.samplesPerChirp()) {
+    throw std::invalid_argument("Processor: frame sample count mismatch");
+  }
+  std::vector<std::vector<Complex>> spectra;
+  spectra.reserve(frame.numAntennas());
+  for (const auto& antenna : frame.samples) {
+    std::vector<Complex> windowed = antenna;
+    rfp::signal::applyWindow(windowed, windowCoeffs_);
+    std::vector<Complex> spec = rfp::signal::fft(windowed, fftSize_);
+    spectra.push_back(
+        std::vector<Complex>(spec.begin() + firstBin_, spec.begin() + lastBin_));
+  }
+  return spectra;
+}
+
+RangeAngleMap Processor::process(const Frame& frame) const {
+  const auto spectra = rangeSpectra(frame);
+  const std::size_t numRanges = lastBin_ - firstBin_;
+  const std::size_t numAngles = options_.numAngleBins;
+  const int numAntennas = config_.numAntennas;
+  const double lambda = config_.chirp.wavelength();
+  const double d = config_.spacing();
+  const double twoPi = 2.0 * rfp::common::pi();
+
+  RangeAngleMap map;
+  map.timestampS = frame.timestampS;
+  map.rangesM.resize(numRanges);
+  for (std::size_t r = 0; r < numRanges; ++r) map.rangesM[r] = rangeOfBin(r);
+  map.anglesRad.resize(numAngles);
+  for (std::size_t a = 0; a < numAngles; ++a) {
+    map.anglesRad[a] = rfp::common::pi() * static_cast<double>(a + 1) /
+                       static_cast<double>(numAngles + 1);
+  }
+  map.power.assign(numRanges * numAngles, 0.0);
+
+  // Steering phases: the synthesized receive phase of antenna k relative to
+  // antenna 0 is -2*pi*k*d*cos(theta)/lambda (one-way path shortening), so
+  // the matched beamformer multiplies by the conjugate (paper Eq. 2).
+  std::vector<Complex> steering(numAngles * numAntennas);
+  for (std::size_t a = 0; a < numAngles; ++a) {
+    const double cosTheta = std::cos(map.anglesRad[a]);
+    for (int k = 0; k < numAntennas; ++k) {
+      steering[a * numAntennas + k] =
+          std::polar(1.0, twoPi * d * static_cast<double>(k) * cosTheta /
+                              lambda);
+    }
+  }
+
+  for (std::size_t r = 0; r < numRanges; ++r) {
+    for (std::size_t a = 0; a < numAngles; ++a) {
+      Complex acc{};
+      const Complex* steer = &steering[a * numAntennas];
+      for (int k = 0; k < numAntennas; ++k) {
+        acc += spectra[static_cast<std::size_t>(k)][r] * steer[k];
+      }
+      map.at(r, a) = std::norm(acc);
+    }
+  }
+  return map;
+}
+
+std::optional<RangeAngleMap> Processor::processWithBackgroundSubtraction(
+    const Frame& frame) {
+  if (!previous_.has_value()) {
+    previous_ = frame;
+    return std::nullopt;
+  }
+  const Frame diff = frame - *previous_;
+  previous_ = frame;
+  return process(diff);
+}
+
+void Processor::resetBackground() { previous_.reset(); }
+
+}  // namespace rfp::radar

@@ -1,0 +1,101 @@
+#pragma once
+
+/// \file processor.h
+/// The eavesdropper's processing pipeline (paper Sec. 3 / 9.1):
+///   1. window + range FFT per antenna,
+///   2. background subtraction of successive frames,
+///   3. Eq. 2 beamforming across the array -> range-angle power profile.
+/// Peaks in the profile represent human (or phantom) motion.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/vec2.h"
+#include "radar/config.h"
+#include "radar/frame.h"
+#include "signal/window.h"
+
+namespace rfp::radar {
+
+/// Range-angle power profile for one frame (Fig. 10a/b of the paper).
+struct RangeAngleMap {
+  std::vector<double> rangesM;     ///< range of each row [m]
+  std::vector<double> anglesRad;   ///< angle of each column [rad], from the
+                                   ///< array axis
+  std::vector<double> power;       ///< row-major power, rangesM.size() rows
+  double timestampS = 0.0;
+
+  std::size_t numRanges() const { return rangesM.size(); }
+  std::size_t numAngles() const { return anglesRad.size(); }
+
+  double at(std::size_t rangeIdx, std::size_t angleIdx) const {
+    return power[rangeIdx * anglesRad.size() + angleIdx];
+  }
+  double& at(std::size_t rangeIdx, std::size_t angleIdx) {
+    return power[rangeIdx * anglesRad.size() + angleIdx];
+  }
+
+  /// Location (range/angle indices) of the global power maximum.
+  std::pair<std::size_t, std::size_t> argmax() const;
+
+  /// Peak power value.
+  double maxPower() const;
+
+  /// Total power (sum over all cells).
+  double totalPower() const;
+};
+
+/// Processor options.
+struct ProcessorOptions {
+  rfp::signal::WindowType window = rfp::signal::WindowType::kHann;
+  std::size_t fftSize = 0;        ///< 0 -> next pow2 of 2*samples (zero-pad)
+  std::size_t numAngleBins = 181; ///< beamforming grid over (0, pi)
+  double maxRangeM = 18.0;        ///< rows beyond this are dropped
+  double minRangeM = 0.3;         ///< rows below this are dropped
+};
+
+/// Converts frames into range-angle maps and manages background subtraction.
+class Processor {
+ public:
+  Processor(RadarConfig config, ProcessorOptions options = {});
+
+  const RadarConfig& config() const { return config_; }
+  const ProcessorOptions& options() const { return options_; }
+
+  /// Range-angle map of a frame without background subtraction.
+  RangeAngleMap process(const Frame& frame) const;
+
+  /// Range-angle map of (frame - previous frame); the first call returns
+  /// std::nullopt (nothing to subtract against yet) and primes the state.
+  std::optional<RangeAngleMap> processWithBackgroundSubtraction(
+      const Frame& frame);
+
+  /// Forgets the stored previous frame.
+  void resetBackground();
+
+  /// Range [m] corresponding to FFT row \p rangeIdx of a produced map.
+  double rangeOfBin(std::size_t rangeIdx) const;
+
+  /// World location of a (range, angle) cell, using the radar's position
+  /// and array orientation. Angles rotate counter-clockwise from the array
+  /// axis; the scene is assumed to lie on that side (Sec. 5.2's geometry).
+  rfp::common::Vec2 toWorld(double rangeM, double angleRad) const;
+
+  /// Inverse of toWorld: (range, angle-from-array-axis) of a world point.
+  rfp::common::Polar toRadarPolar(rfp::common::Vec2 world) const;
+
+ private:
+  /// Per-antenna range spectra (rows of the FFT kept within range limits).
+  std::vector<std::vector<Complex>> rangeSpectra(const Frame& frame) const;
+
+  RadarConfig config_;
+  ProcessorOptions options_;
+  std::size_t fftSize_;
+  std::size_t firstBin_;
+  std::size_t lastBin_;  // exclusive
+  std::vector<double> windowCoeffs_;
+  std::optional<Frame> previous_;
+};
+
+}  // namespace rfp::radar

@@ -1,0 +1,154 @@
+#include "radar/pulsed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/constants.h"
+
+namespace rfp::radar {
+
+using rfp::common::Vec2;
+
+double PulsedRadarConfig::rangeResolution() const {
+  return rfp::common::kSpeedOfLight * pulseWidthS;
+}
+
+void PulsedRadarConfig::validate() const {
+  if (pulseWidthS <= 0.0 || sampleRateHz <= 0.0 || maxRangeM <= 0.0) {
+    throw std::invalid_argument("PulsedRadarConfig: non-positive parameter");
+  }
+  if (noisePower < 0.0) {
+    throw std::invalid_argument("PulsedRadarConfig: negative noise power");
+  }
+  // The pulse must be resolvable at the sampling rate.
+  if (pulseWidthS * sampleRateHz < 1.5) {
+    throw std::invalid_argument("PulsedRadarConfig: pulse under-sampled");
+  }
+}
+
+double EchoProfile::peakRangeM() const {
+  if (envelope.empty()) return 0.0;
+  const auto it = std::max_element(envelope.begin(), envelope.end());
+  return rangesM[static_cast<std::size_t>(
+      std::distance(envelope.begin(), it))];
+}
+
+std::vector<double> EchoProfile::peakRanges(double fraction) const {
+  std::vector<std::pair<double, double>> peaks;  // (power, range)
+  if (envelope.size() < 3) return {};
+  const double floor =
+      *std::max_element(envelope.begin(), envelope.end()) * fraction;
+  for (std::size_t i = 1; i + 1 < envelope.size(); ++i) {
+    if (envelope[i] > floor && envelope[i] >= envelope[i - 1] &&
+        envelope[i] >= envelope[i + 1]) {
+      peaks.emplace_back(envelope[i], rangesM[i]);
+    }
+  }
+  std::sort(peaks.rbegin(), peaks.rend());
+  std::vector<double> out;
+  out.reserve(peaks.size());
+  for (const auto& [power, range] : peaks) out.push_back(range);
+  return out;
+}
+
+PulsedRadar::PulsedRadar(PulsedRadarConfig config) : config_(config) {
+  config_.validate();
+}
+
+EchoProfile PulsedRadar::sense(
+    const std::vector<env::PointScatterer>& scatterers,
+    const std::vector<DelayedEcho>& delayedEchoes,
+    rfp::common::Rng& rng) const {
+  const double c = rfp::common::kSpeedOfLight;
+  const double dt = 1.0 / config_.sampleRateHz;
+  const double maxDelay = 2.0 * config_.maxRangeM / c;
+  const auto samples =
+      static_cast<std::size_t>(std::ceil(maxDelay / dt)) + 1;
+
+  EchoProfile profile;
+  profile.rangesM.resize(samples);
+  profile.envelope.assign(samples, 0.0);
+  for (std::size_t i = 0; i < samples; ++i) {
+    profile.rangesM[i] = 0.5 * c * static_cast<double>(i) * dt;
+  }
+
+  auto pathAmplitude = [&](double d) {
+    return std::pow(config_.pathLossRefM / std::max(d, 0.3),
+                    config_.pathLossExponent);
+  };
+
+  auto addEcho = [&](double delayS, double amplitude) {
+    // Gaussian matched-filter response centred at the echo delay.
+    const double sigma = config_.pulseWidthS;
+    const auto lo = static_cast<std::ptrdiff_t>(
+        std::floor((delayS - 4.0 * sigma) / dt));
+    const auto hi = static_cast<std::ptrdiff_t>(
+        std::ceil((delayS + 4.0 * sigma) / dt));
+    for (std::ptrdiff_t i = std::max<std::ptrdiff_t>(lo, 0);
+         i <= hi && i < static_cast<std::ptrdiff_t>(samples); ++i) {
+      const double t = static_cast<double>(i) * dt - delayS;
+      profile.envelope[static_cast<std::size_t>(i)] +=
+          amplitude * std::exp(-0.5 * (t / sigma) * (t / sigma));
+    }
+  };
+
+  for (const env::PointScatterer& s : scatterers) {
+    const double d =
+        (s.position - config_.position).norm() + s.radialOffsetM;
+    addEcho(2.0 * d / c, s.amplitude * pathAmplitude(d));
+  }
+  for (const DelayedEcho& e : delayedEchoes) {
+    const double d = (e.origin - config_.position).norm();
+    addEcho(2.0 * d / c + e.extraDelayS,
+            e.amplitude * pathAmplitude(d));
+  }
+
+  if (config_.noisePower > 0.0) {
+    const double sigma = std::sqrt(config_.noisePower);
+    for (double& v : profile.envelope) {
+      v = std::fabs(v + rng.gaussian(0.0, sigma));
+    }
+  }
+  return profile;
+}
+
+DelayLineReflector::DelayLineReflector(Vec2 position,
+                                       std::vector<double> tapDelaysS,
+                                       double gain)
+    : position_(position), taps_(std::move(tapDelaysS)), gain_(gain) {
+  if (taps_.empty()) {
+    throw std::invalid_argument("DelayLineReflector: need at least one tap");
+  }
+  for (double t : taps_) {
+    if (t <= 0.0) {
+      throw std::invalid_argument("DelayLineReflector: delays must be > 0");
+    }
+  }
+  std::sort(taps_.begin(), taps_.end());
+}
+
+std::size_t DelayLineReflector::tapFor(double extraRangeM) const {
+  const double wantDelay =
+      2.0 * extraRangeM / rfp::common::kSpeedOfLight;
+  std::size_t best = 0;
+  double bestErr = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < taps_.size(); ++i) {
+    const double err = std::fabs(taps_[i] - wantDelay);
+    if (err < bestErr) {
+      bestErr = err;
+      best = i;
+    }
+  }
+  return best;
+}
+
+PulsedRadar::DelayedEcho DelayLineReflector::spoof(double extraRangeM) const {
+  PulsedRadar::DelayedEcho echo;
+  echo.origin = position_;
+  echo.extraDelayS = taps_[tapFor(extraRangeM)];
+  echo.amplitude = gain_;
+  return echo;
+}
+
+}  // namespace rfp::radar

@@ -1,0 +1,107 @@
+#pragma once
+
+/// \file pulsed.h
+/// Pulsed time-of-flight radar -- the paper's Sec. 13 "New Sensor Types"
+/// bullet: "Other kinds of radar like pulsed radars are prone to similar
+/// defenses ... distance spoofing in such radars need to be achieved
+/// through other mechanisms (e.g. by adding a set of delay lines and
+/// switching between them)."
+///
+/// The radar emits a short Gaussian pulse and receives its echoes; the
+/// matched-filter envelope peaks at the round-trip delay of each
+/// reflector. RF-Protect's counterpart here is a switched *delay-line*
+/// reflector: the incident pulse is delayed by a selectable tap before
+/// re-radiation, adding a controllable extra range.
+
+#include <complex>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec2.h"
+#include "env/scatterer.h"
+
+namespace rfp::radar {
+
+/// Pulsed radar parameters.
+struct PulsedRadarConfig {
+  double pulseWidthS = 2.0e-9;    ///< Gaussian sigma (~30 cm resolution)
+  double sampleRateHz = 2.0e9;    ///< receiver sampling rate
+  double maxRangeM = 18.0;
+  rfp::common::Vec2 position{};
+  double noisePower = 1e-6;
+  double pathLossRefM = 3.0;
+  double pathLossExponent = 2.0;
+
+  /// Two-sided range resolution ~ C * pulseWidth (sigma-scaled).
+  double rangeResolution() const;
+
+  void validate() const;
+};
+
+/// One received echo profile: matched-filter envelope over range.
+struct EchoProfile {
+  std::vector<double> rangesM;
+  std::vector<double> envelope;  ///< magnitude per range cell
+
+  /// Range of the strongest echo.
+  double peakRangeM() const;
+
+  /// Ranges of all local maxima above \p fraction of the global peak,
+  /// strongest first.
+  std::vector<double> peakRanges(double fraction = 0.3) const;
+};
+
+/// Pulsed radar front end + matched-filter processor. Scatterers'
+/// `radialOffsetM` contributes to the echo delay exactly as in the FMCW
+/// model; `beatFreqOffsetHz` has no meaning for pulses and is ignored --
+/// which is precisely why the FMCW switching trick does not transfer and a
+/// delay line is needed.
+class PulsedRadar {
+ public:
+  explicit PulsedRadar(PulsedRadarConfig config);
+
+  const PulsedRadarConfig& config() const { return config_; }
+
+  /// Echo profile of a scene; \p extraDelays lists additional echoes
+  /// produced by delay-line reflectors as (origin, extraDelaySeconds,
+  /// amplitude) tuples.
+  struct DelayedEcho {
+    rfp::common::Vec2 origin{};
+    double extraDelayS = 0.0;
+    double amplitude = 1.0;
+  };
+
+  EchoProfile sense(const std::vector<env::PointScatterer>& scatterers,
+                    const std::vector<DelayedEcho>& delayedEchoes,
+                    rfp::common::Rng& rng) const;
+
+ private:
+  PulsedRadarConfig config_;
+};
+
+/// Switched delay-line reflector: a bank of taps with fixed delays; the
+/// controller picks the tap whose delay best realizes a desired extra
+/// range (quantized, exactly like the antenna panel quantizes angle).
+class DelayLineReflector {
+ public:
+  /// \p tapDelaysS: available delays (must be non-empty, positive).
+  DelayLineReflector(rfp::common::Vec2 position,
+                     std::vector<double> tapDelaysS, double gain = 1.0);
+
+  const std::vector<double>& taps() const { return taps_; }
+  rfp::common::Vec2 position() const { return position_; }
+
+  /// Index of the tap whose extra range is closest to \p extraRangeM.
+  std::size_t tapFor(double extraRangeM) const;
+
+  /// The echo injected when spoofing a phantom \p extraRangeM beyond the
+  /// reflector (using the best tap).
+  PulsedRadar::DelayedEcho spoof(double extraRangeM) const;
+
+ private:
+  rfp::common::Vec2 position_;
+  std::vector<double> taps_;
+  double gain_;
+};
+
+}  // namespace rfp::radar

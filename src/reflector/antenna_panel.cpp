@@ -1,0 +1,56 @@
+#include "reflector/antenna_panel.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/vec2.h"
+
+namespace rfp::reflector {
+
+using rfp::common::Vec2;
+
+AntennaPanel::AntennaPanel(Vec2 base, Vec2 direction, int count,
+                           double spacingM) {
+  if (count < 1) throw std::invalid_argument("AntennaPanel: count >= 1");
+  if (spacingM <= 0.0) {
+    throw std::invalid_argument("AntennaPanel: spacing must be positive");
+  }
+  const Vec2 dir = direction.normalized();
+  if (dir == Vec2{}) {
+    throw std::invalid_argument("AntennaPanel: zero direction");
+  }
+  positions_.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    positions_.push_back(base + dir * (spacingM * static_cast<double>(i)));
+  }
+}
+
+Vec2 AntennaPanel::position(int index) const {
+  if (index < 0 || index >= count()) {
+    throw std::out_of_range("AntennaPanel: antenna index");
+  }
+  return positions_[static_cast<std::size_t>(index)];
+}
+
+int AntennaPanel::nearestByAngle(Vec2 observer, double targetAngleRad) const {
+  int best = 0;
+  double bestErr = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < count(); ++i) {
+    const Vec2 d = positions_[static_cast<std::size_t>(i)] - observer;
+    const double ang = std::atan2(d.y, d.x);
+    const double err = rfp::common::angularDistance(ang, targetAngleRad);
+    if (err < bestErr) {
+      bestErr = err;
+      best = i;
+    }
+  }
+  return best;
+}
+
+int AntennaPanel::nearestForTarget(Vec2 observer, Vec2 target) const {
+  const Vec2 d = target - observer;
+  return nearestByAngle(observer, std::atan2(d.y, d.x));
+}
+
+}  // namespace rfp::reflector

@@ -1,0 +1,43 @@
+#pragma once
+
+/// \file antenna_panel.h
+/// The switched antenna panel (paper Sec. 5.2 / 9.2): K_R directional
+/// antennas spaced along a wall behind an SP8T switch. Each antenna is a
+/// physically real reflection origin, so selecting an antenna selects the
+/// *true* direction the radar sees -- this is what defeats both analog and
+/// digital beamforming without channel knowledge.
+
+#include <vector>
+
+#include "common/vec2.h"
+
+namespace rfp::reflector {
+
+/// Geometry of the reflector's antenna panel.
+class AntennaPanel {
+ public:
+  /// \p base: position of antenna 0; \p direction: unit vector along the
+  /// wall; \p count antennas every \p spacingM meters (paper: 6 x 20 cm).
+  AntennaPanel(rfp::common::Vec2 base, rfp::common::Vec2 direction,
+               int count, double spacingM);
+
+  int count() const { return static_cast<int>(positions_.size()); }
+  const std::vector<rfp::common::Vec2>& positions() const {
+    return positions_;
+  }
+  rfp::common::Vec2 position(int index) const;
+
+  /// Index of the antenna whose bearing from \p observer is closest to
+  /// \p targetAngleRad (angles via atan2 in world frame).
+  int nearestByAngle(rfp::common::Vec2 observer, double targetAngleRad) const;
+
+  /// Index of the antenna closest (euclidean) to the ray from \p observer
+  /// towards \p target; equivalent to nearestByAngle on the target bearing.
+  int nearestForTarget(rfp::common::Vec2 observer,
+                       rfp::common::Vec2 target) const;
+
+ private:
+  std::vector<rfp::common::Vec2> positions_;
+};
+
+}  // namespace rfp::reflector

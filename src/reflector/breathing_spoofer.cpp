@@ -1,0 +1,21 @@
+#include "reflector/breathing_spoofer.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rfp::reflector {
+
+BreathingSpoofer::BreathingSpoofer(double rateHz, double chestAmpM,
+                                   double wavelengthM)
+    : rateHz_(rateHz) {
+  if (rateHz <= 0.0 || chestAmpM <= 0.0 || wavelengthM <= 0.0) {
+    throw std::invalid_argument("BreathingSpoofer: parameters must be > 0");
+  }
+  phaseAmpRad_ = 4.0 * rfp::common::pi() * chestAmpM / wavelengthM;
+}
+
+double BreathingSpoofer::phaseAt(double t) const {
+  return phaseAmpRad_ * std::sin(2.0 * rfp::common::pi() * rateHz_ * t);
+}
+
+}  // namespace rfp::reflector

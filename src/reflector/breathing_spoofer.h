@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file breathing_spoofer.h
+/// Drives the reflector's analog phase shifter to imitate the phase
+/// signature of human chest motion (paper Sec. 5.3, evaluated in Sec. 11.4).
+///
+/// A breathing human at distance d modulates the round-trip path by twice
+/// the chest displacement, i.e. a carrier phase swing of 4*pi*delta/lambda.
+/// The spoofer reproduces exactly that swing on the phase shifter.
+
+#include "common/constants.h"
+
+namespace rfp::reflector {
+
+/// Breathing-phase waveform generator.
+class BreathingSpoofer {
+ public:
+  /// \p rateHz breaths per second (0.25 Hz = 15 breaths/min), \p chestAmpM
+  /// the chest displacement to imitate, \p wavelengthM the radar carrier
+  /// wavelength the phase swing is computed against.
+  BreathingSpoofer(double rateHz, double chestAmpM, double wavelengthM);
+
+  double rateHz() const { return rateHz_; }
+
+  /// Peak phase deviation [rad] = 4 * pi * chestAmp / lambda.
+  double phaseAmplitudeRad() const { return phaseAmpRad_; }
+
+  /// Phase-shifter setting at time \p t [rad].
+  double phaseAt(double t) const;
+
+ private:
+  double rateHz_;
+  double phaseAmpRad_;
+};
+
+}  // namespace rfp::reflector

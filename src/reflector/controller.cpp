@@ -1,0 +1,122 @@
+#include "reflector/controller.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/constants.h"
+
+namespace rfp::reflector {
+
+using rfp::common::Vec2;
+
+ReflectorController::ReflectorController(
+    AntennaPanel panel, SwitchedReflector reflector, ControllerConfig config,
+    std::optional<BreathingSpoofer> breathing)
+    : panel_(std::move(panel)),
+      reflector_(reflector),
+      config_(config),
+      breathing_(breathing) {
+  if (config_.chirpSlopeHzPerS <= 0.0) {
+    throw std::invalid_argument("ControllerConfig: slope must be positive");
+  }
+  if (config_.minExtraRangeM <= 0.0) {
+    throw std::invalid_argument(
+        "ControllerConfig: minExtraRange must be positive");
+  }
+}
+
+ControlCommand ReflectorController::commandFor(Vec2 ghostWorld,
+                                               double t) const {
+  const Vec2 e = config_.assumedRadarPosition;
+  const Vec2 d = ghostWorld - e;
+  ControlCommand cmd;
+  cmd.intendedWorld = ghostWorld;
+  cmd.intendedRangeM = d.norm();
+  cmd.intendedAngleRad = std::atan2(d.y, d.x);
+
+  cmd.antennaIndex = panel_.nearestForTarget(e, ghostWorld);
+  const double antennaRange =
+      (panel_.position(cmd.antennaIndex) - e).norm();
+
+  // Reflections can only be delayed: clamp ghosts that would land between
+  // the radar and the panel (Sec. 5.1's boundary-deployment argument).
+  const double extra = std::max(cmd.intendedRangeM - antennaRange,
+                                config_.minExtraRangeM);
+  cmd.spoofedRangeM = antennaRange + extra;
+  cmd.fSwitchHz = 2.0 * config_.chirpSlopeHzPerS * extra /
+                  rfp::common::kSpeedOfLight;
+
+  // Equalize received power against a human standing at the ghost's range:
+  // the physical reflection originates at the antenna (path loss over
+  // antennaRange), so scale by (antennaRange / ghostRange)^exponent.
+  cmd.gain = config_.humanAmplitude * config_.subtractionGainBoost *
+             std::pow(antennaRange / cmd.spoofedRangeM,
+                      config_.pathLossExponent);
+
+  // Optional human-like echo-power scintillation (RCS spoofing, Sec. 8):
+  // a log-domain sum of incommensurate sinusoids, normalized to unit
+  // variance and scaled to the configured log-sigma. Deterministic in t so
+  // the (stateless) controller stays reproducible.
+  if (config_.rcsSpoof.enabled) {
+    const double twoPi = 2.0 * rfp::common::pi();
+    const double n = (1.0 * std::sin(twoPi * 0.73 * t + 0.9) +
+                      0.8 * std::sin(twoPi * 1.91 * t + 2.3) +
+                      0.6 * std::sin(twoPi * 3.71 * t + 4.1) +
+                      0.5 * std::sin(twoPi * 6.13 * t + 5.6)) /
+                     1.06;  // unit variance
+    cmd.gain *= std::exp(config_.rcsSpoof.logSigma * n);
+  }
+
+  cmd.phaseOffsetRad = breathing_ ? breathing_->phaseAt(t) : 0.0;
+  return cmd;
+}
+
+std::vector<env::PointScatterer> ReflectorController::execute(
+    const ControlCommand& cmd, int ghostId) const {
+  return reflector_.emit(panel_.position(cmd.antennaIndex), cmd.fSwitchHz,
+                         cmd.gain, cmd.phaseOffsetRad, ghostId);
+}
+
+std::vector<env::PointScatterer> ReflectorController::spoof(
+    Vec2 ghostWorld, double t, int ghostId, ControlCommand* outCmd) const {
+  const ControlCommand cmd = commandFor(ghostWorld, t);
+  if (outCmd != nullptr) *outCmd = cmd;
+  return execute(cmd, ghostId);
+}
+
+double ReflectorController::dopplerAlignedSwitchHz(
+    double fSwitchHz, double radialVelocityMps, double priS) const {
+  if (priS <= 0.0) {
+    throw std::invalid_argument("dopplerAlignedSwitchHz: pri must be > 0");
+  }
+  const double prf = 1.0 / priS;
+  const double dopplerHz =
+      2.0 * radialVelocityMps / config_.carrierWavelengthM;
+  // Shift fSwitch by the smallest amount that makes
+  // fSwitch' == dopplerHz (mod prf).
+  return fSwitchHz + std::remainder(dopplerHz - fSwitchHz, prf);
+}
+
+std::vector<std::vector<env::PointScatterer>> ReflectorController::spoofBurst(
+    Vec2 ghostWorld, double tStart, double priS, std::size_t numChirps,
+    double radialVelocityMps, int ghostId) const {
+  ControlCommand cmd = commandFor(ghostWorld, tStart);
+  cmd.fSwitchHz =
+      dopplerAlignedSwitchHz(cmd.fSwitchHz, radialVelocityMps, priS);
+
+  std::vector<std::vector<env::PointScatterer>> burst;
+  burst.reserve(numChirps);
+  const double twoPi = 2.0 * rfp::common::pi();
+  for (std::size_t m = 0; m < numChirps; ++m) {
+    // Free-running switch: continuous phase accumulation across chirps.
+    const double switchPhase = std::fmod(
+        twoPi * cmd.fSwitchHz * (static_cast<double>(m) * priS), twoPi);
+    burst.push_back(reflector_.emit(panel_.position(cmd.antennaIndex),
+                                    cmd.fSwitchHz, cmd.gain,
+                                    cmd.phaseOffsetRad, ghostId,
+                                    switchPhase));
+  }
+  return burst;
+}
+
+}  // namespace rfp::reflector

@@ -1,0 +1,124 @@
+#pragma once
+
+/// \file controller.h
+/// Maps a desired ghost trajectory to per-frame reflector actuation
+/// (paper Sec. 5.3: "Given a trajectory tau, RF-Protect maps it to a
+/// sequence of antennas and frequency shifts").
+///
+/// For a ghost point g and the assumed eavesdropper location e:
+///   1. pick the panel antenna a whose bearing from e is closest to g's,
+///   2. the radar will see the reflection at the antenna's own range d(e,a),
+///      so switch at f_switch = 2 * sl * (|g - e| - d(e,a)) / C to push it
+///      out to the ghost's range (Eq. 3; reflections can only be delayed,
+///      never advanced, hence the boundary-wall deployment),
+///   3. size the LNA gain so the phantom's received power matches a human
+///      standing at the ghost's range,
+///   4. superimpose the breathing phase.
+///
+/// The true eavesdropper position need not equal the assumed one: a
+/// displaced radar sees the same trajectory rotated/scaled (Sec. 5.2), which
+/// is why the evaluation scores trajectories modulo rigid alignment.
+
+#include <optional>
+#include <vector>
+
+#include "common/vec2.h"
+#include "env/scatterer.h"
+#include "reflector/antenna_panel.h"
+#include "reflector/breathing_spoofer.h"
+#include "reflector/switched_reflector.h"
+
+namespace rfp::reflector {
+
+/// One frame's actuation for one ghost.
+struct ControlCommand {
+  int antennaIndex = 0;
+  double fSwitchHz = 0.0;
+  double gain = 1.0;
+  double phaseOffsetRad = 0.0;
+  rfp::common::Vec2 intendedWorld{};  ///< the ghost point being spoofed
+  double intendedRangeM = 0.0;        ///< |ghost - assumed radar|
+  double intendedAngleRad = 0.0;      ///< world bearing of the ghost
+  double spoofedRangeM = 0.0;         ///< range actually achievable
+};
+
+/// Human-like reflected-power fluctuation applied to the LNA gain (paper
+/// Sec. 8, "Radar Cross Section" future work): defeats eavesdroppers that
+/// flag tracks with suspiciously steady echo power.
+struct RcsSpoofConfig {
+  bool enabled = false;
+  /// Log-amplitude standard deviation of the spoofed scintillation. Echo
+  /// power of a walking human fluctuates violently after background
+  /// subtraction (carrier-phase decorrelation), with a log-power std of
+  /// ~2; the default reproduces that scale.
+  double logSigma = 1.0;
+};
+
+/// Controller configuration.
+struct ControllerConfig {
+  rfp::common::Vec2 assumedRadarPosition{};  ///< where we expect the radar
+  double chirpSlopeHzPerS = 2.0e12;  ///< assumed sl (publicly known for
+                                     ///< certified devices, Sec. 5.1)
+  double humanAmplitude = 1.0;       ///< reflection amplitude to imitate
+  double pathLossRefM = 3.0;         ///< must match the channel model
+  double pathLossExponent = 2.0;
+  double minExtraRangeM = 0.15;      ///< ghosts must sit beyond the antenna
+  /// Radar carrier wavelength assumed for Doppler alignment [m].
+  double carrierWavelengthM = 0.046;
+  /// Extra LNA gain compensating the phantom's smaller frame-to-frame
+  /// decorrelation: the switch is phase-coherent across chirps, so after
+  /// background subtraction its residual is weaker than a walking human's
+  /// (whose carrier phase fully decorrelates). Deployments calibrate the
+  /// LNA so the phantom's *post-subtraction* power matches a human's;
+  /// 2.2x amplitude does that at typical walking speeds.
+  double subtractionGainBoost = 2.2;
+  RcsSpoofConfig rcsSpoof{};  ///< optional RCS-fingerprint spoofing
+};
+
+/// Per-ghost reflector controller.
+class ReflectorController {
+ public:
+  ReflectorController(AntennaPanel panel, SwitchedReflector reflector,
+                      ControllerConfig config,
+                      std::optional<BreathingSpoofer> breathing = std::nullopt);
+
+  const AntennaPanel& panel() const { return panel_; }
+  const ControllerConfig& config() const { return config_; }
+
+  /// Actuation needed to place a phantom at \p ghostWorld at time \p t.
+  ControlCommand commandFor(rfp::common::Vec2 ghostWorld, double t) const;
+
+  /// Scatterers injected into the channel by executing \p cmd; tag with
+  /// \p ghostId.
+  std::vector<env::PointScatterer> execute(const ControlCommand& cmd,
+                                           int ghostId) const;
+
+  /// Convenience: commandFor + execute.
+  std::vector<env::PointScatterer> spoof(rfp::common::Vec2 ghostWorld,
+                                         double t, int ghostId,
+                                         ControlCommand* outCmd = nullptr) const;
+
+  /// Nudges \p fSwitchHz by at most half a PRF (a sub-millimeter range
+  /// change) so that a free-running switch's apparent Doppler,
+  /// f_switch mod PRF, equals the Doppler of a target receding at
+  /// \p radialVelocityMps (fd = 2 v / lambda). This defeats eavesdroppers
+  /// that excise zero-Doppler returns (see radar/doppler.h).
+  double dopplerAlignedSwitchHz(double fSwitchHz, double radialVelocityMps,
+                                double priS) const;
+
+  /// Scatterer lists for a coherent burst of \p numChirps chirps starting
+  /// at \p tStart with period \p priS, spoofing a phantom at \p ghostWorld
+  /// receding at \p radialVelocityMps. The switch runs free across the
+  /// burst (continuous phase), Doppler-aligned to the requested velocity.
+  std::vector<std::vector<env::PointScatterer>> spoofBurst(
+      rfp::common::Vec2 ghostWorld, double tStart, double priS,
+      std::size_t numChirps, double radialVelocityMps, int ghostId) const;
+
+ private:
+  AntennaPanel panel_;
+  SwitchedReflector reflector_;
+  ControllerConfig config_;
+  std::optional<BreathingSpoofer> breathing_;
+};
+
+}  // namespace rfp::reflector

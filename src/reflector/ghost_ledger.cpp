@@ -1,0 +1,48 @@
+#include "reflector/ghost_ledger.h"
+
+#include <cmath>
+
+namespace rfp::reflector {
+
+using rfp::common::Vec2;
+
+void GhostLedger::add(int ghostId, double timestampS,
+                      const ControlCommand& cmd) {
+  records_.push_back({ghostId, timestampS, cmd});
+}
+
+std::vector<GhostRecord> GhostLedger::at(double timestampS,
+                                         double toleranceS) const {
+  std::vector<GhostRecord> out;
+  for (const GhostRecord& r : records_) {
+    if (std::fabs(r.timestampS - timestampS) <= toleranceS) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<GhostRecord> GhostLedger::forGhost(int ghostId) const {
+  std::vector<GhostRecord> out;
+  for (const GhostRecord& r : records_) {
+    if (r.ghostId == ghostId) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<Vec2> GhostLedger::ghostTrajectory(int ghostId) const {
+  std::vector<Vec2> out;
+  for (const GhostRecord& r : records_) {
+    if (r.ghostId == ghostId) out.push_back(r.command.intendedWorld);
+  }
+  return out;
+}
+
+bool GhostLedger::matchesGhost(Vec2 world, double timestampS, double radiusM,
+                               double toleranceS) const {
+  for (const GhostRecord& r : records_) {
+    if (std::fabs(r.timestampS - timestampS) > toleranceS) continue;
+    if (distance(r.command.intendedWorld, world) <= radiusM) return true;
+  }
+  return false;
+}
+
+}  // namespace rfp::reflector

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file ghost_ledger.h
+/// Record of every injected phantom, per frame. The paper's third design
+/// goal (Sec. 1, Fig. 13): the reflector "can communicate the fake
+/// information injected into the system to a legitimate tracking device
+/// authorized by the user", which then removes the ghosts and recovers the
+/// real trajectories. The ledger is that communication channel.
+
+#include <vector>
+
+#include "common/vec2.h"
+#include "reflector/controller.h"
+
+namespace rfp::reflector {
+
+/// One injected-ghost record.
+struct GhostRecord {
+  int ghostId = 0;
+  double timestampS = 0.0;
+  ControlCommand command;
+};
+
+/// Append-only log of injected phantoms.
+class GhostLedger {
+ public:
+  void add(int ghostId, double timestampS, const ControlCommand& cmd);
+
+  const std::vector<GhostRecord>& records() const { return records_; }
+
+  /// Records whose timestamp lies within +-\p toleranceS of \p timestampS.
+  std::vector<GhostRecord> at(double timestampS,
+                              double toleranceS = 1e-3) const;
+
+  /// All records for one ghost, in insertion (time) order.
+  std::vector<GhostRecord> forGhost(int ghostId) const;
+
+  /// Intended trajectory of one ghost (time-ordered intended positions).
+  std::vector<rfp::common::Vec2> ghostTrajectory(int ghostId) const;
+
+  /// True if some record at \p timestampS places a ghost within
+  /// \p radiusM of \p world -- the legitimate sensor's subtraction test.
+  bool matchesGhost(rfp::common::Vec2 world, double timestampS,
+                    double radiusM, double toleranceS = 1e-3) const;
+
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+ private:
+  std::vector<GhostRecord> records_;
+};
+
+}  // namespace rfp::reflector

@@ -1,0 +1,50 @@
+#include "reflector/ledger_io.h"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rfp::reflector {
+
+void writeLedger(std::ostream& out, const GhostLedger& ledger) {
+  out.precision(9);
+  for (const GhostRecord& r : ledger.records()) {
+    out << r.ghostId << ' ' << r.timestampS << ' '
+        << r.command.intendedWorld.x << ' ' << r.command.intendedWorld.y
+        << ' ' << r.command.antennaIndex << ' ' << r.command.fSwitchHz
+        << '\n';
+  }
+  if (!out) throw std::runtime_error("writeLedger: stream failure");
+}
+
+std::string ledgerToString(const GhostLedger& ledger) {
+  std::ostringstream out;
+  writeLedger(out, ledger);
+  return out.str();
+}
+
+GhostLedger readLedger(std::istream& in) {
+  GhostLedger ledger;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    int ghostId = 0;
+    double timestamp = 0.0;
+    ControlCommand cmd;
+    fields >> ghostId >> timestamp >> cmd.intendedWorld.x >>
+        cmd.intendedWorld.y >> cmd.antennaIndex >> cmd.fSwitchHz;
+    if (fields.fail()) {
+      throw std::invalid_argument("readLedger: malformed record: " + line);
+    }
+    ledger.add(ghostId, timestamp, cmd);
+  }
+  return ledger;
+}
+
+GhostLedger ledgerFromString(const std::string& text) {
+  std::istringstream in(text);
+  return readLedger(in);
+}
+
+}  // namespace rfp::reflector

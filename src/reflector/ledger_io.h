@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file ledger_io.h
+/// Wire format for the ghost ledger. The reflector "can communicate the
+/// fake information injected into the system to a legitimate tracking
+/// device" (paper Sec. 1); this is that uplink: a compact line-oriented
+/// text encoding an authorized sensor can parse after receiving it over
+/// any side channel (BLE, Wi-Fi, QR on the device...).
+///
+/// Format (one record per line):
+///   ghostId timestamp x y antennaIndex fSwitchHz
+
+#include <iosfwd>
+#include <string>
+
+#include "reflector/ghost_ledger.h"
+
+namespace rfp::reflector {
+
+/// Serializes \p ledger records to \p out. Throws std::runtime_error on a
+/// failed stream.
+void writeLedger(std::ostream& out, const GhostLedger& ledger);
+
+/// Serialized form as a string.
+std::string ledgerToString(const GhostLedger& ledger);
+
+/// Parses records from \p in into a fresh ledger. Fields beyond the wire
+/// format (gain, phase) are not transmitted -- the legitimate sensor only
+/// needs intended positions and times. Throws std::invalid_argument on a
+/// malformed record.
+GhostLedger readLedger(std::istream& in);
+
+/// Parses a serialized ledger string.
+GhostLedger ledgerFromString(const std::string& text);
+
+}  // namespace rfp::reflector

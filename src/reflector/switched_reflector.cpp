@@ -1,0 +1,71 @@
+#include "reflector/switched_reflector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/constants.h"
+
+namespace rfp::reflector {
+
+double harmonicWeight(int n, double duty) {
+  if (duty <= 0.0 || duty >= 1.0) {
+    throw std::invalid_argument("harmonicWeight: duty must be in (0, 1)");
+  }
+  if (n == 0) return duty;
+  const double x = rfp::common::pi() * static_cast<double>(n) * duty;
+  return std::fabs(std::sin(x)) / (rfp::common::pi() * std::fabs(n));
+}
+
+SwitchedReflector::SwitchedReflector(ReflectorHardware hw) : hw_(hw) {
+  if (hw_.dutyCycle <= 0.0 || hw_.dutyCycle >= 1.0) {
+    throw std::invalid_argument("SwitchedReflector: duty cycle in (0,1)");
+  }
+  if (hw_.maxHarmonic < 1) {
+    throw std::invalid_argument("SwitchedReflector: maxHarmonic >= 1");
+  }
+}
+
+std::vector<env::PointScatterer> SwitchedReflector::emit(
+    rfp::common::Vec2 antennaPosition, double fSwitchHz, double gain,
+    double phaseOffsetRad, int ghostId, double switchPhaseRad) const {
+  if (fSwitchHz <= 0.0) {
+    throw std::invalid_argument("SwitchedReflector: fSwitch must be > 0");
+  }
+  const double fSwitch = std::min(fSwitchHz, hw_.maxSwitchHz);
+  const double g = std::clamp(gain, 0.0, hw_.maxGain);
+
+  std::vector<env::PointScatterer> out;
+
+  // DC term: the reflector itself, static; background subtraction eats it.
+  {
+    env::PointScatterer dc;
+    dc.position = antennaPosition;
+    dc.amplitude = g * harmonicWeight(0, hw_.dutyCycle);
+    dc.dynamic = false;
+    dc.sourceId = ghostId;
+    out.push_back(dc);
+  }
+
+  // The fundamental weight normalizes gain so that `gain` is the amplitude
+  // of the intended (n = +1) phantom, matching how the controller sizes it.
+  const double fundamental = harmonicWeight(1, hw_.dutyCycle);
+  for (int n = -hw_.maxHarmonic; n <= hw_.maxHarmonic; ++n) {
+    if (n == 0) continue;
+    if (hw_.singleSideband && n < 0) continue;
+    const double w = harmonicWeight(n, hw_.dutyCycle);
+    if (w <= 0.0) continue;
+    env::PointScatterer s;
+    s.position = antennaPosition;
+    s.amplitude = g * (w / fundamental);
+    s.beatFreqOffsetHz = static_cast<double>(n) * fSwitch;
+    s.phaseOffsetRad =
+        phaseOffsetRad + static_cast<double>(n) * switchPhaseRad;
+    s.dynamic = true;
+    s.sourceId = ghostId;
+    out.push_back(s);
+  }
+  return out;
+}
+
+}  // namespace rfp::reflector

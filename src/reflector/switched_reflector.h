@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file switched_reflector.h
+/// The RF-Protect hardware reflector (paper Sec. 5.1 / 5.3, Fig. 5).
+///
+/// The reflector receives the radar chirp, amplifies it (LNA), and chops it
+/// on/off at f_switch before re-radiating. Chopping is multiplication by a
+/// square wave, whose Fourier series places copies of the reflection at beat
+/// frequency offsets n * f_switch:
+///   - n = 0 (DC term, amplitude = duty cycle): the reflector's own static
+///     location; removed by background subtraction like any furniture.
+///   - n = +1: the intended phantom at extra distance
+///     delta_d = C * f_switch / (2 * sl)            (paper Eq. 3)
+///   - n = -1, +-3, ...: harmonic images. The paper notes negative
+///     harmonics land behind the radar / outside the home and higher ones
+///     are much weaker; single-sideband modulation can cancel them.
+///
+/// The phase-shifter input lets the controller superimpose a breathing-like
+/// phase on the re-radiated signal (Sec. 5.3, evaluated in Fig. 14).
+
+#include <vector>
+
+#include "common/vec2.h"
+#include "env/scatterer.h"
+
+namespace rfp::reflector {
+
+/// Static hardware parameters of one switched reflector element.
+struct ReflectorHardware {
+  double dutyCycle = 0.5;       ///< on fraction of the switch waveform
+  int maxHarmonic = 3;          ///< highest |n| harmonic modelled
+  bool singleSideband = false;  ///< true: suppress negative harmonics
+                                ///< (Hitchhike-style SSB, Sec. 5.1)
+  double maxGain = 40.0;        ///< LNA amplitude gain ceiling
+  double maxSwitchHz = 500e3;   ///< switching-frequency ceiling
+};
+
+/// Complex-amplitude weight of square-wave harmonic \p n for duty cycle
+/// \p duty: |c_n| = |sin(pi n duty)| / (pi n), c_0 = duty.
+double harmonicWeight(int n, double duty);
+
+/// Emits the scatterer list one chopped re-radiation produces.
+class SwitchedReflector {
+ public:
+  explicit SwitchedReflector(ReflectorHardware hw = {});
+
+  const ReflectorHardware& hardware() const { return hw_; }
+
+  /// Scatterers injected when reflecting from a panel antenna at
+  /// \p antennaPosition with switching frequency \p fSwitchHz, amplitude
+  /// gain \p gain (clamped to hardware limits) and phase-shifter offset
+  /// \p phaseOffsetRad. \p ghostId tags the injected reflections.
+  ///
+  /// \p switchPhaseRad is the phase of the switching waveform at the chirp
+  /// start: 0 models a switch re-triggered per chirp; a free-running switch
+  /// advances it by 2*pi*f_switch*PRI between chirps, which is what gives
+  /// the phantom a controllable apparent Doppler (see radar/doppler.h).
+  /// Harmonic n carries n times the switch phase.
+  ///
+  /// The returned list holds the DC term (static) plus all modelled
+  /// harmonics (dynamic), each with beatFreqOffsetHz = n * fSwitch.
+  std::vector<env::PointScatterer> emit(rfp::common::Vec2 antennaPosition,
+                                        double fSwitchHz, double gain,
+                                        double phaseOffsetRad, int ghostId,
+                                        double switchPhaseRad = 0.0) const;
+
+ private:
+  ReflectorHardware hw_;
+};
+
+}  // namespace rfp::reflector

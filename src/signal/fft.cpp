@@ -1,0 +1,129 @@
+#include "signal/fft.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/constants.h"
+
+namespace rfp::signal {
+
+namespace {
+
+bool isPowerOfTwo(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+/// Core iterative Cooley-Tukey butterfly; sign = -1 forward, +1 inverse.
+void transform(std::vector<Complex>& a, double sign) {
+  const std::size_t n = a.size();
+  if (!isPowerOfTwo(n)) {
+    throw std::invalid_argument("FFT length must be a power of two");
+  }
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * rfp::common::pi() /
+                       static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = a[i + k];
+        const Complex v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t nextPowerOfTwo(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fftInPlace(std::vector<Complex>& data) { transform(data, -1.0); }
+
+void ifftInPlace(std::vector<Complex>& data) {
+  transform(data, +1.0);
+  const double inv = 1.0 / static_cast<double>(data.size());
+  for (Complex& x : data) x *= inv;
+}
+
+std::vector<Complex> fft(std::span<const Complex> input, std::size_t size) {
+  if (size == 0) size = nextPowerOfTwo(input.size());
+  if (!isPowerOfTwo(size) || size < input.size()) {
+    throw std::invalid_argument(
+        "fft: size must be a power of two >= input length");
+  }
+  std::vector<Complex> data(input.begin(), input.end());
+  data.resize(size, Complex{});
+  fftInPlace(data);
+  return data;
+}
+
+std::vector<Complex> ifft(std::span<const Complex> input) {
+  std::vector<Complex> data(input.begin(), input.end());
+  ifftInPlace(data);
+  return data;
+}
+
+std::vector<double> magnitude(std::span<const Complex> spectrum) {
+  std::vector<double> mag;
+  mag.reserve(spectrum.size());
+  for (const Complex& x : spectrum) mag.push_back(std::abs(x));
+  return mag;
+}
+
+std::vector<double> powerDb(std::span<const Complex> spectrum, double eps) {
+  std::vector<double> db;
+  db.reserve(spectrum.size());
+  for (const Complex& x : spectrum) {
+    db.push_back(20.0 * std::log10(std::abs(x) + eps));
+  }
+  return db;
+}
+
+std::size_t peakBin(std::span<const Complex> spectrum, std::size_t first,
+                    std::size_t last) {
+  if (last == 0 || last > spectrum.size()) last = spectrum.size();
+  if (first >= last) throw std::invalid_argument("peakBin: empty bin range");
+  std::size_t best = first;
+  double bestMag = std::abs(spectrum[first]);
+  for (std::size_t i = first + 1; i < last; ++i) {
+    const double m = std::abs(spectrum[i]);
+    if (m > bestMag) {
+      bestMag = m;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double parabolicPeakInterpolation(std::span<const Complex> spectrum,
+                                  std::size_t bin) {
+  if (bin == 0 || bin + 1 >= spectrum.size()) {
+    return static_cast<double>(bin);
+  }
+  const double eps = 1e-12;
+  const double ym = std::log(std::abs(spectrum[bin - 1]) + eps);
+  const double y0 = std::log(std::abs(spectrum[bin]) + eps);
+  const double yp = std::log(std::abs(spectrum[bin + 1]) + eps);
+  const double denom = ym - 2.0 * y0 + yp;
+  if (std::fabs(denom) < 1e-30) return static_cast<double>(bin);
+  const double delta = 0.5 * (ym - yp) / denom;
+  // Clamp to the neighboring half-bins to keep outliers benign.
+  const double clamped = std::max(-0.5, std::min(0.5, delta));
+  return static_cast<double>(bin) + clamped;
+}
+
+}  // namespace rfp::signal

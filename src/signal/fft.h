@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file fft.h
+/// Iterative radix-2 complex FFT. The radar processing pipeline uses this
+/// for range FFTs (paper Sec. 3: reflections are separated by a Fourier
+/// transform at resolution C / 2B).
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rfp::signal {
+
+using Complex = std::complex<double>;
+
+/// Smallest power of two >= n (and >= 1).
+std::size_t nextPowerOfTwo(std::size_t n);
+
+/// In-place forward FFT. The length must be a power of two; throws
+/// std::invalid_argument otherwise. Unnormalized (sum convention).
+void fftInPlace(std::vector<Complex>& data);
+
+/// In-place inverse FFT (normalized by 1/N).
+void ifftInPlace(std::vector<Complex>& data);
+
+/// Forward FFT of \p input zero-padded to \p size (power of two; pass 0 to
+/// use nextPowerOfTwo(input.size())).
+std::vector<Complex> fft(std::span<const Complex> input, std::size_t size = 0);
+
+/// Inverse FFT returning a new vector.
+std::vector<Complex> ifft(std::span<const Complex> input);
+
+/// Magnitude of each FFT bin.
+std::vector<double> magnitude(std::span<const Complex> spectrum);
+
+/// Power of each FFT bin in decibels: 20*log10(|X| + eps).
+std::vector<double> powerDb(std::span<const Complex> spectrum,
+                            double eps = 1e-12);
+
+/// Index of the bin with the largest magnitude in [first, last).
+std::size_t peakBin(std::span<const Complex> spectrum, std::size_t first = 0,
+                    std::size_t last = 0);
+
+/// Refines a spectral peak location to sub-bin precision by fitting a
+/// parabola through the log-magnitudes of the peak bin and its neighbors.
+/// Returns the fractional bin index. \p bin must be an interior bin.
+double parabolicPeakInterpolation(std::span<const Complex> spectrum,
+                                  std::size_t bin);
+
+}  // namespace rfp::signal

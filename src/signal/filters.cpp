@@ -1,0 +1,125 @@
+#include "signal/filters.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rfp::signal {
+
+using rfp::common::Vec2;
+
+std::vector<double> movingAverage(std::span<const double> xs,
+                                  std::size_t halfWindow) {
+  std::vector<double> out(xs.size());
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(xs.size());
+  const std::ptrdiff_t h = static_cast<std::ptrdiff_t>(halfWindow);
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - h);
+    const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(n - 1, i + h);
+    double s = 0.0;
+    for (std::ptrdiff_t j = lo; j <= hi; ++j) s += xs[j];
+    out[i] = s / static_cast<double>(hi - lo + 1);
+  }
+  return out;
+}
+
+std::vector<double> movingMedian(std::span<const double> xs,
+                                 std::size_t halfWindow) {
+  std::vector<double> out(xs.size());
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(xs.size());
+  const std::ptrdiff_t h = static_cast<std::ptrdiff_t>(halfWindow);
+  std::vector<double> window;
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(0, i - h);
+    const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(n - 1, i + h);
+    window.assign(xs.begin() + lo, xs.begin() + hi + 1);
+    const std::size_t mid = window.size() / 2;
+    std::nth_element(window.begin(), window.begin() + mid, window.end());
+    double med = window[mid];
+    if (window.size() % 2 == 0) {
+      const double below =
+          *std::max_element(window.begin(), window.begin() + mid);
+      med = 0.5 * (med + below);
+    }
+    out[i] = med;
+  }
+  return out;
+}
+
+std::vector<Vec2> smoothPath(std::span<const Vec2> path,
+                             std::size_t halfWindow) {
+  std::vector<double> xs(path.size());
+  std::vector<double> ys(path.size());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    xs[i] = path[i].x;
+    ys[i] = path[i].y;
+  }
+  const auto sx = movingAverage(xs, halfWindow);
+  const auto sy = movingAverage(ys, halfWindow);
+  std::vector<Vec2> out(path.size());
+  for (std::size_t i = 0; i < path.size(); ++i) out[i] = {sx[i], sy[i]};
+  return out;
+}
+
+std::vector<Vec2> medianFilterPath(std::span<const Vec2> path,
+                                   std::size_t halfWindow) {
+  std::vector<double> xs(path.size());
+  std::vector<double> ys(path.size());
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    xs[i] = path[i].x;
+    ys[i] = path[i].y;
+  }
+  const auto sx = movingMedian(xs, halfWindow);
+  const auto sy = movingMedian(ys, halfWindow);
+  std::vector<Vec2> out(path.size());
+  for (std::size_t i = 0; i < path.size(); ++i) out[i] = {sx[i], sy[i]};
+  return out;
+}
+
+std::vector<double> exponentialSmooth(std::span<const double> xs,
+                                      double alpha) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("exponentialSmooth: alpha must be in (0, 1]");
+  }
+  std::vector<double> out(xs.size());
+  double prev = xs.empty() ? 0.0 : xs[0];
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    prev = alpha * xs[i] + (1.0 - alpha) * prev;
+    out[i] = prev;
+  }
+  return out;
+}
+
+std::vector<double> interpolateGaps(std::span<const double> xs) {
+  std::vector<double> out(xs.begin(), xs.end());
+  const std::size_t n = out.size();
+
+  std::size_t firstValid = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isnan(out[i])) {
+      firstValid = i;
+      break;
+    }
+  }
+  if (firstValid == n) {
+    throw std::invalid_argument("interpolateGaps: all samples are NaN");
+  }
+  for (std::size_t i = 0; i < firstValid; ++i) out[i] = out[firstValid];
+
+  std::size_t lastValid = firstValid;
+  for (std::size_t i = firstValid + 1; i < n; ++i) {
+    if (std::isnan(out[i])) continue;
+    // Fill the gap (lastValid, i) linearly.
+    const std::size_t gap = i - lastValid;
+    for (std::size_t k = 1; k < gap; ++k) {
+      const double frac = static_cast<double>(k) / static_cast<double>(gap);
+      out[lastValid + k] =
+          out[lastValid] * (1.0 - frac) + out[i] * frac;
+    }
+    lastValid = i;
+  }
+  for (std::size_t i = lastValid + 1; i < n; ++i) out[i] = out[lastValid];
+  return out;
+}
+
+}  // namespace rfp::signal

@@ -1,0 +1,44 @@
+#pragma once
+
+/// \file filters.h
+/// Time-series smoothing used by the trajectory extraction stage (paper
+/// Sec. 9.1: "we perform smoothing over time and peak rejection to extract
+/// human trajectories, as is standard in radar processing").
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/vec2.h"
+
+namespace rfp::signal {
+
+/// Centered moving average with half-width \p halfWindow; edges use
+/// the available shorter windows. halfWindow = 0 returns the input.
+std::vector<double> movingAverage(std::span<const double> xs,
+                                  std::size_t halfWindow);
+
+/// Centered moving median; robust to impulsive outliers (sporadic radar
+/// peaks). Edges use the available shorter windows.
+std::vector<double> movingMedian(std::span<const double> xs,
+                                 std::size_t halfWindow);
+
+/// Applies the moving average independently to the x and y coordinates of a
+/// 2-D path.
+std::vector<rfp::common::Vec2> smoothPath(
+    std::span<const rfp::common::Vec2> path, std::size_t halfWindow);
+
+/// Applies the moving median independently to the x and y coordinates.
+std::vector<rfp::common::Vec2> medianFilterPath(
+    std::span<const rfp::common::Vec2> path, std::size_t halfWindow);
+
+/// Single-pole IIR low-pass: y[i] = alpha*x[i] + (1-alpha)*y[i-1].
+/// \p alpha must lie in (0, 1].
+std::vector<double> exponentialSmooth(std::span<const double> xs,
+                                      double alpha);
+
+/// Linearly interpolates missing samples marked by NaN; samples at the ends
+/// are filled with the nearest valid value. Throws if no sample is valid.
+std::vector<double> interpolateGaps(std::span<const double> xs);
+
+}  // namespace rfp::signal

@@ -1,0 +1,42 @@
+#include "signal/noise.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rfp::signal {
+
+void addAwgn(std::span<std::complex<double>> samples, double noisePower,
+             rfp::common::Rng& rng) {
+  if (noisePower < 0.0) {
+    throw std::invalid_argument("addAwgn: noise power must be >= 0");
+  }
+  if (noisePower == 0.0) return;
+  const double sigma = std::sqrt(noisePower / 2.0);
+  for (auto& x : samples) {
+    x += std::complex<double>(rng.gaussian(0.0, sigma),
+                              rng.gaussian(0.0, sigma));
+  }
+}
+
+std::vector<std::complex<double>> complexAwgn(std::size_t n, double noisePower,
+                                              rfp::common::Rng& rng) {
+  std::vector<std::complex<double>> out(n);
+  addAwgn(out, noisePower, rng);
+  return out;
+}
+
+double averagePower(std::span<const std::complex<double>> samples) {
+  if (samples.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& x : samples) s += std::norm(x);
+  return s / static_cast<double>(samples.size());
+}
+
+double snrDb(double signalPower, double noisePower) {
+  if (signalPower <= 0.0 || noisePower <= 0.0) {
+    throw std::invalid_argument("snrDb: powers must be positive");
+  }
+  return 10.0 * std::log10(signalPower / noisePower);
+}
+
+}  // namespace rfp::signal

@@ -1,0 +1,31 @@
+#pragma once
+
+/// \file noise.h
+/// Complex additive white Gaussian noise for the simulated radar front end.
+
+#include <complex>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rfp::signal {
+
+/// Adds circularly-symmetric complex Gaussian noise of total power
+/// \p noisePower (variance split evenly between I and Q) to \p samples.
+void addAwgn(std::span<std::complex<double>> samples, double noisePower,
+             rfp::common::Rng& rng);
+
+/// Generates \p n iid circularly-symmetric complex Gaussian samples of
+/// total power \p noisePower.
+std::vector<std::complex<double>> complexAwgn(std::size_t n,
+                                              double noisePower,
+                                              rfp::common::Rng& rng);
+
+/// Average power (mean |x|^2) of a complex signal.
+double averagePower(std::span<const std::complex<double>> samples);
+
+/// Signal-to-noise ratio in dB given signal and noise powers.
+double snrDb(double signalPower, double noisePower);
+
+}  // namespace rfp::signal

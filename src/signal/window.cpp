@@ -1,0 +1,52 @@
+#include "signal/window.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/constants.h"
+
+namespace rfp::signal {
+
+std::vector<double> makeWindow(WindowType type, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("makeWindow: zero length");
+  std::vector<double> w(n, 1.0);
+  if (n == 1 || type == WindowType::kRectangular) return w;
+
+  const double pi = rfp::common::pi();
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / denom;
+    switch (type) {
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * pi * x);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(2.0 * pi * x);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(2.0 * pi * x) +
+               0.08 * std::cos(4.0 * pi * x);
+        break;
+      case WindowType::kRectangular:
+        break;
+    }
+  }
+  return w;
+}
+
+void applyWindow(std::span<std::complex<double>> samples,
+                 std::span<const double> window) {
+  if (samples.size() != window.size()) {
+    throw std::invalid_argument("applyWindow: length mismatch");
+  }
+  for (std::size_t i = 0; i < samples.size(); ++i) samples[i] *= window[i];
+}
+
+double coherentGain(std::span<const double> window) {
+  if (window.empty()) throw std::invalid_argument("coherentGain: empty window");
+  double s = 0.0;
+  for (double w : window) s += w;
+  return s / static_cast<double>(window.size());
+}
+
+}  // namespace rfp::signal

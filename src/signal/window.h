@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file window.h
+/// Window functions applied to chirp samples before the range FFT to reduce
+/// sidelobe leakage between nearby reflectors.
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace rfp::signal {
+
+enum class WindowType {
+  kRectangular,
+  kHann,
+  kHamming,
+  kBlackman,
+};
+
+/// Window coefficients of length \p n (symmetric form).
+std::vector<double> makeWindow(WindowType type, std::size_t n);
+
+/// Multiplies \p samples element-wise by \p window (lengths must match).
+void applyWindow(std::span<std::complex<double>> samples,
+                 std::span<const double> window);
+
+/// Coherent gain of a window: mean of its coefficients. Dividing spectral
+/// magnitudes by n * coherentGain recovers per-tone amplitudes.
+double coherentGain(std::span<const double> window);
+
+}  // namespace rfp::signal

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file detection.h
+/// Peak extraction from range-angle power profiles. The paper (Sec. 9.1)
+/// notes peaks "can be sporadic with intermittent noise", so the detector
+/// combines a noise-floor threshold, local-maximum tests, and non-maximum
+/// suppression; a cell-averaging CFAR variant is provided as well.
+
+#include <cstddef>
+#include <vector>
+
+#include <optional>
+
+#include "common/vec2.h"
+#include "radar/processor.h"
+
+namespace rfp::tracking {
+
+/// Axis-aligned world-coordinate acceptance region. Sensing systems reject
+/// reflections that resolve outside the monitored space (first-order wall
+/// multipath always mirrors *outside* the room, so this also serves as the
+/// standard multipath gate).
+struct WorldBounds {
+  rfp::common::Vec2 lo{};
+  rfp::common::Vec2 hi{};
+
+  bool contains(rfp::common::Vec2 p) const {
+    return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y;
+  }
+};
+
+/// One detected reflection in a frame.
+struct Detection {
+  double rangeM = 0.0;
+  double angleRad = 0.0;
+  double power = 0.0;
+  rfp::common::Vec2 world{};  ///< cartesian location (radar frame -> world)
+  double timestampS = 0.0;
+};
+
+/// Detector configuration.
+struct DetectorOptions {
+  double thresholdFactor = 8.0;   ///< peak must exceed floor * factor
+  std::size_t maxDetections = 8;  ///< strongest peaks kept per frame
+  double minSeparationM = 0.6;    ///< NMS radius in range
+  double minSeparationRad = 0.35; ///< NMS radius in angle
+  /// CFAR parameters (used by detectCfar).
+  std::size_t cfarTrainCells = 12;
+  std::size_t cfarGuardCells = 3;
+  double cfarScale = 6.0;
+  /// When set, detections resolving outside this region are discarded.
+  std::optional<WorldBounds> bounds;
+  /// Keep only peaks within this many dB of the frame's strongest detection
+  /// (suppresses beamformer sidelobes and weak switching harmonics).
+  double dynamicRangeDb = 10.0;
+};
+
+/// Extracts peaks from range-angle maps.
+class PeakDetector {
+ public:
+  explicit PeakDetector(DetectorOptions options = {});
+
+  const DetectorOptions& options() const { return options_; }
+
+  /// Noise floor estimate: the median cell power of the map.
+  static double noiseFloor(const radar::RangeAngleMap& map);
+
+  /// Local maxima above noiseFloor * thresholdFactor, non-max suppressed,
+  /// strongest-first, at most maxDetections. \p processor supplies the
+  /// radar geometry for world-coordinate conversion.
+  std::vector<Detection> detect(const radar::RangeAngleMap& map,
+                                const radar::Processor& processor) const;
+
+  /// Cell-averaging CFAR along the range dimension of each angle column,
+  /// followed by the same local-max/NMS logic. More adaptive to a range-
+  /// dependent noise floor.
+  std::vector<Detection> detectCfar(const radar::RangeAngleMap& map,
+                                    const radar::Processor& processor) const;
+
+ private:
+  std::vector<Detection> suppressAndConvert(
+      const radar::RangeAngleMap& map, const radar::Processor& processor,
+      std::vector<std::pair<std::size_t, std::size_t>> candidates) const;
+
+  DetectorOptions options_;
+};
+
+}  // namespace rfp::tracking

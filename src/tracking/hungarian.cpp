@@ -1,0 +1,132 @@
+#include "tracking/hungarian.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace rfp::tracking {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// JV-style O(n^3) Hungarian algorithm on an n x m matrix with n <= m.
+/// Returns for each row its assigned column. Forbidden (infinite) pairings
+/// are handled by substituting a large finite cost and filtering afterwards.
+std::vector<int> solveSquareish(const linalg::Matrix& cost) {
+  const std::size_t n = cost.rows();
+  const std::size_t m = cost.cols();
+
+  // Replace infinities with a large-but-finite sentinel so potentials stay
+  // finite; remember which pairings were forbidden.
+  double maxFinite = 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      const double c = cost(i, j);
+      if (std::isfinite(c)) maxFinite = std::max(maxFinite, std::fabs(c));
+    }
+  }
+  const double big = maxFinite * static_cast<double>(n + m + 1) + 1.0;
+  auto costAt = [&](std::size_t i, std::size_t j) {
+    const double c = cost(i, j);
+    return std::isfinite(c) ? c : big;
+  };
+
+  // 1-based potentials over rows (u) and columns (v); p[j] = row matched to
+  // column j (0 = none).
+  std::vector<double> u(n + 1, 0.0);
+  std::vector<double> v(m + 1, 0.0);
+  std::vector<std::size_t> p(m + 1, 0);
+  std::vector<std::size_t> way(m + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<char> used(m + 1, 0);
+    do {
+      used[j0] = 1;
+      const std::size_t i0 = p[j0];
+      double delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        const double cur = costAt(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> assignment(n, -1);
+  for (std::size_t j = 1; j <= m; ++j) {
+    if (p[j] != 0) assignment[p[j] - 1] = static_cast<int>(j - 1);
+  }
+  // Strip assignments that used a forbidden pairing.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (assignment[i] >= 0 &&
+        !std::isfinite(cost(i, static_cast<std::size_t>(assignment[i])))) {
+      assignment[i] = -1;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace
+
+std::vector<int> solveAssignment(const linalg::Matrix& cost) {
+  const std::size_t n = cost.rows();
+  const std::size_t m = cost.cols();
+  if (n == 0 || m == 0) return std::vector<int>(n, -1);
+
+  if (n <= m) return solveSquareish(cost);
+
+  // More rows than columns: solve the transpose and invert the mapping.
+  const std::vector<int> colToRow = solveSquareish(cost.transposed());
+  std::vector<int> assignment(n, -1);
+  for (std::size_t j = 0; j < m; ++j) {
+    if (colToRow[j] >= 0) {
+      assignment[static_cast<std::size_t>(colToRow[j])] =
+          static_cast<int>(j);
+    }
+  }
+  return assignment;
+}
+
+double assignmentCost(const linalg::Matrix& cost,
+                      const std::vector<int>& assignment) {
+  if (assignment.size() != cost.rows()) {
+    throw std::invalid_argument("assignmentCost: assignment size mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    if (assignment[i] >= 0) {
+      total += cost(i, static_cast<std::size_t>(assignment[i]));
+    }
+  }
+  return total;
+}
+
+}  // namespace rfp::tracking

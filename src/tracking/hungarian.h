@@ -1,0 +1,25 @@
+#pragma once
+
+/// \file hungarian.h
+/// Optimal assignment (Hungarian / Kuhn-Munkres, O(n^3) potential form) for
+/// associating detections to tracks each frame.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rfp::tracking {
+
+/// Solves the rectangular assignment problem for \p cost (rows = workers,
+/// cols = jobs). Returns assignment[row] = column index, or -1 when a row is
+/// unassigned (more rows than columns). Minimizes total cost. Entries may be
+/// +infinity to forbid a pairing; a row whose only options are forbidden is
+/// left unassigned.
+std::vector<int> solveAssignment(const linalg::Matrix& cost);
+
+/// Total cost of an assignment produced by solveAssignment.
+double assignmentCost(const linalg::Matrix& cost,
+                      const std::vector<int>& assignment);
+
+}  // namespace rfp::tracking

@@ -1,0 +1,51 @@
+#pragma once
+
+/// \file kalman.h
+/// Constant-velocity Kalman filter in 2-D. The paper's threat model (Sec. 2)
+/// explicitly equips the eavesdropper with "statistical approaches like
+/// Kalman Filters" for trajectory extraction; the legitimate sensor and the
+/// evaluation harness reuse the same filter.
+
+#include "common/vec2.h"
+#include "linalg/matrix.h"
+
+namespace rfp::tracking {
+
+/// Filter tuning.
+struct KalmanOptions {
+  double processNoiseAccel = 1.5;  ///< white-acceleration PSD [m/s^2]
+  double measurementNoiseM = 0.15; ///< position sigma [m] (~1 range bin)
+  double initialVelocitySigma = 1.5;  ///< prior on unknown velocity [m/s]
+};
+
+/// State [x, y, vx, vy] with position-only measurements.
+class KalmanFilter2D {
+ public:
+  /// Initializes at a first measured position with zero velocity and a
+  /// broad velocity prior.
+  KalmanFilter2D(rfp::common::Vec2 initialPosition, KalmanOptions options = {});
+
+  /// Time propagation by \p dt seconds (constant-velocity model with
+  /// white-acceleration process noise).
+  void predict(double dt);
+
+  /// Measurement update with an observed position.
+  void update(rfp::common::Vec2 measuredPosition);
+
+  rfp::common::Vec2 position() const;
+  rfp::common::Vec2 velocity() const;
+
+  /// Innovation Mahalanobis distance of a candidate measurement given the
+  /// current (predicted) state; used for gating during data association.
+  double mahalanobis(rfp::common::Vec2 measuredPosition) const;
+
+  const linalg::Matrix& state() const { return x_; }
+  const linalg::Matrix& covariance() const { return p_; }
+
+ private:
+  KalmanOptions options_;
+  linalg::Matrix x_;  ///< 4x1 state
+  linalg::Matrix p_;  ///< 4x4 covariance
+};
+
+}  // namespace rfp::tracking

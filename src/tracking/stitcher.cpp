@@ -1,0 +1,96 @@
+#include "tracking/stitcher.h"
+
+#include <algorithm>
+
+namespace rfp::tracking {
+
+using rfp::common::Vec2;
+
+namespace {
+
+/// Terminal velocity of a segment, estimated over its last few samples.
+Vec2 terminalVelocity(const Track& t) {
+  const std::size_t n = t.history.size();
+  if (n < 2) return {};
+  const std::size_t span = std::min<std::size_t>(5, n - 1);
+  const double dt = t.timestamps[n - 1] - t.timestamps[n - 1 - span];
+  if (dt <= 0.0) return {};
+  return (t.history[n - 1] - t.history[n - 1 - span]) / dt;
+}
+
+}  // namespace
+
+std::vector<StitchedTrack> stitchTracks(
+    const std::vector<const Track*>& segments, StitchOptions options) {
+  // Sort segments by start time.
+  std::vector<const Track*> ordered = segments;
+  std::erase_if(ordered, [](const Track* t) {
+    return t == nullptr || t->history.empty();
+  });
+  std::sort(ordered.begin(), ordered.end(),
+            [](const Track* a, const Track* b) {
+              return a->timestamps.front() < b->timestamps.front();
+            });
+
+  std::vector<StitchedTrack> chains;
+  std::vector<Vec2> chainVelocity;  // terminal velocity per chain
+
+  for (const Track* seg : ordered) {
+    // Find the best chain this segment can extend.
+    int best = -1;
+    double bestMismatch = options.maxJumpM;
+    for (std::size_t c = 0; c < chains.size(); ++c) {
+      const double gap =
+          seg->timestamps.front() - chains[c].timestamps.back();
+      if (gap < -1e-9 || gap > options.maxGapS) continue;
+      const Vec2 predicted =
+          chains[c].history.back() + chainVelocity[c] * gap;
+      const double mismatch = distance(predicted, seg->history.front());
+      if (mismatch < bestMismatch) {
+        bestMismatch = mismatch;
+        best = static_cast<int>(c);
+      }
+    }
+
+    if (best < 0) {
+      StitchedTrack chain;
+      chain.history = seg->history;
+      chain.timestamps = seg->timestamps;
+      chain.sourceTrackIds = {seg->id};
+      chains.push_back(std::move(chain));
+      chainVelocity.push_back(terminalVelocity(*seg));
+    } else {
+      auto& chain = chains[static_cast<std::size_t>(best)];
+      chain.history.insert(chain.history.end(), seg->history.begin(),
+                           seg->history.end());
+      chain.timestamps.insert(chain.timestamps.end(),
+                              seg->timestamps.begin(),
+                              seg->timestamps.end());
+      chain.sourceTrackIds.push_back(seg->id);
+      chainVelocity[static_cast<std::size_t>(best)] = terminalVelocity(*seg);
+    }
+  }
+
+  std::erase_if(chains, [&](const StitchedTrack& c) {
+    return c.history.size() < options.minLength;
+  });
+  std::sort(chains.begin(), chains.end(),
+            [](const StitchedTrack& a, const StitchedTrack& b) {
+              return a.history.size() > b.history.size();
+            });
+  return chains;
+}
+
+std::vector<StitchedTrack> stitchTracker(const MultiTargetTracker& tracker,
+                                         StitchOptions options) {
+  std::vector<const Track*> segments;
+  for (const Track& t : tracker.finishedTracks()) {
+    if (t.confirmed) segments.push_back(&t);
+  }
+  for (const Track& t : tracker.tracks()) {
+    if (t.confirmed) segments.push_back(&t);
+  }
+  return stitchTracks(segments, options);
+}
+
+}  // namespace rfp::tracking

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file stitcher.h
+/// Track stitching: background subtraction makes radar peaks "sporadic"
+/// (paper Sec. 9.1), so a single walker often fragments into several track
+/// segments separated by short gaps. The stitcher merges segments whose
+/// end/start points are kinematically compatible, recovering one
+/// trajectory per target -- what occupant-counting eavesdroppers (and the
+/// legitimate sensor) actually operate on.
+
+#include <vector>
+
+#include "tracking/tracker.h"
+
+namespace rfp::tracking {
+
+/// Stitching thresholds.
+struct StitchOptions {
+  double maxGapS = 2.0;     ///< longest bridgeable silence
+  double maxJumpM = 1.2;    ///< position mismatch allowed at the seam,
+                            ///< after coasting the earlier track's velocity
+  std::size_t minLength = 10;  ///< discard shorter stitched results
+};
+
+/// A stitched trajectory.
+struct StitchedTrack {
+  std::vector<rfp::common::Vec2> history;
+  std::vector<double> timestamps;
+  std::vector<int> sourceTrackIds;  ///< ids of the merged segments
+};
+
+/// Greedily merges track segments in time order: a segment B is appended
+/// to a stitched chain A when B starts within maxGapS of A's end and B's
+/// first position lies within maxJumpM of A's end position extrapolated at
+/// A's terminal velocity. Returns stitched tracks with at least
+/// options.minLength points, longest first.
+std::vector<StitchedTrack> stitchTracks(
+    const std::vector<const Track*>& segments, StitchOptions options = {});
+
+/// Convenience: collects confirmed segments (alive + finished) from a
+/// tracker and stitches them.
+std::vector<StitchedTrack> stitchTracker(const MultiTargetTracker& tracker,
+                                         StitchOptions options = {});
+
+}  // namespace rfp::tracking

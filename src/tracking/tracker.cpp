@@ -1,0 +1,109 @@
+#include "tracking/tracker.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "linalg/matrix.h"
+#include "tracking/hungarian.h"
+
+namespace rfp::tracking {
+
+using rfp::common::Vec2;
+
+Track::Track(int id_, Vec2 first, double t, KalmanOptions opts)
+    : id(id_), filter(first, opts) {
+  history.push_back(first);
+  timestamps.push_back(t);
+  hits = 1;
+}
+
+MultiTargetTracker::MultiTargetTracker(TrackerOptions options)
+    : options_(options) {}
+
+void MultiTargetTracker::update(const std::vector<Detection>& detections,
+                                double timestampS) {
+  const double dt = started_ ? timestampS - lastTimestamp_ : 0.0;
+  if (started_ && dt > 0.0) {
+    for (Track& t : tracks_) t.filter.predict(dt);
+  }
+  started_ = true;
+  lastTimestamp_ = timestampS;
+
+  // Build the gated cost matrix (tracks x detections).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  linalg::Matrix cost(tracks_.size(), detections.size());
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    for (std::size_t j = 0; j < detections.size(); ++j) {
+      const Vec2 z = detections[j].world;
+      const double euclid = distance(tracks_[i].filter.position(), z);
+      const double maha = tracks_[i].filter.mahalanobis(z);
+      const bool gated = euclid > options_.gateDistanceM ||
+                         maha > options_.gateMahalanobis;
+      cost(i, j) = gated ? kInf : maha;
+    }
+  }
+
+  std::vector<int> assignment =
+      tracks_.empty() || detections.empty()
+          ? std::vector<int>(tracks_.size(), -1)
+          : solveAssignment(cost);
+
+  std::vector<bool> detectionUsed(detections.size(), false);
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    Track& t = tracks_[i];
+    const int j = assignment[i];
+    if (j >= 0) {
+      detectionUsed[static_cast<std::size_t>(j)] = true;
+      t.filter.update(detections[static_cast<std::size_t>(j)].world);
+      t.hits += 1;
+      t.misses = 0;
+      if (t.hits >= options_.confirmHits) t.confirmed = true;
+    } else {
+      t.misses += 1;
+    }
+    t.history.push_back(t.filter.position());
+    t.timestamps.push_back(timestampS);
+  }
+
+  // Spawn tentative tracks from unused detections.
+  for (std::size_t j = 0; j < detections.size(); ++j) {
+    if (detectionUsed[j]) continue;
+    tracks_.emplace_back(nextId_++, detections[j].world, timestampS,
+                         options_.kalman);
+  }
+
+  // Retire tracks that have missed too long.
+  std::vector<Track> alive;
+  alive.reserve(tracks_.size());
+  for (Track& t : tracks_) {
+    if (t.misses > options_.maxMisses) {
+      if (t.confirmed) finished_.push_back(std::move(t));
+    } else {
+      alive.push_back(std::move(t));
+    }
+  }
+  tracks_ = std::move(alive);
+}
+
+std::vector<const Track*> MultiTargetTracker::confirmedTracks() const {
+  std::vector<const Track*> out;
+  for (const Track& t : tracks_) {
+    if (t.confirmed) out.push_back(&t);
+  }
+  return out;
+}
+
+std::vector<std::vector<Vec2>> MultiTargetTracker::trajectories(
+    std::size_t minLength) const {
+  std::vector<std::vector<Vec2>> out;
+  auto add = [&](const Track& t) {
+    if (t.confirmed && t.history.size() >= minLength) {
+      out.push_back(t.history);
+    }
+  };
+  for (const Track& t : finished_) add(t);
+  for (const Track& t : tracks_) add(t);
+  return out;
+}
+
+}  // namespace rfp::tracking

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file tracker.h
+/// Multi-target tracker: gated Hungarian association of detections to
+/// Kalman-filtered tracks, with tentative/confirmed track management. This
+/// is the eavesdropper's (and the legitimate sensor's) trajectory extractor.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/vec2.h"
+#include "tracking/detection.h"
+#include "tracking/kalman.h"
+
+namespace rfp::tracking {
+
+/// One tracked target.
+struct Track {
+  int id = 0;
+  KalmanFilter2D filter;
+  std::vector<rfp::common::Vec2> history;  ///< filtered positions per frame
+  std::vector<double> timestamps;
+  int hits = 0;       ///< total associated detections
+  int misses = 0;     ///< consecutive frames with no detection
+  bool confirmed = false;
+
+  Track(int id_, rfp::common::Vec2 first, double t, KalmanOptions opts);
+};
+
+/// Tracker configuration.
+struct TrackerOptions {
+  KalmanOptions kalman{};
+  double gateMahalanobis = 5.0;   ///< association gate (innovation sigmas)
+  double gateDistanceM = 1.5;     ///< hard euclidean gate [m]
+  int confirmHits = 3;            ///< detections before a track is confirmed
+  int maxMisses = 8;              ///< consecutive misses before deletion
+};
+
+/// Frame-by-frame multi-target tracker.
+class MultiTargetTracker {
+ public:
+  explicit MultiTargetTracker(TrackerOptions options = {});
+
+  /// Advances all tracks to \p timestamp and associates \p detections.
+  void update(const std::vector<Detection>& detections, double timestampS);
+
+  /// Currently alive tracks (tentative and confirmed).
+  const std::vector<Track>& tracks() const { return tracks_; }
+
+  /// Confirmed tracks only.
+  std::vector<const Track*> confirmedTracks() const;
+
+  /// Tracks that have ever been confirmed, including finished (deleted)
+  /// ones; useful for end-of-run trajectory extraction.
+  const std::vector<Track>& finishedTracks() const { return finished_; }
+
+  /// All confirmed trajectories (alive + finished) with at least
+  /// \p minLength points.
+  std::vector<std::vector<rfp::common::Vec2>> trajectories(
+      std::size_t minLength = 5) const;
+
+ private:
+  TrackerOptions options_;
+  std::vector<Track> tracks_;
+  std::vector<Track> finished_;
+  int nextId_ = 0;
+  double lastTimestamp_ = 0.0;
+  bool started_ = false;
+};
+
+}  // namespace rfp::tracking

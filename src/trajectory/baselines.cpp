@@ -1,0 +1,69 @@
+#include "trajectory/baselines.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+
+namespace rfp::trajectory {
+
+using rfp::common::Rng;
+using rfp::common::Vec2;
+
+std::vector<Trace> singleTrajectoryBaseline(const Trace& templateTrace,
+                                            std::size_t count, Rng& rng,
+                                            double noiseSigmaM) {
+  std::vector<Trace> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Trace t = templateTrace;
+    for (Vec2& p : t.points) {
+      p += Vec2{rng.gaussian(0.0, noiseSigmaM),
+                rng.gaussian(0.0, noiseSigmaM)};
+    }
+    t.label = rangeClassOf(t);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<Trace> uniformLinearMotionBaseline(std::size_t count, Rng& rng,
+                                               double maxSpeedMps) {
+  const auto n = static_cast<std::size_t>(rfp::common::kTracePoints);
+  std::vector<Trace> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double speed = rng.uniform(0.1, maxSpeedMps);
+    const double heading = rng.uniform(0.0, 2.0 * rfp::common::pi());
+    const Vec2 v = Vec2{std::cos(heading), std::sin(heading)} * speed;
+    Trace t;
+    t.points.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      t.points[k] = v * (kTraceDt * static_cast<double>(k));
+    }
+    t.label = rangeClassOf(t);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+std::vector<Trace> randomMotionBaseline(std::size_t count, Rng& rng,
+                                        double stepSigmaM) {
+  const auto n = static_cast<std::size_t>(rfp::common::kTracePoints);
+  std::vector<Trace> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Trace t;
+    t.points.resize(n);
+    Vec2 pos{};
+    for (std::size_t k = 0; k < n; ++k) {
+      t.points[k] = pos;
+      pos += Vec2{rng.gaussian(0.0, stepSigmaM),
+                  rng.gaussian(0.0, stepSigmaM)};
+    }
+    t.label = rangeClassOf(t);
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace rfp::trajectory

@@ -1,0 +1,36 @@
+#pragma once
+
+/// \file baselines.h
+/// The three baseline trajectory sources the paper compares its GAN against
+/// in Fig. 12: a single trajectory repeated, uniform linear motion, and
+/// random motion. None of them matches the human-motion distribution, which
+/// is exactly why their FID scores are worse.
+
+#include <vector>
+
+#include "common/rng.h"
+#include "trajectory/trace.h"
+
+namespace rfp::trajectory {
+
+/// "SingleTraj": one template trajectory performed repeatedly; each
+/// repetition adds small execution noise (a human can't retrace a path
+/// exactly) but the distribution collapses to one mode.
+std::vector<Trace> singleTrajectoryBaseline(const Trace& templateTrace,
+                                            std::size_t count,
+                                            rfp::common::Rng& rng,
+                                            double noiseSigmaM = 0.05);
+
+/// "ULM": uniform linear motion between two random points -- constant
+/// velocity, no turns, no pauses.
+std::vector<Trace> uniformLinearMotionBaseline(std::size_t count,
+                                               rfp::common::Rng& rng,
+                                               double maxSpeedMps = 1.6);
+
+/// "Random": an unsmoothed random walk (iid Gaussian steps); jittery and
+/// discontinuous compared to real motion.
+std::vector<Trace> randomMotionBaseline(std::size_t count,
+                                        rfp::common::Rng& rng,
+                                        double stepSigmaM = 0.25);
+
+}  // namespace rfp::trajectory

@@ -1,0 +1,52 @@
+#include "trajectory/dataset_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rfp::trajectory {
+
+void saveTracesCsv(const std::string& path,
+                   const std::vector<Trace>& traces) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("saveTracesCsv: cannot open " + path);
+  out.precision(9);
+  for (const Trace& t : traces) {
+    out << t.label;
+    for (const auto& p : t.points) out << ',' << p.x << ',' << p.y;
+    out << '\n';
+  }
+  if (!out) throw std::runtime_error("saveTracesCsv: write failed: " + path);
+}
+
+std::vector<Trace> loadTracesCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("loadTracesCsv: cannot open " + path);
+
+  std::vector<Trace> traces;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::stringstream ss(line);
+    std::string field;
+    Trace t;
+    if (!std::getline(ss, field, ',')) {
+      throw std::invalid_argument("loadTracesCsv: missing label");
+    }
+    t.label = std::stoi(field);
+
+    std::vector<double> values;
+    while (std::getline(ss, field, ',')) values.push_back(std::stod(field));
+    if (values.size() % 2 != 0 || values.empty()) {
+      throw std::invalid_argument("loadTracesCsv: odd coordinate count");
+    }
+    t.points.reserve(values.size() / 2);
+    for (std::size_t i = 0; i < values.size(); i += 2) {
+      t.points.push_back({values[i], values[i + 1]});
+    }
+    traces.push_back(std::move(t));
+  }
+  return traces;
+}
+
+}  // namespace rfp::trajectory

@@ -1,0 +1,22 @@
+#pragma once
+
+/// \file dataset_io.h
+/// CSV persistence for trajectory datasets: one row per trace,
+/// "label,x0,y0,x1,y1,...". Lets users export generated datasets and train
+/// on externally collected traces.
+
+#include <string>
+#include <vector>
+
+#include "trajectory/trace.h"
+
+namespace rfp::trajectory {
+
+/// Writes \p traces to \p path. Throws std::runtime_error on IO failure.
+void saveTracesCsv(const std::string& path, const std::vector<Trace>& traces);
+
+/// Reads traces from \p path. Throws std::runtime_error on IO failure and
+/// std::invalid_argument on malformed rows.
+std::vector<Trace> loadTracesCsv(const std::string& path);
+
+}  // namespace rfp::trajectory

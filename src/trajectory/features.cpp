@@ -1,0 +1,88 @@
+#include "trajectory/features.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rfp::trajectory {
+
+using rfp::common::Vec2;
+
+std::vector<double> traceFeatures(const Trace& trace) {
+  const auto& pts = trace.points;
+  if (pts.size() < 3) {
+    throw std::invalid_argument("traceFeatures: need at least 3 points");
+  }
+
+  std::vector<Vec2> steps;
+  steps.reserve(pts.size() - 1);
+  for (std::size_t i = 1; i < pts.size(); ++i) {
+    steps.push_back(pts[i] - pts[i - 1]);
+  }
+
+  const double path = pathLength(trace);
+  const double net = netDisplacement(trace);
+  const double range = motionRange(trace);
+  const double straightness = path > 1e-9 ? net / path : 0.0;
+
+  double meanStep = 0.0;
+  for (const Vec2& s : steps) meanStep += s.norm();
+  meanStep /= static_cast<double>(steps.size());
+  double stdStep = 0.0;
+  for (const Vec2& s : steps) {
+    stdStep += (s.norm() - meanStep) * (s.norm() - meanStep);
+  }
+  stdStep = std::sqrt(stdStep / static_cast<double>(steps.size()));
+
+  // Turning angles between consecutive steps (0 when either step is tiny).
+  std::vector<double> turns;
+  turns.reserve(steps.size() - 1);
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    const Vec2 a = steps[i - 1];
+    const Vec2 b = steps[i];
+    if (a.norm() < 1e-9 || b.norm() < 1e-9) {
+      turns.push_back(0.0);
+      continue;
+    }
+    turns.push_back(std::atan2(a.cross(b), a.dot(b)));
+  }
+  double meanAbsTurn = 0.0;
+  for (double t : turns) meanAbsTurn += std::fabs(t);
+  meanAbsTurn /= static_cast<double>(turns.size());
+  double meanTurn = 0.0;
+  for (double t : turns) meanTurn += t;
+  meanTurn /= static_cast<double>(turns.size());
+  double stdTurn = 0.0;
+  for (double t : turns) stdTurn += (t - meanTurn) * (t - meanTurn);
+  stdTurn = std::sqrt(stdTurn / static_cast<double>(turns.size()));
+
+  // Lag-1 autocorrelation of step vectors: <s_i . s_{i+1}> / <|s|^2>.
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 1; i < steps.size(); ++i) num += steps[i - 1].dot(steps[i]);
+  for (const Vec2& s : steps) den += s.norm2();
+  const double autocorr = den > 1e-12 ? num / den : 0.0;
+
+  // Mean squared discrete curvature (second difference magnitude).
+  double curv = 0.0;
+  for (std::size_t i = 1; i < steps.size(); ++i) {
+    curv += (steps[i] - steps[i - 1]).norm2();
+  }
+  curv /= static_cast<double>(steps.size() - 1);
+
+  return {path, net,    range,       straightness, meanStep,
+          stdStep, meanAbsTurn, stdTurn,     autocorr,     curv};
+}
+
+linalg::Matrix featureMatrix(const std::vector<Trace>& traces) {
+  if (traces.empty()) {
+    throw std::invalid_argument("featureMatrix: empty trace set");
+  }
+  linalg::Matrix m(traces.size(), kNumTraceFeatures);
+  for (std::size_t r = 0; r < traces.size(); ++r) {
+    const std::vector<double> f = traceFeatures(traces[r]);
+    for (std::size_t c = 0; c < kNumTraceFeatures; ++c) m(r, c) = f[c];
+  }
+  return m;
+}
+
+}  // namespace rfp::trajectory

@@ -1,0 +1,34 @@
+#pragma once
+
+/// \file features.h
+/// Trajectory feature embedding used by the FID metric and the simulated
+/// user study. The features capture exactly the properties the paper argues
+/// distinguish human motion: smoothness, continuity, speed structure, and
+/// range of motion (Sec. 6 / 11.2).
+
+#include <vector>
+
+#include "trajectory/trace.h"
+
+namespace rfp::trajectory {
+
+/// Number of features produced by traceFeatures.
+inline constexpr std::size_t kNumTraceFeatures = 10;
+
+/// Feature vector of one trace:
+///  0: path length
+///  1: net displacement
+///  2: motion range (bbox diagonal)
+///  3: straightness (net / path, 0 for degenerate paths)
+///  4: mean step length
+///  5: std of step lengths
+///  6: mean absolute turning angle [rad]
+///  7: std of turning angles
+///  8: lag-1 autocorrelation of step vectors (smoothness)
+///  9: mean squared discrete curvature (jerkiness)
+std::vector<double> traceFeatures(const Trace& trace);
+
+/// Feature matrix [numTraces x kNumTraceFeatures].
+linalg::Matrix featureMatrix(const std::vector<Trace>& traces);
+
+}  // namespace rfp::trajectory

@@ -1,0 +1,78 @@
+#include "trajectory/fid.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/decompositions.h"
+#include "trajectory/features.h"
+
+namespace rfp::trajectory {
+
+using linalg::Matrix;
+
+double frechetDistance(const Matrix& featuresA, const Matrix& featuresB,
+                       double ridge) {
+  if (featuresA.cols() != featuresB.cols()) {
+    throw std::invalid_argument("frechetDistance: feature dim mismatch");
+  }
+  if (featuresA.rows() < 2 || featuresB.rows() < 2) {
+    throw std::invalid_argument("frechetDistance: need >= 2 samples per set");
+  }
+
+  const std::vector<double> muA = linalg::columnMeans(featuresA);
+  const std::vector<double> muB = linalg::columnMeans(featuresB);
+  Matrix sA = linalg::covariance(featuresA);
+  Matrix sB = linalg::covariance(featuresB);
+  const std::size_t d = sA.rows();
+  for (std::size_t i = 0; i < d; ++i) {
+    sA(i, i) += ridge;
+    sB(i, i) += ridge;
+  }
+
+  double meanTerm = 0.0;
+  for (std::size_t i = 0; i < d; ++i) {
+    meanTerm += (muA[i] - muB[i]) * (muA[i] - muB[i]);
+  }
+
+  // Tr((S_A S_B)^{1/2}) via the symmetric form:
+  // (S_A S_B)^{1/2} has the same trace as (S_A^{1/2} S_B S_A^{1/2})^{1/2},
+  // which is a PSD matrix we can take the principal square root of.
+  const Matrix rootA = linalg::sqrtmPsd(sA);
+  const Matrix inner = rootA * sB * rootA;
+  const Matrix rootInner = linalg::sqrtmPsd(inner, /*clampTol=*/1e-6);
+
+  const double fid =
+      meanTerm + sA.trace() + sB.trace() - 2.0 * rootInner.trace();
+  // Round-off can push a tiny-positive result below zero; clamp.
+  return std::max(0.0, fid);
+}
+
+double traceFid(const std::vector<Trace>& setA, const std::vector<Trace>& setB,
+                double ridge) {
+  return frechetDistance(featureMatrix(setA), featureMatrix(setB), ridge);
+}
+
+NormalizedFid normalizedFidScores(
+    const std::vector<Trace>& realSet,
+    const std::vector<std::vector<Trace>>& candidates, double ridge) {
+  if (realSet.size() < 8) {
+    throw std::invalid_argument("normalizedFidScores: real set too small");
+  }
+  const std::size_t half = realSet.size() / 2;
+  const std::vector<Trace> firstHalf(realSet.begin(), realSet.begin() + half);
+  const std::vector<Trace> secondHalf(realSet.begin() + half, realSet.end());
+
+  NormalizedFid out;
+  out.realBaseline = traceFid(firstHalf, secondHalf, ridge);
+  if (out.realBaseline <= 0.0) {
+    throw std::runtime_error("normalizedFidScores: degenerate baseline");
+  }
+  out.normalized.reserve(candidates.size());
+  for (const auto& candidate : candidates) {
+    out.normalized.push_back(traceFid(firstHalf, candidate, ridge) /
+                             out.realBaseline);
+  }
+  return out;
+}
+
+}  // namespace rfp::trajectory

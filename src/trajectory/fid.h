@@ -1,0 +1,39 @@
+#pragma once
+
+/// \file fid.h
+/// Frechet Inception Distance between trajectory sets (paper Sec. 11.2,
+/// Fig. 12). The paper's FID uses a feature embedding and fits Gaussians:
+/// FID = |mu1 - mu2|^2 + Tr(S1 + S2 - 2 (S1 S2)^{1/2}). We use the
+/// trajectory feature embedding from features.h. Reported scores are
+/// normalized by the real-vs-real FID between two held-out halves of the
+/// real dataset, exactly as the paper does.
+
+#include <vector>
+
+#include "trajectory/trace.h"
+
+namespace rfp::trajectory {
+
+/// Raw FID between two feature matrices (rows = samples). Covariances are
+/// regularized by \p ridge * I for numerical robustness.
+double frechetDistance(const linalg::Matrix& featuresA,
+                       const linalg::Matrix& featuresB,
+                       double ridge = 1e-6);
+
+/// FID between two trace sets via traceFeatures.
+double traceFid(const std::vector<Trace>& setA, const std::vector<Trace>& setB,
+                double ridge = 1e-6);
+
+/// Normalized FID of several candidate sets against a reference set, as in
+/// Fig. 12: the reference set is split in half; the half-vs-half FID is the
+/// normalizer (so "Real" scores 1.0 by construction).
+struct NormalizedFid {
+  double realBaseline = 0.0;           ///< raw half-vs-half FID
+  std::vector<double> normalized;      ///< one per candidate set
+};
+
+NormalizedFid normalizedFidScores(
+    const std::vector<Trace>& realSet,
+    const std::vector<std::vector<Trace>>& candidates, double ridge = 1e-6);
+
+}  // namespace rfp::trajectory

@@ -1,0 +1,263 @@
+#include "trajectory/floorplan_router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace rfp::trajectory {
+
+using rfp::common::Vec2;
+
+namespace {
+
+/// Distance from point \p p to segment a-b.
+double pointSegmentDistance(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 d = b - a;
+  const double len2 = d.norm2();
+  if (len2 == 0.0) return distance(p, a);
+  const double t = std::clamp((p - a).dot(d) / len2, 0.0, 1.0);
+  return distance(p, a + d * t);
+}
+
+/// Interior walls only: the four perimeter walls coincide with the room
+/// bounds, which the grid already blocks via bounds checking; inflating
+/// them too would shave usable space twice.
+bool isPerimeter(const env::Wall& w, const env::FloorPlan& plan) {
+  auto onBoundary = [&](Vec2 p) {
+    const double eps = 1e-9;
+    return p.x < eps || p.y < eps || p.x > plan.width() - eps ||
+           p.y > plan.height() - eps;
+  };
+  auto sameEdge = [&](Vec2 a, Vec2 b) {
+    const double eps = 1e-9;
+    return (std::fabs(a.x - b.x) < eps &&
+            (a.x < eps || a.x > plan.width() - eps)) ||
+           (std::fabs(a.y - b.y) < eps &&
+            (a.y < eps || a.y > plan.height() - eps));
+  };
+  return onBoundary(w.a) && onBoundary(w.b) && sameEdge(w.a, w.b);
+}
+
+}  // namespace
+
+OccupancyGrid::OccupancyGrid(const env::FloorPlan& plan, double cellM,
+                             double clearanceM)
+    : cellM_(cellM) {
+  if (cellM <= 0.0 || clearanceM < 0.0) {
+    throw std::invalid_argument("OccupancyGrid: bad resolution/clearance");
+  }
+  cols_ = static_cast<std::size_t>(std::ceil(plan.width() / cellM)) + 1;
+  rows_ = static_cast<std::size_t>(std::ceil(plan.height() / cellM)) + 1;
+  free_.assign(rows_ * cols_, 1);
+
+  std::vector<const env::Wall*> interior;
+  for (const env::Wall& w : plan.walls()) {
+    if (!isPerimeter(w, plan)) interior.push_back(&w);
+  }
+
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const Vec2 center = cellCenter(r, c);
+      if (!plan.contains(center)) {
+        free_[indexOf(r, c)] = 0;
+        continue;
+      }
+      for (const env::Wall* w : interior) {
+        if (pointSegmentDistance(center, w->a, w->b) < clearanceM) {
+          free_[indexOf(r, c)] = 0;
+          break;
+        }
+      }
+    }
+  }
+}
+
+Vec2 OccupancyGrid::cellCenter(std::size_t row, std::size_t col) const {
+  return {(static_cast<double>(col) + 0.5) * cellM_,
+          (static_cast<double>(row) + 0.5) * cellM_};
+}
+
+bool OccupancyGrid::isFree(Vec2 p) const {
+  if (p.x < 0.0 || p.y < 0.0) return false;
+  const auto col = static_cast<std::size_t>(p.x / cellM_);
+  const auto row = static_cast<std::size_t>(p.y / cellM_);
+  if (row >= rows_ || col >= cols_) return false;
+  return cellFree(row, col);
+}
+
+bool OccupancyGrid::segmentIsFree(Vec2 a, Vec2 b) const {
+  const double len = distance(a, b);
+  const auto steps = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(len / (0.5 * cellM_))));
+  for (std::size_t i = 0; i <= steps; ++i) {
+    const double frac = static_cast<double>(i) / static_cast<double>(steps);
+    if (!isFree(a * (1.0 - frac) + b * frac)) return false;
+  }
+  return true;
+}
+
+std::optional<Vec2> OccupancyGrid::nearestFree(Vec2 p) const {
+  if (isFree(p)) return p;
+  const auto col0 = static_cast<long>(p.x / cellM_);
+  const auto row0 = static_cast<long>(p.y / cellM_);
+  const long maxRing = static_cast<long>(std::max(rows_, cols_));
+  for (long ring = 1; ring <= maxRing; ++ring) {
+    std::optional<Vec2> best;
+    double bestDist = std::numeric_limits<double>::infinity();
+    for (long dr = -ring; dr <= ring; ++dr) {
+      for (long dc = -ring; dc <= ring; ++dc) {
+        if (std::max(std::labs(dr), std::labs(dc)) != ring) continue;
+        const long r = row0 + dr;
+        const long c = col0 + dc;
+        if (r < 0 || c < 0 || r >= static_cast<long>(rows_) ||
+            c >= static_cast<long>(cols_)) {
+          continue;
+        }
+        if (!cellFree(static_cast<std::size_t>(r),
+                      static_cast<std::size_t>(c))) {
+          continue;
+        }
+        const Vec2 center = cellCenter(static_cast<std::size_t>(r),
+                                       static_cast<std::size_t>(c));
+        const double d = distance(center, p);
+        if (d < bestDist) {
+          bestDist = d;
+          best = center;
+        }
+      }
+    }
+    if (best.has_value()) return best;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::vector<Vec2>> OccupancyGrid::shortestPath(
+    Vec2 from, Vec2 to) const {
+  const auto start = nearestFree(from);
+  const auto goal = nearestFree(to);
+  if (!start.has_value() || !goal.has_value()) return std::nullopt;
+
+  const auto startCol = static_cast<std::size_t>(start->x / cellM_);
+  const auto startRow = static_cast<std::size_t>(start->y / cellM_);
+  const auto goalCol = static_cast<std::size_t>(goal->x / cellM_);
+  const auto goalRow = static_cast<std::size_t>(goal->y / cellM_);
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> g(rows_ * cols_, kInf);
+  std::vector<std::size_t> parent(rows_ * cols_,
+                                  std::numeric_limits<std::size_t>::max());
+
+  auto heuristic = [&](std::size_t row, std::size_t col) {
+    const double dr = static_cast<double>(row) - static_cast<double>(goalRow);
+    const double dc = static_cast<double>(col) - static_cast<double>(goalCol);
+    return std::sqrt(dr * dr + dc * dc);
+  };
+
+  using Node = std::pair<double, std::size_t>;  // (f, index)
+  std::priority_queue<Node, std::vector<Node>, std::greater<>> open;
+  const std::size_t startIdx = indexOf(startRow, startCol);
+  const std::size_t goalIdx = indexOf(goalRow, goalCol);
+  g[startIdx] = 0.0;
+  open.emplace(heuristic(startRow, startCol), startIdx);
+
+  while (!open.empty()) {
+    const auto [f, idx] = open.top();
+    open.pop();
+    if (idx == goalIdx) break;
+    const std::size_t row = idx / cols_;
+    const std::size_t col = idx % cols_;
+    if (f > g[idx] + heuristic(row, col) + 1e-9) continue;  // stale entry
+
+    for (int dr = -1; dr <= 1; ++dr) {
+      for (int dc = -1; dc <= 1; ++dc) {
+        if (dr == 0 && dc == 0) continue;
+        const long nr = static_cast<long>(row) + dr;
+        const long nc = static_cast<long>(col) + dc;
+        if (nr < 0 || nc < 0 || nr >= static_cast<long>(rows_) ||
+            nc >= static_cast<long>(cols_)) {
+          continue;
+        }
+        const auto nru = static_cast<std::size_t>(nr);
+        const auto ncu = static_cast<std::size_t>(nc);
+        if (!cellFree(nru, ncu)) continue;
+        // Forbid diagonal corner cutting.
+        if (dr != 0 && dc != 0 &&
+            (!cellFree(row, ncu) || !cellFree(nru, col))) {
+          continue;
+        }
+        const double step = (dr != 0 && dc != 0) ? std::sqrt(2.0) : 1.0;
+        const std::size_t nidx = indexOf(nru, ncu);
+        if (g[idx] + step < g[nidx]) {
+          g[nidx] = g[idx] + step;
+          parent[nidx] = idx;
+          open.emplace(g[nidx] + heuristic(nru, ncu), nidx);
+        }
+      }
+    }
+  }
+  if (!std::isfinite(g[goalIdx])) return std::nullopt;
+
+  std::vector<Vec2> path;
+  for (std::size_t idx = goalIdx;
+       idx != std::numeric_limits<std::size_t>::max(); idx = parent[idx]) {
+    path.push_back(cellCenter(idx / cols_, idx % cols_));
+    if (idx == startIdx) break;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+WallConformance checkWallConformance(const env::FloorPlan& plan,
+                                     const std::vector<Vec2>& placedPoints) {
+  WallConformance result;
+  for (std::size_t i = 1; i < placedPoints.size(); ++i) {
+    for (const env::Wall& w : plan.walls()) {
+      if (isPerimeter(w, plan)) continue;
+      if (w.segmentIntersects(placedPoints[i - 1], placedPoints[i])) {
+        ++result.crossingSegments;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Vec2> routeAroundWalls(const env::FloorPlan& plan,
+                                   const std::vector<Vec2>& placedPoints,
+                                   double cellM, double clearanceM) {
+  if (placedPoints.size() < 2) return placedPoints;
+  const OccupancyGrid grid(plan, cellM, clearanceM);
+
+  // Snap every point to free space, then rebuild the polyline with A*
+  // detours wherever the direct hop between consecutive points is blocked.
+  std::vector<Vec2> snapped;
+  snapped.reserve(placedPoints.size());
+  for (const Vec2& p : placedPoints) {
+    const auto freePoint = grid.nearestFree(p);
+    if (!freePoint.has_value()) {
+      throw std::runtime_error("routeAroundWalls: no free space in grid");
+    }
+    snapped.push_back(*freePoint);
+  }
+
+  std::vector<Vec2> rebuilt;
+  rebuilt.push_back(snapped.front());
+  for (std::size_t i = 1; i < snapped.size(); ++i) {
+    if (grid.segmentIsFree(snapped[i - 1], snapped[i])) {
+      rebuilt.push_back(snapped[i]);
+      continue;
+    }
+    const auto detour = grid.shortestPath(snapped[i - 1], snapped[i]);
+    if (detour.has_value()) {
+      rebuilt.insert(rebuilt.end(), detour->begin() + 1, detour->end());
+    }
+    rebuilt.push_back(snapped[i]);
+  }
+
+  // Preserve frame timing: resample back to the original point count.
+  return resample(rebuilt, placedPoints.size());
+}
+
+}  // namespace rfp::trajectory

@@ -1,0 +1,145 @@
+#include "trajectory/human_walk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+
+namespace rfp::trajectory {
+
+using rfp::common::Rng;
+using rfp::common::Vec2;
+
+HumanWalkModel::HumanWalkModel(WalkModelOptions options) : options_(options) {}
+
+std::vector<Vec2> HumanWalkModel::longWalk(double durationS, double dt,
+                                           Rng& rng) const {
+  const WalkModelOptions& o = options_;
+  const auto steps = static_cast<std::size_t>(durationS / dt) + 1;
+
+  auto randomPoint = [&]() {
+    return Vec2{rng.uniform(o.wallMarginM, o.roomWidthM - o.wallMarginM),
+                rng.uniform(o.wallMarginM, o.roomHeightM - o.wallMarginM)};
+  };
+
+  Vec2 pos = randomPoint();
+  Vec2 goal = randomPoint();
+  const double preferredSpeed = rng.uniform(o.minSpeedMps, o.maxSpeedMps);
+  double heading = rng.uniform(0.0, 2.0 * rfp::common::pi());
+  double headingDrift = 0.0;  // OU state
+  double pauseRemaining = 0.0;
+
+  std::vector<Vec2> out;
+  out.reserve(steps);
+  for (std::size_t i = 0; i < steps; ++i) {
+    out.push_back(pos);
+
+    if (pauseRemaining > 0.0) {
+      pauseRemaining -= dt;
+      continue;
+    }
+    if (rng.uniform() < o.pauseProbability) {
+      pauseRemaining = rng.exponential(1.0 / o.meanPauseS);
+      continue;
+    }
+
+    if (distance(pos, goal) < o.goalToleranceM) goal = randomPoint();
+
+    // Turn toward the goal with a bounded rate plus OU heading noise.
+    const Vec2 toGoal = goal - pos;
+    const double desired = std::atan2(toGoal.y, toGoal.x);
+    double diff = desired - heading;
+    while (diff > rfp::common::pi()) diff -= 2.0 * rfp::common::pi();
+    while (diff < -rfp::common::pi()) diff += 2.0 * rfp::common::pi();
+    const double turn =
+        std::clamp(diff, -o.maxTurnRate * dt, o.maxTurnRate * dt);
+    headingDrift += -1.5 * headingDrift * dt +
+                    o.headingNoise * std::sqrt(dt) * rng.gaussian();
+    heading += turn + headingDrift * dt;
+
+    const double speed =
+        std::max(0.0, preferredSpeed * (1.0 + o.speedJitter * rng.gaussian()));
+    pos += Vec2{std::cos(heading), std::sin(heading)} * (speed * dt);
+
+    // Keep the walker inside the room; bounce the heading off walls.
+    if (pos.x < o.wallMarginM || pos.x > o.roomWidthM - o.wallMarginM) {
+      heading = rfp::common::pi() - heading;
+    }
+    if (pos.y < o.wallMarginM || pos.y > o.roomHeightM - o.wallMarginM) {
+      heading = -heading;
+    }
+    pos = {std::clamp(pos.x, o.wallMarginM, o.roomWidthM - o.wallMarginM),
+           std::clamp(pos.y, o.wallMarginM, o.roomHeightM - o.wallMarginM)};
+  }
+  return out;
+}
+
+Trace HumanWalkModel::sample(Rng& rng) const {
+  const auto n = static_cast<std::size_t>(rfp::common::kTracePoints);
+  Trace t;
+  t.points = resample(
+      longWalk(rfp::common::kTraceDurationS, kTraceDt, rng), n);
+  t.label = rangeClassOf(t);
+  return t;
+}
+
+std::vector<Trace> HumanWalkModel::dataset(std::size_t count,
+                                           Rng& rng) const {
+  std::vector<Trace> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(sample(rng));
+  return out;
+}
+
+std::vector<Vec2> scriptedLPath(Vec2 start, double legM, double speedMps,
+                                double dt) {
+  std::vector<Vec2> waypoints = {
+      start,
+      start + Vec2{legM, 0.0},
+      start + Vec2{legM, legM},
+      start + Vec2{legM, 0.0},
+      start,
+  };
+  std::vector<Vec2> out;
+  for (std::size_t i = 0; i + 1 < waypoints.size(); ++i) {
+    const Vec2 a = waypoints[i];
+    const Vec2 b = waypoints[i + 1];
+    const double segTime = distance(a, b) / speedMps;
+    const auto steps = std::max<std::size_t>(
+        1, static_cast<std::size_t>(segTime / dt));
+    for (std::size_t s = 0; s < steps; ++s) {
+      const double frac = static_cast<double>(s) / static_cast<double>(steps);
+      out.push_back(a * (1.0 - frac) + b * frac);
+    }
+  }
+  out.push_back(waypoints.back());
+  return out;
+}
+
+std::vector<Vec2> scriptedRectanglePath(Vec2 corner, double widthM,
+                                        double heightM, double speedMps,
+                                        double dt) {
+  std::vector<Vec2> waypoints = {
+      corner,
+      corner + Vec2{widthM, 0.0},
+      corner + Vec2{widthM, heightM},
+      corner + Vec2{0.0, heightM},
+      corner,
+  };
+  std::vector<Vec2> out;
+  for (std::size_t i = 0; i + 1 < waypoints.size(); ++i) {
+    const Vec2 a = waypoints[i];
+    const Vec2 b = waypoints[i + 1];
+    const double segTime = distance(a, b) / speedMps;
+    const auto steps = std::max<std::size_t>(
+        1, static_cast<std::size_t>(segTime / dt));
+    for (std::size_t s = 0; s < steps; ++s) {
+      const double frac = static_cast<double>(s) / static_cast<double>(steps);
+      out.push_back(a * (1.0 - frac) + b * frac);
+    }
+  }
+  out.push_back(waypoints.back());
+  return out;
+}
+
+}  // namespace rfp::trajectory

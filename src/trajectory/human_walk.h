@@ -1,0 +1,73 @@
+#pragma once
+
+/// \file human_walk.h
+/// Synthetic human-trajectory generator standing in for the paper's
+/// 7000-trace office capture (Sec. 6 / DESIGN.md substitution table).
+///
+/// Model: a waypoint walker with smooth heading dynamics. The walker picks
+/// a goal inside the room, turns toward it with a bounded turn rate plus
+/// Ornstein-Uhlenbeck heading noise, walks at a per-trace preferred speed
+/// with jitter, pauses occasionally, and picks a new goal on arrival. This
+/// produces the smoothness/continuity structure (and the spread of motion
+/// ranges) that real human traces exhibit and the GAN must learn.
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/vec2.h"
+#include "trajectory/trace.h"
+
+namespace rfp::trajectory {
+
+/// Walker tuning.
+struct WalkModelOptions {
+  double roomWidthM = 10.0;    ///< virtual capture room (paper's office)
+  double roomHeightM = 6.6;
+  double wallMarginM = 0.4;    ///< keep-out distance from walls
+  double minSpeedMps = 0.15;   ///< slowest preferred walking speed
+  double maxSpeedMps = 1.6;    ///< fastest preferred walking speed
+  double speedJitter = 0.15;   ///< per-step multiplicative speed noise
+  double headingNoise = 0.25;  ///< OU heading noise strength [rad/sqrt(s)]
+  double maxTurnRate = 1.8;    ///< turn-toward-goal rate [rad/s]
+  double pauseProbability = 0.04;  ///< chance per step to start a pause
+  double meanPauseS = 1.2;     ///< mean pause duration
+  double goalToleranceM = 0.3; ///< goal reached when within this distance
+};
+
+/// Generates human-like traces.
+class HumanWalkModel {
+ public:
+  explicit HumanWalkModel(WalkModelOptions options = {});
+
+  const WalkModelOptions& options() const { return options_; }
+
+  /// One 50-point, 10-second trace (room coordinates), labelled by
+  /// motion-range class.
+  Trace sample(rfp::common::Rng& rng) const;
+
+  /// A dataset of \p count traces (the paper collects 7000).
+  std::vector<Trace> dataset(std::size_t count, rfp::common::Rng& rng) const;
+
+  /// A longer free walk of \p durationS seconds sampled at \p dt, useful
+  /// for radar scenarios (Fig. 9 / 13). Room coordinates.
+  std::vector<rfp::common::Vec2> longWalk(double durationS, double dt,
+                                          rfp::common::Rng& rng) const;
+
+ private:
+  WalkModelOptions options_;
+};
+
+/// Scripted ground-truth shapes used by the paper's Fig. 9 radar
+/// microbenchmark ("walk around in a different trajectory"): an L-shaped
+/// out-and-back and a rectangle loop, sampled at \p dt within the given
+/// room-coordinate bounding box.
+std::vector<rfp::common::Vec2> scriptedLPath(rfp::common::Vec2 start,
+                                             double legM, double speedMps,
+                                             double dt);
+std::vector<rfp::common::Vec2> scriptedRectanglePath(rfp::common::Vec2 corner,
+                                                     double widthM,
+                                                     double heightM,
+                                                     double speedMps,
+                                                     double dt);
+
+}  // namespace rfp::trajectory

@@ -1,0 +1,111 @@
+#include "trajectory/trace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace rfp::trajectory {
+
+using rfp::common::Vec2;
+
+double motionRange(const Trace& trace) {
+  if (trace.points.empty()) return 0.0;
+  double minX = trace.points.front().x;
+  double maxX = minX;
+  double minY = trace.points.front().y;
+  double maxY = minY;
+  for (const Vec2& p : trace.points) {
+    minX = std::min(minX, p.x);
+    maxX = std::max(maxX, p.x);
+    minY = std::min(minY, p.y);
+    maxY = std::max(maxY, p.y);
+  }
+  return std::hypot(maxX - minX, maxY - minY);
+}
+
+double pathLength(const Trace& trace) {
+  double s = 0.0;
+  for (std::size_t i = 1; i < trace.points.size(); ++i) {
+    s += distance(trace.points[i], trace.points[i - 1]);
+  }
+  return s;
+}
+
+double netDisplacement(const Trace& trace) {
+  if (trace.points.size() < 2) return 0.0;
+  return distance(trace.points.front(), trace.points.back());
+}
+
+int rangeClassOf(const Trace& trace) {
+  static constexpr double kThresholds[] = {0.75, 1.75, 3.0, 5.0};
+  const double range = motionRange(trace);
+  int cls = 0;
+  for (double t : kThresholds) {
+    if (range >= t) ++cls;
+  }
+  return cls;
+}
+
+Trace centered(const Trace& trace) {
+  Trace out = trace;
+  if (out.points.empty()) return out;
+  Vec2 c{};
+  for (const Vec2& p : out.points) c += p;
+  c = c / static_cast<double>(out.points.size());
+  for (Vec2& p : out.points) p -= c;
+  return out;
+}
+
+std::vector<Vec2> resample(const std::vector<Vec2>& points,
+                           std::size_t numPoints) {
+  if (points.empty()) throw std::invalid_argument("resample: empty input");
+  if (numPoints == 0) throw std::invalid_argument("resample: zero output");
+  std::vector<Vec2> out(numPoints);
+  if (points.size() == 1) {
+    std::fill(out.begin(), out.end(), points.front());
+    return out;
+  }
+  const double scale = static_cast<double>(points.size() - 1) /
+                       static_cast<double>(numPoints - 1);
+  for (std::size_t i = 0; i < numPoints; ++i) {
+    const double pos = static_cast<double>(i) * scale;
+    const auto lo = std::min(static_cast<std::size_t>(pos),
+                             points.size() - 2);
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = points[lo] * (1.0 - frac) + points[lo + 1] * frac;
+  }
+  return out;
+}
+
+linalg::Matrix tracesToMatrix(const std::vector<Trace>& traces) {
+  if (traces.empty()) {
+    throw std::invalid_argument("tracesToMatrix: empty trace set");
+  }
+  const std::size_t n = traces.front().points.size();
+  linalg::Matrix m(traces.size(), 2 * n);
+  for (std::size_t r = 0; r < traces.size(); ++r) {
+    if (traces[r].points.size() != n) {
+      throw std::invalid_argument("tracesToMatrix: unequal trace lengths");
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      m(r, 2 * i) = traces[r].points[i].x;
+      m(r, 2 * i + 1) = traces[r].points[i].y;
+    }
+  }
+  return m;
+}
+
+Trace traceFromRow(const linalg::Matrix& m, std::size_t row, int label) {
+  if (row >= m.rows() || m.cols() % 2 != 0) {
+    throw std::invalid_argument("traceFromRow: bad row or odd column count");
+  }
+  Trace t;
+  t.label = label;
+  t.points.resize(m.cols() / 2);
+  for (std::size_t i = 0; i < t.points.size(); ++i) {
+    t.points[i] = {m(row, 2 * i), m(row, 2 * i + 1)};
+  }
+  return t;
+}
+
+}  // namespace rfp::trajectory

@@ -1,0 +1,60 @@
+#pragma once
+
+/// \file trace.h
+/// Trajectory traces as the paper defines them (Sec. 6): ~10-second walks
+/// sampled as 50 two-dimensional points, labelled into one of five
+/// motion-range classes that condition the GAN.
+
+#include <vector>
+
+#include "common/constants.h"
+#include "common/vec2.h"
+#include "linalg/matrix.h"
+
+namespace rfp::trajectory {
+
+/// One trajectory sample.
+struct Trace {
+  std::vector<rfp::common::Vec2> points;  ///< kTracePoints positions [m]
+  int label = 0;                          ///< motion-range class [0, 5)
+
+  std::size_t size() const { return points.size(); }
+};
+
+/// Sampling period implied by 50 points over 10 seconds [s].
+inline constexpr double kTraceDt =
+    rfp::common::kTraceDurationS /
+    static_cast<double>(rfp::common::kTracePoints - 1);
+
+/// Diagonal of the trace's bounding box [m] -- the "range of motion" used
+/// for class labelling.
+double motionRange(const Trace& trace);
+
+/// Total path length [m].
+double pathLength(const Trace& trace);
+
+/// Net start-to-end displacement [m].
+double netDisplacement(const Trace& trace);
+
+/// Motion-range class of a trace. Thresholds (in meters of bounding-box
+/// diagonal) split traces into kRangeClasses buckets:
+/// [0, 0.75), [0.75, 1.75), [1.75, 3.0), [3.0, 5.0), [5.0, inf).
+int rangeClassOf(const Trace& trace);
+
+/// Translates the trace so its centroid is the origin; the GAN is trained
+/// on centered traces (the *relative* trajectory is what matters, Sec. 11.1).
+Trace centered(const Trace& trace);
+
+/// Uniformly resamples a point sequence to \p numPoints via linear
+/// interpolation along the index axis. Throws on an empty input.
+std::vector<rfp::common::Vec2> resample(
+    const std::vector<rfp::common::Vec2>& points, std::size_t numPoints);
+
+/// Flattens traces into a [numTraces x 2*kTracePoints] matrix
+/// (x0, y0, x1, y1, ...). All traces must have equal length.
+linalg::Matrix tracesToMatrix(const std::vector<Trace>& traces);
+
+/// Inverse of tracesToMatrix for one row.
+Trace traceFromRow(const linalg::Matrix& m, std::size_t row, int label = 0);
+
+}  // namespace rfp::trajectory

@@ -1,0 +1,143 @@
+#include "linalg/decompositions.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace rfp::linalg {
+namespace {
+
+Matrix randomMatrix(std::size_t n, rfp::common::Rng& rng) {
+  Matrix m(n, n);
+  for (double& v : m.data()) v = rng.uniform(-2.0, 2.0);
+  return m;
+}
+
+Matrix randomSpd(std::size_t n, rfp::common::Rng& rng) {
+  const Matrix a = randomMatrix(n, rng);
+  Matrix spd = a * a.transposed();
+  for (std::size_t i = 0; i < n; ++i) spd(i, i) += 0.5;
+  return spd;
+}
+
+class SolveSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SolveSizeTest, LuSolveRecoversSolution) {
+  rfp::common::Rng rng(GetParam() * 31 + 1);
+  const std::size_t n = GetParam();
+  const Matrix a = randomSpd(n, rng);
+  Matrix xTrue(n, 2);
+  for (double& v : xTrue.data()) v = rng.uniform(-1.0, 1.0);
+  const Matrix b = a * xTrue;
+  const Matrix x = luSolve(a, b);
+  EXPECT_LT(x.maxAbsDiff(xTrue), 1e-8);
+}
+
+TEST_P(SolveSizeTest, InverseTimesMatrixIsIdentity) {
+  rfp::common::Rng rng(GetParam() * 17 + 3);
+  const std::size_t n = GetParam();
+  const Matrix a = randomSpd(n, rng);
+  const Matrix inv = inverse(a);
+  EXPECT_LT((a * inv).maxAbsDiff(Matrix::identity(n)), 1e-8);
+}
+
+TEST_P(SolveSizeTest, EigenDecompositionReconstructs) {
+  rfp::common::Rng rng(GetParam() * 7 + 5);
+  const std::size_t n = GetParam();
+  const Matrix a = randomSpd(n, rng);
+  const SymmetricEigen eig = eigenSymmetric(a);
+  const Matrix d = Matrix::diagonal(eig.values);
+  const Matrix rebuilt = eig.vectors * d * eig.vectors.transposed();
+  EXPECT_LT(rebuilt.maxAbsDiff(a), 1e-8);
+  // Eigenvalues ascending, all positive for an SPD matrix.
+  for (std::size_t i = 1; i < eig.values.size(); ++i) {
+    EXPECT_LE(eig.values[i - 1], eig.values[i]);
+  }
+  EXPECT_GT(eig.values.front(), 0.0);
+}
+
+TEST_P(SolveSizeTest, SqrtmSquaresBack) {
+  rfp::common::Rng rng(GetParam() * 13 + 7);
+  const std::size_t n = GetParam();
+  const Matrix a = randomSpd(n, rng);
+  const Matrix r = sqrtmPsd(a);
+  EXPECT_LT((r * r).maxAbsDiff(a), 1e-7);
+}
+
+TEST_P(SolveSizeTest, CholeskyReconstructs) {
+  rfp::common::Rng rng(GetParam() * 19 + 11);
+  const std::size_t n = GetParam();
+  const Matrix a = randomSpd(n, rng);
+  const Matrix l = cholesky(a);
+  EXPECT_LT((l * l.transposed()).maxAbsDiff(a), 1e-9);
+  // Upper triangle of L must be zero.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) EXPECT_DOUBLE_EQ(l(i, j), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SolveSizeTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+TEST(Decompositions, SingularMatrixThrows) {
+  const Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  EXPECT_THROW(luSolve(a, Matrix::identity(2)), std::runtime_error);
+  EXPECT_DOUBLE_EQ(determinant(a), 0.0);
+}
+
+TEST(Decompositions, DeterminantKnownValues) {
+  EXPECT_NEAR(determinant(Matrix{{2.0, 0.0}, {0.0, 3.0}}), 6.0, 1e-12);
+  EXPECT_NEAR(determinant(Matrix{{0.0, 1.0}, {1.0, 0.0}}), -1.0, 1e-12);
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 10.0}};
+  EXPECT_NEAR(determinant(a), -3.0, 1e-9);
+}
+
+TEST(Decompositions, CholeskyRejectsIndefinite) {
+  const Matrix notPd{{1.0, 2.0}, {2.0, 1.0}};  // eigenvalues 3 and -1
+  EXPECT_THROW(cholesky(notPd), std::runtime_error);
+}
+
+TEST(Decompositions, SqrtmRejectsNegativeEigenvalues) {
+  const Matrix neg{{-1.0, 0.0}, {0.0, 2.0}};
+  EXPECT_THROW(sqrtmPsd(neg), std::runtime_error);
+}
+
+TEST(Decompositions, SqrtmHandlesSingularPsd) {
+  // Rank-1 PSD matrix: eigenvalue zero must be clamped, not rejected.
+  const Matrix a{{1.0, 1.0}, {1.0, 1.0}};
+  const Matrix r = sqrtmPsd(a);
+  EXPECT_LT((r * r).maxAbsDiff(a), 1e-9);
+}
+
+TEST(Decompositions, KnownEigenvalues) {
+  const Matrix a{{2.0, 1.0}, {1.0, 2.0}};
+  const SymmetricEigen eig = eigenSymmetric(a);
+  EXPECT_NEAR(eig.values[0], 1.0, 1e-10);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-10);
+}
+
+TEST(Decompositions, CovarianceMatchesHandComputation) {
+  Matrix data(3, 2);
+  data(0, 0) = 1.0; data(0, 1) = 2.0;
+  data(1, 0) = 3.0; data(1, 1) = 6.0;
+  data(2, 0) = 5.0; data(2, 1) = 10.0;
+  const auto mu = columnMeans(data);
+  EXPECT_DOUBLE_EQ(mu[0], 3.0);
+  EXPECT_DOUBLE_EQ(mu[1], 6.0);
+  const Matrix cov = covariance(data);
+  EXPECT_DOUBLE_EQ(cov(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(cov(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(cov(1, 1), 16.0);
+  EXPECT_THROW(covariance(Matrix(1, 2)), std::invalid_argument);
+}
+
+TEST(Decompositions, NonSquareInputsThrow) {
+  EXPECT_THROW(luSolve(Matrix(2, 3), Matrix(2, 1)), std::invalid_argument);
+  EXPECT_THROW(cholesky(Matrix(2, 3)), std::invalid_argument);
+  EXPECT_THROW(eigenSymmetric(Matrix(2, 3)), std::invalid_argument);
+  EXPECT_THROW(luSolve(Matrix::identity(2), Matrix(3, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfp::linalg

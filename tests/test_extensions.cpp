@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/ghost_scheduler.h"
+#include "core/multiradar.h"
+#include "core/scenario.h"
+#include "privacy/rcs.h"
+#include "trajectory/human_walk.h"
+
+namespace rfp {
+namespace {
+
+using rfp::common::Vec2;
+
+trajectory::Trace fittingTrace(trajectory::HumanWalkModel& model,
+                               rfp::common::Rng& rng, double maxRange) {
+  trajectory::Trace t;
+  do {
+    t = trajectory::centered(model.sample(rng));
+  } while (trajectory::motionRange(t) > maxRange);
+  return t;
+}
+
+TEST(GhostScheduler, ActivationsFollowBinomialModel) {
+  const core::Scenario scenario = core::makeHomeScenario();
+  core::RfProtectSystem system(scenario.makeController());
+  rfp::common::Rng rng(1);
+  trajectory::HumanWalkModel model;
+
+  core::GhostScheduleConfig cfg;
+  cfg.maxPhantoms = 4;
+  cfg.activationProbability = 0.5;
+  cfg.epochSeconds = 10.0;
+  core::GhostScheduler scheduler(cfg, [&](rfp::common::Rng& r) {
+    return fittingTrace(model, r, 4.5);
+  });
+
+  // 60 epochs of simulated time (coarse ticks are fine: the scheduler only
+  // acts on epoch boundaries).
+  for (double t = 0.0; t < 600.0; t += 2.5) {
+    scheduler.tick(t, system, scenario.plan, rng);
+  }
+  ASSERT_EQ(scheduler.epochsElapsed(), 59);
+  const auto& history = scheduler.activationHistory();
+  ASSERT_EQ(history.size(), 60u);
+
+  double mean = 0.0;
+  for (int c : history) {
+    EXPECT_GE(c, 0);
+    EXPECT_LE(c, cfg.maxPhantoms);
+    mean += c;
+  }
+  mean /= static_cast<double>(history.size());
+  // E[Bin(4, 0.5)] = 2, sd of the mean over 60 epochs ~ 0.13.
+  EXPECT_NEAR(mean, 2.0, 0.5);
+  // And the phantoms actually exist in the system.
+  EXPECT_GE(system.ghosts().size(), 30u);
+}
+
+TEST(GhostScheduler, ZeroProbabilityNeverSpawns) {
+  const core::Scenario scenario = core::makeHomeScenario();
+  core::RfProtectSystem system(scenario.makeController());
+  rfp::common::Rng rng(2);
+  trajectory::HumanWalkModel model;
+  core::GhostScheduler scheduler(
+      {4, 0.0, 10.0},
+      [&](rfp::common::Rng& r) { return fittingTrace(model, r, 4.5); });
+  for (double t = 0.0; t < 100.0; t += 5.0) {
+    scheduler.tick(t, system, scenario.plan, rng);
+  }
+  EXPECT_TRUE(system.ghosts().empty());
+  EXPECT_EQ(scheduler.activeCount(), 0);
+}
+
+TEST(GhostScheduler, ValidatesConfiguration) {
+  auto source = [](rfp::common::Rng&) { return trajectory::Trace{}; };
+  EXPECT_THROW(core::GhostScheduler({-1, 0.5, 10.0}, source),
+               std::invalid_argument);
+  EXPECT_THROW(core::GhostScheduler({4, 1.5, 10.0}, source),
+               std::invalid_argument);
+  EXPECT_THROW(core::GhostScheduler({4, 0.5, 0.0}, source),
+               std::invalid_argument);
+  EXPECT_THROW(core::GhostScheduler({4, 0.5, 10.0}, nullptr),
+               std::invalid_argument);
+}
+
+TEST(Rcs, FluctuationStatisticSeparatesSteadyFromJittery) {
+  rfp::common::Rng rng(3);
+  std::vector<double> steady(100, 1.0);
+  std::vector<double> jittery;
+  for (int i = 0; i < 100; ++i) {
+    jittery.push_back(std::exp(rng.gaussian(0.0, 0.4)));
+  }
+  EXPECT_LT(privacy::amplitudeFluctuation(steady), 1e-12);
+  EXPECT_GT(privacy::amplitudeFluctuation(jittery), 0.25);
+  EXPECT_DOUBLE_EQ(privacy::amplitudeFluctuation(std::vector<double>{1.0}),
+                   0.0);
+}
+
+TEST(Rcs, ClassifierFlagsSteadyTracks) {
+  rfp::common::Rng rng(4);
+  // Human references: fluctuation statistics around 0.4 +- 0.05.
+  std::vector<double> humanStats;
+  for (int i = 0; i < 20; ++i) humanStats.push_back(0.4 + 0.05 * rng.gaussian());
+  const privacy::RcsClassifier classifier(humanStats);
+
+  std::vector<double> steady(80, 2.5);
+  EXPECT_TRUE(classifier.classify(steady).flaggedAsReflector);
+
+  std::vector<double> humanLike;
+  for (int i = 0; i < 80; ++i) {
+    humanLike.push_back(std::exp(rng.gaussian(0.0, 0.4)));
+  }
+  EXPECT_FALSE(classifier.classify(humanLike).flaggedAsReflector);
+
+  EXPECT_THROW(privacy::RcsClassifier(std::vector<double>{0.4, 0.5}),
+               std::invalid_argument);
+}
+
+TEST(Rcs, ControllerSpoofingModulatesGain) {
+  core::Scenario scenario = core::makeOfficeScenario();
+  scenario.controllerConfig.rcsSpoof.enabled = true;
+  const auto controller = scenario.makeController();
+  const Vec2 ghost{3.0, 4.0};
+
+  std::vector<double> gains;
+  for (double t = 0.0; t < 5.0; t += 0.05) {
+    gains.push_back(controller.commandFor(ghost, t).gain);
+  }
+  EXPECT_GT(privacy::amplitudeFluctuation(gains), 1.0);
+
+  // Disabled -> perfectly steady for a static ghost.
+  scenario.controllerConfig.rcsSpoof.enabled = false;
+  const auto steadyController = scenario.makeController();
+  std::vector<double> steadyGains;
+  for (double t = 0.0; t < 5.0; t += 0.05) {
+    steadyGains.push_back(steadyController.commandFor(ghost, t).gain);
+  }
+  EXPECT_LT(privacy::amplitudeFluctuation(steadyGains), 1e-9);
+}
+
+TEST(MultiRadar, ConsistencyAttackFlagsPhantomConfirmsHuman) {
+  const core::Scenario scenario = core::makeHomeScenario();
+  rfp::common::Rng rng(5);
+  trajectory::HumanWalkModel model;
+  const auto ghostTrace = fittingTrace(model, rng, 4.0);
+  const auto humanPath =
+      trajectory::scriptedRectanglePath({10.5, 3.2}, 2.5, 2.0, 0.8, 0.05);
+
+  const auto result = core::runMultiRadarConsistencyAttack(
+      scenario, humanPath, 0.05, ghostTrace, rng);
+
+  ASSERT_GE(result.tracks.size(), 2u);
+  // The human is confirmed by both radars; the phantom is not (the paper's
+  // Sec. 13 limitation).
+  EXPECT_GE(result.confirmedCount, 1u);
+  EXPECT_GE(result.flaggedCount, 1u);
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,150 @@
+#include "signal/fft.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/constants.h"
+#include "common/rng.h"
+
+namespace rfp::signal {
+namespace {
+
+TEST(Fft, NextPowerOfTwo) {
+  EXPECT_EQ(nextPowerOfTwo(0), 1u);
+  EXPECT_EQ(nextPowerOfTwo(1), 1u);
+  EXPECT_EQ(nextPowerOfTwo(2), 2u);
+  EXPECT_EQ(nextPowerOfTwo(3), 4u);
+  EXPECT_EQ(nextPowerOfTwo(1000), 1024u);
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<Complex> data(12);
+  EXPECT_THROW(fftInPlace(data), std::invalid_argument);
+  EXPECT_THROW(fft(std::vector<Complex>(8), 4), std::invalid_argument);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> data(16);
+  data[0] = {1.0, 0.0};
+  const auto spec = fft(data);
+  for (const Complex& x : spec) {
+    EXPECT_NEAR(x.real(), 1.0, 1e-12);
+    EXPECT_NEAR(x.imag(), 0.0, 1e-12);
+  }
+}
+
+class FftSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeTest, RoundTripRecoversSignal) {
+  const std::size_t n = GetParam();
+  rfp::common::Rng rng(n);
+  std::vector<Complex> data(n);
+  for (auto& x : data) x = {rng.gaussian(), rng.gaussian()};
+  auto spec = fft(data);
+  const auto back = ifft(spec);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i].real(), data[i].real(), 1e-10);
+    EXPECT_NEAR(back[i].imag(), data[i].imag(), 1e-10);
+  }
+}
+
+TEST_P(FftSizeTest, ParsevalHolds) {
+  const std::size_t n = GetParam();
+  rfp::common::Rng rng(n + 99);
+  std::vector<Complex> data(n);
+  for (auto& x : data) x = {rng.gaussian(), rng.gaussian()};
+  const auto spec = fft(data);
+  double timeEnergy = 0.0;
+  for (const auto& x : data) timeEnergy += std::norm(x);
+  double freqEnergy = 0.0;
+  for (const auto& x : spec) freqEnergy += std::norm(x);
+  EXPECT_NEAR(freqEnergy, timeEnergy * static_cast<double>(n),
+              1e-8 * timeEnergy * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeTest,
+                         ::testing::Values(2, 4, 16, 64, 256, 1024));
+
+TEST(Fft, PureToneLandsInCorrectBin) {
+  const std::size_t n = 256;
+  const std::size_t k = 37;
+  std::vector<Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * rfp::common::pi() * k * i / n;
+    data[i] = {std::cos(phase), std::sin(phase)};
+  }
+  const auto spec = fft(data);
+  EXPECT_EQ(peakBin(spec), k);
+  EXPECT_NEAR(std::abs(spec[k]), static_cast<double>(n), 1e-9);
+}
+
+TEST(Fft, NegativeFrequencyToneWraps) {
+  const std::size_t n = 128;
+  const double k = -10.0;
+  std::vector<Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double phase = 2.0 * rfp::common::pi() * k * i / n;
+    data[i] = {std::cos(phase), std::sin(phase)};
+  }
+  const auto spec = fft(data);
+  EXPECT_EQ(peakBin(spec), n - 10);
+}
+
+TEST(Fft, Linearity) {
+  rfp::common::Rng rng(5);
+  std::vector<Complex> a(64);
+  std::vector<Complex> b(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    a[i] = {rng.gaussian(), rng.gaussian()};
+    b[i] = {rng.gaussian(), rng.gaussian()};
+  }
+  std::vector<Complex> sum(64);
+  for (std::size_t i = 0; i < 64; ++i) sum[i] = 2.0 * a[i] + b[i];
+  const auto specA = fft(a);
+  const auto specB = fft(b);
+  const auto specSum = fft(sum);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(std::abs(specSum[i] - (2.0 * specA[i] + specB[i])), 0.0,
+                1e-9);
+  }
+}
+
+TEST(Fft, ZeroPaddingInterpolatesSpectrum) {
+  std::vector<Complex> data(100);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const double phase = 2.0 * rfp::common::pi() * 0.123 * i;
+    data[i] = {std::cos(phase), std::sin(phase)};
+  }
+  const auto spec = fft(data, 1024);
+  EXPECT_EQ(spec.size(), 1024u);
+  // Tone at normalized frequency 0.123 -> bin 0.123 * 1024 = 125.95.
+  const std::size_t peak = peakBin(spec);
+  EXPECT_NEAR(static_cast<double>(peak), 125.95, 1.0);
+  const double refined = parabolicPeakInterpolation(spec, peak);
+  EXPECT_NEAR(refined, 125.95, 0.3);
+}
+
+TEST(Fft, ParabolicInterpolationHandlesEdges) {
+  std::vector<Complex> spec(8, Complex{1.0, 0.0});
+  EXPECT_DOUBLE_EQ(parabolicPeakInterpolation(spec, 0), 0.0);
+  EXPECT_DOUBLE_EQ(parabolicPeakInterpolation(spec, 7), 7.0);
+}
+
+TEST(Fft, MagnitudeAndPowerDb) {
+  std::vector<Complex> spec = {{3.0, 4.0}, {0.0, 0.0}};
+  const auto mag = magnitude(spec);
+  EXPECT_DOUBLE_EQ(mag[0], 5.0);
+  const auto db = powerDb(spec);
+  EXPECT_NEAR(db[0], 20.0 * std::log10(5.0), 1e-9);
+  EXPECT_LT(db[1], -200.0);
+}
+
+TEST(Fft, PeakBinRangeChecks) {
+  std::vector<Complex> spec(8);
+  EXPECT_THROW(peakBin(spec, 5, 5), std::invalid_argument);
+  EXPECT_THROW(peakBin(spec, 9, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfp::signal

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "trajectory/baselines.h"
+#include "trajectory/features.h"
+#include "trajectory/fid.h"
+#include "trajectory/human_walk.h"
+
+namespace rfp::trajectory {
+namespace {
+
+linalg::Matrix gaussianCloud(std::size_t n, std::size_t d, double meanShift,
+                             double scale, rfp::common::Rng& rng) {
+  linalg::Matrix m(n, d);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < d; ++c) {
+      m(r, c) = meanShift + scale * rng.gaussian();
+    }
+  }
+  return m;
+}
+
+TEST(Fid, IdenticalSetsScoreZero) {
+  rfp::common::Rng rng(1);
+  const auto a = gaussianCloud(200, 4, 0.0, 1.0, rng);
+  EXPECT_NEAR(frechetDistance(a, a), 0.0, 1e-9);
+}
+
+TEST(Fid, SameDistributionScoresNearZero) {
+  rfp::common::Rng rng(2);
+  const auto a = gaussianCloud(2000, 3, 0.0, 1.0, rng);
+  const auto b = gaussianCloud(2000, 3, 0.0, 1.0, rng);
+  EXPECT_LT(frechetDistance(a, b), 0.05);
+}
+
+class FidMeanShiftTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FidMeanShiftTest, GrowsWithMeanShift) {
+  const double shift = GetParam();
+  rfp::common::Rng rng(3);
+  const auto a = gaussianCloud(1500, 3, 0.0, 1.0, rng);
+  const auto b = gaussianCloud(1500, 3, shift, 1.0, rng);
+  const double fid = frechetDistance(a, b);
+  // FID ~ d * shift^2 for identical unit covariances.
+  EXPECT_NEAR(fid, 3.0 * shift * shift, 0.3 + shift);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, FidMeanShiftTest,
+                         ::testing::Values(0.5, 1.0, 2.0, 3.0));
+
+TEST(Fid, SensitiveToCovarianceMismatch) {
+  rfp::common::Rng rng(4);
+  const auto a = gaussianCloud(2000, 3, 0.0, 1.0, rng);
+  const auto b = gaussianCloud(2000, 3, 0.0, 3.0, rng);
+  // Same mean, different scale: FID = sum (1 - 3)^2 = 12 for 3 dims.
+  EXPECT_NEAR(frechetDistance(a, b), 12.0, 1.5);
+}
+
+TEST(Fid, SymmetricInItsArguments) {
+  rfp::common::Rng rng(5);
+  const auto a = gaussianCloud(500, 4, 0.0, 1.0, rng);
+  const auto b = gaussianCloud(500, 4, 1.0, 2.0, rng);
+  EXPECT_NEAR(frechetDistance(a, b), frechetDistance(b, a), 1e-6);
+}
+
+TEST(Fid, RejectsDegenerateInputs) {
+  EXPECT_THROW(frechetDistance(linalg::Matrix(1, 3), linalg::Matrix(5, 3)),
+               std::invalid_argument);
+  EXPECT_THROW(frechetDistance(linalg::Matrix(5, 3), linalg::Matrix(5, 4)),
+               std::invalid_argument);
+}
+
+TEST(Fid, PaperOrderingOfBaselines) {
+  // The heart of Fig. 12: Real < SingleTraj, ULM, Random when scored
+  // against real human motion.
+  rfp::common::Rng rng(6);
+  HumanWalkModel model;
+  const auto real = model.dataset(600, rng);
+
+  const auto single = singleTrajectoryBaseline(real.front(), 300, rng);
+  const auto ulm = uniformLinearMotionBaseline(300, rng);
+  const auto random = randomMotionBaseline(300, rng);
+
+  const auto scores = normalizedFidScores(real, {single, ulm, random});
+  ASSERT_EQ(scores.normalized.size(), 3u);
+  EXPECT_GT(scores.realBaseline, 0.0);
+  // Every baseline is far from real (normalized score >> 1).
+  for (double s : scores.normalized) EXPECT_GT(s, 1.3);
+  // Random motion is the worst of the three (paper: 3.44 vs 1.87 / 2.02).
+  EXPECT_GT(scores.normalized[2], scores.normalized[0]);
+}
+
+TEST(Fid, HeldOutRealScoresNearOne) {
+  rfp::common::Rng rng(7);
+  HumanWalkModel model;
+  const auto real = model.dataset(800, rng);
+  const std::vector<Trace> heldOut = model.dataset(400, rng);
+  const auto scores = normalizedFidScores(real, {heldOut});
+  // Fresh real samples should score close to the real baseline (1.0).
+  EXPECT_LT(scores.normalized[0], 1.8);
+}
+
+TEST(Fid, NormalizedScoresRejectTinyRealSets) {
+  rfp::common::Rng rng(8);
+  HumanWalkModel model;
+  const auto tiny = model.dataset(4, rng);
+  EXPECT_THROW(normalizedFidScores(tiny, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfp::trajectory

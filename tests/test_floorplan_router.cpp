@@ -1,0 +1,131 @@
+#include "trajectory/floorplan_router.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/rfprotect_system.h"
+#include "core/scenario.h"
+#include "trajectory/human_walk.h"
+
+namespace rfp::trajectory {
+namespace {
+
+using rfp::common::Vec2;
+
+/// 10 x 6 room with a vertical partition from the bottom wall up to
+/// y = 4 at x = 5 (a doorway gap remains near the top).
+env::FloorPlan partitionedRoom() {
+  env::FloorPlan plan("partitioned", 10.0, 6.0, 0.3);
+  plan.addWall({{5.0, 0.0}, {5.0, 4.0}, 0.5});
+  return plan;
+}
+
+TEST(OccupancyGrid, BlocksWallsAndOutOfBounds) {
+  const OccupancyGrid grid(partitionedRoom());
+  EXPECT_TRUE(grid.isFree({2.0, 2.0}));
+  EXPECT_TRUE(grid.isFree({8.0, 2.0}));
+  EXPECT_FALSE(grid.isFree({5.0, 2.0}));    // on the partition
+  EXPECT_FALSE(grid.isFree({-1.0, 2.0}));   // outside
+  EXPECT_FALSE(grid.isFree({2.0, 7.0}));    // outside
+}
+
+TEST(OccupancyGrid, SegmentFreedom) {
+  const OccupancyGrid grid(partitionedRoom());
+  EXPECT_TRUE(grid.segmentIsFree({1.0, 1.0}, {4.0, 3.0}));
+  EXPECT_FALSE(grid.segmentIsFree({4.0, 2.0}, {6.0, 2.0}));  // through wall
+  EXPECT_TRUE(grid.segmentIsFree({4.0, 5.0}, {6.0, 5.0}));   // over doorway
+}
+
+TEST(OccupancyGrid, NearestFreeSnapsOffWalls) {
+  const OccupancyGrid grid(partitionedRoom());
+  const auto snapped = grid.nearestFree({5.0, 2.0});
+  ASSERT_TRUE(snapped.has_value());
+  EXPECT_TRUE(grid.isFree(*snapped));
+  EXPECT_LT(distance(*snapped, {5.0, 2.0}), 1.0);
+}
+
+TEST(OccupancyGrid, ShortestPathRoutesThroughDoorway) {
+  const OccupancyGrid grid(partitionedRoom());
+  const auto path = grid.shortestPath({3.0, 1.0}, {7.0, 1.0});
+  ASSERT_TRUE(path.has_value());
+  ASSERT_GE(path->size(), 2u);
+  // The detour must climb above the partition's top (y = 4) to cross.
+  double maxY = 0.0;
+  for (const Vec2& p : *path) maxY = std::max(maxY, p.y);
+  EXPECT_GT(maxY, 3.8);
+  // And every hop must be in free space.
+  for (std::size_t i = 1; i < path->size(); ++i) {
+    EXPECT_TRUE(grid.segmentIsFree((*path)[i - 1], (*path)[i]));
+  }
+}
+
+TEST(OccupancyGrid, RejectsBadParameters) {
+  EXPECT_THROW(OccupancyGrid(partitionedRoom(), 0.0), std::invalid_argument);
+  EXPECT_THROW(OccupancyGrid(partitionedRoom(), 0.1, -1.0),
+               std::invalid_argument);
+}
+
+TEST(WallConformance, CountsCrossings) {
+  const auto plan = partitionedRoom();
+  const std::vector<Vec2> through = {{4.0, 2.0}, {6.0, 2.0}, {7.0, 2.0}};
+  EXPECT_EQ(checkWallConformance(plan, through).crossingSegments, 1u);
+  EXPECT_FALSE(checkWallConformance(plan, through).conformant());
+
+  const std::vector<Vec2> around = {{4.0, 5.0}, {6.0, 5.0}, {7.0, 2.0}};
+  EXPECT_TRUE(checkWallConformance(plan, around).conformant());
+}
+
+TEST(RouteAroundWalls, ProducesConformantSameLengthPath) {
+  const auto plan = partitionedRoom();
+  // A straight walk through the partition.
+  std::vector<Vec2> placed;
+  for (int i = 0; i < 50; ++i) {
+    placed.push_back({2.0 + 6.0 * i / 49.0, 2.0});
+  }
+  ASSERT_FALSE(checkWallConformance(plan, placed).conformant());
+
+  const auto routed = routeAroundWalls(plan, placed);
+  ASSERT_EQ(routed.size(), placed.size());
+  EXPECT_TRUE(checkWallConformance(plan, routed).conformant());
+  // Endpoints stay close to the originals.
+  EXPECT_LT(distance(routed.front(), placed.front()), 0.5);
+  EXPECT_LT(distance(routed.back(), placed.back()), 0.5);
+}
+
+TEST(RouteAroundWalls, NoOpForConformantPath) {
+  const auto plan = partitionedRoom();
+  std::vector<Vec2> placed;
+  for (int i = 0; i < 30; ++i) {
+    placed.push_back({1.0 + 2.0 * i / 29.0, 1.0 + 1.0 * i / 29.0});
+  }
+  const auto routed = routeAroundWalls(plan, placed);
+  ASSERT_EQ(routed.size(), placed.size());
+  for (std::size_t i = 0; i < routed.size(); ++i) {
+    EXPECT_LT(distance(routed[i], placed[i]), 0.35);
+  }
+}
+
+TEST(RfProtectSystem, AutoPlacementRespectsInteriorWalls) {
+  // A home variant with a partition inside the panel's wedge: auto-placed
+  // ghosts must not walk through it.
+  core::Scenario scenario = core::makeHomeScenario();
+  scenario.plan.addWall({{6.5, 2.0}, {6.5, 5.0}, 0.4});
+
+  core::RfProtectSystem system(scenario.makeController());
+  rfp::common::Rng rng(3);
+  HumanWalkModel model;
+  for (int run = 0; run < 4; ++run) {
+    Trace trace;
+    do {
+      trace = centered(model.sample(rng));
+    } while (motionRange(trace) > 4.5);
+    system.addGhostAuto(trace, 0.0, scenario.plan, rng);
+  }
+  for (const auto& ghost : system.ghosts()) {
+    EXPECT_TRUE(
+        checkWallConformance(scenario.plan, ghost.placedPoints).conformant());
+  }
+}
+
+}  // namespace
+}  // namespace rfp::trajectory

@@ -1,0 +1,115 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/constants.h"
+#include "common/procrustes.h"
+#include "common/rng.h"
+#include "common/vec2.h"
+
+namespace rfp::common {
+namespace {
+
+TEST(Vec2, BasicArithmetic) {
+  const Vec2 a{1.0, 2.0};
+  const Vec2 b{3.0, -1.0};
+  EXPECT_EQ(a + b, (Vec2{4.0, 1.0}));
+  EXPECT_EQ(a - b, (Vec2{-2.0, 3.0}));
+  EXPECT_EQ(a * 2.0, (Vec2{2.0, 4.0}));
+  EXPECT_EQ(2.0 * a, (Vec2{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(a.dot(b), 1.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), -7.0);
+}
+
+TEST(Vec2, NormAndNormalize) {
+  const Vec2 v{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+  EXPECT_DOUBLE_EQ(v.norm2(), 25.0);
+  const Vec2 u = v.normalized();
+  EXPECT_NEAR(u.norm(), 1.0, 1e-15);
+  EXPECT_EQ(Vec2{}.normalized(), Vec2{});
+}
+
+TEST(Vec2, RotationIsLengthPreservingAndCorrect) {
+  const Vec2 v{1.0, 0.0};
+  const Vec2 r = v.rotated(pi() / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-15);
+  EXPECT_NEAR(r.y, 1.0, 1e-15);
+  const Vec2 w{2.5, -1.5};
+  EXPECT_NEAR(w.rotated(1.234).norm(), w.norm(), 1e-12);
+}
+
+TEST(Polar, RoundTrip) {
+  const Vec2 origin{1.0, 2.0};
+  const Vec2 p{4.0, 6.0};
+  const Polar pol = toPolar(p, origin);
+  EXPECT_DOUBLE_EQ(pol.range, 5.0);
+  const Vec2 back = fromPolar(pol, origin);
+  EXPECT_NEAR(back.x, p.x, 1e-12);
+  EXPECT_NEAR(back.y, p.y, 1e-12);
+}
+
+TEST(AngularDistance, WrapsCorrectly) {
+  EXPECT_NEAR(angularDistance(0.1, -0.1), 0.2, 1e-12);
+  EXPECT_NEAR(angularDistance(pi() - 0.05, -pi() + 0.05), 0.1, 1e-12);
+  EXPECT_NEAR(angularDistance(0.0, 2.0 * pi()), 0.0, 1e-12);
+}
+
+class ProcrustesParamTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ProcrustesParamTest, RecoversKnownRigidTransform) {
+  const double angle = GetParam();
+  Rng rng(42);
+  std::vector<Vec2> source;
+  for (int i = 0; i < 25; ++i) {
+    source.push_back({rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)});
+  }
+  RigidTransform truth;
+  truth.rotation = angle;
+  truth.translation = {1.5, -2.25};
+  const std::vector<Vec2> target = transformPoints(source, truth);
+
+  const RigidTransform fit = fitRigidTransform(source, target);
+  EXPECT_NEAR(angularDistance(fit.rotation, truth.rotation), 0.0, 1e-10);
+  EXPECT_NEAR(fit.translation.x, truth.translation.x, 1e-9);
+  EXPECT_NEAR(fit.translation.y, truth.translation.y, 1e-9);
+
+  const auto errors = alignedPointErrors(source, target);
+  for (double e : errors) EXPECT_LT(e, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, ProcrustesParamTest,
+                         ::testing::Values(0.0, 0.3, -1.2, 2.8, -3.0, 3.1));
+
+TEST(Procrustes, AlignmentReducesErrorUnderNoise) {
+  Rng rng(7);
+  std::vector<Vec2> source;
+  for (int i = 0; i < 40; ++i) {
+    source.push_back({rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)});
+  }
+  RigidTransform truth{0.7, {3.0, 1.0}};
+  std::vector<Vec2> target = transformPoints(source, truth);
+  for (Vec2& p : target) {
+    p += Vec2{rng.gaussian(0.0, 0.01), rng.gaussian(0.0, 0.01)};
+  }
+  const auto errors = alignedPointErrors(source, target);
+  for (double e : errors) EXPECT_LT(e, 0.05);
+  // Unaligned error would be dominated by the translation (3.16 m).
+  EXPECT_GT(rmsError(source, target), 1.0);
+}
+
+TEST(Procrustes, RejectsDegenerateInputs) {
+  const std::vector<Vec2> a = {{0.0, 0.0}};
+  const std::vector<Vec2> b = {{0.0, 0.0}, {1.0, 1.0}};
+  EXPECT_THROW(fitRigidTransform({}, {}), std::invalid_argument);
+  EXPECT_THROW(fitRigidTransform(a, b), std::invalid_argument);
+  EXPECT_THROW(rmsError(a, b), std::invalid_argument);
+}
+
+TEST(Procrustes, RmsErrorOfIdenticalSetsIsZero) {
+  const std::vector<Vec2> a = {{0.0, 0.0}, {1.0, 2.0}, {3.0, -1.0}};
+  EXPECT_DOUBLE_EQ(rmsError(a, a), 0.0);
+}
+
+}  // namespace
+}  // namespace rfp::common

@@ -1,0 +1,97 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace rfp::linalg {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 3), std::out_of_range);
+}
+
+TEST(Matrix, InitializerListAndRaggedThrow) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndDiagonal) {
+  const Matrix id = Matrix::identity(3);
+  EXPECT_DOUBLE_EQ(id(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(id(0, 1), 0.0);
+  const std::vector<double> d = {1.0, 2.0, 3.0};
+  const Matrix dm = Matrix::diagonal(d);
+  EXPECT_DOUBLE_EQ(dm(2, 2), 3.0);
+  EXPECT_DOUBLE_EQ(dm(0, 2), 0.0);
+}
+
+TEST(Matrix, AdditionSubtractionScaling) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix sum = a + b;
+  EXPECT_DOUBLE_EQ(sum(1, 1), 12.0);
+  const Matrix diff = b - a;
+  EXPECT_DOUBLE_EQ(diff(0, 0), 4.0);
+  const Matrix scaled = a * 2.0;
+  EXPECT_DOUBLE_EQ(scaled(1, 0), 6.0);
+  EXPECT_THROW(a + Matrix(3, 2), std::invalid_argument);
+}
+
+TEST(Matrix, ProductMatchesHandComputation) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix b{{7.0, 8.0}, {9.0, 10.0}, {11.0, 12.0}};
+  const Matrix c = a * b;
+  ASSERT_EQ(c.rows(), 2u);
+  ASSERT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+  EXPECT_THROW(a * a, std::invalid_argument);
+}
+
+TEST(Matrix, TransposeRoundTrip) {
+  const Matrix a{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(t.transposed().approxEquals(a, 0.0));
+}
+
+TEST(Matrix, HadamardAndTrace) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix h = a.hadamard(a);
+  EXPECT_DOUBLE_EQ(h(1, 1), 16.0);
+  EXPECT_DOUBLE_EQ(a.trace(), 5.0);
+  EXPECT_THROW(Matrix(2, 3).trace(), std::invalid_argument);
+}
+
+TEST(Matrix, NormsAndComparison) {
+  const Matrix a{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(a.frobeniusNorm(), 5.0);
+  Matrix b = a;
+  b(0, 0) = 3.0005;
+  EXPECT_TRUE(a.approxEquals(b, 1e-3));
+  EXPECT_FALSE(a.approxEquals(b, 1e-5));
+  EXPECT_FALSE(a.approxEquals(Matrix(3, 3), 1.0));
+  EXPECT_NEAR(a.maxAbsDiff(b), 5e-4, 1e-12);
+}
+
+TEST(Matrix, ColumnVector) {
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  const Matrix c = Matrix::columnVector(v);
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 1u);
+  EXPECT_DOUBLE_EQ(c(1, 0), 2.0);
+}
+
+}  // namespace
+}  // namespace rfp::linalg

@@ -1,0 +1,263 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/dropout.h"
+#include "nn/embedding.h"
+#include "nn/gradcheck.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/ops.h"
+
+namespace rfp::nn {
+namespace {
+
+/// Scalar "loss" for gradient checks: sum of squares / 2 keeps dY = Y.
+double halfSumSquares(const Matrix& y) {
+  double s = 0.0;
+  for (double v : y.data()) s += v * v;
+  return 0.5 * s;
+}
+
+TEST(Ops, ActivationsMatchDefinitions) {
+  Matrix x{{-1.0, 0.0, 2.0}};
+  const Matrix t = tanhForward(x);
+  EXPECT_NEAR(t(0, 0), std::tanh(-1.0), 1e-12);
+  const Matrix s = sigmoidForward(x);
+  EXPECT_NEAR(s(0, 2), 1.0 / (1.0 + std::exp(-2.0)), 1e-12);
+  EXPECT_DOUBLE_EQ(s(0, 1), 0.5);
+  const Matrix r = reluForward(x);
+  EXPECT_DOUBLE_EQ(r(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r(0, 2), 2.0);
+}
+
+TEST(Ops, SigmoidIsStableForExtremeInputs) {
+  Matrix x{{-800.0, 800.0}};
+  const Matrix s = sigmoidForward(x);
+  EXPECT_NEAR(s(0, 0), 0.0, 1e-12);
+  EXPECT_NEAR(s(0, 1), 1.0, 1e-12);
+}
+
+TEST(Ops, ShapeUtilities) {
+  const Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b{{5.0}, {6.0}};
+  const Matrix c = concatCols(a, b);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_DOUBLE_EQ(c(1, 2), 6.0);
+  const Matrix s = sliceCols(c, 1, 3);
+  EXPECT_DOUBLE_EQ(s(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 6.0);
+  EXPECT_THROW(sliceCols(c, 2, 1), std::invalid_argument);
+  EXPECT_THROW(concatCols(a, Matrix(3, 1)), std::invalid_argument);
+
+  const Matrix row{{10.0, 20.0, 30.0}};
+  const Matrix added = addRowBroadcast(c, row);
+  EXPECT_DOUBLE_EQ(added(1, 0), 13.0);
+  const Matrix sums = colSums(a);
+  EXPECT_DOUBLE_EQ(sums(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(sums(0, 1), 6.0);
+  EXPECT_DOUBLE_EQ(meanAll(a), 2.5);
+}
+
+TEST(Linear, ForwardMatchesHandComputation) {
+  rfp::common::Rng rng(1);
+  Linear layer("fc", 2, 2, rng);
+  // Overwrite with known weights via parameters().
+  auto params = layer.parameters();
+  params[0]->value = Matrix{{1.0, 2.0}, {3.0, 4.0}};
+  params[1]->value = Matrix{{0.5, -0.5}};
+  const Matrix x{{1.0, 1.0}};
+  const Matrix y = layer.forward(x);
+  EXPECT_DOUBLE_EQ(y(0, 0), 4.5);
+  EXPECT_DOUBLE_EQ(y(0, 1), 5.5);
+}
+
+TEST(Linear, GradientCheckWeightsAndBias) {
+  rfp::common::Rng rng(2);
+  Linear layer("fc", 4, 3, rng);
+  Matrix x(5, 4);
+  fillGaussian(x, rng);
+
+  auto lossFn = [&]() { return halfSumSquares(layer.forwardInference(x)); };
+
+  zeroGradients(layer.parameters());
+  const Matrix y = layer.forward(x);
+  layer.backward(y);  // dL/dY = Y for half-sum-squares
+
+  for (Parameter* p : layer.parameters()) {
+    const auto result = checkGradient(*p, lossFn, 1e-6, 1e-5);
+    EXPECT_TRUE(result.passed) << p->name << " maxRel "
+                               << result.maxRelError;
+  }
+}
+
+TEST(Linear, InputGradientMatchesNumeric) {
+  rfp::common::Rng rng(3);
+  Linear layer("fc", 3, 2, rng);
+  Matrix x(2, 3);
+  fillGaussian(x, rng);
+
+  zeroGradients(layer.parameters());
+  const Matrix y = layer.forward(x);
+  const Matrix dx = layer.backward(y);
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      Matrix xp = x;
+      xp(i, j) += eps;
+      Matrix xm = x;
+      xm(i, j) -= eps;
+      const double numeric = (halfSumSquares(layer.forwardInference(xp)) -
+                              halfSumSquares(layer.forwardInference(xm))) /
+                             (2.0 * eps);
+      EXPECT_NEAR(dx(i, j), numeric, 1e-5);
+    }
+  }
+}
+
+TEST(Linear, BackwardBeforeForwardThrows) {
+  rfp::common::Rng rng(4);
+  Linear layer("fc", 2, 2, rng);
+  EXPECT_THROW(layer.backward(Matrix(1, 2)), std::logic_error);
+}
+
+TEST(Embedding, ForwardSelectsRows) {
+  rfp::common::Rng rng(5);
+  Embedding emb("e", 4, 3, rng);
+  const Matrix out = emb.forward({2, 0, 2});
+  EXPECT_EQ(out.rows(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(out(0, c), out(2, c));  // same label, same row
+  }
+  EXPECT_THROW(emb.forward({4}), std::out_of_range);
+  EXPECT_THROW(emb.forward({-1}), std::out_of_range);
+}
+
+TEST(Embedding, GradientCheck) {
+  rfp::common::Rng rng(6);
+  Embedding emb("e", 5, 4, rng);
+  const std::vector<int> labels = {1, 3, 1, 0};
+
+  auto lossFn = [&]() {
+    // Re-run forward via a const-free path: forward caches labels, which is
+    // fine for repeated evaluation.
+    Matrix out = emb.forward(labels);
+    return halfSumSquares(out);
+  };
+
+  zeroGradients(emb.parameters());
+  const Matrix y = emb.forward(labels);
+  emb.backward(y);
+  const auto result = checkGradient(*emb.parameters()[0], lossFn, 1e-6, 1e-5);
+  EXPECT_TRUE(result.passed) << result.maxRelError;
+}
+
+TEST(Embedding, BackwardAccumulatesDuplicateLabels) {
+  rfp::common::Rng rng(7);
+  Embedding emb("e", 3, 2, rng);
+  emb.forward({1, 1});
+  zeroGradients(emb.parameters());
+  Matrix dy(2, 2, 1.0);
+  emb.backward(dy);
+  // Row 1 receives gradient from both batch entries.
+  EXPECT_DOUBLE_EQ(emb.parameters()[0]->grad(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(emb.parameters()[0]->grad(0, 0), 0.0);
+}
+
+TEST(Dropout, EvalModeIsIdentity) {
+  rfp::common::Rng rng(8);
+  Dropout drop(0.5);
+  Matrix x(4, 4, 1.0);
+  const Matrix y = drop.forward(x, /*training=*/false, rng);
+  EXPECT_TRUE(y.approxEquals(x, 0.0));
+  EXPECT_TRUE(drop.backward(x).approxEquals(x, 0.0));
+}
+
+TEST(Dropout, TrainModeZeroesAndRescales) {
+  rfp::common::Rng rng(9);
+  Dropout drop(0.5);
+  Matrix x(100, 100, 1.0);
+  const Matrix y = drop.forward(x, /*training=*/true, rng);
+  int zeros = 0;
+  for (double v : y.data()) {
+    if (v == 0.0) {
+      ++zeros;
+    } else {
+      EXPECT_DOUBLE_EQ(v, 2.0);  // inverted dropout scale 1/(1-p)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.5, 0.03);
+}
+
+TEST(Dropout, BackwardUsesSameMask) {
+  rfp::common::Rng rng(10);
+  Dropout drop(0.3);
+  Matrix x(8, 8, 1.0);
+  const Matrix y = drop.forward(x, /*training=*/true, rng);
+  const Matrix dx = drop.backward(x);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(dx.data()[i], y.data()[i]);
+  }
+}
+
+TEST(Dropout, RejectsBadProbability) {
+  EXPECT_THROW(Dropout(-0.1), std::invalid_argument);
+  EXPECT_THROW(Dropout(1.0), std::invalid_argument);
+}
+
+TEST(Loss, BceWithLogitsKnownValues) {
+  const Matrix logits{{0.0}};
+  const Matrix target{{1.0}};
+  const auto res = bceWithLogits(logits, target);
+  EXPECT_NEAR(res.loss, std::log(2.0), 1e-12);
+  EXPECT_NEAR(res.dLogits(0, 0), -0.5, 1e-12);  // sigmoid(0) - 1
+}
+
+TEST(Loss, BceGradientMatchesNumeric) {
+  rfp::common::Rng rng(11);
+  Matrix logits(3, 2);
+  fillGaussian(logits, rng);
+  Matrix targets(3, 2);
+  for (double& v : targets.data()) v = rng.bernoulli(0.5) ? 1.0 : 0.0;
+
+  const auto res = bceWithLogits(logits, targets);
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < logits.rows(); ++i) {
+    for (std::size_t j = 0; j < logits.cols(); ++j) {
+      Matrix lp = logits;
+      lp(i, j) += eps;
+      Matrix lm = logits;
+      lm(i, j) -= eps;
+      const double numeric = (bceWithLogits(lp, targets).loss -
+                              bceWithLogits(lm, targets).loss) /
+                             (2.0 * eps);
+      EXPECT_NEAR(res.dLogits(i, j), numeric, 1e-7);
+    }
+  }
+}
+
+TEST(Loss, BceIsStableForExtremeLogits) {
+  const Matrix logits{{1000.0, -1000.0}};
+  const Matrix targets{{1.0, 0.0}};
+  const auto res = bceWithLogits(logits, targets);
+  EXPECT_NEAR(res.loss, 0.0, 1e-12);
+  EXPECT_TRUE(std::isfinite(res.dLogits(0, 0)));
+}
+
+TEST(Loss, MseGradient) {
+  const Matrix pred{{2.0, 3.0}};
+  const Matrix target{{1.0, 5.0}};
+  const auto res = meanSquaredError(pred, target);
+  EXPECT_DOUBLE_EQ(res.loss, (1.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(res.dLogits(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(res.dLogits(0, 1), -2.0);
+  EXPECT_THROW(meanSquaredError(pred, Matrix(2, 2)), std::invalid_argument);
+}
+
+TEST(Loss, ShapeMismatchThrows) {
+  EXPECT_THROW(bceWithLogits(Matrix(2, 1), Matrix(1, 1)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfp::nn

@@ -1,0 +1,136 @@
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/adam.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/ops.h"
+#include "nn/serialize.h"
+
+namespace rfp::nn {
+namespace {
+
+TEST(Adam, MinimizesQuadraticBowl) {
+  Parameter p("w", Matrix{{5.0, -3.0}});
+  Adam adam({&p}, {.learningRate = 0.1});
+  for (int i = 0; i < 500; ++i) {
+    p.zeroGrad();
+    p.grad(0, 0) = 2.0 * p.value(0, 0);
+    p.grad(0, 1) = 2.0 * p.value(0, 1);
+    adam.step();
+  }
+  EXPECT_NEAR(p.value(0, 0), 0.0, 1e-3);
+  EXPECT_NEAR(p.value(0, 1), 0.0, 1e-3);
+  EXPECT_EQ(adam.iterations(), 500);
+}
+
+TEST(Adam, RejectsBadLearningRate) {
+  Parameter p("w", Matrix(1, 1));
+  EXPECT_THROW(Adam({&p}, {.learningRate = 0.0}), std::invalid_argument);
+}
+
+TEST(Adam, LinearRegressionConverges) {
+  rfp::common::Rng rng(21);
+  // y = x * Wtrue + btrue with noise; a Linear layer must recover it.
+  const Matrix wTrue{{2.0}, {-1.0}};
+  Linear layer("fc", 2, 1, rng);
+  Adam adam(layer.parameters(), {.learningRate = 0.05});
+
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    Matrix x(16, 2);
+    fillGaussian(x, rng);
+    const Matrix target = x * wTrue;
+    const Matrix pred = layer.forward(x);
+    const auto loss = meanSquaredError(pred, target);
+    layer.backward(loss.dLogits);
+    adam.stepAndZero();
+  }
+  EXPECT_NEAR(layer.parameters()[0]->value(0, 0), 2.0, 0.05);
+  EXPECT_NEAR(layer.parameters()[0]->value(1, 0), -1.0, 0.05);
+  EXPECT_NEAR(layer.parameters()[1]->value(0, 0), 0.0, 0.05);
+}
+
+TEST(GradientClip, ScalesDownLargeGradients) {
+  Parameter p("w", Matrix{{0.0, 0.0}});
+  p.grad = Matrix{{3.0, 4.0}};  // norm 5
+  const double preNorm = clipGradientNorm({&p}, 1.0);
+  EXPECT_DOUBLE_EQ(preNorm, 5.0);
+  EXPECT_NEAR(p.grad(0, 0), 0.6, 1e-12);
+  EXPECT_NEAR(p.grad(0, 1), 0.8, 1e-12);
+}
+
+TEST(GradientClip, LeavesSmallGradientsAlone) {
+  Parameter p("w", Matrix{{0.0}});
+  p.grad = Matrix{{0.5}};
+  clipGradientNorm({&p}, 1.0);
+  EXPECT_DOUBLE_EQ(p.grad(0, 0), 0.5);
+  EXPECT_THROW(clipGradientNorm({&p}, 0.0), std::invalid_argument);
+}
+
+TEST(ParameterList, CountAndZero) {
+  Parameter a("a", Matrix(2, 3));
+  Parameter b("b", Matrix(1, 4));
+  ParameterList list = {&a, &b};
+  EXPECT_EQ(parameterCount(list), 10u);
+  a.grad(0, 0) = 5.0;
+  zeroGradients(list);
+  EXPECT_DOUBLE_EQ(a.grad(0, 0), 0.0);
+}
+
+TEST(Serialize, RoundTripPreservesValues) {
+  rfp::common::Rng rng(22);
+  Linear original("fc", 3, 2, rng);
+  const std::string path = ::testing::TempDir() + "/params_roundtrip.txt";
+  saveParameters(path, original.parameters());
+
+  rfp::common::Rng rng2(99);  // different init
+  Linear restored("fc", 3, 2, rng2);
+  EXPECT_GT(original.parameters()[0]->value.maxAbsDiff(
+                restored.parameters()[0]->value),
+            1e-6);
+  loadParameters(path, restored.parameters());
+  EXPECT_LT(original.parameters()[0]->value.maxAbsDiff(
+                restored.parameters()[0]->value),
+            1e-15);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RejectsArchitectureMismatch) {
+  rfp::common::Rng rng(23);
+  Linear a("fc", 3, 2, rng);
+  const std::string path = ::testing::TempDir() + "/params_mismatch.txt";
+  saveParameters(path, a.parameters());
+
+  Linear wrongShape("fc", 2, 2, rng);
+  EXPECT_THROW(loadParameters(path, wrongShape.parameters()),
+               std::runtime_error);
+  Linear wrongName("other", 3, 2, rng);
+  EXPECT_THROW(loadParameters(path, wrongName.parameters()),
+               std::runtime_error);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileThrows) {
+  rfp::common::Rng rng(24);
+  Linear a("fc", 2, 2, rng);
+  EXPECT_THROW(loadParameters("/nonexistent/dir/params.txt", a.parameters()),
+               std::runtime_error);
+  EXPECT_THROW(saveParameters("/nonexistent/dir/params.txt", a.parameters()),
+               std::runtime_error);
+}
+
+TEST(Ops, XavierInitKeepsScale) {
+  rfp::common::Rng rng(25);
+  Matrix w(64, 64);
+  xavierInit(w, 64, 64, rng);
+  const double limit = std::sqrt(6.0 / 128.0);
+  for (double v : w.data()) {
+    EXPECT_GE(v, -limit);
+    EXPECT_LE(v, limit);
+  }
+}
+
+}  // namespace
+}  // namespace rfp::nn

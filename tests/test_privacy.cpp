@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "privacy/judge_panel.h"
+#include "privacy/mutual_information.h"
+#include "privacy/occupancy_attack.h"
+#include "trajectory/baselines.h"
+#include "trajectory/human_walk.h"
+
+namespace rfp::privacy {
+namespace {
+
+TEST(MutualInformation, DistributionsAreNormalized) {
+  const auto pmf = binomialDistribution(6, 0.3);
+  double total = 0.0;
+  for (double p : pmf) total += p;
+  EXPECT_NEAR(total, 1.0, 1e-12);
+
+  OccupancyModel model{4, 0.2, 4, 0.5};
+  const auto pz = observedCountDistribution(model);
+  EXPECT_EQ(pz.size(), 9u);  // 0..N+M
+  double totalZ = 0.0;
+  for (double p : pz) totalZ += p;
+  EXPECT_NEAR(totalZ, 1.0, 1e-12);
+}
+
+TEST(MutualInformation, EntropyOfFairCoinIsOneBit) {
+  EXPECT_NEAR(entropyBits({0.5, 0.5}), 1.0, 1e-12);
+  EXPECT_NEAR(entropyBits({1.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(MutualInformation, NoPhantomsLeaksFullEntropy) {
+  // q = 0 or q = 1 make Y deterministic, so Z reveals X exactly:
+  // I(X, Z) = H(X) (the paper's Fig. 7 endpoints).
+  OccupancyModel model{4, 0.2, 4, 0.0};
+  const double hx = entropyBits(binomialDistribution(4, 0.2));
+  EXPECT_NEAR(occupancyMutualInformation(model), hx, 1e-10);
+  model.phantomProbability = 1.0;
+  EXPECT_NEAR(occupancyMutualInformation(model), hx, 1e-10);
+}
+
+TEST(MutualInformation, HalfProbabilityPhantomsLeakLess) {
+  OccupancyModel noisy{4, 0.2, 4, 0.5};
+  OccupancyModel off{4, 0.2, 4, 0.0};
+  EXPECT_LT(occupancyMutualInformation(noisy),
+            occupancyMutualInformation(off) * 0.8);
+}
+
+class PhantomCountTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PhantomCountTest, MoreCapacityNeverLeaksMore) {
+  // Fig. 7: curves for larger M sit below curves for smaller M at q = 0.5.
+  const int m = GetParam();
+  OccupancyModel small{4, 0.2, m, 0.5};
+  OccupancyModel large{4, 0.2, m * 2, 0.5};
+  EXPECT_LE(occupancyMutualInformation(large),
+            occupancyMutualInformation(small) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ms, PhantomCountTest, ::testing::Values(1, 2, 4, 8));
+
+TEST(MutualInformation, SweepHasFig7Shape) {
+  const auto sweep = mutualInformationSweep(4, 0.2, 4, 41);
+  ASSERT_EQ(sweep.size(), 41u);
+  EXPECT_DOUBLE_EQ(sweep.front().q, 0.0);
+  EXPECT_DOUBLE_EQ(sweep.back().q, 1.0);
+  // Endpoints leak the most; the middle dips.
+  const double endpoints =
+      std::min(sweep.front().mutualInformationBits,
+               sweep.back().mutualInformationBits);
+  const double middle = sweep[20].mutualInformationBits;
+  EXPECT_LT(middle, endpoints * 0.6);
+  EXPECT_THROW(mutualInformationSweep(4, 0.2, 4, 1), std::invalid_argument);
+}
+
+TEST(MutualInformation, NonNegative) {
+  for (double q : {0.1, 0.3, 0.7, 0.9}) {
+    OccupancyModel model{3, 0.4, 5, q};
+    EXPECT_GE(occupancyMutualInformation(model), -1e-12);
+  }
+}
+
+TEST(BreathingGuess, MatchesSection7Formula) {
+  EXPECT_DOUBLE_EQ(breathingGuessProbability(1, 1), 0.5);
+  EXPECT_DOUBLE_EQ(breathingGuessProbability(2, 6), 0.25);
+  EXPECT_DOUBLE_EQ(breathingGuessProbability(3, 0), 1.0);
+  EXPECT_THROW(breathingGuessProbability(0, 0), std::invalid_argument);
+  EXPECT_THROW(breathingGuessProbability(-1, 2), std::invalid_argument);
+}
+
+TEST(OccupancyAttacks, PhantomsDegradeStatusInference) {
+  rfp::common::Rng rng(1);
+  OccupancyModel model{4, 0.2, 4, 0.5};
+  const auto result = occupancyStatusAttack(model, 20000, rng);
+  EXPECT_DOUBLE_EQ(result.baselineAccuracy, 1.0);
+  EXPECT_LT(result.accuracy, 0.75);
+}
+
+TEST(OccupancyAttacks, PhantomsDegradeCounting) {
+  rfp::common::Rng rng(2);
+  OccupancyModel model{4, 0.2, 4, 0.5};
+  const auto result = occupantCountingAttack(model, 20000, rng);
+  EXPECT_DOUBLE_EQ(result.baselineAccuracy, 1.0);
+  // Counting is right only when zero phantoms fired: (1-q)^M = 6.25%.
+  EXPECT_NEAR(result.accuracy, 0.0625, 0.01);
+}
+
+TEST(OccupancyAttacks, DistributionEstimateIsBiasedByPhantoms) {
+  rfp::common::Rng rng(3);
+  OccupancyModel model{4, 0.2, 4, 0.5};
+  const auto result = occupancyDistributionAttack(model, 50000, rng);
+  EXPECT_NEAR(result.trueMeanOccupancy, 0.8, 1e-12);
+  // Adversary's estimate absorbs E[Y] = 2.0 phantoms.
+  EXPECT_NEAR(result.estimatedMeanOccupancy, 2.8, 0.05);
+  EXPECT_GT(result.absoluteError, 10.0 * result.baselineAbsoluteError);
+}
+
+TEST(OccupancyAttacks, ValidateInputs) {
+  rfp::common::Rng rng(4);
+  OccupancyModel model{4, 0.2, 4, 0.5};
+  EXPECT_THROW(occupancyStatusAttack(model, 0, rng), std::invalid_argument);
+  model.maxOccupants = -1;
+  EXPECT_THROW(occupancyStatusAttack(model, 10, rng), std::invalid_argument);
+}
+
+class JudgePanelTest : public ::testing::Test {
+ protected:
+  JudgePanelTest() : rng_(5) {
+    trajectory::HumanWalkModel model;
+    reference_ = model.dataset(300, rng_);
+    stimuliReal_ = model.dataset(60, rng_);
+  }
+
+  rfp::common::Rng rng_;
+  std::vector<trajectory::Trace> reference_;
+  std::vector<trajectory::Trace> stimuliReal_;
+};
+
+TEST_F(JudgePanelTest, RealTracesScoreMorePlausibleThanRandom) {
+  const HumanJudgePanel panel(reference_);
+  const auto random = trajectory::randomMotionBaseline(30, rng_);
+  double realAvg = 0.0;
+  for (const auto& t : stimuliReal_) realAvg += panel.plausibility(t);
+  realAvg /= static_cast<double>(stimuliReal_.size());
+  double randomAvg = 0.0;
+  for (const auto& t : random) randomAvg += panel.plausibility(t);
+  randomAvg /= 30.0;
+  EXPECT_GT(realAvg, randomAvg + 0.5);
+}
+
+TEST_F(JudgePanelTest, StudyOnRealVsRealIsNull) {
+  const HumanJudgePanel panel(reference_);
+  trajectory::HumanWalkModel model;
+  const auto fakeButReal = model.dataset(60, rng_);
+  const auto result = panel.runStudy(stimuliReal_, fakeButReal, rng_);
+  EXPECT_EQ(result.totalJudgments(), 32 * 10);
+  // Both stimulus sets come from the same distribution: no association.
+  EXPECT_GT(result.chiSquare.pValue, 0.01);
+}
+
+TEST_F(JudgePanelTest, StudyFlagsRandomMotion) {
+  const HumanJudgePanel panel(reference_);
+  const auto random = trajectory::randomMotionBaseline(60, rng_);
+  const auto result = panel.runStudy(stimuliReal_, random, rng_);
+  // Gross violations of human-motion statistics are caught decisively.
+  EXPECT_LT(result.chiSquare.pValue, 1e-3);
+  EXPECT_LT(result.fakePerceivedReal, result.realPerceivedReal);
+}
+
+TEST_F(JudgePanelTest, RejectsTinyReference) {
+  const std::vector<trajectory::Trace> tiny(reference_.begin(),
+                                            reference_.begin() + 3);
+  EXPECT_THROW(HumanJudgePanel{tiny}, std::invalid_argument);
+}
+
+TEST_F(JudgePanelTest, StudyValidatesStimuli) {
+  const HumanJudgePanel panel(reference_);
+  EXPECT_THROW(panel.runStudy({}, stimuliReal_, rng_), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfp::privacy

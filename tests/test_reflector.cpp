@@ -1,0 +1,240 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/constants.h"
+#include "common/rng.h"
+#include "radar/frontend.h"
+#include "radar/processor.h"
+#include "reflector/antenna_panel.h"
+#include "reflector/breathing_spoofer.h"
+#include "reflector/controller.h"
+#include "reflector/ghost_ledger.h"
+#include "reflector/switched_reflector.h"
+
+namespace rfp::reflector {
+namespace {
+
+using rfp::common::Vec2;
+
+TEST(HarmonicWeight, SquareWaveCoefficients) {
+  // 50% duty: DC = 0.5, odd harmonics 1/(pi n), even harmonics vanish.
+  EXPECT_DOUBLE_EQ(harmonicWeight(0, 0.5), 0.5);
+  EXPECT_NEAR(harmonicWeight(1, 0.5), 1.0 / rfp::common::pi(), 1e-12);
+  EXPECT_NEAR(harmonicWeight(2, 0.5), 0.0, 1e-12);
+  EXPECT_NEAR(harmonicWeight(3, 0.5), 1.0 / (3.0 * rfp::common::pi()),
+              1e-12);
+  // Symmetric in n.
+  EXPECT_DOUBLE_EQ(harmonicWeight(-1, 0.5), harmonicWeight(1, 0.5));
+  EXPECT_THROW(harmonicWeight(1, 0.0), std::invalid_argument);
+  EXPECT_THROW(harmonicWeight(1, 1.0), std::invalid_argument);
+}
+
+TEST(HarmonicWeight, NonHalfDutyHasEvenHarmonics) {
+  EXPECT_GT(harmonicWeight(2, 0.3), 0.01);
+}
+
+TEST(SwitchedReflector, EmitContainsDcAndHarmonics) {
+  const SwitchedReflector refl;
+  const auto tones = refl.emit({1.0, 2.0}, 50e3, 2.0, 0.3, 42);
+
+  // DC + n in {-3,-1,+1,+3} (even harmonics vanish at 50% duty but are
+  // still emitted with zero weight filtered out).
+  ASSERT_GE(tones.size(), 3u);
+  const auto& dc = tones.front();
+  EXPECT_FALSE(dc.dynamic);
+  EXPECT_DOUBLE_EQ(dc.beatFreqOffsetHz, 0.0);
+  EXPECT_EQ(dc.sourceId, 42);
+
+  bool sawFundamental = false;
+  bool sawNegative = false;
+  double fundamentalAmp = 0.0;
+  double thirdAmp = 0.0;
+  for (const auto& t : tones) {
+    if (t.beatFreqOffsetHz == 50e3) {
+      sawFundamental = true;
+      fundamentalAmp = t.amplitude;
+      EXPECT_TRUE(t.dynamic);
+      EXPECT_DOUBLE_EQ(t.phaseOffsetRad, 0.3);
+    }
+    if (t.beatFreqOffsetHz == -50e3) sawNegative = true;
+    if (t.beatFreqOffsetHz == 150e3) thirdAmp = t.amplitude;
+  }
+  EXPECT_TRUE(sawFundamental);
+  EXPECT_TRUE(sawNegative);
+  // Gain is normalized to the fundamental; third harmonic is 3x weaker.
+  EXPECT_NEAR(fundamentalAmp, 2.0, 1e-12);
+  EXPECT_NEAR(thirdAmp, 2.0 / 3.0, 1e-12);
+}
+
+TEST(SwitchedReflector, SingleSidebandSuppressesNegativeHarmonics) {
+  ReflectorHardware hw;
+  hw.singleSideband = true;
+  const SwitchedReflector refl(hw);
+  const auto tones = refl.emit({0.0, 0.0}, 40e3, 1.0, 0.0, 1);
+  for (const auto& t : tones) EXPECT_GE(t.beatFreqOffsetHz, 0.0);
+}
+
+TEST(SwitchedReflector, ClampsGainAndSwitchFrequency) {
+  ReflectorHardware hw;
+  hw.maxGain = 3.0;
+  hw.maxSwitchHz = 100e3;
+  const SwitchedReflector refl(hw);
+  const auto tones = refl.emit({0.0, 0.0}, 500e3, 100.0, 0.0, 1);
+  for (const auto& t : tones) {
+    EXPECT_LE(std::fabs(t.beatFreqOffsetHz), 3.0 * 100e3 + 1.0);
+    EXPECT_LE(t.amplitude, 3.0 + 1e-12);
+  }
+  EXPECT_THROW(refl.emit({0.0, 0.0}, 0.0, 1.0, 0.0, 1),
+               std::invalid_argument);
+}
+
+TEST(AntennaPanel, GeometryAndSelection) {
+  const AntennaPanel panel({0.0, 0.0}, {1.0, 0.0}, 6, 0.2);
+  EXPECT_EQ(panel.count(), 6);
+  EXPECT_EQ(panel.position(5), (Vec2{1.0, 0.0}));
+  EXPECT_THROW(panel.position(6), std::out_of_range);
+
+  // From an observer below, a target behind antenna 3 selects antenna 3.
+  const Vec2 observer{0.6, -1.0};
+  const Vec2 target = panel.position(3) + (panel.position(3) - observer) * 2.0;
+  EXPECT_EQ(panel.nearestForTarget(observer, target), 3);
+}
+
+TEST(AntennaPanel, RejectsBadConstruction) {
+  EXPECT_THROW(AntennaPanel({0.0, 0.0}, {0.0, 0.0}, 3, 0.2),
+               std::invalid_argument);
+  EXPECT_THROW(AntennaPanel({0.0, 0.0}, {1.0, 0.0}, 0, 0.2),
+               std::invalid_argument);
+  EXPECT_THROW(AntennaPanel({0.0, 0.0}, {1.0, 0.0}, 3, 0.0),
+               std::invalid_argument);
+}
+
+TEST(BreathingSpoofer, PhaseAmplitudeMatchesChestMotion) {
+  // 5 mm chest motion at lambda = 4.6 cm -> 4 pi * 0.005 / 0.046 rad.
+  const BreathingSpoofer spoofer(0.25, 0.005, 0.046);
+  EXPECT_NEAR(spoofer.phaseAmplitudeRad(),
+              4.0 * rfp::common::pi() * 0.005 / 0.046, 1e-12);
+  EXPECT_NEAR(spoofer.phaseAt(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(spoofer.phaseAt(1.0), spoofer.phaseAmplitudeRad(), 1e-12);
+  EXPECT_THROW(BreathingSpoofer(0.0, 0.005, 0.05), std::invalid_argument);
+}
+
+ControllerConfig testControllerConfig() {
+  ControllerConfig cfg;
+  cfg.assumedRadarPosition = {5.0, 0.05};
+  cfg.chirpSlopeHzPerS = 2e12;
+  return cfg;
+}
+
+ReflectorController testController() {
+  return ReflectorController(
+      AntennaPanel({3.3, 0.35}, {1.0, 0.0}, 6, 0.2), SwitchedReflector(),
+      testControllerConfig());
+}
+
+TEST(Controller, CommandImplementsEquation3) {
+  const auto controller = testController();
+  const Vec2 ghost{2.0, 4.0};
+  const ControlCommand cmd = controller.commandFor(ghost, 0.0);
+
+  const Vec2 radar = testControllerConfig().assumedRadarPosition;
+  const Vec2 antennaPos =
+      controller.panel().position(cmd.antennaIndex);
+  const double antennaRange = (antennaPos - radar).norm();
+  const double expectedExtra = (ghost - radar).norm() - antennaRange;
+  ASSERT_GT(expectedExtra, 0.0);
+
+  // f_switch = 2 sl delta / C (Eq. 3 with Eq. 1's 2-factor).
+  EXPECT_NEAR(cmd.fSwitchHz,
+              2.0 * 2e12 * expectedExtra / rfp::common::kSpeedOfLight,
+              1.0);
+  EXPECT_NEAR(cmd.spoofedRangeM, (ghost - radar).norm(), 1e-9);
+  EXPECT_GT(cmd.gain, 0.0);
+  EXPECT_LT(cmd.gain, 1.0);  // antenna is closer than the ghost
+}
+
+TEST(Controller, ClampsGhostsInsideThePanelRange) {
+  const auto controller = testController();
+  // A ghost *between* radar and panel cannot be spoofed closer.
+  const ControlCommand cmd = controller.commandFor({4.8, 0.1}, 0.0);
+  EXPECT_GE(cmd.fSwitchHz, 0.0);
+  EXPECT_GT(cmd.spoofedRangeM, 0.0);
+  const Vec2 radar = testControllerConfig().assumedRadarPosition;
+  const double antennaRange =
+      (controller.panel().position(cmd.antennaIndex) - radar).norm();
+  EXPECT_GE(cmd.spoofedRangeM, antennaRange);
+}
+
+TEST(Controller, BreathingPhaseRidesOnCommands) {
+  auto controller = ReflectorController(
+      AntennaPanel({3.3, 0.35}, {1.0, 0.0}, 6, 0.2), SwitchedReflector(),
+      testControllerConfig(), BreathingSpoofer(0.25, 0.005, 0.046));
+  const ControlCommand atZero = controller.commandFor({2.0, 4.0}, 0.0);
+  const ControlCommand atQuarter = controller.commandFor({2.0, 4.0}, 1.0);
+  EXPECT_NEAR(atZero.phaseOffsetRad, 0.0, 1e-12);
+  EXPECT_GT(atQuarter.phaseOffsetRad, 0.3);
+}
+
+TEST(Controller, EndToEndSpoofedRangeSeenByRadar) {
+  // Integration: controller + frontend + processor. The radar must measure
+  // the phantom at the intended polar radius even though the physical
+  // reflection comes from the panel.
+  radar::RadarConfig radarCfg;
+  radarCfg.position = {5.0, 0.05};
+  radarCfg.noisePower = 1e-6;
+  const radar::Frontend fe(radarCfg);
+  const radar::Processor proc(radarCfg);
+  rfp::common::Rng rng(51);
+
+  ControllerConfig ctrlCfg = testControllerConfig();
+  ctrlCfg.chirpSlopeHzPerS = radarCfg.chirp.slope();
+  const ReflectorController controller(
+      AntennaPanel({3.3, 0.35}, {1.0, 0.0}, 6, 0.2), SwitchedReflector(),
+      ctrlCfg);
+
+  const Vec2 ghost{1.5, 4.5};
+  const auto tones = controller.spoof(ghost, 0.0, 1001);
+  const auto frame = fe.synthesize(tones, 0.0, rng);
+  const auto map = proc.process(frame);
+  const auto [ri, ai] = map.argmax();
+
+  const auto intended = proc.toRadarPolar(ghost);
+  EXPECT_NEAR(map.rangesM[ri], intended.range,
+              radarCfg.chirp.rangeResolution());
+  // Angle is quantized to the chosen antenna's true bearing.
+  const Vec2 antennaPos =
+      controller.panel().position(controller.commandFor(ghost, 0.0)
+                                      .antennaIndex);
+  const auto antennaPolar = proc.toRadarPolar(antennaPos);
+  EXPECT_NEAR(rfp::common::rad2deg(map.anglesRad[ai]),
+              rfp::common::rad2deg(antennaPolar.angle), 3.0);
+}
+
+TEST(GhostLedger, RecordsAndMatches) {
+  GhostLedger ledger;
+  ControlCommand cmd;
+  cmd.intendedWorld = {2.0, 3.0};
+  ledger.add(1001, 0.5, cmd);
+  cmd.intendedWorld = {2.8, 3.9};
+  ledger.add(1001, 0.6, cmd);
+  cmd.intendedWorld = {7.0, 1.0};
+  ledger.add(1002, 0.5, cmd);
+
+  EXPECT_EQ(ledger.size(), 3u);
+  EXPECT_EQ(ledger.at(0.5).size(), 2u);
+  EXPECT_EQ(ledger.forGhost(1001).size(), 2u);
+  const auto traj = ledger.ghostTrajectory(1001);
+  ASSERT_EQ(traj.size(), 2u);
+  EXPECT_EQ(traj[1], (Vec2{2.8, 3.9}));
+
+  EXPECT_TRUE(ledger.matchesGhost({2.05, 3.0}, 0.5, 0.2));
+  EXPECT_FALSE(ledger.matchesGhost({2.05, 3.0}, 0.6, 0.2));  // wrong time
+  EXPECT_FALSE(ledger.matchesGhost({4.0, 3.0}, 0.5, 0.2));   // too far
+
+  ledger.clear();
+  EXPECT_EQ(ledger.size(), 0u);
+}
+
+}  // namespace
+}  // namespace rfp::reflector

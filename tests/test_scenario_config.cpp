@@ -1,0 +1,101 @@
+#include "core/scenario_config.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "core/harness.h"
+#include "trajectory/human_walk.h"
+
+namespace rfp::core {
+namespace {
+
+constexpr const char* kSample = R"(
+# a 9.5 x 6 flat with a partition and two strong reflectors
+room.name = flat
+room.width = 9.5
+room.height = 6.0
+room.wall_reflectivity = 0.35
+clutter = 2.0 5.5 0.8
+clutter = 8.0 1.0 1.2
+interior_wall = 4 0 4 3 0.4
+radar.x = 3.0
+radar.y = -0.8
+radar.axis = 1 0
+panel.base = 2.4 0.35
+panel.direction = 1 0
+panel.count = 8
+panel.spacing = 0.2
+multipath.loss = 0.45
+)";
+
+TEST(ScenarioConfig, ParsesAllFields) {
+  std::istringstream in(kSample);
+  const Scenario s = loadScenario(in);
+
+  EXPECT_EQ(s.plan.name(), "flat");
+  EXPECT_DOUBLE_EQ(s.plan.width(), 9.5);
+  EXPECT_DOUBLE_EQ(s.plan.height(), 6.0);
+  EXPECT_EQ(s.plan.clutter().size(), 2u);
+  EXPECT_EQ(s.plan.walls().size(), 5u);  // 4 perimeter + 1 interior
+
+  EXPECT_DOUBLE_EQ(s.sensing.radar.position.x, 3.0);
+  EXPECT_DOUBLE_EQ(s.sensing.radar.position.y, -0.8);
+  EXPECT_EQ(s.panel.count(), 8);
+  EXPECT_DOUBLE_EQ(s.controllerConfig.assumedRadarPosition.x, 3.0);
+  EXPECT_DOUBLE_EQ(s.snapshot.multipathLoss, 0.45);
+  ASSERT_TRUE(s.snapshot.multipathObserver.has_value());
+  EXPECT_DOUBLE_EQ(s.snapshot.multipathObserver->y, -0.8);
+  // Detector bounds follow the custom room.
+  ASSERT_TRUE(s.sensing.detector.bounds.has_value());
+  EXPECT_NEAR(s.sensing.detector.bounds->hi.x, 10.25, 1e-9);
+}
+
+TEST(ScenarioConfig, DefaultsWhenEmpty) {
+  std::istringstream in("# nothing but comments\n\n");
+  const Scenario s = loadScenario(in);
+  EXPECT_DOUBLE_EQ(s.plan.width(), 10.0);
+  EXPECT_EQ(s.panel.count(), rfp::common::kPanelAntennas);
+}
+
+TEST(ScenarioConfig, RejectsUnknownKeysAndBadValues) {
+  {
+    std::istringstream in("room.widht = 9\n");  // typo
+    EXPECT_THROW(loadScenario(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("room.width = very wide\n");
+    EXPECT_THROW(loadScenario(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("clutter = 1 2\n");  // missing amplitude
+    EXPECT_THROW(loadScenario(in), std::invalid_argument);
+  }
+  {
+    std::istringstream in("just some words\n");
+    EXPECT_THROW(loadScenario(in), std::invalid_argument);
+  }
+  EXPECT_THROW(loadScenarioFile("/nonexistent.scenario"),
+               std::runtime_error);
+}
+
+TEST(ScenarioConfig, LoadedScenarioRunsEndToEnd) {
+  std::istringstream in(kSample);
+  const Scenario scenario = loadScenario(in);
+  rfp::common::Rng rng(9);
+  trajectory::HumanWalkModel model;
+  trajectory::Trace trace;
+  do {
+    trace = trajectory::centered(model.sample(rng));
+  } while (trajectory::motionRange(trace) > 3.5);
+
+  const auto result = runSpoofingExperiment(scenario, trace, rng);
+  EXPECT_GT(result.framesDetected, result.framesTotal / 3);
+  ASSERT_FALSE(result.distanceErrorsM.empty());
+  EXPECT_LT(rfp::common::median(result.distanceErrorsM), 0.25);
+}
+
+}  // namespace
+}  // namespace rfp::core

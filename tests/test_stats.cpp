@@ -1,0 +1,94 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace rfp::common {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, EmptyAndTinyInputs) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  const std::vector<double> one = {3.0};
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+  EXPECT_THROW(median(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs = {0.0, 1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 12.5), 0.5);
+  EXPECT_THROW(percentile(xs, 101.0), std::invalid_argument);
+}
+
+TEST(Stats, EmpiricalCdfIsMonotone) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0, 2.0};
+  const auto cdf = empiricalCdf(xs);
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf.front().value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf.back().probability, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GT(cdf[i].probability, cdf[i - 1].probability);
+  }
+}
+
+TEST(Stats, PearsonCorrelationExtremes) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearsonCorrelation(xs, ys), 1.0, 1e-12);
+  const std::vector<double> neg = {8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearsonCorrelation(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonCorrelationRejectsDegenerate) {
+  EXPECT_THROW(pearsonCorrelation(std::vector<double>{1.0},
+                                  std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(pearsonCorrelation(std::vector<double>{1.0, 2.0},
+                                  std::vector<double>{1.0, 2.0, 3.0}),
+               std::invalid_argument);
+  EXPECT_THROW(pearsonCorrelation(std::vector<double>{1.0, 1.0},
+                                  std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+}
+
+TEST(Stats, ChiSquareMatchesPaperTable1) {
+  // Paper Table 1: real perceived real 93, fake perceived real 89,
+  // real perceived fake 67, fake perceived fake 71 -> chi2 ~ .2, p ~ .65.
+  const auto result = chiSquare2x2(93, 89, 67, 71);
+  EXPECT_NEAR(result.statistic, 0.2, 0.01);
+  EXPECT_NEAR(result.pValue, 0.65, 0.01);
+}
+
+TEST(Stats, ChiSquareDetectsStrongAssociation) {
+  const auto result = chiSquare2x2(90, 10, 10, 90);
+  EXPECT_GT(result.statistic, 100.0);
+  EXPECT_LT(result.pValue, 1e-6);
+}
+
+TEST(Stats, ChiSquareRejectsZeroMarginals) {
+  EXPECT_THROW(chiSquare2x2(0, 0, 5, 5), std::invalid_argument);
+  EXPECT_THROW(chiSquare2x2(0, 5, 0, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfp::common

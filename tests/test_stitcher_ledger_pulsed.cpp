@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "radar/pulsed.h"
+#include "reflector/ledger_io.h"
+#include "tracking/stitcher.h"
+
+namespace rfp {
+namespace {
+
+using rfp::common::Vec2;
+
+tracking::Track makeSegment(int id, Vec2 start, Vec2 velocity, double t0,
+                            double t1, double dt = 0.05) {
+  tracking::Track t(id, start, t0, {});
+  t.confirmed = true;
+  t.history.clear();
+  t.timestamps.clear();
+  for (double time = t0; time <= t1 + 1e-9; time += dt) {
+    t.history.push_back(start + velocity * (time - t0));
+    t.timestamps.push_back(time);
+    t.hits += 1;
+  }
+  return t;
+}
+
+TEST(Stitcher, MergesCompatibleSegments) {
+  // One walker fragmented into two segments with a 0.5 s gap.
+  const auto a = makeSegment(0, {0.0, 0.0}, {1.0, 0.0}, 0.0, 3.0);
+  const auto b = makeSegment(1, {3.5, 0.0}, {1.0, 0.0}, 3.5, 6.0);
+  const auto stitched = tracking::stitchTracks({&a, &b});
+  ASSERT_EQ(stitched.size(), 1u);
+  EXPECT_EQ(stitched.front().sourceTrackIds.size(), 2u);
+  EXPECT_EQ(stitched.front().history.size(),
+            a.history.size() + b.history.size());
+  // Timestamps remain monotone across the seam.
+  for (std::size_t i = 1; i < stitched.front().timestamps.size(); ++i) {
+    EXPECT_GT(stitched.front().timestamps[i],
+              stitched.front().timestamps[i - 1]);
+  }
+}
+
+TEST(Stitcher, KeepsIncompatibleSegmentsApart) {
+  // Same timing but the second segment starts far off the coasted path.
+  const auto a = makeSegment(0, {0.0, 0.0}, {1.0, 0.0}, 0.0, 3.0);
+  const auto b = makeSegment(1, {9.0, 5.0}, {1.0, 0.0}, 3.5, 6.0);
+  tracking::StitchOptions opts;
+  opts.minLength = 5;
+  const auto stitched = tracking::stitchTracks({&a, &b}, opts);
+  EXPECT_EQ(stitched.size(), 2u);
+}
+
+TEST(Stitcher, RespectsGapLimit) {
+  const auto a = makeSegment(0, {0.0, 0.0}, {1.0, 0.0}, 0.0, 3.0);
+  const auto b = makeSegment(1, {8.0, 0.0}, {1.0, 0.0}, 8.0, 10.0);  // 5 s gap
+  tracking::StitchOptions opts;
+  opts.minLength = 5;
+  const auto stitched = tracking::stitchTracks({&a, &b}, opts);
+  EXPECT_EQ(stitched.size(), 2u);
+}
+
+TEST(Stitcher, TwoParallelWalkersStayTwoChains) {
+  const auto a1 = makeSegment(0, {0.0, 0.0}, {1.0, 0.0}, 0.0, 3.0);
+  const auto a2 = makeSegment(1, {3.3, 0.0}, {1.0, 0.0}, 3.3, 6.0);
+  const auto b1 = makeSegment(2, {0.0, 4.0}, {1.0, 0.0}, 0.0, 3.0);
+  const auto b2 = makeSegment(3, {3.3, 4.0}, {1.0, 0.0}, 3.3, 6.0);
+  const auto stitched = tracking::stitchTracks({&a1, &b1, &a2, &b2});
+  ASSERT_EQ(stitched.size(), 2u);
+  for (const auto& chain : stitched) {
+    EXPECT_EQ(chain.sourceTrackIds.size(), 2u);
+    // A chain never mixes the y=0 walker with the y=4 walker.
+    for (const Vec2& p : chain.history) {
+      EXPECT_NEAR(p.y, chain.history.front().y, 0.1);
+    }
+  }
+}
+
+TEST(Stitcher, FiltersShortChains) {
+  const auto tiny = makeSegment(0, {0.0, 0.0}, {1.0, 0.0}, 0.0, 0.2);
+  EXPECT_TRUE(tracking::stitchTracks({&tiny}).empty());
+}
+
+TEST(LedgerIo, RoundTripPreservesRecords) {
+  reflector::GhostLedger ledger;
+  reflector::ControlCommand cmd;
+  cmd.intendedWorld = {2.5, 3.75};
+  cmd.antennaIndex = 3;
+  cmd.fSwitchHz = 52341.5;
+  ledger.add(1000, 0.55, cmd);
+  cmd.intendedWorld = {2.6, 3.80};
+  ledger.add(1001, 0.60, cmd);
+
+  const std::string wire = reflector::ledgerToString(ledger);
+  const auto parsed = reflector::ledgerFromString(wire);
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.records()[0].ghostId, 1000);
+  EXPECT_NEAR(parsed.records()[0].timestampS, 0.55, 1e-9);
+  EXPECT_NEAR(parsed.records()[0].command.intendedWorld.x, 2.5, 1e-6);
+  EXPECT_EQ(parsed.records()[0].command.antennaIndex, 3);
+  EXPECT_NEAR(parsed.records()[1].command.fSwitchHz, 52341.5, 1e-3);
+
+  // The parsed ledger supports the legitimate sensor's matching query.
+  EXPECT_TRUE(parsed.matchesGhost({2.52, 3.76}, 0.55, 0.2));
+}
+
+TEST(LedgerIo, MalformedRecordThrows) {
+  std::istringstream bad("1000 0.5 not-a-number 3.0 2 50000\n");
+  EXPECT_THROW(reflector::readLedger(bad), std::invalid_argument);
+}
+
+TEST(LedgerIo, EmptyLedgerRoundTrips) {
+  reflector::GhostLedger empty;
+  const auto parsed =
+      reflector::ledgerFromString(reflector::ledgerToString(empty));
+  EXPECT_EQ(parsed.size(), 0u);
+}
+
+radar::PulsedRadarConfig pulsedConfig() {
+  radar::PulsedRadarConfig cfg;
+  cfg.position = {4.0, -0.8};
+  cfg.noisePower = 1e-8;
+  return cfg;
+}
+
+TEST(PulsedRadar, LocalizesScatterersInRange) {
+  const radar::PulsedRadar radar(pulsedConfig());
+  common::Rng rng(1);
+  env::PointScatterer s;
+  s.position = {4.0, 5.2};  // 6 m away
+  const auto profile = radar.sense({s}, {}, rng);
+  EXPECT_NEAR(profile.peakRangeM(), 6.0, radar.config().rangeResolution());
+}
+
+TEST(PulsedRadar, ResolvesTwoSeparatedEchoes) {
+  const radar::PulsedRadar radar(pulsedConfig());
+  common::Rng rng(2);
+  env::PointScatterer a;
+  a.position = {4.0, 2.2};  // 3 m
+  env::PointScatterer b;
+  b.position = {4.0, 7.2};  // 8 m
+  const auto profile = radar.sense({a, b}, {}, rng);
+  // Path loss makes the 8 m echo ~14% of the 3 m echo; lower the fraction.
+  const auto peaks = profile.peakRanges(0.05);
+  ASSERT_GE(peaks.size(), 2u);
+  // Both echoes present (order by power: nearer is stronger).
+  EXPECT_NEAR(peaks[0], 3.0, 0.5);
+  EXPECT_NEAR(peaks[1], 8.0, 0.5);
+}
+
+TEST(PulsedRadar, BeatOffsetTrickDoesNotTransfer) {
+  // The FMCW switching field is meaningless to a pulsed radar: a scatterer
+  // with beatFreqOffsetHz set still shows at its *physical* range.
+  const radar::PulsedRadar radar(pulsedConfig());
+  common::Rng rng(3);
+  env::PointScatterer s;
+  s.position = {4.0, 3.2};  // 4 m
+  s.beatFreqOffsetHz = 60e3;
+  const auto profile = radar.sense({s}, {}, rng);
+  EXPECT_NEAR(profile.peakRangeM(), 4.0, radar.config().rangeResolution());
+}
+
+TEST(DelayLineReflector, SpoofsQuantizedExtraRange) {
+  const radar::PulsedRadar radar(pulsedConfig());
+  common::Rng rng(4);
+
+  // Taps every 5 ns -> 0.75 m extra-range steps.
+  std::vector<double> taps;
+  for (int i = 1; i <= 16; ++i) taps.push_back(5e-9 * i);
+  const radar::DelayLineReflector reflector({4.0, 0.4}, taps, 2.0);
+  const double reflectorRange =
+      (reflector.position() - radar.config().position).norm();
+
+  for (double extra : {1.5, 3.0, 5.25}) {
+    const auto echo = reflector.spoof(extra);
+    const auto profile = radar.sense({}, {echo}, rng);
+    EXPECT_NEAR(profile.peakRangeM(), reflectorRange + extra,
+                radar.config().rangeResolution() + 0.4)
+        << "extra=" << extra;
+  }
+}
+
+TEST(DelayLineReflector, Validation) {
+  EXPECT_THROW(radar::DelayLineReflector({0.0, 0.0}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(radar::DelayLineReflector({0.0, 0.0}, {0.0}),
+               std::invalid_argument);
+  radar::PulsedRadarConfig bad = pulsedConfig();
+  bad.pulseWidthS = 1e-12;  // under-sampled at 2 GHz
+  EXPECT_THROW(radar::PulsedRadar{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace rfp

@@ -1,0 +1,322 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "radar/frontend.h"
+#include "radar/processor.h"
+#include "tracking/detection.h"
+#include "tracking/hungarian.h"
+#include "tracking/kalman.h"
+#include "tracking/tracker.h"
+
+namespace rfp::tracking {
+namespace {
+
+using rfp::common::Vec2;
+
+radar::RadarConfig testRadar() {
+  radar::RadarConfig cfg;
+  cfg.position = {5.0, 0.05};
+  cfg.noisePower = 1e-6;
+  return cfg;
+}
+
+TEST(PeakDetector, FindsTwoSeparatedTargets) {
+  const radar::RadarConfig cfg = testRadar();
+  const radar::Frontend fe(cfg);
+  const radar::Processor proc(cfg);
+  rfp::common::Rng rng(3);
+
+  env::PointScatterer a;
+  a.position = cfg.position + Vec2{-2.0, 4.0};
+  env::PointScatterer b;
+  b.position = cfg.position + Vec2{2.5, 6.0};
+  const auto frame = fe.synthesize(std::vector<env::PointScatterer>{a, b},
+                                   0.0, rng);
+  const auto map = proc.process(frame);
+
+  const PeakDetector detector;
+  const auto detections = detector.detect(map, proc);
+  ASSERT_GE(detections.size(), 2u);
+
+  // Both true targets must be matched by some detection.
+  for (const Vec2 truth : {a.position, b.position}) {
+    double best = 1e9;
+    for (const auto& d : detections) best = std::min(best, distance(d.world, truth));
+    EXPECT_LT(best, 0.5);
+  }
+  // Strongest-first ordering.
+  for (std::size_t i = 1; i < detections.size(); ++i) {
+    EXPECT_LE(detections[i].power, detections[i - 1].power);
+  }
+}
+
+TEST(PeakDetector, CfarFindsTargetsToo) {
+  const radar::RadarConfig cfg = testRadar();
+  const radar::Frontend fe(cfg);
+  const radar::Processor proc(cfg);
+  rfp::common::Rng rng(5);
+
+  env::PointScatterer a;
+  a.position = cfg.position + Vec2{0.0, 5.0};
+  const auto frame = fe.synthesize(std::vector<env::PointScatterer>{a}, 0.0,
+                                   rng);
+  const auto map = proc.process(frame);
+  const PeakDetector detector;
+  const auto detections = detector.detectCfar(map, proc);
+  ASSERT_FALSE(detections.empty());
+  EXPECT_LT(distance(detections.front().world, a.position), 0.5);
+}
+
+TEST(PeakDetector, EmptySceneYieldsFewDetections) {
+  const radar::RadarConfig cfg = testRadar();
+  const radar::Frontend fe(cfg);
+  const radar::Processor proc(cfg);
+  rfp::common::Rng rng(7);
+  const auto frame = fe.synthesize({}, 0.0, rng);
+  const auto map = proc.process(frame);
+  const PeakDetector detector;
+  // Pure-noise map: threshold = factor * median keeps detections sparse.
+  EXPECT_LE(detector.detect(map, proc).size(), detector.options().maxDetections);
+}
+
+TEST(Kalman, ConvergesOnConstantVelocityTarget) {
+  rfp::common::Rng rng(11);
+  KalmanFilter2D kf({0.0, 0.0});
+  const Vec2 vel{1.0, 0.5};
+  Vec2 truth{0.0, 0.0};
+  const double dt = 0.1;
+  for (int i = 0; i < 100; ++i) {
+    truth += vel * dt;
+    kf.predict(dt);
+    kf.update(truth + Vec2{rng.gaussian(0.0, 0.05),
+                           rng.gaussian(0.0, 0.05)});
+  }
+  EXPECT_LT(distance(kf.position(), truth), 0.15);
+  EXPECT_NEAR(kf.velocity().x, vel.x, 0.3);
+  EXPECT_NEAR(kf.velocity().y, vel.y, 0.3);
+}
+
+TEST(Kalman, PredictGrowsUncertaintyUpdateShrinksIt) {
+  KalmanFilter2D kf({1.0, 1.0});
+  const double p0 = kf.covariance()(0, 0);
+  kf.predict(0.5);
+  const double p1 = kf.covariance()(0, 0);
+  EXPECT_GT(p1, p0);
+  kf.update({1.0, 1.0});
+  const double p2 = kf.covariance()(0, 0);
+  EXPECT_LT(p2, p1);
+}
+
+TEST(Kalman, MahalanobisGrowsWithDistance) {
+  KalmanFilter2D kf({0.0, 0.0});
+  EXPECT_LT(kf.mahalanobis({0.05, 0.0}), kf.mahalanobis({1.0, 0.0}));
+  EXPECT_LT(kf.mahalanobis({1.0, 0.0}), kf.mahalanobis({3.0, 0.0}));
+}
+
+TEST(Kalman, RejectsNonPositiveDt) {
+  KalmanFilter2D kf({0.0, 0.0});
+  EXPECT_THROW(kf.predict(0.0), std::invalid_argument);
+  EXPECT_THROW(kf.predict(-1.0), std::invalid_argument);
+}
+
+TEST(Hungarian, SolvesKnownSquareProblem) {
+  const linalg::Matrix cost{{4.0, 1.0, 3.0},
+                            {2.0, 0.0, 5.0},
+                            {3.0, 2.0, 2.0}};
+  const auto assignment = solveAssignment(cost);
+  ASSERT_EQ(assignment.size(), 3u);
+  EXPECT_DOUBLE_EQ(assignmentCost(cost, assignment), 5.0);
+  // Optimal: row0 -> col1, row1 -> col0, row2 -> col2.
+  EXPECT_EQ(assignment[0], 1);
+  EXPECT_EQ(assignment[1], 0);
+  EXPECT_EQ(assignment[2], 2);
+}
+
+TEST(Hungarian, HandlesRectangularBothWays) {
+  // More columns than rows.
+  const linalg::Matrix wide{{10.0, 1.0, 10.0, 10.0}, {1.0, 10.0, 10.0, 10.0}};
+  const auto a = solveAssignment(wide);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[1], 0);
+
+  // More rows than columns: one row stays unassigned.
+  const linalg::Matrix tall{{1.0}, {2.0}, {3.0}};
+  const auto b = solveAssignment(tall);
+  int assigned = 0;
+  for (int x : b) {
+    if (x >= 0) ++assigned;
+  }
+  EXPECT_EQ(assigned, 1);
+  EXPECT_EQ(b[0], 0);  // cheapest row wins the only column
+}
+
+TEST(Hungarian, RespectsForbiddenPairings) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  const linalg::Matrix cost{{inf, 2.0}, {1.0, inf}};
+  const auto assignment = solveAssignment(cost);
+  EXPECT_EQ(assignment[0], 1);
+  EXPECT_EQ(assignment[1], 0);
+}
+
+TEST(Hungarian, AllForbiddenLeavesUnassigned) {
+  constexpr double inf = std::numeric_limits<double>::infinity();
+  const linalg::Matrix cost{{inf, inf}, {1.0, 2.0}};
+  const auto assignment = solveAssignment(cost);
+  EXPECT_EQ(assignment[0], -1);
+  EXPECT_EQ(assignment[1], 0);
+}
+
+TEST(Hungarian, EmptyProblems) {
+  EXPECT_TRUE(solveAssignment(linalg::Matrix(0, 3)).empty());
+  const auto a = solveAssignment(linalg::Matrix(2, 0));
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], -1);
+}
+
+class HungarianRandomTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HungarianRandomTest, MatchesBruteForceOnSmallProblems) {
+  const std::size_t n = GetParam();
+  rfp::common::Rng rng(n * 101);
+  linalg::Matrix cost(n, n);
+  for (double& v : cost.data()) v = rng.uniform(0.0, 10.0);
+
+  const auto assignment = solveAssignment(cost);
+  const double got = assignmentCost(cost, assignment);
+
+  // Brute force over all permutations.
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = i;
+  double best = 1e18;
+  do {
+    double c = 0.0;
+    for (std::size_t i = 0; i < n; ++i) c += cost(i, perm[i]);
+    best = std::min(best, c);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+
+  EXPECT_NEAR(got, best, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HungarianRandomTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 7));
+
+TEST(PeakDetector, WorldBoundsGateDiscardsOutsideDetections) {
+  const radar::RadarConfig cfg = testRadar();
+  const radar::Frontend fe(cfg);
+  const radar::Processor proc(cfg);
+  rfp::common::Rng rng(13);
+
+  env::PointScatterer inside;
+  inside.position = cfg.position + Vec2{0.0, 4.0};
+  env::PointScatterer outside;
+  outside.position = cfg.position + Vec2{-4.5, 2.0};
+  const auto frame = fe.synthesize(
+      std::vector<env::PointScatterer>{inside, outside}, 0.0, rng);
+  const auto map = proc.process(frame);
+
+  DetectorOptions opts;
+  opts.bounds = WorldBounds{cfg.position + Vec2{-2.0, 0.0},
+                            cfg.position + Vec2{2.0, 8.0}};
+  const PeakDetector gated(opts);
+  for (const auto& d : gated.detect(map, proc)) {
+    EXPECT_TRUE(opts.bounds->contains(d.world));
+  }
+  // Without the gate the outside target is detected as well.
+  const PeakDetector open;
+  bool sawOutside = false;
+  for (const auto& d : open.detect(map, proc)) {
+    if (distance(d.world, outside.position) < 0.6) sawOutside = true;
+  }
+  EXPECT_TRUE(sawOutside);
+}
+
+TEST(PeakDetector, DynamicRangeCutSuppressesWeakPeaks) {
+  const radar::RadarConfig cfg = testRadar();
+  const radar::Frontend fe(cfg);
+  const radar::Processor proc(cfg);
+  rfp::common::Rng rng(17);
+
+  env::PointScatterer strong;
+  strong.position = cfg.position + Vec2{0.0, 4.0};
+  strong.amplitude = 1.0;
+  env::PointScatterer weak = strong;
+  weak.position = cfg.position + Vec2{2.5, 5.5};
+  weak.amplitude = 0.15;  // ~16 dB weaker received power
+  const auto frame = fe.synthesize(
+      std::vector<env::PointScatterer>{strong, weak}, 0.0, rng);
+  const auto map = proc.process(frame);
+
+  DetectorOptions tight;
+  tight.dynamicRangeDb = 10.0;
+  const auto few = PeakDetector(tight).detect(map, proc);
+  DetectorOptions loose;
+  loose.dynamicRangeDb = 60.0;
+  const auto many = PeakDetector(loose).detect(map, proc);
+  EXPECT_LT(few.size(), many.size());
+  for (const auto& d : few) {
+    EXPECT_GT(d.power, many.front().power * 0.1 * 0.99);
+  }
+}
+
+Detection makeDetection(Vec2 world, double t, double power = 1.0) {
+  Detection d;
+  d.world = world;
+  d.timestampS = t;
+  d.power = power;
+  return d;
+}
+
+TEST(Tracker, FollowsTwoParallelTargets) {
+  MultiTargetTracker tracker;
+  const double dt = 0.1;
+  for (int i = 0; i < 30; ++i) {
+    const double t = i * dt;
+    std::vector<Detection> dets = {
+        makeDetection({t * 1.0, 2.0}, t),
+        makeDetection({t * 1.0, 5.0}, t),
+    };
+    tracker.update(dets, t);
+  }
+  const auto confirmed = tracker.confirmedTracks();
+  ASSERT_EQ(confirmed.size(), 2u);
+  const auto trajs = tracker.trajectories();
+  ASSERT_EQ(trajs.size(), 2u);
+  for (const auto& traj : trajs) EXPECT_GT(traj.size(), 25u);
+}
+
+TEST(Tracker, DropsStaleTracksAndKeepsHistory) {
+  TrackerOptions opts;
+  opts.maxMisses = 3;
+  MultiTargetTracker tracker(opts);
+  double t = 0.0;
+  for (int i = 0; i < 10; ++i, t += 0.1) {
+    tracker.update({makeDetection({1.0 + 0.05 * i, 1.0}, t)}, t);
+  }
+  EXPECT_EQ(tracker.confirmedTracks().size(), 1u);
+  // Target disappears; track must retire into finishedTracks.
+  for (int i = 0; i < 6; ++i, t += 0.1) tracker.update({}, t);
+  EXPECT_TRUE(tracker.confirmedTracks().empty());
+  ASSERT_EQ(tracker.finishedTracks().size(), 1u);
+  EXPECT_GT(tracker.finishedTracks().front().history.size(), 8u);
+}
+
+TEST(Tracker, GatingPreventsTeleportAssociation) {
+  MultiTargetTracker tracker;
+  tracker.update({makeDetection({0.0, 0.0}, 0.0)}, 0.0);
+  tracker.update({makeDetection({0.05, 0.0}, 0.1)}, 0.1);
+  // A detection 6 m away must spawn a new track, not extend the old one.
+  tracker.update({makeDetection({6.0, 0.0}, 0.2)}, 0.2);
+  EXPECT_EQ(tracker.tracks().size(), 2u);
+}
+
+TEST(Tracker, TentativeTracksAreNotConfirmed) {
+  MultiTargetTracker tracker;
+  tracker.update({makeDetection({1.0, 1.0}, 0.0)}, 0.0);
+  EXPECT_TRUE(tracker.confirmedTracks().empty());
+  EXPECT_EQ(tracker.tracks().size(), 1u);
+}
+
+}  // namespace
+}  // namespace rfp::tracking
