@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_harmonics.dir/bench_ablation_harmonics.cpp.o"
+  "CMakeFiles/bench_ablation_harmonics.dir/bench_ablation_harmonics.cpp.o.d"
+  "bench_ablation_harmonics"
+  "bench_ablation_harmonics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_harmonics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_panel.dir/bench_ablation_panel.cpp.o"
+  "CMakeFiles/bench_ablation_panel.dir/bench_ablation_panel.cpp.o.d"
+  "bench_ablation_panel"
+  "bench_ablation_panel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_panel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

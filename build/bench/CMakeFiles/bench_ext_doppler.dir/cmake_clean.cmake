@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_doppler.dir/bench_ext_doppler.cpp.o"
+  "CMakeFiles/bench_ext_doppler.dir/bench_ext_doppler.cpp.o.d"
+  "bench_ext_doppler"
+  "bench_ext_doppler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_doppler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

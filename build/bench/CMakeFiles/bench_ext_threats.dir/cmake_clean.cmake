@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_threats.dir/bench_ext_threats.cpp.o"
+  "CMakeFiles/bench_ext_threats.dir/bench_ext_threats.cpp.o.d"
+  "bench_ext_threats"
+  "bench_ext_threats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_threats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_range_angle_profiles.dir/bench_fig10_range_angle_profiles.cpp.o"
+  "CMakeFiles/bench_fig10_range_angle_profiles.dir/bench_fig10_range_angle_profiles.cpp.o.d"
+  "bench_fig10_range_angle_profiles"
+  "bench_fig10_range_angle_profiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_range_angle_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

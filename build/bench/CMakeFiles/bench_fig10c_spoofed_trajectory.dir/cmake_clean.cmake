@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10c_spoofed_trajectory.dir/bench_fig10c_spoofed_trajectory.cpp.o"
+  "CMakeFiles/bench_fig10c_spoofed_trajectory.dir/bench_fig10c_spoofed_trajectory.cpp.o.d"
+  "bench_fig10c_spoofed_trajectory"
+  "bench_fig10c_spoofed_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10c_spoofed_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_breathing.cpp" "bench/CMakeFiles/bench_fig14_breathing.dir/bench_fig14_breathing.cpp.o" "gcc" "bench/CMakeFiles/bench_fig14_breathing.dir/bench_fig14_breathing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rfp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gan/CMakeFiles/rfp_gan.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/rfp_tracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/radar/CMakeFiles/rfp_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/rfp_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/reflector/CMakeFiles/rfp_reflector.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/rfp_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/rfp_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rfp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rfp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

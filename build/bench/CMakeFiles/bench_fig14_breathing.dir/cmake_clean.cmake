@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_breathing.dir/bench_fig14_breathing.cpp.o"
+  "CMakeFiles/bench_fig14_breathing.dir/bench_fig14_breathing.cpp.o.d"
+  "bench_fig14_breathing"
+  "bench_fig14_breathing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_breathing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

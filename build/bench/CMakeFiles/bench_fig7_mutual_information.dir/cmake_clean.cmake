@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_mutual_information.dir/bench_fig7_mutual_information.cpp.o"
+  "CMakeFiles/bench_fig7_mutual_information.dir/bench_fig7_mutual_information.cpp.o.d"
+  "bench_fig7_mutual_information"
+  "bench_fig7_mutual_information.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_mutual_information.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/breathing_spoof.dir/breathing_spoof.cpp.o"
+  "CMakeFiles/breathing_spoof.dir/breathing_spoof.cpp.o.d"
+  "breathing_spoof"
+  "breathing_spoof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/breathing_spoof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

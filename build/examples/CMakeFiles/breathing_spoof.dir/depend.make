@@ -1,0 +1,2 @@
+# Empty dependencies file for breathing_spoof.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/home_privacy.dir/home_privacy.cpp.o"
+  "CMakeFiles/home_privacy.dir/home_privacy.cpp.o.d"
+  "home_privacy"
+  "home_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/home_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legit_sensing.dir/legit_sensing.cpp.o"
+  "CMakeFiles/legit_sensing.dir/legit_sensing.cpp.o.d"
+  "legit_sensing"
+  "legit_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legit_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

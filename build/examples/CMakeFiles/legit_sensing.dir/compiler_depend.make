@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for legit_sensing.
+# This may be replaced when dependencies are built.

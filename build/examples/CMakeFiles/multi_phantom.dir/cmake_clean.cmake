@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_phantom.dir/multi_phantom.cpp.o"
+  "CMakeFiles/multi_phantom.dir/multi_phantom.cpp.o.d"
+  "multi_phantom"
+  "multi_phantom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_phantom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

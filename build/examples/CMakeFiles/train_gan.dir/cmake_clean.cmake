@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_gan.dir/train_gan.cpp.o"
+  "CMakeFiles/train_gan.dir/train_gan.cpp.o.d"
+  "train_gan"
+  "train_gan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_gan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("linalg")
+subdirs("signal")
+subdirs("env")
+subdirs("radar")
+subdirs("tracking")
+subdirs("reflector")
+subdirs("nn")
+subdirs("trajectory")
+subdirs("gan")
+subdirs("privacy")
+subdirs("core")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_common.dir/procrustes.cpp.o"
+  "CMakeFiles/rfp_common.dir/procrustes.cpp.o.d"
+  "CMakeFiles/rfp_common.dir/special.cpp.o"
+  "CMakeFiles/rfp_common.dir/special.cpp.o.d"
+  "CMakeFiles/rfp_common.dir/stats.cpp.o"
+  "CMakeFiles/rfp_common.dir/stats.cpp.o.d"
+  "librfp_common.a"
+  "librfp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

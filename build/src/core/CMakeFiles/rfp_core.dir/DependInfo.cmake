@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/breathing_analysis.cpp" "src/core/CMakeFiles/rfp_core.dir/breathing_analysis.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/breathing_analysis.cpp.o.d"
+  "/root/repo/src/core/eavesdropper.cpp" "src/core/CMakeFiles/rfp_core.dir/eavesdropper.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/eavesdropper.cpp.o.d"
+  "/root/repo/src/core/ghost_scheduler.cpp" "src/core/CMakeFiles/rfp_core.dir/ghost_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/ghost_scheduler.cpp.o.d"
+  "/root/repo/src/core/harness.cpp" "src/core/CMakeFiles/rfp_core.dir/harness.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/harness.cpp.o.d"
+  "/root/repo/src/core/legit_sensor.cpp" "src/core/CMakeFiles/rfp_core.dir/legit_sensor.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/legit_sensor.cpp.o.d"
+  "/root/repo/src/core/multiradar.cpp" "src/core/CMakeFiles/rfp_core.dir/multiradar.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/multiradar.cpp.o.d"
+  "/root/repo/src/core/rfprotect_system.cpp" "src/core/CMakeFiles/rfp_core.dir/rfprotect_system.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/rfprotect_system.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/core/CMakeFiles/rfp_core.dir/scenario.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/scenario.cpp.o.d"
+  "/root/repo/src/core/scenario_config.cpp" "src/core/CMakeFiles/rfp_core.dir/scenario_config.cpp.o" "gcc" "src/core/CMakeFiles/rfp_core.dir/scenario_config.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/rfp_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/rfp_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/radar/CMakeFiles/rfp_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/tracking/CMakeFiles/rfp_tracking.dir/DependInfo.cmake"
+  "/root/repo/build/src/reflector/CMakeFiles/rfp_reflector.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/rfp_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rfp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

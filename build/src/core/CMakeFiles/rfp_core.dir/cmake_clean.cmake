@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_core.dir/breathing_analysis.cpp.o"
+  "CMakeFiles/rfp_core.dir/breathing_analysis.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/eavesdropper.cpp.o"
+  "CMakeFiles/rfp_core.dir/eavesdropper.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/ghost_scheduler.cpp.o"
+  "CMakeFiles/rfp_core.dir/ghost_scheduler.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/harness.cpp.o"
+  "CMakeFiles/rfp_core.dir/harness.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/legit_sensor.cpp.o"
+  "CMakeFiles/rfp_core.dir/legit_sensor.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/multiradar.cpp.o"
+  "CMakeFiles/rfp_core.dir/multiradar.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/rfprotect_system.cpp.o"
+  "CMakeFiles/rfp_core.dir/rfprotect_system.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/scenario.cpp.o"
+  "CMakeFiles/rfp_core.dir/scenario.cpp.o.d"
+  "CMakeFiles/rfp_core.dir/scenario_config.cpp.o"
+  "CMakeFiles/rfp_core.dir/scenario_config.cpp.o.d"
+  "librfp_core.a"
+  "librfp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

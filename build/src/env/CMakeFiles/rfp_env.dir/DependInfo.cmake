@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/env/environment.cpp" "src/env/CMakeFiles/rfp_env.dir/environment.cpp.o" "gcc" "src/env/CMakeFiles/rfp_env.dir/environment.cpp.o.d"
+  "/root/repo/src/env/floorplan.cpp" "src/env/CMakeFiles/rfp_env.dir/floorplan.cpp.o" "gcc" "src/env/CMakeFiles/rfp_env.dir/floorplan.cpp.o.d"
+  "/root/repo/src/env/human.cpp" "src/env/CMakeFiles/rfp_env.dir/human.cpp.o" "gcc" "src/env/CMakeFiles/rfp_env.dir/human.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_env.dir/environment.cpp.o"
+  "CMakeFiles/rfp_env.dir/environment.cpp.o.d"
+  "CMakeFiles/rfp_env.dir/floorplan.cpp.o"
+  "CMakeFiles/rfp_env.dir/floorplan.cpp.o.d"
+  "CMakeFiles/rfp_env.dir/human.cpp.o"
+  "CMakeFiles/rfp_env.dir/human.cpp.o.d"
+  "librfp_env.a"
+  "librfp_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gan/discriminator.cpp" "src/gan/CMakeFiles/rfp_gan.dir/discriminator.cpp.o" "gcc" "src/gan/CMakeFiles/rfp_gan.dir/discriminator.cpp.o.d"
+  "/root/repo/src/gan/generator.cpp" "src/gan/CMakeFiles/rfp_gan.dir/generator.cpp.o" "gcc" "src/gan/CMakeFiles/rfp_gan.dir/generator.cpp.o.d"
+  "/root/repo/src/gan/trajectory_gan.cpp" "src/gan/CMakeFiles/rfp_gan.dir/trajectory_gan.cpp.o" "gcc" "src/gan/CMakeFiles/rfp_gan.dir/trajectory_gan.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/rfp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/rfp_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rfp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/rfp_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_gan.dir/discriminator.cpp.o"
+  "CMakeFiles/rfp_gan.dir/discriminator.cpp.o.d"
+  "CMakeFiles/rfp_gan.dir/generator.cpp.o"
+  "CMakeFiles/rfp_gan.dir/generator.cpp.o.d"
+  "CMakeFiles/rfp_gan.dir/trajectory_gan.cpp.o"
+  "CMakeFiles/rfp_gan.dir/trajectory_gan.cpp.o.d"
+  "librfp_gan.a"
+  "librfp_gan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_gan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_linalg.dir/decompositions.cpp.o"
+  "CMakeFiles/rfp_linalg.dir/decompositions.cpp.o.d"
+  "CMakeFiles/rfp_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/rfp_linalg.dir/matrix.cpp.o.d"
+  "librfp_linalg.a"
+  "librfp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/adam.cpp" "src/nn/CMakeFiles/rfp_nn.dir/adam.cpp.o" "gcc" "src/nn/CMakeFiles/rfp_nn.dir/adam.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/rfp_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/rfp_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/nn/CMakeFiles/rfp_nn.dir/embedding.cpp.o" "gcc" "src/nn/CMakeFiles/rfp_nn.dir/embedding.cpp.o.d"
+  "/root/repo/src/nn/gradcheck.cpp" "src/nn/CMakeFiles/rfp_nn.dir/gradcheck.cpp.o" "gcc" "src/nn/CMakeFiles/rfp_nn.dir/gradcheck.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/rfp_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/rfp_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/rfp_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/rfp_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lstm.cpp" "src/nn/CMakeFiles/rfp_nn.dir/lstm.cpp.o" "gcc" "src/nn/CMakeFiles/rfp_nn.dir/lstm.cpp.o.d"
+  "/root/repo/src/nn/ops.cpp" "src/nn/CMakeFiles/rfp_nn.dir/ops.cpp.o" "gcc" "src/nn/CMakeFiles/rfp_nn.dir/ops.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/rfp_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/rfp_nn.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rfp_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

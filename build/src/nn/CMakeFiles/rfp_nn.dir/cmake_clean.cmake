@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_nn.dir/adam.cpp.o"
+  "CMakeFiles/rfp_nn.dir/adam.cpp.o.d"
+  "CMakeFiles/rfp_nn.dir/dropout.cpp.o"
+  "CMakeFiles/rfp_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/rfp_nn.dir/embedding.cpp.o"
+  "CMakeFiles/rfp_nn.dir/embedding.cpp.o.d"
+  "CMakeFiles/rfp_nn.dir/gradcheck.cpp.o"
+  "CMakeFiles/rfp_nn.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/rfp_nn.dir/linear.cpp.o"
+  "CMakeFiles/rfp_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/rfp_nn.dir/loss.cpp.o"
+  "CMakeFiles/rfp_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/rfp_nn.dir/lstm.cpp.o"
+  "CMakeFiles/rfp_nn.dir/lstm.cpp.o.d"
+  "CMakeFiles/rfp_nn.dir/ops.cpp.o"
+  "CMakeFiles/rfp_nn.dir/ops.cpp.o.d"
+  "CMakeFiles/rfp_nn.dir/serialize.cpp.o"
+  "CMakeFiles/rfp_nn.dir/serialize.cpp.o.d"
+  "librfp_nn.a"
+  "librfp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

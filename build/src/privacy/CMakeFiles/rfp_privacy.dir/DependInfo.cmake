@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/judge_panel.cpp" "src/privacy/CMakeFiles/rfp_privacy.dir/judge_panel.cpp.o" "gcc" "src/privacy/CMakeFiles/rfp_privacy.dir/judge_panel.cpp.o.d"
+  "/root/repo/src/privacy/mutual_information.cpp" "src/privacy/CMakeFiles/rfp_privacy.dir/mutual_information.cpp.o" "gcc" "src/privacy/CMakeFiles/rfp_privacy.dir/mutual_information.cpp.o.d"
+  "/root/repo/src/privacy/occupancy_attack.cpp" "src/privacy/CMakeFiles/rfp_privacy.dir/occupancy_attack.cpp.o" "gcc" "src/privacy/CMakeFiles/rfp_privacy.dir/occupancy_attack.cpp.o.d"
+  "/root/repo/src/privacy/rcs.cpp" "src/privacy/CMakeFiles/rfp_privacy.dir/rcs.cpp.o" "gcc" "src/privacy/CMakeFiles/rfp_privacy.dir/rcs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trajectory/CMakeFiles/rfp_trajectory.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rfp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/rfp_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

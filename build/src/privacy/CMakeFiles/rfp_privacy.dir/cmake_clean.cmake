@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_privacy.dir/judge_panel.cpp.o"
+  "CMakeFiles/rfp_privacy.dir/judge_panel.cpp.o.d"
+  "CMakeFiles/rfp_privacy.dir/mutual_information.cpp.o"
+  "CMakeFiles/rfp_privacy.dir/mutual_information.cpp.o.d"
+  "CMakeFiles/rfp_privacy.dir/occupancy_attack.cpp.o"
+  "CMakeFiles/rfp_privacy.dir/occupancy_attack.cpp.o.d"
+  "CMakeFiles/rfp_privacy.dir/rcs.cpp.o"
+  "CMakeFiles/rfp_privacy.dir/rcs.cpp.o.d"
+  "librfp_privacy.a"
+  "librfp_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radar/doppler.cpp" "src/radar/CMakeFiles/rfp_radar.dir/doppler.cpp.o" "gcc" "src/radar/CMakeFiles/rfp_radar.dir/doppler.cpp.o.d"
+  "/root/repo/src/radar/frontend.cpp" "src/radar/CMakeFiles/rfp_radar.dir/frontend.cpp.o" "gcc" "src/radar/CMakeFiles/rfp_radar.dir/frontend.cpp.o.d"
+  "/root/repo/src/radar/processor.cpp" "src/radar/CMakeFiles/rfp_radar.dir/processor.cpp.o" "gcc" "src/radar/CMakeFiles/rfp_radar.dir/processor.cpp.o.d"
+  "/root/repo/src/radar/pulsed.cpp" "src/radar/CMakeFiles/rfp_radar.dir/pulsed.cpp.o" "gcc" "src/radar/CMakeFiles/rfp_radar.dir/pulsed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/rfp_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/rfp_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

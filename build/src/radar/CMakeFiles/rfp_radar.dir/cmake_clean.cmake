@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_radar.dir/doppler.cpp.o"
+  "CMakeFiles/rfp_radar.dir/doppler.cpp.o.d"
+  "CMakeFiles/rfp_radar.dir/frontend.cpp.o"
+  "CMakeFiles/rfp_radar.dir/frontend.cpp.o.d"
+  "CMakeFiles/rfp_radar.dir/processor.cpp.o"
+  "CMakeFiles/rfp_radar.dir/processor.cpp.o.d"
+  "CMakeFiles/rfp_radar.dir/pulsed.cpp.o"
+  "CMakeFiles/rfp_radar.dir/pulsed.cpp.o.d"
+  "librfp_radar.a"
+  "librfp_radar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_radar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reflector/antenna_panel.cpp" "src/reflector/CMakeFiles/rfp_reflector.dir/antenna_panel.cpp.o" "gcc" "src/reflector/CMakeFiles/rfp_reflector.dir/antenna_panel.cpp.o.d"
+  "/root/repo/src/reflector/breathing_spoofer.cpp" "src/reflector/CMakeFiles/rfp_reflector.dir/breathing_spoofer.cpp.o" "gcc" "src/reflector/CMakeFiles/rfp_reflector.dir/breathing_spoofer.cpp.o.d"
+  "/root/repo/src/reflector/controller.cpp" "src/reflector/CMakeFiles/rfp_reflector.dir/controller.cpp.o" "gcc" "src/reflector/CMakeFiles/rfp_reflector.dir/controller.cpp.o.d"
+  "/root/repo/src/reflector/ghost_ledger.cpp" "src/reflector/CMakeFiles/rfp_reflector.dir/ghost_ledger.cpp.o" "gcc" "src/reflector/CMakeFiles/rfp_reflector.dir/ghost_ledger.cpp.o.d"
+  "/root/repo/src/reflector/ledger_io.cpp" "src/reflector/CMakeFiles/rfp_reflector.dir/ledger_io.cpp.o" "gcc" "src/reflector/CMakeFiles/rfp_reflector.dir/ledger_io.cpp.o.d"
+  "/root/repo/src/reflector/switched_reflector.cpp" "src/reflector/CMakeFiles/rfp_reflector.dir/switched_reflector.cpp.o" "gcc" "src/reflector/CMakeFiles/rfp_reflector.dir/switched_reflector.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/rfp_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_reflector.dir/antenna_panel.cpp.o"
+  "CMakeFiles/rfp_reflector.dir/antenna_panel.cpp.o.d"
+  "CMakeFiles/rfp_reflector.dir/breathing_spoofer.cpp.o"
+  "CMakeFiles/rfp_reflector.dir/breathing_spoofer.cpp.o.d"
+  "CMakeFiles/rfp_reflector.dir/controller.cpp.o"
+  "CMakeFiles/rfp_reflector.dir/controller.cpp.o.d"
+  "CMakeFiles/rfp_reflector.dir/ghost_ledger.cpp.o"
+  "CMakeFiles/rfp_reflector.dir/ghost_ledger.cpp.o.d"
+  "CMakeFiles/rfp_reflector.dir/ledger_io.cpp.o"
+  "CMakeFiles/rfp_reflector.dir/ledger_io.cpp.o.d"
+  "CMakeFiles/rfp_reflector.dir/switched_reflector.cpp.o"
+  "CMakeFiles/rfp_reflector.dir/switched_reflector.cpp.o.d"
+  "librfp_reflector.a"
+  "librfp_reflector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_reflector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/fft.cpp" "src/signal/CMakeFiles/rfp_signal.dir/fft.cpp.o" "gcc" "src/signal/CMakeFiles/rfp_signal.dir/fft.cpp.o.d"
+  "/root/repo/src/signal/filters.cpp" "src/signal/CMakeFiles/rfp_signal.dir/filters.cpp.o" "gcc" "src/signal/CMakeFiles/rfp_signal.dir/filters.cpp.o.d"
+  "/root/repo/src/signal/noise.cpp" "src/signal/CMakeFiles/rfp_signal.dir/noise.cpp.o" "gcc" "src/signal/CMakeFiles/rfp_signal.dir/noise.cpp.o.d"
+  "/root/repo/src/signal/window.cpp" "src/signal/CMakeFiles/rfp_signal.dir/window.cpp.o" "gcc" "src/signal/CMakeFiles/rfp_signal.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_signal.dir/fft.cpp.o"
+  "CMakeFiles/rfp_signal.dir/fft.cpp.o.d"
+  "CMakeFiles/rfp_signal.dir/filters.cpp.o"
+  "CMakeFiles/rfp_signal.dir/filters.cpp.o.d"
+  "CMakeFiles/rfp_signal.dir/noise.cpp.o"
+  "CMakeFiles/rfp_signal.dir/noise.cpp.o.d"
+  "CMakeFiles/rfp_signal.dir/window.cpp.o"
+  "CMakeFiles/rfp_signal.dir/window.cpp.o.d"
+  "librfp_signal.a"
+  "librfp_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tracking/detection.cpp" "src/tracking/CMakeFiles/rfp_tracking.dir/detection.cpp.o" "gcc" "src/tracking/CMakeFiles/rfp_tracking.dir/detection.cpp.o.d"
+  "/root/repo/src/tracking/hungarian.cpp" "src/tracking/CMakeFiles/rfp_tracking.dir/hungarian.cpp.o" "gcc" "src/tracking/CMakeFiles/rfp_tracking.dir/hungarian.cpp.o.d"
+  "/root/repo/src/tracking/kalman.cpp" "src/tracking/CMakeFiles/rfp_tracking.dir/kalman.cpp.o" "gcc" "src/tracking/CMakeFiles/rfp_tracking.dir/kalman.cpp.o.d"
+  "/root/repo/src/tracking/stitcher.cpp" "src/tracking/CMakeFiles/rfp_tracking.dir/stitcher.cpp.o" "gcc" "src/tracking/CMakeFiles/rfp_tracking.dir/stitcher.cpp.o.d"
+  "/root/repo/src/tracking/tracker.cpp" "src/tracking/CMakeFiles/rfp_tracking.dir/tracker.cpp.o" "gcc" "src/tracking/CMakeFiles/rfp_tracking.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rfp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/radar/CMakeFiles/rfp_radar.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/rfp_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/rfp_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

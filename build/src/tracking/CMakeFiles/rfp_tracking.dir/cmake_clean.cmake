@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_tracking.dir/detection.cpp.o"
+  "CMakeFiles/rfp_tracking.dir/detection.cpp.o.d"
+  "CMakeFiles/rfp_tracking.dir/hungarian.cpp.o"
+  "CMakeFiles/rfp_tracking.dir/hungarian.cpp.o.d"
+  "CMakeFiles/rfp_tracking.dir/kalman.cpp.o"
+  "CMakeFiles/rfp_tracking.dir/kalman.cpp.o.d"
+  "CMakeFiles/rfp_tracking.dir/stitcher.cpp.o"
+  "CMakeFiles/rfp_tracking.dir/stitcher.cpp.o.d"
+  "CMakeFiles/rfp_tracking.dir/tracker.cpp.o"
+  "CMakeFiles/rfp_tracking.dir/tracker.cpp.o.d"
+  "librfp_tracking.a"
+  "librfp_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trajectory/baselines.cpp" "src/trajectory/CMakeFiles/rfp_trajectory.dir/baselines.cpp.o" "gcc" "src/trajectory/CMakeFiles/rfp_trajectory.dir/baselines.cpp.o.d"
+  "/root/repo/src/trajectory/dataset_io.cpp" "src/trajectory/CMakeFiles/rfp_trajectory.dir/dataset_io.cpp.o" "gcc" "src/trajectory/CMakeFiles/rfp_trajectory.dir/dataset_io.cpp.o.d"
+  "/root/repo/src/trajectory/features.cpp" "src/trajectory/CMakeFiles/rfp_trajectory.dir/features.cpp.o" "gcc" "src/trajectory/CMakeFiles/rfp_trajectory.dir/features.cpp.o.d"
+  "/root/repo/src/trajectory/fid.cpp" "src/trajectory/CMakeFiles/rfp_trajectory.dir/fid.cpp.o" "gcc" "src/trajectory/CMakeFiles/rfp_trajectory.dir/fid.cpp.o.d"
+  "/root/repo/src/trajectory/floorplan_router.cpp" "src/trajectory/CMakeFiles/rfp_trajectory.dir/floorplan_router.cpp.o" "gcc" "src/trajectory/CMakeFiles/rfp_trajectory.dir/floorplan_router.cpp.o.d"
+  "/root/repo/src/trajectory/human_walk.cpp" "src/trajectory/CMakeFiles/rfp_trajectory.dir/human_walk.cpp.o" "gcc" "src/trajectory/CMakeFiles/rfp_trajectory.dir/human_walk.cpp.o.d"
+  "/root/repo/src/trajectory/trace.cpp" "src/trajectory/CMakeFiles/rfp_trajectory.dir/trace.cpp.o" "gcc" "src/trajectory/CMakeFiles/rfp_trajectory.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/rfp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/env/CMakeFiles/rfp_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

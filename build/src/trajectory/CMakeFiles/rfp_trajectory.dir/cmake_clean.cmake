@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfp_trajectory.dir/baselines.cpp.o"
+  "CMakeFiles/rfp_trajectory.dir/baselines.cpp.o.d"
+  "CMakeFiles/rfp_trajectory.dir/dataset_io.cpp.o"
+  "CMakeFiles/rfp_trajectory.dir/dataset_io.cpp.o.d"
+  "CMakeFiles/rfp_trajectory.dir/features.cpp.o"
+  "CMakeFiles/rfp_trajectory.dir/features.cpp.o.d"
+  "CMakeFiles/rfp_trajectory.dir/fid.cpp.o"
+  "CMakeFiles/rfp_trajectory.dir/fid.cpp.o.d"
+  "CMakeFiles/rfp_trajectory.dir/floorplan_router.cpp.o"
+  "CMakeFiles/rfp_trajectory.dir/floorplan_router.cpp.o.d"
+  "CMakeFiles/rfp_trajectory.dir/human_walk.cpp.o"
+  "CMakeFiles/rfp_trajectory.dir/human_walk.cpp.o.d"
+  "CMakeFiles/rfp_trajectory.dir/trace.cpp.o"
+  "CMakeFiles/rfp_trajectory.dir/trace.cpp.o.d"
+  "librfp_trajectory.a"
+  "librfp_trajectory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfp_trajectory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_doppler.dir/test_doppler.cpp.o"
+  "CMakeFiles/test_doppler.dir/test_doppler.cpp.o.d"
+  "test_doppler"
+  "test_doppler.pdb"
+  "test_doppler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_doppler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

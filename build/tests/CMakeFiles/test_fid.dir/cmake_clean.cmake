@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fid.dir/test_fid.cpp.o"
+  "CMakeFiles/test_fid.dir/test_fid.cpp.o.d"
+  "test_fid"
+  "test_fid.pdb"
+  "test_fid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_floorplan_router.dir/test_floorplan_router.cpp.o"
+  "CMakeFiles/test_floorplan_router.dir/test_floorplan_router.cpp.o.d"
+  "test_floorplan_router"
+  "test_floorplan_router.pdb"
+  "test_floorplan_router[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_floorplan_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

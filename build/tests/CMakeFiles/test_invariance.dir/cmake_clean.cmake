@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_invariance.dir/test_invariance.cpp.o"
+  "CMakeFiles/test_invariance.dir/test_invariance.cpp.o.d"
+  "test_invariance"
+  "test_invariance.pdb"
+  "test_invariance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_invariance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

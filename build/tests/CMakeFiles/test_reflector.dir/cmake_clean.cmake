@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reflector.dir/test_reflector.cpp.o"
+  "CMakeFiles/test_reflector.dir/test_reflector.cpp.o.d"
+  "test_reflector"
+  "test_reflector.pdb"
+  "test_reflector[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reflector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

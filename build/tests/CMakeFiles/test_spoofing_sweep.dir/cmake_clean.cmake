@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spoofing_sweep.dir/test_spoofing_sweep.cpp.o"
+  "CMakeFiles/test_spoofing_sweep.dir/test_spoofing_sweep.cpp.o.d"
+  "test_spoofing_sweep"
+  "test_spoofing_sweep.pdb"
+  "test_spoofing_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spoofing_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stitcher_ledger_pulsed.dir/test_stitcher_ledger_pulsed.cpp.o"
+  "CMakeFiles/test_stitcher_ledger_pulsed.dir/test_stitcher_ledger_pulsed.cpp.o.d"
+  "test_stitcher_ledger_pulsed"
+  "test_stitcher_ledger_pulsed.pdb"
+  "test_stitcher_ledger_pulsed[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stitcher_ledger_pulsed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

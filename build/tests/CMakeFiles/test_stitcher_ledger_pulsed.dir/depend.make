@@ -1,0 +1,2 @@
+# Empty dependencies file for test_stitcher_ledger_pulsed.
+# This may be replaced when dependencies are built.

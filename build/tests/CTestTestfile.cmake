@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_special[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_geometry[1]_include.cmake")
+include("/root/repo/build/tests/test_matrix[1]_include.cmake")
+include("/root/repo/build/tests/test_decompositions[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_signal_util[1]_include.cmake")
+include("/root/repo/build/tests/test_env[1]_include.cmake")
+include("/root/repo/build/tests/test_radar[1]_include.cmake")
+include("/root/repo/build/tests/test_tracking[1]_include.cmake")
+include("/root/repo/build/tests/test_reflector[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_layers[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_lstm[1]_include.cmake")
+include("/root/repo/build/tests/test_nn_train[1]_include.cmake")
+include("/root/repo/build/tests/test_trajectory[1]_include.cmake")
+include("/root/repo/build/tests/test_fid[1]_include.cmake")
+include("/root/repo/build/tests/test_privacy[1]_include.cmake")
+include("/root/repo/build/tests/test_gan[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_floorplan_router[1]_include.cmake")
+include("/root/repo/build/tests/test_doppler[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_stitcher_ledger_pulsed[1]_include.cmake")
+include("/root/repo/build/tests/test_invariance[1]_include.cmake")
+include("/root/repo/build/tests/test_spoofing_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_scenario_config[1]_include.cmake")
