@@ -12,8 +12,12 @@ EavesdropperRadar::EavesdropperRadar(SensingConfig config)
 std::optional<Observation> EavesdropperRadar::observe(
     std::span<const env::PointScatterer> scatterers, double timestampS,
     rfp::common::Rng& rng) {
-  const radar::Frame frame =
-      frontend_.synthesize(scatterers, timestampS, rng);
+  return observeFrame(frontend_.synthesize(scatterers, timestampS, rng),
+                      timestampS);
+}
+
+std::optional<Observation> EavesdropperRadar::observeFrame(
+    radar::Frame frame, double timestampS) {
   std::optional<radar::RangeAngleMap> map =
       processor_.processWithBackgroundSubtraction(frame);
   if (!map.has_value()) return std::nullopt;

@@ -51,6 +51,12 @@ class EavesdropperRadar {
       std::span<const env::PointScatterer> scatterers, double timestampS,
       rfp::common::Rng& rng);
 
+  /// Processes an externally synthesized (possibly corrupted) frame through
+  /// the same pipeline as observe(); the fault-injection harness uses this
+  /// to apply ADC saturation between synthesis and processing.
+  std::optional<Observation> observeFrame(radar::Frame frame,
+                                          double timestampS);
+
   /// Raw frame synthesis without processing (for phase-level analyses such
   /// as breathing extraction, Fig. 14).
   radar::Frame senseRaw(std::span<const env::PointScatterer> scatterers,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <memory>
 
 #include "common/constants.h"
 #include "common/procrustes.h"
@@ -122,10 +123,14 @@ std::vector<double> robustAlignedErrors(const std::vector<Vec2>& source,
 
 namespace {
 
-/// Shared frame loop of the spoofing experiments.
+/// Shared frame loop of the spoofing experiments. When \p schedule is given,
+/// radar-side faults apply: dropped chirp frames are skipped (the actuator
+/// still advances via injectAt) and ADC-saturation episodes clip the frame
+/// between synthesis and processing.
 SpoofRunResult runSpoofLoop(const Scenario& scenario,
                             RfProtectSystem& system, int ghostId,
-                            double start, rfp::common::Rng& rng) {
+                            double start, rfp::common::Rng& rng,
+                            const fault::FaultSchedule* schedule = nullptr) {
   env::Environment environment(scenario.plan);  // no humans: phantom only
   EavesdropperRadar radar(scenario.sensing);
   const double dt = 1.0 / scenario.sensing.radar.frameRateHz;
@@ -136,9 +141,21 @@ SpoofRunResult runSpoofLoop(const Scenario& scenario,
   DetectionFollower follower(/*gateM=*/1.2);
   for (double t = 0.0; t <= duration; t += dt) {
     const auto injected = system.injectAt(t);
+    fault::FrameFaults faults;
+    if (schedule != nullptr) faults = schedule->at(t);
+    const bool ghostActive = system.intendedPosition(ghostId, t).has_value();
+    if (ghostActive && faults.discrete()) ++result.framesFaulted;
+    if (faults.radarFrameDropped) {
+      if (ghostActive) ++result.framesDroppedRadar;
+      continue;
+    }
     const auto scatterers =
         combineScatterers(environment, t, rng, scenario.snapshot, injected);
-    const auto obs = radar.observe(scatterers, t, rng);
+    radar::Frame frame = radar.senseRaw(scatterers, t, rng);
+    if (std::isfinite(faults.adcClipLevel)) {
+      radar::applyAdcSaturation(frame, faults.adcClipLevel);
+    }
+    const auto obs = radar.observeFrame(std::move(frame), t);
     if (!obs.has_value()) continue;
 
     const auto intended = system.intendedPosition(ghostId, t);
@@ -163,6 +180,24 @@ SpoofRunResult runSpoofLoop(const Scenario& scenario,
     result.locationErrorsM =
         robustAlignedErrors(result.measured, result.intended);
   }
+  for (const reflector::GhostRecord& rec : system.ledger().records()) {
+    switch (rec.command.decision) {
+      case reflector::HealthDecision::kRerouted:
+        ++result.decisionsRerouted;
+        break;
+      case reflector::HealthDecision::kGainClamped:
+        ++result.decisionsGainClamped;
+        break;
+      case reflector::HealthDecision::kStaleReplay:
+        ++result.decisionsStaleReplay;
+        break;
+      case reflector::HealthDecision::kPaused:
+        ++result.decisionsPaused;
+        break;
+      case reflector::HealthDecision::kNominal:
+        break;
+    }
+  }
   return result;
 }
 
@@ -177,6 +212,22 @@ SpoofRunResult runSpoofingExperiment(const Scenario& scenario,
   const int ghostId =
       system.addGhostAuto(centeredTrace, start, scenario.plan, rng);
   return runSpoofLoop(scenario, system, ghostId, start, rng);
+}
+
+SpoofRunResult runFaultedSpoofingExperiment(
+    const Scenario& scenario, const trajectory::Trace& centeredTrace,
+    const FaultRunOptions& options, rfp::common::Rng& rng) {
+  RfProtectSystem system(scenario.makeController());
+  const double dt = 1.0 / scenario.sensing.radar.frameRateHz;
+  const double start = 2.0 * dt;
+  const int ghostId =
+      system.addGhostAuto(centeredTrace, start, scenario.plan, rng);
+  const double duration = start + rfp::common::kTraceDurationS + 2.0 * dt;
+  auto schedule = std::make_shared<const fault::FaultSchedule>(
+      options.faults, static_cast<int>(scenario.panel.positions().size()),
+      dt, duration);
+  system.attachFaults(schedule, options.recovery);
+  return runSpoofLoop(scenario, system, ghostId, start, rng, schedule.get());
 }
 
 SpoofRunResult runSpoofingArc(const Scenario& scenario,

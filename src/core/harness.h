@@ -14,6 +14,8 @@
 #include "core/legit_sensor.h"
 #include "core/rfprotect_system.h"
 #include "core/scenario.h"
+#include "fault/fault_schedule.h"
+#include "fault/self_healing.h"
 #include "trajectory/trace.h"
 
 namespace rfp::core {
@@ -27,6 +29,15 @@ struct SpoofRunResult {
   std::vector<double> locationErrorsM;       ///< rigid-aligned 2-D errors
   std::size_t framesTotal = 0;
   std::size_t framesDetected = 0;
+
+  // Fault-injection accounting (all zero on fault-free runs).
+  std::size_t framesDroppedRadar = 0;  ///< radar frames lost while ghost on
+  std::size_t framesFaulted = 0;  ///< ghost frames with a discrete fault
+                                  ///< (drop, stuck/dead element, episode)
+  std::size_t decisionsRerouted = 0;   ///< recovery antenna re-selections
+  std::size_t decisionsGainClamped = 0;
+  std::size_t decisionsStaleReplay = 0;
+  std::size_t decisionsPaused = 0;
 };
 
 /// Spoofs one (centered) ghost trajectory in the scenario and measures it
@@ -43,6 +54,21 @@ SpoofRunResult runSpoofingArc(const Scenario& scenario,
                               const trajectory::Trace& centeredTrace,
                               rfp::common::Vec2 anchor,
                               rfp::common::Rng& rng);
+
+/// Fault model + recovery policy for a robustness run.
+struct FaultRunOptions {
+  fault::FaultConfig faults;      ///< hardware fault model
+  fault::RecoveryConfig recovery; ///< self-healing supervisor policy
+};
+
+/// runSpoofingExperiment under injected hardware faults: actuation goes
+/// through the self-healing supervisor (src/fault) and radar-side faults
+/// (dropped chirp frames, ADC saturation) corrupt the sensing path. With
+/// options.faults.intensity == 0 this is bit-identical to
+/// runSpoofingExperiment on the same rng seed.
+SpoofRunResult runFaultedSpoofingExperiment(
+    const Scenario& scenario, const trajectory::Trace& centeredTrace,
+    const FaultRunOptions& options, rfp::common::Rng& rng);
 
 /// Radar-only localization of one real human following \p path (room
 /// coordinates, sampled at \p pathDt). Reproduces Fig. 9. Returns per-frame

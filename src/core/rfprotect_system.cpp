@@ -16,12 +16,16 @@ bool Ghost::activeAt(double t) const {
 }
 
 double Ghost::endTimeS() const {
+  // placedPoints.size() is unsigned: `size() - 1` on an empty trace wraps
+  // to SIZE_MAX and the ghost would appear active forever.
+  if (placedPoints.size() < 2) return startTimeS;
   return startTimeS +
          pointDtS * static_cast<double>(placedPoints.size() - 1);
 }
 
 Vec2 Ghost::positionAt(double t) const {
   if (placedPoints.empty()) return {};
+  if (placedPoints.size() == 1) return placedPoints.front();
   const double idx = (t - startTimeS) / pointDtS;
   if (idx <= 0.0) return placedPoints.front();
   if (idx >= static_cast<double>(placedPoints.size() - 1)) {
@@ -161,10 +165,27 @@ int RfProtectSystem::addGhostAuto(const trajectory::Trace& centeredTrace,
   return addGhostPlaced(std::move(placed), startTimeS);
 }
 
+void RfProtectSystem::attachFaults(
+    std::shared_ptr<const fault::FaultSchedule> schedule,
+    fault::RecoveryConfig recovery) {
+  actuator_ = std::make_unique<fault::SelfHealingActuator>(
+      &controller_, std::move(schedule), recovery);
+}
+
 std::vector<env::PointScatterer> RfProtectSystem::injectAt(double t) {
   std::vector<env::PointScatterer> out;
   for (const Ghost& g : ghosts_) {
     if (!g.activeAt(t)) continue;
+    if (actuator_) {
+      fault::ActuationOutcome outcome =
+          actuator_->actuate(g.positionAt(t), t, g.id);
+      ledger_.add(g.id, t, outcome.command);
+      if (outcome.emitted) {
+        out.insert(out.end(), outcome.scatterers.begin(),
+                   outcome.scatterers.end());
+      }
+      continue;
+    }
     reflector::ControlCommand cmd;
     const std::vector<env::PointScatterer> tones =
         controller_.spoof(g.positionAt(t), t, g.id, &cmd);

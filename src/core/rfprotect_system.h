@@ -6,6 +6,7 @@
 /// into room coordinates inside the reflector's spoofable wedge and spoofed
 /// frame by frame.
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -13,6 +14,7 @@
 #include "common/vec2.h"
 #include "env/floorplan.h"
 #include "env/scatterer.h"
+#include "fault/self_healing.h"
 #include "reflector/controller.h"
 #include "reflector/ghost_ledger.h"
 #include "trajectory/trace.h"
@@ -61,8 +63,19 @@ class RfProtectSystem {
   int addGhostPlaced(std::vector<rfp::common::Vec2> placedPoints,
                      double startTimeS);
 
+  /// Routes all subsequent actuation through a fault-injecting self-healing
+  /// actuator (src/fault). Pass a zero-intensity schedule to exercise the
+  /// supervised path without impairments; with no faults attached the legacy
+  /// direct path is used unchanged.
+  void attachFaults(std::shared_ptr<const fault::FaultSchedule> schedule,
+                    fault::RecoveryConfig recovery);
+
+  bool faultsAttached() const { return actuator_ != nullptr; }
+
   /// Scatterers injected at time \p t for all active ghosts. Appends the
-  /// executed commands to the ledger.
+  /// executed commands to the ledger. With faults attached, paused or
+  /// swallowed frames are still ledgered (decision annotated) but contribute
+  /// no scatterers.
   std::vector<env::PointScatterer> injectAt(double t);
 
   /// Intended position of ghost \p id at time \p t (nullopt if inactive).
@@ -76,6 +89,7 @@ class RfProtectSystem {
   reflector::ReflectorController controller_;
   reflector::GhostLedger ledger_;
   std::vector<Ghost> ghosts_;
+  std::unique_ptr<fault::SelfHealingActuator> actuator_;
   int nextGhostId_ = kGhostIdBase;
 };
 

@@ -8,6 +8,7 @@
 #include "core/eavesdropper.h"
 #include "env/environment.h"
 #include "env/floorplan.h"
+#include "fault/fault_config.h"
 #include "reflector/antenna_panel.h"
 #include "reflector/controller.h"
 
@@ -21,6 +22,7 @@ struct Scenario {
   reflector::ControllerConfig controllerConfig;
   reflector::ReflectorHardware reflectorHardware;
   env::SnapshotOptions snapshot;
+  fault::FaultConfig faults;  ///< hardware fault model (intensity 0 = none)
 
   /// Builds the reflector controller (optionally with breathing spoofing).
   reflector::ReflectorController makeController(

@@ -1,5 +1,6 @@
 #include "core/scenario_config.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -27,39 +28,98 @@ struct ParsedScenario {
   int panelCount = rfp::common::kPanelAntennas;
   double panelSpacing = rfp::common::kPanelSpacingM;
   double multipathLoss = 0.5;
+  fault::FaultConfig faults;
 };
 
-[[noreturn]] void fail(const std::string& line, const std::string& why) {
-  throw std::invalid_argument("loadScenario: " + why + ": '" + line + "'");
-}
+/// Parse context: every diagnostic names the source and the 1-based line.
+struct ParseContext {
+  const std::string& sourceName;
+  int lineNo = 0;
+  std::string line;  ///< trimmed content of the current line
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error(sourceName + ":" + std::to_string(lineNo) +
+                             ": " + why + ": '" + line + "'");
+  }
+};
 
 std::vector<double> parseNumbers(const std::string& value,
-                                 const std::string& line,
+                                 const ParseContext& ctx,
                                  std::size_t expected) {
   std::istringstream in(value);
   std::vector<double> numbers;
   double x = 0.0;
   while (in >> x) numbers.push_back(x);
-  if (numbers.size() != expected) fail(line, "wrong number of values");
+  if (!in.eof()) ctx.fail("not a number");
+  if (numbers.size() != expected) {
+    ctx.fail("expected " + std::to_string(expected) + " value(s), got " +
+             std::to_string(numbers.size()));
+  }
+  for (double v : numbers) {
+    if (!std::isfinite(v)) ctx.fail("value must be finite");
+  }
   return numbers;
+}
+
+double parseOne(const std::string& value, const ParseContext& ctx) {
+  return parseNumbers(value, ctx, 1)[0];
+}
+
+double parseNonNegative(const std::string& value, const ParseContext& ctx) {
+  const double v = parseOne(value, ctx);
+  if (v < 0.0) ctx.fail("value must be >= 0");
+  return v;
+}
+
+double parsePositive(const std::string& value, const ParseContext& ctx) {
+  const double v = parseOne(value, ctx);
+  if (v <= 0.0) ctx.fail("value must be > 0");
+  return v;
+}
+
+double parseUnit(const std::string& value, const ParseContext& ctx) {
+  const double v = parseOne(value, ctx);
+  if (v < 0.0 || v > 1.0) ctx.fail("value must be in [0, 1]");
+  return v;
+}
+
+int parseCount(const std::string& value, const ParseContext& ctx, int lo,
+               int hi) {
+  const double v = parseOne(value, ctx);
+  const int n = static_cast<int>(v);
+  if (static_cast<double>(n) != v || n < lo || n > hi) {
+    ctx.fail("value must be an integer in [" + std::to_string(lo) + ", " +
+             std::to_string(hi) + "]");
+  }
+  return n;
+}
+
+Vec2 parseDirection(const std::string& value, const ParseContext& ctx) {
+  const auto v = parseNumbers(value, ctx, 2);
+  const Vec2 d{v[0], v[1]};
+  if (d.norm() <= 0.0) ctx.fail("direction must be non-zero");
+  return d;
 }
 
 }  // namespace
 
-Scenario loadScenario(std::istream& in) {
+Scenario loadScenario(std::istream& in, const std::string& sourceName) {
   ParsedScenario p;
+  ParseContext ctx{sourceName, 0, {}};
   std::string line;
   while (std::getline(in, line)) {
+    ++ctx.lineNo;
     // Strip comments and whitespace.
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.erase(hash);
     const auto begin = line.find_first_not_of(" \t\r");
     if (begin == std::string::npos) continue;
     const auto end = line.find_last_not_of(" \t\r");
-    const std::string trimmed = line.substr(begin, end - begin + 1);
+    ctx.line = line.substr(begin, end - begin + 1);
+    const std::string& trimmed = ctx.line;
 
     const auto eq = trimmed.find('=');
-    if (eq == std::string::npos) fail(trimmed, "expected key = value");
+    if (eq == std::string::npos) ctx.fail("expected key = value");
     std::string key = trimmed.substr(0, eq);
     std::string value = trimmed.substr(eq + 1);
     const auto keyEnd = key.find_last_not_of(" \t");
@@ -70,43 +130,93 @@ Scenario loadScenario(std::istream& in) {
     if (key == "room.name") {
       p.roomName = value;
     } else if (key == "room.width") {
-      p.roomWidth = parseNumbers(value, trimmed, 1)[0];
+      p.roomWidth = parsePositive(value, ctx);
     } else if (key == "room.height") {
-      p.roomHeight = parseNumbers(value, trimmed, 1)[0];
+      p.roomHeight = parsePositive(value, ctx);
     } else if (key == "room.wall_reflectivity") {
-      p.wallReflectivity = parseNumbers(value, trimmed, 1)[0];
+      p.wallReflectivity = parseUnit(value, ctx);
     } else if (key == "clutter") {
-      const auto v = parseNumbers(value, trimmed, 3);
+      const auto v = parseNumbers(value, ctx, 3);
+      if (v[2] < 0.0) ctx.fail("clutter amplitude must be >= 0");
       env::PointScatterer s;
       s.position = {v[0], v[1]};
       s.amplitude = v[2];
       s.dynamic = false;
       p.clutter.push_back(s);
     } else if (key == "interior_wall") {
-      const auto v = parseNumbers(value, trimmed, 5);
+      const auto v = parseNumbers(value, ctx, 5);
+      if (v[4] < 0.0 || v[4] > 1.0) {
+        ctx.fail("wall reflectivity must be in [0, 1]");
+      }
       p.interiorWalls.push_back({{v[0], v[1]}, {v[2], v[3]}, v[4]});
     } else if (key == "radar.x") {
-      p.radarPos.x = parseNumbers(value, trimmed, 1)[0];
+      p.radarPos.x = parseOne(value, ctx);
     } else if (key == "radar.y") {
-      p.radarPos.y = parseNumbers(value, trimmed, 1)[0];
+      p.radarPos.y = parseOne(value, ctx);
     } else if (key == "radar.axis") {
-      const auto v = parseNumbers(value, trimmed, 2);
-      p.radarAxis = {v[0], v[1]};
+      p.radarAxis = parseDirection(value, ctx);
     } else if (key == "panel.base") {
-      const auto v = parseNumbers(value, trimmed, 2);
+      const auto v = parseNumbers(value, ctx, 2);
       p.panelBase = {v[0], v[1]};
     } else if (key == "panel.direction") {
-      const auto v = parseNumbers(value, trimmed, 2);
-      p.panelDirection = {v[0], v[1]};
+      p.panelDirection = parseDirection(value, ctx);
     } else if (key == "panel.count") {
-      p.panelCount = static_cast<int>(parseNumbers(value, trimmed, 1)[0]);
+      p.panelCount = parseCount(value, ctx, 1, 1024);
     } else if (key == "panel.spacing") {
-      p.panelSpacing = parseNumbers(value, trimmed, 1)[0];
+      p.panelSpacing = parsePositive(value, ctx);
     } else if (key == "multipath.loss") {
-      p.multipathLoss = parseNumbers(value, trimmed, 1)[0];
+      p.multipathLoss = parseUnit(value, ctx);
+    } else if (key == "fault.intensity") {
+      p.faults.intensity = parseUnit(value, ctx);
+    } else if (key == "fault.seed") {
+      const double v = parseNonNegative(value, ctx);
+      p.faults.seed = static_cast<std::uint64_t>(v);
+    } else if (key == "fault.dead_antenna_prob") {
+      p.faults.deadAntennaProb = parseUnit(value, ctx);
+    } else if (key == "fault.stuck_switch_rate") {
+      p.faults.stuckSwitchRatePerS = parseNonNegative(value, ctx);
+    } else if (key == "fault.stuck_switch_duration") {
+      p.faults.stuckSwitchMeanDurS = parsePositive(value, ctx);
+    } else if (key == "fault.switch_jitter") {
+      p.faults.switchJitterRel = parseNonNegative(value, ctx);
+    } else if (key == "fault.switch_settle") {
+      p.faults.switchSettleRel = parseNonNegative(value, ctx);
+    } else if (key == "fault.gain_drift_sigma") {
+      p.faults.gainDriftLogSigma = parseNonNegative(value, ctx);
+    } else if (key == "fault.lna_saturation_rate") {
+      p.faults.lnaSaturationRatePerS = parseNonNegative(value, ctx);
+    } else if (key == "fault.lna_saturation_duration") {
+      p.faults.lnaSaturationMeanDurS = parsePositive(value, ctx);
+    } else if (key == "fault.lna_saturation_gain") {
+      p.faults.lnaSaturationGain = parsePositive(value, ctx);
+    } else if (key == "fault.phase_bits") {
+      p.faults.phaseShifterBits = parseCount(value, ctx, 0, 16);
+    } else if (key == "fault.phase_stuck_rate") {
+      p.faults.phaseStuckBitRatePerS = parseNonNegative(value, ctx);
+    } else if (key == "fault.phase_stuck_duration") {
+      p.faults.phaseStuckBitMeanDurS = parsePositive(value, ctx);
+    } else if (key == "fault.control_drop_prob") {
+      p.faults.controlDropProb = parseUnit(value, ctx);
+    } else if (key == "fault.radar_drop_prob") {
+      p.faults.radarDropProb = parseUnit(value, ctx);
+    } else if (key == "fault.adc_saturation_rate") {
+      p.faults.adcSaturationRatePerS = parseNonNegative(value, ctx);
+    } else if (key == "fault.adc_saturation_duration") {
+      p.faults.adcSaturationMeanDurS = parsePositive(value, ctx);
+    } else if (key == "fault.adc_clip_level") {
+      p.faults.adcClipLevel = parsePositive(value, ctx);
     } else {
-      fail(trimmed, "unknown key '" + key + "'");
+      ctx.fail("unknown key '" + key + "'");
     }
+  }
+  if (in.bad()) {
+    throw std::runtime_error(sourceName + ": read error (truncated input?)");
+  }
+  try {
+    p.faults.validate();
+  } catch (const std::exception& e) {
+    throw std::runtime_error(sourceName + ": invalid fault config: " +
+                             e.what());
   }
 
   // Assemble on top of the office defaults (sensing chain, detector...).
@@ -128,13 +238,14 @@ Scenario loadScenario(std::istream& in) {
   scenario.controllerConfig.assumedRadarPosition = p.radarPos;
   scenario.snapshot.multipathLoss = p.multipathLoss;
   scenario.snapshot.multipathObserver = p.radarPos;
+  scenario.faults = p.faults;
   return scenario;
 }
 
 Scenario loadScenarioFile(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("loadScenarioFile: cannot open " + path);
-  return loadScenario(in);
+  return loadScenario(in, path);
 }
 
 }  // namespace rfp::core

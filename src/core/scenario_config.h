@@ -20,9 +20,11 @@
 ///   panel.count = 6
 ///   panel.spacing = 0.2
 ///   multipath.loss = 0.5
+///   fault.intensity = 0.2        # hardware fault model (see fault_config.h)
 ///
 /// Unknown keys throw (catching typos beats ignoring them); every key has
-/// the defaults of the built-in office scenario.
+/// the defaults of the built-in office scenario. See
+/// examples/custom_flat.scenario for the full fault.* key list.
 
 #include <iosfwd>
 #include <string>
@@ -31,12 +33,16 @@
 
 namespace rfp::core {
 
-/// Parses a scenario definition from a stream. Throws
-/// std::invalid_argument with the offending line on malformed input.
-Scenario loadScenario(std::istream& in);
+/// Parses a scenario definition from a stream. Throws std::runtime_error
+/// naming \p sourceName, the line number, and the offending line on
+/// malformed input (bad syntax, non-numeric/NaN/inf values, out-of-range
+/// parameters, unknown keys).
+Scenario loadScenario(std::istream& in,
+                      const std::string& sourceName = "<scenario>");
 
 /// Parses a scenario definition file. Throws std::runtime_error if the
-/// file cannot be opened.
+/// file cannot be opened or (with the file named in the message) if its
+/// contents are malformed.
 Scenario loadScenarioFile(const std::string& path);
 
 }  // namespace rfp::core

@@ -1,0 +1,86 @@
+#pragma once
+
+/// \file fault_config.h
+/// Configuration of the hardware fault-injection layer. The paper's
+/// reflector is real hardware -- an EV1HMC345ALP3 SP8T antenna switch, an
+/// LNA, and an analog phase shifter driven by a Raspberry Pi over a control
+/// link -- and every one of those components fails in characteristic ways.
+/// This config names each impairment with the rate/magnitude it has at
+/// *unit* intensity; a single `intensity` knob in [0, 1] scales all rates
+/// (and the continuous-impairment magnitudes) linearly so robustness
+/// benches can sweep one axis. `intensity == 0` disables everything and is
+/// guaranteed bit-identical to the fault-free pipeline.
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace rfp::fault {
+
+/// All rates/magnitudes below are the values at intensity 1.0.
+struct FaultConfig {
+  /// Master fault intensity in [0, 1]; 0 = fault-free.
+  double intensity = 0.0;
+  /// Seed of the fault timeline; identical seeds (and config) reproduce
+  /// identical timelines regardless of the experiment's own RNG.
+  std::uint64_t seed = 0x0f417bull;
+
+  // --- SP8T switch / panel antenna elements -------------------------------
+  /// Per-element probability of a permanent feed failure during the run
+  /// (the element stops radiating from a random onset time onwards).
+  double deadAntennaProb = 0.35;
+  /// Poisson rate [1/s] of stuck-switch episodes: the SP8T latches on one
+  /// element and ignores selection commands for the episode.
+  double stuckSwitchRatePerS = 0.35;
+  /// Mean stuck-switch episode duration [s] (exponentially distributed).
+  double stuckSwitchMeanDurS = 2.0;
+  /// 1-sigma relative timing error of the switch clock, as a fraction of
+  /// f_switch, applied every frame.
+  double switchJitterRel = 0.04;
+  /// Extra relative f_switch error on the first frame after an antenna
+  /// element change (PLL/driver settling).
+  double switchSettleRel = 0.20;
+
+  // --- LNA ----------------------------------------------------------------
+  /// Log-amplitude excursion of the slow LNA gain drift (temperature etc.).
+  double gainDriftLogSigma = 0.35;
+  /// Poisson rate [1/s] of LNA saturation episodes (interference or supply
+  /// sag pulls the compression point down).
+  double lnaSaturationRatePerS = 0.18;
+  /// Mean saturation episode duration [s].
+  double lnaSaturationMeanDurS = 1.2;
+  /// Amplitude-gain compression ceiling while saturated. Driving the LNA
+  /// beyond it clips: the fundamental is compressed to this ceiling and a
+  /// spurious intermodulation image appears (see SelfHealingActuator).
+  double lnaSaturationGain = 0.08;
+
+  // --- Analog phase shifter ----------------------------------------------
+  /// DAC resolution of the phase shifter under fault [bits]; 0 keeps the
+  /// shifter ideal. Quantization is active whenever intensity > 0.
+  int phaseShifterBits = 6;
+  /// Poisson rate [1/s] of stuck-at-1 DAC bit episodes.
+  double phaseStuckBitRatePerS = 0.10;
+  /// Mean stuck-bit episode duration [s].
+  double phaseStuckBitMeanDurS = 2.0;
+
+  // --- Controller-to-reflector control link -------------------------------
+  /// Per-frame probability that the control frame is dropped/late; the
+  /// reflector then re-executes the previous frame's actuation (stale
+  /// replay), or stays dark if it never received one.
+  double controlDropProb = 0.30;
+
+  // --- Radar side ---------------------------------------------------------
+  /// Per-frame probability the radar drops the chirp frame entirely.
+  double radarDropProb = 0.12;
+  /// Poisson rate [1/s] of ADC saturation episodes (in-band interference).
+  double adcSaturationRatePerS = 0.12;
+  /// Mean ADC saturation episode duration [s].
+  double adcSaturationMeanDurS = 0.8;
+  /// ADC full-scale clip level applied to I/Q samples while saturated.
+  double adcClipLevel = 0.35;
+
+  /// Throws std::invalid_argument on NaN, negative rates, or an intensity
+  /// outside [0, 1].
+  void validate() const;
+};
+
+}  // namespace rfp::fault

@@ -1,0 +1,238 @@
+#include "fault/fault_schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "common/constants.h"
+#include "common/rng.h"
+
+namespace rfp::fault {
+
+namespace {
+
+void requireFinite(double v, const char* name) {
+  if (!std::isfinite(v)) {
+    throw std::invalid_argument(std::string("FaultConfig: ") + name +
+                                " must be finite");
+  }
+}
+
+void requireNonNegative(double v, const char* name) {
+  requireFinite(v, name);
+  if (v < 0.0) {
+    throw std::invalid_argument(std::string("FaultConfig: ") + name +
+                                " must be >= 0");
+  }
+}
+
+/// splitmix64: the standard 64-bit finalizer; used to derive per-frame
+/// pseudo-random values without any sequential generator state.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic uniform in [0, 1) for (seed, frame, stream).
+double frameUniform(std::uint64_t seed, std::uint64_t frame,
+                    std::uint64_t stream) {
+  const std::uint64_t h =
+      splitmix64(seed ^ splitmix64(frame + 1) ^ (stream * 0xd6e8feb86659fd93ull));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/// Deterministic zero-mean unit-variance-ish sample (uniform, scaled to
+/// unit variance); good enough for a timing-jitter model.
+double frameJitter(std::uint64_t seed, std::uint64_t frame,
+                   std::uint64_t stream) {
+  return (2.0 * frameUniform(seed, frame, stream) - 1.0) * 1.7320508075688772;
+}
+
+// Per-frame stream ids (arbitrary distinct constants).
+constexpr std::uint64_t kStreamControlDrop = 11;
+constexpr std::uint64_t kStreamRadarDrop = 12;
+constexpr std::uint64_t kStreamSwitchJitter = 13;
+constexpr std::uint64_t kStreamSettleJitter = 14;
+
+}  // namespace
+
+void FaultConfig::validate() const {
+  requireFinite(intensity, "intensity");
+  if (intensity < 0.0 || intensity > 1.0) {
+    throw std::invalid_argument("FaultConfig: intensity must be in [0, 1]");
+  }
+  requireNonNegative(deadAntennaProb, "deadAntennaProb");
+  requireNonNegative(stuckSwitchRatePerS, "stuckSwitchRatePerS");
+  requireNonNegative(stuckSwitchMeanDurS, "stuckSwitchMeanDurS");
+  requireNonNegative(switchJitterRel, "switchJitterRel");
+  requireNonNegative(switchSettleRel, "switchSettleRel");
+  requireNonNegative(gainDriftLogSigma, "gainDriftLogSigma");
+  requireNonNegative(lnaSaturationRatePerS, "lnaSaturationRatePerS");
+  requireNonNegative(lnaSaturationMeanDurS, "lnaSaturationMeanDurS");
+  requireNonNegative(lnaSaturationGain, "lnaSaturationGain");
+  if (phaseShifterBits < 0 || phaseShifterBits > 16) {
+    throw std::invalid_argument(
+        "FaultConfig: phaseShifterBits must be in [0, 16]");
+  }
+  requireNonNegative(phaseStuckBitRatePerS, "phaseStuckBitRatePerS");
+  requireNonNegative(phaseStuckBitMeanDurS, "phaseStuckBitMeanDurS");
+  requireNonNegative(controlDropProb, "controlDropProb");
+  requireNonNegative(radarDropProb, "radarDropProb");
+  requireNonNegative(adcSaturationRatePerS, "adcSaturationRatePerS");
+  requireNonNegative(adcSaturationMeanDurS, "adcSaturationMeanDurS");
+  requireNonNegative(adcClipLevel, "adcClipLevel");
+}
+
+bool FrameFaults::discrete() const {
+  if (stuckSwitchElement >= 0 || std::isfinite(lnaGainLimit) ||
+      phaseStuckBitMask != 0 || controlFrameDropped || radarFrameDropped ||
+      std::isfinite(adcClipLevel)) {
+    return true;
+  }
+  return std::any_of(deadAntenna.begin(), deadAntenna.end(),
+                     [](std::uint8_t d) { return d != 0; });
+}
+
+bool FrameFaults::any() const {
+  if (stuckSwitchElement >= 0 || switchJitterRel != 0.0 ||
+      settleJitterRel != 0.0 || gainDriftLog != 0.0 ||
+      std::isfinite(lnaGainLimit) || phaseQuantBits > 0 ||
+      phaseStuckBitMask != 0 || controlFrameDropped || radarFrameDropped ||
+      std::isfinite(adcClipLevel)) {
+    return true;
+  }
+  return std::any_of(deadAntenna.begin(), deadAntenna.end(),
+                     [](std::uint8_t d) { return d != 0; });
+}
+
+FaultSchedule::FaultSchedule() = default;
+
+FaultSchedule::FaultSchedule(const FaultConfig& config, int antennaCount,
+                             double frameDtS, double durationS)
+    : config_(config),
+      antennaCount_(antennaCount),
+      frameDtS_(frameDtS),
+      durationS_(durationS) {
+  config_.validate();
+  if (antennaCount < 1) {
+    throw std::invalid_argument("FaultSchedule: antennaCount must be >= 1");
+  }
+  if (frameDtS <= 0.0 || !std::isfinite(frameDtS)) {
+    throw std::invalid_argument("FaultSchedule: frameDt must be positive");
+  }
+  if (durationS < 0.0 || !std::isfinite(durationS)) {
+    throw std::invalid_argument("FaultSchedule: duration must be >= 0");
+  }
+  if (config_.intensity == 0.0) return;  // idle: no events, no drift
+
+  rfp::common::Rng rng(config_.seed);
+  const double k = config_.intensity;
+
+  // Gain-drift phases are part of the timeline (fixed per seed).
+  driftPhase1_ = rng.uniform(0.0, 2.0 * rfp::common::pi());
+  driftPhase2_ = rng.uniform(0.0, 2.0 * rfp::common::pi());
+
+  // Permanent element failures: each element dies with probability
+  // k * deadAntennaProb at a uniform onset in the first 60% of the run (so
+  // a failure always has observable effect).
+  for (int a = 0; a < antennaCount_; ++a) {
+    if (rng.bernoulli(std::min(1.0, k * config_.deadAntennaProb))) {
+      const double onset = rng.uniform(0.0, 0.6 * durationS_);
+      events_.push_back({FaultKind::kDeadAntenna, onset, durationS_, a});
+    }
+  }
+
+  // Poisson episode streams: exponential inter-arrivals, exponential
+  // durations. Rates and mean durations are fixed draws per seed.
+  const auto addEpisodes = [&](FaultKind kind, double ratePerS,
+                               double meanDurS, int indexLo, int indexHi) {
+    const double rate = k * ratePerS;
+    if (rate <= 0.0 || meanDurS <= 0.0) return;
+    double t = rng.exponential(rate);
+    while (t < durationS_) {
+      const double dur = rng.exponential(1.0 / meanDurS);
+      const int index =
+          indexHi > indexLo ? rng.uniformInt(indexLo, indexHi) : indexLo;
+      events_.push_back({kind, t, std::min(t + dur, durationS_), index});
+      t += dur + rng.exponential(rate);
+    }
+  };
+  addEpisodes(FaultKind::kStuckSwitch, config_.stuckSwitchRatePerS,
+              config_.stuckSwitchMeanDurS, 0, antennaCount_ - 1);
+  addEpisodes(FaultKind::kLnaSaturation, config_.lnaSaturationRatePerS,
+              config_.lnaSaturationMeanDurS, 0, 0);
+  addEpisodes(FaultKind::kPhaseStuckBit, config_.phaseStuckBitRatePerS,
+              config_.phaseStuckBitMeanDurS, 0,
+              std::max(0, config_.phaseShifterBits - 1));
+  addEpisodes(FaultKind::kAdcSaturation, config_.adcSaturationRatePerS,
+              config_.adcSaturationMeanDurS, 0, 0);
+
+  std::sort(events_.begin(), events_.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.startS < b.startS;
+            });
+}
+
+bool FaultSchedule::idle() const {
+  return config_.intensity == 0.0;
+}
+
+FrameFaults FaultSchedule::at(double t) const {
+  FrameFaults ff;
+  ff.deadAntenna.assign(static_cast<std::size_t>(std::max(antennaCount_, 0)),
+                        0);
+  if (idle()) return ff;
+
+  const double k = config_.intensity;
+  const auto frame =
+      static_cast<std::uint64_t>(std::max(0.0, std::floor(t / frameDtS_)));
+
+  for (const FaultEvent& e : events_) {
+    if (t < e.startS || t >= e.endS) continue;
+    switch (e.kind) {
+      case FaultKind::kDeadAntenna:
+        if (e.index >= 0 && e.index < antennaCount_) {
+          ff.deadAntenna[static_cast<std::size_t>(e.index)] = 1;
+        }
+        break;
+      case FaultKind::kStuckSwitch:
+        ff.stuckSwitchElement = e.index;
+        break;
+      case FaultKind::kLnaSaturation:
+        ff.lnaGainLimit = std::min(ff.lnaGainLimit, config_.lnaSaturationGain);
+        break;
+      case FaultKind::kPhaseStuckBit:
+        ff.phaseStuckBitMask |= 1u << static_cast<unsigned>(e.index);
+        break;
+      case FaultKind::kAdcSaturation:
+        ff.adcClipLevel = std::min(ff.adcClipLevel, config_.adcClipLevel);
+        break;
+    }
+  }
+
+  // Per-frame impairments: deterministic in (seed, frame index).
+  const std::uint64_t seed = config_.seed;
+  ff.controlFrameDropped = frameUniform(seed, frame, kStreamControlDrop) <
+                           k * config_.controlDropProb;
+  ff.radarFrameDropped =
+      frameUniform(seed, frame, kStreamRadarDrop) < k * config_.radarDropProb;
+  ff.switchJitterRel = k * config_.switchJitterRel *
+                       frameJitter(seed, frame, kStreamSwitchJitter);
+  ff.settleJitterRel = k * config_.switchSettleRel *
+                       frameJitter(seed, frame, kStreamSettleJitter);
+  ff.phaseQuantBits = config_.phaseShifterBits;
+
+  // Slow LNA gain drift: two incommensurate sinusoids, unit-normalized.
+  const double twoPi = 2.0 * rfp::common::pi();
+  ff.gainDriftLog =
+      k * config_.gainDriftLogSigma *
+      (std::sin(twoPi * 0.043 * t + driftPhase1_) +
+       0.6 * std::sin(twoPi * 0.011 * t + driftPhase2_)) /
+      1.166;  // unit variance
+  return ff;
+}
+
+}  // namespace rfp::fault

@@ -1,0 +1,187 @@
+#include "fault/self_healing.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/constants.h"
+
+namespace rfp::fault {
+
+using rfp::common::Vec2;
+using reflector::ControlCommand;
+using reflector::HealthDecision;
+
+namespace {
+
+/// Phase-shifter DAC model: quantize to \p bits and OR in stuck-at-1 bits.
+double quantizePhase(double phaseRad, int bits, unsigned stuckMask) {
+  const double twoPi = 2.0 * rfp::common::pi();
+  const double levels = static_cast<double>(1u << static_cast<unsigned>(bits));
+  double frac = phaseRad / twoPi;
+  frac -= std::floor(frac);  // wrap into [0, 1)
+  auto code = static_cast<unsigned>(std::lround(frac * levels)) %
+              static_cast<unsigned>(levels);
+  code |= stuckMask;
+  code %= static_cast<unsigned>(levels);
+  return static_cast<double>(code) * twoPi / levels;
+}
+
+}  // namespace
+
+SelfHealingActuator::SelfHealingActuator(
+    const reflector::ReflectorController* controller,
+    std::shared_ptr<const FaultSchedule> schedule, RecoveryConfig recovery)
+    : controller_(controller),
+      schedule_(std::move(schedule)),
+      recovery_(recovery) {
+  if (controller_ == nullptr || schedule_ == nullptr) {
+    throw std::invalid_argument(
+        "SelfHealingActuator: controller and schedule are required");
+  }
+  if (recovery_.watchdogLatencyFrames < 0) {
+    throw std::invalid_argument(
+        "SelfHealingActuator: watchdog latency must be >= 0");
+  }
+}
+
+ActuationOutcome SelfHealingActuator::actuate(Vec2 ghostWorld, double t,
+                                              int ghostId) {
+  const FrameFaults ff = schedule_->at(t);
+  GhostState& gs = state_[ghostId];
+  ActuationOutcome out;
+
+  if (ff.controlFrameDropped) {
+    if (!gs.hasLast) {
+      // The reflector never received an actuation: it stays dark.
+      out.command.intendedWorld = ghostWorld;
+      out.command.decision = HealthDecision::kPaused;
+      return out;
+    }
+    // Stale replay: the hardware keeps executing the last command it got.
+    ControlCommand stale = gs.lastCommand;
+    stale.decision = HealthDecision::kStaleReplay;
+    out.command = stale;
+    radiate(stale, ff, ghostId, gs, out);
+    return out;
+  }
+
+  ControlCommand cmd;
+  if (recovery_.enabled && !schedule_->idle()) {
+    // Watchdog belief: ground truth delayed by the readback latency.
+    const double lookback =
+        static_cast<double>(recovery_.watchdogLatencyFrames) *
+        schedule_->frameDtS();
+    const FrameFaults believed = schedule_->at(std::max(0.0, t - lookback));
+
+    reflector::ActuationConstraints constraints;
+    const int n = schedule_->antennaCount();
+    constraints.healthyAntennas.assign(static_cast<std::size_t>(n), true);
+    for (int i = 0; i < n; ++i) {
+      if (believed.deadAntenna[static_cast<std::size_t>(i)]) {
+        constraints.healthyAntennas[static_cast<std::size_t>(i)] = false;
+      }
+    }
+    if (believed.stuckSwitchElement >= 0 &&
+        believed.stuckSwitchElement < n) {
+      // A stuck SP8T makes every element but the latched one unreachable;
+      // the best the supervisor can do is re-solve Eq. 3 for that geometry.
+      for (int i = 0; i < n; ++i) {
+        constraints.healthyAntennas[static_cast<std::size_t>(i)] =
+            i == believed.stuckSwitchElement &&
+            !believed.deadAntenna[static_cast<std::size_t>(i)];
+      }
+    }
+    constraints.maxSwitchHz =
+        controller_->reflector().hardware().maxSwitchHz;
+    constraints.maxLinearGain = believed.lnaGainLimit;
+
+    const auto constrained =
+        controller_->commandForConstrained(ghostWorld, t, constraints);
+    if (!constrained.has_value()) {
+      out.command.intendedWorld = ghostWorld;
+      out.command.decision = HealthDecision::kPaused;
+      return out;  // no feasible actuation: pause the ghost
+    }
+    cmd = *constrained;
+
+    // Trajectory continuity: a reroute that would teleport the phantom is
+    // worse than briefly pausing it (an eavesdropper flags teleports, and
+    // the legitimate sensor loses track association).
+    if (cmd.decision == HealthDecision::kRerouted && gs.hasLast &&
+        distance(controller_->apparentWorld(cmd), gs.lastApparent) >
+            recovery_.maxApparentJumpM) {
+      out.command = cmd;
+      out.command.decision = HealthDecision::kPaused;
+      return out;
+    }
+  } else {
+    cmd = controller_->commandFor(ghostWorld, t);
+  }
+
+  out.command = cmd;
+  gs.lastCommand = cmd;
+  gs.hasLast = true;
+  gs.lastApparent = controller_->apparentWorld(cmd);
+  radiate(cmd, ff, ghostId, gs, out);
+  return out;
+}
+
+void SelfHealingActuator::radiate(const ControlCommand& cmd,
+                                  const FrameFaults& ff, int ghostId,
+                                  GhostState& gs,
+                                  ActuationOutcome& out) const {
+  if (!ff.any()) {
+    // Fast path, bit-identical to the fault-free pipeline.
+    out.scatterers = controller_->execute(cmd, ghostId);
+    out.emitted = true;
+    gs.lastElement = cmd.antennaIndex;
+    return;
+  }
+
+  ControlCommand actual = cmd;
+  if (ff.stuckSwitchElement >= 0 &&
+      ff.stuckSwitchElement < controller_->panel().count()) {
+    actual.antennaIndex = ff.stuckSwitchElement;
+  }
+  const auto element = static_cast<std::size_t>(actual.antennaIndex);
+  if (element < ff.deadAntenna.size() && ff.deadAntenna[element]) {
+    gs.lastElement = actual.antennaIndex;
+    return;  // selected element's feed is dead: nothing radiates
+  }
+
+  double jitter = ff.switchJitterRel;
+  if (gs.lastElement >= 0 && actual.antennaIndex != gs.lastElement) {
+    jitter += ff.settleJitterRel;  // switch driver still settling
+  }
+  jitter = std::clamp(jitter, -0.9, 0.9);
+  actual.fSwitchHz = cmd.fSwitchHz * (1.0 + jitter);
+  actual.gain = cmd.gain * std::exp(ff.gainDriftLog);
+
+  bool overdriven = false;
+  if (actual.gain > ff.lnaGainLimit) {
+    overdriven = true;
+    actual.gain = ff.lnaGainLimit;
+  }
+  if (ff.phaseQuantBits > 0) {
+    actual.phaseOffsetRad = quantizePhase(actual.phaseOffsetRad,
+                                          ff.phaseQuantBits,
+                                          ff.phaseStuckBitMask);
+  }
+
+  out.scatterers = controller_->execute(actual, ghostId);
+  if (overdriven) {
+    // Saturation clipping is nonlinear: besides compressing the
+    // fundamental, it products an intermodulation image at twice the
+    // switching rate -- a spurious phantom at double the extra range.
+    ControlCommand spur = actual;
+    spur.fSwitchHz = 2.0 * actual.fSwitchHz;
+    spur.gain = 0.6 * ff.lnaGainLimit;
+    const auto tones = controller_->execute(spur, ghostId);
+    out.scatterers.insert(out.scatterers.end(), tones.begin(), tones.end());
+  }
+  out.emitted = true;
+  gs.lastElement = actual.antennaIndex;
+}
+
+}  // namespace rfp::fault

@@ -1,0 +1,92 @@
+#pragma once
+
+/// \file self_healing.h
+/// Supervisory recovery loop between the reflector controller and the
+/// (faulty) hardware. Each frame the actuator:
+///   1. consults the watchdog's belief about element health (ground truth
+///      delayed by a detection latency),
+///   2. asks the controller for a constrained command -- re-selecting the
+///      nearest healthy antenna, re-solving Eq. 3 for the new geometry, and
+///      clamping gain into the LNA's linear region,
+///   3. enforces ghost-trajectory continuity (a rerouted phantom must not
+///      teleport; if it would, the ghost pauses for the frame instead),
+///   4. applies the ground-truth hardware impairments to whatever was
+///      commanded (stuck switch, dead element, timing jitter, gain drift,
+///      saturation clipping with a spurious intermodulation image, phase
+///      quantization and stuck bits),
+/// and reports the command -- decision included -- for the ghost ledger.
+///
+/// With recovery disabled the controller's nominal command is driven into
+/// the faulty hardware unchanged, which is the "collapse" baseline the
+/// robustness bench compares against.
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/vec2.h"
+#include "env/scatterer.h"
+#include "fault/fault_schedule.h"
+#include "reflector/controller.h"
+
+namespace rfp::fault {
+
+/// Supervisor policy knobs.
+struct RecoveryConfig {
+  bool enabled = true;
+  /// Frames between a fault appearing and the watchdog believing it
+  /// (hardware readback latency).
+  int watchdogLatencyFrames = 2;
+  /// Largest apparent-position jump a recovery reroute may cause before the
+  /// ghost is paused instead [m].
+  double maxApparentJumpM = 1.2;
+};
+
+/// One frame's actuation outcome for one ghost.
+struct ActuationOutcome {
+  /// What the controller commanded (decision annotated) -- this is what the
+  /// ghost ledger records.
+  reflector::ControlCommand command;
+  /// What the impaired hardware actually radiates (empty when paused or the
+  /// selected element is dead).
+  std::vector<env::PointScatterer> scatterers;
+  /// False when nothing was radiated this frame.
+  bool emitted = false;
+};
+
+/// Per-ghost supervisory actuator. Stateful: it remembers the previous
+/// command per ghost for stale replay on dropped control frames and for
+/// trajectory-continuity checks.
+class SelfHealingActuator {
+ public:
+  /// \p controller must outlive the actuator.
+  SelfHealingActuator(const reflector::ReflectorController* controller,
+                      std::shared_ptr<const FaultSchedule> schedule,
+                      RecoveryConfig recovery);
+
+  /// Actuate ghost \p ghostId towards \p ghostWorld at time \p t.
+  ActuationOutcome actuate(rfp::common::Vec2 ghostWorld, double t,
+                           int ghostId);
+
+  const RecoveryConfig& recovery() const { return recovery_; }
+  const FaultSchedule& schedule() const { return *schedule_; }
+
+ private:
+  struct GhostState {
+    bool hasLast = false;
+    reflector::ControlCommand lastCommand;
+    rfp::common::Vec2 lastApparent{};
+    int lastElement = -1;  ///< physical element last driven (for settling)
+  };
+
+  /// Drives \p cmd into the hardware with frame faults \p ff applied.
+  void radiate(const reflector::ControlCommand& cmd, const FrameFaults& ff,
+               int ghostId, GhostState& gs, ActuationOutcome& out) const;
+
+  const reflector::ReflectorController* controller_;
+  std::shared_ptr<const FaultSchedule> schedule_;
+  RecoveryConfig recovery_;
+  std::unordered_map<int, GhostState> state_;
+};
+
+}  // namespace rfp::fault

@@ -1,6 +1,8 @@
 #include "radar/frontend.h"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "common/constants.h"
 #include "signal/noise.h"
@@ -64,6 +66,19 @@ Frame Frontend::synthesize(std::span<const env::PointScatterer> scatterers,
     }
   }
   return frame;
+}
+
+void applyAdcSaturation(Frame& frame, double clipLevel) {
+  if (!(clipLevel > 0.0) || !std::isfinite(clipLevel)) {
+    throw std::invalid_argument(
+        "applyAdcSaturation: clip level must be positive and finite");
+  }
+  for (auto& antenna : frame.samples) {
+    for (Complex& s : antenna) {
+      s = {std::clamp(s.real(), -clipLevel, clipLevel),
+           std::clamp(s.imag(), -clipLevel, clipLevel)};
+    }
+  }
 }
 
 }  // namespace rfp::radar

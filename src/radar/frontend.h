@@ -42,4 +42,11 @@ class Frontend {
   RadarConfig config_;
 };
 
+/// Models ADC saturation: clips every I/Q sample of \p frame to
+/// +-\p clipLevel per component (a rail-to-rail converter limits I and Q
+/// independently). Used by the fault-injection layer to corrupt frames
+/// during interference episodes. Throws std::invalid_argument when
+/// \p clipLevel is not positive and finite.
+void applyAdcSaturation(Frame& frame, double clipLevel);
+
 }  // namespace rfp::radar

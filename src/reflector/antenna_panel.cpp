@@ -48,6 +48,26 @@ int AntennaPanel::nearestByAngle(Vec2 observer, double targetAngleRad) const {
   return best;
 }
 
+int AntennaPanel::nearestByAngle(Vec2 observer, double targetAngleRad,
+                                 const std::vector<bool>& healthy) const {
+  if (healthy.size() != positions_.size()) {
+    throw std::invalid_argument("AntennaPanel: health mask size mismatch");
+  }
+  int best = -1;
+  double bestErr = std::numeric_limits<double>::infinity();
+  for (int i = 0; i < count(); ++i) {
+    if (!healthy[static_cast<std::size_t>(i)]) continue;
+    const Vec2 d = positions_[static_cast<std::size_t>(i)] - observer;
+    const double ang = std::atan2(d.y, d.x);
+    const double err = rfp::common::angularDistance(ang, targetAngleRad);
+    if (err < bestErr) {
+      bestErr = err;
+      best = i;
+    }
+  }
+  return best;
+}
+
 int AntennaPanel::nearestForTarget(Vec2 observer, Vec2 target) const {
   const Vec2 d = target - observer;
   return nearestByAngle(observer, std::atan2(d.y, d.x));

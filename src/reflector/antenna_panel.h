@@ -31,6 +31,13 @@ class AntennaPanel {
   /// \p targetAngleRad (angles via atan2 in world frame).
   int nearestByAngle(rfp::common::Vec2 observer, double targetAngleRad) const;
 
+  /// Health-aware variant used by the self-healing controller: only
+  /// antennas with a true \p healthy entry are considered. Returns -1 when
+  /// no healthy antenna exists. Throws std::invalid_argument when the mask
+  /// size does not match the panel.
+  int nearestByAngle(rfp::common::Vec2 observer, double targetAngleRad,
+                     const std::vector<bool>& healthy) const;
+
   /// Index of the antenna closest (euclidean) to the ray from \p observer
   /// towards \p target; equivalent to nearestByAngle on the target bearing.
   int nearestForTarget(rfp::common::Vec2 observer,

@@ -27,6 +27,13 @@ ReflectorController::ReflectorController(
 
 ControlCommand ReflectorController::commandFor(Vec2 ghostWorld,
                                                double t) const {
+  return commandUsingAntenna(
+      ghostWorld, t,
+      panel_.nearestForTarget(config_.assumedRadarPosition, ghostWorld));
+}
+
+ControlCommand ReflectorController::commandUsingAntenna(
+    Vec2 ghostWorld, double t, int antennaIndex) const {
   const Vec2 e = config_.assumedRadarPosition;
   const Vec2 d = ghostWorld - e;
   ControlCommand cmd;
@@ -34,7 +41,7 @@ ControlCommand ReflectorController::commandFor(Vec2 ghostWorld,
   cmd.intendedRangeM = d.norm();
   cmd.intendedAngleRad = std::atan2(d.y, d.x);
 
-  cmd.antennaIndex = panel_.nearestForTarget(e, ghostWorld);
+  cmd.antennaIndex = antennaIndex;
   const double antennaRange =
       (panel_.position(cmd.antennaIndex) - e).norm();
 
@@ -69,6 +76,64 @@ ControlCommand ReflectorController::commandFor(Vec2 ghostWorld,
 
   cmd.phaseOffsetRad = breathing_ ? breathing_->phaseAt(t) : 0.0;
   return cmd;
+}
+
+std::optional<ControlCommand> ReflectorController::commandForConstrained(
+    Vec2 ghostWorld, double t, const ActuationConstraints& constraints) const {
+  const ControlCommand nominal = commandFor(ghostWorld, t);
+  const auto healthyAt = [&](int i) {
+    return constraints.healthyAntennas.empty() ||
+           (i >= 0 &&
+            i < static_cast<int>(constraints.healthyAntennas.size()) &&
+            constraints.healthyAntennas[static_cast<std::size_t>(i)]);
+  };
+  if (healthyAt(nominal.antennaIndex) &&
+      nominal.fSwitchHz <= constraints.maxSwitchHz &&
+      nominal.gain <= constraints.maxLinearGain) {
+    return nominal;  // untouched: the zero-fault path stays bit-identical
+  }
+
+  // Re-route: walk healthy antennas in increasing bearing error until one
+  // admits a realizable switching frequency for the ghost's range.
+  std::vector<bool> usable =
+      constraints.healthyAntennas.empty()
+          ? std::vector<bool>(static_cast<std::size_t>(panel_.count()), true)
+          : constraints.healthyAntennas;
+  int chosen = -1;
+  while (true) {
+    const int i = panel_.nearestByAngle(config_.assumedRadarPosition,
+                                        nominal.intendedAngleRad, usable);
+    if (i < 0) break;
+    const double antennaRange =
+        (panel_.position(i) - config_.assumedRadarPosition).norm();
+    const double extra = std::max(nominal.intendedRangeM - antennaRange,
+                                  config_.minExtraRangeM);
+    const double fSwitch = 2.0 * config_.chirpSlopeHzPerS * extra /
+                           rfp::common::kSpeedOfLight;
+    if (fSwitch <= constraints.maxSwitchHz) {
+      chosen = i;
+      break;
+    }
+    usable[static_cast<std::size_t>(i)] = false;
+  }
+  if (chosen < 0) return std::nullopt;  // pause the ghost
+
+  ControlCommand cmd = commandUsingAntenna(ghostWorld, t, chosen);
+  cmd.decision = chosen != nominal.antennaIndex
+                     ? HealthDecision::kRerouted
+                     : HealthDecision::kGainClamped;
+  if (cmd.gain > constraints.maxLinearGain) {
+    cmd.gain = constraints.maxLinearGain;
+  }
+  return cmd;
+}
+
+Vec2 ReflectorController::apparentWorld(const ControlCommand& cmd) const {
+  const Vec2 e = config_.assumedRadarPosition;
+  const Vec2 toAntenna = panel_.position(cmd.antennaIndex) - e;
+  const double range = toAntenna.norm();
+  if (range <= 0.0) return e;
+  return e + toAntenna * (cmd.spoofedRangeM / range);
 }
 
 std::vector<env::PointScatterer> ReflectorController::execute(

@@ -19,6 +19,7 @@
 /// displaced radar sees the same trajectory rotated/scaled (Sec. 5.2), which
 /// is why the evaluation scores trajectories modulo rigid alignment.
 
+#include <limits>
 #include <optional>
 #include <vector>
 
@@ -30,6 +31,16 @@
 
 namespace rfp::reflector {
 
+/// Supervisory verdict attached to each actuation; the ghost ledger keeps
+/// it so a deployment can audit every recovery decision after the fact.
+enum class HealthDecision {
+  kNominal = 0,      ///< ideal actuation, no fault handling involved
+  kRerouted = 1,     ///< re-selected a healthy antenna, Eq. 3 re-solved
+  kGainClamped = 2,  ///< gain clamped into the LNA's linear region
+  kStaleReplay = 3,  ///< control frame lost; previous actuation re-executed
+  kPaused = 4,       ///< no feasible actuation; ghost paused this frame
+};
+
 /// One frame's actuation for one ghost.
 struct ControlCommand {
   int antennaIndex = 0;
@@ -40,6 +51,17 @@ struct ControlCommand {
   double intendedRangeM = 0.0;        ///< |ghost - assumed radar|
   double intendedAngleRad = 0.0;      ///< world bearing of the ghost
   double spoofedRangeM = 0.0;         ///< range actually achievable
+  HealthDecision decision = HealthDecision::kNominal;
+};
+
+/// Feasibility envelope the self-healing supervisor imposes on actuation.
+struct ActuationConstraints {
+  /// Per-antenna health; empty means every element is usable.
+  std::vector<bool> healthyAntennas;
+  /// Switching-frequency ceiling the hardware can realize.
+  double maxSwitchHz = std::numeric_limits<double>::infinity();
+  /// LNA linear-region amplitude ceiling; commands above it are clamped.
+  double maxLinearGain = std::numeric_limits<double>::infinity();
 };
 
 /// Human-like reflected-power fluctuation applied to the LNA gain (paper
@@ -83,10 +105,28 @@ class ReflectorController {
                       std::optional<BreathingSpoofer> breathing = std::nullopt);
 
   const AntennaPanel& panel() const { return panel_; }
+  const SwitchedReflector& reflector() const { return reflector_; }
   const ControllerConfig& config() const { return config_; }
 
   /// Actuation needed to place a phantom at \p ghostWorld at time \p t.
   ControlCommand commandFor(rfp::common::Vec2 ghostWorld, double t) const;
+
+  /// Constrained variant used by the self-healing supervisor: computes the
+  /// nominal command and, when it violates \p constraints (unhealthy
+  /// antenna, infeasible f_switch, gain beyond the LNA linear region),
+  /// re-selects the nearest healthy antenna with a feasible switching
+  /// frequency, re-solves Eq. 3 for the new geometry, and clamps the gain.
+  /// Returns std::nullopt when no feasible actuation exists (the caller
+  /// should pause the ghost). When nothing is violated the result is
+  /// bit-identical to commandFor().
+  std::optional<ControlCommand> commandForConstrained(
+      rfp::common::Vec2 ghostWorld, double t,
+      const ActuationConstraints& constraints) const;
+
+  /// Where the radar will see the phantom produced by \p cmd: the selected
+  /// antenna's bearing at the spoofed range. Used for trajectory-continuity
+  /// checks (no teleporting phantoms while recovering).
+  rfp::common::Vec2 apparentWorld(const ControlCommand& cmd) const;
 
   /// Scatterers injected into the channel by executing \p cmd; tag with
   /// \p ghostId.
@@ -115,6 +155,11 @@ class ReflectorController {
       std::size_t numChirps, double radialVelocityMps, int ghostId) const;
 
  private:
+  /// Shared core of commandFor/commandForConstrained: solves Eq. 3 and
+  /// sizes the gain for a fixed antenna selection.
+  ControlCommand commandUsingAntenna(rfp::common::Vec2 ghostWorld, double t,
+                                     int antennaIndex) const;
+
   AntennaPanel panel_;
   SwitchedReflector reflector_;
   ControllerConfig config_;

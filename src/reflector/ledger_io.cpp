@@ -1,5 +1,6 @@
 #include "reflector/ledger_io.h"
 
+#include <cmath>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -23,10 +24,18 @@ std::string ledgerToString(const GhostLedger& ledger) {
   return out.str();
 }
 
-GhostLedger readLedger(std::istream& in) {
+GhostLedger readLedger(std::istream& in, const std::string& sourceName) {
+  const auto fail = [&sourceName](int lineNo, const std::string& why,
+                                  const std::string& line) {
+    throw std::runtime_error("readLedger: " + sourceName + ":" +
+                             std::to_string(lineNo) + ": " + why + ": '" +
+                             line + "'");
+  };
   GhostLedger ledger;
   std::string line;
+  int lineNo = 0;
   while (std::getline(in, line)) {
+    ++lineNo;
     if (line.empty()) continue;
     std::istringstream fields(line);
     int ghostId = 0;
@@ -34,10 +43,23 @@ GhostLedger readLedger(std::istream& in) {
     ControlCommand cmd;
     fields >> ghostId >> timestamp >> cmd.intendedWorld.x >>
         cmd.intendedWorld.y >> cmd.antennaIndex >> cmd.fSwitchHz;
-    if (fields.fail()) {
-      throw std::invalid_argument("readLedger: malformed record: " + line);
+    if (fields.fail()) fail(lineNo, "malformed record (truncated?)", line);
+    std::string extra;
+    if (fields >> extra) fail(lineNo, "trailing garbage", line);
+    if (!std::isfinite(timestamp) || !std::isfinite(cmd.intendedWorld.x) ||
+        !std::isfinite(cmd.intendedWorld.y) ||
+        !std::isfinite(cmd.fSwitchHz)) {
+      fail(lineNo, "non-finite field", line);
+    }
+    if (cmd.antennaIndex < 0) fail(lineNo, "negative antenna index", line);
+    if (cmd.fSwitchHz < 0.0) {
+      fail(lineNo, "negative switching frequency", line);
     }
     ledger.add(ghostId, timestamp, cmd);
+  }
+  if (in.bad()) {
+    throw std::runtime_error("readLedger: " + sourceName +
+                             ": read error (truncated input?)");
   }
   return ledger;
 }

@@ -26,9 +26,11 @@ std::string ledgerToString(const GhostLedger& ledger);
 
 /// Parses records from \p in into a fresh ledger. Fields beyond the wire
 /// format (gain, phase) are not transmitted -- the legitimate sensor only
-/// needs intended positions and times. Throws std::invalid_argument on a
-/// malformed record.
-GhostLedger readLedger(std::istream& in);
+/// needs intended positions and times. Throws std::runtime_error -- naming
+/// \p sourceName and the line -- on malformed records (truncated lines,
+/// non-finite fields, negative indices/frequencies, trailing garbage).
+GhostLedger readLedger(std::istream& in,
+                       const std::string& sourceName = "<ledger>");
 
 /// Parses a serialized ledger string.
 GhostLedger ledgerFromString(const std::string& text);

@@ -1,10 +1,41 @@
 #include "trajectory/dataset_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 
 namespace rfp::trajectory {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, int lineNo,
+                       const std::string& why) {
+  throw std::runtime_error("loadTracesCsv: " + path + ":" +
+                           std::to_string(lineNo) + ": " + why);
+}
+
+/// std::stod accepting only a complete, finite number ("1.5x", "nan" and
+/// "inf" all reject).
+double parseFiniteDouble(const std::string& field, const std::string& path,
+                         int lineNo) {
+  double v = 0.0;
+  std::size_t consumed = 0;
+  try {
+    v = std::stod(field, &consumed);
+  } catch (const std::exception&) {
+    fail(path, lineNo, "not a number: '" + field + "'");
+  }
+  if (consumed != field.size()) {
+    fail(path, lineNo, "trailing garbage in number: '" + field + "'");
+  }
+  if (!std::isfinite(v)) {
+    fail(path, lineNo, "coordinate must be finite: '" + field + "'");
+  }
+  return v;
+}
+
+}  // namespace
 
 void saveTracesCsv(const std::string& path,
                    const std::vector<Trace>& traces) {
@@ -25,26 +56,38 @@ std::vector<Trace> loadTracesCsv(const std::string& path) {
 
   std::vector<Trace> traces;
   std::string line;
+  int lineNo = 0;
   while (std::getline(in, line)) {
+    ++lineNo;
     if (line.empty()) continue;
     std::stringstream ss(line);
     std::string field;
     Trace t;
     if (!std::getline(ss, field, ',')) {
-      throw std::invalid_argument("loadTracesCsv: missing label");
+      fail(path, lineNo, "missing label");
     }
-    t.label = std::stoi(field);
+    const double label = parseFiniteDouble(field, path, lineNo);
+    t.label = static_cast<int>(label);
+    if (static_cast<double>(t.label) != label) {
+      fail(path, lineNo, "label must be an integer: '" + field + "'");
+    }
 
     std::vector<double> values;
-    while (std::getline(ss, field, ',')) values.push_back(std::stod(field));
-    if (values.size() % 2 != 0 || values.empty()) {
-      throw std::invalid_argument("loadTracesCsv: odd coordinate count");
+    while (std::getline(ss, field, ',')) {
+      values.push_back(parseFiniteDouble(field, path, lineNo));
     }
+    if (values.size() % 2 != 0) {
+      fail(path, lineNo, "odd coordinate count (truncated row?)");
+    }
+    if (values.empty()) fail(path, lineNo, "row has no coordinates");
     t.points.reserve(values.size() / 2);
     for (std::size_t i = 0; i < values.size(); i += 2) {
       t.points.push_back({values[i], values[i + 1]});
     }
     traces.push_back(std::move(t));
+  }
+  if (in.bad()) {
+    throw std::runtime_error("loadTracesCsv: read error on " + path);
   }
   return traces;
 }

@@ -15,8 +15,9 @@ namespace rfp::trajectory {
 /// Writes \p traces to \p path. Throws std::runtime_error on IO failure.
 void saveTracesCsv(const std::string& path, const std::vector<Trace>& traces);
 
-/// Reads traces from \p path. Throws std::runtime_error on IO failure and
-/// std::invalid_argument on malformed rows.
+/// Reads traces from \p path. Throws std::runtime_error -- naming the file
+/// and line -- on IO failure or malformed rows (non-numeric fields,
+/// NaN/inf coordinates, truncated rows).
 std::vector<Trace> loadTracesCsv(const std::string& path);
 
 }  // namespace rfp::trajectory

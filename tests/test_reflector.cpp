@@ -1,4 +1,6 @@
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -209,6 +211,117 @@ TEST(Controller, EndToEndSpoofedRangeSeenByRadar) {
   const auto antennaPolar = proc.toRadarPolar(antennaPos);
   EXPECT_NEAR(rfp::common::rad2deg(map.anglesRad[ai]),
               rfp::common::rad2deg(antennaPolar.angle), 3.0);
+}
+
+TEST(AntennaPanel, MaskedNearestByAngleSkipsUnhealthyElements) {
+  const AntennaPanel panel({0.0, 0.0}, {1.0, 0.0}, 6, 0.2);
+  const Vec2 observer{0.6, -1.0};
+  const Vec2 target = panel.position(3) + (panel.position(3) - observer) * 2.0;
+  const double bearing =
+      std::atan2(target.y - observer.y, target.x - observer.x);
+
+  std::vector<bool> healthy(6, true);
+  EXPECT_EQ(panel.nearestByAngle(observer, bearing, healthy), 3);
+
+  healthy[3] = false;
+  const int fallback = panel.nearestByAngle(observer, bearing, healthy);
+  EXPECT_NE(fallback, 3);
+  EXPECT_TRUE(fallback == 2 || fallback == 4);
+
+  std::fill(healthy.begin(), healthy.end(), false);
+  EXPECT_EQ(panel.nearestByAngle(observer, bearing, healthy), -1);
+
+  EXPECT_THROW(panel.nearestByAngle(observer, bearing,
+                                    std::vector<bool>(4, true)),
+               std::invalid_argument);
+}
+
+TEST(Controller, ConstrainedCommandIsBitIdenticalWhenUnconstrained) {
+  const auto controller = testController();
+  const Vec2 ghost{2.0, 4.0};
+  const ControlCommand nominal = controller.commandFor(ghost, 0.7);
+  const auto constrained =
+      controller.commandForConstrained(ghost, 0.7, ActuationConstraints{});
+  ASSERT_TRUE(constrained.has_value());
+  EXPECT_EQ(constrained->antennaIndex, nominal.antennaIndex);
+  EXPECT_EQ(constrained->fSwitchHz, nominal.fSwitchHz);  // exact, not NEAR
+  EXPECT_EQ(constrained->gain, nominal.gain);
+  EXPECT_EQ(constrained->phaseOffsetRad, nominal.phaseOffsetRad);
+  EXPECT_EQ(constrained->spoofedRangeM, nominal.spoofedRangeM);
+  EXPECT_EQ(constrained->decision, HealthDecision::kNominal);
+}
+
+TEST(Controller, ConstrainedCommandReroutesAroundUnhealthyAntenna) {
+  const auto controller = testController();
+  const Vec2 ghost{2.0, 4.0};
+  const ControlCommand nominal = controller.commandFor(ghost, 0.0);
+
+  ActuationConstraints constraints;
+  constraints.healthyAntennas.assign(6, true);
+  constraints.healthyAntennas[static_cast<std::size_t>(
+      nominal.antennaIndex)] = false;
+  const auto rerouted =
+      controller.commandForConstrained(ghost, 0.0, constraints);
+  ASSERT_TRUE(rerouted.has_value());
+  EXPECT_NE(rerouted->antennaIndex, nominal.antennaIndex);
+  EXPECT_EQ(rerouted->decision, HealthDecision::kRerouted);
+  // Eq. 3 re-solved for the new geometry: the spoofed range still lands on
+  // the ghost's range.
+  EXPECT_NEAR(rerouted->spoofedRangeM, nominal.intendedRangeM, 1e-9);
+  // The apparent phantom moved by roughly one antenna pitch, not across
+  // the room.
+  const Vec2 before = controller.apparentWorld(nominal);
+  const Vec2 after = controller.apparentWorld(*rerouted);
+  EXPECT_LT(distance(before, after), 1.5);
+}
+
+TEST(Controller, ConstrainedCommandClampsGainIntoLinearRegion) {
+  const auto controller = testController();
+  const Vec2 ghost{2.0, 4.0};
+  const ControlCommand nominal = controller.commandFor(ghost, 0.0);
+  ASSERT_GT(nominal.gain, 0.05);
+
+  ActuationConstraints constraints;
+  constraints.maxLinearGain = 0.05;
+  const auto clamped =
+      controller.commandForConstrained(ghost, 0.0, constraints);
+  ASSERT_TRUE(clamped.has_value());
+  EXPECT_EQ(clamped->antennaIndex, nominal.antennaIndex);
+  EXPECT_EQ(clamped->decision, HealthDecision::kGainClamped);
+  EXPECT_DOUBLE_EQ(clamped->gain, 0.05);
+}
+
+TEST(Controller, ConstrainedCommandPausesWhenNothingIsFeasible) {
+  const auto controller = testController();
+  const Vec2 ghost{2.0, 4.0};
+  {
+    ActuationConstraints constraints;
+    constraints.healthyAntennas.assign(6, false);  // every element dead
+    EXPECT_FALSE(
+        controller.commandForConstrained(ghost, 0.0, constraints)
+            .has_value());
+  }
+  {
+    ActuationConstraints constraints;
+    constraints.maxSwitchHz = 1.0;  // no antenna can reach the ghost
+    EXPECT_FALSE(
+        controller.commandForConstrained(ghost, 0.0, constraints)
+            .has_value());
+  }
+}
+
+TEST(Controller, ApparentWorldSitsAtSpoofedRangeOnAntennaBearing) {
+  const auto controller = testController();
+  const Vec2 radar = testControllerConfig().assumedRadarPosition;
+  const ControlCommand cmd = controller.commandFor({2.0, 4.0}, 0.0);
+  const Vec2 apparent = controller.apparentWorld(cmd);
+  EXPECT_NEAR((apparent - radar).norm(), cmd.spoofedRangeM, 1e-9);
+  const Vec2 antenna = controller.panel().position(cmd.antennaIndex);
+  const double antennaBearing =
+      std::atan2(antenna.y - radar.y, antenna.x - radar.x);
+  const double apparentBearing =
+      std::atan2(apparent.y - radar.y, apparent.x - radar.x);
+  EXPECT_NEAR(apparentBearing, antennaBearing, 1e-9);
 }
 
 TEST(GhostLedger, RecordsAndMatches) {

@@ -63,22 +63,84 @@ TEST(ScenarioConfig, DefaultsWhenEmpty) {
 TEST(ScenarioConfig, RejectsUnknownKeysAndBadValues) {
   {
     std::istringstream in("room.widht = 9\n");  // typo
-    EXPECT_THROW(loadScenario(in), std::invalid_argument);
+    EXPECT_THROW(loadScenario(in), std::runtime_error);
   }
   {
     std::istringstream in("room.width = very wide\n");
-    EXPECT_THROW(loadScenario(in), std::invalid_argument);
+    EXPECT_THROW(loadScenario(in), std::runtime_error);
   }
   {
     std::istringstream in("clutter = 1 2\n");  // missing amplitude
-    EXPECT_THROW(loadScenario(in), std::invalid_argument);
+    EXPECT_THROW(loadScenario(in), std::runtime_error);
   }
   {
     std::istringstream in("just some words\n");
-    EXPECT_THROW(loadScenario(in), std::invalid_argument);
+    EXPECT_THROW(loadScenario(in), std::runtime_error);
   }
   EXPECT_THROW(loadScenarioFile("/nonexistent.scenario"),
                std::runtime_error);
+}
+
+TEST(ScenarioConfig, RejectsNonFiniteAndOutOfRangeValues) {
+  const char* bad[] = {
+      "room.width = nan\n",
+      "room.width = inf\n",
+      "room.width = -9\n",
+      "room.width = 0\n",
+      "room.wall_reflectivity = 1.5\n",
+      "room.width = 9 extra\n",     // trailing garbage
+      "radar.axis = 0 0\n",         // zero direction
+      "panel.count = 2.5\n",        // non-integer count
+      "panel.count = 0\n",
+      "panel.spacing = -0.2\n",
+      "clutter = 1 2 -0.5\n",       // negative amplitude
+      "interior_wall = 0 0 1 1 2\n",  // reflectivity out of range
+      "multipath.loss = -0.1\n",
+      "fault.intensity = 1.5\n",
+      "fault.intensity = nan\n",
+      "fault.phase_bits = 20\n",
+      "fault.control_drop_prob = -0.2\n",
+      "fault.adc_clip_level = 0\n",
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    EXPECT_THROW(loadScenario(in), std::runtime_error) << text;
+  }
+}
+
+TEST(ScenarioConfig, ErrorNamesSourceAndLine) {
+  std::istringstream in("room.width = 9\nroom.height = tall\n");
+  try {
+    loadScenario(in, "flat.scenario");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("flat.scenario:2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("room.height"), std::string::npos) << msg;
+  }
+}
+
+TEST(ScenarioConfig, ParsesFaultModel) {
+  std::istringstream in(
+      "fault.intensity = 0.3\n"
+      "fault.seed = 1234\n"
+      "fault.dead_antenna_prob = 0.5\n"
+      "fault.stuck_switch_rate = 0.4\n"
+      "fault.switch_jitter = 0.1\n"
+      "fault.phase_bits = 5\n"
+      "fault.control_drop_prob = 0.25\n"
+      "fault.radar_drop_prob = 0.05\n"
+      "fault.adc_clip_level = 0.2\n");
+  const Scenario s = loadScenario(in);
+  EXPECT_DOUBLE_EQ(s.faults.intensity, 0.3);
+  EXPECT_EQ(s.faults.seed, 1234u);
+  EXPECT_DOUBLE_EQ(s.faults.deadAntennaProb, 0.5);
+  EXPECT_DOUBLE_EQ(s.faults.stuckSwitchRatePerS, 0.4);
+  EXPECT_DOUBLE_EQ(s.faults.switchJitterRel, 0.1);
+  EXPECT_EQ(s.faults.phaseShifterBits, 5);
+  EXPECT_DOUBLE_EQ(s.faults.controlDropProb, 0.25);
+  EXPECT_DOUBLE_EQ(s.faults.radarDropProb, 0.05);
+  EXPECT_DOUBLE_EQ(s.faults.adcClipLevel, 0.2);
 }
 
 TEST(ScenarioConfig, LoadedScenarioRunsEndToEnd) {

@@ -107,7 +107,41 @@ TEST(LedgerIo, RoundTripPreservesRecords) {
 
 TEST(LedgerIo, MalformedRecordThrows) {
   std::istringstream bad("1000 0.5 not-a-number 3.0 2 50000\n");
-  EXPECT_THROW(reflector::readLedger(bad), std::invalid_argument);
+  EXPECT_THROW(reflector::readLedger(bad), std::runtime_error);
+}
+
+TEST(LedgerIo, MalformedRecordNamesSourceAndLine) {
+  std::istringstream bad("1000 0.5 2.5 3.0 2 50000\n1001 0.6 2.6\n");
+  try {
+    reflector::readLedger(bad, "uplink.ledger");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("uplink.ledger:2"), std::string::npos) << msg;
+  }
+}
+
+TEST(LedgerIo, RejectsNonFiniteAndOutOfRangeFields) {
+  {
+    std::istringstream bad("1000 nan 2.5 3.0 2 50000\n");
+    EXPECT_THROW(reflector::readLedger(bad), std::runtime_error);
+  }
+  {
+    std::istringstream bad("1000 0.5 inf 3.0 2 50000\n");
+    EXPECT_THROW(reflector::readLedger(bad), std::runtime_error);
+  }
+  {
+    std::istringstream bad("1000 0.5 2.5 3.0 -2 50000\n");
+    EXPECT_THROW(reflector::readLedger(bad), std::runtime_error);
+  }
+  {
+    std::istringstream bad("1000 0.5 2.5 3.0 2 -50000\n");
+    EXPECT_THROW(reflector::readLedger(bad), std::runtime_error);
+  }
+  {
+    std::istringstream bad("1000 0.5 2.5 3.0 2 50000 surplus\n");
+    EXPECT_THROW(reflector::readLedger(bad), std::runtime_error);
+  }
 }
 
 TEST(LedgerIo, EmptyLedgerRoundTrips) {

@@ -1,4 +1,5 @@
 #include <cstdio>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -224,6 +225,34 @@ TEST(DatasetIo, CsvRoundTrip) {
 
 TEST(DatasetIo, MissingFileThrows) {
   EXPECT_THROW(loadTracesCsv("/nonexistent/nope.csv"), std::runtime_error);
+}
+
+TEST(DatasetIo, MalformedRowsThrowWithFileAndLine) {
+  const std::string path = ::testing::TempDir() + "/bad_traces.csv";
+  const char* bad[] = {
+      "0,1.0\n",                // odd coordinate count (truncated row)
+      "0\n",                    // no coordinates at all
+      "0,1.0,nan\n",            // non-finite coordinate
+      "0,1.0,inf\n",
+      "0,1.0,2.0x\n",           // trailing garbage in a number
+      "0,1.0,oops\n",           // not a number
+      "label,1.0,2.0\n",        // non-numeric label
+      "0.5,1.0,2.0\n",          // fractional label
+  };
+  for (const char* text : bad) {
+    {
+      std::ofstream out(path);
+      out << "1,0.0,0.0,1.0,1.0\n" << text;
+    }
+    try {
+      loadTracesCsv(path);
+      FAIL() << "expected std::runtime_error for: " << text;
+    } catch (const std::runtime_error& e) {
+      const std::string msg = e.what();
+      EXPECT_NE(msg.find(path + ":2"), std::string::npos) << msg;
+    }
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace
