@@ -6,9 +6,12 @@
 /// benchmarks that need generated trajectories (Fig. 10c, 11, 12, Table 1).
 /// The first benchmark to need the GAN trains it (a few minutes on CPU,
 /// with best-FID checkpoint selection) and writes
-/// `rfprotect_gan_checkpoint.txt` next to the binary; later runs reload it.
+/// `out/rfprotect_gan_checkpoint.txt` under the working directory; later
+/// runs reload it. `out/` is git-ignored so checkpoints never leak into
+/// the tree.
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
@@ -121,7 +124,7 @@ struct GanBundle {
 };
 
 inline constexpr const char* kGanCheckpointPath =
-    "rfprotect_gan_checkpoint.txt";
+    "out/rfprotect_gan_checkpoint.txt";
 
 /// Loads the shared GAN checkpoint or trains one (with best-FID round
 /// selection). Deterministic: seeded independently of the caller's RNG.
@@ -156,6 +159,9 @@ inline GanBundle sharedGan(std::size_t datasetSize = 600,
       "[gan] no checkpoint found; training %zu x %zu epochs "
       "(one-time, shared by all benchmarks)...\n",
       trainRounds, epochsPerRound);
+  // The atomic writer renames into place but does not create parents.
+  std::filesystem::create_directories(
+      std::filesystem::path(kGanCheckpointPath).parent_path());
   double bestFid = 1e300;
   for (std::size_t round = 0; round < trainRounds; ++round) {
     bundle.gan->train(bundle.dataset, rng);

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <string>
 
 #include "common/rng.h"
@@ -21,7 +22,7 @@ int main(int argc, char** argv) {
   const std::size_t datasetSize =
       argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 600;
   const std::string checkpoint =
-      argc > 3 ? argv[3] : "rfprotect_gan_checkpoint.txt";
+      argc > 3 ? argv[3] : "out/rfprotect_gan_checkpoint.txt";
 
   common::Rng rng(42);
 
@@ -74,6 +75,8 @@ int main(int argc, char** argv) {
               "(real-vs-real = 1.0)\n",
               fid.normalized[0]);
 
+  const auto parent = std::filesystem::path(checkpoint).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
   gan.save(checkpoint);
   std::printf("Checkpoint written to %s\n", checkpoint.c_str());
   return 0;

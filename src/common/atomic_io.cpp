@@ -1,0 +1,216 @@
+#include "common/atomic_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/crc32.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define RFP_HAVE_FSYNC 1
+#endif
+
+namespace rfp::common {
+
+namespace {
+
+constexpr std::string_view kTrailerMagic = "#RFPIO";
+constexpr int kTrailerVersion = 1;
+
+[[noreturn]] void ioFail(const std::string& what, const std::string& path) {
+  throw std::runtime_error(what + ": " + path +
+                           (errno != 0 ? std::string(": ") +
+                                             std::strerror(errno)
+                                       : std::string()));
+}
+
+/// Flushes file *data* to stable storage where the platform allows it.
+void fsyncPath(const std::string& path) {
+#ifdef RFP_HAVE_FSYNC
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+/// Flushes the directory entry (the rename itself) where possible.
+void fsyncParentDir(const std::filesystem::path& path) {
+#ifdef RFP_HAVE_FSYNC
+  const std::filesystem::path dir =
+      path.has_parent_path() ? path.parent_path()
+                             : std::filesystem::path(".");
+  const int fd = ::open(dir.string().c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+std::string readFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) ioFail("readFileBytes: cannot open", path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) ioFail("readFileBytes: read error", path);
+  return buf.str();
+}
+
+void writeFileAtomic(const std::string& path, std::string_view content) {
+  const std::filesystem::path target(path);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) ioFail("writeFileAtomic: cannot open temp", tmp);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+    out.flush();
+    if (!out) ioFail("writeFileAtomic: write failed", tmp);
+  }
+  fsyncPath(tmp);
+  errno = 0;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ioFail("writeFileAtomic: rename failed", path);
+  }
+  fsyncParentDir(target);
+}
+
+std::string withIntegrityTrailer(std::string_view body) {
+  char trailer[64];
+  std::snprintf(trailer, sizeof(trailer), "%s %d %zu %08x\n",
+                std::string(kTrailerMagic).c_str(), kTrailerVersion,
+                body.size(), crc32(body));
+  std::string out(body);
+  out += trailer;
+  return out;
+}
+
+std::string verifyIntegrityTrailer(std::string_view content,
+                                   const std::string& sourceName) {
+  const auto fail = [&](const std::string& why) {
+    throw std::runtime_error("integrity check: " + sourceName + ": " + why);
+  };
+  // The trailer is the final line; locate its start.
+  const auto pos = content.rfind(kTrailerMagic);
+  if (pos == std::string_view::npos) {
+    fail("missing integrity trailer (file ends at byte " +
+         std::to_string(content.size()) + ")");
+  }
+  // No start-of-line requirement: bodies need not end in '\n'. The length
+  // and CRC checks below are the authority -- a body occurrence of the
+  // magic can only be found here if the real trailer was cut off, and then
+  // the claimed length cannot match.
+  std::istringstream fields(std::string(content.substr(pos)));
+  std::string magic;
+  int version = 0;
+  std::size_t bodyLen = 0;
+  std::string crcHex;
+  fields >> magic >> version >> bodyLen >> crcHex;
+  if (fields.fail() || magic != kTrailerMagic) {
+    fail("malformed integrity trailer at byte " + std::to_string(pos));
+  }
+  if (version != kTrailerVersion) {
+    fail("unsupported trailer version " + std::to_string(version) +
+         " at byte " + std::to_string(pos));
+  }
+  if (bodyLen != pos) {
+    fail("truncated: trailer at byte " + std::to_string(pos) +
+         " claims a " + std::to_string(bodyLen) + "-byte body");
+  }
+  std::uint32_t expected = 0;
+  try {
+    std::size_t parsed = 0;
+    expected =
+        static_cast<std::uint32_t>(std::stoul(crcHex, &parsed, 16));
+    if (parsed != crcHex.size() || crcHex.size() != 8) {
+      fail("malformed checksum field at byte " + std::to_string(pos));
+    }
+  } catch (const std::logic_error&) {
+    fail("malformed checksum field at byte " + std::to_string(pos));
+  }
+  // The trailer must be canonical and terminate the file: anything else --
+  // extra bytes, a missing final newline, mangled separators -- means the
+  // write was cut or the file was edited mid-trailer.
+  char canonical[64];
+  std::snprintf(canonical, sizeof(canonical), "%s %d %zu %s\n",
+                std::string(kTrailerMagic).c_str(), version, bodyLen,
+                crcHex.c_str());
+  if (content.substr(pos) != canonical) {
+    fail("malformed integrity trailer at byte " + std::to_string(pos) +
+         " (not a canonical final line)");
+  }
+  const std::string_view body = content.substr(0, pos);
+  const std::uint32_t actual = crc32(body);
+  if (actual != expected) {
+    fail("checksum mismatch over bytes [0, " + std::to_string(pos) + ")");
+  }
+  return std::string(body);
+}
+
+void writeFileChecked(const std::string& path, std::string_view body) {
+  writeFileAtomic(path, withIntegrityTrailer(body));
+}
+
+std::string readFileChecked(const std::string& path) {
+  return verifyIntegrityTrailer(readFileBytes(path), path);
+}
+
+void writeFileRotating(const std::string& path, std::string_view body) {
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    errno = 0;
+    if (std::rename(path.c_str(), (path + ".bak").c_str()) != 0) {
+      ioFail("writeFileRotating: cannot rotate to .bak", path);
+    }
+  }
+  writeFileChecked(path, body);
+}
+
+std::optional<std::string> readFileRotating(const std::string& path,
+                                            bool* usedBackup) {
+  std::error_code ec;
+  const bool havePrimary = std::filesystem::exists(path, ec);
+  const std::string bak = path + ".bak";
+  const bool haveBackup = std::filesystem::exists(bak, ec);
+  if (usedBackup != nullptr) *usedBackup = false;
+  if (!havePrimary && !haveBackup) return std::nullopt;
+
+  std::string primaryError;
+  if (havePrimary) {
+    try {
+      return readFileChecked(path);
+    } catch (const std::exception& e) {
+      primaryError = e.what();
+    }
+  }
+  if (haveBackup) {
+    try {
+      std::string body = readFileChecked(bak);
+      if (usedBackup != nullptr) *usedBackup = true;
+      return body;
+    } catch (const std::exception& e) {
+      throw std::runtime_error(
+          "readFileRotating: both generations corrupt: " +
+          (primaryError.empty() ? "<no primary>" : primaryError) + "; " +
+          e.what());
+    }
+  }
+  throw std::runtime_error("readFileRotating: " + primaryError +
+                           " (no .bak to fall back to)");
+}
+
+}  // namespace rfp::common

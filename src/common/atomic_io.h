@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file atomic_io.h
+/// Crash-safe file persistence. The GAN checkpoint and the ghost ledger are
+/// the two artifacts a deployment must never lose to a power cut: the
+/// legitimate sensor cannot subtract phantoms it has no ledger for, and a
+/// training run that parses a torn checkpoint silently resumes from
+/// garbage. Two mechanisms compose here:
+///
+///  1. *Atomic replace*: content is written to `<path>.tmp`, flushed and
+///     fsync'd, then renamed over `<path>`. A crash leaves either the old
+///     file or the new one, never a prefix of the new one.
+///  2. *Integrity trailer*: checked writes append a final line
+///     `#RFPIO 1 <bodyBytes> <crc32-hex>` covering everything before it.
+///     Readers verify length and CRC-32 before handing the body to any
+///     parser, so truncated or bit-flipped files are *detected* (with the
+///     file name and byte offset in the error), never silently parsed.
+///     CRC-32 catches every single-bit error and all bursts <= 32 bits.
+///
+/// `writeFileRotating`/`readFileRotating` add one generation of history
+/// (`<path>.bak`): a reader that finds the primary corrupt falls back to
+/// the previous generation, which covers a crash *during* the checkpoint
+/// write on filesystems without atomic rename durability.
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace rfp::common {
+
+/// Reads a whole file into a string (binary). Throws std::runtime_error
+/// if the file cannot be opened or read.
+std::string readFileBytes(const std::string& path);
+
+/// Writes \p content to \p path atomically (temp + flush + fsync + rename).
+/// The parent directory must exist. Throws std::runtime_error on any IO
+/// failure.
+void writeFileAtomic(const std::string& path, std::string_view content);
+
+/// Appends the `#RFPIO` integrity trailer to \p body and returns the
+/// framed content (what writeFileChecked persists).
+std::string withIntegrityTrailer(std::string_view body);
+
+/// Verifies and strips the integrity trailer of \p content. Throws
+/// std::runtime_error naming \p sourceName and the byte offset of the
+/// failure on a missing/malformed trailer, a length mismatch (truncation),
+/// or a CRC mismatch (corruption). Returns the body.
+std::string verifyIntegrityTrailer(std::string_view content,
+                                   const std::string& sourceName);
+
+/// writeFileAtomic of body + integrity trailer.
+void writeFileChecked(const std::string& path, std::string_view body);
+
+/// readFileBytes + verifyIntegrityTrailer.
+std::string readFileChecked(const std::string& path);
+
+/// Checked write with one generation of history: an existing \p path is
+/// first renamed to `<path>.bak`, then the new content is written
+/// atomically.
+void writeFileRotating(const std::string& path, std::string_view body);
+
+/// Reads `<path>`, falling back to `<path>.bak` when the primary is
+/// missing or fails integrity verification. Returns std::nullopt when
+/// neither generation exists; throws std::runtime_error when at least one
+/// generation exists but none verifies (corruption is *reported*, never
+/// silently accepted). \p usedBackup (optional) reports which generation
+/// was returned.
+std::optional<std::string> readFileRotating(const std::string& path,
+                                            bool* usedBackup = nullptr);
+
+}  // namespace rfp::common

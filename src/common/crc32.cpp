@@ -1,0 +1,35 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace rfp::common {
+
+namespace {
+
+/// Table for the reflected IEEE polynomial, generated at static init.
+std::array<std::uint32_t, 256> makeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<std::uint32_t, 256> kTable = makeTable();
+
+}  // namespace
+
+std::uint32_t crc32Update(std::uint32_t crc, const void* data,
+                          std::size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = kTable[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+}  // namespace rfp::common

@@ -1,0 +1,32 @@
+#pragma once
+
+/// \file crc32.h
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) used for control
+/// frame integrity on the reflector link and for the crash-safe file
+/// trailer in atomic_io. CRC-32 detects every single-bit error and all
+/// burst errors up to 32 bits, which is exactly the corruption model of a
+/// noisy serial control link and of torn file writes.
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace rfp::common {
+
+/// Incremental CRC-32. Start from kCrc32Init, feed bytes, finalize.
+std::uint32_t crc32Update(std::uint32_t crc, const void* data,
+                          std::size_t size);
+
+inline constexpr std::uint32_t kCrc32Init = 0xffffffffu;
+
+/// One-shot CRC-32 of a byte range.
+inline std::uint32_t crc32(const void* data, std::size_t size) {
+  return crc32Update(kCrc32Init, data, size) ^ 0xffffffffu;
+}
+
+/// One-shot CRC-32 of a string.
+inline std::uint32_t crc32(std::string_view s) {
+  return crc32(s.data(), s.size());
+}
+
+}  // namespace rfp::common

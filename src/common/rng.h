@@ -7,6 +7,8 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <istream>
+#include <ostream>
 #include <random>
 #include <vector>
 
@@ -68,6 +70,15 @@ class Rng {
 
   /// Underlying engine, for interop with std distributions.
   std::mt19937_64& engine() { return engine_; }
+
+  /// Writes the engine state as text. Together with loadState this gives a
+  /// bit-exact continuation of the stream, which checkpoint/resume of
+  /// training needs (distribution objects here are all stateless
+  /// per-call, so the engine is the entire RNG state).
+  void saveState(std::ostream& out) const { out << engine_; }
+
+  /// Restores a state written by saveState.
+  void loadState(std::istream& in) { in >> engine_; }
 
  private:
   std::mt19937_64 engine_;

@@ -194,10 +194,26 @@ SpoofRunResult runSpoofLoop(const Scenario& scenario,
       case reflector::HealthDecision::kPaused:
         ++result.decisionsPaused;
         break;
+      case reflector::HealthDecision::kCoasted:
+        ++result.decisionsCoasted;
+        break;
+      case reflector::HealthDecision::kParked:
+        ++result.decisionsParked;
+        break;
       case reflector::HealthDecision::kNominal:
         break;
     }
+    // Actuation-level track for detectability fingerprinting. A swallowed
+    // frame (paused/dark) keeps no apparent position; emitted frames place
+    // the phantom at the command's noise-free apparent location. Stale
+    // replays keep spoofing the *old* intended point -- exactly the freeze
+    // the fingerprint metric looks for.
+    result.ledgerIntended.push_back(rec.command.intendedWorld);
+    result.ledgerApparent.push_back(
+        system.controller().apparentWorld(rec.command));
+    result.ledgerEmitted.push_back(rec.emitted ? 1 : 0);
   }
+  result.linkStats = system.linkStats();
   return result;
 }
 
@@ -226,7 +242,7 @@ SpoofRunResult runFaultedSpoofingExperiment(
   auto schedule = std::make_shared<const fault::FaultSchedule>(
       options.faults, static_cast<int>(scenario.panel.positions().size()),
       dt, duration);
-  system.attachFaults(schedule, options.recovery);
+  system.attachFaults(schedule, options.recovery, options.transport);
   return runSpoofLoop(scenario, system, ghostId, start, rng, schedule.get());
 }
 

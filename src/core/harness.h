@@ -6,6 +6,7 @@
 /// humans (Fig. 9), and combined human+ghost legitimate-sensing runs
 /// (Fig. 13).
 
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
@@ -17,6 +18,7 @@
 #include "fault/fault_schedule.h"
 #include "fault/self_healing.h"
 #include "trajectory/trace.h"
+#include "transport/control_link.h"
 
 namespace rfp::core {
 
@@ -38,6 +40,19 @@ struct SpoofRunResult {
   std::size_t decisionsGainClamped = 0;
   std::size_t decisionsStaleReplay = 0;
   std::size_t decisionsPaused = 0;
+  std::size_t decisionsCoasted = 0;  ///< schedule entries executed on misses
+  std::size_t decisionsParked = 0;   ///< frames parked (fading or dark)
+
+  /// Control-link transport counters (all zero without an enabled
+  /// transport).
+  transport::LinkStats linkStats;
+
+  /// Per-ledger-frame actuation track for detectability fingerprinting:
+  /// where the ghost was meant to be, where the actuation actually put it
+  /// (noise-free apparent position), and whether anything radiated.
+  std::vector<rfp::common::Vec2> ledgerIntended;
+  std::vector<rfp::common::Vec2> ledgerApparent;
+  std::vector<std::uint8_t> ledgerEmitted;
 };
 
 /// Spoofs one (centered) ghost trajectory in the scenario and measures it
@@ -59,6 +74,9 @@ SpoofRunResult runSpoofingArc(const Scenario& scenario,
 struct FaultRunOptions {
   fault::FaultConfig faults;      ///< hardware fault model
   fault::RecoveryConfig recovery; ///< self-healing supervisor policy
+  /// Control-link transport; disabled = PR 1's naive single-attempt link
+  /// (stale replay on drops).
+  transport::TransportConfig transport;
 };
 
 /// runSpoofingExperiment under injected hardware faults: actuation goes

@@ -167,9 +167,13 @@ int RfProtectSystem::addGhostAuto(const trajectory::Trace& centeredTrace,
 
 void RfProtectSystem::attachFaults(
     std::shared_ptr<const fault::FaultSchedule> schedule,
-    fault::RecoveryConfig recovery) {
+    fault::RecoveryConfig recovery, transport::TransportConfig transport) {
   actuator_ = std::make_unique<fault::SelfHealingActuator>(
-      &controller_, std::move(schedule), recovery);
+      &controller_, std::move(schedule), recovery, transport);
+}
+
+transport::LinkStats RfProtectSystem::linkStats() const {
+  return actuator_ ? actuator_->linkStats() : transport::LinkStats{};
 }
 
 std::vector<env::PointScatterer> RfProtectSystem::injectAt(double t) {
@@ -177,9 +181,22 @@ std::vector<env::PointScatterer> RfProtectSystem::injectAt(double t) {
   for (const Ghost& g : ghosts_) {
     if (!g.activeAt(t)) continue;
     if (actuator_) {
+      // With the transport enabled, hand the actuator the ghost's next
+      // intended positions so the control frame carries a coasting schedule.
+      std::vector<Vec2> lookahead;
+      if (actuator_->transport().enabled) {
+        const double dt = actuator_->schedule().frameDtS();
+        const int depth = actuator_->transport().scheduleDepth - 1;
+        lookahead.reserve(static_cast<std::size_t>(std::max(depth, 0)));
+        for (int i = 1; i <= depth; ++i) {
+          const double tAhead = t + static_cast<double>(i) * dt;
+          if (!g.activeAt(tAhead)) break;
+          lookahead.push_back(g.positionAt(tAhead));
+        }
+      }
       fault::ActuationOutcome outcome =
-          actuator_->actuate(g.positionAt(t), t, g.id);
-      ledger_.add(g.id, t, outcome.command);
+          actuator_->actuate(g.positionAt(t), t, g.id, lookahead);
+      ledger_.add(g.id, t, outcome.command, outcome.emitted);
       if (outcome.emitted) {
         out.insert(out.end(), outcome.scatterers.begin(),
                    outcome.scatterers.end());

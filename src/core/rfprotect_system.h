@@ -66,11 +66,18 @@ class RfProtectSystem {
   /// Routes all subsequent actuation through a fault-injecting self-healing
   /// actuator (src/fault). Pass a zero-intensity schedule to exercise the
   /// supervised path without impairments; with no faults attached the legacy
-  /// direct path is used unchanged.
+  /// direct path is used unchanged. With \p transport enabled, control
+  /// frames additionally cross the resilient lossy-link transport
+  /// (src/transport) and carry a lookahead schedule for coasting.
   void attachFaults(std::shared_ptr<const fault::FaultSchedule> schedule,
-                    fault::RecoveryConfig recovery);
+                    fault::RecoveryConfig recovery,
+                    transport::TransportConfig transport = {});
 
   bool faultsAttached() const { return actuator_ != nullptr; }
+
+  /// Aggregated control-link counters (all zero without an enabled
+  /// transport).
+  transport::LinkStats linkStats() const;
 
   /// Scatterers injected at time \p t for all active ghosts. Appends the
   /// executed commands to the ledger. With faults attached, paused or

@@ -197,6 +197,18 @@ Scenario loadScenario(std::istream& in, const std::string& sourceName) {
       p.faults.phaseStuckBitMeanDurS = parsePositive(value, ctx);
     } else if (key == "fault.control_drop_prob") {
       p.faults.controlDropProb = parseUnit(value, ctx);
+    } else if (key == "fault.control_corrupt_prob") {
+      p.faults.controlCorruptProb = parseUnit(value, ctx);
+    } else if (key == "fault.control_reorder_prob") {
+      p.faults.controlReorderProb = parseUnit(value, ctx);
+    } else if (key == "fault.control_duplicate_prob") {
+      p.faults.controlDuplicateProb = parseUnit(value, ctx);
+    } else if (key == "fault.link_burst_rate") {
+      p.faults.linkBurstRatePerS = parseNonNegative(value, ctx);
+    } else if (key == "fault.link_burst_duration") {
+      p.faults.linkBurstMeanDurS = parsePositive(value, ctx);
+    } else if (key == "fault.link_burst_loss_prob") {
+      p.faults.linkBurstLossProb = parseUnit(value, ctx);
     } else if (key == "fault.radar_drop_prob") {
       p.faults.radarDropProb = parseUnit(value, ctx);
     } else if (key == "fault.adc_saturation_rate") {

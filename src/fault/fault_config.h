@@ -63,10 +63,33 @@ struct FaultConfig {
   double phaseStuckBitMeanDurS = 2.0;
 
   // --- Controller-to-reflector control link -------------------------------
-  /// Per-frame probability that the control frame is dropped/late; the
-  /// reflector then re-executes the previous frame's actuation (stale
-  /// replay), or stays dark if it never received one.
+  /// Per-attempt probability that a control frame is lost in flight. Without
+  /// the transport layer this is the per-frame drop probability (the
+  /// reflector then re-executes the previous frame's actuation or stays
+  /// dark); with the transport layer each delivery *attempt* faces it
+  /// independently and lost frames are retransmitted.
   double controlDropProb = 0.30;
+  /// Per-attempt probability that a control frame arrives bit-corrupted.
+  /// The transport layer detects this via CRC-32 and retransmits; the naive
+  /// link counts it as a drop (the receiver's framing rejects the garbage
+  /// but there is no retransmit).
+  double controlCorruptProb = 0.08;
+  /// Per-attempt probability that a control frame is delivered out of order
+  /// (arrives after a newer frame). The transport receiver rejects stale
+  /// sequence numbers.
+  double controlReorderProb = 0.05;
+  /// Per-attempt probability that an acknowledgement is lost, so the sender
+  /// retransmits and the receiver sees a duplicate (which it must dedup).
+  double controlDuplicateProb = 0.05;
+  /// Poisson rate [1/s] of burst-loss episodes (Gilbert-Elliott bad state):
+  /// the link's loss probability jumps to linkBurstLossProb for the episode.
+  double linkBurstRatePerS = 0.06;
+  /// Mean burst-loss episode duration [s].
+  double linkBurstMeanDurS = 1.2;
+  /// Per-attempt loss probability while a burst episode is active. Not
+  /// scaled by intensity (a burst is a burst); intensity scales how often
+  /// bursts happen.
+  double linkBurstLossProb = 0.85;
 
   // --- Radar side ---------------------------------------------------------
   /// Per-frame probability the radar drops the chirp frame entirely.

@@ -6,11 +6,15 @@
 #include <string>
 
 #include "common/constants.h"
+#include "common/det_hash.h"
 #include "common/rng.h"
 
 namespace rfp::fault {
 
 namespace {
+
+using rfp::common::hashJitter;
+using rfp::common::hashUniform;
 
 void requireFinite(double v, const char* name) {
   if (!std::isfinite(v)) {
@@ -27,35 +31,13 @@ void requireNonNegative(double v, const char* name) {
   }
 }
 
-/// splitmix64: the standard 64-bit finalizer; used to derive per-frame
-/// pseudo-random values without any sequential generator state.
-std::uint64_t splitmix64(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ull;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-  return x ^ (x >> 31);
-}
-
-/// Deterministic uniform in [0, 1) for (seed, frame, stream).
-double frameUniform(std::uint64_t seed, std::uint64_t frame,
-                    std::uint64_t stream) {
-  const std::uint64_t h =
-      splitmix64(seed ^ splitmix64(frame + 1) ^ (stream * 0xd6e8feb86659fd93ull));
-  return static_cast<double>(h >> 11) * 0x1.0p-53;
-}
-
-/// Deterministic zero-mean unit-variance-ish sample (uniform, scaled to
-/// unit variance); good enough for a timing-jitter model.
-double frameJitter(std::uint64_t seed, std::uint64_t frame,
-                   std::uint64_t stream) {
-  return (2.0 * frameUniform(seed, frame, stream) - 1.0) * 1.7320508075688772;
-}
-
-// Per-frame stream ids (arbitrary distinct constants).
+// Per-frame stream ids (arbitrary distinct constants; the transport layer's
+// per-attempt channel streams live in rfp::transport and must not collide).
 constexpr std::uint64_t kStreamControlDrop = 11;
 constexpr std::uint64_t kStreamRadarDrop = 12;
 constexpr std::uint64_t kStreamSwitchJitter = 13;
 constexpr std::uint64_t kStreamSettleJitter = 14;
+constexpr std::uint64_t kStreamControlCorrupt = 15;
 
 }  // namespace
 
@@ -80,6 +62,16 @@ void FaultConfig::validate() const {
   requireNonNegative(phaseStuckBitRatePerS, "phaseStuckBitRatePerS");
   requireNonNegative(phaseStuckBitMeanDurS, "phaseStuckBitMeanDurS");
   requireNonNegative(controlDropProb, "controlDropProb");
+  requireNonNegative(controlCorruptProb, "controlCorruptProb");
+  requireNonNegative(controlReorderProb, "controlReorderProb");
+  requireNonNegative(controlDuplicateProb, "controlDuplicateProb");
+  requireNonNegative(linkBurstRatePerS, "linkBurstRatePerS");
+  requireNonNegative(linkBurstMeanDurS, "linkBurstMeanDurS");
+  requireNonNegative(linkBurstLossProb, "linkBurstLossProb");
+  if (linkBurstLossProb > 1.0) {
+    throw std::invalid_argument(
+        "FaultConfig: linkBurstLossProb must be in [0, 1]");
+  }
   requireNonNegative(radarDropProb, "radarDropProb");
   requireNonNegative(adcSaturationRatePerS, "adcSaturationRatePerS");
   requireNonNegative(adcSaturationMeanDurS, "adcSaturationMeanDurS");
@@ -89,7 +81,7 @@ void FaultConfig::validate() const {
 bool FrameFaults::discrete() const {
   if (stuckSwitchElement >= 0 || std::isfinite(lnaGainLimit) ||
       phaseStuckBitMask != 0 || controlFrameDropped || radarFrameDropped ||
-      std::isfinite(adcClipLevel)) {
+      linkBurst || std::isfinite(adcClipLevel)) {
     return true;
   }
   return std::any_of(deadAntenna.begin(), deadAntenna.end(),
@@ -101,6 +93,8 @@ bool FrameFaults::any() const {
       settleJitterRel != 0.0 || gainDriftLog != 0.0 ||
       std::isfinite(lnaGainLimit) || phaseQuantBits > 0 ||
       phaseStuckBitMask != 0 || controlFrameDropped || radarFrameDropped ||
+      linkBurst || controlLossProb > 0.0 || controlCorruptProb > 0.0 ||
+      controlReorderProb > 0.0 || controlDuplicateProb > 0.0 ||
       std::isfinite(adcClipLevel)) {
     return true;
   }
@@ -169,6 +163,9 @@ FaultSchedule::FaultSchedule(const FaultConfig& config, int antennaCount,
               std::max(0, config_.phaseShifterBits - 1));
   addEpisodes(FaultKind::kAdcSaturation, config_.adcSaturationRatePerS,
               config_.adcSaturationMeanDurS, 0, 0);
+  // Appended last so earlier episode streams keep their exact draws.
+  addEpisodes(FaultKind::kLinkBurst, config_.linkBurstRatePerS,
+              config_.linkBurstMeanDurS, 0, 0);
 
   std::sort(events_.begin(), events_.end(),
             [](const FaultEvent& a, const FaultEvent& b) {
@@ -210,19 +207,38 @@ FrameFaults FaultSchedule::at(double t) const {
       case FaultKind::kAdcSaturation:
         ff.adcClipLevel = std::min(ff.adcClipLevel, config_.adcClipLevel);
         break;
+      case FaultKind::kLinkBurst:
+        ff.linkBurst = true;
+        break;
     }
   }
 
   // Per-frame impairments: deterministic in (seed, frame index).
   const std::uint64_t seed = config_.seed;
-  ff.controlFrameDropped = frameUniform(seed, frame, kStreamControlDrop) <
-                           k * config_.controlDropProb;
+
+  // Control-link channel condition. A burst episode raises the loss floor
+  // to the Gilbert-Elliott bad-state level regardless of intensity (a burst
+  // is a burst; intensity scales how *often* they happen).
+  ff.controlLossProb = std::min(1.0, k * config_.controlDropProb);
+  if (ff.linkBurst) {
+    ff.controlLossProb = std::max(ff.controlLossProb, config_.linkBurstLossProb);
+  }
+  ff.controlCorruptProb = std::min(1.0, k * config_.controlCorruptProb);
+  ff.controlReorderProb = std::min(1.0, k * config_.controlReorderProb);
+  ff.controlDuplicateProb = std::min(1.0, k * config_.controlDuplicateProb);
+
+  // Naive (transport-less) link: the single delivery attempt faces the same
+  // channel; a corrupted frame is rejected by the receiver's framing but is
+  // never retransmitted, so it counts as a drop.
+  ff.controlFrameDropped =
+      hashUniform(seed, frame, kStreamControlDrop) < ff.controlLossProb ||
+      hashUniform(seed, frame, kStreamControlCorrupt) < ff.controlCorruptProb;
   ff.radarFrameDropped =
-      frameUniform(seed, frame, kStreamRadarDrop) < k * config_.radarDropProb;
+      hashUniform(seed, frame, kStreamRadarDrop) < k * config_.radarDropProb;
   ff.switchJitterRel = k * config_.switchJitterRel *
-                       frameJitter(seed, frame, kStreamSwitchJitter);
+                       hashJitter(seed, frame, kStreamSwitchJitter);
   ff.settleJitterRel = k * config_.switchSettleRel *
-                       frameJitter(seed, frame, kStreamSettleJitter);
+                       hashJitter(seed, frame, kStreamSettleJitter);
   ff.phaseQuantBits = config_.phaseShifterBits;
 
   // Slow LNA gain drift: two incommensurate sinusoids, unit-normalized.

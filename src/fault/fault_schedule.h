@@ -25,6 +25,7 @@ enum class FaultKind {
   kLnaSaturation, ///< LNA compression point collapses
   kPhaseStuckBit, ///< phase-shifter DAC bit stuck at 1 (index = bit)
   kAdcSaturation, ///< radar ADC clips
+  kLinkBurst,     ///< control link in Gilbert-Elliott bad (burst-loss) state
 };
 
 /// One episodic fault: active on [startS, endS).
@@ -48,6 +49,14 @@ struct FrameFaults {
   unsigned phaseStuckBitMask = 0;  ///< stuck-at-1 bits of the phase code
   bool controlFrameDropped = false;
   bool radarFrameDropped = false;
+  /// Effective per-attempt control-link channel condition this frame (the
+  /// transport layer's ground truth; already intensity-scaled, and loss is
+  /// raised to the burst level while a kLinkBurst episode is active).
+  double controlLossProb = 0.0;
+  double controlCorruptProb = 0.0;
+  double controlReorderProb = 0.0;
+  double controlDuplicateProb = 0.0;
+  bool linkBurst = false;  ///< burst-loss episode active this frame
   /// ADC clip applied to I/Q samples; +inf when the ADC is linear.
   double adcClipLevel = std::numeric_limits<double>::infinity();
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/constants.h"
+#include "common/det_hash.h"
 
 namespace rfp::fault {
 
@@ -31,10 +32,12 @@ double quantizePhase(double phaseRad, int bits, unsigned stuckMask) {
 
 SelfHealingActuator::SelfHealingActuator(
     const reflector::ReflectorController* controller,
-    std::shared_ptr<const FaultSchedule> schedule, RecoveryConfig recovery)
+    std::shared_ptr<const FaultSchedule> schedule, RecoveryConfig recovery,
+    transport::TransportConfig transport)
     : controller_(controller),
       schedule_(std::move(schedule)),
-      recovery_(recovery) {
+      recovery_(recovery),
+      transport_(transport) {
   if (controller_ == nullptr || schedule_ == nullptr) {
     throw std::invalid_argument(
         "SelfHealingActuator: controller and schedule are required");
@@ -43,10 +46,85 @@ SelfHealingActuator::SelfHealingActuator(
     throw std::invalid_argument(
         "SelfHealingActuator: watchdog latency must be >= 0");
   }
+  transport_.validate();
 }
 
-ActuationOutcome SelfHealingActuator::actuate(Vec2 ghostWorld, double t,
-                                              int ghostId) {
+ControlCommand SelfHealingActuator::planCommand(Vec2 ghostWorld, double tCmd,
+                                                double tBelief,
+                                                const GhostState& gs,
+                                                bool checkContinuity) const {
+  if (!(recovery_.enabled && !schedule_->idle())) {
+    return controller_->commandFor(ghostWorld, tCmd);
+  }
+  // Watchdog belief: ground truth delayed by the readback latency.
+  const double lookback =
+      static_cast<double>(recovery_.watchdogLatencyFrames) *
+      schedule_->frameDtS();
+  const FrameFaults believed = schedule_->at(std::max(0.0, tBelief - lookback));
+
+  reflector::ActuationConstraints constraints;
+  const int n = schedule_->antennaCount();
+  constraints.healthyAntennas.assign(static_cast<std::size_t>(n), true);
+  for (int i = 0; i < n; ++i) {
+    if (believed.deadAntenna[static_cast<std::size_t>(i)]) {
+      constraints.healthyAntennas[static_cast<std::size_t>(i)] = false;
+    }
+  }
+  if (believed.stuckSwitchElement >= 0 && believed.stuckSwitchElement < n) {
+    // A stuck SP8T makes every element but the latched one unreachable;
+    // the best the supervisor can do is re-solve Eq. 3 for that geometry.
+    for (int i = 0; i < n; ++i) {
+      constraints.healthyAntennas[static_cast<std::size_t>(i)] =
+          i == believed.stuckSwitchElement &&
+          !believed.deadAntenna[static_cast<std::size_t>(i)];
+    }
+  }
+  constraints.maxSwitchHz = controller_->reflector().hardware().maxSwitchHz;
+  constraints.maxLinearGain = believed.lnaGainLimit;
+
+  const auto constrained =
+      controller_->commandForConstrained(ghostWorld, tCmd, constraints);
+  if (!constrained.has_value()) {
+    ControlCommand paused;
+    paused.intendedWorld = ghostWorld;
+    paused.decision = HealthDecision::kPaused;
+    return paused;  // no feasible actuation: pause the ghost
+  }
+  ControlCommand cmd = *constrained;
+
+  // Trajectory continuity: a reroute that would teleport the phantom is
+  // worse than briefly pausing it (an eavesdropper flags teleports, and
+  // the legitimate sensor loses track association).
+  if (checkContinuity && cmd.decision == HealthDecision::kRerouted &&
+      gs.hasLast &&
+      distance(controller_->apparentWorld(cmd), gs.lastApparent) >
+          recovery_.maxApparentJumpM) {
+    cmd.decision = HealthDecision::kPaused;
+  }
+  return cmd;
+}
+
+void SelfHealingActuator::commit(const ControlCommand& cmd,
+                                 const FrameFaults& ff, int ghostId,
+                                 GhostState& gs, ActuationOutcome& out) {
+  out.command = cmd;
+  gs.lastCommand = cmd;
+  gs.hasLast = true;
+  gs.lastApparent = controller_->apparentWorld(cmd);
+  radiate(cmd, ff, ghostId, gs, out);
+}
+
+ActuationOutcome SelfHealingActuator::actuate(
+    Vec2 ghostWorld, double t, int ghostId,
+    const std::vector<Vec2>& lookaheadWorlds) {
+  if (transport_.enabled) {
+    return actuateViaLink(ghostWorld, t, ghostId, lookaheadWorlds);
+  }
+  return actuateDirect(ghostWorld, t, ghostId);
+}
+
+ActuationOutcome SelfHealingActuator::actuateDirect(Vec2 ghostWorld, double t,
+                                                    int ghostId) {
   const FrameFaults ff = schedule_->at(t);
   GhostState& gs = state_[ghostId];
   ActuationOutcome out;
@@ -66,65 +144,138 @@ ActuationOutcome SelfHealingActuator::actuate(Vec2 ghostWorld, double t,
     return out;
   }
 
-  ControlCommand cmd;
-  if (recovery_.enabled && !schedule_->idle()) {
-    // Watchdog belief: ground truth delayed by the readback latency.
-    const double lookback =
-        static_cast<double>(recovery_.watchdogLatencyFrames) *
-        schedule_->frameDtS();
-    const FrameFaults believed = schedule_->at(std::max(0.0, t - lookback));
+  const ControlCommand cmd =
+      planCommand(ghostWorld, t, t, gs, /*checkContinuity=*/true);
+  if (cmd.decision == HealthDecision::kPaused) {
+    out.command = cmd;
+    return out;
+  }
+  commit(cmd, ff, ghostId, gs, out);
+  return out;
+}
 
-    reflector::ActuationConstraints constraints;
-    const int n = schedule_->antennaCount();
-    constraints.healthyAntennas.assign(static_cast<std::size_t>(n), true);
-    for (int i = 0; i < n; ++i) {
-      if (believed.deadAntenna[static_cast<std::size_t>(i)]) {
-        constraints.healthyAntennas[static_cast<std::size_t>(i)] = false;
-      }
-    }
-    if (believed.stuckSwitchElement >= 0 &&
-        believed.stuckSwitchElement < n) {
-      // A stuck SP8T makes every element but the latched one unreachable;
-      // the best the supervisor can do is re-solve Eq. 3 for that geometry.
-      for (int i = 0; i < n; ++i) {
-        constraints.healthyAntennas[static_cast<std::size_t>(i)] =
-            i == believed.stuckSwitchElement &&
-            !believed.deadAntenna[static_cast<std::size_t>(i)];
-      }
-    }
-    constraints.maxSwitchHz =
-        controller_->reflector().hardware().maxSwitchHz;
-    constraints.maxLinearGain = believed.lnaGainLimit;
+ActuationOutcome SelfHealingActuator::actuateViaLink(
+    Vec2 ghostWorld, double t, int ghostId,
+    const std::vector<Vec2>& lookaheadWorlds) {
+  const FrameFaults ff = schedule_->at(t);
+  const double dt = schedule_->frameDtS();
+  // Round, don't floor: the harness accumulates t += dt, so t sits within
+  // ulps of k*dt on either side -- flooring would occasionally repeat a
+  // frame index and make the receiver reject the frame as a duplicate seq.
+  const auto frameIdx = static_cast<std::uint64_t>(
+      std::max<long long>(0, std::llround(t / dt)));
+  GhostState& gs = state_[ghostId];
+  if (!gs.linkInit) {
+    // Per-ghost channel seed, derived from the fault timeline's seed so one
+    // config reproduces everything; salted so parallel links decorrelate.
+    const std::uint64_t seed = rfp::common::splitmix64(
+        schedule_->config().seed ^ transport_.seedSalt ^
+        rfp::common::splitmix64(static_cast<std::uint64_t>(ghostId)));
+    gs.link = transport::GhostControlLink(transport_, seed);
+    gs.linkInit = true;
+  }
+  ActuationOutcome out;
+  transport::LinkWatchdog& wd = gs.link.watchdog();
 
-    const auto constrained =
-        controller_->commandForConstrained(ghostWorld, t, constraints);
-    if (!constrained.has_value()) {
-      out.command.intendedWorld = ghostWorld;
-      out.command.decision = HealthDecision::kPaused;
-      return out;  // no feasible actuation: pause the ghost
-    }
-    cmd = *constrained;
-
-    // Trajectory continuity: a reroute that would teleport the phantom is
-    // worse than briefly pausing it (an eavesdropper flags teleports, and
-    // the legitimate sensor loses track association).
-    if (cmd.decision == HealthDecision::kRerouted && gs.hasLast &&
-        distance(controller_->apparentWorld(cmd), gs.lastApparent) >
-            recovery_.maxApparentJumpM) {
-      out.command = cmd;
-      out.command.decision = HealthDecision::kPaused;
-      return out;
-    }
-  } else {
-    cmd = controller_->commandFor(ghostWorld, t);
+  // Sender side (the Pi is healthy; only the link is not): plan this
+  // frame's command plus the lookahead schedule, all against the belief the
+  // Pi holds *now*.
+  const ControlCommand cmd0 =
+      planCommand(ghostWorld, t, t, gs, /*checkContinuity=*/true);
+  if (cmd0.decision == HealthDecision::kPaused) {
+    // Infeasible regardless of the link; nothing worth transmitting.
+    out.command = cmd0;
+    return out;
   }
 
-  out.command = cmd;
-  gs.lastCommand = cmd;
-  gs.hasLast = true;
-  gs.lastApparent = controller_->apparentWorld(cmd);
-  radiate(cmd, ff, ghostId, gs, out);
+  if (wd.shouldAttempt(frameIdx)) {
+    transport::ControlFrame frame;
+    frame.seq = frameIdx;
+    frame.ghostId = ghostId;
+    frame.schedule.push_back(cmd0);
+    const int depth = std::min(transport_.scheduleDepth - 1,
+                               static_cast<int>(lookaheadWorlds.size()));
+    for (int i = 0; i < depth; ++i) {
+      const ControlCommand ahead =
+          planCommand(lookaheadWorlds[static_cast<std::size_t>(i)],
+                      t + (i + 1) * dt, t, gs, /*checkContinuity=*/false);
+      if (ahead.decision == HealthDecision::kPaused) break;
+      frame.schedule.push_back(ahead);
+    }
+
+    const transport::TransferResult r = gs.link.transfer(
+        frameIdx, frame, transport::ChannelCondition::fromFaults(ff), dt);
+    if (r.delivered) {
+      if (wd.onDelivery(frameIdx)) ++gs.link.stats().reacquisitions;
+      gs.coastSchedule = r.frame->schedule;
+      gs.scheduleBaseFrame = frameIdx;
+      // The receiver actuates what it *decoded* (bit-identical to what was
+      // sent -- corrupted attempts never survive the CRC).
+      ControlCommand cmd = gs.coastSchedule.front();
+      if (gs.fadeLevel < 1.0) {
+        // Fading back in after a park: human-plausible reappearance.
+        gs.fadeLevel = std::min(
+            1.0, gs.fadeLevel + 1.0 / static_cast<double>(transport_.fadeFrames));
+        if (gs.fadeLevel < 1.0) cmd.gain *= gs.fadeLevel;
+      }
+      commit(cmd, ff, ghostId, gs, out);
+      return out;
+    }
+    wd.onMiss(frameIdx);
+  }
+
+  // Missed frame (or parked backoff): degrade.
+  if (wd.state() == transport::LinkState::kDegraded) {
+    const std::uint64_t idx = frameIdx - gs.scheduleBaseFrame;
+    if (!gs.coastSchedule.empty() && idx < gs.coastSchedule.size()) {
+      ControlCommand cmd = gs.coastSchedule[static_cast<std::size_t>(idx)];
+      cmd.decision = HealthDecision::kCoasted;
+      // Human-speed continuity: a schedule entry planned for this frame
+      // steps naturally; anything larger means the plan went stale.
+      if (!gs.hasLast ||
+          distance(controller_->apparentWorld(cmd), gs.lastApparent) <=
+              transport_.coastMaxApparentStepM) {
+        ++gs.link.stats().coastFrames;
+        commit(cmd, ff, ghostId, gs, out);
+        return out;
+      }
+    }
+    wd.park(frameIdx);  // schedule exhausted or stale: give up gracefully
+  }
+
+  // Parked: fade the phantom out over fadeFrames, then stay dark. Every
+  // parked frame is ledgered (decision kParked) so the legitimate sensor
+  // can still subtract the fading ghost.
+  ++gs.link.stats().parkedFrames;
+  gs.fadeLevel = std::max(
+      0.0, gs.fadeLevel - 1.0 / static_cast<double>(transport_.fadeFrames));
+  if (gs.hasLast && gs.fadeLevel > 0.0) {
+    ControlCommand cmd = gs.lastCommand;
+    cmd.decision = HealthDecision::kParked;
+    cmd.gain *= gs.fadeLevel;
+    out.command = cmd;
+    radiate(cmd, ff, ghostId, gs, out);
+  } else {
+    out.command.intendedWorld = ghostWorld;
+    out.command.decision = HealthDecision::kParked;
+  }
   return out;
+}
+
+transport::LinkStats SelfHealingActuator::linkStats() const {
+  transport::LinkStats total;
+  for (const auto& [id, gs] : state_) {
+    if (gs.linkInit) total.accumulate(gs.link.stats());
+  }
+  return total;
+}
+
+transport::LinkState SelfHealingActuator::linkState(int ghostId) const {
+  const auto it = state_.find(ghostId);
+  if (it == state_.end() || !it->second.linkInit) {
+    return transport::LinkState::kLinked;
+  }
+  return it->second.link.watchdog().state();
 }
 
 void SelfHealingActuator::radiate(const ControlCommand& cmd,

@@ -16,11 +16,21 @@
 ///      quantization and stuck bits),
 /// and reports the command -- decision included -- for the ghost ledger.
 ///
+/// With the transport layer enabled (src/transport), the Pi -> reflector
+/// control hop additionally goes over a lossy link: each frame's command
+/// (plus a lookahead schedule) is CRC-framed, retransmitted with
+/// exponential backoff under the actuation deadline, and watched by a
+/// heartbeat watchdog that coasts on the delivered schedule through short
+/// outages and parks the ghost (graceful gain fade-out, ledgered) through
+/// long ones. Without it, a lost control frame falls back to PR 1's naive
+/// stale replay.
+///
 /// With recovery disabled the controller's nominal command is driven into
 /// the faulty hardware unchanged, which is the "collapse" baseline the
 /// robustness bench compares against.
 
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
@@ -28,6 +38,7 @@
 #include "env/scatterer.h"
 #include "fault/fault_schedule.h"
 #include "reflector/controller.h"
+#include "transport/control_link.h"
 
 namespace rfp::fault {
 
@@ -56,20 +67,35 @@ struct ActuationOutcome {
 
 /// Per-ghost supervisory actuator. Stateful: it remembers the previous
 /// command per ghost for stale replay on dropped control frames and for
-/// trajectory-continuity checks.
+/// trajectory-continuity checks; with the transport enabled it also holds
+/// each ghost's link endpoint, delivered schedule, and fade level.
 class SelfHealingActuator {
  public:
   /// \p controller must outlive the actuator.
   SelfHealingActuator(const reflector::ReflectorController* controller,
                       std::shared_ptr<const FaultSchedule> schedule,
-                      RecoveryConfig recovery);
+                      RecoveryConfig recovery,
+                      transport::TransportConfig transport = {});
 
-  /// Actuate ghost \p ghostId towards \p ghostWorld at time \p t.
-  ActuationOutcome actuate(rfp::common::Vec2 ghostWorld, double t,
-                           int ghostId);
+  /// Actuate ghost \p ghostId towards \p ghostWorld at time \p t. With the
+  /// transport enabled, \p lookaheadWorlds are the ghost's next intended
+  /// positions (one per future frame) used to fill the control frame's
+  /// coasting schedule.
+  ActuationOutcome actuate(
+      rfp::common::Vec2 ghostWorld, double t, int ghostId,
+      const std::vector<rfp::common::Vec2>& lookaheadWorlds = {});
 
   const RecoveryConfig& recovery() const { return recovery_; }
   const FaultSchedule& schedule() const { return *schedule_; }
+  const transport::TransportConfig& transport() const { return transport_; }
+
+  /// Aggregated link counters across all ghosts (all zero with the
+  /// transport disabled).
+  transport::LinkStats linkStats() const;
+
+  /// Link state of one ghost (kLinked when the transport is disabled or the
+  /// ghost has not actuated yet).
+  transport::LinkState linkState(int ghostId) const;
 
  private:
   struct GhostState {
@@ -77,7 +103,39 @@ class SelfHealingActuator {
     reflector::ControlCommand lastCommand;
     rfp::common::Vec2 lastApparent{};
     int lastElement = -1;  ///< physical element last driven (for settling)
+
+    // --- transport-mode state ---------------------------------------------
+    bool linkInit = false;
+    transport::GhostControlLink link;
+    std::vector<reflector::ControlCommand> coastSchedule;
+    std::uint64_t scheduleBaseFrame = 0;
+    double fadeLevel = 1.0;  ///< 1 = full gain; ramps down while parked
   };
+
+  /// Plans the (recovery-constrained) command for \p ghostWorld at \p tCmd,
+  /// using the watchdog's fault belief as of \p tBelief. Returns a command
+  /// whose decision is kPaused when no feasible actuation exists or (if
+  /// \p checkContinuity) a reroute would teleport the phantom.
+  reflector::ControlCommand planCommand(rfp::common::Vec2 ghostWorld,
+                                        double tCmd, double tBelief,
+                                        const GhostState& gs,
+                                        bool checkContinuity) const;
+
+  /// Commits \p cmd: records it in the ghost state and drives it into the
+  /// impaired hardware.
+  void commit(const reflector::ControlCommand& cmd, const FrameFaults& ff,
+              int ghostId, GhostState& gs, ActuationOutcome& out);
+
+  /// PR 1's direct path: the naive single-attempt link (stale replay on
+  /// drops).
+  ActuationOutcome actuateDirect(rfp::common::Vec2 ghostWorld, double t,
+                                 int ghostId);
+
+  /// Transport path: frame the schedule, transfer over the lossy link, and
+  /// degrade LINKED -> DEGRADED (coast) -> PARKED (fade out) on misses.
+  ActuationOutcome actuateViaLink(
+      rfp::common::Vec2 ghostWorld, double t, int ghostId,
+      const std::vector<rfp::common::Vec2>& lookaheadWorlds);
 
   /// Drives \p cmd into the hardware with frame faults \p ff applied.
   void radiate(const reflector::ControlCommand& cmd, const FrameFaults& ff,
@@ -86,6 +144,7 @@ class SelfHealingActuator {
   const reflector::ReflectorController* controller_;
   std::shared_ptr<const FaultSchedule> schedule_;
   RecoveryConfig recovery_;
+  transport::TransportConfig transport_;
   std::unordered_map<int, GhostState> state_;
 };
 

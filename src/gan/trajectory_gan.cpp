@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 
+#include "common/atomic_io.h"
 #include "nn/adam.h"
 #include "nn/loss.h"
 #include "nn/ops.h"
@@ -36,6 +39,9 @@ std::vector<Matrix> tracesToStepSequences(
   }
   return xs;
 }
+
+constexpr const char* kTrainCheckpointMagic = "RFPGAN";
+constexpr int kTrainCheckpointVersion = 1;
 
 }  // namespace
 
@@ -123,6 +129,83 @@ GanEpochStats TrajectoryGan::trainBatch(
   return stats;
 }
 
+nn::ParameterList TrajectoryGan::networkParameters() {
+  nn::ParameterList all = generator_.parameters();
+  for (auto* p : discriminator_.parameters()) all.push_back(p);
+  return all;
+}
+
+std::string TrajectoryGan::encodeTrainingCheckpoint(
+    std::size_t epoch, std::size_t nextStart,
+    const std::vector<std::size_t>& perm, const rfp::common::Rng& rng) {
+  std::ostringstream body;
+  body << kTrainCheckpointMagic << ' ' << kTrainCheckpointVersion << '\n';
+  body << epoch << ' ' << nextStart << '\n';
+  body.precision(17);
+  body << scale_ << '\n';
+  body << perm.size() << '\n';
+  for (std::size_t i : perm) body << i << ' ';
+  body << '\n';
+  rng.saveState(body);
+  body << '\n';
+  const nn::ParameterList all = networkParameters();
+  nn::serializeParameters(body, all);
+  gOptimizer_.serializeState(body);
+  dOptimizer_.serializeState(body);
+  return body.str();
+}
+
+bool TrajectoryGan::restoreTrainingCheckpoint(rfp::common::Rng& rng,
+                                              std::vector<std::size_t>& perm,
+                                              std::size_t& epoch,
+                                              std::size_t& nextStart) {
+  const std::string& path = tConfig_.checkpoint.path;
+  const auto body = rfp::common::readFileRotating(path);
+  if (!body) return false;
+
+  std::istringstream in(*body);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (!in || magic != kTrainCheckpointMagic) {
+    throw std::runtime_error(path +
+                             ": bad training checkpoint magic at byte 0");
+  }
+  if (version != kTrainCheckpointVersion) {
+    throw std::runtime_error(path +
+                             ": unsupported training checkpoint version " +
+                             std::to_string(version));
+  }
+  double scale = 1.0;
+  std::size_t permSize = 0;
+  in >> epoch >> nextStart >> scale >> permSize;
+  if (!in || permSize != perm.size()) {
+    throw std::runtime_error(
+        path + ": checkpoint does not match dataset (permutation size " +
+        std::to_string(permSize) + ", dataset " +
+        std::to_string(perm.size()) + ")");
+  }
+  std::vector<std::size_t> loaded(permSize);
+  for (std::size_t& v : loaded) {
+    in >> v;
+    if (!in || v >= permSize) {
+      throw std::runtime_error(path +
+                               ": corrupt permutation in training checkpoint");
+    }
+  }
+  rng.loadState(in);
+  const nn::ParameterList all = networkParameters();
+  nn::deserializeParameters(in, all, path);
+  gOptimizer_.deserializeState(in);
+  dOptimizer_.deserializeState(in);
+  if (!in) {
+    throw std::runtime_error(path + ": truncated training checkpoint");
+  }
+  scale_ = scale;
+  perm = std::move(loaded);
+  return true;
+}
+
 void TrajectoryGan::train(
     const std::vector<Trace>& dataset, rfp::common::Rng& rng,
     const std::function<void(const GanEpochStats&)>& onEpoch) {
@@ -159,26 +242,55 @@ void TrajectoryGan::train(
     for (auto& p : t.points) p *= 1.0 / scale_;
   }
 
-  std::vector<const Trace*> order;
-  order.reserve(centered.size());
-  for (const Trace& t : centered) order.push_back(&t);
+  std::vector<std::size_t> perm(centered.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
 
-  for (std::size_t epoch = 0; epoch < tConfig_.epochs; ++epoch) {
-    rng.shuffle(order);
+  const GanCheckpointConfig& ckpt = tConfig_.checkpoint;
+  const std::size_t every = std::max<std::size_t>(1, ckpt.everyBatches);
+  std::size_t startEpoch = 0;
+  std::size_t startBatch = 0;
+  bool resumed = false;
+  if (!ckpt.path.empty()) {
+    resumed = restoreTrainingCheckpoint(rng, perm, startEpoch, startBatch);
+  }
+
+  std::size_t batchesThisCall = 0;
+  std::vector<const Trace*> batch(tConfig_.batchSize);
+  for (std::size_t epoch = startEpoch; epoch < tConfig_.epochs; ++epoch) {
+    // A resumed epoch keeps its checkpointed permutation: that shuffle was
+    // already drawn (and the RNG advanced past it) before the crash.
+    const bool resumedEpoch = resumed && epoch == startEpoch;
+    if (!resumedEpoch) rng.shuffle(perm);
     GanEpochStats epochStats;
     epochStats.epoch = epoch;
     std::size_t batches = 0;
 
-    for (std::size_t start = 0; start + tConfig_.batchSize <= order.size();
+    for (std::size_t start = resumedEpoch ? startBatch : 0;
+         start + tConfig_.batchSize <= perm.size();
          start += tConfig_.batchSize) {
-      const std::vector<const Trace*> batch(
-          order.begin() + start, order.begin() + start + tConfig_.batchSize);
+      for (std::size_t i = 0; i < tConfig_.batchSize; ++i) {
+        batch[i] = &centered[perm[start + i]];
+      }
       const GanEpochStats s = trainBatch(batch, rng);
       epochStats.discriminatorLoss += s.discriminatorLoss;
       epochStats.generatorLoss += s.generatorLoss;
       epochStats.realScoreMean += s.realScoreMean;
       epochStats.fakeScoreMean += s.fakeScoreMean;
       ++batches;
+      ++batchesThisCall;
+      if (!ckpt.path.empty() && batchesThisCall % every == 0) {
+        rfp::common::writeFileRotating(
+            ckpt.path,
+            encodeTrainingCheckpoint(epoch, start + tConfig_.batchSize, perm,
+                                     rng));
+      }
+      if (ckpt.stopAfterBatches > 0 &&
+          batchesThisCall >= ckpt.stopAfterBatches) {
+        // Crash-simulation hook: abandon training here, as a power cut
+        // would. Resume replays any batches since the last checkpoint from
+        // the same state, so the final parameters are unchanged.
+        return;
+      }
     }
     if (batches > 0) {
       const double inv = 1.0 / static_cast<double>(batches);

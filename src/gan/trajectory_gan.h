@@ -17,6 +17,23 @@
 
 namespace rfp::gan {
 
+/// Crash-safe training checkpoint policy. With a non-empty path, train()
+/// writes a rotating checkpoint (primary + `.bak`, each atomically
+/// replaced and integrity-trailed via common/atomic_io) every
+/// \p everyBatches mini-batches, and on entry resumes from an existing
+/// checkpoint. The checkpoint captures network parameters, both Adam
+/// optimizer states, the epoch permutation, and the RNG engine state, so
+/// a killed-and-resumed run produces *bit-identical* parameters to an
+/// uninterrupted one (batches since the last checkpoint are simply
+/// replayed from the same state).
+struct GanCheckpointConfig {
+  std::string path;              ///< checkpoint file; empty disables
+  std::size_t everyBatches = 1;  ///< write cadence in mini-batches (>= 1)
+  /// Test hook simulating a power cut: abandon train() after this many
+  /// mini-batches have run in the current call (0 = run to completion).
+  std::size_t stopAfterBatches = 0;
+};
+
 /// Training hyperparameters (defaults follow the paper, except batch size
 /// and network width which are scaled for CPU training).
 struct GanTrainingConfig {
@@ -26,6 +43,7 @@ struct GanTrainingConfig {
   double gradientClip = 5.0;
   std::size_t epochs = 30;
   double realLabelSmoothing = 0.9;  ///< one-sided label smoothing target
+  GanCheckpointConfig checkpoint;   ///< crash-safe resume (off by default)
 };
 
 /// Per-epoch training telemetry.
@@ -83,6 +101,23 @@ class TrajectoryGan {
   /// One optimization step on a mini-batch; returns the stats contribution.
   GanEpochStats trainBatch(const std::vector<const trajectory::Trace*>& batch,
                            rfp::common::Rng& rng);
+
+  /// Generator followed by discriminator parameters (no scale entry).
+  nn::ParameterList networkParameters();
+
+  /// Serializes the full training state (progress, scale, permutation, RNG
+  /// engine, network parameters, both Adam states) as a checkpoint body.
+  std::string encodeTrainingCheckpoint(std::size_t epoch,
+                                       std::size_t nextStart,
+                                       const std::vector<std::size_t>& perm,
+                                       const rfp::common::Rng& rng);
+
+  /// Restores state from tConfig_.checkpoint.path (rotating read). Returns
+  /// false when no checkpoint exists; throws std::runtime_error on a
+  /// corrupt/mismatched one.
+  bool restoreTrainingCheckpoint(rfp::common::Rng& rng,
+                                 std::vector<std::size_t>& perm,
+                                 std::size_t& epoch, std::size_t& nextStart);
 
   GanTrainingConfig tConfig_;
   Generator generator_;

@@ -1,7 +1,10 @@
 #include "nn/adam.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
 #include <stdexcept>
+#include <string>
 
 namespace rfp::nn {
 
@@ -45,6 +48,44 @@ void Adam::step() {
 void Adam::stepAndZero() {
   step();
   zeroGradients(params_);
+}
+
+void Adam::serializeState(std::ostream& out) const {
+  const auto oldPrecision = out.precision(17);
+  out << t_ << ' ' << m_.size() << '\n';
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    out << m_[i].rows() << ' ' << m_[i].cols() << '\n';
+    for (double x : m_[i].data()) out << x << ' ';
+    out << '\n';
+    for (double x : v_[i].data()) out << x << ' ';
+    out << '\n';
+  }
+  out.precision(oldPrecision);
+}
+
+void Adam::deserializeState(std::istream& in) {
+  long t = 0;
+  std::size_t count = 0;
+  in >> t >> count;
+  if (!in || count != m_.size()) {
+    throw std::runtime_error("Adam::deserializeState: moment count mismatch");
+  }
+  for (std::size_t i = 0; i < m_.size(); ++i) {
+    std::size_t rows = 0;
+    std::size_t cols = 0;
+    in >> rows >> cols;
+    if (!in || rows != m_[i].rows() || cols != m_[i].cols()) {
+      throw std::runtime_error(
+          "Adam::deserializeState: moment shape mismatch at index " +
+          std::to_string(i));
+    }
+    for (double& x : m_[i].data()) in >> x;
+    for (double& x : v_[i].data()) in >> x;
+  }
+  if (!in) {
+    throw std::runtime_error("Adam::deserializeState: truncated state");
+  }
+  t_ = t;
 }
 
 double clipGradientNorm(const ParameterList& params, double maxNorm) {

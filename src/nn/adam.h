@@ -4,6 +4,8 @@
 /// Adam optimizer (paper Sec. 9.2 trains both GAN networks with Adam) and
 /// global-norm gradient clipping.
 
+#include <iosfwd>
+
 #include "nn/parameter.h"
 
 namespace rfp::nn {
@@ -31,6 +33,17 @@ class Adam {
   const AdamOptions& options() const { return options_; }
   void setLearningRate(double lr) { options_.learningRate = lr; }
   long iterations() const { return t_; }
+
+  /// Writes the optimizer state (step count plus first/second moment
+  /// estimates) to \p out, full double-precision round trip. Needed for
+  /// bit-identical training resume: restoring parameters without the
+  /// moments changes every subsequent update.
+  void serializeState(std::ostream& out) const;
+
+  /// Restores state written by serializeState. The parameter list this
+  /// optimizer was built with must have the same shapes; throws
+  /// std::runtime_error otherwise.
+  void deserializeState(std::istream& in);
 
  private:
   ParameterList params_;

@@ -1,14 +1,22 @@
 #include "nn/serialize.h"
 
-#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
 #include <stdexcept>
+
+#include "common/atomic_io.h"
 
 namespace rfp::nn {
 
-void saveParameters(const std::string& path, const ParameterList& params) {
-  std::ofstream out(path);
-  if (!out) throw std::runtime_error("saveParameters: cannot open " + path);
-  out.precision(17);
+namespace {
+
+constexpr const char* kMagic = "RFPNN";
+
+}  // namespace
+
+void serializeParameters(std::ostream& out, const ParameterList& params) {
+  const auto oldPrecision = out.precision(17);
   out << params.size() << '\n';
   for (const Parameter* p : params) {
     out << p->name << ' ' << p->value.rows() << ' ' << p->value.cols()
@@ -16,29 +24,57 @@ void saveParameters(const std::string& path, const ParameterList& params) {
     for (double v : p->value.data()) out << v << ' ';
     out << '\n';
   }
-  if (!out) throw std::runtime_error("saveParameters: write failed: " + path);
+  out.precision(oldPrecision);
 }
 
-void loadParameters(const std::string& path, const ParameterList& params) {
-  std::ifstream in(path);
-  if (!in) throw std::runtime_error("loadParameters: cannot open " + path);
+void deserializeParameters(std::istream& in, const ParameterList& params,
+                           const std::string& sourceName) {
   std::size_t count = 0;
   in >> count;
-  if (count != params.size()) {
-    throw std::runtime_error("loadParameters: parameter count mismatch");
+  if (!in || count != params.size()) {
+    throw std::runtime_error(sourceName + ": parameter count mismatch");
   }
   for (Parameter* p : params) {
     std::string name;
     std::size_t rows = 0;
     std::size_t cols = 0;
     in >> name >> rows >> cols;
-    if (name != p->name || rows != p->value.rows() ||
+    if (!in || name != p->name || rows != p->value.rows() ||
         cols != p->value.cols()) {
-      throw std::runtime_error("loadParameters: mismatch at " + p->name);
+      throw std::runtime_error(sourceName + ": mismatch at " + p->name);
     }
     for (double& v : p->value.data()) in >> v;
   }
-  if (!in) throw std::runtime_error("loadParameters: truncated file " + path);
+  if (!in) {
+    throw std::runtime_error(sourceName + ": truncated parameter data");
+  }
+}
+
+void saveParameters(const std::string& path, const ParameterList& params) {
+  std::ostringstream body;
+  body << kMagic << ' ' << kCheckpointVersion << '\n';
+  serializeParameters(body, params);
+  rfp::common::writeFileChecked(path, body.str());
+}
+
+void loadParameters(const std::string& path, const ParameterList& params) {
+  // Integrity first: truncation and bit flips are rejected (with the byte
+  // offset) before the parser sees a single value.
+  const std::string body = rfp::common::readFileChecked(path);
+  std::istringstream in(body);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (!in || magic != kMagic) {
+    throw std::runtime_error(path + ": bad checkpoint magic at byte 0");
+  }
+  if (version != kCheckpointVersion) {
+    throw std::runtime_error(
+        path + ": unsupported checkpoint version " + std::to_string(version) +
+        " at byte " + std::to_string(magic.size() + 1) + " (expected " +
+        std::to_string(kCheckpointVersion) + ")");
+  }
+  deserializeParameters(in, params, path);
 }
 
 }  // namespace rfp::nn

@@ -1,21 +1,41 @@
 #pragma once
 
 /// \file serialize.h
-/// Plain-text checkpointing of parameter lists, so a trained GAN can be
-/// saved once and reused by benchmarks and examples.
+/// Crash-safe checkpointing of parameter lists, so a trained GAN can be
+/// saved once and reused by benchmarks and examples. Checkpoint files are
+/// versioned (`RFPNN 2` header) and written atomically with an integrity
+/// trailer (common/atomic_io): loading a truncated, bit-flipped, or
+/// wrong-version file throws std::runtime_error naming the file and the
+/// byte offset of the failure instead of silently yielding garbage weights.
 
+#include <iosfwd>
 #include <string>
 
 #include "nn/parameter.h"
 
 namespace rfp::nn {
 
-/// Writes every parameter (name, shape, values) to \p path.
-/// Throws std::runtime_error on IO failure.
+/// Checkpoint body format version written by saveParameters.
+inline constexpr int kCheckpointVersion = 2;
+
+/// Writes every parameter (name, shape, values) to \p out, full
+/// double-precision round trip. Stream-level: no header/trailer.
+void serializeParameters(std::ostream& out, const ParameterList& params);
+
+/// Reads values into an *existing* parameter list; names and shapes must
+/// match exactly (this guards against architecture mismatch). Errors name
+/// \p sourceName.
+void deserializeParameters(std::istream& in, const ParameterList& params,
+                           const std::string& sourceName);
+
+/// Writes a versioned, checksummed checkpoint of \p params to \p path
+/// (atomic replace). Throws std::runtime_error on IO failure.
 void saveParameters(const std::string& path, const ParameterList& params);
 
-/// Loads values into an *existing* parameter list; names and shapes must
-/// match the file exactly (this guards against architecture mismatch).
+/// Loads a checkpoint written by saveParameters, verifying the integrity
+/// trailer, the format version, and every name/shape before accepting any
+/// value. Throws std::runtime_error naming \p path (and the byte offset,
+/// for integrity failures) on any mismatch.
 void loadParameters(const std::string& path, const ParameterList& params);
 
 }  // namespace rfp::nn

@@ -1,0 +1,78 @@
+#include "privacy/continuity_fingerprint.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace rfp::privacy {
+
+FingerprintResult fingerprintTrack(
+    const std::vector<rfp::common::Vec2>& intended,
+    const std::vector<rfp::common::Vec2>& apparent,
+    const std::vector<std::uint8_t>& emitted,
+    const FingerprintConfig& config) {
+  if (intended.size() != apparent.size() ||
+      intended.size() != emitted.size()) {
+    throw std::invalid_argument(
+        "fingerprintTrack: intended/apparent/emitted length mismatch");
+  }
+  FingerprintResult result;
+
+  std::size_t prev = intended.size();  // index of previous emitted frame
+  std::size_t freezeRun = 0;
+  const auto flushFreezeRun = [&] {
+    if (freezeRun >= config.freezeMinRunFrames) {
+      result.freezeFrames += freezeRun;
+    }
+    freezeRun = 0;
+  };
+
+  for (std::size_t i = 0; i < intended.size(); ++i) {
+    if (emitted[i] == 0) continue;  // dark frame: the eavesdropper sees
+                                    // nothing, the gap widens
+    if (prev == intended.size()) {
+      prev = i;
+      continue;
+    }
+    const std::size_t gap = i - prev;
+    const double elapsedS = static_cast<double>(gap) * config.frameDtS;
+    const double apparentStep =
+        rfp::common::distance(apparent[i], apparent[prev]);
+    ++result.transitions;
+    if (elapsedS > 0.0) {
+      result.maxApparentStepMps =
+          std::max(result.maxApparentStepMps, apparentStep / elapsedS);
+    }
+
+    // Teleport: farther than a human could plausibly move across the gap.
+    const double allowed = config.maxHumanSpeedMps * elapsedS *
+                               config.teleportSlack +
+                           config.teleportFloorM;
+    if (apparentStep > allowed) ++result.teleportEvents;
+
+    // Freeze: only adjacent emitted frames count (across a dark gap the
+    // ghost legitimately reappears wherever the schedule put it).
+    if (gap == 1) {
+      const double intendedStep =
+          rfp::common::distance(intended[i], intended[prev]);
+      if (apparentStep < config.freezeEpsM &&
+          intendedStep > config.minIntendedStepM) {
+        ++freezeRun;
+      } else {
+        flushFreezeRun();
+      }
+    } else {
+      flushFreezeRun();
+    }
+    prev = i;
+  }
+  flushFreezeRun();
+
+  if (result.transitions > 0) {
+    result.fingerprintRate =
+        static_cast<double>(result.teleportEvents + result.freezeFrames) /
+        static_cast<double>(result.transitions);
+  }
+  return result;
+}
+
+}  // namespace rfp::privacy

@@ -1,0 +1,74 @@
+#pragma once
+
+/// \file continuity_fingerprint.h
+/// Detectability fingerprint of an actuated ghost track. A phantom only
+/// protects privacy while it is indistinguishable from a human (paper
+/// Sec. 5-6: human-realistic trajectories); a degraded control link can
+/// betray it through two physically implausible artifacts an eavesdropper
+/// can screen for:
+///
+///  - *freeze*: the apparent position stalls while the intended trajectory
+///    keeps moving (a naive link replaying a stale command on every
+///    dropped control frame produces exactly this), and
+///  - *teleport*: the apparent position jumps farther than a human could
+///    move in the elapsed time (re-acquisition after a dark gap snapping
+///    the ghost to the current schedule point).
+///
+/// fingerprintTrack() scans the per-frame actuation track that the
+/// harness records (intended / apparent positions plus the emitted flag)
+/// and counts both artifacts; the rate is the benchmark's detectability
+/// metric for comparing the resilient transport against the naive link.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/vec2.h"
+
+namespace rfp::privacy {
+
+/// Thresholds for the continuity screen. Defaults assume human walking
+/// dynamics at ~10 Hz actuation.
+struct FingerprintConfig {
+  double frameDtS = 0.1;          ///< actuation frame period
+  double maxHumanSpeedMps = 2.5;  ///< brisk-walk upper bound
+  /// Slack multiplier on the plausible per-gap displacement before a jump
+  /// counts as a teleport (tolerates actuation quantization noise).
+  double teleportSlack = 1.5;
+  /// Absolute displacement floor added to the teleport threshold, so
+  /// sub-resolution jitter on short gaps never trips the screen.
+  double teleportFloorM = 0.05;
+  /// Apparent step below this while the ghost *meant* to move counts as a
+  /// frozen frame.
+  double freezeEpsM = 0.005;
+  /// Intended step that must be exceeded for a still frame to be
+  /// suspicious (a genuinely pausing ghost is not a fingerprint).
+  double minIntendedStepM = 0.02;
+  /// Consecutive frozen frames before a run is flagged: one stale frame
+  /// hides in measurement noise, a sustained stall does not.
+  std::size_t freezeMinRunFrames = 2;
+};
+
+/// Artifact counts over one actuated track.
+struct FingerprintResult {
+  std::size_t transitions = 0;     ///< emitted-to-emitted steps examined
+  std::size_t teleportEvents = 0;  ///< implausibly large apparent jumps
+  std::size_t freezeFrames = 0;    ///< frames inside flagged freeze runs
+  double maxApparentStepMps = 0.0; ///< fastest apparent motion observed
+  /// (teleportEvents + freezeFrames) / transitions; 0 when no transitions.
+  double fingerprintRate = 0.0;
+};
+
+/// Screens an actuation track for continuity artifacts. The three arrays
+/// are parallel per-frame records (as produced by the spoofing harness):
+/// intended ghost position, apparent (actuated) position, and whether the
+/// frame radiated at all. Non-emitted frames contribute gaps: the teleport
+/// threshold scales with the elapsed time across a gap, exactly like an
+/// eavesdropper reasoning about how far a human could have walked.
+/// Throws std::invalid_argument on length mismatch.
+FingerprintResult fingerprintTrack(
+    const std::vector<rfp::common::Vec2>& intended,
+    const std::vector<rfp::common::Vec2>& apparent,
+    const std::vector<std::uint8_t>& emitted, const FingerprintConfig& config);
+
+}  // namespace rfp::privacy

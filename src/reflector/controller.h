@@ -39,6 +39,9 @@ enum class HealthDecision {
   kGainClamped = 2,  ///< gain clamped into the LNA's linear region
   kStaleReplay = 3,  ///< control frame lost; previous actuation re-executed
   kPaused = 4,       ///< no feasible actuation; ghost paused this frame
+  kCoasted = 5,      ///< link degraded; executed a pre-delivered schedule
+                     ///< entry planned for exactly this frame
+  kParked = 6,       ///< link down; ghost faded out pending re-acquisition
 };
 
 /// One frame's actuation for one ghost.

@@ -7,8 +7,8 @@ namespace rfp::reflector {
 using rfp::common::Vec2;
 
 void GhostLedger::add(int ghostId, double timestampS,
-                      const ControlCommand& cmd) {
-  records_.push_back({ghostId, timestampS, cmd});
+                      const ControlCommand& cmd, bool emitted) {
+  records_.push_back({ghostId, timestampS, cmd, emitted});
 }
 
 std::vector<GhostRecord> GhostLedger::at(double timestampS,

@@ -19,12 +19,17 @@ struct GhostRecord {
   int ghostId = 0;
   double timestampS = 0.0;
   ControlCommand command;
+  /// False when nothing was actually radiated this frame (paused, parked
+  /// dark, or the selected element was dead) -- the legitimate sensor then
+  /// knows there is no phantom return to subtract.
+  bool emitted = true;
 };
 
 /// Append-only log of injected phantoms.
 class GhostLedger {
  public:
-  void add(int ghostId, double timestampS, const ControlCommand& cmd);
+  void add(int ghostId, double timestampS, const ControlCommand& cmd,
+           bool emitted = true);
 
   const std::vector<GhostRecord>& records() const { return records_; }
 

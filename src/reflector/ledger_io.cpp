@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/atomic_io.h"
+
 namespace rfp::reflector {
 
 void writeLedger(std::ostream& out, const GhostLedger& ledger) {
@@ -13,7 +15,7 @@ void writeLedger(std::ostream& out, const GhostLedger& ledger) {
     out << r.ghostId << ' ' << r.timestampS << ' '
         << r.command.intendedWorld.x << ' ' << r.command.intendedWorld.y
         << ' ' << r.command.antennaIndex << ' ' << r.command.fSwitchHz
-        << '\n';
+        << ' ' << (r.emitted ? 1 : 0) << '\n';
   }
   if (!out) throw std::runtime_error("writeLedger: stream failure");
 }
@@ -44,8 +46,16 @@ GhostLedger readLedger(std::istream& in, const std::string& sourceName) {
     fields >> ghostId >> timestamp >> cmd.intendedWorld.x >>
         cmd.intendedWorld.y >> cmd.antennaIndex >> cmd.fSwitchHz;
     if (fields.fail()) fail(lineNo, "malformed record (truncated?)", line);
-    std::string extra;
-    if (fields >> extra) fail(lineNo, "trailing garbage", line);
+    int emittedInt = 1;  // legacy 6-field lines: assume emitted
+    if (fields >> emittedInt) {
+      if (emittedInt != 0 && emittedInt != 1) {
+        fail(lineNo, "bad emitted flag", line);
+      }
+      std::string extra;
+      if (fields >> extra) fail(lineNo, "trailing garbage", line);
+    } else if (!fields.eof()) {
+      fail(lineNo, "trailing garbage", line);
+    }
     if (!std::isfinite(timestamp) || !std::isfinite(cmd.intendedWorld.x) ||
         !std::isfinite(cmd.intendedWorld.y) ||
         !std::isfinite(cmd.fSwitchHz)) {
@@ -55,7 +65,7 @@ GhostLedger readLedger(std::istream& in, const std::string& sourceName) {
     if (cmd.fSwitchHz < 0.0) {
       fail(lineNo, "negative switching frequency", line);
     }
-    ledger.add(ghostId, timestamp, cmd);
+    ledger.add(ghostId, timestamp, cmd, emittedInt != 0);
   }
   if (in.bad()) {
     throw std::runtime_error("readLedger: " + sourceName +
@@ -67,6 +77,18 @@ GhostLedger readLedger(std::istream& in, const std::string& sourceName) {
 GhostLedger ledgerFromString(const std::string& text) {
   std::istringstream in(text);
   return readLedger(in);
+}
+
+void saveLedgerFile(const std::string& path, const GhostLedger& ledger) {
+  rfp::common::writeFileChecked(path, ledgerToString(ledger));
+}
+
+GhostLedger loadLedgerFile(const std::string& path) {
+  // Integrity first: a truncated/bit-flipped file is rejected (with the
+  // byte offset) before the record parser sees a single line.
+  const std::string body = rfp::common::readFileChecked(path);
+  std::istringstream in(body);
+  return readLedger(in, path);
 }
 
 }  // namespace rfp::reflector

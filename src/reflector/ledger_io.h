@@ -8,7 +8,12 @@
 /// any side channel (BLE, Wi-Fi, QR on the device...).
 ///
 /// Format (one record per line):
-///   ghostId timestamp x y antennaIndex fSwitchHz
+///   ghostId timestamp x y antennaIndex fSwitchHz emitted
+///
+/// `emitted` (0/1) records whether the command was actually radiated; a
+/// parked link fades the ghost out and ledgers the frames as non-emitted
+/// so the legitimate sensor does not subtract a phantom that never aired.
+/// Legacy 6-field lines parse with emitted = 1.
 
 #include <iosfwd>
 #include <string>
@@ -34,5 +39,16 @@ GhostLedger readLedger(std::istream& in,
 
 /// Parses a serialized ledger string.
 GhostLedger ledgerFromString(const std::string& text);
+
+/// Crash-safe ledger persistence: writes the serialized ledger atomically
+/// (temp + fsync + rename) with an integrity trailer (common/atomic_io).
+/// A crash mid-write leaves the previous file intact, never a torn one.
+void saveLedgerFile(const std::string& path, const GhostLedger& ledger);
+
+/// Loads a ledger written by saveLedgerFile. The integrity trailer is
+/// verified *before* parsing: truncated or bit-flipped files throw
+/// std::runtime_error naming the file and byte offset instead of yielding
+/// a silently wrong ledger.
+GhostLedger loadLedgerFile(const std::string& path);
 
 }  // namespace rfp::reflector

@@ -1,0 +1,104 @@
+#include "transport/framing.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+
+namespace rfp::transport {
+
+namespace {
+
+template <typename T>
+void put(std::string& out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+/// Reads a T at \p offset, advancing it. Returns false on truncation.
+template <typename T>
+bool get(std::string_view bytes, std::size_t& offset, T* value) {
+  if (bytes.size() - offset < sizeof(T)) return false;
+  std::memcpy(value, bytes.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return true;
+}
+
+constexpr std::size_t kCommandBytes = 2 * sizeof(std::int32_t) + 8 * sizeof(double);
+
+}  // namespace
+
+std::string encodeFrame(const ControlFrame& frame) {
+  std::string out;
+  out.reserve(20 + frame.schedule.size() * kCommandBytes + 4);
+  put<std::uint32_t>(out, kFrameMagic);
+  put<std::uint16_t>(out, kFrameVersion);
+  put<std::uint64_t>(out, frame.seq);
+  put<std::int32_t>(out, frame.ghostId);
+  put<std::uint16_t>(out, static_cast<std::uint16_t>(frame.schedule.size()));
+  for (const reflector::ControlCommand& cmd : frame.schedule) {
+    put<std::int32_t>(out, cmd.antennaIndex);
+    put<std::int32_t>(out, static_cast<std::int32_t>(cmd.decision));
+    put<double>(out, cmd.fSwitchHz);
+    put<double>(out, cmd.gain);
+    put<double>(out, cmd.phaseOffsetRad);
+    put<double>(out, cmd.intendedWorld.x);
+    put<double>(out, cmd.intendedWorld.y);
+    put<double>(out, cmd.intendedRangeM);
+    put<double>(out, cmd.intendedAngleRad);
+    put<double>(out, cmd.spoofedRangeM);
+  }
+  put<std::uint32_t>(out, rfp::common::crc32(out.data(), out.size()));
+  return out;
+}
+
+std::optional<ControlFrame> decodeFrame(std::string_view bytes,
+                                        std::string* error) {
+  const auto fail = [&](const char* why) -> std::optional<ControlFrame> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  if (bytes.size() < sizeof(std::uint32_t)) return fail("truncated frame");
+
+  // CRC first: everything else is untrustworthy until it matches.
+  const std::size_t bodyLen = bytes.size() - sizeof(std::uint32_t);
+  std::uint32_t wireCrc = 0;
+  std::memcpy(&wireCrc, bytes.data() + bodyLen, sizeof(wireCrc));
+  if (rfp::common::crc32(bytes.data(), bodyLen) != wireCrc) {
+    return fail("CRC mismatch");
+  }
+
+  std::size_t offset = 0;
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  ControlFrame frame;
+  std::uint16_t count = 0;
+  if (!get(bytes, offset, &magic) || !get(bytes, offset, &version) ||
+      !get(bytes, offset, &frame.seq) || !get(bytes, offset, &frame.ghostId) ||
+      !get(bytes, offset, &count)) {
+    return fail("truncated header");
+  }
+  if (magic != kFrameMagic) return fail("bad magic");
+  if (version != kFrameVersion) return fail("unsupported version");
+  if (bodyLen - offset != count * kCommandBytes) return fail("bad length");
+
+  frame.schedule.resize(count);
+  for (reflector::ControlCommand& cmd : frame.schedule) {
+    std::int32_t decision = 0;
+    if (!get(bytes, offset, &cmd.antennaIndex) ||
+        !get(bytes, offset, &decision) ||
+        !get(bytes, offset, &cmd.fSwitchHz) || !get(bytes, offset, &cmd.gain) ||
+        !get(bytes, offset, &cmd.phaseOffsetRad) ||
+        !get(bytes, offset, &cmd.intendedWorld.x) ||
+        !get(bytes, offset, &cmd.intendedWorld.y) ||
+        !get(bytes, offset, &cmd.intendedRangeM) ||
+        !get(bytes, offset, &cmd.intendedAngleRad) ||
+        !get(bytes, offset, &cmd.spoofedRangeM)) {
+      return fail("truncated command");
+    }
+    cmd.decision = static_cast<reflector::HealthDecision>(decision);
+  }
+  return frame;
+}
+
+}  // namespace rfp::transport

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file framing.h
+/// Wire format of the Pi -> reflector control link. Each frame carries a
+/// short actuation *schedule* -- the command for the current frame plus a
+/// few lookahead commands -- so the reflector can coast through control-link
+/// outages on commands that were planned for exactly those frames instead
+/// of replaying a stale one (stale replay is what freezes the phantom and
+/// fingerprints the outage to an eavesdropper).
+///
+/// Layout (all multi-byte fields in the host's native representation; the
+/// link is simulated in-process, and doubles must round-trip bit-exactly):
+///
+///   u32  magic   'RFPC'
+///   u16  version (kFrameVersion)
+///   u64  seq     (sender frame index; receiver rejects stale/duplicate)
+///   i32  ghostId
+///   u16  command count
+///   per command: i32 antennaIndex, i32 decision, f64 fSwitchHz, gain,
+///                phaseOffsetRad, intendedWorld.x, intendedWorld.y,
+///                intendedRangeM, intendedAngleRad, spoofedRangeM
+///   u32  CRC-32 over every preceding byte
+///
+/// decodeFrame verifies magic, version, length, and CRC before touching the
+/// payload, so a bit-flipped or truncated frame is *rejected* (triggering a
+/// retransmit), never actuated.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "reflector/controller.h"
+
+namespace rfp::transport {
+
+inline constexpr std::uint32_t kFrameMagic = 0x43504652u;  // 'RFPC'
+inline constexpr std::uint16_t kFrameVersion = 1;
+
+/// One control-link frame: the schedule's first command is for the frame
+/// `seq` was sent in; entry i is the plan for frame seq + i.
+struct ControlFrame {
+  std::uint64_t seq = 0;
+  std::int32_t ghostId = 0;
+  std::vector<reflector::ControlCommand> schedule;
+};
+
+/// Serializes \p frame to wire bytes (CRC appended).
+std::string encodeFrame(const ControlFrame& frame);
+
+/// Parses wire bytes. Returns std::nullopt (and the reason in \p error, if
+/// given) on bad magic/version, truncation, or CRC mismatch. A decoded
+/// frame's commands are bit-identical to the encoded ones.
+std::optional<ControlFrame> decodeFrame(std::string_view bytes,
+                                        std::string* error = nullptr);
+
+}  // namespace rfp::transport

@@ -1,0 +1,88 @@
+#pragma once
+
+/// \file link.h
+/// Configuration of the resilient control-link transport and the per-frame
+/// channel condition it runs over. The channel itself is simulated
+/// deterministically: every loss/corruption/reorder/duplicate decision is a
+/// pure hash of (link seed, frame index, attempt), so experiments reproduce
+/// exactly and querying frames out of order changes nothing -- the same
+/// contract the fault schedule keeps.
+
+#include <cstdint>
+
+#include "fault/fault_schedule.h"
+
+namespace rfp::transport {
+
+/// Knobs of the retry/backoff/watchdog transport. All defaults are sized
+/// for the paper's 50 ms actuation frame (a Raspberry Pi driving the
+/// reflector over a short serial/radio hop).
+struct TransportConfig {
+  /// Off by default: the actuator then drives the controller directly, the
+  /// naive single-attempt link of PR 1.
+  bool enabled = false;
+
+  // --- Retransmission (within one actuation frame) ------------------------
+  /// Maximum retransmissions after the first attempt.
+  int maxRetries = 6;
+  /// Fraction of the frame period the sender may spend retrying before the
+  /// actuation deadline passes and the frame counts as missed.
+  double timeoutBudgetFrac = 0.5;
+  /// Base retransmit backoff [s]; attempt a waits base * 2^a (capped).
+  double backoffBaseS = 0.002;
+  /// Backoff ceiling [s].
+  double backoffMaxS = 0.02;
+  /// Uniform jitter fraction applied to each backoff delay (decorrelates
+  /// retry storms; seeded, so still deterministic).
+  double backoffJitterFrac = 0.25;
+
+  // --- Schedule / degraded-mode coasting ----------------------------------
+  /// Commands per control frame: the current one plus lookahead, so the
+  /// reflector can coast through misses on commands planned for exactly
+  /// those frames.
+  int scheduleDepth = 8;
+  /// Largest apparent-position step a coasted command may cause [m]; a
+  /// staler schedule that would exceed human-speed continuity parks the
+  /// ghost instead.
+  double coastMaxApparentStepM = 0.25;
+
+  // --- Watchdog / parking -------------------------------------------------
+  /// Consecutive missed frames before the watchdog parks the ghost (the
+  /// schedule usually runs out first; this bounds pathological configs).
+  int parkAfterMisses = 8;
+  /// Frames over which a parked ghost's gain fades to zero (and back in on
+  /// re-acquisition). An abrupt disappearance is a radar fingerprint; a
+  /// human-plausible fade is not.
+  int fadeFrames = 4;
+  /// Ceiling of the exponential re-acquisition backoff while parked
+  /// [frames].
+  int reacquireBackoffMaxFrames = 32;
+
+  /// Salt mixed into the fault-schedule seed to derive the link's own
+  /// channel randomness (per ghost, so parallel links decorrelate).
+  std::uint64_t seedSalt = 0x5eedc0deull;
+
+  /// Throws std::invalid_argument on out-of-range knobs.
+  void validate() const;
+};
+
+/// Per-attempt channel condition for one actuation frame.
+struct ChannelCondition {
+  double lossProb = 0.0;
+  double corruptProb = 0.0;
+  double reorderProb = 0.0;
+  double duplicateProb = 0.0;
+
+  /// The fault schedule's ground truth for this frame.
+  static ChannelCondition fromFaults(const fault::FrameFaults& ff) {
+    return {ff.controlLossProb, ff.controlCorruptProb, ff.controlReorderProb,
+            ff.controlDuplicateProb};
+  }
+
+  bool impaired() const {
+    return lossProb > 0.0 || corruptProb > 0.0 || reorderProb > 0.0 ||
+           duplicateProb > 0.0;
+  }
+};
+
+}  // namespace rfp::transport
