@@ -1,0 +1,502 @@
+/// \file bench_ext_trainfault.cpp
+/// Extension benchmark: chaos sweep over GAN training faults. Seeded fault
+/// timelines (src/train/train_fault) inject NaN/Inf gradients and
+/// exploding learning rates, and a corrupted-dataset arm feeds the loaders
+/// records with NaN coordinates and duplicates. Two trainers run on
+/// identical conditions:
+///
+///  - *supervised*: the training-supervision layer (src/train) -- step
+///    guards, divergence watchdog, rollback-and-retune, dataset
+///    quarantine;
+///  - *unsupervised*: the bare training loop -- faults land unchecked,
+///    exactly what the seed repo's trainer would do.
+///
+/// Expected shape (mirrors ISSUE/EXPERIMENTS.md): the supervised trainer
+/// always completes with finite weights, a non-empty incident ledger, and
+/// a final FID within 15% of the clean (fault-free) run; the unsupervised
+/// trainer visibly fails under chaos -- a non-finite loss, non-finite
+/// final weights, or an FID blowout past the supervised bound.
+///
+/// `--smoke` runs the CI chaos-training smoke instead: a tiny model, a few
+/// steps, one injected NaN gradient, asserting contained recovery.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/det_hash.h"
+#include "common/rng.h"
+#include "gan/trajectory_gan.h"
+#include "nn/finite.h"
+#include "train/supervisor.h"
+#include "trajectory/fid.h"
+#include "trajectory/human_walk.h"
+
+namespace {
+
+using namespace rfp;
+
+constexpr const char* kOutputPath = "BENCH_trainfault.json";
+constexpr std::size_t kDatasetSize = 128;
+constexpr std::size_t kReferenceSize = 256;
+constexpr std::size_t kFidSamples = 256;
+constexpr std::size_t kEpochs = 6;
+constexpr std::size_t kBatchSize = 16;
+constexpr std::size_t kTracePoints = 11;  // traceLength 10 + 1
+constexpr double kFidTolerance = 0.15;
+
+gan::GeneratorConfig benchG() {
+  gan::GeneratorConfig g;
+  g.noiseDim = 4;
+  g.labelEmbeddingDim = 3;
+  g.hiddenSize = 8;
+  g.lstmLayers = 2;
+  g.dropout = 0.0;
+  g.traceLength = kTracePoints - 1;
+  return g;
+}
+
+gan::DiscriminatorConfig benchD() {
+  gan::DiscriminatorConfig d;
+  d.labelEmbeddingDim = 3;
+  d.featureSize = 6;
+  d.hiddenSize = 8;
+  d.dropout = 0.0;
+  d.traceLength = kTracePoints - 1;
+  return d;
+}
+
+gan::GanTrainingConfig benchT(std::size_t epochs = kEpochs) {
+  gan::GanTrainingConfig tc;
+  tc.batchSize = kBatchSize;
+  tc.epochs = epochs;
+  return tc;
+}
+
+std::vector<trajectory::Trace> walkDataset(std::size_t count,
+                                           std::uint64_t seed) {
+  common::Rng rng(seed);
+  trajectory::HumanWalkModel model;
+  auto dataset = model.dataset(count, rng);
+  for (auto& t : dataset) {
+    t.points = trajectory::resample(t.points, kTracePoints);
+  }
+  return dataset;
+}
+
+/// Corrupts ~15% of records in ways that keep trace lengths uniform (so
+/// the unsupervised trainer accepts the dataset and its normalization
+/// scale goes NaN): NaN coordinates and exact duplicates.
+std::vector<trajectory::Trace> corruptRecords(
+    std::vector<trajectory::Trace> dataset) {
+  for (std::size_t i = 5; i < dataset.size(); i += 13) {
+    dataset[i].points[i % kTracePoints].x =
+        std::numeric_limits<double>::quiet_NaN();
+  }
+  for (std::size_t i = 11; i < dataset.size(); i += 17) {
+    dataset[i] = dataset[0];  // duplicate ingestion
+  }
+  return dataset;
+}
+
+train::SupervisorConfig supervisorConfig(const train::TrainFaultConfig& faults) {
+  train::SupervisorConfig cfg;
+  cfg.health.window = 8;
+  cfg.watchdog.minHistory = 4;
+  cfg.watchdog.lossExplosionFactor = 4.0;
+  cfg.goodCheckpointEveryAttempts = 4;
+  cfg.cooldownAttempts = 6;
+  cfg.faults = faults;
+  return cfg;
+}
+
+struct ChaosCase {
+  std::string name;
+  train::TrainFaultConfig faults;
+  bool corrupt = false;        ///< feed the corrupted-record dataset
+  bool unsupervisedArm = true; ///< run the bare trainer for comparison
+};
+
+struct ArmResult {
+  bool completed = false;
+  bool finiteWeights = false;
+  bool sawNonFiniteLoss = false;
+  double fid = std::numeric_limits<double>::infinity();
+  std::size_t incidents = 0;
+  std::size_t contained = 0;
+  std::size_t rollbacks = 0;
+  std::size_t quarantined = 0;
+  std::size_t ledgerBytes = 0;
+};
+
+/// Samples the trained GAN and scores FID against the held-out reference.
+double scoreFid(gan::TrajectoryGan& gan,
+                const std::vector<trajectory::Trace>& reference,
+                const std::vector<double>& labelWeights) {
+  common::Rng rng(999);
+  const auto samples = gan.sample(kFidSamples, labelWeights, rng);
+  for (const auto& t : samples) {
+    for (const auto& p : t.points) {
+      if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+        return std::numeric_limits<double>::infinity();
+      }
+    }
+  }
+  return trajectory::traceFid(samples, reference);
+}
+
+ArmResult runSupervisedArm(const ChaosCase& chaos,
+                           const std::vector<trajectory::Trace>& dataset,
+                           const std::vector<trajectory::Trace>& reference,
+                           const std::vector<double>& labelWeights) {
+  common::Rng initRng(777);
+  gan::TrajectoryGan gan(benchG(), benchD(), benchT(), initRng);
+  train::SupervisedTrainer trainer(gan, supervisorConfig(chaos.faults));
+  common::Rng trainRng(888);
+  ArmResult r;
+  const auto report = trainer.train(dataset, trainRng);
+  r.completed = true;
+  r.finiteWeights = report.finiteWeights;
+  r.incidents = report.incidents.size();
+  r.contained = report.containedSteps;
+  r.rollbacks = report.rollbacks;
+  r.quarantined = report.audit.quarantined.size();
+  r.ledgerBytes = train::encodeIncidentLedger(report.incidents).size();
+  r.fid = scoreFid(gan, reference, labelWeights);
+  return r;
+}
+
+/// The bare trainer under the same fault timeline: faults are injected by
+/// the same hook mechanism but *never* contained, the learning-rate spike
+/// is applied on the same attempt clock, and nothing watches the run.
+ArmResult runUnsupervisedArm(const ChaosCase& chaos,
+                             const std::vector<trajectory::Trace>& dataset,
+                             const std::vector<trajectory::Trace>& reference,
+                             const std::vector<double>& labelWeights) {
+  common::Rng initRng(777);
+  gan::TrajectoryGan gan(benchG(), benchD(), benchT(), initRng);
+  common::Rng trainRng(888);
+  ArmResult r;
+  gan::TrainingSession session(gan, dataset, trainRng);
+  const train::TrainFaultSchedule faults(chaos.faults);
+  std::size_t attempt = 0;
+  session.setGradientHook([&](const char* network,
+                              const nn::ParameterList& params) {
+    const bool isGenerator = network[0] == 'g';
+    for (const train::TrainFaultEvent* ev : faults.at(attempt)) {
+      if (ev->kind == train::TrainFaultKind::kLrSpike ||
+          ev->onGenerator != isGenerator) {
+        continue;
+      }
+      if (params.empty()) continue;
+      nn::Parameter* p =
+          params[common::hashBits(ev->entrySalt, 0, 1) % params.size()];
+      if (p->size() == 0) continue;
+      p->grad.data()[common::hashBits(ev->entrySalt, 1, 2) % p->size()] =
+          ev->kind == train::TrainFaultKind::kNanGradient
+              ? std::numeric_limits<double>::quiet_NaN()
+              : std::numeric_limits<double>::infinity();
+    }
+    return true;  // never contained
+  });
+  nn::Adam& gOpt = gan.generatorOptimizer();
+  nn::Adam& dOpt = gan.discriminatorOptimizer();
+  bool spikeActive = false;
+  double restoreG = 0.0, restoreD = 0.0;
+  std::size_t spikeEnd = 0;
+  while (!session.done()) {
+    if (spikeActive && attempt >= spikeEnd) {
+      gOpt.setLearningRate(restoreG);
+      dOpt.setLearningRate(restoreD);
+      spikeActive = false;
+    }
+    for (const train::TrainFaultEvent* ev : faults.at(attempt)) {
+      if (ev->kind != train::TrainFaultKind::kLrSpike || spikeActive) continue;
+      restoreG = gOpt.options().learningRate;
+      restoreD = dOpt.options().learningRate;
+      gOpt.setLearningRate(restoreG * ev->lrFactor);
+      dOpt.setLearningRate(restoreD * ev->lrFactor);
+      spikeEnd = attempt + ev->durationAttempts;
+      spikeActive = true;
+    }
+    const auto ev = session.advance();
+    if (ev.type != gan::TrainingSession::Event::Type::kBatch) continue;
+    ++attempt;
+    if (!std::isfinite(ev.batch.discriminatorLoss) ||
+        !std::isfinite(ev.batch.generatorLoss)) {
+      r.sawNonFiniteLoss = true;
+    }
+  }
+  r.completed = true;
+  r.finiteWeights = !nn::findNonFiniteValue(gan.networkParameters());
+  r.fid = scoreFid(gan, reference, labelWeights);
+  return r;
+}
+
+std::vector<ChaosCase> chaosCases() {
+  std::vector<ChaosCase> cases;
+  {
+    ChaosCase c;
+    c.name = "clean";
+    c.unsupervisedArm = false;
+    cases.push_back(c);
+  }
+  const std::size_t horizon = kEpochs * (kDatasetSize / kBatchSize);
+  {
+    ChaosCase c;
+    c.name = "nan-gradients";
+    c.faults.seed = 0xc4a05;
+    c.faults.horizonAttempts = horizon;
+    c.faults.minAttempt = 4;
+    c.faults.nanGradients = 3;
+    cases.push_back(c);
+  }
+  {
+    ChaosCase c;
+    c.name = "inf-gradients";
+    c.faults.seed = 0xc4a06;
+    c.faults.horizonAttempts = horizon;
+    c.faults.minAttempt = 4;
+    c.faults.infGradients = 2;
+    c.unsupervisedArm = false;  // the clip layer alone absorbs Inf
+    cases.push_back(c);
+  }
+  {
+    ChaosCase c;
+    c.name = "lr-spike";
+    c.faults.seed = 0xc4a07;
+    c.faults.horizonAttempts = horizon;
+    c.faults.minAttempt = 8;
+    c.faults.lrSpikes = 1;
+    c.faults.lrSpikeFactor = 1e6;
+    c.faults.lrSpikeDurationAttempts = 2;
+    cases.push_back(c);
+  }
+  {
+    ChaosCase c;
+    c.name = "corrupt-records";
+    c.corrupt = true;
+    cases.push_back(c);
+  }
+  {
+    ChaosCase c;
+    c.name = "combined";
+    c.corrupt = true;
+    c.faults.seed = 0xc4a08;
+    c.faults.horizonAttempts = horizon;
+    c.faults.minAttempt = 4;
+    c.faults.nanGradients = 2;
+    c.faults.lrSpikes = 1;
+    c.faults.lrSpikeFactor = 1e6;
+    c.faults.lrSpikeDurationAttempts = 2;
+    cases.push_back(c);
+  }
+  return cases;
+}
+
+struct CaseResult {
+  ChaosCase chaos;
+  ArmResult supervised;
+  ArmResult unsupervised;
+  bool ranUnsupervised = false;
+};
+
+void writeJson(const std::vector<CaseResult>& results, double cleanFid) {
+  std::FILE* out = std::fopen(kOutputPath, "w");
+  if (out == nullptr) {
+    throw std::runtime_error(std::string("cannot write ") + kOutputPath);
+  }
+  auto fidField = [](double fid) {
+    return std::isfinite(fid) ? fid : -1.0;  // -1 marks a diverged run
+  };
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"dataset_size\": %zu,\n", kDatasetSize);
+  std::fprintf(out, "  \"epochs\": %zu,\n", kEpochs);
+  std::fprintf(out, "  \"fid_tolerance\": %.2f,\n", kFidTolerance);
+  std::fprintf(out, "  \"clean_supervised_fid\": %.6f,\n", cleanFid);
+  std::fprintf(out, "  \"cases\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& cr = results[i];
+    std::fprintf(
+        out,
+        "    {\"name\": \"%s\", "
+        "\"supervised\": {\"completed\": %s, \"finite_weights\": %s, "
+        "\"fid\": %.6f, \"fid_ratio\": %.6f, \"incidents\": %zu, "
+        "\"contained_steps\": %zu, \"rollbacks\": %zu, "
+        "\"quarantined\": %zu, \"ledger_bytes\": %zu}",
+        cr.chaos.name.c_str(), cr.supervised.completed ? "true" : "false",
+        cr.supervised.finiteWeights ? "true" : "false",
+        fidField(cr.supervised.fid),
+        std::isfinite(cr.supervised.fid) && cleanFid > 0.0
+            ? cr.supervised.fid / cleanFid
+            : -1.0,
+        cr.supervised.incidents, cr.supervised.contained,
+        cr.supervised.rollbacks, cr.supervised.quarantined,
+        cr.supervised.ledgerBytes);
+    if (cr.ranUnsupervised) {
+      std::fprintf(
+          out,
+          ", \"unsupervised\": {\"completed\": %s, \"finite_weights\": %s, "
+          "\"saw_non_finite_loss\": %s, \"fid\": %.6f}",
+          cr.unsupervised.completed ? "true" : "false",
+          cr.unsupervised.finiteWeights ? "true" : "false",
+          cr.unsupervised.sawNonFiniteLoss ? "true" : "false",
+          fidField(cr.unsupervised.fid));
+    }
+    std::fprintf(out, "}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+}
+
+/// True when the bare trainer failed in a way a user would have to notice:
+/// a non-finite loss mid-run, non-finite final weights, or an FID blown
+/// past the supervised tolerance band.
+bool unsupervisedFailedVisibly(const ArmResult& u, double cleanFid) {
+  if (u.sawNonFiniteLoss || !u.finiteWeights) return true;
+  if (!std::isfinite(u.fid)) return true;
+  return u.fid > (1.0 + kFidTolerance) * cleanFid;
+}
+
+void printSweep() {
+  bench::printHeader(
+      "Training faults -- supervised (watchdog + rollback + quarantine) vs "
+      "bare GAN training under injected chaos");
+
+  const auto cleanDataset = walkDataset(kDatasetSize, 0x0d47a);
+  const auto corrupted = corruptRecords(cleanDataset);
+  const auto reference = walkDataset(kReferenceSize, 0x0e3f);
+  const auto labelWeights = gan::TrajectoryGan::labelHistogram(
+      cleanDataset, rfp::common::kRangeClasses);
+
+  std::vector<CaseResult> results;
+  std::printf("  %-16s %-11s %-9s %-9s %-10s %-7s %-7s %s\n", "case", "arm",
+              "fid", "ratio", "incidents", "rollbk", "quar",
+              "weights/loss");
+  for (const ChaosCase& chaos : chaosCases()) {
+    const auto& dataset = chaos.corrupt ? corrupted : cleanDataset;
+    CaseResult cr;
+    cr.chaos = chaos;
+    cr.supervised = runSupervisedArm(chaos, dataset, reference, labelWeights);
+    results.push_back(cr);
+  }
+  const double cleanFid = results.front().supervised.fid;
+  for (CaseResult& cr : results) {
+    const auto& s = cr.supervised;
+    std::printf("  %-16s %-11s %-9.3f %-9.3f %-10zu %-7zu %-7zu %s\n",
+                cr.chaos.name.c_str(), "supervised", s.fid,
+                cleanFid > 0.0 ? s.fid / cleanFid : -1.0, s.incidents,
+                s.rollbacks, s.quarantined,
+                s.finiteWeights ? "finite" : "NON-FINITE");
+    if (!cr.chaos.unsupervisedArm) continue;
+    const auto& dataset = cr.chaos.corrupt ? corrupted : cleanDataset;
+    cr.unsupervised =
+        runUnsupervisedArm(cr.chaos, dataset, reference, labelWeights);
+    cr.ranUnsupervised = true;
+    const auto& u = cr.unsupervised;
+    std::printf("  %-16s %-11s %-9.3f %-9.3f %-10s %-7s %-7s %s%s\n",
+                cr.chaos.name.c_str(), "bare",
+                std::isfinite(u.fid) ? u.fid : -1.0,
+                std::isfinite(u.fid) && cleanFid > 0.0 ? u.fid / cleanFid
+                                                       : -1.0,
+                "-", "-", "-", u.finiteWeights ? "finite" : "NON-FINITE",
+                u.sawNonFiniteLoss ? " (nan loss)" : "");
+  }
+
+  writeJson(results, cleanFid);
+  std::printf("\n  wrote %s\n", kOutputPath);
+
+  // Acceptance shape checks (mirrors ISSUE/EXPERIMENTS.md):
+  bool supervisedHolds = true;
+  bool fidHolds = true;
+  for (const CaseResult& cr : results) {
+    const bool isChaos = cr.chaos.name != "clean";
+    if (!cr.supervised.completed || !cr.supervised.finiteWeights ||
+        (isChaos && cr.supervised.incidents == 0 &&
+         cr.supervised.quarantined == 0)) {
+      supervisedHolds = false;
+    }
+    if (!std::isfinite(cr.supervised.fid) ||
+        std::fabs(cr.supervised.fid - cleanFid) > kFidTolerance * cleanFid) {
+      fidHolds = false;
+    }
+  }
+  std::printf("  supervised always completes, finite weights, non-empty "
+              "incident/quarantine record under chaos: %s\n",
+              supervisedHolds ? "holds" : "VIOLATED");
+  std::printf("  supervised FID within %.0f%% of clean run for every chaos "
+              "case: %s\n",
+              100.0 * kFidTolerance, fidHolds ? "holds" : "VIOLATED");
+  bool bareFails = true;
+  for (const CaseResult& cr : results) {
+    if (!cr.ranUnsupervised) continue;
+    if (!unsupervisedFailedVisibly(cr.unsupervised, cleanFid)) {
+      bareFails = false;
+    }
+  }
+  std::printf("  bare trainer fails visibly (nan loss, non-finite weights, "
+              "or FID blowout) on every chaos case: %s\n",
+              bareFails ? "holds" : "VIOLATED");
+}
+
+/// CI chaos-training smoke: tiny model, a few steps, one injected NaN
+/// gradient; asserts contained recovery and finite final weights.
+int runSmoke() {
+  std::printf("chaos-training smoke: 1 injected NaN gradient, %zu traces, "
+              "2 epochs\n", std::size_t{64});
+  const auto dataset = walkDataset(64, 0x0d47a);
+  train::TrainFaultConfig faults;
+  faults.seed = 0x57011e;
+  faults.horizonAttempts = 8;
+  faults.minAttempt = 1;
+  faults.nanGradients = 1;
+  common::Rng initRng(777);
+  gan::TrajectoryGan gan(benchG(), benchD(), benchT(/*epochs=*/2), initRng);
+  train::SupervisedTrainer trainer(gan, supervisorConfig(faults));
+  common::Rng trainRng(888);
+  const auto report = trainer.train(dataset, trainRng);
+  const bool ok = report.containedSteps >= 1 && !report.incidents.empty() &&
+                  report.finiteWeights;
+  std::printf("  contained=%zu incidents=%zu finite_weights=%s -> %s\n",
+              report.containedSteps, report.incidents.size(),
+              report.finiteWeights ? "true" : "false",
+              ok ? "recovery OK" : "RECOVERY FAILED");
+  return ok ? 0 : 1;
+}
+
+void BM_SupervisedChaosEpoch(benchmark::State& state) {
+  const auto dataset = walkDataset(64, 0x0d47a);
+  train::TrainFaultConfig faults;
+  faults.seed = 0x57011e;
+  faults.horizonAttempts = 8;
+  faults.minAttempt = 1;
+  faults.nanGradients = 1;
+  for (auto _ : state) {
+    common::Rng initRng(777);
+    gan::TrajectoryGan gan(benchG(), benchD(), benchT(/*epochs=*/2), initRng);
+    train::SupervisedTrainer trainer(gan, supervisorConfig(faults));
+    common::Rng trainRng(888);
+    benchmark::DoNotOptimize(trainer.train(dataset, trainRng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SupervisedChaosEpoch)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return runSmoke();
+  }
+  printSweep();
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

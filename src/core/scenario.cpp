@@ -78,6 +78,7 @@ Scenario makeOfficeScenario() {
                            .multipathLoss = 0.65,
                            .rcsJitter = 0.12,
                            .multipathObserver = radarPos},
+      fault::FaultConfig{},
   };
 }
 
@@ -100,6 +101,7 @@ Scenario makeHomeScenario() {
                            .multipathLoss = 0.35,
                            .rcsJitter = 0.10,
                            .multipathObserver = radarPos},
+      fault::FaultConfig{},
   };
 }
 

@@ -8,6 +8,7 @@
 
 #include "common/atomic_io.h"
 #include "nn/adam.h"
+#include "nn/finite.h"
 #include "nn/loss.h"
 #include "nn/ops.h"
 #include "nn/serialize.h"
@@ -72,11 +73,12 @@ std::vector<double> TrajectoryGan::labelHistogram(
   return hist;
 }
 
-GanEpochStats TrajectoryGan::trainBatch(
-    const std::vector<const Trace*>& batch, rfp::common::Rng& rng) {
+GanBatchStats TrajectoryGan::trainBatch(
+    const std::vector<const Trace*>& batch, rfp::common::Rng& rng,
+    const GradientHook& hook) {
   const std::size_t b = batch.size();
   const std::size_t traceLength = generator_.config().traceLength;
-  GanEpochStats stats;
+  GanBatchStats stats;
 
   std::vector<int> realLabels(b);
   for (std::size_t i = 0; i < b; ++i) realLabels[i] = batch[i]->label;
@@ -105,8 +107,21 @@ GanEpochStats TrajectoryGan::trainBatch(
   const nn::LossResult fakeLoss = nn::bceWithLogits(fakeLogitsD, zeros);
   discriminator_.backward(fakeLoss.dLogits);
 
-  nn::clipGradientNorm(discriminator_.parameters(), tConfig_.gradientClip);
-  dOptimizer_.stepAndZero();
+  bool applyD = true;
+  if (hook) applyD = hook("discriminator", discriminator_.parameters());
+  if (applyD) {
+    stats.discriminatorGradNorm =
+        nn::clipGradientNorm(discriminator_.parameters(), tConfig_.gradientClip);
+    stats.discriminatorClipped =
+        stats.discriminatorGradNorm > tConfig_.gradientClip;
+    dOptimizer_.stepAndZero();
+  } else {
+    // Vetoed (non-finite gradient contained): record the norm, discard the
+    // update, keep the optimizer state untouched.
+    stats.discriminatorGradNorm = nn::gradientNorm(discriminator_.parameters());
+    stats.discriminatorStepSkipped = true;
+    nn::zeroGradients(discriminator_.parameters());
+  }
   nn::zeroGradients(generator_.parameters());  // G grads from D's fake pass
 
   // ---- Generator step: push D(G(z)) -> 1 (non-saturating form). ----------
@@ -118,14 +133,34 @@ GanEpochStats TrajectoryGan::trainBatch(
   const std::vector<Matrix> dFake = discriminator_.backward(genLoss.dLogits);
   generator_.backward(dFake);
 
-  nn::clipGradientNorm(generator_.parameters(), tConfig_.gradientClip);
-  gOptimizer_.stepAndZero();
+  bool applyG = true;
+  if (hook) applyG = hook("generator", generator_.parameters());
+  if (applyG) {
+    stats.generatorGradNorm =
+        nn::clipGradientNorm(generator_.parameters(), tConfig_.gradientClip);
+    stats.generatorClipped = stats.generatorGradNorm > tConfig_.gradientClip;
+    gOptimizer_.stepAndZero();
+  } else {
+    stats.generatorGradNorm = nn::gradientNorm(generator_.parameters());
+    stats.generatorStepSkipped = true;
+    nn::zeroGradients(generator_.parameters());
+  }
   nn::zeroGradients(discriminator_.parameters());  // D grads from G's pass
 
   stats.discriminatorLoss = realLoss.loss + fakeLoss.loss;
   stats.generatorLoss = genLoss.loss;
   stats.realScoreMean = nn::meanAll(nn::sigmoidForward(realLogits));
   stats.fakeScoreMean = nn::meanAll(nn::sigmoidForward(fakeLogitsD));
+
+  // D's win rate over the batch's 2B judgments: real logits should be
+  // positive, fake logits negative.
+  std::size_t wins = 0;
+  for (std::size_t i = 0; i < b; ++i) {
+    if (realLogits(i, 0) > 0.0) ++wins;
+    if (fakeLogitsD(i, 0) < 0.0) ++wins;
+  }
+  stats.discriminatorWinRate =
+      b > 0 ? static_cast<double>(wins) / static_cast<double>(2 * b) : 0.0;
   return stats;
 }
 
@@ -135,85 +170,20 @@ nn::ParameterList TrajectoryGan::networkParameters() {
   return all;
 }
 
-std::string TrajectoryGan::encodeTrainingCheckpoint(
-    std::size_t epoch, std::size_t nextStart,
-    const std::vector<std::size_t>& perm, const rfp::common::Rng& rng) {
-  std::ostringstream body;
-  body << kTrainCheckpointMagic << ' ' << kTrainCheckpointVersion << '\n';
-  body << epoch << ' ' << nextStart << '\n';
-  body.precision(17);
-  body << scale_ << '\n';
-  body << perm.size() << '\n';
-  for (std::size_t i : perm) body << i << ' ';
-  body << '\n';
-  rng.saveState(body);
-  body << '\n';
-  const nn::ParameterList all = networkParameters();
-  nn::serializeParameters(body, all);
-  gOptimizer_.serializeState(body);
-  dOptimizer_.serializeState(body);
-  return body.str();
-}
+// ---------------------------------------------------------------------------
+// TrainingSession
+// ---------------------------------------------------------------------------
 
-bool TrajectoryGan::restoreTrainingCheckpoint(rfp::common::Rng& rng,
-                                              std::vector<std::size_t>& perm,
-                                              std::size_t& epoch,
-                                              std::size_t& nextStart) {
-  const std::string& path = tConfig_.checkpoint.path;
-  const auto body = rfp::common::readFileRotating(path);
-  if (!body) return false;
-
-  std::istringstream in(*body);
-  std::string magic;
-  int version = 0;
-  in >> magic >> version;
-  if (!in || magic != kTrainCheckpointMagic) {
-    throw std::runtime_error(path +
-                             ": bad training checkpoint magic at byte 0");
-  }
-  if (version != kTrainCheckpointVersion) {
-    throw std::runtime_error(path +
-                             ": unsupported training checkpoint version " +
-                             std::to_string(version));
-  }
-  double scale = 1.0;
-  std::size_t permSize = 0;
-  in >> epoch >> nextStart >> scale >> permSize;
-  if (!in || permSize != perm.size()) {
-    throw std::runtime_error(
-        path + ": checkpoint does not match dataset (permutation size " +
-        std::to_string(permSize) + ", dataset " +
-        std::to_string(perm.size()) + ")");
-  }
-  std::vector<std::size_t> loaded(permSize);
-  for (std::size_t& v : loaded) {
-    in >> v;
-    if (!in || v >= permSize) {
-      throw std::runtime_error(path +
-                               ": corrupt permutation in training checkpoint");
-    }
-  }
-  rng.loadState(in);
-  const nn::ParameterList all = networkParameters();
-  nn::deserializeParameters(in, all, path);
-  gOptimizer_.deserializeState(in);
-  dOptimizer_.deserializeState(in);
-  if (!in) {
-    throw std::runtime_error(path + ": truncated training checkpoint");
-  }
-  scale_ = scale;
-  perm = std::move(loaded);
-  return true;
-}
-
-void TrajectoryGan::train(
-    const std::vector<Trace>& dataset, rfp::common::Rng& rng,
-    const std::function<void(const GanEpochStats&)>& onEpoch) {
-  if (dataset.size() < tConfig_.batchSize) {
+TrainingSession::TrainingSession(TrajectoryGan& gan,
+                                 const std::vector<Trace>& dataset,
+                                 rfp::common::Rng& rng)
+    : gan_(gan), rng_(rng) {
+  if (dataset.size() < gan_.tConfig_.batchSize) {
     throw std::invalid_argument("TrajectoryGan::train: dataset too small");
   }
 
-  const std::size_t expectedPoints = generator_.config().traceLength + 1;
+  const std::size_t expectedPoints =
+      gan_.generator_.config().traceLength + 1;
   for (const Trace& t : dataset) {
     if (t.points.size() != expectedPoints) {
       throw std::invalid_argument(
@@ -223,83 +193,209 @@ void TrajectoryGan::train(
 
   // The GAN models relative motion: center each trace, then normalize so
   // the per-frame *steps* have unit coordinate variance.
-  std::vector<Trace> centered;
-  centered.reserve(dataset.size());
-  for (const Trace& t : dataset) centered.push_back(trajectory::centered(t));
+  centered_.reserve(dataset.size());
+  for (const Trace& t : dataset) centered_.push_back(trajectory::centered(t));
 
   double sumSq = 0.0;
   std::size_t n = 0;
-  for (const Trace& t : centered) {
+  for (const Trace& t : centered_) {
     for (std::size_t i = 1; i < t.points.size(); ++i) {
       const auto d = t.points[i] - t.points[i - 1];
       sumSq += d.x * d.x + d.y * d.y;
       n += 2;
     }
   }
-  scale_ = n > 0 ? std::sqrt(std::max(sumSq / static_cast<double>(n), 1e-12))
-                 : 1.0;
-  for (Trace& t : centered) {
-    for (auto& p : t.points) p *= 1.0 / scale_;
+  gan_.scale_ = n > 0
+                    ? std::sqrt(std::max(sumSq / static_cast<double>(n), 1e-12))
+                    : 1.0;
+  for (Trace& t : centered_) {
+    for (auto& p : t.points) p *= 1.0 / gan_.scale_;
   }
 
-  std::vector<std::size_t> perm(centered.size());
-  for (std::size_t i = 0; i < perm.size(); ++i) perm[i] = i;
+  perm_.resize(centered_.size());
+  for (std::size_t i = 0; i < perm_.size(); ++i) perm_[i] = i;
+}
+
+bool TrainingSession::done() const {
+  return epoch_ >= gan_.tConfig_.epochs;
+}
+
+std::size_t TrainingSession::batchesPerEpoch() const {
+  return perm_.size() / gan_.tConfig_.batchSize;
+}
+
+TrainingSession::Event TrainingSession::advance() {
+  Event ev;
+  if (done()) {
+    ev.type = Event::Type::kDone;
+    return ev;
+  }
+  const std::size_t batchSize = gan_.tConfig_.batchSize;
+  if (nextStart_ + batchSize > perm_.size()) {
+    finalizeEpoch(ev);
+    return ev;
+  }
+  if (!shuffled_) {
+    rng_.shuffle(perm_);
+    shuffled_ = true;
+  }
+
+  std::vector<const Trace*> batch(batchSize);
+  for (std::size_t i = 0; i < batchSize; ++i) {
+    batch[i] = &centered_[perm_[nextStart_ + i]];
+  }
+  ev.type = Event::Type::kBatch;
+  ev.batch = gan_.trainBatch(batch, rng_, hook_);
+  ev.batch.epoch = epoch_;
+  nextStart_ += batchSize;
+  ++steps_;
+
+  accum_.discriminatorLoss += ev.batch.discriminatorLoss;
+  accum_.generatorLoss += ev.batch.generatorLoss;
+  accum_.realScoreMean += ev.batch.realScoreMean;
+  accum_.fakeScoreMean += ev.batch.fakeScoreMean;
+  ++accumBatches_;
+  return ev;
+}
+
+void TrainingSession::finalizeEpoch(Event& ev) {
+  ev.type = Event::Type::kEpochEnd;
+  ev.epochStats = accum_;
+  ev.epochStats.epoch = epoch_;
+  if (accumBatches_ > 0) {
+    const double inv = 1.0 / static_cast<double>(accumBatches_);
+    ev.epochStats.discriminatorLoss *= inv;
+    ev.epochStats.generatorLoss *= inv;
+    ev.epochStats.realScoreMean *= inv;
+    ev.epochStats.fakeScoreMean *= inv;
+  }
+  accum_ = GanEpochStats{};
+  accumBatches_ = 0;
+  ++epoch_;
+  nextStart_ = 0;
+  shuffled_ = false;
+}
+
+std::string TrainingSession::encodeCheckpoint() {
+  std::ostringstream body;
+  body << kTrainCheckpointMagic << ' ' << kTrainCheckpointVersion << '\n';
+  body << epoch_ << ' ' << nextStart_ << '\n';
+  body.precision(17);
+  body << gan_.scale_ << '\n';
+  body << perm_.size() << '\n';
+  for (std::size_t i : perm_) body << i << ' ';
+  body << '\n';
+  rng_.saveState(body);
+  body << '\n';
+  const nn::ParameterList all = gan_.networkParameters();
+  nn::serializeParameters(body, all);
+  gan_.gOptimizer_.serializeState(body);
+  gan_.dOptimizer_.serializeState(body);
+  return body.str();
+}
+
+void TrainingSession::restoreCheckpoint(const std::string& body,
+                                        const std::string& sourceName) {
+  std::istringstream in(body);
+  std::string magic;
+  int version = 0;
+  in >> magic >> version;
+  if (!in || magic != kTrainCheckpointMagic) {
+    throw std::runtime_error(sourceName +
+                             ": bad training checkpoint magic at byte 0");
+  }
+  if (version != kTrainCheckpointVersion) {
+    throw std::runtime_error(sourceName +
+                             ": unsupported training checkpoint version " +
+                             std::to_string(version));
+  }
+  double scale = 1.0;
+  std::size_t permSize = 0;
+  std::size_t epoch = 0;
+  std::size_t nextStart = 0;
+  in >> epoch >> nextStart >> scale >> permSize;
+  if (!in || permSize != perm_.size()) {
+    throw std::runtime_error(
+        sourceName + ": checkpoint does not match dataset (permutation size " +
+        std::to_string(permSize) + ", dataset " +
+        std::to_string(perm_.size()) + ")");
+  }
+  std::vector<std::size_t> loaded(permSize);
+  for (std::size_t& v : loaded) {
+    in >> v;
+    if (!in || v >= permSize) {
+      throw std::runtime_error(sourceName +
+                               ": corrupt permutation in training checkpoint");
+    }
+  }
+  rng_.loadState(in);
+  const nn::ParameterList all = gan_.networkParameters();
+  nn::deserializeParameters(in, all, sourceName);
+  gan_.gOptimizer_.deserializeState(in);
+  gan_.dOptimizer_.deserializeState(in);
+  if (!in) {
+    throw std::runtime_error(sourceName + ": truncated training checkpoint");
+  }
+  gan_.scale_ = scale;
+  perm_ = std::move(loaded);
+  epoch_ = epoch;
+  nextStart_ = nextStart;
+  // The checkpointed permutation was drawn (and the RNG advanced past the
+  // shuffle) before the checkpoint was written; do not re-shuffle it.
+  shuffled_ = true;
+}
+
+void TrainingSession::perturbDataOrder() {
+  if (nextStart_ + 1 < perm_.size()) {
+    std::vector<std::size_t> tail(perm_.begin() +
+                                      static_cast<std::ptrdiff_t>(nextStart_),
+                                  perm_.end());
+    rng_.shuffle(tail);
+    std::copy(tail.begin(), tail.end(),
+              perm_.begin() + static_cast<std::ptrdiff_t>(nextStart_));
+  } else {
+    // Nothing left to reorder this epoch; still advance the stream so the
+    // replayed continuation differs deterministically.
+    rng_.uniform();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// train() -- the one-call loop with crash-safe checkpoint/resume
+// ---------------------------------------------------------------------------
+
+void TrajectoryGan::train(
+    const std::vector<Trace>& dataset, rfp::common::Rng& rng,
+    const std::function<void(const GanEpochStats&)>& onEpoch) {
+  TrainingSession session(*this, dataset, rng);
 
   const GanCheckpointConfig& ckpt = tConfig_.checkpoint;
   const std::size_t every = std::max<std::size_t>(1, ckpt.everyBatches);
-  std::size_t startEpoch = 0;
-  std::size_t startBatch = 0;
-  bool resumed = false;
   if (!ckpt.path.empty()) {
-    resumed = restoreTrainingCheckpoint(rng, perm, startEpoch, startBatch);
+    if (const auto body = rfp::common::readFileRotating(ckpt.path)) {
+      session.restoreCheckpoint(*body, ckpt.path);
+    }
   }
 
   std::size_t batchesThisCall = 0;
-  std::vector<const Trace*> batch(tConfig_.batchSize);
-  for (std::size_t epoch = startEpoch; epoch < tConfig_.epochs; ++epoch) {
-    // A resumed epoch keeps its checkpointed permutation: that shuffle was
-    // already drawn (and the RNG advanced past it) before the crash.
-    const bool resumedEpoch = resumed && epoch == startEpoch;
-    if (!resumedEpoch) rng.shuffle(perm);
-    GanEpochStats epochStats;
-    epochStats.epoch = epoch;
-    std::size_t batches = 0;
-
-    for (std::size_t start = resumedEpoch ? startBatch : 0;
-         start + tConfig_.batchSize <= perm.size();
-         start += tConfig_.batchSize) {
-      for (std::size_t i = 0; i < tConfig_.batchSize; ++i) {
-        batch[i] = &centered[perm[start + i]];
-      }
-      const GanEpochStats s = trainBatch(batch, rng);
-      epochStats.discriminatorLoss += s.discriminatorLoss;
-      epochStats.generatorLoss += s.generatorLoss;
-      epochStats.realScoreMean += s.realScoreMean;
-      epochStats.fakeScoreMean += s.fakeScoreMean;
-      ++batches;
-      ++batchesThisCall;
-      if (!ckpt.path.empty() && batchesThisCall % every == 0) {
-        rfp::common::writeFileRotating(
-            ckpt.path,
-            encodeTrainingCheckpoint(epoch, start + tConfig_.batchSize, perm,
-                                     rng));
-      }
-      if (ckpt.stopAfterBatches > 0 &&
-          batchesThisCall >= ckpt.stopAfterBatches) {
-        // Crash-simulation hook: abandon training here, as a power cut
-        // would. Resume replays any batches since the last checkpoint from
-        // the same state, so the final parameters are unchanged.
-        return;
-      }
+  for (;;) {
+    const TrainingSession::Event ev = session.advance();
+    if (ev.type == TrainingSession::Event::Type::kDone) break;
+    if (ev.type == TrainingSession::Event::Type::kEpochEnd) {
+      if (onEpoch) onEpoch(ev.epochStats);
+      continue;
     }
-    if (batches > 0) {
-      const double inv = 1.0 / static_cast<double>(batches);
-      epochStats.discriminatorLoss *= inv;
-      epochStats.generatorLoss *= inv;
-      epochStats.realScoreMean *= inv;
-      epochStats.fakeScoreMean *= inv;
+    ++batchesThisCall;
+    if (!ckpt.path.empty() && batchesThisCall % every == 0) {
+      rfp::common::writeFileRotating(ckpt.path, session.encodeCheckpoint());
     }
-    if (onEpoch) onEpoch(epochStats);
+    if (ckpt.stopAfterBatches > 0 &&
+        batchesThisCall >= ckpt.stopAfterBatches) {
+      // Crash-simulation hook: abandon training here, as a power cut
+      // would. Resume replays any batches since the last checkpoint from
+      // the same state, so the final parameters are unchanged.
+      return;
+    }
   }
 }
 
@@ -330,16 +426,14 @@ std::vector<Trace> TrajectoryGan::sample(
 
 void TrajectoryGan::save(const std::string& path) {
   nn::Parameter scaleParam("gan.scale", nn::Matrix(1, 1, scale_));
-  nn::ParameterList all = generator_.parameters();
-  for (auto* p : discriminator_.parameters()) all.push_back(p);
+  nn::ParameterList all = networkParameters();
   all.push_back(&scaleParam);
   nn::saveParameters(path, all);
 }
 
 void TrajectoryGan::load(const std::string& path) {
   nn::Parameter scaleParam("gan.scale", nn::Matrix(1, 1, 1.0));
-  nn::ParameterList all = generator_.parameters();
-  for (auto* p : discriminator_.parameters()) all.push_back(p);
+  nn::ParameterList all = networkParameters();
   all.push_back(&scaleParam);
   nn::loadParameters(path, all);
   scale_ = scaleParam.value(0, 0);

@@ -4,6 +4,13 @@
 /// The conditional GAN training harness (paper Sec. 6 Eq. 4, Sec. 9.2):
 /// alternating Adam updates of the discriminator (lr 2e-4) and generator
 /// (lr 1e-4), mini-batches of real traces vs G(z | n) samples, BCE loss.
+///
+/// Training is exposed at two levels. `train()` is the one-call loop with
+/// crash-safe checkpoint/resume. `TrainingSession` is the step-level driver
+/// underneath it: one mini-batch per advance() with full telemetry, plus
+/// checkpoint encode/restore and data-order perturbation hooks -- the
+/// surface the training-supervision layer (src/train) builds its divergence
+/// watchdog and rollback-and-retune recovery on.
 
 #include <functional>
 #include <string>
@@ -55,6 +62,117 @@ struct GanEpochStats {
   double fakeScoreMean = 0.0;  ///< mean D(fake); ~0.5 at equilibrium
 };
 
+/// Per-mini-batch training telemetry: everything the per-epoch stats carry
+/// plus the health signals the supervision layer watches (gradient norms,
+/// clip activity, the discriminator win rate).
+struct GanBatchStats {
+  std::size_t epoch = 0;
+  double discriminatorLoss = 0.0;
+  double generatorLoss = 0.0;
+  double realScoreMean = 0.0;
+  double fakeScoreMean = 0.0;
+  /// Fraction of the batch's 2B judgments D gets right (real scored > 0.5,
+  /// fake scored < 0.5); ~0.5 at equilibrium, pinned near 0 or 1 under
+  /// discriminator/mode collapse.
+  double discriminatorWinRate = 0.0;
+  double discriminatorGradNorm = 0.0;  ///< pre-clip global L2 norm
+  double generatorGradNorm = 0.0;      ///< pre-clip global L2 norm
+  bool discriminatorClipped = false;
+  bool generatorClipped = false;
+  bool discriminatorStepSkipped = false;  ///< gradient hook vetoed the update
+  bool generatorStepSkipped = false;
+};
+
+/// Called after a network's gradients are fully accumulated, *before*
+/// clipping and the optimizer step. \p network is "discriminator" or
+/// "generator". Returning false vetoes the update: the gradients are
+/// discarded (zeroed) and the optimizer is not stepped -- the containment
+/// path for a non-finite gradient. The hook may mutate gradients (fault
+/// injection does).
+using GradientHook =
+    std::function<bool(const char* network, const nn::ParameterList& params)>;
+
+class TrajectoryGan;
+
+/// Step-level training driver over a fixed dataset. Construction performs
+/// the dataset normalization (centering + unit step variance) and draws
+/// nothing from the RNG; every advance() runs at most one mini-batch.
+/// All state needed for bit-identical continuation -- progress cursor,
+/// epoch permutation, RNG engine, network parameters, both Adam states --
+/// round-trips through encodeCheckpoint()/restoreCheckpoint(), which is
+/// both the crash-safe resume path and the supervision layer's rollback
+/// mechanism.
+class TrainingSession {
+ public:
+  /// One advance() outcome.
+  struct Event {
+    enum class Type {
+      kBatch,     ///< ran one mini-batch; `batch` is valid
+      kEpochEnd,  ///< an epoch completed; `epochStats` is valid
+      kDone,      ///< all epochs finished
+    };
+    Type type = Type::kDone;
+    GanBatchStats batch;
+    GanEpochStats epochStats;
+  };
+
+  /// Validates the dataset (size, trace lengths) and learns the coordinate
+  /// scale exactly as train() historically did. \p rng is held by
+  /// reference for the whole session.
+  TrainingSession(TrajectoryGan& gan,
+                  const std::vector<trajectory::Trace>& dataset,
+                  rfp::common::Rng& rng);
+
+  TrainingSession(const TrainingSession&) = delete;
+  TrainingSession& operator=(const TrainingSession&) = delete;
+
+  /// Runs one mini-batch, or reports an epoch boundary / completion.
+  Event advance();
+
+  bool done() const;
+  std::size_t epoch() const { return epoch_; }
+  /// Dataset cursor: start index (into the permutation) of the next batch.
+  std::size_t nextStart() const { return nextStart_; }
+  /// Mini-batches run by this session object (not persisted; a monotonic
+  /// within-process counter).
+  std::size_t stepsCompleted() const { return steps_; }
+  std::size_t batchesPerEpoch() const;
+
+  void setGradientHook(GradientHook hook) { hook_ = std::move(hook); }
+
+  /// Serializes the complete training state as a checkpoint body (the
+  /// `RFPGAN` format train() persists via common/atomic_io).
+  std::string encodeCheckpoint();
+
+  /// Restores state from a checkpoint body; \p sourceName names the origin
+  /// in errors. Throws std::runtime_error on a corrupt or mismatched body.
+  void restoreCheckpoint(const std::string& body,
+                         const std::string& sourceName);
+
+  /// Deterministically reshuffles the not-yet-consumed remainder of the
+  /// current epoch's permutation (always advancing the RNG stream), so a
+  /// rolled-back run escapes the exact batch sequence that preceded an
+  /// incident instead of replaying it.
+  void perturbDataOrder();
+
+  rfp::common::Rng& rng() { return rng_; }
+
+ private:
+  void finalizeEpoch(Event& ev);
+
+  TrajectoryGan& gan_;
+  rfp::common::Rng& rng_;
+  std::vector<trajectory::Trace> centered_;
+  std::vector<std::size_t> perm_;
+  std::size_t epoch_ = 0;
+  std::size_t nextStart_ = 0;
+  bool shuffled_ = false;  ///< current epoch's permutation already drawn
+  std::size_t steps_ = 0;
+  GanEpochStats accum_;
+  std::size_t accumBatches_ = 0;
+  GradientHook hook_;
+};
+
 /// Conditional trajectory GAN: generator + discriminator + training loop.
 ///
 /// The networks operate in *step space*: sequences of per-frame
@@ -70,6 +188,9 @@ class TrajectoryGan {
 
   Generator& generator() { return generator_; }
   Discriminator& discriminator() { return discriminator_; }
+  nn::Adam& generatorOptimizer() { return gOptimizer_; }
+  nn::Adam& discriminatorOptimizer() { return dOptimizer_; }
+  const GanTrainingConfig& trainingConfig() const { return tConfig_; }
 
   /// Trains on \p dataset. Traces are internally centered (the GAN models
   /// relative motion) and scaled to unit coordinate variance (LSTMs train
@@ -93,31 +214,19 @@ class TrajectoryGan {
   static std::vector<double> labelHistogram(
       const std::vector<trajectory::Trace>& dataset, std::size_t numClasses);
 
+  /// Generator followed by discriminator parameters (no scale entry).
+  nn::ParameterList networkParameters();
+
   /// Saves / loads both networks' parameters.
   void save(const std::string& path);
   void load(const std::string& path);
 
  private:
+  friend class TrainingSession;
+
   /// One optimization step on a mini-batch; returns the stats contribution.
-  GanEpochStats trainBatch(const std::vector<const trajectory::Trace*>& batch,
-                           rfp::common::Rng& rng);
-
-  /// Generator followed by discriminator parameters (no scale entry).
-  nn::ParameterList networkParameters();
-
-  /// Serializes the full training state (progress, scale, permutation, RNG
-  /// engine, network parameters, both Adam states) as a checkpoint body.
-  std::string encodeTrainingCheckpoint(std::size_t epoch,
-                                       std::size_t nextStart,
-                                       const std::vector<std::size_t>& perm,
-                                       const rfp::common::Rng& rng);
-
-  /// Restores state from tConfig_.checkpoint.path (rotating read). Returns
-  /// false when no checkpoint exists; throws std::runtime_error on a
-  /// corrupt/mismatched one.
-  bool restoreTrainingCheckpoint(rfp::common::Rng& rng,
-                                 std::vector<std::size_t>& perm,
-                                 std::size_t& epoch, std::size_t& nextStart);
+  GanBatchStats trainBatch(const std::vector<const trajectory::Trace*>& batch,
+                           rfp::common::Rng& rng, const GradientHook& hook);
 
   GanTrainingConfig tConfig_;
   Generator generator_;

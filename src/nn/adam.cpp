@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "nn/finite.h"
+
 namespace rfp::nn {
 
 Adam::Adam(ParameterList params, AdamOptions options)
@@ -92,11 +94,21 @@ double clipGradientNorm(const ParameterList& params, double maxNorm) {
   if (maxNorm <= 0.0) {
     throw std::invalid_argument("clipGradientNorm: maxNorm must be positive");
   }
-  double sq = 0.0;
-  for (const Parameter* p : params) {
-    for (double g : p->grad.data()) sq += g * g;
+  // Overflow-safe global norm (gradients around 1e200 must scale down to a
+  // finite clipped vector with the direction intact, not collapse to zero
+  // through an intermediate +Inf).
+  const double norm = gradientNorm(params);
+  if (std::isnan(norm)) {
+    // A NaN admits no meaningful rescale; leave the gradients for the
+    // finite-check guard to report rather than spreading NaN via 0 * NaN.
+    return norm;
   }
-  const double norm = std::sqrt(sq);
+  if (std::isinf(norm)) {
+    // Entries at +/-Inf have no usable direction either; zero the update so
+    // the optimizer step is a no-op instead of poisoning the parameters.
+    for (Parameter* p : params) p->zeroGrad();
+    return norm;
+  }
   if (norm > maxNorm && norm > 0.0) {
     const double scale = maxNorm / norm;
     for (Parameter* p : params) {

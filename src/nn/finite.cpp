@@ -1,0 +1,82 @@
+#include "nn/finite.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace rfp::nn {
+
+namespace {
+
+std::optional<NonFiniteEntry> scan(const ParameterList& params,
+                                   bool gradients) {
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    const Matrix& m = gradients ? params[i]->grad : params[i]->value;
+    const auto d = m.data();
+    for (std::size_t k = 0; k < d.size(); ++k) {
+      if (!std::isfinite(d[k])) {
+        NonFiniteEntry e;
+        e.parameterName = params[i]->name;
+        e.parameterIndex = i;
+        e.entryIndex = k;
+        e.value = d[k];
+        e.inGradient = gradients;
+        return e;
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+bool allFinite(const Matrix& m) {
+  for (double v : m.data()) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+std::string NonFiniteEntry::describe() const {
+  std::ostringstream out;
+  out << parameterName << (inGradient ? ".grad[" : ".value[") << entryIndex
+      << "] = ";
+  if (std::isnan(value)) {
+    out << "nan";
+  } else {
+    out << (value > 0.0 ? "+inf" : "-inf");
+  }
+  return out.str();
+}
+
+std::optional<NonFiniteEntry> findNonFiniteValue(const ParameterList& params) {
+  return scan(params, /*gradients=*/false);
+}
+
+std::optional<NonFiniteEntry> findNonFiniteGradient(
+    const ParameterList& params) {
+  return scan(params, /*gradients=*/true);
+}
+
+double gradientNorm(const ParameterList& params) {
+  // Two-pass scaled norm: dividing by the max-abs entry keeps the squares
+  // in range, so |g| ~ 1e200 does not overflow to +Inf prematurely.
+  double maxAbs = 0.0;
+  for (const Parameter* p : params) {
+    for (double g : p->grad.data()) {
+      if (std::isnan(g)) return g;
+      maxAbs = std::max(maxAbs, std::fabs(g));
+    }
+  }
+  if (maxAbs == 0.0) return 0.0;
+  if (std::isinf(maxAbs)) return maxAbs;
+  double sq = 0.0;
+  for (const Parameter* p : params) {
+    for (double g : p->grad.data()) {
+      const double s = g / maxAbs;
+      sq += s * s;
+    }
+  }
+  return maxAbs * std::sqrt(sq);
+}
+
+}  // namespace rfp::nn

@@ -1,0 +1,45 @@
+#pragma once
+
+/// \file finite.h
+/// Finite-value guards over matrices and parameter lists. A single NaN that
+/// enters an Adam moment estimate never leaves it (NaN is absorbing under
+/// the moving-average update), so training supervision checks losses,
+/// gradients, and parameters for non-finite entries at every step and names
+/// the exact tensor entry that went bad instead of letting the poison
+/// propagate silently.
+
+#include <optional>
+#include <string>
+
+#include "nn/parameter.h"
+
+namespace rfp::nn {
+
+/// True when every entry of \p m is finite (no NaN, no +/-Inf).
+bool allFinite(const Matrix& m);
+
+/// First non-finite entry found by a finite-check sweep.
+struct NonFiniteEntry {
+  std::string parameterName;  ///< owning Parameter's name
+  std::size_t parameterIndex = 0;  ///< position in the swept ParameterList
+  std::size_t entryIndex = 0;      ///< flat index within the tensor
+  double value = 0.0;              ///< the offending value (NaN or +/-Inf)
+  bool inGradient = false;         ///< true: found in grad, false: in value
+
+  /// "g.fcOut.weight.grad[12] = nan"-style diagnostic.
+  std::string describe() const;
+};
+
+/// Scans parameter *values* for the first non-finite entry.
+std::optional<NonFiniteEntry> findNonFiniteValue(const ParameterList& params);
+
+/// Scans parameter *gradients* for the first non-finite entry.
+std::optional<NonFiniteEntry> findNonFiniteGradient(const ParameterList& params);
+
+/// Global L2 norm of all gradients in the list. Overflow-safe: scales by
+/// the max-abs entry before squaring, so gradients around 1e200 still
+/// produce the mathematically correct (possibly +Inf) norm instead of a
+/// premature +Inf from squaring. Returns NaN if any entry is NaN.
+double gradientNorm(const ParameterList& params);
+
+}  // namespace rfp::nn

@@ -1,5 +1,6 @@
 #include "nn/loss.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -19,13 +20,45 @@ LossResult bceWithLogits(const Matrix& logits, const Matrix& targets) {
   auto dx = out.dLogits.data();
   double loss = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
-    loss += std::max(x[i], 0.0) - x[i] * z[i] +
-            std::log1p(std::exp(-std::fabs(x[i])));
+    // Divide each term by n as it is accumulated: saturated logits produce
+    // terms near DBL_MAX, and summing those before the division would
+    // overflow a loss that is mathematically finite.
+    loss += (std::max(x[i], 0.0) - x[i] * z[i] +
+             std::log1p(std::exp(-std::fabs(x[i])))) /
+            n;
     // d/dx = sigmoid(x) - z.
     const double sig = x[i] >= 0.0
                            ? 1.0 / (1.0 + std::exp(-x[i]))
                            : std::exp(x[i]) / (1.0 + std::exp(x[i]));
     dx[i] = (sig - z[i]) / n;
+  }
+  out.loss = loss;
+  return out;
+}
+
+LossResult bceOnProbabilities(const Matrix& probabilities,
+                              const Matrix& targets, double eps) {
+  if (probabilities.rows() != targets.rows() ||
+      probabilities.cols() != targets.cols()) {
+    throw std::invalid_argument("bceOnProbabilities: shape mismatch");
+  }
+  if (eps <= 0.0 || eps >= 0.5) {
+    throw std::invalid_argument("bceOnProbabilities: eps must be in (0, 0.5)");
+  }
+  const auto n =
+      static_cast<double>(probabilities.rows() * probabilities.cols());
+  if (n == 0.0) throw std::invalid_argument("bceOnProbabilities: empty input");
+
+  LossResult out;
+  out.dLogits = Matrix(probabilities.rows(), probabilities.cols());
+  auto p = probabilities.data();
+  auto z = targets.data();
+  auto d = out.dLogits.data();
+  double loss = 0.0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    const double q = std::min(std::max(p[i], eps), 1.0 - eps);
+    loss += -(z[i] * std::log(q) + (1.0 - z[i]) * std::log1p(-q));
+    d[i] = (q - z[i]) / (q * (1.0 - q) * n);
   }
   out.loss = loss / n;
   return out;

@@ -17,8 +17,17 @@ struct LossResult {
 };
 
 /// Numerically stable BCE-with-logits against targets in {0, 1} (shape must
-/// match logits): loss = mean(max(x,0) - x*z + log(1 + exp(-|x|))).
+/// match logits): loss = mean(max(x,0) - x*z + log(1 + exp(-|x|))). Safe at
+/// sigmoid saturation: logits of +/-1e308 yield a finite loss and gradient.
 LossResult bceWithLogits(const Matrix& logits, const Matrix& targets);
+
+/// Epsilon-guarded BCE on *probabilities* in [0, 1]: predictions are
+/// clamped to [eps, 1 - eps] before the logarithms, so exact 0/1
+/// predictions (sigmoid saturation) produce a large-but-finite loss and
+/// gradient instead of -log(0) = +Inf. dLogits is the gradient w.r.t. the
+/// (unclamped) predictions. Prefer bceWithLogits when logits are available.
+LossResult bceOnProbabilities(const Matrix& probabilities,
+                              const Matrix& targets, double eps = 1e-7);
 
 /// Mean squared error and its gradient (utility for regression smoke tests).
 LossResult meanSquaredError(const Matrix& predictions, const Matrix& targets);

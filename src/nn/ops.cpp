@@ -1,6 +1,8 @@
 #include "nn/ops.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <stdexcept>
 
 namespace rfp::nn {
@@ -55,6 +57,38 @@ Matrix reluBackward(const Matrix& dy, const Matrix& y) {
     if (yd[i] <= 0.0) dxd[i] = 0.0;
   }
   return dx;
+}
+
+Matrix softmaxRows(const Matrix& x) {
+  Matrix y = x;
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    double rowMax = -std::numeric_limits<double>::infinity();
+    for (std::size_t c = 0; c < y.cols(); ++c) {
+      rowMax = std::max(rowMax, y(r, c));
+    }
+    // All--Inf rows (and empty exponent mass) fall back to uniform rather
+    // than 0/0 = NaN.
+    double sum = 0.0;
+    for (std::size_t c = 0; c < y.cols(); ++c) {
+      const double e = std::isfinite(rowMax) ? std::exp(y(r, c) - rowMax) : 0.0;
+      y(r, c) = e;
+      sum += e;
+    }
+    if (sum <= 0.0) {
+      const double uniform = 1.0 / static_cast<double>(y.cols());
+      for (std::size_t c = 0; c < y.cols(); ++c) y(r, c) = uniform;
+    } else {
+      for (std::size_t c = 0; c < y.cols(); ++c) y(r, c) /= sum;
+    }
+  }
+  return y;
+}
+
+Matrix safeLog(const Matrix& x, double eps) {
+  if (eps <= 0.0) throw std::invalid_argument("safeLog: eps must be positive");
+  Matrix y = x;
+  for (double& v : y.data()) v = std::log(std::max(v, eps));
+  return y;
 }
 
 Matrix concatCols(const Matrix& a, const Matrix& b) {

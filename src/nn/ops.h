@@ -26,6 +26,15 @@ Matrix reluForward(const Matrix& x);
 /// dX given dY and y = relu(x): dX = dY * [y > 0].
 Matrix reluBackward(const Matrix& dy, const Matrix& y);
 
+/// Row-wise softmax, guarded against overflow: the row maximum is
+/// subtracted before exponentiation, so logits of any magnitude (+/-1e308
+/// included) produce finite probabilities that sum to 1 per row.
+Matrix softmaxRows(const Matrix& x);
+
+/// log(max(x, eps)) element-wise: the epsilon-guarded logarithm for
+/// probability-space losses, never -Inf/NaN for x >= 0.
+Matrix safeLog(const Matrix& x, double eps = 1e-12);
+
 // --- shape utilities --------------------------------------------------------
 
 /// Horizontal concatenation [a | b]; row counts must match.

@@ -1,0 +1,142 @@
+#include "train/dataset_guard.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/det_hash.h"
+#include "trajectory/dataset_io.h"
+
+namespace rfp::train {
+
+namespace {
+
+/// Content hash over label + exact coordinate bit patterns: two records
+/// collide only if they are bit-for-bit identical (modulo the negligible
+/// 64-bit collision probability).
+std::uint64_t contentHash(const trajectory::Trace& t) {
+  std::uint64_t h =
+      rfp::common::splitmix64(static_cast<std::uint64_t>(t.label) + 1);
+  h = rfp::common::splitmix64(h ^ t.points.size());
+  for (const auto& p : t.points) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(p.x), "double must be 64-bit");
+    std::memcpy(&bits, &p.x, sizeof(bits));
+    h = rfp::common::splitmix64(h ^ bits);
+    std::memcpy(&bits, &p.y, sizeof(bits));
+    h = rfp::common::splitmix64(h ^ bits);
+  }
+  return h;
+}
+
+/// Stateful record-by-record auditor shared by the in-memory and CSV entry
+/// points (the point-count inference and duplicate detection span records).
+class Auditor {
+ public:
+  explicit Auditor(const DatasetGuardConfig& config)
+      : config_(config), expectedPoints_(config.expectedPoints) {}
+
+  void add(trajectory::Trace trace, const std::string& where) {
+    const std::size_t index = recordIndex_++;
+    std::string reason = validate(trace);
+    if (reason.empty() && config_.rejectDuplicates &&
+        !seen_.insert(contentHash(trace)).second) {
+      reason = "duplicate record (identical label and coordinates)";
+    }
+    if (reason.empty()) {
+      audit_.accepted.push_back(std::move(trace));
+    } else {
+      audit_.quarantined.push_back({index, where, std::move(reason)});
+    }
+  }
+
+  void quarantine(const std::string& where, std::string reason) {
+    audit_.quarantined.push_back({recordIndex_++, where, std::move(reason)});
+  }
+
+  DatasetAudit take() { return std::move(audit_); }
+
+ private:
+  std::string validate(const trajectory::Trace& t) {
+    if (t.points.empty()) return "record has no points";
+    if (expectedPoints_ == 0) {
+      expectedPoints_ = t.points.size();
+    } else if (t.points.size() != expectedPoints_) {
+      return "record has " + std::to_string(t.points.size()) +
+             " points, expected " + std::to_string(expectedPoints_) +
+             " (truncated record?)";
+    }
+    if (t.label < 0 || t.label >= config_.numClasses) {
+      return "motion class " + std::to_string(t.label) +
+             " out of range [0, " + std::to_string(config_.numClasses) + ")";
+    }
+    for (std::size_t i = 0; i < t.points.size(); ++i) {
+      const auto& p = t.points[i];
+      if (!std::isfinite(p.x) || !std::isfinite(p.y)) {
+        return "non-finite coordinate at point " + std::to_string(i);
+      }
+      if (std::fabs(p.x) > config_.maxAbsCoordinateM ||
+          std::fabs(p.y) > config_.maxAbsCoordinateM) {
+        return "coordinate magnitude exceeds " +
+               std::to_string(config_.maxAbsCoordinateM) + " m at point " +
+               std::to_string(i);
+      }
+    }
+    return {};
+  }
+
+  DatasetGuardConfig config_;
+  std::size_t expectedPoints_;
+  std::unordered_set<std::uint64_t> seen_;
+  DatasetAudit audit_;
+  std::size_t recordIndex_ = 0;
+};
+
+}  // namespace
+
+double DatasetAudit::survivingFraction() const {
+  const std::size_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(accepted.size()) / static_cast<double>(n);
+}
+
+DatasetAudit auditTraces(const std::vector<trajectory::Trace>& traces,
+                         const DatasetGuardConfig& config,
+                         const std::string& sourceName) {
+  Auditor auditor(config);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    auditor.add(traces[i], sourceName + "[" + std::to_string(i) + "]");
+  }
+  return auditor.take();
+}
+
+DatasetAudit loadTracesCsvQuarantining(const std::string& path,
+                                       const DatasetGuardConfig& config) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("loadTracesCsvQuarantining: cannot open " + path);
+  }
+  Auditor auditor(config);
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (line.empty()) continue;
+    const std::string where = path + ":" + std::to_string(lineNo);
+    try {
+      auditor.add(trajectory::parseTraceCsvLine(line, path, lineNo), where);
+    } catch (const std::runtime_error& e) {
+      auditor.quarantine(where, e.what());
+    }
+  }
+  if (in.bad()) {
+    throw std::runtime_error("loadTracesCsvQuarantining: read error on " +
+                             path);
+  }
+  return auditor.take();
+}
+
+}  // namespace rfp::train

@@ -1,0 +1,71 @@
+#pragma once
+
+/// \file dataset_guard.h
+/// Dataset quarantine: validates every record before training instead of
+/// letting one corrupt trace poison the normalization scale (a single NaN
+/// coordinate makes the GAN's coordinate scale NaN and every subsequent
+/// loss non-finite). Bad records are quarantined -- with a file:line (or
+/// source[index]) diagnostic per record -- rather than aborting the run;
+/// the supervisor refuses to start only if the surviving fraction drops
+/// below a configurable floor.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "trajectory/trace.h"
+
+namespace rfp::train {
+
+struct DatasetGuardConfig {
+  /// Required points per trace; 0 = infer from the first valid record
+  /// (every record must then match it).
+  std::size_t expectedPoints = 0;
+  /// Valid motion classes are [0, numClasses).
+  int numClasses = rfp::common::kRangeClasses;
+  /// Quarantines exact duplicates (identical label + coordinates,
+  /// bit-for-bit). Duplicate records usually mean a capture was ingested
+  /// twice, and they silently bias the learned distribution.
+  bool rejectDuplicates = true;
+  /// Coordinates beyond this magnitude [m] are physically implausible for
+  /// a room-scale deployment and quarantined.
+  double maxAbsCoordinateM = 1e4;
+  /// Training refuses to start when fewer than this fraction of records
+  /// survives quarantine.
+  double minSurvivingFraction = 0.5;
+};
+
+/// One quarantined record and why.
+struct QuarantinedRecord {
+  std::size_t recordIndex = 0;  ///< 0-based index in the input ordering
+  std::string where;            ///< "path:line" or "source[index]"
+  std::string reason;
+};
+
+/// Audit outcome: the surviving dataset plus the quarantine report.
+struct DatasetAudit {
+  std::vector<trajectory::Trace> accepted;
+  std::vector<QuarantinedRecord> quarantined;
+
+  std::size_t total() const { return accepted.size() + quarantined.size(); }
+  double survivingFraction() const;
+  bool meetsFloor(double minFraction) const {
+    return survivingFraction() >= minFraction;
+  }
+};
+
+/// Audits in-memory traces; \p sourceName labels diagnostics as
+/// "sourceName[index]". Never throws on bad records -- they are
+/// quarantined. Accepted traces keep their input order.
+DatasetAudit auditTraces(const std::vector<trajectory::Trace>& traces,
+                         const DatasetGuardConfig& config,
+                         const std::string& sourceName);
+
+/// CSV loader that quarantines malformed rows (sharing
+/// trajectory::parseTraceCsvLine with the strict loader, so diagnostics are
+/// identical "path:line" messages) and then audits the parsed records.
+/// Throws std::runtime_error only on IO failure (unreadable file).
+DatasetAudit loadTracesCsvQuarantining(const std::string& path,
+                                       const DatasetGuardConfig& config);
+
+}  // namespace rfp::train

@@ -1,0 +1,151 @@
+#include "train/incident.h"
+
+#include <array>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/atomic_io.h"
+
+namespace rfp::train {
+
+namespace {
+
+constexpr const char* kMagic = "RFPTINC 1";
+
+constexpr std::array<IncidentKind, 7> kAllKinds = {
+    IncidentKind::kNonFiniteGradient,  IncidentKind::kNonFiniteLoss,
+    IncidentKind::kNonFiniteParameter, IncidentKind::kLossExplosion,
+    IncidentKind::kDiscriminatorCollapse,
+    IncidentKind::kGeneratorCollapse,  IncidentKind::kRecoveryExhausted};
+
+constexpr std::array<RecoveryAction, 4> kAllActions = {
+    RecoveryAction::kContainedSkip, RecoveryAction::kRollbackRetune,
+    RecoveryAction::kRebalanceLr, RecoveryAction::kAborted};
+
+[[noreturn]] void fail(const std::string& sourceName, int lineNo,
+                       const std::string& why) {
+  throw std::runtime_error("decodeIncidentLedger: " + sourceName + ":" +
+                           std::to_string(lineNo) + ": " + why);
+}
+
+IncidentKind parseKind(const std::string& name, const std::string& sourceName,
+                       int lineNo) {
+  for (IncidentKind k : kAllKinds) {
+    if (name == incidentKindName(k)) return k;
+  }
+  fail(sourceName, lineNo, "unknown incident kind '" + name + "'");
+}
+
+RecoveryAction parseAction(const std::string& name,
+                           const std::string& sourceName, int lineNo) {
+  for (RecoveryAction a : kAllActions) {
+    if (name == recoveryActionName(a)) return a;
+  }
+  fail(sourceName, lineNo, "unknown recovery action '" + name + "'");
+}
+
+}  // namespace
+
+const char* incidentKindName(IncidentKind kind) {
+  switch (kind) {
+    case IncidentKind::kNonFiniteGradient:
+      return "non-finite-gradient";
+    case IncidentKind::kNonFiniteLoss:
+      return "non-finite-loss";
+    case IncidentKind::kNonFiniteParameter:
+      return "non-finite-parameter";
+    case IncidentKind::kLossExplosion:
+      return "loss-explosion";
+    case IncidentKind::kDiscriminatorCollapse:
+      return "discriminator-collapse";
+    case IncidentKind::kGeneratorCollapse:
+      return "generator-collapse";
+    case IncidentKind::kRecoveryExhausted:
+      return "recovery-exhausted";
+  }
+  return "unknown";
+}
+
+const char* recoveryActionName(RecoveryAction action) {
+  switch (action) {
+    case RecoveryAction::kContainedSkip:
+      return "contained-skip";
+    case RecoveryAction::kRollbackRetune:
+      return "rollback-retune";
+    case RecoveryAction::kRebalanceLr:
+      return "rebalance-lr";
+    case RecoveryAction::kAborted:
+      return "aborted";
+  }
+  return "unknown";
+}
+
+std::string encodeIncidentLedger(const std::vector<TrainIncident>& incidents) {
+  std::ostringstream out;
+  out.precision(17);
+  out << kMagic << '\n' << incidents.size() << '\n';
+  for (const TrainIncident& inc : incidents) {
+    if (inc.detail.find('\n') != std::string::npos) {
+      throw std::invalid_argument(
+          "encodeIncidentLedger: detail must be a single line");
+    }
+    out << inc.attempt << ' ' << inc.epoch << ' ' << inc.batchStart << ' '
+        << incidentKindName(inc.kind) << ' ' << recoveryActionName(inc.action)
+        << ' ' << inc.restoredAttempt << ' ' << inc.generatorLrAfter << ' '
+        << inc.discriminatorLrAfter << ' ' << inc.detail << '\n';
+  }
+  return out.str();
+}
+
+std::vector<TrainIncident> decodeIncidentLedger(const std::string& body,
+                                                const std::string& sourceName) {
+  std::istringstream in(body);
+  std::string line;
+  int lineNo = 1;
+  if (!std::getline(in, line) || line != kMagic) {
+    fail(sourceName, lineNo, "bad magic (expected '" + std::string(kMagic) +
+                                 "', got '" + line + "')");
+  }
+  ++lineNo;
+  std::size_t count = 0;
+  if (!(in >> count)) fail(sourceName, lineNo, "missing incident count");
+  std::getline(in, line);  // consume the rest of the count line
+
+  std::vector<TrainIncident> incidents;
+  incidents.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ++lineNo;
+    if (!std::getline(in, line)) {
+      fail(sourceName, lineNo, "truncated: expected " + std::to_string(count) +
+                                   " incidents, got " + std::to_string(i));
+    }
+    std::istringstream ls(line);
+    TrainIncident inc;
+    std::string kindName, actionName;
+    if (!(ls >> inc.attempt >> inc.epoch >> inc.batchStart >> kindName >>
+          actionName >> inc.restoredAttempt >> inc.generatorLrAfter >>
+          inc.discriminatorLrAfter)) {
+      fail(sourceName, lineNo, "malformed incident record");
+    }
+    inc.kind = parseKind(kindName, sourceName, lineNo);
+    inc.action = parseAction(actionName, sourceName, lineNo);
+    std::getline(ls, inc.detail);
+    if (!inc.detail.empty() && inc.detail.front() == ' ') {
+      inc.detail.erase(0, 1);
+    }
+    incidents.push_back(std::move(inc));
+  }
+  return incidents;
+}
+
+void saveIncidentLedger(const std::string& path,
+                        const std::vector<TrainIncident>& incidents) {
+  rfp::common::writeFileChecked(path, encodeIncidentLedger(incidents));
+}
+
+std::vector<TrainIncident> loadIncidentLedger(const std::string& path) {
+  return decodeIncidentLedger(rfp::common::readFileChecked(path), path);
+}
+
+}  // namespace rfp::train

@@ -1,0 +1,72 @@
+#pragma once
+
+/// \file incident.h
+/// Incident taxonomy and the persisted incident ledger. Every anomaly the
+/// supervision layer detects -- a contained non-finite gradient, a
+/// non-finite loss or parameter, a loss explosion, a collapse -- is
+/// recorded as one TrainIncident together with the recovery action taken,
+/// and the ledger is persisted CRC-checked (common/atomic_io) so a
+/// post-mortem can always reconstruct what happened to a training run.
+/// With the same seed and the same fault timeline, the ledger is
+/// byte-identical across reruns (the determinism contract of DESIGN.md §7).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace rfp::train {
+
+/// What went wrong (the incident taxonomy of DESIGN.md §7).
+enum class IncidentKind {
+  kNonFiniteGradient,      ///< NaN/Inf in a gradient (caught pre-step)
+  kNonFiniteLoss,          ///< NaN/Inf mini-batch loss
+  kNonFiniteParameter,     ///< NaN/Inf network weight (caught post-step)
+  kLossExplosion,          ///< loss >> rolling median
+  kDiscriminatorCollapse,  ///< D win rate pinned near 1
+  kGeneratorCollapse,      ///< D win rate pinned near 0 (D overwhelmed)
+  kRecoveryExhausted,      ///< rollback budget spent; training aborted
+};
+
+const char* incidentKindName(IncidentKind kind);
+
+/// How the supervisor responded.
+enum class RecoveryAction {
+  kContainedSkip,   ///< gradients discarded, optimizer step vetoed
+  kRollbackRetune,  ///< restored good checkpoint, decayed LR, new data order
+  kRebalanceLr,     ///< decayed the winning network's LR (no rollback)
+  kAborted,         ///< gave up (rollback budget exhausted)
+};
+
+const char* recoveryActionName(RecoveryAction action);
+
+/// One ledger entry.
+struct TrainIncident {
+  std::size_t attempt = 0;     ///< monotonic attempt index of the incident
+  std::size_t epoch = 0;       ///< training-cursor epoch at detection
+  std::size_t batchStart = 0;  ///< dataset cursor at detection
+  IncidentKind kind = IncidentKind::kNonFiniteLoss;
+  RecoveryAction action = RecoveryAction::kContainedSkip;
+  /// Rollbacks only: attempt index at which the restored checkpoint was
+  /// taken (0 = the pre-training snapshot).
+  std::size_t restoredAttempt = 0;
+  double generatorLrAfter = 0.0;  ///< learning rates after recovery
+  double discriminatorLrAfter = 0.0;
+  std::string detail;  ///< human-readable, single line (no '\n')
+};
+
+/// Serializes the ledger as the text body of the `RFPTINC 1` format.
+std::string encodeIncidentLedger(const std::vector<TrainIncident>& incidents);
+
+/// Parses an `RFPTINC 1` body; \p sourceName names the origin in errors.
+/// Throws std::runtime_error on a malformed body.
+std::vector<TrainIncident> decodeIncidentLedger(const std::string& body,
+                                                const std::string& sourceName);
+
+/// Persists the ledger CRC-checked + atomically (common/atomic_io).
+void saveIncidentLedger(const std::string& path,
+                        const std::vector<TrainIncident>& incidents);
+
+/// Loads a ledger written by saveIncidentLedger, verifying integrity.
+std::vector<TrainIncident> loadIncidentLedger(const std::string& path);
+
+}  // namespace rfp::train

@@ -1,0 +1,314 @@
+#include "train/supervisor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "common/atomic_io.h"
+#include "common/det_hash.h"
+#include "nn/finite.h"
+
+namespace rfp::train {
+
+namespace {
+
+/// Overwrites one deterministically chosen gradient entry (the event's
+/// salt picks parameter and entry) with NaN or +Inf.
+void injectGradientFault(const nn::ParameterList& params,
+                         const TrainFaultEvent& ev) {
+  if (params.empty()) return;
+  nn::Parameter* p = params[rfp::common::hashBits(ev.entrySalt, 0, 1) %
+                            params.size()];
+  if (p->size() == 0) return;
+  const std::size_t entry =
+      rfp::common::hashBits(ev.entrySalt, 1, 2) % p->size();
+  p->grad.data()[entry] = ev.kind == TrainFaultKind::kNanGradient
+                              ? std::numeric_limits<double>::quiet_NaN()
+                              : std::numeric_limits<double>::infinity();
+}
+
+}  // namespace
+
+SupervisedTrainer::SupervisedTrainer(gan::TrajectoryGan& gan,
+                                     SupervisorConfig config)
+    : gan_(gan), config_(std::move(config)) {
+  auto inUnitInterval = [](double x) { return x > 0.0 && x <= 1.0; };
+  if (!inUnitInterval(config_.lrDecay) ||
+      !inUnitInterval(config_.minLrFactor) ||
+      !inUnitInterval(config_.rebalanceDecay)) {
+    throw std::invalid_argument(
+        "SupervisedTrainer: lrDecay, minLrFactor and rebalanceDecay must be "
+        "in (0, 1]");
+  }
+  if (config_.goodCheckpointEveryAttempts == 0 ||
+      config_.goodCheckpointRing == 0) {
+    throw std::invalid_argument(
+        "SupervisedTrainer: good-checkpoint cadence and ring must be >= 1");
+  }
+  // Validate the watchdog config eagerly (its ctor throws).
+  DivergenceWatchdog validate(config_.watchdog);
+  (void)validate;
+}
+
+double SupervisedTrainer::healthScore(const TrainHealth& health) {
+  // Heuristic ranking only (never fed back into the numerics): a balanced
+  // discriminator (win rate near 0.5), a stable loss, and little clipping
+  // mark a state worth returning to.
+  const double balance = std::fabs(health.winRateMean() - 0.5);
+  const double variance = health.lossVariance();
+  const double spread = variance / (1.0 + variance);  // squashed to [0, 1)
+  return -4.0 * balance - spread - 0.1 * health.clipRate();
+}
+
+SupervisedTrainReport SupervisedTrainer::train(
+    const std::vector<trajectory::Trace>& dataset, rfp::common::Rng& rng,
+    const std::function<void(const gan::GanEpochStats&)>& onEpoch) {
+  SupervisedTrainReport report;
+
+  // --- Dataset quarantine -------------------------------------------------
+  report.audit = auditTraces(dataset, config_.datasetGuard, "dataset");
+  if (!report.audit.meetsFloor(config_.datasetGuard.minSurvivingFraction)) {
+    std::ostringstream msg;
+    msg << "SupervisedTrainer: dataset quarantine left "
+        << report.audit.accepted.size() << "/" << report.audit.total()
+        << " records (" << report.audit.survivingFraction() * 100.0
+        << "%), below the " << config_.datasetGuard.minSurvivingFraction * 100.0
+        << "% floor";
+    if (!report.audit.quarantined.empty()) {
+      const QuarantinedRecord& first = report.audit.quarantined.front();
+      msg << "; first quarantined: " << first.where << ": " << first.reason;
+    }
+    throw std::runtime_error(msg.str());
+  }
+
+  gan::TrainingSession session(gan_, report.audit.accepted, rng);
+  const TrainFaultSchedule faults(config_.faults);
+  TrainHealth health(config_.health);
+  const DivergenceWatchdog watchdog(config_.watchdog);
+
+  nn::Adam& gOpt = gan_.generatorOptimizer();
+  nn::Adam& dOpt = gan_.discriminatorOptimizer();
+  const double gLrFloor =
+      gOpt.options().learningRate * config_.minLrFactor;
+  const double dLrFloor =
+      dOpt.options().learningRate * config_.minLrFactor;
+
+  // --- Good-checkpoint ring, seeded with the pre-training state ----------
+  std::vector<GoodCheckpoint> ring;
+  ring.push_back({0, -std::numeric_limits<double>::infinity(),
+                  session.encodeCheckpoint()});
+  auto pushGoodCheckpoint = [&](std::size_t attempt, double score) {
+    ring.push_back({attempt, score, session.encodeCheckpoint()});
+    // Rolling: evict oldest beyond capacity (+1 for the seed entry, which
+    // is only ever chosen when nothing better exists).
+    if (ring.size() > config_.goodCheckpointRing + 1) {
+      ring.erase(ring.begin() + 1);
+    }
+    if (!config_.goodCheckpointPath.empty()) {
+      rfp::common::writeFileRotating(config_.goodCheckpointPath,
+                                     ring.back().body);
+    }
+  };
+  auto bestCheckpoint = [&]() -> const GoodCheckpoint& {
+    const GoodCheckpoint* best = &ring.front();
+    for (const GoodCheckpoint& gc : ring) {
+      if (gc.score >= best->score) best = &gc;  // ties -> newest
+    }
+    return *best;
+  };
+
+  // --- Step-guard state ---------------------------------------------------
+  std::size_t attempt = 0;  ///< monotonic; the fault-timeline clock
+  std::size_t cooldownUntil = 0;
+  bool spikeActive = false;
+  double spikeRestoreG = 0.0, spikeRestoreD = 0.0;
+  std::size_t spikeEndAttempt = 0;
+  std::vector<TrainIncident> pendingGradIncidents;
+
+  auto endSpike = [&]() {
+    if (!spikeActive) return;
+    gOpt.setLearningRate(spikeRestoreG);
+    dOpt.setLearningRate(spikeRestoreD);
+    spikeActive = false;
+  };
+  auto persistLedger = [&]() {
+    if (!config_.ledgerPath.empty()) {
+      saveIncidentLedger(config_.ledgerPath, report.incidents);
+    }
+  };
+
+  session.setGradientHook(
+      [&](const char* network, const nn::ParameterList& params) {
+        const bool isGenerator = network[0] == 'g';
+        if (!faults.idle()) {
+          for (const TrainFaultEvent* ev : faults.at(attempt)) {
+            if (ev->kind == TrainFaultKind::kLrSpike ||
+                ev->onGenerator != isGenerator) {
+              continue;
+            }
+            injectGradientFault(params, *ev);
+          }
+        }
+        if (auto bad = nn::findNonFiniteGradient(params)) {
+          TrainIncident inc;
+          inc.kind = IncidentKind::kNonFiniteGradient;
+          inc.action = RecoveryAction::kContainedSkip;
+          inc.detail = std::string(network) + ": " + bad->describe();
+          pendingGradIncidents.push_back(std::move(inc));
+          return false;  // veto: discard gradients, keep Adam state clean
+        }
+        return true;
+      });
+
+  // --- Supervised training loop -------------------------------------------
+  while (!session.done()) {
+    // Learning-rate spike faults are applied/expired on the attempt clock,
+    // before the batch they affect.
+    if (spikeActive && attempt >= spikeEndAttempt) endSpike();
+    if (!faults.idle()) {
+      for (const TrainFaultEvent* ev : faults.at(attempt)) {
+        if (ev->kind != TrainFaultKind::kLrSpike || spikeActive) continue;
+        spikeRestoreG = gOpt.options().learningRate;
+        spikeRestoreD = dOpt.options().learningRate;
+        gOpt.setLearningRate(spikeRestoreG * ev->lrFactor);
+        dOpt.setLearningRate(spikeRestoreD * ev->lrFactor);
+        spikeEndAttempt = attempt + ev->durationAttempts;
+        spikeActive = true;
+      }
+    }
+
+    const std::size_t preEpoch = session.epoch();
+    const std::size_t preStart = session.nextStart();
+    const gan::TrainingSession::Event ev = session.advance();
+    if (ev.type == gan::TrainingSession::Event::Type::kEpochEnd) {
+      report.epochs.push_back(ev.epochStats);
+      if (onEpoch) onEpoch(ev.epochStats);
+      continue;
+    }
+    if (ev.type == gan::TrainingSession::Event::Type::kDone) break;
+
+    const gan::GanBatchStats& stats = ev.batch;
+    const std::size_t a = attempt;
+    ++attempt;
+    ++report.attempts;
+
+    // Contained non-finite gradients detected by the hook this batch.
+    for (TrainIncident& inc : pendingGradIncidents) {
+      inc.attempt = a;
+      inc.epoch = preEpoch;
+      inc.batchStart = preStart;
+      inc.generatorLrAfter = gOpt.options().learningRate;
+      inc.discriminatorLrAfter = dOpt.options().learningRate;
+      report.incidents.push_back(std::move(inc));
+      ++report.containedSteps;
+    }
+    const bool containedThisBatch = !pendingGradIncidents.empty();
+    pendingGradIncidents.clear();
+    if (containedThisBatch) persistLedger();
+
+    health.record(stats);
+
+    // Step guards: non-finite losses/parameters are detected on every
+    // step; the statistical watchdog (explosion, collapse) is disarmed
+    // during the post-recovery cooldown while the health ring refills.
+    std::optional<DivergenceWatchdog::Verdict> verdict;
+    if (!std::isfinite(stats.discriminatorLoss) ||
+        !std::isfinite(stats.generatorLoss)) {
+      std::ostringstream detail;
+      detail << "dLoss=" << stats.discriminatorLoss
+             << " gLoss=" << stats.generatorLoss;
+      verdict = DivergenceWatchdog::Verdict{IncidentKind::kNonFiniteLoss,
+                                            detail.str()};
+    } else if (auto bad = nn::findNonFiniteValue(gan_.networkParameters())) {
+      verdict = DivergenceWatchdog::Verdict{IncidentKind::kNonFiniteParameter,
+                                            bad->describe()};
+    } else if (a >= cooldownUntil) {
+      verdict = watchdog.inspect(stats, health);
+    }
+
+    if (!verdict) {
+      // Healthy step: harvest a good checkpoint on cadence, once the ring
+      // statistics are trustworthy.
+      if (a >= cooldownUntil &&
+          health.entries() >= config_.watchdog.minHistory &&
+          (a + 1) % config_.goodCheckpointEveryAttempts == 0) {
+        pushGoodCheckpoint(a + 1, healthScore(health));
+      }
+      continue;
+    }
+
+    TrainIncident inc;
+    inc.attempt = a;
+    inc.epoch = preEpoch;
+    inc.batchStart = preStart;
+    inc.kind = verdict->kind;
+    inc.detail = verdict->detail;
+
+    const bool collapse = verdict->kind == IncidentKind::kDiscriminatorCollapse ||
+                          verdict->kind == IncidentKind::kGeneratorCollapse;
+    if (collapse) {
+      // Rebalance: slow the winning network down instead of rolling back --
+      // the state is finite and stable, just lopsided.
+      if (verdict->kind == IncidentKind::kDiscriminatorCollapse) {
+        dOpt.setLearningRate(std::max(
+            dLrFloor, dOpt.options().learningRate * config_.rebalanceDecay));
+      } else {
+        gOpt.setLearningRate(std::max(
+            gLrFloor, gOpt.options().learningRate * config_.rebalanceDecay));
+      }
+      inc.action = RecoveryAction::kRebalanceLr;
+      ++report.rebalances;
+    } else if (report.rollbacks >= config_.maxRollbacks) {
+      inc.action = RecoveryAction::kAborted;
+      inc.generatorLrAfter = gOpt.options().learningRate;
+      inc.discriminatorLrAfter = dOpt.options().learningRate;
+      report.incidents.push_back(inc);
+      TrainIncident gaveUp = inc;
+      gaveUp.kind = IncidentKind::kRecoveryExhausted;
+      gaveUp.detail = "rollback budget (" +
+                      std::to_string(config_.maxRollbacks) + ") exhausted";
+      report.incidents.push_back(std::move(gaveUp));
+      persistLedger();
+      throw std::runtime_error(
+          "SupervisedTrainer: rollback budget exhausted at attempt " +
+          std::to_string(a) + " (" + std::string(incidentKindName(inc.kind)) +
+          ": " + inc.detail + ")");
+    } else {
+      // Rollback-and-retune: restore the best good checkpoint, decay both
+      // learning rates, and perturb the data order so the retry does not
+      // replay the exact batch sequence that preceded the incident.
+      endSpike();  // a spike must not survive into the restored state
+      const GoodCheckpoint& best = bestCheckpoint();
+      session.restoreCheckpoint(best.body, "good-checkpoint ring");
+      nn::zeroGradients(gan_.networkParameters());
+      gOpt.setLearningRate(std::max(
+          gLrFloor, gOpt.options().learningRate * config_.lrDecay));
+      dOpt.setLearningRate(std::max(
+          dLrFloor, dOpt.options().learningRate * config_.lrDecay));
+      session.perturbDataOrder();
+      inc.action = RecoveryAction::kRollbackRetune;
+      inc.restoredAttempt = best.attempt;
+      ++report.rollbacks;
+    }
+
+    health.reset();
+    cooldownUntil = attempt + config_.cooldownAttempts;
+    inc.generatorLrAfter = gOpt.options().learningRate;
+    inc.discriminatorLrAfter = dOpt.options().learningRate;
+    report.incidents.push_back(std::move(inc));
+    persistLedger();
+  }
+
+  endSpike();
+  report.finalGeneratorLr = gOpt.options().learningRate;
+  report.finalDiscriminatorLr = dOpt.options().learningRate;
+  report.health = health.summary();
+  report.finiteWeights = !nn::findNonFiniteValue(gan_.networkParameters());
+  persistLedger();
+  return report;
+}
+
+}  // namespace rfp::train

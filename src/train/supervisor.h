@@ -1,0 +1,112 @@
+#pragma once
+
+/// \file supervisor.h
+/// The training supervisor: wraps gan::TrainingSession with step guards, a
+/// divergence watchdog, rollback-and-retune recovery, and dataset
+/// quarantine, so a GAN run survives NaN gradients, corrupt records, and
+/// hyperparameter spikes instead of silently shipping garbage weights.
+///
+/// Determinism contract (DESIGN.md §7): given the same seed, the same
+/// dataset bytes, and the same fault timeline, a supervised run produces a
+/// byte-identical incident ledger and bit-identical final weights on every
+/// rerun. Two mechanisms make this hold through recovery:
+///
+///  - The *attempt counter* is monotonic and never rewinds on rollback.
+///    It is the clock of the fault timeline, so a fault that fired stays
+///    fired after the cursor rewinds (no injection livelock), and it
+///    timestamps incidents unambiguously.
+///  - Recovery touches randomness only through the session RNG's own
+///    stream (perturbDataOrder), so the retry path is as reproducible as
+///    the original path.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "gan/trajectory_gan.h"
+#include "train/dataset_guard.h"
+#include "train/incident.h"
+#include "train/train_fault.h"
+#include "train/train_health.h"
+#include "train/watchdog.h"
+
+namespace rfp::train {
+
+struct SupervisorConfig {
+  TrainHealthConfig health;
+  WatchdogConfig watchdog;
+  /// Injected chaos for resilience testing (idle by default).
+  TrainFaultConfig faults;
+  DatasetGuardConfig datasetGuard;
+
+  /// Rollback retune: both learning rates are multiplied by this.
+  double lrDecay = 0.5;
+  /// LR decay floor, as a fraction of each network's initial rate.
+  double minLrFactor = 1.0 / 1024.0;
+  /// Collapse rebalance: the *winning* network's LR multiplier.
+  double rebalanceDecay = 0.5;
+  /// Rollbacks allowed before the run aborts (kRecoveryExhausted).
+  std::size_t maxRollbacks = 8;
+  /// Attempts after a recovery during which the statistical watchdog stays
+  /// disarmed and no good checkpoints are taken (the health ring refills).
+  std::size_t cooldownAttempts = 32;
+
+  /// Good-checkpoint cadence (attempts) and ring capacity.
+  std::size_t goodCheckpointEveryAttempts = 16;
+  std::size_t goodCheckpointRing = 4;
+  /// When set, the newest good checkpoint is also persisted crash-safe
+  /// (rotating + CRC-trailed) at this path.
+  std::string goodCheckpointPath;
+
+  /// When set, the incident ledger is persisted (CRC-trailed, atomic
+  /// replace) here after every incident and at completion.
+  std::string ledgerPath;
+};
+
+/// Everything a supervised run reports back.
+struct SupervisedTrainReport {
+  DatasetAudit audit;                       ///< quarantine outcome
+  std::vector<TrainIncident> incidents;     ///< the ledger
+  std::vector<gan::GanEpochStats> epochs;   ///< re-run epochs appear twice
+  std::size_t attempts = 0;                 ///< mini-batch attempts run
+  std::size_t containedSteps = 0;           ///< vetoed optimizer updates
+  std::size_t rollbacks = 0;
+  std::size_t rebalances = 0;
+  double finalGeneratorLr = 0.0;
+  double finalDiscriminatorLr = 0.0;
+  TrainHealthSummary health;  ///< rolling stats at completion
+  bool finiteWeights = false; ///< no NaN/Inf in any final parameter
+};
+
+/// Supervised trainer over one TrajectoryGan.
+class SupervisedTrainer {
+ public:
+  /// Throws std::invalid_argument on an inconsistent config.
+  SupervisedTrainer(gan::TrajectoryGan& gan, SupervisorConfig config);
+
+  /// Audits \p dataset (throws std::runtime_error if the surviving
+  /// fraction is below the configured floor, or if the rollback budget is
+  /// exhausted mid-run), then trains to completion under supervision.
+  SupervisedTrainReport train(
+      const std::vector<trajectory::Trace>& dataset, rfp::common::Rng& rng,
+      const std::function<void(const gan::GanEpochStats&)>& onEpoch = {});
+
+  const SupervisorConfig& config() const { return config_; }
+
+ private:
+  struct GoodCheckpoint {
+    std::size_t attempt = 0;
+    double score = 0.0;
+    std::string body;
+  };
+
+  /// Health score for checkpoint ranking: prefers a balanced win rate and
+  /// a stable loss (higher is better). Pure function of the ring.
+  static double healthScore(const TrainHealth& health);
+
+  gan::TrajectoryGan& gan_;
+  SupervisorConfig config_;
+};
+
+}  // namespace rfp::train

@@ -1,0 +1,79 @@
+#include "train/train_fault.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/rng.h"
+
+namespace rfp::train {
+
+const char* trainFaultKindName(TrainFaultKind kind) {
+  switch (kind) {
+    case TrainFaultKind::kNanGradient:
+      return "nan-gradient";
+    case TrainFaultKind::kInfGradient:
+      return "inf-gradient";
+    case TrainFaultKind::kLrSpike:
+      return "lr-spike";
+  }
+  return "unknown";
+}
+
+TrainFaultSchedule::TrainFaultSchedule(const TrainFaultConfig& config)
+    : config_(config) {
+  const std::size_t total =
+      config.nanGradients + config.infGradients + config.lrSpikes;
+  if (total == 0 || config.horizonAttempts == 0) return;
+  if (config.minAttempt >= config.horizonAttempts) {
+    throw std::invalid_argument(
+        "TrainFaultSchedule: minAttempt must be < horizonAttempts");
+  }
+  if (config.lrSpikes > 0 &&
+      (config.lrSpikeFactor <= 0.0 || config.lrSpikeDurationAttempts == 0)) {
+    throw std::invalid_argument(
+        "TrainFaultSchedule: lrSpikeFactor must be > 0 and "
+        "lrSpikeDurationAttempts >= 1");
+  }
+
+  // Generation order is fixed (nan, inf, spike) so a given seed always
+  // yields the same timeline regardless of how callers later query it.
+  rfp::common::Rng rng(config.seed);
+  const int lo = static_cast<int>(config.minAttempt);
+  const int hi = static_cast<int>(config.horizonAttempts) - 1;
+  auto emit = [&](TrainFaultKind kind, std::size_t count) {
+    for (std::size_t i = 0; i < count; ++i) {
+      TrainFaultEvent ev;
+      ev.attempt = static_cast<std::size_t>(rng.uniformInt(lo, hi));
+      ev.kind = kind;
+      ev.onGenerator = rng.bernoulli(0.5);
+      ev.entrySalt = rng.engine()();
+      if (kind == TrainFaultKind::kLrSpike) {
+        ev.lrFactor = config.lrSpikeFactor;
+        ev.durationAttempts = config.lrSpikeDurationAttempts;
+      }
+      events_.push_back(ev);
+    }
+  };
+  emit(TrainFaultKind::kNanGradient, config.nanGradients);
+  emit(TrainFaultKind::kInfGradient, config.infGradients);
+  emit(TrainFaultKind::kLrSpike, config.lrSpikes);
+
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TrainFaultEvent& a, const TrainFaultEvent& b) {
+                     return a.attempt < b.attempt;
+                   });
+}
+
+std::vector<const TrainFaultEvent*> TrainFaultSchedule::at(
+    std::size_t attempt) const {
+  std::vector<const TrainFaultEvent*> firing;
+  auto it = std::lower_bound(
+      events_.begin(), events_.end(), attempt,
+      [](const TrainFaultEvent& e, std::size_t a) { return e.attempt < a; });
+  for (; it != events_.end() && it->attempt == attempt; ++it) {
+    firing.push_back(&*it);
+  }
+  return firing;
+}
+
+}  // namespace rfp::train

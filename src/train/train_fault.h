@@ -1,0 +1,82 @@
+#pragma once
+
+/// \file train_fault.h
+/// Deterministic, seeded timeline of *training* faults, following the
+/// fault-timeline idiom of src/fault: the schedule is generated once at
+/// construction from a TrainFaultConfig and then queried per optimizer
+/// attempt without consuming randomness, so chaos-training experiments are
+/// reproducible and query-order independent.
+///
+/// The clock is the supervisor's monotonic *attempt* counter, which never
+/// rewinds on rollback. Keying faults to attempts rather than to the
+/// (epoch, batch) cursor is what keeps recovery deterministic AND
+/// livelock-free: after a rollback the cursor rewinds, but the attempt
+/// counter keeps advancing past the fault that fired, so the same injected
+/// fault cannot re-fire forever against the restored state.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rfp::train {
+
+/// Kinds of injected training faults.
+enum class TrainFaultKind {
+  kNanGradient,  ///< overwrite one gradient entry with a quiet NaN
+  kInfGradient,  ///< overwrite one gradient entry with +infinity
+  kLrSpike,      ///< multiply both learning rates for a few attempts
+};
+
+const char* trainFaultKindName(TrainFaultKind kind);
+
+/// One scheduled fault, firing at a single optimizer attempt.
+struct TrainFaultEvent {
+  std::size_t attempt = 0;  ///< 0-based attempt index it fires at
+  TrainFaultKind kind = TrainFaultKind::kNanGradient;
+  bool onGenerator = false;   ///< gradient faults: which network
+  std::uint64_t entrySalt = 0;  ///< picks the poisoned parameter entry
+  double lrFactor = 1.0;        ///< kLrSpike: multiplier applied
+  std::size_t durationAttempts = 1;  ///< kLrSpike: attempts it persists
+};
+
+struct TrainFaultConfig {
+  std::uint64_t seed = 0x7a11u;
+  /// Attempt-domain horizon: faults land in [minAttempt, horizonAttempts).
+  /// 0 disables the schedule entirely.
+  std::size_t horizonAttempts = 0;
+  std::size_t minAttempt = 0;  ///< warm-up attempts kept fault-free
+  std::size_t nanGradients = 0;
+  std::size_t infGradients = 0;
+  std::size_t lrSpikes = 0;
+  double lrSpikeFactor = 256.0;
+  std::size_t lrSpikeDurationAttempts = 3;
+};
+
+/// Pre-generated training-fault timeline.
+class TrainFaultSchedule {
+ public:
+  /// Empty schedule: no faults, ever.
+  TrainFaultSchedule() = default;
+
+  /// Generates the timeline. Throws std::invalid_argument when the config
+  /// asks for faults but the attempt window cannot hold them.
+  explicit TrainFaultSchedule(const TrainFaultConfig& config);
+
+  /// All events, sorted by attempt (ties keep generation order).
+  const std::vector<TrainFaultEvent>& events() const { return events_; }
+
+  /// Events firing exactly at \p attempt, in timeline order.
+  std::vector<const TrainFaultEvent*> at(std::size_t attempt) const;
+
+  /// True when the schedule can never fire (default constructed or zero
+  /// counts); lets callers keep the exact fault-free path.
+  bool idle() const { return events_.empty(); }
+
+  const TrainFaultConfig& config() const { return config_; }
+
+ private:
+  TrainFaultConfig config_{};
+  std::vector<TrainFaultEvent> events_;
+};
+
+}  // namespace rfp::train

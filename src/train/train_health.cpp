@@ -1,0 +1,128 @@
+#include "train/train_health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace rfp::train {
+
+TrainHealth::TrainHealth(TrainHealthConfig config) : config_(config) {
+  if (config_.window < 2) {
+    throw std::invalid_argument("TrainHealth: window must be >= 2");
+  }
+}
+
+void TrainHealth::record(const gan::GanBatchStats& stats) {
+  Entry e;
+  e.combinedLoss = stats.discriminatorLoss + stats.generatorLoss;
+  e.winRate = stats.discriminatorWinRate;
+  e.gradNorm = std::max(stats.discriminatorGradNorm, stats.generatorGradNorm);
+  e.clipped = stats.discriminatorClipped || stats.generatorClipped;
+  ring_.push_back(e);
+  if (ring_.size() > config_.window) ring_.pop_front();
+  ++stepsRecorded_;
+}
+
+bool TrainHealth::windowFull() const { return ring_.size() >= config_.window; }
+
+double TrainHealth::lossMean() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Entry& e : ring_) {
+    if (!std::isfinite(e.combinedLoss)) continue;
+    sum += e.combinedLoss;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TrainHealth::lossVariance() const {
+  const double mean = lossMean();
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Entry& e : ring_) {
+    if (!std::isfinite(e.combinedLoss)) continue;
+    const double d = e.combinedLoss - mean;
+    sum += d * d;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TrainHealth::lossMedian() const {
+  std::vector<double> finite;
+  finite.reserve(ring_.size());
+  for (const Entry& e : ring_) {
+    if (std::isfinite(e.combinedLoss)) finite.push_back(e.combinedLoss);
+  }
+  if (finite.empty()) return 0.0;
+  const std::size_t mid = finite.size() / 2;
+  std::nth_element(finite.begin(), finite.begin() + static_cast<long>(mid),
+                   finite.end());
+  return finite[mid];
+}
+
+double TrainHealth::winRateMean() const {
+  if (ring_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Entry& e : ring_) sum += e.winRate;
+  return sum / static_cast<double>(ring_.size());
+}
+
+double TrainHealth::gradNormMean() const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const Entry& e : ring_) {
+    if (!std::isfinite(e.gradNorm)) continue;
+    sum += e.gradNorm;
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+double TrainHealth::clipRate() const {
+  if (ring_.empty()) return 0.0;
+  std::size_t clipped = 0;
+  for (const Entry& e : ring_) {
+    if (e.clipped) ++clipped;
+  }
+  return static_cast<double>(clipped) / static_cast<double>(ring_.size());
+}
+
+std::size_t TrainHealth::winRateStreakAtLeast(double x) const {
+  std::size_t streak = 0;
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->winRate < x) break;
+    ++streak;
+  }
+  return streak;
+}
+
+std::size_t TrainHealth::winRateStreakAtMost(double x) const {
+  std::size_t streak = 0;
+  for (auto it = ring_.rbegin(); it != ring_.rend(); ++it) {
+    if (it->winRate > x) break;
+    ++streak;
+  }
+  return streak;
+}
+
+TrainHealthSummary TrainHealth::summary() const {
+  TrainHealthSummary s;
+  s.stepsRecorded = stepsRecorded_;
+  s.lossMean = lossMean();
+  s.lossVariance = lossVariance();
+  s.lossMedian = lossMedian();
+  s.winRateMean = winRateMean();
+  s.gradNormMean = gradNormMean();
+  s.clipRate = clipRate();
+  return s;
+}
+
+void TrainHealth::reset() {
+  ring_.clear();
+  stepsRecorded_ = 0;
+}
+
+}  // namespace rfp::train

@@ -1,0 +1,81 @@
+#pragma once
+
+/// \file train_health.h
+/// Rolling training-health telemetry: a fixed window over the most recent
+/// mini-batch stats (loss mean/variance/median, discriminator win rate,
+/// gradient norms, clip rate). The divergence watchdog reads this ring to
+/// separate one noisy batch from a genuinely diverging run, and the
+/// supervisor scores rollback checkpoints by it.
+
+#include <cstddef>
+#include <deque>
+
+#include "gan/trajectory_gan.h"
+
+namespace rfp::train {
+
+struct TrainHealthConfig {
+  std::size_t window = 32;  ///< ring capacity in mini-batches (>= 2)
+};
+
+/// Snapshot of the rolling statistics (all over the current window).
+struct TrainHealthSummary {
+  std::size_t stepsRecorded = 0;  ///< total record() calls since reset()
+  double lossMean = 0.0;          ///< mean of D+G combined loss
+  double lossVariance = 0.0;
+  double lossMedian = 0.0;
+  double winRateMean = 0.0;       ///< mean discriminator win rate
+  double gradNormMean = 0.0;      ///< mean of max(D, G) pre-clip grad norm
+  double clipRate = 0.0;          ///< fraction of steps that clipped
+};
+
+/// Telemetry ring over recent mini-batches.
+class TrainHealth {
+ public:
+  explicit TrainHealth(TrainHealthConfig config = {});
+
+  /// Appends one mini-batch observation (evicting the oldest past the
+  /// window). Non-finite losses are recorded as-is; the rolling stats use
+  /// only the finite entries so one NaN batch cannot blind the median that
+  /// the explosion detector compares against.
+  void record(const gan::GanBatchStats& stats);
+
+  /// Entries currently in the window.
+  std::size_t entries() const { return ring_.size(); }
+  /// Total record() calls since construction or the last reset().
+  std::size_t stepsRecorded() const { return stepsRecorded_; }
+  bool windowFull() const;
+
+  double lossMean() const;
+  double lossVariance() const;
+  /// Median of the finite combined losses in the window (0 when empty).
+  double lossMedian() const;
+  double winRateMean() const;
+  double gradNormMean() const;
+  double clipRate() const;
+
+  /// Length of the streak of most-recent entries with win rate >= \p x.
+  std::size_t winRateStreakAtLeast(double x) const;
+  /// Length of the streak of most-recent entries with win rate <= \p x.
+  std::size_t winRateStreakAtMost(double x) const;
+
+  TrainHealthSummary summary() const;
+
+  /// Clears the window (used after a rollback: pre-incident statistics
+  /// must not re-trigger the watchdog on the restored state).
+  void reset();
+
+ private:
+  struct Entry {
+    double combinedLoss = 0.0;
+    double winRate = 0.0;
+    double gradNorm = 0.0;
+    bool clipped = false;
+  };
+
+  TrainHealthConfig config_;
+  std::deque<Entry> ring_;
+  std::size_t stepsRecorded_ = 0;
+};
+
+}  // namespace rfp::train

@@ -1,0 +1,68 @@
+#include "train/watchdog.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace rfp::train {
+
+DivergenceWatchdog::DivergenceWatchdog(WatchdogConfig config)
+    : config_(config) {
+  if (config_.lossExplosionFactor <= 1.0) {
+    throw std::invalid_argument(
+        "DivergenceWatchdog: lossExplosionFactor must be > 1");
+  }
+  if (config_.lossExplosionFloor < 0.0) {
+    throw std::invalid_argument(
+        "DivergenceWatchdog: lossExplosionFloor must be >= 0");
+  }
+  if (config_.minHistory < 2) {
+    throw std::invalid_argument("DivergenceWatchdog: minHistory must be >= 2");
+  }
+  if (!(config_.collapseLowWinRate >= 0.0 &&
+        config_.collapseLowWinRate < config_.collapseHighWinRate &&
+        config_.collapseHighWinRate <= 1.0)) {
+    throw std::invalid_argument(
+        "DivergenceWatchdog: need 0 <= collapseLowWinRate < "
+        "collapseHighWinRate <= 1");
+  }
+  if (config_.collapseStreak == 0) {
+    throw std::invalid_argument(
+        "DivergenceWatchdog: collapseStreak must be >= 1");
+  }
+}
+
+std::optional<DivergenceWatchdog::Verdict> DivergenceWatchdog::inspect(
+    const gan::GanBatchStats& stats, const TrainHealth& health) const {
+  if (health.entries() < config_.minHistory) return std::nullopt;
+
+  const double combined = stats.discriminatorLoss + stats.generatorLoss;
+  const double median = health.lossMedian();
+  if (std::isfinite(combined) && median > config_.lossExplosionFloor &&
+      combined > config_.lossExplosionFactor * median) {
+    std::ostringstream detail;
+    detail << "combined loss " << combined << " exceeds "
+           << config_.lossExplosionFactor << " x rolling median " << median;
+    return Verdict{IncidentKind::kLossExplosion, detail.str()};
+  }
+
+  const std::size_t high =
+      health.winRateStreakAtLeast(config_.collapseHighWinRate);
+  if (high >= config_.collapseStreak) {
+    std::ostringstream detail;
+    detail << "discriminator win rate >= " << config_.collapseHighWinRate
+           << " for " << high << " consecutive steps";
+    return Verdict{IncidentKind::kDiscriminatorCollapse, detail.str()};
+  }
+  const std::size_t low =
+      health.winRateStreakAtMost(config_.collapseLowWinRate);
+  if (low >= config_.collapseStreak) {
+    std::ostringstream detail;
+    detail << "discriminator win rate <= " << config_.collapseLowWinRate
+           << " for " << low << " consecutive steps";
+    return Verdict{IncidentKind::kGeneratorCollapse, detail.str()};
+  }
+  return std::nullopt;
+}
+
+}  // namespace rfp::train

@@ -1,0 +1,58 @@
+#pragma once
+
+/// \file watchdog.h
+/// Statistical divergence detection over the training-health ring. The
+/// watchdog covers the failures that are *not* single-step detectable:
+/// loss explosion (a finite loss far above the rolling median) and
+/// discriminator/generator collapse (the win rate pinned at an extreme for
+/// a sustained streak). Single-step hazards -- non-finite losses,
+/// gradients, parameters -- are caught unconditionally by the supervisor's
+/// step guards; the watchdog's checks are gated on a minimum history so a
+/// noisy warm-up batch is not misread as divergence.
+
+#include <optional>
+#include <string>
+
+#include "gan/trajectory_gan.h"
+#include "train/incident.h"
+#include "train/train_health.h"
+
+namespace rfp::train {
+
+struct WatchdogConfig {
+  /// Loss explosion: combined loss > factor * rolling median.
+  double lossExplosionFactor = 8.0;
+  /// The explosion check arms only once the rolling median exceeds this
+  /// floor (a near-zero median would make the ratio meaninglessly large).
+  double lossExplosionFloor = 1e-2;
+  /// Window entries required before explosion/collapse checks arm.
+  std::size_t minHistory = 16;
+  /// Collapse thresholds on the discriminator win rate.
+  double collapseLowWinRate = 0.02;
+  double collapseHighWinRate = 0.98;
+  /// Consecutive steps at an extreme before collapse is declared.
+  std::size_t collapseStreak = 64;
+};
+
+/// Classifies the newest training step given the health ring (which must
+/// already include it). Stateless; deterministic.
+class DivergenceWatchdog {
+ public:
+  struct Verdict {
+    IncidentKind kind = IncidentKind::kLossExplosion;
+    std::string detail;
+  };
+
+  /// Throws std::invalid_argument on an inconsistent config.
+  explicit DivergenceWatchdog(WatchdogConfig config = {});
+
+  std::optional<Verdict> inspect(const gan::GanBatchStats& stats,
+                                 const TrainHealth& health) const;
+
+  const WatchdogConfig& config() const { return config_; }
+
+ private:
+  WatchdogConfig config_;
+};
+
+}  // namespace rfp::train

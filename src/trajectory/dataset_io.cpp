@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "common/constants.h"
+
 namespace rfp::trajectory {
 
 namespace {
@@ -50,6 +52,41 @@ void saveTracesCsv(const std::string& path,
   if (!out) throw std::runtime_error("saveTracesCsv: write failed: " + path);
 }
 
+Trace parseTraceCsvLine(const std::string& line, const std::string& path,
+                        int lineNo) {
+  std::stringstream ss(line);
+  std::string field;
+  Trace t;
+  if (!std::getline(ss, field, ',')) {
+    fail(path, lineNo, "missing label");
+  }
+  const double label = parseFiniteDouble(field, path, lineNo);
+  t.label = static_cast<int>(label);
+  if (static_cast<double>(t.label) != label) {
+    fail(path, lineNo, "label must be an integer: '" + field + "'");
+  }
+  if (t.label < 0 || t.label >= rfp::common::kRangeClasses) {
+    fail(path, lineNo,
+         "motion class out of range [0, " +
+             std::to_string(rfp::common::kRangeClasses) + "): '" + field +
+             "'");
+  }
+
+  std::vector<double> values;
+  while (std::getline(ss, field, ',')) {
+    values.push_back(parseFiniteDouble(field, path, lineNo));
+  }
+  if (values.size() % 2 != 0) {
+    fail(path, lineNo, "odd coordinate count (truncated row?)");
+  }
+  if (values.empty()) fail(path, lineNo, "row has no coordinates");
+  t.points.reserve(values.size() / 2);
+  for (std::size_t i = 0; i < values.size(); i += 2) {
+    t.points.push_back({values[i], values[i + 1]});
+  }
+  return t;
+}
+
 std::vector<Trace> loadTracesCsv(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("loadTracesCsv: cannot open " + path);
@@ -57,32 +94,18 @@ std::vector<Trace> loadTracesCsv(const std::string& path) {
   std::vector<Trace> traces;
   std::string line;
   int lineNo = 0;
+  std::size_t expectedPoints = 0;
   while (std::getline(in, line)) {
     ++lineNo;
     if (line.empty()) continue;
-    std::stringstream ss(line);
-    std::string field;
-    Trace t;
-    if (!std::getline(ss, field, ',')) {
-      fail(path, lineNo, "missing label");
-    }
-    const double label = parseFiniteDouble(field, path, lineNo);
-    t.label = static_cast<int>(label);
-    if (static_cast<double>(t.label) != label) {
-      fail(path, lineNo, "label must be an integer: '" + field + "'");
-    }
-
-    std::vector<double> values;
-    while (std::getline(ss, field, ',')) {
-      values.push_back(parseFiniteDouble(field, path, lineNo));
-    }
-    if (values.size() % 2 != 0) {
-      fail(path, lineNo, "odd coordinate count (truncated row?)");
-    }
-    if (values.empty()) fail(path, lineNo, "row has no coordinates");
-    t.points.reserve(values.size() / 2);
-    for (std::size_t i = 0; i < values.size(); i += 2) {
-      t.points.push_back({values[i], values[i + 1]});
+    Trace t = parseTraceCsvLine(line, path, lineNo);
+    if (expectedPoints == 0) {
+      expectedPoints = t.points.size();
+    } else if (t.points.size() != expectedPoints) {
+      fail(path, lineNo,
+           "row has " + std::to_string(t.points.size()) +
+               " points but the dataset has " + std::to_string(expectedPoints) +
+               " (truncated record?)");
     }
     traces.push_back(std::move(t));
   }

@@ -15,9 +15,21 @@ namespace rfp::trajectory {
 /// Writes \p traces to \p path. Throws std::runtime_error on IO failure.
 void saveTracesCsv(const std::string& path, const std::vector<Trace>& traces);
 
+/// Parses one CSV row into a trace. Throws std::runtime_error -- naming
+/// \p path and \p lineNo -- on malformed input: non-numeric fields, NaN/Inf
+/// coordinates, an odd coordinate count (torn mid-pair), a missing or
+/// non-integer or out-of-range label, or a row with no coordinates. The
+/// strict and quarantining loaders share this parser, so both report the
+/// same file:line diagnostics.
+Trace parseTraceCsvLine(const std::string& line, const std::string& path,
+                        int lineNo);
+
 /// Reads traces from \p path. Throws std::runtime_error -- naming the file
 /// and line -- on IO failure or malformed rows (non-numeric fields,
-/// NaN/inf coordinates, truncated rows).
+/// NaN/inf coordinates, out-of-range labels, truncated rows). Truncation
+/// is caught two ways: an odd coordinate count (row torn mid-pair), and a
+/// point count differing from the first row's (row lost whole pairs -- a
+/// dataset is one capture, so every trace has the same length).
 std::vector<Trace> loadTracesCsv(const std::string& path);
 
 }  // namespace rfp::trajectory

@@ -1,9 +1,13 @@
+#include <cmath>
 #include <cstdio>
+#include <limits>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "nn/adam.h"
+#include "nn/finite.h"
 #include "nn/linear.h"
 #include "nn/loss.h"
 #include "nn/ops.h"
@@ -130,6 +134,192 @@ TEST(Ops, XavierInitKeepsScale) {
     EXPECT_GE(v, -limit);
     EXPECT_LE(v, limit);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Finite-value guards and clipping under extreme inputs (training
+// supervision relies on these never lying)
+// ---------------------------------------------------------------------------
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Three odd-shaped tensors, gradients filled from \p rng.
+std::vector<Parameter> makeParams(rfp::common::Rng& rng, double scale = 1.0) {
+  std::vector<Parameter> owned;
+  owned.emplace_back("a", Matrix(3, 4));
+  owned.emplace_back("b", Matrix(1, 7));
+  owned.emplace_back("c", Matrix(5, 2));
+  for (Parameter& p : owned) {
+    fillGaussian(p.grad, rng);
+    p.grad *= scale;
+  }
+  return owned;
+}
+
+ParameterList listOf(std::vector<Parameter>& owned) {
+  ParameterList params;
+  for (Parameter& p : owned) params.push_back(&p);
+  return params;
+}
+
+TEST(GradientClip, PropertyPreservesDirectionAndFiniteness) {
+  rfp::common::Rng rng(31);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto owned = makeParams(rng, std::pow(10.0, rng.uniform(-3.0, 3.0)));
+    auto params = listOf(owned);
+    std::vector<double> before;
+    for (const Parameter* p : params) {
+      for (double g : p->grad.data()) before.push_back(g);
+    }
+    const double maxNorm = 1.0;
+    double sq = 0.0;
+    for (double g : before) sq += g * g;
+    const double maxNormExpected = std::sqrt(sq);
+    const double preNorm = clipGradientNorm(params, maxNorm);
+    EXPECT_NEAR(preNorm, maxNormExpected, 1e-9 * maxNormExpected + 1e-300);
+    // Post-clip: finite, norm <= maxNorm, and direction preserved (every
+    // entry scaled by the same non-negative factor).
+    EXPECT_LE(gradientNorm(params), maxNorm * (1.0 + 1e-12));
+    const double factor = preNorm > maxNorm ? maxNorm / preNorm : 1.0;
+    std::size_t i = 0;
+    for (const Parameter* p : params) {
+      for (double g : p->grad.data()) {
+        EXPECT_TRUE(std::isfinite(g));
+        EXPECT_NEAR(g, before[i] * factor, 1e-12 * std::fabs(before[i]) + 1e-300);
+        ++i;
+      }
+    }
+  }
+}
+
+TEST(GradientClip, OverflowingGradientsClipToFiniteNorm) {
+  // Entries near 1e200 overflow a naive sum-of-squares; the scaled-norm
+  // clip must still produce a finite, correctly scaled result.
+  rfp::common::Rng rng(32);
+  auto owned = makeParams(rng, 1e200);
+  auto params = listOf(owned);
+  const double preNorm = clipGradientNorm(params, 5.0);
+  EXPECT_TRUE(std::isfinite(preNorm));
+  EXPECT_GT(preNorm, 1e199);
+  EXPECT_LE(gradientNorm(params), 5.0 * (1.0 + 1e-12));
+  for (const Parameter* p : params) {
+    for (double g : p->grad.data()) EXPECT_TRUE(std::isfinite(g));
+  }
+}
+
+TEST(GradientClip, InfGradientsAreZeroedNotPropagated) {
+  rfp::common::Rng rng(33);
+  auto owned = makeParams(rng);
+  auto params = listOf(owned);
+  params[1]->grad(0, 3) = kInf;
+  const double preNorm = clipGradientNorm(params, 5.0);
+  EXPECT_TRUE(std::isinf(preNorm));
+  for (const Parameter* p : params) {
+    for (double g : p->grad.data()) EXPECT_DOUBLE_EQ(g, 0.0);
+  }
+}
+
+TEST(GradientClip, NanGradientsLeftForFiniteCheck) {
+  rfp::common::Rng rng(34);
+  auto owned = makeParams(rng);
+  auto params = listOf(owned);
+  params[2]->grad(4, 1) = kNan;
+  const double preNorm = clipGradientNorm(params, 5.0);
+  EXPECT_TRUE(std::isnan(preNorm));
+  // Gradients untouched: the finite check (not the clip) owns diagnosis.
+  EXPECT_TRUE(std::isnan(params[2]->grad(4, 1)));
+}
+
+TEST(Finite, PropertyFindsInjectionAtEveryIndex) {
+  rfp::common::Rng rng(35);
+  auto owned = makeParams(rng);
+  auto params = listOf(owned);
+  EXPECT_FALSE(findNonFiniteGradient(params).has_value());
+  EXPECT_FALSE(findNonFiniteValue(params).has_value());
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    for (std::size_t ei = 0; ei < params[pi]->size(); ++ei) {
+      // Gradient injection (NaN)
+      const double savedG = params[pi]->grad.data()[ei];
+      params[pi]->grad.data()[ei] = kNan;
+      auto bad = findNonFiniteGradient(params);
+      ASSERT_TRUE(bad.has_value());
+      EXPECT_EQ(bad->parameterIndex, pi);
+      EXPECT_EQ(bad->entryIndex, ei);
+      EXPECT_TRUE(bad->inGradient);
+      EXPECT_NE(bad->describe().find(params[pi]->name), std::string::npos);
+      params[pi]->grad.data()[ei] = savedG;
+      // Value injection (Inf)
+      const double savedV = params[pi]->value.data()[ei];
+      params[pi]->value.data()[ei] = -kInf;
+      bad = findNonFiniteValue(params);
+      ASSERT_TRUE(bad.has_value());
+      EXPECT_EQ(bad->parameterIndex, pi);
+      EXPECT_EQ(bad->entryIndex, ei);
+      EXPECT_FALSE(bad->inGradient);
+      params[pi]->value.data()[ei] = savedV;
+    }
+  }
+}
+
+TEST(Finite, GradientNormMatchesNaiveSum) {
+  rfp::common::Rng rng(36);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto owned = makeParams(rng, std::pow(10.0, rng.uniform(-2.0, 2.0)));
+    auto params = listOf(owned);
+    double sq = 0.0;
+    for (const Parameter* p : params) {
+      for (double g : p->grad.data()) sq += g * g;
+    }
+    EXPECT_NEAR(gradientNorm(params), std::sqrt(sq),
+                1e-12 * std::sqrt(sq) + 1e-300);
+  }
+}
+
+TEST(Ops, SoftmaxRowsSurvivesExtremeLogits) {
+  Matrix x{{1e308, -1e308, 0.0}, {-kInf, -kInf, -kInf}, {700.0, 710.0, 690.0}};
+  const Matrix y = softmaxRows(x);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < y.cols(); ++c) {
+      EXPECT_TRUE(std::isfinite(y(r, c)));
+      EXPECT_GE(y(r, c), 0.0);
+      sum += y(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  EXPECT_NEAR(y(0, 0), 1.0, 1e-12);
+  // All -inf row falls back to uniform rather than 0/0 = NaN.
+  EXPECT_NEAR(y(1, 0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(Ops, SafeLogClampsInsteadOfDiverging) {
+  Matrix x{{0.0, 1e-300, 1.0}};
+  const Matrix y = safeLog(x);
+  EXPECT_NEAR(y(0, 0), std::log(1e-12), 1e-9);
+  EXPECT_NEAR(y(0, 1), std::log(1e-12), 1e-9);
+  EXPECT_NEAR(y(0, 2), 0.0, 1e-15);
+  EXPECT_THROW(safeLog(x, 0.0), std::invalid_argument);
+}
+
+TEST(Loss, BceWithLogitsFiniteAtSaturation) {
+  Matrix logits{{1e308}, {-1e308}};
+  Matrix targets{{0.0}, {1.0}};
+  const LossResult r = bceWithLogits(logits, targets);
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_GT(r.loss, 0.0);
+  for (double g : r.dLogits.data()) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(Loss, BceOnProbabilitiesGuardsExactZeroAndOne) {
+  Matrix probs{{0.0}, {1.0}};
+  Matrix targets{{1.0}, {0.0}};  // worst case: -log(0) without the guard
+  const LossResult r = bceOnProbabilities(probs, targets);
+  EXPECT_TRUE(std::isfinite(r.loss));
+  EXPECT_GT(r.loss, 10.0);  // large (confidently wrong) but finite
+  for (double g : r.dLogits.data()) EXPECT_TRUE(std::isfinite(g));
+  EXPECT_THROW(bceOnProbabilities(probs, targets, 0.7), std::invalid_argument);
+  EXPECT_THROW(bceOnProbabilities(probs, Matrix(1, 1)), std::invalid_argument);
 }
 
 }  // namespace

@@ -238,6 +238,10 @@ TEST(DatasetIo, MalformedRowsThrowWithFileAndLine) {
       "0,1.0,oops\n",           // not a number
       "label,1.0,2.0\n",        // non-numeric label
       "0.5,1.0,2.0\n",          // fractional label
+      "7,1.0,2.0\n",            // motion class out of range [0, 5)
+      "-1,1.0,2.0\n",           // negative motion class
+      "1,3.0,4.0\n",            // fewer points than row 1 (truncated record)
+      "1,1.0,1.0,2.0,2.0,3.0,3.0\n",  // more points than row 1
   };
   for (const char* text : bad) {
     {
