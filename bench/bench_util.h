@@ -10,6 +10,7 @@
 /// runs reload it. `out/` is git-ignored so checkpoints never leak into
 /// the tree.
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -30,6 +31,32 @@ inline void printHeader(const std::string& title) {
   std::printf("\n%s\n", title.c_str());
   std::printf("%s\n", std::string(title.size(), '=').c_str());
 }
+
+/// Monotonic wall-clock stopwatch for the scaling/throughput benchmarks.
+/// Elapsed time is reported in *microseconds as a double* (nanosecond tick
+/// under the hood): integer-millisecond reporting truncates per-frame
+/// times under ~1 ms to zero, which hid sub-millisecond speedups in
+/// BENCH_scaling.json.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Microseconds since construction/reset, fractional.
+  double elapsedUs() const {
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+  /// Convenience views of the same double-precision measurement.
+  double elapsedMs() const { return elapsedUs() / 1.0e3; }
+  double elapsedS() const { return elapsedUs() / 1.0e6; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
 
 /// Prints the standard percentile summary used for the Fig. 11 CDFs.
 inline void printErrorSummary(const std::string& label,

@@ -8,7 +8,10 @@
 /// (seed, frame, stream) instead of consuming a sequential generator, so
 /// querying frame 100 before frame 5 changes nothing.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
+#include <utility>
 
 namespace rfp::common {
 
@@ -41,6 +44,25 @@ inline std::uint64_t hashBits(std::uint64_t seed, std::uint64_t frame,
                               std::uint64_t stream) {
   return splitmix64(seed ^ splitmix64(frame + 1) ^
                     (stream * 0xd6e8feb86659fd93ull));
+}
+
+/// Deterministic pair of independent standard-normal samples for
+/// (seed, frame, stream), via Box-Muller over two hashUniform draws. This
+/// is the per-chirp noise primitive of the parallel front end: every
+/// (chirp, antenna, sample) noise value is a pure function of its
+/// coordinates, so synthesis order -- and thread count -- cannot change
+/// the realization (DESIGN.md Sec. 8).
+inline std::pair<double, double> hashGaussianPair(std::uint64_t seed,
+                                                  std::uint64_t frame,
+                                                  std::uint64_t stream) {
+  // Floor u1 away from 0 so the log stays finite; the bias is far below
+  // double resolution of the output.
+  const double u1 =
+      std::max(hashUniform(seed, frame, 2 * stream), 0x1.0p-53);
+  const double u2 = hashUniform(seed, frame, 2 * stream + 1);
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double phi = 2.0 * 3.14159265358979323846 * u2;
+  return {r * std::cos(phi), r * std::sin(phi)};
 }
 
 }  // namespace rfp::common

@@ -1,0 +1,162 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace rfp::common {
+
+namespace {
+
+/// True on threads owned by some pool; nested parallelFor calls from a
+/// worker run inline instead of re-entering the queue (which could
+/// deadlock once every worker waits on work only other workers can run).
+thread_local bool tlsInsideWorker = false;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::packaged_task<void()>> queue;
+  bool stopping = false;
+};
+
+std::size_t ThreadPool::resolveThreadCount() {
+  if (const char* env = std::getenv("RFP_THREADS")) {
+    char* end = nullptr;
+    const unsigned long parsed = std::strtoul(env, &end, 10);
+    if (end != env && *end == '\0' && parsed >= 1) {
+      return std::min<std::size_t>(parsed, 256);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : size_(threads == 0 ? resolveThreadCount() : threads),
+      impl_(std::make_unique<Impl>()) {
+  if (size_ < 2) return;  // inline fallback: no threads at all
+  workers_.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    workers_.emplace_back([this] { runWorker(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->stopping = true;
+  }
+  impl_->cv.notify_all();
+  for (std::thread& w : workers_) w.join();
+  // Inline pools (and the rare job enqueued after stop) drain here.
+  while (!impl_->queue.empty()) {
+    auto task = std::move(impl_->queue.front());
+    impl_->queue.pop_front();
+    task();
+  }
+}
+
+void ThreadPool::runWorker() {
+  tlsInsideWorker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(impl_->mutex);
+      impl_->cv.wait(lock, [this] {
+        return impl_->stopping || !impl_->queue.empty();
+      });
+      // Drain-before-join: only exit once the queue is empty, so jobs
+      // pending at shutdown still run.
+      if (impl_->queue.empty()) return;
+      task = std::move(impl_->queue.front());
+      impl_->queue.pop_front();
+    }
+    task();
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> job) {
+  std::packaged_task<void()> task(std::move(job));
+  std::future<void> future = task.get_future();
+  if (workers_.empty()) {
+    task();  // single-worker pool: run inline
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->queue.push_back(std::move(task));
+  }
+  impl_->cv.notify_one();
+  return future;
+}
+
+void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  const std::size_t range = end - begin;
+  if (workers_.empty() || range == 1 || tlsInsideWorker) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  const std::size_t chunks = std::min(size_, range);
+  std::vector<std::future<void>> futures;
+  futures.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + range * c / chunks;
+    const std::size_t hi = begin + range * (c + 1) / chunks;
+    futures.push_back(submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+    }));
+  }
+
+  // Wait for every chunk before rethrowing, so `body`'s captures stay
+  // alive for stragglers even when an early chunk failed.
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool>& globalSlot() {
+  static std::unique_ptr<ThreadPool> pool;
+  return pool;
+}
+
+std::mutex& globalMutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard<std::mutex> lock(globalMutex());
+  auto& slot = globalSlot();
+  if (!slot) slot = std::make_unique<ThreadPool>();
+  return *slot;
+}
+
+void ThreadPool::setGlobalThreads(std::size_t threads) {
+  std::lock_guard<std::mutex> lock(globalMutex());
+  auto& slot = globalSlot();
+  slot.reset();  // join the old pool before spawning the new one
+  slot = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace rfp::common

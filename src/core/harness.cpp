@@ -19,14 +19,21 @@ std::vector<env::PointScatterer> combineScatterers(
     const std::vector<env::PointScatterer>& injected) {
   std::vector<env::PointScatterer> all =
       environment.snapshot(t, rng, opts);
-  for (const env::PointScatterer& s : injected) {
-    all.push_back(s);
-    if (opts.includeMultipath && s.dynamic) {
-      for (const env::PointScatterer& img :
-           environment.plan().multipathImages(s, opts.multipathLoss,
-                                              opts.multipathObserver)) {
-        all.push_back(img);
-      }
+  if (injected.empty()) return all;
+
+  // Expand injected-reflection multipath in one parallel batch (pure
+  // geometry), then flatten in injection order -- deterministic at any
+  // thread count.
+  std::vector<std::vector<env::PointScatterer>> images;
+  if (opts.includeMultipath) {
+    images = env::multipathImagesBatch(environment.plan(), injected,
+                                       opts.multipathLoss,
+                                       opts.multipathObserver);
+  }
+  for (std::size_t i = 0; i < injected.size(); ++i) {
+    all.push_back(injected[i]);
+    if (opts.includeMultipath && injected[i].dynamic) {
+      all.insert(all.end(), images[i].begin(), images[i].end());
     }
   }
   return all;

@@ -1,5 +1,7 @@
 #include "env/environment.h"
 
+#include "common/thread_pool.h"
+
 namespace rfp::env {
 
 int Environment::addHuman(TimedPath path, BreathingModel breathing,
@@ -11,23 +13,41 @@ int Environment::addHuman(TimedPath path, BreathingModel breathing,
 
 std::vector<PointScatterer> Environment::snapshot(
     double t, rfp::common::Rng& rng, const SnapshotOptions& opts) const {
-  std::vector<PointScatterer> out;
-
+  // Stochastic draws first, in human order, on the caller's sequential
+  // Rng (the seeded-stream contract); geometry fans out afterwards.
+  std::vector<PointScatterer> primaries;
+  primaries.reserve(humans_.size());
   for (const Human& h : humans_) {
-    const PointScatterer s = h.scatterAt(t, rng, opts.rcsJitter);
-    out.push_back(s);
-    if (opts.includeMultipath) {
-      for (PointScatterer img : plan_.multipathImages(
-               s, opts.multipathLoss, opts.multipathObserver)) {
-        out.push_back(img);
-      }
+    primaries.push_back(h.scatterAt(t, rng, opts.rcsJitter));
+  }
+
+  std::vector<PointScatterer> out;
+  if (opts.includeMultipath) {
+    const auto images = multipathImagesBatch(
+        plan_, primaries, opts.multipathLoss, opts.multipathObserver);
+    for (std::size_t i = 0; i < primaries.size(); ++i) {
+      out.push_back(primaries[i]);
+      out.insert(out.end(), images[i].begin(), images[i].end());
     }
+  } else {
+    out = std::move(primaries);
   }
 
   if (opts.includeClutter) {
     for (const PointScatterer& c : plan_.clutter()) out.push_back(c);
   }
   return out;
+}
+
+std::vector<std::vector<PointScatterer>> multipathImagesBatch(
+    const FloorPlan& plan, std::span<const PointScatterer> primaries,
+    double extraLoss, std::optional<rfp::common::Vec2> observer) {
+  std::vector<std::vector<PointScatterer>> images(primaries.size());
+  rfp::common::ThreadPool::global().parallelFor(
+      0, primaries.size(), [&](std::size_t i) {
+        images[i] = plan.multipathImages(primaries[i], extraLoss, observer);
+      });
+  return images;
 }
 
 }  // namespace rfp::env

@@ -4,8 +4,16 @@
 /// The simulated world: a floor plan plus its occupants. Produces the
 /// per-frame scatterer list the radar front end consumes, including static
 /// clutter and first-order wall multipath.
+///
+/// Parallelism & determinism (DESIGN.md Sec. 8). Stochastic per-human
+/// draws (RCS jitter) stay sequential on the caller's Rng -- they are part
+/// of the repo-wide seeded-stream contract -- while the purely geometric
+/// multipath image expansion fans out per source on the global thread
+/// pool. Results are concatenated in source order, so snapshots are
+/// bit-identical at any thread count.
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -50,5 +58,15 @@ class Environment {
   FloorPlan plan_;
   std::vector<Human> humans_;
 };
+
+/// First-order multipath images of every primary scatterer, expanded in
+/// parallel on the global thread pool (one slot per primary, geometry
+/// only -- no randomness). Slot i holds plan.multipathImages(primaries[i],
+/// extraLoss, observer) in wall order; the batch is deterministic at any
+/// thread count.
+std::vector<std::vector<PointScatterer>> multipathImagesBatch(
+    const FloorPlan& plan, std::span<const PointScatterer> primaries,
+    double extraLoss,
+    std::optional<rfp::common::Vec2> observer = std::nullopt);
 
 }  // namespace rfp::env

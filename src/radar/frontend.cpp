@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/constants.h"
+#include "common/thread_pool.h"
 #include "signal/noise.h"
 
 namespace rfp::radar {
@@ -22,6 +23,16 @@ double Frontend::pathAmplitude(double distanceM) const {
 
 Frame Frontend::synthesize(std::span<const env::PointScatterer> scatterers,
                            double timestampS, rfp::common::Rng& rng) const {
+  // One sequential draw on the calling thread seeds this chirp's noise
+  // streams; everything downstream is counter-based and order-free.
+  const std::uint64_t noiseSeed =
+      config_.noisePower > 0.0 ? rng.engine()() : 0;
+  return synthesize(scatterers, timestampS, noiseSeed, /*chirpIndex=*/0);
+}
+
+Frame Frontend::synthesize(std::span<const env::PointScatterer> scatterers,
+                           double timestampS, std::uint64_t noiseSeed,
+                           std::uint64_t chirpIndex) const {
   const std::size_t numSamples = config_.chirp.samplesPerChirp();
   const int numAntennas = config_.numAntennas;
   const double dt = 1.0 / config_.chirp.sampleRateHz;
@@ -34,37 +45,48 @@ Frame Frontend::synthesize(std::span<const env::PointScatterer> scatterers,
   frame.timestampS = timestampS;
   frame.samples.assign(numAntennas, std::vector<Complex>(numSamples));
 
-  for (const env::PointScatterer& s : scatterers) {
-    const double dTx =
-        (s.position - txPos).norm() + s.radialOffsetM;
-    const double amp = s.amplitude * pathAmplitude(dTx);
-    if (amp <= 0.0) continue;
-
-    for (int k = 0; k < numAntennas; ++k) {
-      const double dRx =
-          (s.position - config_.antennaPosition(k)).norm() + s.radialOffsetM;
-      const double tau = (dTx + dRx) / rfp::common::kSpeedOfLight;
-      const double beatHz = sl * tau + s.beatFreqOffsetHz;
-      const double basePhase = twoPi * f0 * tau + s.phaseOffsetRad;
-
-      // Accumulate the tone with a per-sample phase rotation; the recurrence
-      // avoids numSamples sin/cos calls per scatterer-antenna pair.
-      const Complex rot =
-          std::polar(1.0, twoPi * beatHz * dt);
-      Complex phasor = std::polar(amp, basePhase);
-      std::vector<Complex>& dst = frame.samples[k];
-      for (std::size_t n = 0; n < numSamples; ++n) {
-        dst[n] += phasor;
-        phasor *= rot;
-      }
-    }
+  // TX-side geometry is antenna-independent; hoist it out of the fan-out.
+  struct TxPath {
+    double dTx;
+    double amp;
+  };
+  std::vector<TxPath> tx(scatterers.size());
+  for (std::size_t i = 0; i < scatterers.size(); ++i) {
+    const env::PointScatterer& s = scatterers[i];
+    tx[i].dTx = (s.position - txPos).norm() + s.radialOffsetM;
+    tx[i].amp = s.amplitude * pathAmplitude(tx[i].dTx);
   }
 
-  if (config_.noisePower > 0.0) {
-    for (auto& antenna : frame.samples) {
-      rfp::signal::addAwgn(antenna, config_.noisePower, rng);
-    }
-  }
+  // Each antenna owns its sample buffer and accumulates scatterer tones in
+  // list order, so the result is bit-identical at any thread count.
+  rfp::common::ThreadPool::global().parallelFor(
+      0, static_cast<std::size_t>(numAntennas), [&](std::size_t k) {
+        std::vector<Complex>& dst = frame.samples[k];
+        const Vec2 rxPos = config_.antennaPosition(static_cast<int>(k));
+        for (std::size_t i = 0; i < scatterers.size(); ++i) {
+          const env::PointScatterer& s = scatterers[i];
+          const double amp = tx[i].amp;
+          if (amp <= 0.0) continue;
+          const double dRx = (s.position - rxPos).norm() + s.radialOffsetM;
+          const double tau = (tx[i].dTx + dRx) / rfp::common::kSpeedOfLight;
+          const double beatHz = sl * tau + s.beatFreqOffsetHz;
+          const double basePhase = twoPi * f0 * tau + s.phaseOffsetRad;
+
+          // Accumulate the tone with a per-sample phase rotation; the
+          // recurrence avoids numSamples sin/cos calls per
+          // scatterer-antenna pair.
+          const Complex rot = std::polar(1.0, twoPi * beatHz * dt);
+          Complex phasor = std::polar(amp, basePhase);
+          for (std::size_t n = 0; n < numSamples; ++n) {
+            dst[n] += phasor;
+            phasor *= rot;
+          }
+        }
+        if (config_.noisePower > 0.0) {
+          rfp::signal::addAwgn(dst, config_.noisePower, noiseSeed,
+                               chirpIndex, /*stream=*/k);
+        }
+      });
   return frame;
 }
 

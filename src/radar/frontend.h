@@ -11,7 +11,16 @@
 /// (range) and the across-array phase gradient (angle) without assuming the
 /// far field. RF-Protect's switching adds `beatFreqOffsetHz` to the tone and
 /// its phase shifter adds `phaseOffsetRad` (paper Eq. 3 / Sec. 5.3).
+///
+/// Parallelism & determinism (DESIGN.md Sec. 8). Synthesis fans out across
+/// antennas on the global thread pool; each antenna accumulates its
+/// scatterer tones in list order into its own sample buffer, so the frame
+/// is bit-identical at any thread count. Receiver noise comes from
+/// counter-based streams keyed (noiseSeed, chirpIndex, antenna, sample)
+/// rather than a shared sequential engine -- the Rng overload merely draws
+/// one 64-bit per-chirp seed on the calling thread and delegates.
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -23,16 +32,33 @@
 namespace rfp::radar {
 
 /// Beat-signal synthesizer for a configured radar.
+///
+/// Thread-safety: const and internally synchronized -- synthesize() may be
+/// called concurrently from different threads (each call parallelizes
+/// internally; nested calls from pool workers degrade to serial).
 class Frontend {
  public:
   explicit Frontend(RadarConfig config);
 
   const RadarConfig& config() const { return config_; }
 
-  /// Synthesizes the frame observed at time \p timestamp for the given
-  /// scatterer snapshot. Adds AWGN from \p rng at the configured power.
+  /// Synthesizes the frame observed at time \p timestampS (seconds) for
+  /// the given scatterer snapshot. Adds AWGN at the configured power,
+  /// seeded by one 64-bit draw from \p rng (the only engine consumption;
+  /// noise samples themselves come from counter-based streams, see the
+  /// deterministic overload). When config().noisePower == 0 the engine is
+  /// not touched at all.
   Frame synthesize(std::span<const env::PointScatterer> scatterers,
                    double timestampS, rfp::common::Rng& rng) const;
+
+  /// Fully deterministic variant: noise sample n of antenna k is a pure
+  /// function of (\p noiseSeed, \p chirpIndex, k, n). Two calls with equal
+  /// arguments return bit-identical frames at any thread count; callers
+  /// iterating a chirp sequence should pass the running chirp index so
+  /// successive frames draw independent noise.
+  Frame synthesize(std::span<const env::PointScatterer> scatterers,
+                   double timestampS, std::uint64_t noiseSeed,
+                   std::uint64_t chirpIndex) const;
 
   /// Amplitude observed from a scatterer of unit reflectivity at distance
   /// \p d (radar-equation path loss, normalized at config.pathLossRefM).

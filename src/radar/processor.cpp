@@ -1,15 +1,74 @@
 #include "radar/processor.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
+#include <map>
+#include <mutex>
 #include <stdexcept>
+#include <tuple>
 
 #include "common/constants.h"
+#include "common/thread_pool.h"
 #include "signal/fft.h"
 
 namespace rfp::radar {
 
 using rfp::common::Vec2;
+
+namespace {
+
+/// Process-wide steering-matrix cache. Keyed by everything the matrix
+/// depends on -- angle-grid size, array size, element spacing, and
+/// wavelength (doubles compared by exact bit pattern, so any config change
+/// resolves to a fresh entry rather than a stale one). Entries are
+/// immutable and shared across Processor instances and threads.
+using SteeringKey = std::tuple<std::size_t, int, std::uint64_t, std::uint64_t>;
+
+std::mutex steeringMutex;
+std::map<SteeringKey, std::shared_ptr<const std::vector<Complex>>>
+    steeringCache;
+
+std::shared_ptr<const std::vector<Complex>> steeringFor(
+    const std::vector<double>& anglesRad, int numAntennas, double spacingM,
+    double lambda) {
+  auto& cache = steeringCache;
+  const SteeringKey key{anglesRad.size(), numAntennas,
+                        std::bit_cast<std::uint64_t>(spacingM),
+                        std::bit_cast<std::uint64_t>(lambda)};
+  std::lock_guard<std::mutex> lock(steeringMutex);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    // Steering phases: the synthesized receive phase of antenna k relative
+    // to antenna 0 is -2*pi*k*d*cos(theta)/lambda (one-way path
+    // shortening), so the matched beamformer multiplies by the conjugate
+    // (paper Eq. 2).
+    const double twoPi = 2.0 * rfp::common::pi();
+    std::vector<Complex> steering(anglesRad.size() *
+                                  static_cast<std::size_t>(numAntennas));
+    for (std::size_t a = 0; a < anglesRad.size(); ++a) {
+      const double cosTheta = std::cos(anglesRad[a]);
+      for (int k = 0; k < numAntennas; ++k) {
+        steering[a * numAntennas + k] = std::polar(
+            1.0,
+            twoPi * spacingM * static_cast<double>(k) * cosTheta / lambda);
+      }
+    }
+    it = cache
+             .emplace(key, std::make_shared<const std::vector<Complex>>(
+                               std::move(steering)))
+             .first;
+  }
+  return it->second;
+}
+
+}  // namespace
+
+std::size_t steeringCacheEntries() {
+  std::lock_guard<std::mutex> lock(steeringMutex);
+  return steeringCache.size();
+}
 
 std::pair<std::size_t, std::size_t> RangeAngleMap::argmax() const {
   if (power.empty()) throw std::logic_error("RangeAngleMap::argmax: empty map");
@@ -59,6 +118,18 @@ Processor::Processor(RadarConfig config, ProcessorOptions options)
   if (firstBin_ >= lastBin_) {
     throw std::invalid_argument("ProcessorOptions: empty range window");
   }
+
+  const std::size_t numAngles = options_.numAngleBins;
+  anglesRad_.resize(numAngles);
+  for (std::size_t a = 0; a < numAngles; ++a) {
+    anglesRad_[a] = rfp::common::pi() * static_cast<double>(a + 1) /
+                    static_cast<double>(numAngles + 1);
+  }
+  steering_ = steeringFor(anglesRad_, config_.numAntennas, config_.spacing(),
+                          config_.chirp.wavelength());
+  // Warm the twiddle cache for this FFT size so the first frame pays no
+  // setup cost inside the parallel region.
+  rfp::signal::twiddlesFor(fftSize_);
 }
 
 double Processor::rangeOfBin(std::size_t rangeIdx) const {
@@ -91,15 +162,17 @@ std::vector<std::vector<Complex>> Processor::rangeSpectra(
   if (frame.samplesPerChirp() != config_.chirp.samplesPerChirp()) {
     throw std::invalid_argument("Processor: frame sample count mismatch");
   }
-  std::vector<std::vector<Complex>> spectra;
-  spectra.reserve(frame.numAntennas());
-  for (const auto& antenna : frame.samples) {
-    std::vector<Complex> windowed = antenna;
-    rfp::signal::applyWindow(windowed, windowCoeffs_);
-    std::vector<Complex> spec = rfp::signal::fft(windowed, fftSize_);
-    spectra.push_back(
-        std::vector<Complex>(spec.begin() + firstBin_, spec.begin() + lastBin_));
-  }
+  // One independent window + FFT per antenna; each iteration writes its
+  // own slot, so the fan-out is deterministic at any thread count.
+  std::vector<std::vector<Complex>> spectra(frame.numAntennas());
+  rfp::common::ThreadPool::global().parallelFor(
+      0, frame.numAntennas(), [&](std::size_t k) {
+        std::vector<Complex> windowed = frame.samples[k];
+        rfp::signal::applyWindow(windowed, windowCoeffs_);
+        std::vector<Complex> spec = rfp::signal::fft(windowed, fftSize_);
+        spectra[k] = std::vector<Complex>(spec.begin() + firstBin_,
+                                          spec.begin() + lastBin_);
+      });
   return spectra;
 }
 
@@ -108,35 +181,20 @@ RangeAngleMap Processor::process(const Frame& frame) const {
   const std::size_t numRanges = lastBin_ - firstBin_;
   const std::size_t numAngles = options_.numAngleBins;
   const int numAntennas = config_.numAntennas;
-  const double lambda = config_.chirp.wavelength();
-  const double d = config_.spacing();
-  const double twoPi = 2.0 * rfp::common::pi();
 
   RangeAngleMap map;
   map.timestampS = frame.timestampS;
   map.rangesM.resize(numRanges);
   for (std::size_t r = 0; r < numRanges; ++r) map.rangesM[r] = rangeOfBin(r);
-  map.anglesRad.resize(numAngles);
-  for (std::size_t a = 0; a < numAngles; ++a) {
-    map.anglesRad[a] = rfp::common::pi() * static_cast<double>(a + 1) /
-                       static_cast<double>(numAngles + 1);
-  }
+  map.anglesRad = anglesRad_;
   map.power.assign(numRanges * numAngles, 0.0);
 
-  // Steering phases: the synthesized receive phase of antenna k relative to
-  // antenna 0 is -2*pi*k*d*cos(theta)/lambda (one-way path shortening), so
-  // the matched beamformer multiplies by the conjugate (paper Eq. 2).
-  std::vector<Complex> steering(numAngles * numAntennas);
-  for (std::size_t a = 0; a < numAngles; ++a) {
-    const double cosTheta = std::cos(map.anglesRad[a]);
-    for (int k = 0; k < numAntennas; ++k) {
-      steering[a * numAntennas + k] =
-          std::polar(1.0, twoPi * d * static_cast<double>(k) * cosTheta /
-                              lambda);
-    }
-  }
-
-  for (std::size_t r = 0; r < numRanges; ++r) {
+  // Beamform row-parallel: each range row writes its own disjoint slice of
+  // map.power with a fixed antenna accumulation order (paper Eq. 2, using
+  // the cached steering matrix).
+  const std::vector<Complex>& steering = *steering_;
+  rfp::common::ThreadPool::global().parallelFor(0, numRanges, [&](
+                                                    std::size_t r) {
     for (std::size_t a = 0; a < numAngles; ++a) {
       Complex acc{};
       const Complex* steer = &steering[a * numAntennas];
@@ -145,7 +203,7 @@ RangeAngleMap Processor::process(const Frame& frame) const {
       }
       map.at(r, a) = std::norm(acc);
     }
-  }
+  });
   return map;
 }
 

@@ -6,8 +6,19 @@
 ///   2. background subtraction of successive frames,
 ///   3. Eq. 2 beamforming across the array -> range-angle power profile.
 /// Peaks in the profile represent human (or phantom) motion.
+///
+/// Parallelism & determinism (DESIGN.md Sec. 8). process() fans the
+/// per-antenna range FFTs and then the per-range-row beamforming sums out
+/// on the global thread pool; every row writes disjoint cells of the
+/// output map with a fixed accumulation order, so maps are bit-identical
+/// at any thread count. The Eq. 2 steering matrix is resolved once per
+/// (numAngles, numAntennas, spacing, wavelength) tuple from a process-wide
+/// immutable cache (repeated frames -- and repeated Processor
+/// constructions in sweep harnesses -- stop re-deriving it), and the range
+/// FFT reuses the signal-layer twiddle cache keyed by fftSize.
 
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -56,6 +67,11 @@ struct ProcessorOptions {
 };
 
 /// Converts frames into range-angle maps and manages background subtraction.
+///
+/// Thread-safety: process() and the coordinate transforms are const and
+/// safe to call concurrently; processWithBackgroundSubtraction() mutates
+/// the stored previous frame and must be externally serialized per
+/// instance (one eavesdropper pipeline = one frame sequence).
 class Processor {
  public:
   Processor(RadarConfig config, ProcessorOptions options = {});
@@ -64,6 +80,7 @@ class Processor {
   const ProcessorOptions& options() const { return options_; }
 
   /// Range-angle map of a frame without background subtraction.
+  /// Deterministic: bit-identical output at any thread count.
   RangeAngleMap process(const Frame& frame) const;
 
   /// Range-angle map of (frame - previous frame); the first call returns
@@ -95,7 +112,16 @@ class Processor {
   std::size_t firstBin_;
   std::size_t lastBin_;  // exclusive
   std::vector<double> windowCoeffs_;
+  std::vector<double> anglesRad_;  ///< beamforming angle grid, (0, pi)
+  /// Eq. 2 steering matrix, row-major [angle][antenna]; shared immutable
+  /// entry of the process-wide steering cache.
+  std::shared_ptr<const std::vector<Complex>> steering_;
   std::optional<Frame> previous_;
 };
+
+/// Number of distinct steering matrices currently cached process-wide
+/// (test/introspection hook for the cache keyed on numAngles, numAntennas,
+/// spacing, and wavelength).
+std::size_t steeringCacheEntries();
 
 }  // namespace rfp::radar

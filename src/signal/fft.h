@@ -4,9 +4,17 @@
 /// Iterative radix-2 complex FFT. The radar processing pipeline uses this
 /// for range FFTs (paper Sec. 3: reflections are separated by a Fourier
 /// transform at resolution C / 2B).
+///
+/// Twiddle factors are precomputed once per FFT size and shared through a
+/// process-wide cache (see twiddlesFor), so per-chirp transforms stop
+/// re-deriving them. All entry points are thread-safe and deterministic:
+/// concurrent transforms of the same size share one immutable table, and
+/// a cached transform is bit-identical to an uncached one because the
+/// table is filled by the same recurrence the uncached butterfly used.
 
 #include <complex>
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -16,6 +24,16 @@ using Complex = std::complex<double>;
 
 /// Smallest power of two >= n (and >= 1).
 std::size_t nextPowerOfTwo(std::size_t n);
+
+/// Forward-transform twiddle table for an FFT of length \p n (a power of
+/// two): for every butterfly stage of length L (2, 4, ..., n) the L/2
+/// unit phasors W_L^k, stored contiguously at offset L/2 - 1 (n - 1
+/// entries in total). Tables are built once per size, cached for the
+/// process lifetime, and shared (immutable) between threads; the inverse
+/// transform conjugates entries on the fly. Exposed so tests can observe
+/// cache identity. Throws std::invalid_argument unless \p n is a power
+/// of two >= 2.
+std::shared_ptr<const std::vector<Complex>> twiddlesFor(std::size_t n);
 
 /// In-place forward FFT. The length must be a power of two; throws
 /// std::invalid_argument otherwise. Unnormalized (sum convention).

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/det_hash.h"
+
 namespace rfp::signal {
 
 void addAwgn(std::span<std::complex<double>> samples, double noisePower,
@@ -15,6 +17,23 @@ void addAwgn(std::span<std::complex<double>> samples, double noisePower,
   for (auto& x : samples) {
     x += std::complex<double>(rng.gaussian(0.0, sigma),
                               rng.gaussian(0.0, sigma));
+  }
+}
+
+void addAwgn(std::span<std::complex<double>> samples, double noisePower,
+             std::uint64_t seed, std::uint64_t counter, std::uint64_t stream) {
+  if (noisePower < 0.0) {
+    throw std::invalid_argument("addAwgn: noise power must be >= 0");
+  }
+  if (noisePower == 0.0) return;
+  const double sigma = std::sqrt(noisePower / 2.0);
+  // Fold the antenna/stream id into the high half so it cannot collide
+  // with the sample index.
+  const std::uint64_t streamBase = (stream + 1) << 32;
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    const auto [i, q] = rfp::common::hashGaussianPair(
+        seed, counter, streamBase | static_cast<std::uint64_t>(n));
+    samples[n] += std::complex<double>(sigma * i, sigma * q);
   }
 }
 

@@ -4,6 +4,7 @@
 /// Complex additive white Gaussian noise for the simulated radar front end.
 
 #include <complex>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -12,9 +13,19 @@
 namespace rfp::signal {
 
 /// Adds circularly-symmetric complex Gaussian noise of total power
-/// \p noisePower (variance split evenly between I and Q) to \p samples.
+/// \p noisePower (variance split evenly between I and Q) to \p samples,
+/// drawn sequentially from \p rng.
 void addAwgn(std::span<std::complex<double>> samples, double noisePower,
              rfp::common::Rng& rng);
+
+/// Counter-based variant: sample n receives noise that is a pure function
+/// of (seed, counter, stream, n) -- no sequential engine is consumed, so
+/// the realization is independent of evaluation order and thread count
+/// (DESIGN.md Sec. 8). \p counter is typically a chirp index and \p stream
+/// an antenna index; (seed, counter, stream) tuples must be unique per
+/// noise burst or realizations repeat.
+void addAwgn(std::span<std::complex<double>> samples, double noisePower,
+             std::uint64_t seed, std::uint64_t counter, std::uint64_t stream);
 
 /// Generates \p n iid circularly-symmetric complex Gaussian samples of
 /// total power \p noisePower.

@@ -1,0 +1,277 @@
+/// \file test_parallel.cpp
+/// The parallel simulation engine's determinism contract (DESIGN.md
+/// Sec. 8): thread-pool mechanics (sizing, shutdown, exceptions), bit
+/// identity of radar frames / range-angle maps / environment snapshots at
+/// any thread count, and the steering/twiddle cache behavior.
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/constants.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/vec2.h"
+#include "env/environment.h"
+#include "env/floorplan.h"
+#include "env/human.h"
+#include "radar/config.h"
+#include "radar/frontend.h"
+#include "radar/processor.h"
+#include "signal/fft.h"
+
+namespace rfp {
+namespace {
+
+using rfp::common::ThreadPool;
+using rfp::common::Vec2;
+
+/// RAII guard: every test that touches the global pool puts it back to the
+/// environment-resolved default on exit.
+struct GlobalPoolGuard {
+  ~GlobalPoolGuard() { ThreadPool::setGlobalThreads(0); }
+};
+
+TEST(ThreadPool, RfpThreadsEnvOverridesAndFallsBackToOne) {
+  ::setenv("RFP_THREADS", "1", 1);
+  {
+    ThreadPool pool;  // default-constructed -> resolves from env
+    EXPECT_EQ(pool.size(), 1u);
+    // The 1-thread fallback runs everything inline on the calling thread.
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::thread::id> seen(4);
+    pool.parallelFor(0, seen.size(),
+                     [&](std::size_t i) { seen[i] = std::this_thread::get_id(); });
+    for (const auto& id : seen) EXPECT_EQ(id, caller);
+  }
+  ::setenv("RFP_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::resolveThreadCount(), 3u);
+  ::setenv("RFP_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::resolveThreadCount(), 1u);  // ignored, hw fallback
+  ::unsetenv("RFP_THREADS");
+}
+
+TEST(ThreadPool, ShutdownRunsPendingJobs) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        ran.fetch_add(1);
+      });
+    }
+    // Destructor must drain the queue, not drop it.
+  }
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPool, ParallelForPropagatesWorkerExceptions) {
+  ThreadPool pool(4);
+  std::atomic<int> visited{0};
+  EXPECT_THROW(
+      pool.parallelFor(0, 64,
+                       [&](std::size_t i) {
+                         visited.fetch_add(1);
+                         if (i == 5) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool survives a throwing job and stays usable.
+  std::atomic<int> after{0};
+  pool.parallelFor(0, 8, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(ThreadPool, SubmitFutureRethrows) {
+  ThreadPool pool(2);
+  auto future = pool.submit([] { throw std::invalid_argument("bad job"); });
+  EXPECT_THROW(future.get(), std::invalid_argument);
+}
+
+TEST(ThreadPool, NestedParallelForFromWorkerRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> inner{0};
+  pool.submit([&] {
+        // A worker re-entering parallelFor must not deadlock waiting on
+        // peers; the nested loop degrades to serial.
+        pool.parallelFor(0, 32, [&](std::size_t) { inner.fetch_add(1); });
+      })
+      .get();
+  EXPECT_EQ(inner.load(), 32);
+}
+
+radar::RadarConfig parallelTestConfig() {
+  radar::RadarConfig cfg;
+  cfg.position = {5.0, 0.05};
+  cfg.noisePower = 1e-4;
+  return cfg;
+}
+
+std::vector<env::PointScatterer> testScatterers(const radar::RadarConfig& cfg) {
+  std::vector<env::PointScatterer> scatterers;
+  for (int i = 0; i < 5; ++i) {
+    env::PointScatterer s;
+    s.position = cfg.position + Vec2{-2.0 + i * 1.1, 3.0 + 0.4 * i};
+    s.amplitude = 0.5 + 0.25 * i;
+    s.radialOffsetM = 0.001 * i;
+    scatterers.push_back(s);
+  }
+  return scatterers;
+}
+
+void expectFramesBitIdentical(const radar::Frame& a, const radar::Frame& b) {
+  ASSERT_EQ(a.numAntennas(), b.numAntennas());
+  ASSERT_EQ(a.samplesPerChirp(), b.samplesPerChirp());
+  for (std::size_t k = 0; k < a.numAntennas(); ++k) {
+    for (std::size_t n = 0; n < a.samples[k].size(); ++n) {
+      EXPECT_EQ(a.samples[k][n].real(), b.samples[k][n].real());
+      EXPECT_EQ(a.samples[k][n].imag(), b.samples[k][n].imag());
+    }
+  }
+}
+
+TEST(ParallelDeterminism, FrontendFramesBitIdenticalAcrossThreadCounts) {
+  GlobalPoolGuard guard;
+  const radar::RadarConfig cfg = parallelTestConfig();
+  const radar::Frontend fe(cfg);
+  const auto scatterers = testScatterers(cfg);
+
+  ThreadPool::setGlobalThreads(1);
+  const radar::Frame serialCounter = fe.synthesize(scatterers, 0.0, 99u, 7u);
+  common::Rng serialRng(5);
+  const radar::Frame serialSeq = fe.synthesize(scatterers, 0.0, serialRng);
+
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    ThreadPool::setGlobalThreads(threads);
+    const radar::Frame parCounter = fe.synthesize(scatterers, 0.0, 99u, 7u);
+    expectFramesBitIdentical(serialCounter, parCounter);
+    common::Rng parRng(5);
+    const radar::Frame parSeq = fe.synthesize(scatterers, 0.0, parRng);
+    expectFramesBitIdentical(serialSeq, parSeq);
+  }
+}
+
+TEST(ParallelDeterminism, CounterNoiseIsAFunctionOfSeedChirpAndAntenna) {
+  const radar::RadarConfig cfg = parallelTestConfig();
+  const radar::Frontend fe(cfg);
+  const auto scatterers = testScatterers(cfg);
+  const radar::Frame a = fe.synthesize(scatterers, 0.0, 99u, 7u);
+  const radar::Frame sameKey = fe.synthesize(scatterers, 0.0, 99u, 7u);
+  const radar::Frame otherChirp = fe.synthesize(scatterers, 0.0, 99u, 8u);
+  const radar::Frame otherSeed = fe.synthesize(scatterers, 0.0, 100u, 7u);
+  expectFramesBitIdentical(a, sameKey);
+  EXPECT_NE(a.samples[0][0], otherChirp.samples[0][0]);
+  EXPECT_NE(a.samples[0][0], otherSeed.samples[0][0]);
+  // Antennas draw from distinct streams: identical geometry, different
+  // noise. Compare a pure-noise frame (no scatterers).
+  const radar::Frame noiseOnly = fe.synthesize({}, 0.0, 99u, 7u);
+  EXPECT_NE(noiseOnly.samples[0][0], noiseOnly.samples[1][0]);
+}
+
+TEST(ParallelDeterminism, ProcessorMapsBitIdenticalAcrossThreadCounts) {
+  GlobalPoolGuard guard;
+  const radar::RadarConfig cfg = parallelTestConfig();
+  const radar::Frontend fe(cfg);
+  const radar::Processor proc(cfg);
+  const radar::Frame frame = fe.synthesize(testScatterers(cfg), 0.0, 3u, 0u);
+
+  ThreadPool::setGlobalThreads(1);
+  const radar::RangeAngleMap serial = proc.process(frame);
+  for (std::size_t threads : {2u, 4u, 8u}) {
+    ThreadPool::setGlobalThreads(threads);
+    const radar::RangeAngleMap par = proc.process(frame);
+    ASSERT_EQ(serial.power.size(), par.power.size());
+    for (std::size_t i = 0; i < serial.power.size(); ++i) {
+      EXPECT_EQ(serial.power[i], par.power[i]);
+    }
+  }
+}
+
+TEST(ParallelDeterminism, EnvSnapshotBitIdenticalAcrossThreadCounts) {
+  GlobalPoolGuard guard;
+  env::Environment environment(env::FloorPlan::office());
+  environment.addHuman(env::TimedPath({{2.0, 2.0}, {4.0, 3.0}}, 1.0));
+  environment.addHuman(env::TimedPath({{6.0, 5.0}, {5.0, 2.0}}, 1.0));
+  environment.addHuman(env::TimedPath::stationary({8.0, 3.0}));
+  env::SnapshotOptions opts;
+  opts.multipathObserver = Vec2{5.0, 0.05};
+
+  ThreadPool::setGlobalThreads(1);
+  common::Rng serialRng(11);
+  const auto serial = environment.snapshot(0.7, serialRng, opts);
+  for (std::size_t threads : {2u, 4u}) {
+    ThreadPool::setGlobalThreads(threads);
+    common::Rng parRng(11);
+    const auto par = environment.snapshot(0.7, parRng, opts);
+    ASSERT_EQ(serial.size(), par.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(serial[i].position.x, par[i].position.x);
+      EXPECT_EQ(serial[i].position.y, par[i].position.y);
+      EXPECT_EQ(serial[i].amplitude, par[i].amplitude);
+      EXPECT_EQ(serial[i].radialOffsetM, par[i].radialOffsetM);
+      EXPECT_EQ(serial[i].sourceId, par[i].sourceId);
+    }
+  }
+}
+
+TEST(Caches, TwiddleTablesAreSharedPerSizeAndDistinctAcrossSizes) {
+  const auto a = signal::twiddlesFor(64);
+  const auto b = signal::twiddlesFor(64);
+  const auto c = signal::twiddlesFor(128);
+  EXPECT_EQ(a.get(), b.get());  // cache hit: one immutable table per size
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(a->size(), 63u);
+  EXPECT_EQ(c->size(), 127u);
+  EXPECT_THROW(signal::twiddlesFor(48), std::invalid_argument);
+  EXPECT_THROW(signal::twiddlesFor(1), std::invalid_argument);
+
+  // A cached transform still matches the analytic DFT of an impulse.
+  std::vector<signal::Complex> impulse(64, signal::Complex{});
+  impulse[1] = 1.0;
+  const auto spec = signal::fft(impulse);
+  for (std::size_t k = 0; k < spec.size(); ++k) {
+    EXPECT_NEAR(std::abs(spec[k]), 1.0, 1e-12);
+  }
+}
+
+TEST(Caches, SteeringCacheKeysOnProcessorGeometry) {
+  const radar::RadarConfig cfg = parallelTestConfig();
+  radar::ProcessorOptions narrow;
+  narrow.numAngleBins = 61;
+  const radar::Processor procA(cfg, narrow);
+  const std::size_t after = radar::steeringCacheEntries();
+  // Same geometry -> cache hit, no new entry.
+  const radar::Processor procB(cfg, narrow);
+  EXPECT_EQ(radar::steeringCacheEntries(), after);
+  // New angle grid (and new antenna count) -> distinct entries, no stale
+  // reuse across configs.
+  radar::ProcessorOptions wide;
+  wide.numAngleBins = 91;
+  const radar::Processor procC(cfg, wide);
+  radar::RadarConfig bigger = cfg;
+  bigger.numAntennas = 9;
+  const radar::Processor procD(bigger, wide);
+  EXPECT_GE(radar::steeringCacheEntries(), after + 2);
+
+  // Both grids must localize the same broadside target correctly -- a
+  // stale steering matrix would skew one of them.
+  const radar::Frontend fe(cfg);
+  env::PointScatterer s;
+  s.position = cfg.position + Vec2{0.0, 5.0};
+  const radar::Frame frame =
+      fe.synthesize(std::vector<env::PointScatterer>{s}, 0.0, 1u, 0u);
+  for (const radar::Processor* proc : {&procA, &procC}) {
+    const auto map = proc->process(frame);
+    const auto [ri, ai] = map.argmax();
+    EXPECT_NEAR(map.anglesRad[ai], rfp::common::pi() / 2.0, 0.1);
+    EXPECT_NEAR(map.rangesM[ri], 5.0, cfg.chirp.rangeResolution());
+  }
+}
+
+}  // namespace
+}  // namespace rfp
