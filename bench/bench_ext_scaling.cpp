@@ -157,34 +157,33 @@ int runScaling(bool smoke) {
     std::printf("  speedup at 4 threads over 1: %.2fx\n", speedup4);
   }
 
-  std::FILE* json = std::fopen("BENCH_scaling.json", "w");
-  if (json != nullptr) {
-    std::fprintf(json,
-                 "{\n"
-                 "  \"bench\": \"scaling\",\n"
-                 "  \"scenario\": \"fig9-office-localization\",\n"
-                 "  \"smoke\": %s,\n"
-                 "  \"hardware_concurrency\": %u,\n"
-                 "  \"timed_frames\": %zu,\n"
-                 "  \"checked_frames\": %zu,\n"
-                 "  \"results\": [",
-                 smoke ? "true" : "false",
-                 std::thread::hardware_concurrency(), timedFrames,
-                 checkedFrames);
-    for (std::size_t i = 0; i < rows.size(); ++i) {
-      std::fprintf(json,
-                   "%s\n    {\"threads\": %zu, \"frames_per_sec\": %.3f, "
-                   "\"us_per_frame\": %.3f, \"bit_exact\": %s}",
-                   i == 0 ? "" : ",", rows[i].threads, rows[i].fps,
-                   rows[i].usPerFrame, rows[i].bitExact ? "true" : "false");
-    }
-    std::fprintf(json,
-                 "\n  ],\n"
-                 "  \"speedup_4_threads\": %.3f,\n"
-                 "  \"serial_parallel_bit_exact\": %s\n"
-                 "}\n",
-                 speedup4, allExact ? "true" : "false");
-    std::fclose(json);
+  bench::JsonWriter json;
+  json.beginObject()
+      .field("bench", "scaling")
+      .field("scenario", "fig9-office-localization")
+      .field("smoke", smoke)
+      .field("hardware_concurrency", std::thread::hardware_concurrency())
+      .field("timed_frames", timedFrames)
+      .field("checked_frames", checkedFrames)
+      .beginArray("results");
+  for (const Row& r : rows) {
+    json.beginObject()
+        .field("threads", r.threads)
+        .field("frames_per_sec", r.fps)
+        .field("us_per_frame", r.usPerFrame)
+        .field("bit_exact", r.bitExact)
+        .endObject();
+  }
+  json.endArray();
+  // Smoke runs stop at 2 threads: there is no 4-thread measurement, so the
+  // field is null rather than a misleading 0.000 "speedup".
+  if (speedup4 > 0.0) {
+    json.field("speedup_4_threads", speedup4);
+  } else {
+    json.nullField("speedup_4_threads");
+  }
+  json.field("serial_parallel_bit_exact", allExact).endObject();
+  if (json.writeFile("BENCH_scaling.json")) {
     std::printf("  wrote BENCH_scaling.json\n");
   }
 

@@ -11,11 +11,13 @@
 /// the tree.
 
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/rng.h"
@@ -56,6 +58,116 @@ class WallTimer {
 
  private:
   std::chrono::steady_clock::time_point start_;
+};
+
+/// Minimal pretty-printing JSON emitter for the BENCH_*.json artifacts, so
+/// benchmarks stop hand-formatting JSON with fprintf (mismatched commas,
+/// unescaped strings). Usage is strictly structural: beginObject/beginArray
+/// and field() calls must nest correctly; no validation beyond that.
+class JsonWriter {
+ public:
+  JsonWriter& beginObject(const char* key = nullptr) {
+    open('{', key);
+    return *this;
+  }
+  JsonWriter& endObject() {
+    close('}');
+    return *this;
+  }
+  JsonWriter& beginArray(const char* key = nullptr) {
+    open('[', key);
+    return *this;
+  }
+  JsonWriter& endArray() {
+    close(']');
+    return *this;
+  }
+
+  JsonWriter& field(const char* key, const std::string& v) {
+    item(key);
+    out_ += '"';
+    for (char c : v) {
+      if (c == '"' || c == '\\') out_ += '\\';
+      out_ += c;
+    }
+    out_ += '"';
+    return *this;
+  }
+  JsonWriter& field(const char* key, const char* v) {
+    return field(key, std::string(v));
+  }
+  JsonWriter& field(const char* key, bool v) {
+    item(key);
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  /// Non-finite doubles become null (JSON has no NaN/Inf literals).
+  JsonWriter& field(const char* key, double v, int precision = 3) {
+    item(key);
+    if (!std::isfinite(v)) {
+      out_ += "null";
+      return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    out_ += buf;
+    return *this;
+  }
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  JsonWriter& field(const char* key, T v) {
+    item(key);
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& nullField(const char* key) {
+    item(key);
+    out_ += "null";
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+  bool writeFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fwrite(out_.data(), 1, out_.size(), f);
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  void indent() { out_.append(2 * firstAtDepth_.size(), ' '); }
+  void item(const char* key) {
+    if (!firstAtDepth_.back()) out_ += ',';
+    firstAtDepth_.back() = false;
+    out_ += '\n';
+    indent();
+    if (key != nullptr) {
+      out_ += '"';
+      out_ += key;
+      out_ += "\": ";
+    }
+  }
+  void open(char c, const char* key) {
+    if (!firstAtDepth_.empty()) item(key);
+    out_ += c;
+    firstAtDepth_.push_back(true);
+  }
+  void close(char c) {
+    const bool empty = firstAtDepth_.back();
+    firstAtDepth_.pop_back();
+    if (!empty) {
+      out_ += '\n';
+      indent();
+    }
+    out_ += c;
+    if (firstAtDepth_.empty()) out_ += '\n';
+  }
+
+  std::string out_;
+  std::vector<char> firstAtDepth_;  ///< "no items emitted yet" per level
 };
 
 /// Prints the standard percentile summary used for the Fig. 11 CDFs.

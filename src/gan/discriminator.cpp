@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "linalg/gemm.h"
 #include "nn/ops.h"
 
 namespace rfp::gan {
@@ -18,9 +19,9 @@ Discriminator::Discriminator(DiscriminatorConfig config,
       poolDropout_(config.dropout),
       fcOut_("D.fcOut", 2 * config.hiddenSize, 1, rng) {}
 
-Matrix Discriminator::forward(const std::vector<Matrix>& xs,
-                              const std::vector<int>& labels, bool training,
-                              rfp::common::Rng& rng) {
+const Matrix& Discriminator::forward(const std::vector<Matrix>& xs,
+                                     const std::vector<int>& labels,
+                                     bool training, rfp::common::Rng& rng) {
   if (xs.size() != config_.traceLength) {
     throw std::invalid_argument("Discriminator::forward: timestep mismatch");
   }
@@ -30,83 +31,91 @@ Matrix Discriminator::forward(const std::vector<Matrix>& xs,
     throw std::invalid_argument("Discriminator::forward: label count");
   }
 
-  const Matrix emb = labelEmbedding_.forward(labels);
+  labelEmbedding_.forwardInto(emb_, labels);
 
   // Stack timesteps into a tall matrix (row = t * batch + b) so the input
   // FC runs (and caches) once.
-  Matrix tallIn(config_.traceLength * batch, 2 + config_.labelEmbeddingDim);
+  linalg::ensureShape(tallIn_, config_.traceLength * batch,
+                      2 + config_.labelEmbeddingDim);
   for (std::size_t t = 0; t < config_.traceLength; ++t) {
     for (std::size_t b = 0; b < batch; ++b) {
-      tallIn(t * batch + b, 0) = xs[t](b, 0);
-      tallIn(t * batch + b, 1) = xs[t](b, 1);
+      tallIn_(t * batch + b, 0) = xs[t](b, 0);
+      tallIn_(t * batch + b, 1) = xs[t](b, 1);
       for (std::size_t c = 0; c < config_.labelEmbeddingDim; ++c) {
-        tallIn(t * batch + b, 2 + c) = emb(b, c);
+        tallIn_(t * batch + b, 2 + c) = emb_(b, c);
       }
     }
   }
-  cachedTallFeat_ = nn::reluForward(fcIn_.forward(tallIn));
+  fcIn_.forwardInto(cachedTallFeat_, tallIn_);
+  nn::reluInPlace(cachedTallFeat_);
 
-  std::vector<Matrix> feats(config_.traceLength);
+  if (feats_.size() != config_.traceLength) feats_.resize(config_.traceLength);
   for (std::size_t t = 0; t < config_.traceLength; ++t) {
-    Matrix f(batch, config_.featureSize);
+    Matrix& f = feats_[t];
+    linalg::ensureShape(f, batch, config_.featureSize);
     for (std::size_t b = 0; b < batch; ++b) {
       for (std::size_t c = 0; c < config_.featureSize; ++c) {
         f(b, c) = cachedTallFeat_(t * batch + b, c);
       }
     }
-    feats[t] = std::move(f);
   }
 
-  const std::vector<Matrix> hs = bilstm_.forward(feats);
+  const std::vector<Matrix>& hs = bilstm_.forward(feats_);
 
   // Mean pooling over time.
-  Matrix pooled(batch, 2 * config_.hiddenSize);
-  for (const Matrix& h : hs) pooled += h;
-  pooled *= 1.0 / static_cast<double>(config_.traceLength);
+  linalg::ensureShape(pooled_, batch, 2 * config_.hiddenSize);
+  pooled_.fill(0.0);
+  for (const Matrix& h : hs) pooled_ += h;
+  pooled_ *= 1.0 / static_cast<double>(config_.traceLength);
 
-  const Matrix dropped = poolDropout_.forward(pooled, training, rng);
-  return fcOut_.forward(dropped);
+  poolDropout_.forwardInto(dropped_, pooled_, training, rng);
+  fcOut_.forwardInto(logits_, dropped_);
+  return logits_;
 }
 
-std::vector<Matrix> Discriminator::backward(const Matrix& dLogits) {
+const std::vector<Matrix>& Discriminator::backward(const Matrix& dLogits) {
   const std::size_t batch = cachedBatch_;
 
-  const Matrix dDropped = fcOut_.backward(dLogits);
-  const Matrix dPooled = poolDropout_.backward(dDropped);
+  fcOut_.backwardInto(dDropped_, dLogits);
+  poolDropout_.backwardInPlace(dDropped_);  // dDropped_ is now dPooled
 
   const double invT = 1.0 / static_cast<double>(config_.traceLength);
-  std::vector<Matrix> dHs(config_.traceLength, dPooled * invT);
+  linalg::scaleInPlace(dDropped_, invT);
+  if (dHs_.size() != config_.traceLength) dHs_.resize(config_.traceLength);
+  for (Matrix& dh : dHs_) dh = dDropped_;
 
-  const std::vector<Matrix> dFeats = bilstm_.backward(dHs);
+  const std::vector<Matrix>& dFeats = bilstm_.backward(dHs_);
 
-  Matrix dTallFeat(config_.traceLength * batch, config_.featureSize);
+  linalg::ensureShape(dTallFeat_, config_.traceLength * batch,
+                      config_.featureSize);
   for (std::size_t t = 0; t < config_.traceLength; ++t) {
     for (std::size_t b = 0; b < batch; ++b) {
       for (std::size_t c = 0; c < config_.featureSize; ++c) {
-        dTallFeat(t * batch + b, c) = dFeats[t](b, c);
+        dTallFeat_(t * batch + b, c) = dFeats[t](b, c);
       }
     }
   }
-  const Matrix dTallIn =
-      fcIn_.backward(nn::reluBackward(dTallFeat, cachedTallFeat_));
+  nn::reluBackwardInPlace(dTallFeat_, cachedTallFeat_);
+  fcIn_.backwardInto(dTallIn_, dTallFeat_);
 
   // Split the tall input gradient back into per-timestep point gradients
   // and the label-embedding gradient (summed over timesteps).
-  std::vector<Matrix> dXs(config_.traceLength);
-  Matrix dEmb(batch, config_.labelEmbeddingDim);
+  if (dXs_.size() != config_.traceLength) dXs_.resize(config_.traceLength);
+  linalg::ensureShape(dEmb_, batch, config_.labelEmbeddingDim);
+  dEmb_.fill(0.0);
   for (std::size_t t = 0; t < config_.traceLength; ++t) {
-    Matrix dx(batch, 2);
+    Matrix& dx = dXs_[t];
+    linalg::ensureShape(dx, batch, 2);
     for (std::size_t b = 0; b < batch; ++b) {
-      dx(b, 0) = dTallIn(t * batch + b, 0);
-      dx(b, 1) = dTallIn(t * batch + b, 1);
+      dx(b, 0) = dTallIn_(t * batch + b, 0);
+      dx(b, 1) = dTallIn_(t * batch + b, 1);
       for (std::size_t c = 0; c < config_.labelEmbeddingDim; ++c) {
-        dEmb(b, c) += dTallIn(t * batch + b, 2 + c);
+        dEmb_(b, c) += dTallIn_(t * batch + b, 2 + c);
       }
     }
-    dXs[t] = std::move(dx);
   }
-  labelEmbedding_.backward(dEmb);
-  return dXs;
+  labelEmbedding_.backward(dEmb_);
+  return dXs_;
 }
 
 std::vector<double> Discriminator::scoreTraces(
@@ -124,8 +133,8 @@ std::vector<double> Discriminator::scoreTraces(
       step(0, 1) = trace.points[t].y;
       xs[t] = std::move(step);
     }
-    const Matrix logit = forward(xs, {trace.label}, /*training=*/false, rng);
-    scores.push_back(nn::sigmoidForward(logit)(0, 0));
+    const Matrix& logit = forward(xs, {trace.label}, /*training=*/false, rng);
+    scores.push_back(nn::meanSigmoid(logit));  // 1x1 logit: mean == sigmoid
   }
   return scores;
 }

@@ -35,14 +35,18 @@ class Discriminator {
 
   const DiscriminatorConfig& config() const { return config_; }
 
-  /// xs: per-timestep [batch x 2] points. Returns logits [batch x 1].
-  nn::Matrix forward(const std::vector<nn::Matrix>& xs,
-                     const std::vector<int>& labels, bool training,
-                     rfp::common::Rng& rng);
+  /// xs: per-timestep [batch x 2] points. Returns logits [batch x 1] -- a
+  /// reference into the discriminator's reused workspace, valid until the
+  /// next forward() (DESIGN.md Sec. 9); copy it when forwarding D again
+  /// before consuming the logits.
+  const nn::Matrix& forward(const std::vector<nn::Matrix>& xs,
+                            const std::vector<int>& labels, bool training,
+                            rfp::common::Rng& rng);
 
   /// Backward from dLogits; returns the gradient w.r.t. each input step
-  /// (needed to train the generator through the discriminator).
-  std::vector<nn::Matrix> backward(const nn::Matrix& dLogits);
+  /// (needed to train the generator through the discriminator). References
+  /// the reused workspace, valid until the next backward().
+  const std::vector<nn::Matrix>& backward(const nn::Matrix& dLogits);
 
   /// Convenience: sigmoid realness scores for whole traces (eval mode).
   std::vector<double> scoreTraces(const std::vector<trajectory::Trace>& traces,
@@ -59,6 +63,12 @@ class Discriminator {
   nn::Linear fcOut_;
   nn::Matrix cachedTallFeat_;  ///< post-ReLU per-timestep features
   std::size_t cachedBatch_ = 0;
+
+  // Workspace buffers recycled across steps (DESIGN.md Sec. 9).
+  nn::Matrix emb_, tallIn_, pooled_, dropped_, logits_;
+  std::vector<nn::Matrix> feats_;
+  nn::Matrix dDropped_, dTallFeat_, dTallIn_, dEmb_;
+  std::vector<nn::Matrix> dHs_, dXs_;
 };
 
 }  // namespace rfp::gan

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "linalg/gemm.h"
 #include "nn/ops.h"
 
 namespace rfp::gan {
@@ -22,54 +23,57 @@ Generator::Generator(GeneratorConfig config, rfp::common::Rng& rng)
   }
 }
 
-std::vector<Matrix> Generator::forward(const Matrix& z,
-                                       const std::vector<int>& labels,
-                                       bool training,
-                                       rfp::common::Rng& rng) {
+const std::vector<Matrix>& Generator::forward(const Matrix& z,
+                                              const std::vector<int>& labels,
+                                              bool training,
+                                              rfp::common::Rng& rng) {
   if (z.rows() != labels.size() || z.cols() != config_.noiseDim) {
     throw std::invalid_argument("Generator::forward: input shape mismatch");
   }
   cachedBatch_ = z.rows();
 
-  const Matrix emb = labelEmbedding_.forward(labels);
-  const Matrix ctxPre = fcIn_.forward(nn::concatCols(z, emb));
-  cachedContextPre_ = nn::tanhForward(ctxPre);
+  labelEmbedding_.forwardInto(emb_, labels);
+  nn::concatColsInto(concatZE_, z, emb_);
+  fcIn_.forwardInto(cachedContextPre_, concatZE_);
+  nn::tanhInPlace(cachedContextPre_);
 
   // The context vector drives the LSTM at every timestep, concatenated
   // with fresh per-step noise so temporal variation is not limited to the
-  // LSTM's internal dynamics.
-  std::vector<Matrix> xs;
-  xs.reserve(config_.traceLength);
+  // LSTM's internal dynamics. Noise is drawn per timestep in ascending
+  // order, in the same element order as before the workspace rewrite.
+  if (xs_.size() != config_.traceLength) xs_.resize(config_.traceLength);
   for (std::size_t t = 0; t < config_.traceLength; ++t) {
-    Matrix stepNoise(cachedBatch_, config_.perStepNoiseDim);
-    nn::fillGaussian(stepNoise, rng);
-    xs.push_back(nn::concatCols(cachedContextPre_, stepNoise));
+    linalg::ensureShape(stepNoise_, cachedBatch_, config_.perStepNoiseDim);
+    nn::fillGaussian(stepNoise_, rng);
+    nn::concatColsInto(xs_[t], cachedContextPre_, stepNoise_);
   }
-  const std::vector<Matrix> hs = lstm_.forward(xs, training, rng);
+  const std::vector<Matrix>& hs = lstm_.forward(xs_, training, rng);
 
   // Apply the output FC to all timesteps in one tall matrix so the Linear
   // layer's single-input cache suffices. Row layout: t * batch + b.
   const std::size_t batch = cachedBatch_;
-  Matrix tall(config_.traceLength * batch, config_.hiddenSize);
+  linalg::ensureShape(tall_, config_.traceLength * batch, config_.hiddenSize);
   for (std::size_t t = 0; t < config_.traceLength; ++t) {
     for (std::size_t b = 0; b < batch; ++b) {
       for (std::size_t c = 0; c < config_.hiddenSize; ++c) {
-        tall(t * batch + b, c) = hs[t](b, c);
+        tall_(t * batch + b, c) = hs[t](b, c);
       }
     }
   }
-  const Matrix tallOut = fcOut_.forward(tall);
+  fcOut_.forwardInto(tallOut_, tall_);
 
-  std::vector<Matrix> outputs(config_.traceLength);
-  for (std::size_t t = 0; t < config_.traceLength; ++t) {
-    Matrix step(batch, 2);
-    for (std::size_t b = 0; b < batch; ++b) {
-      step(b, 0) = tallOut(t * batch + b, 0);
-      step(b, 1) = tallOut(t * batch + b, 1);
-    }
-    outputs[t] = std::move(step);
+  if (outputs_.size() != config_.traceLength) {
+    outputs_.resize(config_.traceLength);
   }
-  return outputs;
+  for (std::size_t t = 0; t < config_.traceLength; ++t) {
+    Matrix& step = outputs_[t];
+    linalg::ensureShape(step, batch, 2);
+    for (std::size_t b = 0; b < batch; ++b) {
+      step(b, 0) = tallOut_(t * batch + b, 0);
+      step(b, 1) = tallOut_(t * batch + b, 1);
+    }
+  }
+  return outputs_;
 }
 
 void Generator::backward(const std::vector<Matrix>& dOutputs) {
@@ -78,38 +82,39 @@ void Generator::backward(const std::vector<Matrix>& dOutputs) {
   }
   const std::size_t batch = cachedBatch_;
 
-  Matrix dTallOut(config_.traceLength * batch, 2);
+  linalg::ensureShape(dTallOut_, config_.traceLength * batch, 2);
   for (std::size_t t = 0; t < config_.traceLength; ++t) {
     for (std::size_t b = 0; b < batch; ++b) {
-      dTallOut(t * batch + b, 0) = dOutputs[t](b, 0);
-      dTallOut(t * batch + b, 1) = dOutputs[t](b, 1);
+      dTallOut_(t * batch + b, 0) = dOutputs[t](b, 0);
+      dTallOut_(t * batch + b, 1) = dOutputs[t](b, 1);
     }
   }
-  const Matrix dTall = fcOut_.backward(dTallOut);
+  fcOut_.backwardInto(dTall_, dTallOut_);
 
-  std::vector<Matrix> dHs(config_.traceLength);
+  if (dHs_.size() != config_.traceLength) dHs_.resize(config_.traceLength);
   for (std::size_t t = 0; t < config_.traceLength; ++t) {
-    Matrix dh(batch, config_.hiddenSize);
+    Matrix& dh = dHs_[t];
+    linalg::ensureShape(dh, batch, config_.hiddenSize);
     for (std::size_t b = 0; b < batch; ++b) {
       for (std::size_t c = 0; c < config_.hiddenSize; ++c) {
-        dh(b, c) = dTall(t * batch + b, c);
+        dh(b, c) = dTall_(t * batch + b, c);
       }
     }
-    dHs[t] = std::move(dh);
   }
 
-  const std::vector<Matrix> dXs = lstm_.backward(dHs);
-  Matrix dCtx(batch, config_.hiddenSize);
+  const std::vector<Matrix>& dXs = lstm_.backward(dHs_);
+  linalg::ensureShape(dCtx_, batch, config_.hiddenSize);
+  dCtx_.fill(0.0);
   for (const Matrix& dx : dXs) {
     // Only the context slice backpropagates; the per-step noise is input.
-    dCtx += nn::sliceCols(dx, 0, config_.hiddenSize);
+    nn::sliceColsInto(dCtxSlice_, dx, 0, config_.hiddenSize);
+    dCtx_ += dCtxSlice_;
   }
 
-  const Matrix dCtxPre = nn::tanhBackward(dCtx, cachedContextPre_);
-  const Matrix dConcat = fcIn_.backward(dCtxPre);
-  const Matrix dEmb = nn::sliceCols(dConcat, config_.noiseDim,
-                                    dConcat.cols());
-  labelEmbedding_.backward(dEmb);
+  nn::tanhBackwardInPlace(dCtx_, cachedContextPre_);
+  fcIn_.backwardInto(dConcat_, dCtx_);
+  nn::sliceColsInto(dEmb_, dConcat_, config_.noiseDim, dConcat_.cols());
+  labelEmbedding_.backward(dEmb_);
   // dZ (columns [0, noiseDim)) is discarded: z is an input, not a parameter.
 }
 
@@ -120,8 +125,8 @@ std::vector<trajectory::Trace> Generator::sample(std::size_t count, int label,
   for (std::size_t i = 0; i < count; ++i) {
     Matrix z(1, config_.noiseDim);
     nn::fillGaussian(z, rng);
-    const std::vector<Matrix> out = forward(z, {label}, /*training=*/false,
-                                            rng);
+    const std::vector<Matrix>& out = forward(z, {label}, /*training=*/false,
+                                             rng);
     trajectory::Trace t;
     t.label = label;
     t.points.reserve(out.size());

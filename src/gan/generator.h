@@ -40,10 +40,12 @@ class Generator {
   const GeneratorConfig& config() const { return config_; }
 
   /// Forward pass: z [batch x noiseDim], labels [batch] -> per-timestep
-  /// outputs, each [batch x 2]. Caches activations for backward().
-  std::vector<nn::Matrix> forward(const nn::Matrix& z,
-                                  const std::vector<int>& labels,
-                                  bool training, rfp::common::Rng& rng);
+  /// outputs, each [batch x 2]. Caches activations for backward(). The
+  /// return references the generator's reused output workspace and stays
+  /// valid until the next forward() (DESIGN.md Sec. 9).
+  const std::vector<nn::Matrix>& forward(const nn::Matrix& z,
+                                         const std::vector<int>& labels,
+                                         bool training, rfp::common::Rng& rng);
 
   /// Backward pass from per-timestep output gradients; accumulates all
   /// parameter gradients.
@@ -66,8 +68,14 @@ class Generator {
   nn::Linear fcIn_;
   nn::StackedLstm lstm_;
   nn::Linear fcOut_;
-  nn::Matrix cachedContextPre_;   ///< fc output before ReLU... (post-ReLU)
+  nn::Matrix cachedContextPre_;  ///< tanh(fcIn) context, cached for backward
   std::size_t cachedBatch_ = 0;
+
+  // Workspace buffers recycled across steps (DESIGN.md Sec. 9).
+  nn::Matrix emb_, concatZE_, stepNoise_, tall_, tallOut_;
+  std::vector<nn::Matrix> xs_, outputs_;
+  nn::Matrix dTallOut_, dTall_, dCtx_, dCtxSlice_, dConcat_, dEmb_;
+  std::vector<nn::Matrix> dHs_;
 };
 
 }  // namespace rfp::gan

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "common/atomic_io.h"
+#include "linalg/gemm.h"
 #include "nn/adam.h"
 #include "nn/finite.h"
 #include "nn/loss.h"
@@ -21,12 +22,15 @@ using trajectory::Trace;
 namespace {
 
 /// Per-timestep [batch x 2] step (displacement) matrices from a batch of
-/// traces: a trace of P points yields P-1 steps.
-std::vector<Matrix> tracesToStepSequences(
-    const std::vector<const Trace*>& batch, std::size_t numSteps) {
-  std::vector<Matrix> xs(numSteps);
+/// traces, written into the reused workspace \p xs: a trace of P points
+/// yields P-1 steps.
+void tracesToStepSequencesInto(std::vector<Matrix>& xs,
+                               const std::vector<const Trace*>& batch,
+                               std::size_t numSteps) {
+  if (xs.size() != numSteps) xs.resize(numSteps);
   for (std::size_t t = 0; t < numSteps; ++t) {
-    Matrix step(batch.size(), 2);
+    Matrix& step = xs[t];
+    linalg::ensureShape(step, batch.size(), 2);
     for (std::size_t b = 0; b < batch.size(); ++b) {
       if (batch[b]->points.size() != numSteps + 1) {
         throw std::invalid_argument(
@@ -36,9 +40,7 @@ std::vector<Matrix> tracesToStepSequences(
       step(b, 0) = d.x;
       step(b, 1) = d.y;
     }
-    xs[t] = std::move(step);
   }
-  return xs;
 }
 
 constexpr const char* kTrainCheckpointMagic = "RFPGAN";
@@ -60,6 +62,11 @@ TrajectoryGan::TrajectoryGan(GeneratorConfig gConfig,
     throw std::invalid_argument(
         "TrajectoryGan: generator/discriminator shape mismatch");
   }
+  // Parameter pointers target member networks, so the lists stay valid for
+  // the GAN's lifetime; caching them keeps parameters() calls (which
+  // allocate) out of the per-batch hot path.
+  gParams_ = generator_.parameters();
+  dParams_ = discriminator_.parameters();
 }
 
 std::vector<double> TrajectoryGan::labelHistogram(
@@ -80,84 +87,90 @@ GanBatchStats TrajectoryGan::trainBatch(
   const std::size_t traceLength = generator_.config().traceLength;
   GanBatchStats stats;
 
-  std::vector<int> realLabels(b);
-  for (std::size_t i = 0; i < b; ++i) realLabels[i] = batch[i]->label;
-  const std::vector<Matrix> realXs = tracesToStepSequences(batch, traceLength);
+  realLabels_.resize(b);
+  for (std::size_t i = 0; i < b; ++i) realLabels_[i] = batch[i]->label;
+  tracesToStepSequencesInto(realXs_, batch, traceLength);
 
   // Fakes use the real batch's label mix (conditioning, paper Sec. 6).
-  std::vector<int> fakeLabels = realLabels;
-  rng.shuffle(fakeLabels);
-  Matrix z(b, generator_.config().noiseDim);
-  nn::fillGaussian(z, rng);
+  fakeLabels_ = realLabels_;
+  rng.shuffle(fakeLabels_);
+  linalg::ensureShape(z_, b, generator_.config().noiseDim);
+  nn::fillGaussian(z_, rng);
+
+  linalg::ensureShape(ones_, b, 1);
+  ones_.fill(1.0);
+  linalg::ensureShape(smoothOnes_, b, 1);
+  smoothOnes_.fill(tConfig_.realLabelSmoothing);
+  linalg::ensureShape(zeros_, b, 1);
+  zeros_.fill(0.0);
 
   // ---- Discriminator step: push D(real) -> 1 and D(fake) -> 0. -----------
-  const std::vector<Matrix> fakeXs =
-      generator_.forward(z, fakeLabels, /*training=*/true, rng);
+  const std::vector<Matrix>& fakeXs =
+      generator_.forward(z_, fakeLabels_, /*training=*/true, rng);
 
-  const Matrix realLogits =
-      discriminator_.forward(realXs, realLabels, /*training=*/true, rng);
-  const Matrix ones(b, 1, 1.0);
-  const Matrix smoothOnes(b, 1, tConfig_.realLabelSmoothing);
-  const nn::LossResult realLoss = nn::bceWithLogits(realLogits, smoothOnes);
-  discriminator_.backward(realLoss.dLogits);
+  // D is forwarded several times per batch, so logits needed later are
+  // copied out of its single-logit workspace.
+  realLogits_ = discriminator_.forward(realXs_, realLabels_,
+                                       /*training=*/true, rng);
+  const double realLoss =
+      nn::bceWithLogitsInto(dRealLogits_, realLogits_, smoothOnes_);
+  discriminator_.backward(dRealLogits_);
 
-  const Matrix fakeLogitsD =
-      discriminator_.forward(fakeXs, fakeLabels, /*training=*/true, rng);
-  const Matrix zeros(b, 1, 0.0);
-  const nn::LossResult fakeLoss = nn::bceWithLogits(fakeLogitsD, zeros);
-  discriminator_.backward(fakeLoss.dLogits);
+  fakeLogitsD_ = discriminator_.forward(fakeXs, fakeLabels_,
+                                        /*training=*/true, rng);
+  const double fakeLoss =
+      nn::bceWithLogitsInto(dFakeLogits_, fakeLogitsD_, zeros_);
+  discriminator_.backward(dFakeLogits_);
 
   bool applyD = true;
-  if (hook) applyD = hook("discriminator", discriminator_.parameters());
+  if (hook) applyD = hook("discriminator", dParams_);
   if (applyD) {
     stats.discriminatorGradNorm =
-        nn::clipGradientNorm(discriminator_.parameters(), tConfig_.gradientClip);
+        dOptimizer_.clippedStepAndZero(tConfig_.gradientClip);
     stats.discriminatorClipped =
         stats.discriminatorGradNorm > tConfig_.gradientClip;
-    dOptimizer_.stepAndZero();
   } else {
     // Vetoed (non-finite gradient contained): record the norm, discard the
     // update, keep the optimizer state untouched.
-    stats.discriminatorGradNorm = nn::gradientNorm(discriminator_.parameters());
+    stats.discriminatorGradNorm = nn::gradientNorm(dParams_);
     stats.discriminatorStepSkipped = true;
-    nn::zeroGradients(discriminator_.parameters());
+    nn::zeroGradients(dParams_);
   }
-  nn::zeroGradients(generator_.parameters());  // G grads from D's fake pass
+  nn::zeroGradients(gParams_);  // G grads from D's fake pass
 
   // ---- Generator step: push D(G(z)) -> 1 (non-saturating form). ----------
-  const std::vector<Matrix> fakeXs2 =
-      generator_.forward(z, fakeLabels, /*training=*/true, rng);
-  const Matrix fakeLogitsG =
-      discriminator_.forward(fakeXs2, fakeLabels, /*training=*/true, rng);
-  const nn::LossResult genLoss = nn::bceWithLogits(fakeLogitsG, ones);
-  const std::vector<Matrix> dFake = discriminator_.backward(genLoss.dLogits);
+  const std::vector<Matrix>& fakeXs2 =
+      generator_.forward(z_, fakeLabels_, /*training=*/true, rng);
+  const Matrix& fakeLogitsG =
+      discriminator_.forward(fakeXs2, fakeLabels_, /*training=*/true, rng);
+  const double genLoss = nn::bceWithLogitsInto(dGenLogits_, fakeLogitsG, ones_);
+  const std::vector<Matrix>& dFake = discriminator_.backward(dGenLogits_);
   generator_.backward(dFake);
 
   bool applyG = true;
-  if (hook) applyG = hook("generator", generator_.parameters());
+  if (hook) applyG = hook("generator", gParams_);
   if (applyG) {
     stats.generatorGradNorm =
-        nn::clipGradientNorm(generator_.parameters(), tConfig_.gradientClip);
+        gOptimizer_.clippedStepAndZero(tConfig_.gradientClip);
     stats.generatorClipped = stats.generatorGradNorm > tConfig_.gradientClip;
-    gOptimizer_.stepAndZero();
   } else {
-    stats.generatorGradNorm = nn::gradientNorm(generator_.parameters());
+    stats.generatorGradNorm = nn::gradientNorm(gParams_);
     stats.generatorStepSkipped = true;
-    nn::zeroGradients(generator_.parameters());
+    nn::zeroGradients(gParams_);
   }
-  nn::zeroGradients(discriminator_.parameters());  // D grads from G's pass
+  nn::zeroGradients(dParams_);  // D grads from G's pass
 
-  stats.discriminatorLoss = realLoss.loss + fakeLoss.loss;
-  stats.generatorLoss = genLoss.loss;
-  stats.realScoreMean = nn::meanAll(nn::sigmoidForward(realLogits));
-  stats.fakeScoreMean = nn::meanAll(nn::sigmoidForward(fakeLogitsD));
+  stats.discriminatorLoss = realLoss + fakeLoss;
+  stats.generatorLoss = genLoss;
+  stats.realScoreMean = nn::meanSigmoid(realLogits_);
+  stats.fakeScoreMean = nn::meanSigmoid(fakeLogitsD_);
 
   // D's win rate over the batch's 2B judgments: real logits should be
   // positive, fake logits negative.
   std::size_t wins = 0;
   for (std::size_t i = 0; i < b; ++i) {
-    if (realLogits(i, 0) > 0.0) ++wins;
-    if (fakeLogitsD(i, 0) < 0.0) ++wins;
+    if (realLogits_(i, 0) > 0.0) ++wins;
+    if (fakeLogitsD_(i, 0) < 0.0) ++wins;
   }
   stats.discriminatorWinRate =
       b > 0 ? static_cast<double>(wins) / static_cast<double>(2 * b) : 0.0;
@@ -240,12 +253,12 @@ TrainingSession::Event TrainingSession::advance() {
     shuffled_ = true;
   }
 
-  std::vector<const Trace*> batch(batchSize);
+  batchPtrs_.resize(batchSize);
   for (std::size_t i = 0; i < batchSize; ++i) {
-    batch[i] = &centered_[perm_[nextStart_ + i]];
+    batchPtrs_[i] = &centered_[perm_[nextStart_ + i]];
   }
   ev.type = Event::Type::kBatch;
-  ev.batch = gan_.trainBatch(batch, rng_, hook_);
+  ev.batch = gan_.trainBatch(batchPtrs_, rng_, hook_);
   ev.batch.epoch = epoch_;
   nextStart_ += batchSize;
   ++steps_;

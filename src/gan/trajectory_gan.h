@@ -171,6 +171,7 @@ class TrainingSession {
   GanEpochStats accum_;
   std::size_t accumBatches_ = 0;
   GradientHook hook_;
+  std::vector<const trajectory::Trace*> batchPtrs_;  ///< reused per advance()
 };
 
 /// Conditional trajectory GAN: generator + discriminator + training loop.
@@ -234,6 +235,18 @@ class TrajectoryGan {
   nn::Adam gOptimizer_;
   nn::Adam dOptimizer_;
   double scale_ = 1.0;
+
+  // trainBatch workspace (DESIGN.md Sec. 9): parameter lists are built once
+  // (the pointers target member networks and stay stable), and every
+  // per-batch tensor is a recycled buffer so a steady-state training step
+  // performs no heap allocations.
+  nn::ParameterList gParams_;
+  nn::ParameterList dParams_;
+  std::vector<int> realLabels_, fakeLabels_;
+  std::vector<nn::Matrix> realXs_;
+  nn::Matrix z_, ones_, smoothOnes_, zeros_;
+  nn::Matrix realLogits_, fakeLogitsD_;
+  nn::Matrix dRealLogits_, dFakeLogits_, dGenLogits_;
 };
 
 }  // namespace rfp::gan

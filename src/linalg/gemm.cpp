@@ -1,0 +1,310 @@
+#include "linalg/gemm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace rfp::linalg {
+
+namespace {
+
+// Micro-tile extents. 4x4 doubles = 16 register accumulators: small enough
+// for the SSE2 baseline register file, large enough to amortize the A/B
+// panel loads (each loaded value feeds 4 multiply-adds).
+constexpr std::size_t kMR = 4;
+constexpr std::size_t kNR = 4;
+
+// Parallelize only when the arithmetic dwarfs the fork/join cost. Purely a
+// performance threshold: the inline and pooled paths produce identical bits.
+constexpr std::size_t kParallelFlops = 1u << 18;
+
+std::atomic<int> g_kernel{static_cast<int>(GemmKernel::kTiled)};
+
+/// N-dimension block size: how many output columns share one packed B
+/// panel. Tunable via RFP_GEMM_NC (rounded up to a multiple of the 4-wide
+/// micro-tile, clamped to [4, 8192]); perf-only, never affects results.
+std::size_t resolveNc() {
+  static const std::size_t nc = [] {
+    std::size_t v = 256;
+    if (const char* env = std::getenv("RFP_GEMM_NC")) {
+      char* end = nullptr;
+      const unsigned long parsed = std::strtoul(env, &end, 10);
+      if (end != env && *end == '\0' && parsed > 0) {
+        v = static_cast<std::size_t>(parsed);
+      }
+    }
+    v = ((v + kNR - 1) / kNR) * kNR;
+    return std::clamp<std::size_t>(v, kNR, 8192);
+  }();
+  return nc;
+}
+
+/// Packs op(A) rows [i0, i0+mr) into ap as K consecutive kMR-wide column
+/// slivers: ap[k * kMR + ir] = op(A)(i0 + ir, k). Lanes ir >= mr are
+/// zeroed; they feed accumulators that are never written back.
+void packA(std::vector<double>& ap, const Matrix& a, bool transA,
+           std::size_t i0, std::size_t mr, std::size_t kDim) {
+  if (ap.size() < kDim * kMR) ap.resize(kDim * kMR);
+  double* dst = ap.data();
+  if (mr < kMR) std::fill(dst, dst + kDim * kMR, 0.0);
+  if (!transA) {
+    const std::size_t lda = a.cols();
+    const double* base = a.data().data();
+    for (std::size_t ir = 0; ir < mr; ++ir) {
+      const double* src = base + (i0 + ir) * lda;
+      for (std::size_t k = 0; k < kDim; ++k) dst[k * kMR + ir] = src[k];
+    }
+  } else {
+    const std::size_t lda = a.cols();
+    const double* base = a.data().data();
+    for (std::size_t k = 0; k < kDim; ++k) {
+      const double* src = base + k * lda + i0;
+      for (std::size_t ir = 0; ir < mr; ++ir) dst[k * kMR + ir] = src[ir];
+    }
+  }
+}
+
+/// Packs op(B) columns [j0, j0+jb) into bp as ceil(jb/kNR) panels, each K
+/// consecutive kNR-wide row slivers: bp[(jp * K + k) * kNR + jr] =
+/// op(B)(k, j0 + jp * kNR + jr). Edge lanes are zeroed.
+void packB(std::vector<double>& bp, const Matrix& b, bool transB,
+           std::size_t j0, std::size_t jb, std::size_t kDim) {
+  const std::size_t panels = (jb + kNR - 1) / kNR;
+  if (bp.size() < panels * kDim * kNR) bp.resize(panels * kDim * kNR);
+  const std::size_t ldb = b.cols();
+  const double* base = b.data().data();
+  for (std::size_t jp = 0; jp < panels; ++jp) {
+    double* dst = bp.data() + jp * kDim * kNR;
+    const std::size_t nr = std::min(kNR, jb - jp * kNR);
+    if (nr < kNR) std::fill(dst, dst + kDim * kNR, 0.0);
+    if (!transB) {
+      for (std::size_t k = 0; k < kDim; ++k) {
+        const double* src = base + k * ldb + j0 + jp * kNR;
+        for (std::size_t jr = 0; jr < nr; ++jr) dst[k * kNR + jr] = src[jr];
+      }
+    } else {
+      for (std::size_t jr = 0; jr < nr; ++jr) {
+        const double* src = base + (j0 + jp * kNR + jr) * ldb;
+        for (std::size_t k = 0; k < kDim; ++k) dst[k * kNR + jr] = src[k];
+      }
+    }
+  }
+}
+
+/// mr x nr micro-tile: full-K register accumulation (k ascending, one
+/// accumulator per element -- the determinism-critical property), then a
+/// single `+= alpha * acc` store. Inner loops run the full kMR x kNR tile
+/// so the compiler can keep acc in registers and vectorize; padded lanes
+/// only feed accumulators that are never stored.
+void microKernel(double* c, std::size_t ldc, const double* ap,
+                 const double* bp, std::size_t kDim, std::size_t mr,
+                 std::size_t nr, double alpha) {
+  double acc[kMR][kNR] = {};
+  for (std::size_t k = 0; k < kDim; ++k) {
+    const double* arow = ap + k * kMR;
+    const double* brow = bp + k * kNR;
+    for (std::size_t ir = 0; ir < kMR; ++ir) {
+      const double av = arow[ir];
+      for (std::size_t jr = 0; jr < kNR; ++jr) {
+        acc[ir][jr] += av * brow[jr];
+      }
+    }
+  }
+  if (alpha == 1.0) {
+    for (std::size_t ir = 0; ir < mr; ++ir) {
+      for (std::size_t jr = 0; jr < nr; ++jr) {
+        c[ir * ldc + jr] += acc[ir][jr];
+      }
+    }
+  } else {
+    for (std::size_t ir = 0; ir < mr; ++ir) {
+      for (std::size_t jr = 0; jr < nr; ++jr) {
+        c[ir * ldc + jr] += alpha * acc[ir][jr];
+      }
+    }
+  }
+}
+
+// Per-thread packing scratch. Workers each get their own A buffer; the B
+// panel is packed once per column block on the calling thread and read by
+// all workers (parallelFor's fork/join gives the happens-before edge).
+thread_local std::vector<double> tlsAPack;
+thread_local std::vector<double> tlsBPack;
+
+void tiledGemm(Matrix& c, const Matrix& a, const Matrix& b, bool transA,
+               bool transB, double alpha) {
+  const std::size_t m = c.rows();
+  const std::size_t n = c.cols();
+  const std::size_t kDim = transA ? a.rows() : a.cols();
+  if (m == 0 || n == 0) return;
+
+  const std::size_t ldc = n;
+  double* cBase = c.data().data();
+  const std::size_t rowPanels = (m + kMR - 1) / kMR;
+  const std::size_t nc = resolveNc();
+
+  auto& pool = common::ThreadPool::global();
+  const bool parallel =
+      pool.size() > 1 && rowPanels > 1 && 2 * m * n * kDim >= kParallelFlops;
+
+  for (std::size_t j0 = 0; j0 < n; j0 += nc) {
+    const std::size_t jb = std::min(nc, n - j0);
+    packB(tlsBPack, b, transB, j0, jb, kDim);
+    const double* bPack = tlsBPack.data();
+    const std::size_t colPanels = (jb + kNR - 1) / kNR;
+
+    auto rowPanel = [&](std::size_t p) {
+      const std::size_t i0 = p * kMR;
+      const std::size_t mr = std::min(kMR, m - i0);
+      packA(tlsAPack, a, transA, i0, mr, kDim);
+      const double* aPack = tlsAPack.data();
+      for (std::size_t jp = 0; jp < colPanels; ++jp) {
+        const std::size_t nr = std::min(kNR, jb - jp * kNR);
+        microKernel(cBase + i0 * ldc + j0 + jp * kNR, ldc, aPack,
+                    bPack + jp * kDim * kNR, kDim, mr, nr, alpha);
+      }
+    };
+
+    if (parallel) {
+      pool.parallelFor(0, rowPanels, rowPanel);
+    } else {
+      // Direct loop, not parallelFor: the pooled path wraps the body in a
+      // std::function (which may allocate), and the single-thread training
+      // step must stay allocation-free after warm-up.
+      for (std::size_t p = 0; p < rowPanels; ++p) rowPanel(p);
+    }
+  }
+}
+
+/// Shared argument validation + beta pre-pass. Applying beta in one pass
+/// over C before the product keeps the per-element combine identical
+/// between the tiled and naive kernels: C = (beta-scaled C) + alpha * sum.
+void prepareC(Matrix& c, const Matrix& a, const Matrix& b, bool transA,
+              bool transB, double beta) {
+  const std::size_t m = transA ? a.cols() : a.rows();
+  const std::size_t kA = transA ? a.rows() : a.cols();
+  const std::size_t kB = transB ? b.cols() : b.rows();
+  const std::size_t n = transB ? b.rows() : b.cols();
+  if (kA != kB) {
+    throw std::invalid_argument("gemm: inner dimension mismatch");
+  }
+  if (!c.data().empty() &&
+      (c.data().data() == a.data().data() ||
+       c.data().data() == b.data().data())) {
+    throw std::invalid_argument("gemm: C must not alias A or B");
+  }
+  if (c.rows() != m || c.cols() != n) {
+    if (beta != 0.0) {
+      throw std::invalid_argument(
+          "gemm: C shape mismatch with nonzero beta");
+    }
+    ensureShape(c, m, n);  // resize zero-fills
+  } else if (beta == 0.0) {
+    c.fill(0.0);
+  } else if (beta != 1.0) {
+    for (double& v : c.data()) v *= beta;
+  }
+}
+
+}  // namespace
+
+void setGemmKernel(GemmKernel kernel) {
+  g_kernel.store(static_cast<int>(kernel), std::memory_order_relaxed);
+}
+
+GemmKernel gemmKernel() {
+  return static_cast<GemmKernel>(g_kernel.load(std::memory_order_relaxed));
+}
+
+void gemm(Matrix& c, const Matrix& a, const Matrix& b, bool transA,
+          bool transB, double alpha, double beta) {
+  if (gemmKernel() == GemmKernel::kNaive) {
+    referenceGemm(c, a, b, transA, transB, alpha, beta);
+    return;
+  }
+  prepareC(c, a, b, transA, transB, beta);
+  tiledGemm(c, a, b, transA, transB, alpha);
+}
+
+void referenceGemm(Matrix& c, const Matrix& a, const Matrix& b, bool transA,
+                   bool transB, double alpha, double beta) {
+  prepareC(c, a, b, transA, transB, beta);
+  // Seed-faithful path: materialized transposes and the i-k-j loop with
+  // the data-dependent zero skip, exactly as Matrix::operator* shipped.
+  const Matrix aOp = transA ? a.transposed() : a;
+  const Matrix bOp = transB ? b.transposed() : b;
+  Matrix product(aOp.rows(), bOp.cols());
+  for (std::size_t i = 0; i < aOp.rows(); ++i) {
+    for (std::size_t k = 0; k < aOp.cols(); ++k) {
+      const double aik = aOp(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < bOp.cols(); ++j) {
+        product(i, j) += aik * bOp(k, j);
+      }
+    }
+  }
+  if (alpha == 1.0) {
+    for (std::size_t i = 0; i < c.data().size(); ++i) {
+      c.data()[i] += product.data()[i];
+    }
+  } else {
+    for (std::size_t i = 0; i < c.data().size(); ++i) {
+      c.data()[i] += alpha * product.data()[i];
+    }
+  }
+}
+
+void axpyInPlace(Matrix& y, double alpha, const Matrix& x) {
+  if (y.rows() != x.rows() || y.cols() != x.cols()) {
+    throw std::invalid_argument("axpyInPlace: shape mismatch");
+  }
+  auto yd = y.data();
+  auto xd = x.data();
+  for (std::size_t i = 0; i < yd.size(); ++i) yd[i] += alpha * xd[i];
+}
+
+void scaleInPlace(Matrix& m, double s) {
+  for (double& v : m.data()) v *= s;
+}
+
+void hadamardInPlace(Matrix& y, const Matrix& x) {
+  if (y.rows() != x.rows() || y.cols() != x.cols()) {
+    throw std::invalid_argument("hadamardInPlace: shape mismatch");
+  }
+  auto yd = y.data();
+  auto xd = x.data();
+  for (std::size_t i = 0; i < yd.size(); ++i) yd[i] *= xd[i];
+}
+
+void addHadamardInPlace(Matrix& y, const Matrix& a, const Matrix& b) {
+  if (y.rows() != a.rows() || y.cols() != a.cols() || a.rows() != b.rows() ||
+      a.cols() != b.cols()) {
+    throw std::invalid_argument("addHadamardInPlace: shape mismatch");
+  }
+  auto yd = y.data();
+  auto ad = a.data();
+  auto bd = b.data();
+  for (std::size_t i = 0; i < yd.size(); ++i) yd[i] += ad[i] * bd[i];
+}
+
+void addRowBroadcastInPlace(Matrix& m, const Matrix& row) {
+  if (row.rows() != 1 || row.cols() != m.cols()) {
+    throw std::invalid_argument("addRowBroadcastInPlace: row shape mismatch");
+  }
+  const double* r = row.data().data();
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    double* dst = m.data().data() + i * m.cols();
+    for (std::size_t c = 0; c < m.cols(); ++c) dst[c] += r[c];
+  }
+}
+
+void ensureShape(Matrix& m, std::size_t rows, std::size_t cols) {
+  if (m.rows() == rows && m.cols() == cols) return;
+  m.resize(rows, cols);
+}
+
+}  // namespace rfp::linalg

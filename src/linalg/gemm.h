@@ -1,0 +1,83 @@
+#pragma once
+
+/// \file gemm.h
+/// Destination-passing GEMM and in-place element-wise kernels: the numeric
+/// hot path under the neural-network layers (and, via Matrix::operator*,
+/// under every legacy matrix product in the tracking/FID code).
+///
+/// gemm computes C = beta * C + alpha * op(A) * op(B) with op() selected by
+/// transpose *flags*, so gradient products like X^T * dY never materialize
+/// a transposed copy. The tiled kernel packs A row-panels and B column
+/// panels into contiguous buffers and accumulates each output element over
+/// the full K extent in registers, strictly k-ascending -- the same
+/// per-element floating-point order as the seed i-k-j loop -- so its output
+/// is bit-identical to the naive reference for finite inputs and, because
+/// parallelism only splits the M dimension (disjoint rows, unchanged
+/// per-row order), bit-identical at any thread count (DESIGN.md Sec. 8/9).
+///
+/// Determinism note: cache blocking deliberately never splits K. Splitting
+/// K would accumulate partial sums into C in a different order than the
+/// reference kernel and break the bit-identity contract; blocking over M
+/// (row panels across threads) and N (column panels, RFP_GEMM_NC) leaves
+/// every element's accumulation order untouched.
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+
+namespace rfp::linalg {
+
+/// Kernel selection, primarily for benchmarks and bit-identity tests.
+/// kTiled is the packed/blocked production kernel; kNaive reproduces the
+/// seed behaviour exactly (materialized transposes, i-k-j loop with the
+/// data-dependent `aik == 0.0` skip, temporary accumulation matrix).
+enum class GemmKernel { kTiled, kNaive };
+
+/// Switches the kernel gemm() dispatches to. Not meant to be flipped
+/// concurrently with in-flight gemm calls.
+void setGemmKernel(GemmKernel kernel);
+GemmKernel gemmKernel();
+
+/// C = beta * C + alpha * op(A) * op(B); op(X) = X or X^T per flag.
+/// C is resized (reusing capacity) when beta == 0; with beta != 0 its shape
+/// must already match. C must not alias A or B (throws
+/// std::invalid_argument). beta == 0 overwrites C entirely (stale NaNs do
+/// not propagate); beta == 1 adds the full product without touching the
+/// existing values before the final per-element addition.
+void gemm(Matrix& c, const Matrix& a, const Matrix& b, bool transA = false,
+          bool transB = false, double alpha = 1.0, double beta = 0.0);
+
+/// The seed-faithful naive kernel behind GemmKernel::kNaive, exposed so
+/// tests can compare the tiled kernel against it regardless of the global
+/// kernel switch.
+void referenceGemm(Matrix& c, const Matrix& a, const Matrix& b,
+                   bool transA = false, bool transB = false,
+                   double alpha = 1.0, double beta = 0.0);
+
+// --- in-place element-wise kernels ------------------------------------------
+// All throw std::invalid_argument on shape mismatch and perform the same
+// per-element operation (and rounding) as their copying Matrix/ops
+// counterparts.
+
+/// y += alpha * x.
+void axpyInPlace(Matrix& y, double alpha, const Matrix& x);
+
+/// m *= s.
+void scaleInPlace(Matrix& m, double s);
+
+/// y[i] *= x[i].
+void hadamardInPlace(Matrix& y, const Matrix& x);
+
+/// y += a .* b (single add of the rounded product, as `y += a.hadamard(b)`).
+void addHadamardInPlace(Matrix& y, const Matrix& a, const Matrix& b);
+
+/// Adds the 1 x C row vector to every row of m.
+void addRowBroadcastInPlace(Matrix& m, const Matrix& row);
+
+/// Reshapes m to rows x cols *only if the shape differs*, reusing the
+/// existing allocation when capacity suffices (new elements are zero).
+/// The workspace warm-up primitive: after the first call with the steady
+/// shape, subsequent calls are no-ops and allocation-free.
+void ensureShape(Matrix& m, std::size_t rows, std::size_t cols);
+
+}  // namespace rfp::linalg

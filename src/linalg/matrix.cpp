@@ -1,5 +1,7 @@
 #include "linalg/matrix.h"
 
+#include "linalg/gemm.h"
+
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
@@ -38,6 +40,16 @@ Matrix Matrix::columnVector(std::span<const double> values) {
   Matrix m(values.size(), 1);
   for (std::size_t i = 0; i < values.size(); ++i) m(i, 0) = values[i];
   return m;
+}
+
+void Matrix::resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+void Matrix::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
 }
 
 double& Matrix::at(std::size_t r, std::size_t c) {
@@ -84,16 +96,10 @@ Matrix Matrix::operator*(const Matrix& o) const {
   if (cols_ != o.rows_) {
     throw std::invalid_argument("Matrix product: inner dimension mismatch");
   }
-  Matrix out(rows_, o.cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double aik = (*this)(i, k);
-      if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < o.cols_; ++j) {
-        out(i, j) += aik * o(k, j);
-      }
-    }
-  }
+  // Thin wrapper over the blocked kernel (gemm.h); bit-identical to the
+  // historical i-k-j loop for finite inputs.
+  Matrix out;
+  gemm(out, *this, o);
   return out;
 }
 

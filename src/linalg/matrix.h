@@ -36,6 +36,14 @@ class Matrix {
   std::size_t cols() const { return cols_; }
   bool empty() const { return data_.empty(); }
 
+  /// Reshapes to rows x cols with every element zeroed. Reuses the
+  /// existing allocation when capacity suffices, which keeps workspace
+  /// buffers allocation-free once warmed up.
+  void resize(std::size_t rows, std::size_t cols);
+
+  /// Sets every element to \p value without reallocating.
+  void fill(double value);
+
   double& operator()(std::size_t r, std::size_t c) {
     return data_[r * cols_ + c];
   }

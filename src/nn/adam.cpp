@@ -48,8 +48,72 @@ void Adam::step() {
 }
 
 void Adam::stepAndZero() {
-  step();
-  zeroGradients(params_);
+  ++t_;
+  const double b1 = options_.beta1;
+  const double b2 = options_.beta2;
+  const double correction1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double correction2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    auto g = p.grad.data();
+    auto m = m_[i].data();
+    auto v = v_[i].data();
+    auto w = p.value.data();
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      const double gk = g[k];
+      m[k] = b1 * m[k] + (1.0 - b1) * gk;
+      v[k] = b2 * v[k] + (1.0 - b2) * gk * gk;
+      const double mHat = m[k] / correction1;
+      const double vHat = v[k] / correction2;
+      w[k] -= options_.learningRate * mHat /
+              (std::sqrt(vHat) + options_.epsilon);
+      g[k] = 0.0;
+    }
+  }
+}
+
+double Adam::clippedStepAndZero(double maxNorm) {
+  if (maxNorm <= 0.0) {
+    throw std::invalid_argument("clipGradientNorm: maxNorm must be positive");
+  }
+  const double norm = gradientNorm(params_);
+  // Mirror clipGradientNorm exactly: a NaN norm admits no rescale (step
+  // proceeds on the gradients as-is, for the finite-check guard to
+  // report); an Inf norm has no usable direction (step on zeros, so only
+  // the moment decay advances); a finite norm above maxNorm scales by
+  // maxNorm / norm with the same single rounding as the two-pass path.
+  const bool zeroInstead = std::isinf(norm);
+  double scale = 1.0;
+  if (!std::isnan(norm) && !zeroInstead && norm > maxNorm && norm > 0.0) {
+    scale = maxNorm / norm;
+  }
+
+  ++t_;
+  const double b1 = options_.beta1;
+  const double b2 = options_.beta2;
+  const double correction1 = 1.0 - std::pow(b1, static_cast<double>(t_));
+  const double correction2 = 1.0 - std::pow(b2, static_cast<double>(t_));
+
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Parameter& p = *params_[i];
+    auto g = p.grad.data();
+    auto m = m_[i].data();
+    auto v = v_[i].data();
+    auto w = p.value.data();
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      const double gk =
+          zeroInstead ? 0.0 : (scale == 1.0 ? g[k] : g[k] * scale);
+      m[k] = b1 * m[k] + (1.0 - b1) * gk;
+      v[k] = b2 * v[k] + (1.0 - b2) * gk * gk;
+      const double mHat = m[k] / correction1;
+      const double vHat = v[k] / correction2;
+      w[k] -= options_.learningRate * mHat /
+              (std::sqrt(vHat) + options_.epsilon);
+      g[k] = 0.0;
+    }
+  }
+  return norm;
 }
 
 void Adam::serializeState(std::ostream& out) const {

@@ -27,8 +27,20 @@ class Adam {
   /// gradients untouched (call zeroGradients separately, or use stepAndZero).
   void step();
 
-  /// step() followed by zeroing all gradients.
+  /// step() followed by zeroing all gradients, fused into a single
+  /// traversal: one read of each gradient entry, one write of each value,
+  /// zeroing the gradient in the same pass. Bit-identical to calling
+  /// step() then zeroGradients().
   void stepAndZero();
+
+  /// clipGradientNorm + stepAndZero fused into one post-norm traversal
+  /// (the training step's satellite optimization): computes the global
+  /// norm, then a single pass per parameter applies the clip scale, the
+  /// Adam update, and the gradient zeroing. Returns the pre-clip norm and
+  /// reproduces clipGradientNorm's NaN/Inf semantics bit-for-bit: a NaN
+  /// norm steps with the gradients untouched, an Inf norm steps with a
+  /// zero gradient (moment decay only).
+  double clippedStepAndZero(double maxNorm);
 
   const AdamOptions& options() const { return options_; }
   void setLearningRate(double lr) { options_.learningRate = lr; }

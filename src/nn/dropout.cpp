@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "linalg/gemm.h"
+
 namespace rfp::nn {
 
 Dropout::Dropout(double probability) : p_(probability) {
@@ -12,17 +14,34 @@ Dropout::Dropout(double probability) : p_(probability) {
 
 Matrix Dropout::forward(const Matrix& x, bool training,
                         rfp::common::Rng& rng) {
+  Matrix out;
+  forwardInto(out, x, training, rng);
+  return out;
+}
+
+void Dropout::forwardInto(Matrix& dst, const Matrix& x, bool training,
+                          rfp::common::Rng& rng) {
   lastTraining_ = training;
-  if (!training || p_ == 0.0) return x;
-  mask_ = Matrix(x.rows(), x.cols());
+  if (!training || p_ == 0.0) {
+    dst = x;
+    return;
+  }
+  linalg::ensureShape(mask_, x.rows(), x.cols());
   const double scale = 1.0 / (1.0 - p_);
   for (double& m : mask_.data()) m = rng.bernoulli(p_) ? 0.0 : scale;
-  return x.hadamard(mask_);
+  dst = x;
+  linalg::hadamardInPlace(dst, mask_);
 }
 
 Matrix Dropout::backward(const Matrix& dy) const {
-  if (!lastTraining_ || p_ == 0.0) return dy;
-  return dy.hadamard(mask_);
+  Matrix out = dy;
+  backwardInPlace(out);
+  return out;
+}
+
+void Dropout::backwardInPlace(Matrix& dy) const {
+  if (!lastTraining_ || p_ == 0.0) return;
+  linalg::hadamardInPlace(dy, mask_);
 }
 
 }  // namespace rfp::nn

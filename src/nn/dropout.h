@@ -22,8 +22,19 @@ class Dropout {
   /// \p training selects train vs eval behaviour.
   Matrix forward(const Matrix& x, bool training, rfp::common::Rng& rng);
 
+  /// Destination-passing forward: \p dst gets the (masked) activations.
+  /// The mask buffer is reshaped in place, so a Dropout reused across
+  /// steps of a fixed-shape sequence draws fresh Bernoulli masks (same
+  /// element order as forward) without allocating.
+  void forwardInto(Matrix& dst, const Matrix& x, bool training,
+                   rfp::common::Rng& rng);
+
   /// Applies the cached mask (train) or passes through (eval).
   Matrix backward(const Matrix& dy) const;
+
+  /// In-place backward: multiplies \p dy by the cached mask (no-op at
+  /// eval / p == 0, exactly like the copying form).
+  void backwardInPlace(Matrix& dy) const;
 
  private:
   double p_;

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "linalg/gemm.h"
 #include "nn/ops.h"
 
 namespace rfp::nn {
@@ -16,7 +17,13 @@ Embedding::Embedding(std::string name, std::size_t numClasses,
 }
 
 Matrix Embedding::forward(const std::vector<int>& labels) {
-  Matrix out(labels.size(), dim());
+  Matrix out;
+  forwardInto(out, labels);
+  return out;
+}
+
+void Embedding::forwardInto(Matrix& out, const std::vector<int>& labels) {
+  linalg::ensureShape(out, labels.size(), dim());
   for (std::size_t i = 0; i < labels.size(); ++i) {
     const int label = labels[i];
     if (label < 0 || static_cast<std::size_t>(label) >= numClasses()) {
@@ -26,8 +33,7 @@ Matrix Embedding::forward(const std::vector<int>& labels) {
       out(i, c) = table_.value(static_cast<std::size_t>(label), c);
     }
   }
-  cachedLabels_ = labels;
-  return out;
+  cachedLabels_ = labels;  // vector copy-assign reuses capacity
 }
 
 void Embedding::backward(const Matrix& dy) {

@@ -25,6 +25,9 @@ class Embedding {
   /// labels for the backward pass. Throws on out-of-range labels.
   Matrix forward(const std::vector<int>& labels);
 
+  /// Destination-passing forward (reshapes \p out, reusing capacity).
+  void forwardInto(Matrix& out, const std::vector<int>& labels);
+
   /// Accumulates gradient rows for the cached labels.
   void backward(const Matrix& dy);
 

@@ -26,11 +26,20 @@ class Linear {
   /// X: [batch x in] -> [batch x out].
   Matrix forward(const Matrix& x);
 
+  /// Destination-passing forward: writes into \p y (reshaped, capacity-
+  /// reusing) and caches the input. \p y must not alias \p x or the
+  /// weights. The allocation-free hot path.
+  void forwardInto(Matrix& y, const Matrix& x);
+
   /// Inference-only forward: no input caching.
   Matrix forwardInference(const Matrix& x) const;
 
   /// dY: [batch x out] -> dX [batch x in]; accumulates dW and db.
   Matrix backward(const Matrix& dy);
+
+  /// Destination-passing backward: dX into \p dx (reshaped); accumulates
+  /// dW and db without temporaries. \p dx must not alias \p dy.
+  void backwardInto(Matrix& dx, const Matrix& dy);
 
   ParameterList parameters();
 
@@ -38,6 +47,7 @@ class Linear {
   Parameter weight_;  ///< [in x out]
   Parameter bias_;    ///< [1 x out]
   Matrix cachedInput_;
+  Matrix colSumsBuf_;  ///< bias-gradient scratch (kept for reuse)
 };
 
 }  // namespace rfp::nn

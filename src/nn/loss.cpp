@@ -4,20 +4,28 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "linalg/gemm.h"
+
 namespace rfp::nn {
 
 LossResult bceWithLogits(const Matrix& logits, const Matrix& targets) {
+  LossResult out;
+  out.loss = bceWithLogitsInto(out.dLogits, logits, targets);
+  return out;
+}
+
+double bceWithLogitsInto(Matrix& dLogits, const Matrix& logits,
+                         const Matrix& targets) {
   if (logits.rows() != targets.rows() || logits.cols() != targets.cols()) {
     throw std::invalid_argument("bceWithLogits: shape mismatch");
   }
   const auto n = static_cast<double>(logits.rows() * logits.cols());
   if (n == 0.0) throw std::invalid_argument("bceWithLogits: empty input");
 
-  LossResult out;
-  out.dLogits = Matrix(logits.rows(), logits.cols());
+  linalg::ensureShape(dLogits, logits.rows(), logits.cols());
   auto x = logits.data();
   auto z = targets.data();
-  auto dx = out.dLogits.data();
+  auto dx = dLogits.data();
   double loss = 0.0;
   for (std::size_t i = 0; i < x.size(); ++i) {
     // Divide each term by n as it is accumulated: saturated logits produce
@@ -32,8 +40,7 @@ LossResult bceWithLogits(const Matrix& logits, const Matrix& targets) {
                            : std::exp(x[i]) / (1.0 + std::exp(x[i]));
     dx[i] = (sig - z[i]) / n;
   }
-  out.loss = loss;
-  return out;
+  return loss;
 }
 
 LossResult bceOnProbabilities(const Matrix& probabilities,

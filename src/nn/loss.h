@@ -21,6 +21,12 @@ struct LossResult {
 /// sigmoid saturation: logits of +/-1e308 yield a finite loss and gradient.
 LossResult bceWithLogits(const Matrix& logits, const Matrix& targets);
 
+/// Destination-passing bceWithLogits: writes the logit gradient into
+/// \p dLogits (reshaped, capacity-reusing) and returns the loss. The
+/// allocation-free form the training step uses.
+double bceWithLogitsInto(Matrix& dLogits, const Matrix& logits,
+                         const Matrix& targets);
+
 /// Epsilon-guarded BCE on *probabilities* in [0, 1]: predictions are
 /// clamped to [eps, 1 - eps] before the logarithms, so exact 0/1
 /// predictions (sigmoid saturation) produce a large-but-finite loss and

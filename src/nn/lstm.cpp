@@ -1,11 +1,16 @@
 #include "nn/lstm.h"
 
-#include <algorithm>
 #include <stdexcept>
 
+#include "linalg/gemm.h"
 #include "nn/ops.h"
 
 namespace rfp::nn {
+
+using linalg::addRowBroadcastInPlace;
+using linalg::ensureShape;
+using linalg::gemm;
+using linalg::hadamardInPlace;
 
 Lstm::Lstm(std::string name, std::size_t inputSize, std::size_t hiddenSize,
            rfp::common::Rng& rng)
@@ -26,96 +31,129 @@ Lstm::Lstm(std::string name, std::size_t inputSize, std::size_t hiddenSize,
   }
 }
 
-std::vector<Matrix> Lstm::forward(const std::vector<Matrix>& xs) {
+const std::vector<Matrix>& Lstm::forward(const std::vector<Matrix>& xs) {
   if (xs.empty()) throw std::invalid_argument("Lstm::forward: empty sequence");
   const std::size_t batch = xs.front().rows();
   const std::size_t h = hiddenSize_;
+  const std::size_t steps = xs.size();
 
-  cache_.clear();
-  cache_.reserve(xs.size());
+  if (cache_.size() != steps) cache_.resize(steps);
+  if (outputs_.size() != steps) outputs_.resize(steps);
 
-  Matrix hPrev(batch, h);
-  Matrix cPrev(batch, h);
-  std::vector<Matrix> outputs;
-  outputs.reserve(xs.size());
+  ensureShape(hPrev_, batch, h);
+  hPrev_.fill(0.0);
+  ensureShape(cPrev_, batch, h);
+  cPrev_.fill(0.0);
 
-  for (const Matrix& x : xs) {
+  for (std::size_t t = 0; t < steps; ++t) {
+    const Matrix& x = xs[t];
     if (x.rows() != batch || x.cols() != inputSize_) {
       throw std::invalid_argument("Lstm::forward: input shape mismatch");
     }
-    const Matrix a = addRowBroadcast(x * wx_.value + hPrev * wh_.value,
-                                     b_.value);
-    StepCache sc;
-    sc.x = x;
-    sc.hPrev = hPrev;
-    sc.cPrev = cPrev;
-    sc.i = sigmoidForward(sliceCols(a, 0, h));
-    sc.f = sigmoidForward(sliceCols(a, h, 2 * h));
-    sc.g = tanhForward(sliceCols(a, 2 * h, 3 * h));
-    sc.o = sigmoidForward(sliceCols(a, 3 * h, 4 * h));
-    sc.c = sc.f.hadamard(cPrev) + sc.i.hadamard(sc.g);
-    sc.tanhC = tanhForward(sc.c);
-    const Matrix hNew = sc.o.hadamard(sc.tanhC);
+    // a = x*wx + hPrev*wh + b, accumulated in place: the second gemm adds
+    // each complete hPrev*wh element in one rounding step, matching the
+    // former materialize-then-add evaluation bit for bit.
+    gemm(a_, x, wx_.value);
+    gemm(a_, hPrev_, wh_.value, false, false, 1.0, 1.0);
+    addRowBroadcastInPlace(a_, b_.value);
 
-    hPrev = hNew;
-    cPrev = sc.c;
-    outputs.push_back(hNew);
-    cache_.push_back(std::move(sc));
+    StepCache& sc = cache_[t];
+    sc.x = x;
+    sc.hPrev = hPrev_;
+    sc.cPrev = cPrev_;
+    sliceColsInto(sc.i, a_, 0, h);
+    sigmoidInPlace(sc.i);
+    sliceColsInto(sc.f, a_, h, 2 * h);
+    sigmoidInPlace(sc.f);
+    sliceColsInto(sc.g, a_, 2 * h, 3 * h);
+    tanhInPlace(sc.g);
+    sliceColsInto(sc.o, a_, 3 * h, 4 * h);
+    sigmoidInPlace(sc.o);
+
+    // c = f .* cPrev + i .* g
+    sc.c = sc.f;
+    hadamardInPlace(sc.c, sc.cPrev);
+    linalg::addHadamardInPlace(sc.c, sc.i, sc.g);
+    sc.tanhC = sc.c;
+    tanhInPlace(sc.tanhC);
+
+    Matrix& hOut = outputs_[t];
+    hOut = sc.o;
+    hadamardInPlace(hOut, sc.tanhC);
+
+    hPrev_ = hOut;
+    cPrev_ = sc.c;
   }
-  return outputs;
+  return outputs_;
 }
 
-std::vector<Matrix> Lstm::backward(const std::vector<Matrix>& dHs) {
+std::vector<Matrix>& Lstm::backward(const std::vector<Matrix>& dHs) {
   if (dHs.size() != cache_.size()) {
     throw std::invalid_argument("Lstm::backward: timestep count mismatch");
   }
-  const std::size_t t = cache_.size();
+  if (cache_.empty()) {
+    throw std::logic_error("Lstm::backward: forward not called");
+  }
+  const std::size_t steps = cache_.size();
   const std::size_t h = hiddenSize_;
   const std::size_t batch = cache_.front().x.rows();
 
-  std::vector<Matrix> dXs(t);
-  Matrix dhNext(batch, h);  // gradient flowing from step k+1 into h_k
-  Matrix dcNext(batch, h);  // ... and into c_k
+  if (dXs_.size() != steps) dXs_.resize(steps);
+  ensureShape(dhNext_, batch, h);  // gradient flowing from step k+1 into h_k
+  dhNext_.fill(0.0);
+  ensureShape(dcNext_, batch, h);  // ... and into c_k
+  dcNext_.fill(0.0);
 
-  for (std::size_t step = t; step-- > 0;) {
+  for (std::size_t step = steps; step-- > 0;) {
     const StepCache& sc = cache_[step];
-    const Matrix dh = dHs[step] + dhNext;
+    dh_ = dHs[step];
+    dh_ += dhNext_;
 
     // h = o * tanh(c)
-    const Matrix dOut = dh.hadamard(sc.tanhC);
-    Matrix dTanhC = sc.tanhC;
-    for (double& v : dTanhC.data()) v = 1.0 - v * v;
-    Matrix dc = dcNext + dh.hadamard(sc.o).hadamard(dTanhC);
+    dOut_ = dh_;
+    hadamardInPlace(dOut_, sc.tanhC);
+    dTanhC_ = sc.tanhC;
+    for (double& v : dTanhC_.data()) v = 1.0 - v * v;
+    dcTmp_ = dh_;
+    hadamardInPlace(dcTmp_, sc.o);
+    hadamardInPlace(dcTmp_, dTanhC_);
+    dc_ = dcNext_;
+    dc_ += dcTmp_;
 
-    const Matrix dI = dc.hadamard(sc.g);
-    const Matrix dG = dc.hadamard(sc.i);
-    const Matrix dF = dc.hadamard(sc.cPrev);
-    dcNext = dc.hadamard(sc.f);
+    dI_ = dc_;
+    hadamardInPlace(dI_, sc.g);
+    dG_ = dc_;
+    hadamardInPlace(dG_, sc.i);
+    dF_ = dc_;
+    hadamardInPlace(dF_, sc.cPrev);
+    dcNext_ = dc_;
+    hadamardInPlace(dcNext_, sc.f);
 
-    // Pre-activation gradients.
-    const Matrix daI = sigmoidBackward(dI, sc.i);
-    const Matrix daF = sigmoidBackward(dF, sc.f);
-    const Matrix daG = tanhBackward(dG, sc.g);
-    const Matrix daO = sigmoidBackward(dOut, sc.o);
+    // Pre-activation gradients, written in place over the gate gradients.
+    sigmoidBackwardInPlace(dI_, sc.i);
+    sigmoidBackwardInPlace(dF_, sc.f);
+    tanhBackwardInPlace(dG_, sc.g);
+    sigmoidBackwardInPlace(dOut_, sc.o);
 
-    Matrix da(batch, 4 * h);
+    ensureShape(da_, batch, 4 * h);
     for (std::size_t r = 0; r < batch; ++r) {
       for (std::size_t c = 0; c < h; ++c) {
-        da(r, c) = daI(r, c);
-        da(r, h + c) = daF(r, c);
-        da(r, 2 * h + c) = daG(r, c);
-        da(r, 3 * h + c) = daO(r, c);
+        da_(r, c) = dI_(r, c);
+        da_(r, h + c) = dF_(r, c);
+        da_(r, 2 * h + c) = dG_(r, c);
+        da_(r, 3 * h + c) = dOut_(r, c);
       }
     }
 
-    wx_.grad += sc.x.transposed() * da;
-    wh_.grad += sc.hPrev.transposed() * da;
-    b_.grad += colSums(da);
+    gemm(wx_.grad, sc.x, da_, true, false, 1.0, 1.0);
+    gemm(wh_.grad, sc.hPrev, da_, true, false, 1.0, 1.0);
+    colSumsInto(colSumsBuf_, da_);
+    b_.grad += colSumsBuf_;
 
-    dXs[step] = da * wx_.value.transposed();
-    dhNext = da * wh_.value.transposed();
+    gemm(dXs_[step], da_, wx_.value, false, true);
+    gemm(dhNext_, da_, wh_.value, false, true);
   }
-  return dXs;
+  return dXs_;
 }
 
 ParameterList Lstm::parameters() { return {&wx_, &wh_, &b_}; }
@@ -125,6 +163,9 @@ StackedLstm::StackedLstm(std::string name, std::size_t inputSize,
                          double dropout, rfp::common::Rng& rng)
     : dropoutP_(dropout) {
   if (numLayers == 0) throw std::invalid_argument("StackedLstm: zero layers");
+  // Validate the probability once, up front (layer dropouts are created
+  // lazily on first forward).
+  (void)Dropout(dropout);
   layers_.reserve(numLayers);
   for (std::size_t l = 0; l < numLayers; ++l) {
     const std::size_t in = l == 0 ? inputSize : hiddenSize;
@@ -137,37 +178,49 @@ std::size_t StackedLstm::hiddenSize() const {
   return layers_.back().hiddenSize();
 }
 
-std::vector<Matrix> StackedLstm::forward(const std::vector<Matrix>& xs,
-                                         bool training,
-                                         rfp::common::Rng& rng) {
-  dropouts_.assign(layers_.size() > 1 ? layers_.size() - 1 : 0, {});
-  std::vector<Matrix> h = layers_.front().forward(xs);
+const std::vector<Matrix>& StackedLstm::forward(const std::vector<Matrix>& xs,
+                                                bool training,
+                                                rfp::common::Rng& rng) {
+  const std::size_t numInter = layers_.size() - 1;
+  if (dropouts_.size() != numInter) dropouts_.resize(numInter);
+  if (dropped_.size() != numInter) dropped_.resize(numInter);
+
+  const std::vector<Matrix>* h = &layers_.front().forward(xs);
   for (std::size_t l = 1; l < layers_.size(); ++l) {
     auto& layerDropouts = dropouts_[l - 1];
-    layerDropouts.reserve(h.size());
-    std::vector<Matrix> dropped;
-    dropped.reserve(h.size());
-    for (const Matrix& ht : h) {
-      layerDropouts.emplace_back(dropoutP_);
-      dropped.push_back(layerDropouts.back().forward(ht, training, rng));
-    }
-    h = layers_[l].forward(dropped);
-  }
-  return h;
-}
-
-std::vector<Matrix> StackedLstm::backward(const std::vector<Matrix>& dHs) {
-  std::vector<Matrix> grad = dHs;
-  for (std::size_t l = layers_.size(); l-- > 0;) {
-    grad = layers_[l].backward(grad);
-    if (l > 0) {
-      auto& layerDropouts = dropouts_[l - 1];
-      for (std::size_t st = 0; st < grad.size(); ++st) {
-        grad[st] = layerDropouts[st].backward(grad[st]);
+    if (layerDropouts.size() != h->size()) {
+      layerDropouts.clear();
+      layerDropouts.reserve(h->size());
+      for (std::size_t t = 0; t < h->size(); ++t) {
+        layerDropouts.emplace_back(dropoutP_);
       }
     }
+    auto& dropped = dropped_[l - 1];
+    if (dropped.size() != h->size()) dropped.resize(h->size());
+    for (std::size_t t = 0; t < h->size(); ++t) {
+      // Masks are drawn per timestep in ascending order, preserving the
+      // RNG draw sequence of the former build-a-fresh-Dropout loop.
+      layerDropouts[t].forwardInto(dropped[t], (*h)[t], training, rng);
+    }
+    h = &layers_[l].forward(dropped);
   }
-  return grad;
+  return *h;
+}
+
+const std::vector<Matrix>& StackedLstm::backward(
+    const std::vector<Matrix>& dHs) {
+  const std::vector<Matrix>* grad = &dHs;
+  for (std::size_t l = layers_.size(); l-- > 0;) {
+    std::vector<Matrix>& g = layers_[l].backward(*grad);
+    if (l > 0) {
+      auto& layerDropouts = dropouts_[l - 1];
+      for (std::size_t st = 0; st < g.size(); ++st) {
+        layerDropouts[st].backwardInPlace(g[st]);
+      }
+    }
+    grad = &g;
+  }
+  return *grad;
 }
 
 ParameterList StackedLstm::parameters() {
@@ -183,41 +236,40 @@ BiLstm::BiLstm(std::string name, std::size_t inputSize,
     : fwd_(name + ".fwd", inputSize, hiddenSize, rng),
       bwd_(name + ".bwd", inputSize, hiddenSize, rng) {}
 
-std::vector<Matrix> BiLstm::forward(const std::vector<Matrix>& xs) {
-  const std::vector<Matrix> hf = fwd_.forward(xs);
+const std::vector<Matrix>& BiLstm::forward(const std::vector<Matrix>& xs) {
+  const std::size_t steps = xs.size();
+  const std::vector<Matrix>& hf = fwd_.forward(xs);
 
-  std::vector<Matrix> reversed(xs.rbegin(), xs.rend());
-  std::vector<Matrix> hbRev = bwd_.forward(reversed);
-  std::reverse(hbRev.begin(), hbRev.end());
+  if (revXs_.size() != steps) revXs_.resize(steps);
+  for (std::size_t t = 0; t < steps; ++t) revXs_[t] = xs[steps - 1 - t];
+  const std::vector<Matrix>& hbRev = bwd_.forward(revXs_);
 
-  std::vector<Matrix> out;
-  out.reserve(xs.size());
-  for (std::size_t t = 0; t < xs.size(); ++t) {
-    out.push_back(concatCols(hf[t], hbRev[t]));
+  if (outs_.size() != steps) outs_.resize(steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    concatColsInto(outs_[t], hf[t], hbRev[steps - 1 - t]);
   }
-  return out;
+  return outs_;
 }
 
-std::vector<Matrix> BiLstm::backward(const std::vector<Matrix>& dHs) {
+const std::vector<Matrix>& BiLstm::backward(const std::vector<Matrix>& dHs) {
+  const std::size_t steps = dHs.size();
   const std::size_t h = hiddenSize();
-  std::vector<Matrix> dFwd;
-  std::vector<Matrix> dBwdRev(dHs.size());
-  dFwd.reserve(dHs.size());
-  for (std::size_t t = 0; t < dHs.size(); ++t) {
-    dFwd.push_back(sliceCols(dHs[t], 0, h));
-    dBwdRev[dHs.size() - 1 - t] = sliceCols(dHs[t], h, 2 * h);
+  if (dFwd_.size() != steps) dFwd_.resize(steps);
+  if (dBwdRev_.size() != steps) dBwdRev_.resize(steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    sliceColsInto(dFwd_[t], dHs[t], 0, h);
+    sliceColsInto(dBwdRev_[steps - 1 - t], dHs[t], h, 2 * h);
   }
 
-  const std::vector<Matrix> dXf = fwd_.backward(dFwd);
-  std::vector<Matrix> dXbRev = bwd_.backward(dBwdRev);
-  std::reverse(dXbRev.begin(), dXbRev.end());
+  const std::vector<Matrix>& dXf = fwd_.backward(dFwd_);
+  const std::vector<Matrix>& dXbRev = bwd_.backward(dBwdRev_);
 
-  std::vector<Matrix> dXs;
-  dXs.reserve(dXf.size());
-  for (std::size_t t = 0; t < dXf.size(); ++t) {
-    dXs.push_back(dXf[t] + dXbRev[t]);
+  if (dXs_.size() != steps) dXs_.resize(steps);
+  for (std::size_t t = 0; t < steps; ++t) {
+    dXs_[t] = dXf[t];
+    dXs_[t] += dXbRev[steps - 1 - t];
   }
-  return dXs;
+  return dXs_;
 }
 
 ParameterList BiLstm::parameters() {

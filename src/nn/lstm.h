@@ -7,6 +7,12 @@
 ///
 /// Conventions: sequences are vectors of [batch x features] matrices, one
 /// per timestep. Gate order inside the fused 4H dimension is [i, f, g, o].
+///
+/// Workspace lifetime (DESIGN.md Sec. 9): forward()/backward() return
+/// references into per-layer buffers that are recycled across calls, so a
+/// steady-state training step allocates nothing. The references stay valid
+/// until the *next* forward()/backward() on the same layer; callers that
+/// need the values past that point copy them (`const auto hs = ...`).
 
 #include <string>
 #include <vector>
@@ -27,13 +33,17 @@ class Lstm {
   std::size_t hiddenSize() const { return hiddenSize_; }
 
   /// Runs the sequence from zero initial state; returns hidden states per
-  /// timestep and caches everything backward() needs.
-  std::vector<Matrix> forward(const std::vector<Matrix>& xs);
+  /// timestep (a reference into the layer's reused output workspace) and
+  /// caches everything backward() needs.
+  const std::vector<Matrix>& forward(const std::vector<Matrix>& xs);
 
   /// BPTT. \p dHs holds the loss gradient w.r.t. each output hidden state
   /// (same shape as forward's output). Returns gradients w.r.t. each input
-  /// and accumulates the weight gradients.
-  std::vector<Matrix> backward(const std::vector<Matrix>& dHs);
+  /// (a mutable reference into the layer's workspace, so the stacked
+  /// variant can apply dropout masks in place) and accumulates the weight
+  /// gradients. All gradient products use transpose flags -- no
+  /// materialized transposed() copies.
+  std::vector<Matrix>& backward(const std::vector<Matrix>& dHs);
 
   ParameterList parameters();
 
@@ -50,6 +60,13 @@ class Lstm {
   Parameter wh_;  ///< [hidden x 4H]
   Parameter b_;   ///< [1 x 4H]
   std::vector<StepCache> cache_;
+
+  // Workspace, sized on first use and recycled (DESIGN.md Sec. 9).
+  std::vector<Matrix> outputs_;
+  std::vector<Matrix> dXs_;
+  Matrix hPrev_, cPrev_, a_;  ///< forward scratch
+  Matrix dhNext_, dcNext_, dh_, dOut_, dTanhC_, dcTmp_, dc_;  ///< backward
+  Matrix dI_, dG_, dF_, da_, colSumsBuf_;
 };
 
 /// Stack of LSTM layers with dropout between layers (not after the last),
@@ -62,15 +79,19 @@ class StackedLstm {
   std::size_t hiddenSize() const;
   std::size_t numLayers() const { return layers_.size(); }
 
-  std::vector<Matrix> forward(const std::vector<Matrix>& xs, bool training,
-                              rfp::common::Rng& rng);
-  std::vector<Matrix> backward(const std::vector<Matrix>& dHs);
+  /// Returns a reference into the top layer's output workspace (valid
+  /// until the next forward on this stack).
+  const std::vector<Matrix>& forward(const std::vector<Matrix>& xs,
+                                     bool training, rfp::common::Rng& rng);
+  /// Returns a reference into the bottom layer's input-gradient workspace.
+  const std::vector<Matrix>& backward(const std::vector<Matrix>& dHs);
 
   ParameterList parameters();
 
  private:
   std::vector<Lstm> layers_;
   std::vector<std::vector<Dropout>> dropouts_;  ///< [layer][timestep]
+  std::vector<std::vector<Matrix>> dropped_;    ///< inter-layer activations
   double dropoutP_;
 };
 
@@ -83,14 +104,17 @@ class BiLstm {
 
   std::size_t hiddenSize() const { return fwd_.hiddenSize(); }
 
-  std::vector<Matrix> forward(const std::vector<Matrix>& xs);
-  std::vector<Matrix> backward(const std::vector<Matrix>& dHs);
+  /// Returns a reference into this layer's output workspace.
+  const std::vector<Matrix>& forward(const std::vector<Matrix>& xs);
+  /// Returns a reference into this layer's input-gradient workspace.
+  const std::vector<Matrix>& backward(const std::vector<Matrix>& dHs);
 
   ParameterList parameters();
 
  private:
   Lstm fwd_;
   Lstm bwd_;
+  std::vector<Matrix> revXs_, outs_, dFwd_, dBwdRev_, dXs_;
 };
 
 }  // namespace rfp::nn

@@ -7,55 +7,85 @@
 
 namespace rfp::nn {
 
+namespace {
+
+/// The numerically stable logistic shared by every sigmoid path.
+inline double stableSigmoid(double v) {
+  return v >= 0.0 ? 1.0 / (1.0 + std::exp(-v))
+                  : std::exp(v) / (1.0 + std::exp(v));
+}
+
+}  // namespace
+
+void tanhInPlace(Matrix& m) {
+  for (double& v : m.data()) v = std::tanh(v);
+}
+
 Matrix tanhForward(const Matrix& x) {
   Matrix y = x;
-  for (double& v : y.data()) v = std::tanh(v);
+  tanhInPlace(y);
   return y;
+}
+
+void tanhBackwardInPlace(Matrix& dy, const Matrix& y) {
+  auto yd = y.data();
+  auto dxd = dy.data();
+  for (std::size_t i = 0; i < dxd.size(); ++i) {
+    dxd[i] *= 1.0 - yd[i] * yd[i];
+  }
 }
 
 Matrix tanhBackward(const Matrix& dy, const Matrix& y) {
   Matrix dx = dy;
-  auto yd = y.data();
-  auto dxd = dx.data();
-  for (std::size_t i = 0; i < dxd.size(); ++i) {
-    dxd[i] *= 1.0 - yd[i] * yd[i];
-  }
+  tanhBackwardInPlace(dx, y);
   return dx;
+}
+
+void sigmoidInPlace(Matrix& m) {
+  for (double& v : m.data()) v = stableSigmoid(v);
 }
 
 Matrix sigmoidForward(const Matrix& x) {
   Matrix y = x;
-  for (double& v : y.data()) {
-    // Numerically stable logistic.
-    v = v >= 0.0 ? 1.0 / (1.0 + std::exp(-v))
-                 : std::exp(v) / (1.0 + std::exp(v));
-  }
+  sigmoidInPlace(y);
   return y;
+}
+
+void sigmoidBackwardInPlace(Matrix& dy, const Matrix& y) {
+  auto yd = y.data();
+  auto dxd = dy.data();
+  for (std::size_t i = 0; i < dxd.size(); ++i) {
+    dxd[i] *= yd[i] * (1.0 - yd[i]);
+  }
 }
 
 Matrix sigmoidBackward(const Matrix& dy, const Matrix& y) {
   Matrix dx = dy;
-  auto yd = y.data();
-  auto dxd = dx.data();
-  for (std::size_t i = 0; i < dxd.size(); ++i) {
-    dxd[i] *= yd[i] * (1.0 - yd[i]);
-  }
+  sigmoidBackwardInPlace(dx, y);
   return dx;
+}
+
+void reluInPlace(Matrix& m) {
+  for (double& v : m.data()) v = v > 0.0 ? v : 0.0;
 }
 
 Matrix reluForward(const Matrix& x) {
   Matrix y = x;
-  for (double& v : y.data()) v = v > 0.0 ? v : 0.0;
+  reluInPlace(y);
   return y;
+}
+
+void reluBackwardInPlace(Matrix& dy, const Matrix& y) {
+  auto yd = y.data();
+  auto dxd = dy.data();
+  for (std::size_t i = 0; i < dxd.size(); ++i) {
+    if (yd[i] <= 0.0) dxd[i] = 0.0;
+  }
 }
 
 Matrix reluBackward(const Matrix& dy, const Matrix& y) {
   Matrix dx = dy;
-  auto yd = y.data();
-  auto dxd = dx.data();
-  for (std::size_t i = 0; i < dxd.size(); ++i) {
-    if (yd[i] <= 0.0) dxd[i] = 0.0;
-  }
+  reluBackwardInPlace(dx, y);
   return dx;
 }
 
@@ -91,26 +121,37 @@ Matrix safeLog(const Matrix& x, double eps) {
   return y;
 }
 
-Matrix concatCols(const Matrix& a, const Matrix& b) {
+void concatColsInto(Matrix& out, const Matrix& a, const Matrix& b) {
   if (a.rows() != b.rows()) {
     throw std::invalid_argument("concatCols: row count mismatch");
   }
-  Matrix out(a.rows(), a.cols() + b.cols());
+  ensureShape(out, a.rows(), a.cols() + b.cols());
   for (std::size_t r = 0; r < a.rows(); ++r) {
     for (std::size_t c = 0; c < a.cols(); ++c) out(r, c) = a(r, c);
     for (std::size_t c = 0; c < b.cols(); ++c) out(r, a.cols() + c) = b(r, c);
   }
+}
+
+Matrix concatCols(const Matrix& a, const Matrix& b) {
+  Matrix out;
+  concatColsInto(out, a, b);
   return out;
 }
 
-Matrix sliceCols(const Matrix& m, std::size_t from, std::size_t to) {
+void sliceColsInto(Matrix& out, const Matrix& m, std::size_t from,
+                   std::size_t to) {
   if (from > to || to > m.cols()) {
     throw std::invalid_argument("sliceCols: bad column range");
   }
-  Matrix out(m.rows(), to - from);
+  ensureShape(out, m.rows(), to - from);
   for (std::size_t r = 0; r < m.rows(); ++r) {
     for (std::size_t c = from; c < to; ++c) out(r, c - from) = m(r, c);
   }
+}
+
+Matrix sliceCols(const Matrix& m, std::size_t from, std::size_t to) {
+  Matrix out;
+  sliceColsInto(out, m, from, to);
   return out;
 }
 
@@ -119,17 +160,21 @@ Matrix addRowBroadcast(const Matrix& m, const Matrix& row) {
     throw std::invalid_argument("addRowBroadcast: row shape mismatch");
   }
   Matrix out = m;
-  for (std::size_t r = 0; r < m.rows(); ++r) {
-    for (std::size_t c = 0; c < m.cols(); ++c) out(r, c) += row(0, c);
-  }
+  addRowBroadcastInPlace(out, row);
   return out;
 }
 
-Matrix colSums(const Matrix& m) {
-  Matrix out(1, m.cols());
+void colSumsInto(Matrix& out, const Matrix& m) {
+  ensureShape(out, 1, m.cols());
+  out.fill(0.0);
   for (std::size_t r = 0; r < m.rows(); ++r) {
     for (std::size_t c = 0; c < m.cols(); ++c) out(0, c) += m(r, c);
   }
+}
+
+Matrix colSums(const Matrix& m) {
+  Matrix out;
+  colSumsInto(out, m);
   return out;
 }
 
@@ -137,6 +182,13 @@ double meanAll(const Matrix& m) {
   if (m.empty()) return 0.0;
   double s = 0.0;
   for (double v : m.data()) s += v;
+  return s / static_cast<double>(m.rows() * m.cols());
+}
+
+double meanSigmoid(const Matrix& m) {
+  if (m.empty()) return 0.0;
+  double s = 0.0;
+  for (double v : m.data()) s += stableSigmoid(v);
   return s / static_cast<double>(m.rows() * m.cols());
 }
 

@@ -6,13 +6,39 @@
 /// of the forward pass (cheaper than re-deriving from the input).
 
 #include "common/rng.h"
+#include "linalg/gemm.h"
 #include "linalg/matrix.h"
 
 namespace rfp::nn {
 
 using linalg::Matrix;
 
+// Re-exported destination-passing kernels (linalg/gemm.h) so layer code
+// reads uniformly: nn::gemm, nn::hadamardInPlace, nn::ensureShape, ...
+using linalg::addHadamardInPlace;
+using linalg::addRowBroadcastInPlace;
+using linalg::axpyInPlace;
+using linalg::ensureShape;
+using linalg::gemm;
+using linalg::hadamardInPlace;
+using linalg::scaleInPlace;
+
 // --- activations -----------------------------------------------------------
+// The copying Forward/Backward pairs below remain the convenience API; the
+// *InPlace variants are the allocation-free hot path and perform the same
+// per-element operation (bit-identical results).
+
+void tanhInPlace(Matrix& m);
+/// dy *= (1 - y^2), the in-place form of tanhBackward.
+void tanhBackwardInPlace(Matrix& dy, const Matrix& y);
+
+void sigmoidInPlace(Matrix& m);
+/// dy *= y * (1 - y), the in-place form of sigmoidBackward.
+void sigmoidBackwardInPlace(Matrix& dy, const Matrix& y);
+
+void reluInPlace(Matrix& m);
+/// dy[i] = 0 where y[i] <= 0, the in-place form of reluBackward.
+void reluBackwardInPlace(Matrix& dy, const Matrix& y);
 
 Matrix tanhForward(const Matrix& x);
 /// dX given dY and the forward output y = tanh(x): dX = dY * (1 - y^2).
@@ -39,18 +65,29 @@ Matrix safeLog(const Matrix& x, double eps = 1e-12);
 
 /// Horizontal concatenation [a | b]; row counts must match.
 Matrix concatCols(const Matrix& a, const Matrix& b);
+/// Destination-passing concatCols; \p out is reshaped (capacity-reusing).
+void concatColsInto(Matrix& out, const Matrix& a, const Matrix& b);
 
 /// Columns [from, to) of m.
 Matrix sliceCols(const Matrix& m, std::size_t from, std::size_t to);
+/// Destination-passing sliceCols; \p out is reshaped (capacity-reusing).
+void sliceColsInto(Matrix& out, const Matrix& m, std::size_t from,
+                   std::size_t to);
 
 /// Adds a 1 x C row vector to every row of an R x C matrix.
 Matrix addRowBroadcast(const Matrix& m, const Matrix& row);
 
 /// 1 x C column sums of an R x C matrix (the bias gradient).
 Matrix colSums(const Matrix& m);
+/// Destination-passing colSums; \p out is reshaped (capacity-reusing).
+void colSumsInto(Matrix& out, const Matrix& m);
 
 /// Mean of all entries.
 double meanAll(const Matrix& m);
+
+/// meanAll(sigmoidForward(m)) without the temporary: the per-element
+/// sigmoid and the accumulation order match the two-call form exactly.
+double meanSigmoid(const Matrix& m);
 
 /// Fills \p m with uniform samples in [-limit, limit].
 void fillUniform(Matrix& m, double limit, rfp::common::Rng& rng);

@@ -24,7 +24,7 @@ struct Parameter {
       : name(std::move(n)), value(std::move(v)),
         grad(value.rows(), value.cols()) {}
 
-  void zeroGrad() { grad = Matrix(value.rows(), value.cols()); }
+  void zeroGrad() { grad.fill(0.0); }  // in-place: the hot path allocates nothing
   std::size_t size() const { return value.rows() * value.cols(); }
 };
 

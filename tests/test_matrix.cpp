@@ -2,6 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "linalg/gemm.h"
+
 namespace rfp::linalg {
 namespace {
 
@@ -91,6 +101,225 @@ TEST(Matrix, ColumnVector) {
   EXPECT_EQ(c.rows(), 3u);
   EXPECT_EQ(c.cols(), 1u);
   EXPECT_DOUBLE_EQ(c(1, 0), 2.0);
+}
+
+// --- gemm property tests ----------------------------------------------------
+// The tiled kernel's contract (gemm.h) is *bit-identity* with the seed-
+// faithful naive reference for finite inputs, so comparisons below are
+// memcmp over the element storage, not approximate.
+
+/// Deterministic LCG fill (this test links rfp_linalg only, no rng.h). The
+/// values exercise signs, magnitudes, and exact zeros (the naive kernel has
+/// a data-dependent `aik == 0.0` skip the tiled kernel must still match).
+void lcgFill(Matrix& m, std::uint64_t seed) {
+  std::uint64_t s = seed * 2862933555777941757ULL + 3037000493ULL;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+      const double u = static_cast<double>(s >> 11) / 9007199254740992.0;
+      double v = (u - 0.5) * 4.0;
+      if ((s & 0xffULL) < 8) v = 0.0;  // sprinkle exact zeros
+      m(r, c) = v;
+    }
+  }
+}
+
+bool bitIdentical(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.rows() * a.cols() * sizeof(double)) == 0;
+}
+
+TEST(Gemm, MatchesReferenceBitwiseAllTransposesAlphaBeta) {
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  // Odd sizes straddle the 4x4 micro-tile; (33, 17, 29) covers remainder
+  // handling in all three dimensions at once.
+  const Shape shapes[] = {{4, 4, 4},  {8, 8, 8},  {33, 17, 29},
+                          {1, 7, 5},  {5, 7, 1},  {6, 1, 6},
+                          {64, 3, 2}, {2, 3, 64}};
+  const double alphas[] = {1.0, 0.5, -2.0};
+  const double betas[] = {0.0, 1.0, 0.7};
+  std::uint64_t seed = 1;
+  for (const Shape& s : shapes) {
+    for (int transA = 0; transA < 2; ++transA) {
+      for (int transB = 0; transB < 2; ++transB) {
+        for (double alpha : alphas) {
+          for (double beta : betas) {
+            Matrix a(transA ? s.k : s.m, transA ? s.m : s.k);
+            Matrix b(transB ? s.n : s.k, transB ? s.k : s.n);
+            Matrix cInit(s.m, s.n);
+            lcgFill(a, seed++);
+            lcgFill(b, seed++);
+            lcgFill(cInit, seed++);
+            Matrix cTiled = cInit;
+            Matrix cRef = cInit;
+            gemm(cTiled, a, b, transA != 0, transB != 0, alpha, beta);
+            referenceGemm(cRef, a, b, transA != 0, transB != 0, alpha, beta);
+            ASSERT_TRUE(bitIdentical(cTiled, cRef))
+                << "m=" << s.m << " k=" << s.k << " n=" << s.n
+                << " tA=" << transA << " tB=" << transB << " alpha=" << alpha
+                << " beta=" << beta;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(Gemm, BetaZeroOverwritesStaleNaNs) {
+  Matrix a(3, 4);
+  Matrix b(4, 5);
+  lcgFill(a, 101);
+  lcgFill(b, 102);
+  Matrix c(3, 5, std::numeric_limits<double>::quiet_NaN());
+  gemm(c, a, b);
+  for (std::size_t r = 0; r < c.rows(); ++r) {
+    for (std::size_t col = 0; col < c.cols(); ++col) {
+      EXPECT_TRUE(std::isfinite(c(r, col)));
+    }
+  }
+}
+
+TEST(Gemm, BetaZeroResizesReusingCapacity) {
+  Matrix a(6, 3);
+  Matrix b(3, 2);
+  lcgFill(a, 7);
+  lcgFill(b, 8);
+  Matrix c(9, 9);  // larger capacity than the 6x2 result needs
+  gemm(c, a, b);
+  EXPECT_EQ(c.rows(), 6u);
+  EXPECT_EQ(c.cols(), 2u);
+  Matrix ref;
+  referenceGemm(ref, a, b);
+  EXPECT_TRUE(bitIdentical(c, ref));
+}
+
+TEST(Gemm, ThrowsOnAliasedDestination) {
+  Matrix a(4, 4);
+  Matrix b(4, 4);
+  lcgFill(a, 21);
+  lcgFill(b, 22);
+  EXPECT_THROW(gemm(a, a, b), std::invalid_argument);
+  EXPECT_THROW(gemm(b, a, b), std::invalid_argument);
+}
+
+TEST(Gemm, ThrowsOnShapeErrors) {
+  Matrix a(3, 4);
+  Matrix b(5, 2);  // inner mismatch: 4 vs 5
+  Matrix c;
+  EXPECT_THROW(gemm(c, a, b), std::invalid_argument);
+  Matrix bOk(4, 2);
+  Matrix cWrong(7, 7);
+  // With beta != 0 the existing C participates, so its shape must match.
+  EXPECT_THROW(gemm(cWrong, a, bOk, false, false, 1.0, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Gemm, BitIdenticalAcrossThreadCounts) {
+  // Big enough to cross the parallel-dispatch FLOP threshold.
+  Matrix a(64, 96);
+  Matrix b(96, 80);
+  lcgFill(a, 31);
+  lcgFill(b, 32);
+  common::ThreadPool::setGlobalThreads(1);
+  Matrix c1;
+  gemm(c1, a, b);
+  for (std::size_t threads : {2ul, 4ul}) {
+    common::ThreadPool::setGlobalThreads(threads);
+    Matrix cN;
+    gemm(cN, a, b);
+    EXPECT_TRUE(bitIdentical(c1, cN)) << "threads=" << threads;
+  }
+  common::ThreadPool::setGlobalThreads(0);
+}
+
+TEST(Gemm, KernelSwitchRoundTrips) {
+  ASSERT_EQ(gemmKernel(), GemmKernel::kTiled);
+  Matrix a(5, 6);
+  Matrix b(6, 7);
+  lcgFill(a, 41);
+  lcgFill(b, 42);
+  Matrix cTiled;
+  gemm(cTiled, a, b);
+  setGemmKernel(GemmKernel::kNaive);
+  EXPECT_EQ(gemmKernel(), GemmKernel::kNaive);
+  Matrix cNaive;
+  gemm(cNaive, a, b);
+  setGemmKernel(GemmKernel::kTiled);
+  EXPECT_TRUE(bitIdentical(cTiled, cNaive));
+}
+
+TEST(Gemm, OperatorStarRoutesThroughGemm) {
+  Matrix a(9, 5);
+  Matrix b(5, 11);
+  lcgFill(a, 51);
+  lcgFill(b, 52);
+  const Matrix c = a * b;
+  Matrix ref;
+  referenceGemm(ref, a, b);
+  EXPECT_TRUE(bitIdentical(c, ref));
+}
+
+TEST(GemmInPlace, ElementwiseKernelsMatchCopyingOps) {
+  Matrix y(7, 9);
+  Matrix x(7, 9);
+  lcgFill(y, 61);
+  lcgFill(x, 62);
+
+  Matrix axpy = y;
+  axpyInPlace(axpy, -1.5, x);
+  Matrix axpyRef = y + x * -1.5;
+  EXPECT_TRUE(bitIdentical(axpy, axpyRef));
+
+  Matrix scaled = y;
+  scaleInPlace(scaled, 0.37);
+  EXPECT_TRUE(bitIdentical(scaled, y * 0.37));
+
+  Matrix had = y;
+  hadamardInPlace(had, x);
+  EXPECT_TRUE(bitIdentical(had, y.hadamard(x)));
+
+  Matrix addHad = y;
+  Matrix z(7, 9);
+  lcgFill(z, 63);
+  addHadamardInPlace(addHad, x, z);
+  EXPECT_TRUE(bitIdentical(addHad, y + x.hadamard(z)));
+
+  Matrix row(1, 9);
+  lcgFill(row, 64);
+  Matrix bcast = y;
+  addRowBroadcastInPlace(bcast, row);
+  for (std::size_t r = 0; r < y.rows(); ++r) {
+    for (std::size_t c = 0; c < y.cols(); ++c) {
+      EXPECT_EQ(bcast(r, c), y(r, c) + row(0, c));
+    }
+  }
+
+  EXPECT_THROW(axpyInPlace(axpy, 1.0, Matrix(2, 2)), std::invalid_argument);
+  EXPECT_THROW(hadamardInPlace(had, Matrix(2, 2)), std::invalid_argument);
+  EXPECT_THROW(addHadamardInPlace(addHad, Matrix(2, 2), z),
+               std::invalid_argument);
+  EXPECT_THROW(addRowBroadcastInPlace(bcast, Matrix(1, 3)),
+               std::invalid_argument);
+}
+
+TEST(GemmInPlace, EnsureShapeReusesCapacityAndZeroFills) {
+  Matrix m(4, 6);
+  lcgFill(m, 71);
+  const double* before = m.data().data();
+  ensureShape(m, 4, 6);  // same shape: strict no-op
+  EXPECT_EQ(m.data().data(), before);
+  ensureShape(m, 3, 5);  // shrink within capacity
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 5u);
+  ensureShape(m, 2, 3);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(m(r, c), 0.0);  // reshapes zero the contents
+    }
+  }
 }
 
 }  // namespace

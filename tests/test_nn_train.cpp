@@ -1,17 +1,62 @@
+#include <atomic>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <limits>
+#include <new>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
+#include "gan/trajectory_gan.h"
+#include "linalg/gemm.h"
 #include "nn/adam.h"
 #include "nn/finite.h"
 #include "nn/linear.h"
 #include "nn/loss.h"
 #include "nn/ops.h"
 #include "nn/serialize.h"
+#include "trajectory/trace.h"
+
+// ---------------------------------------------------------------------------
+// Instrumented global allocator: counts heap allocations while enabled, so
+// the zero-allocation contract of the training hot path (DESIGN.md Sec. 9)
+// is enforced by a test instead of by code review. Only the unaligned forms
+// are replaced -- std::vector<double>/std::string never take the aligned
+// overloads.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<bool> g_countAllocs{false};
+std::atomic<std::size_t> g_allocCount{0};
+}  // namespace
+
+// noinline: if the compiler inlines these it sees malloc() paired with
+// free() across what it thinks are distinct allocators and raises
+// -Wmismatched-new-delete; kept opaque, new/delete pair normally.
+[[gnu::noinline]] void* operator new(std::size_t n) {
+  if (g_countAllocs.load(std::memory_order_relaxed)) {
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(n > 0 ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+[[gnu::noinline]] void* operator new[](std::size_t n) {
+  return ::operator new(n);
+}
+[[gnu::noinline]] void operator delete(void* p) noexcept { std::free(p); }
+[[gnu::noinline]] void operator delete[](void* p) noexcept { std::free(p); }
+[[gnu::noinline]] void operator delete(void* p, std::size_t) noexcept {
+  std::free(p);
+}
+[[gnu::noinline]] void operator delete[](void* p, std::size_t) noexcept {
+  std::free(p);
+}
 
 namespace rfp::nn {
 namespace {
@@ -320,6 +365,147 @@ TEST(Loss, BceOnProbabilitiesGuardsExactZeroAndOne) {
   for (double g : r.dLogits.data()) EXPECT_TRUE(std::isfinite(g));
   EXPECT_THROW(bceOnProbabilities(probs, targets, 0.7), std::invalid_argument);
   EXPECT_THROW(bceOnProbabilities(probs, Matrix(1, 1)), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Training hot path: zero steady-state allocations and bit-identity across
+// GEMM kernels and thread counts (the gemm.h / DESIGN.md Sec. 9 contract).
+// ---------------------------------------------------------------------------
+
+gan::GeneratorConfig tinyGeneratorConfig() {
+  gan::GeneratorConfig g;
+  g.hiddenSize = 12;
+  g.noiseDim = 6;
+  g.perStepNoiseDim = 4;
+  g.labelEmbeddingDim = 4;
+  g.traceLength = 9;  // 10-point traces keep the test fast
+  return g;
+}
+
+gan::DiscriminatorConfig tinyDiscriminatorConfig() {
+  gan::DiscriminatorConfig d;
+  d.hiddenSize = 12;
+  d.featureSize = 8;
+  d.labelEmbeddingDim = 4;
+  d.traceLength = 9;
+  return d;
+}
+
+/// Random-walk traces with traceLength + 1 points and honest range labels.
+std::vector<trajectory::Trace> syntheticDataset(std::size_t count,
+                                                std::size_t points,
+                                                rfp::common::Rng& rng) {
+  std::vector<trajectory::Trace> dataset(count);
+  for (trajectory::Trace& t : dataset) {
+    rfp::common::Vec2 pos{rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0)};
+    t.points.reserve(points);
+    for (std::size_t i = 0; i < points; ++i) {
+      t.points.push_back(pos);
+      pos.x += rng.gaussian(0.0, 0.15);
+      pos.y += rng.gaussian(0.0, 0.15);
+    }
+    t.label = trajectory::rangeClassOf(t);
+  }
+  return dataset;
+}
+
+TEST(TrainHotPath, SteadyStateAdvanceMakesNoHeapAllocations) {
+  // One pool thread: the measured advance must run inline (a pooled task
+  // submission allocates a task node, and that is fine -- the contract is
+  // about the single-thread hot path; parallel dispatch is perf-opt-in).
+  rfp::common::ThreadPool::setGlobalThreads(1);
+  rfp::common::Rng dataRng(42);
+  const auto dataset = syntheticDataset(16, 10, dataRng);
+
+  rfp::common::Rng rng(7);
+  gan::GanTrainingConfig tc;
+  tc.batchSize = 8;
+  tc.epochs = 1000;
+  gan::TrajectoryGan gan(tinyGeneratorConfig(), tinyDiscriminatorConfig(), tc,
+                         rng);
+  gan::TrainingSession session(gan, dataset, rng);
+
+  // Warm-up: more than one full epoch, so every workspace buffer in the
+  // generator, discriminator, optimizers, and session has reached its
+  // steady shape.
+  for (int i = 0; i < 8; ++i) session.advance();
+
+  std::size_t batchAllocs = static_cast<std::size_t>(-1);
+  for (int i = 0; i < 4 && batchAllocs == static_cast<std::size_t>(-1); ++i) {
+    g_allocCount.store(0);
+    g_countAllocs.store(true);
+    const auto ev = session.advance();
+    g_countAllocs.store(false);
+    if (ev.type == gan::TrainingSession::Event::Type::kBatch) {
+      batchAllocs = g_allocCount.load();
+    }
+  }
+  ASSERT_NE(batchAllocs, static_cast<std::size_t>(-1));
+  EXPECT_EQ(batchAllocs, 0u)
+      << "a steady-state training step hit the heap " << batchAllocs
+      << " time(s)";
+  rfp::common::ThreadPool::setGlobalThreads(0);
+}
+
+struct ShortRunResult {
+  std::vector<double> losses;  ///< (D, G) per batch
+  std::string weights;         ///< serialized network parameters
+};
+
+/// Trains a fresh tiny GAN for a few batches under the given kernel and
+/// thread count; identical seeds throughout.
+ShortRunResult shortGanRun(linalg::GemmKernel kernel, std::size_t threads,
+                           const std::vector<trajectory::Trace>& dataset) {
+  linalg::setGemmKernel(kernel);
+  rfp::common::ThreadPool::setGlobalThreads(threads);
+  rfp::common::Rng rng(7);
+  gan::GanTrainingConfig tc;
+  tc.batchSize = 8;
+  tc.epochs = 1000;
+  gan::TrajectoryGan gan(tinyGeneratorConfig(), tinyDiscriminatorConfig(), tc,
+                         rng);
+  gan::TrainingSession session(gan, dataset, rng);
+
+  ShortRunResult out;
+  std::size_t batches = 0;
+  while (batches < 6) {
+    const auto ev = session.advance();
+    if (ev.type != gan::TrainingSession::Event::Type::kBatch) continue;
+    out.losses.push_back(ev.batch.discriminatorLoss);
+    out.losses.push_back(ev.batch.generatorLoss);
+    ++batches;
+  }
+  std::ostringstream os;
+  serializeParameters(os, gan.networkParameters());
+  out.weights = os.str();
+  linalg::setGemmKernel(linalg::GemmKernel::kTiled);
+  rfp::common::ThreadPool::setGlobalThreads(0);
+  return out;
+}
+
+bool lossesBitIdentical(const ShortRunResult& a, const ShortRunResult& b) {
+  return a.losses.size() == b.losses.size() &&
+         std::memcmp(a.losses.data(), b.losses.data(),
+                     a.losses.size() * sizeof(double)) == 0;
+}
+
+TEST(TrainHotPath, BitIdenticalAcrossKernelsAndThreadCounts) {
+  rfp::common::Rng dataRng(42);
+  const auto dataset = syntheticDataset(16, 10, dataRng);
+
+  const ShortRunResult naive =
+      shortGanRun(linalg::GemmKernel::kNaive, 1, dataset);
+  const ShortRunResult tiled1 =
+      shortGanRun(linalg::GemmKernel::kTiled, 1, dataset);
+  EXPECT_TRUE(lossesBitIdentical(naive, tiled1));
+  EXPECT_EQ(naive.weights, tiled1.weights);
+
+  for (std::size_t threads : {2ul, 4ul}) {
+    const ShortRunResult tiledN =
+        shortGanRun(linalg::GemmKernel::kTiled, threads, dataset);
+    EXPECT_TRUE(lossesBitIdentical(tiled1, tiledN)) << "threads=" << threads;
+    EXPECT_EQ(tiled1.weights, tiledN.weights) << "threads=" << threads;
+  }
 }
 
 }  // namespace
