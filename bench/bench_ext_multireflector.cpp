@@ -1,0 +1,317 @@
+/// \file bench_ext_multireflector.cpp
+/// Extension benchmark: the coordinated multi-reflector defense
+/// (src/defense) against the N-radar consistency attack
+/// (src/core/multiradar.h), with reflector-dropout and burst-loss chaos.
+///
+/// The paper (Sec. 13) concedes that a radar network defeats a single
+/// RF-Protect panel: every radar sees the reflection originate at the
+/// panel, so the phantom's apparent positions disagree across radars
+/// (~4.4 m here) and the phantom is flagged. The fleet mounts one
+/// directional panel per attacker radar and solves each radar's range/
+/// angle program from one shared ghost trajectory, so all N radars
+/// localize the *same* phantom.
+///
+/// Cases swept (all go to BENCH_multireflector.json):
+///   - baseline:   one omnidirectional reflector vs 2 radars (the paper's
+///                 limitation: both radars see the panel, positions clash)
+///   - fleet 2x2:  M=2 reflectors vs N=2 radars
+///   - fleet 3x3:  M=3 vs N=3 (extra attacker on the right wall)
+///   - dropout:    3x3 with a scripted mid-run link blackout of one
+///                 reflector -- the fleet re-solves within the frame and
+///                 degrades full -> partial consistency, ledgered
+///   - chaos:      3x3 under the seeded burst-loss fault model at
+///                 intensities 0.3 and 0.6
+///
+/// Expected shape: the baseline phantom mismatch is far above the match
+/// radius (flagged); with the fleet on it drops below 1 m (confirmed by
+/// every radar). Dropout triggers a deterministic ledgered failover (same
+/// seed + fault timeline => byte-identical ledger; checked here by running
+/// the dropout case twice) and never ships a non-finite schedule entry.
+///
+/// `--smoke` runs the same sweep (it is seconds long) and skips only the
+/// google-benchmark timing loop.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "core/multiradar.h"
+#include "core/scenario.h"
+#include "defense/coordinated_scheduler.h"
+#include "defense/fleet.h"
+#include "trajectory/human_walk.h"
+
+namespace {
+
+using namespace rfp;
+using rfp::common::Vec2;
+
+constexpr const char* kOutputPath = "BENCH_multireflector.json";
+
+/// Attacker radar poses: primary + (N-1) secondaries. N=2 is the legacy
+/// left-wall network; N=3 adds a right-wall radar.
+std::vector<core::RadarPose> attackNetwork(const core::Scenario& scenario,
+                                           std::size_t radarCount) {
+  std::vector<core::RadarPose> poses;
+  poses.push_back(core::RadarPose{scenario.sensing.radar.position,
+                                  scenario.sensing.radar.arrayAxis});
+  if (radarCount >= 2) poses.push_back(core::defaultSecondaryPose(scenario));
+  if (radarCount >= 3) {
+    poses.push_back(core::RadarPose{
+        {scenario.plan.width() + 0.8, scenario.plan.height() * 0.45},
+        {0.0, 1.0}});
+  }
+  return poses;
+}
+
+core::MultiRadarAttackConfig attackConfig(
+    const std::vector<core::RadarPose>& poses) {
+  core::MultiRadarAttackConfig config;
+  config.secondaries.assign(poses.begin() + 1, poses.end());
+  return config;
+}
+
+std::vector<Vec2> centralGhostLoop(const env::FloorPlan& plan) {
+  trajectory::Trace centered;
+  centered.points =
+      trajectory::scriptedRectanglePath({-1.25, -1.0}, 2.5, 2.0, 0.8, 0.2);
+  return defense::placeCentralGhost(plan, centered);
+}
+
+void scriptLinkBlackout(defense::FleetConfig& fleet, std::size_t idx,
+                        double startS) {
+  fleet.faults.linkBurstLossProb = 1.0;
+  fleet.reflectors[idx].scriptedFaults.push_back(
+      {fault::FaultKind::kLinkBurst, startS, 1e9, 0});
+}
+
+struct CaseResult {
+  std::string name;
+  std::size_t reflectors = 0;
+  std::size_t radars = 0;
+  double phantomMismatchM = std::numeric_limits<double>::quiet_NaN();
+  bool phantomConfirmed = false;
+  std::size_t confirmedCount = 0;
+  std::size_t flaggedCount = 0;
+  std::string finalTier = "n/a";
+  int resolveCount = 0;
+  double maxResolveUs = 0.0;
+  std::size_t failoverRecords = 0;
+  bool scheduleFinite = true;
+  std::string ledger;
+};
+
+/// Picks the primary-radar track nearest the room center (where the shared
+/// ghost walks; the human loops in the east end of the home).
+void scorePhantom(const core::Scenario& scenario,
+                  const core::MultiRadarResult& result, CaseResult& out) {
+  const Vec2 center{scenario.plan.width() * 0.5,
+                    scenario.plan.height() * 0.5};
+  double bestDist = 2.5;  // must be near the ghost loop at all
+  for (const auto& track : result.tracks) {
+    Vec2 mean{};
+    for (const Vec2& p : track.history) mean = mean + p;
+    mean = mean * (1.0 / static_cast<double>(track.history.size()));
+    const double d = distance(mean, center);
+    if (d < bestDist) {
+      bestDist = d;
+      out.phantomMismatchM = track.bestMatchErrorM;
+      out.phantomConfirmed = track.confirmedBySecondRadar;
+    }
+  }
+  out.confirmedCount = result.confirmedCount;
+  out.flaggedCount = result.flaggedCount;
+}
+
+/// Fleet case: M = N reflectors, optional scripted blackout and seeded
+/// chaos intensity. With \p singleOmni the fleet is cut down to one
+/// omnidirectional panel -- the paper's baseline reflector, which every
+/// attacker radar sees at full strength.
+CaseResult runFleetCase(const std::string& name,
+                        const core::Scenario& scenario,
+                        const std::vector<Vec2>& humanPath,
+                        std::size_t radarCount, double faultIntensity,
+                        int blackoutReflector, double blackoutAtS,
+                        bool singleOmni = false) {
+  CaseResult out;
+  out.name = name;
+  out.radars = radarCount;
+
+  const auto poses = attackNetwork(scenario, radarCount);
+  defense::FleetConfig fleet = defense::makeDefenseFleet(scenario, poses);
+  fleet.seed = 7;
+  fleet.faults.intensity = faultIntensity;
+  if (singleOmni) {
+    fleet.reflectors.erase(fleet.reflectors.begin() + 1,
+                           fleet.reflectors.end());
+    fleet.directivity.sidelobeAmplitude = 1.0;  // radiate everywhere
+  }
+  if (blackoutReflector >= 0) {
+    scriptLinkBlackout(fleet, static_cast<std::size_t>(blackoutReflector),
+                       blackoutAtS);
+  }
+  out.reflectors = fleet.reflectors.size();
+
+  defense::CoordinatedGhostScheduler scheduler(
+      fleet, poses, centralGhostLoop(scenario.plan), 0.1, 0.2);
+  rfp::common::Rng rng(5);
+  const auto result = core::runMultiRadarConsistencyAttack(
+      scenario, humanPath, 0.05,
+      [&scheduler, &out](double t) {
+        auto views = scheduler.step(t);
+        out.maxResolveUs = std::max(out.maxResolveUs,
+                                    scheduler.lastResolveUs());
+        return views;
+      },
+      rng, attackConfig(poses));
+
+  scorePhantom(scenario, result, out);
+  out.finalTier = defense::tierName(scheduler.tier());
+  out.resolveCount = scheduler.resolveCount();
+  out.failoverRecords = scheduler.failoverLedger().records().size();
+  out.ledger = scheduler.failoverLedger().serialize();
+  for (const auto& rec : scheduler.ghostLedger().records()) {
+    if (!std::isfinite(rec.command.fSwitchHz) ||
+        !std::isfinite(rec.command.gain) ||
+        !std::isfinite(rec.command.phaseOffsetRad)) {
+      out.scheduleFinite = false;
+    }
+  }
+  return out;
+}
+
+void writeJson(const std::vector<CaseResult>& cases, bool smoke,
+               bool ledgerDeterministic) {
+  bench::JsonWriter json;
+  json.beginObject()
+      .field("scenario", "home")
+      .field("smoke", smoke)
+      .field("match_radius_m", 1.0)
+      .field("failover_ledger_deterministic", ledgerDeterministic)
+      .beginArray("cases");
+  for (const CaseResult& c : cases) {
+    json.beginObject()
+        .field("name", c.name)
+        .field("reflectors", c.reflectors)
+        .field("radars", c.radars)
+        .field("phantom_mismatch_m", c.phantomMismatchM)
+        .field("phantom_confirmed", c.phantomConfirmed)
+        .field("confirmed_tracks", c.confirmedCount)
+        .field("flagged_tracks", c.flaggedCount)
+        .field("final_tier", c.finalTier)
+        .field("resolve_count", c.resolveCount)
+        .field("max_resolve_us", c.maxResolveUs)
+        .field("failover_records", c.failoverRecords)
+        .field("schedule_finite", c.scheduleFinite)
+        .endObject();
+  }
+  json.endArray().endObject();
+  if (!json.writeFile(kOutputPath)) {
+    throw std::runtime_error(std::string("cannot write ") + kOutputPath);
+  }
+}
+
+int runSweep(bool smoke) {
+  bench::printHeader(
+      "Multi-reflector fleet vs N-radar consistency attack (dropout + "
+      "burst-loss chaos)");
+  const core::Scenario scenario = core::makeHomeScenario();
+  const auto humanPath =
+      trajectory::scriptedRectanglePath({10.5, 3.2}, 2.5, 2.0, 0.8, 0.05);
+
+  std::vector<CaseResult> cases;
+  cases.push_back(runFleetCase("baseline_single_omni", scenario, humanPath,
+                               2, 0.0, -1, 0.0, /*singleOmni=*/true));
+  cases.push_back(runFleetCase("fleet_2x2", scenario, humanPath, 2, 0.0,
+                               -1, 0.0));
+  cases.push_back(runFleetCase("fleet_3x3", scenario, humanPath, 3, 0.0,
+                               -1, 0.0));
+  cases.push_back(runFleetCase("fleet_3x3_dropout", scenario, humanPath, 3,
+                               0.0, 1, 3.0));
+  cases.push_back(runFleetCase("fleet_3x3_chaos_0.3", scenario, humanPath,
+                               3, 0.3, -1, 0.0));
+  cases.push_back(runFleetCase("fleet_3x3_chaos_0.6", scenario, humanPath,
+                               3, 0.6, -1, 0.0));
+
+  // Determinism: the dropout case re-run with the same seed and fault
+  // timeline must produce a byte-identical failover ledger.
+  const CaseResult repeat = runFleetCase("fleet_3x3_dropout", scenario,
+                                         humanPath, 3, 0.0, 1, 3.0);
+  const bool ledgerDeterministic =
+      !cases[3].ledger.empty() && repeat.ledger == cases[3].ledger;
+
+  std::printf("  %-26s %-5s %-5s %-12s %-9s %-9s %-20s %s\n", "case", "M",
+              "N", "mismatch[m]", "confirmed", "resolves",
+              "final tier", "max re-solve [us]");
+  for (const CaseResult& c : cases) {
+    std::printf("  %-26s %-5zu %-5zu %-12.2f %-9s %-9d %-20s %.0f\n",
+                c.name.c_str(), c.reflectors, c.radars, c.phantomMismatchM,
+                c.phantomConfirmed ? "yes" : "NO", c.resolveCount,
+                c.finalTier.c_str(), c.maxResolveUs);
+  }
+
+  writeJson(cases, smoke, ledgerDeterministic);
+  std::printf("\n  wrote %s\n", kOutputPath);
+
+  // Acceptance shape checks (mirrors ISSUE/EXPERIMENTS.md):
+  int status = 0;
+  const auto check = [&status](bool ok, const char* what) {
+    std::printf("  %s: %s\n", what, ok ? "holds" : "VIOLATED");
+    if (!ok) status = 1;
+  };
+  check(!cases[0].phantomConfirmed &&
+            !(cases[0].phantomMismatchM < 1.0),  // NaN = never matched
+        "baseline single reflector is flagged (mismatch > match radius)");
+  check(cases[1].phantomConfirmed && cases[1].phantomMismatchM < 1.0,
+        "fleet 2x2 phantom consistent across radars (mismatch < 1 m)");
+  check(cases[2].phantomConfirmed && cases[2].phantomMismatchM < 1.0,
+        "fleet 3x3 phantom consistent across radars (mismatch < 1 m)");
+  check(cases[3].failoverRecords >= 2 &&
+            cases[3].finalTier != "full_consistency",
+        "mid-run dropout degrades through a ledgered tier transition");
+  check(ledgerDeterministic,
+        "failover ledger byte-identical for same seed + fault timeline");
+  bool finite = true;
+  for (const CaseResult& c : cases) finite = finite && c.scheduleFinite;
+  check(finite, "no non-finite schedule entry in any case");
+  const double frameBudgetUs =
+      1.0e6 / scenario.sensing.radar.frameRateHz;
+  bool deadline = true;
+  for (const CaseResult& c : cases) {
+    if (c.maxResolveUs > frameBudgetUs) deadline = false;
+  }
+  check(deadline, "every re-solve fits the 50 ms actuation frame");
+  return status;
+}
+
+void BM_FleetAttackRun(benchmark::State& state) {
+  const core::Scenario scenario = core::makeHomeScenario();
+  const auto humanPath =
+      trajectory::scriptedRectanglePath({10.5, 3.2}, 2.5, 2.0, 0.8, 0.05);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runFleetCase("fleet_2x2", scenario, humanPath,
+                                          2, 0.0, -1, 0.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FleetAttackRun)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const int status = runSweep(smoke);
+  if (smoke || status != 0) return status;
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,53 @@
+#pragma once
+
+/// \file attack_config.h
+/// Configuration of the Sec. 13 coordinated radar-network attack, split out
+/// of multiradar.h so a Scenario can carry it (scenario_config exposes the
+/// knobs as `attack.*` keys) without a header cycle.
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "common/vec2.h"
+
+namespace rfp::core {
+
+/// Pose of one attacker radar (same hardware as the scenario's radar).
+struct RadarPose {
+  rfp::common::Vec2 position{};
+  rfp::common::Vec2 arrayAxis{1.0, 0.0};
+};
+
+/// Attack-network configuration: the primary radar is always the
+/// scenario's; \p secondaries adds N-1 more. An empty list means the
+/// legacy two-radar setup (one secondary on the left wall,
+/// defaultSecondaryPose()).
+struct MultiRadarAttackConfig {
+  std::vector<RadarPose> secondaries;
+  /// Largest time-aligned track distance still counted as "the same
+  /// target" across radars.
+  double matchRadiusM = 1.0;
+
+  /// Throws std::invalid_argument on a non-positive/non-finite match
+  /// radius, non-finite positions, or a zero array axis.
+  void validate() const {
+    if (!std::isfinite(matchRadiusM) || matchRadiusM <= 0.0) {
+      throw std::invalid_argument(
+          "MultiRadarAttackConfig: matchRadiusM must be positive and finite");
+    }
+    for (const RadarPose& p : secondaries) {
+      if (!std::isfinite(p.position.x) || !std::isfinite(p.position.y) ||
+          !std::isfinite(p.arrayAxis.x) || !std::isfinite(p.arrayAxis.y)) {
+        throw std::invalid_argument(
+            "MultiRadarAttackConfig: radar pose must be finite");
+      }
+      if (p.arrayAxis.norm() <= 0.0) {
+        throw std::invalid_argument(
+            "MultiRadarAttackConfig: radar array axis must be non-zero");
+      }
+    }
+  }
+};
+
+}  // namespace rfp::core

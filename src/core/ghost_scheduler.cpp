@@ -20,6 +20,21 @@ GhostScheduler::GhostScheduler(GhostScheduleConfig config, TraceSource source)
   if (!source_) {
     throw std::invalid_argument("GhostScheduler: trace source required");
   }
+  if (config_.historyCapacity < 1) {
+    throw std::invalid_argument(
+        "GhostScheduler: history capacity must be >= 1");
+  }
+  histogram_.assign(static_cast<std::size_t>(config_.maxPhantoms) + 1, 0);
+}
+
+std::vector<int> GhostScheduler::activationHistory() const {
+  std::vector<int> out;
+  out.reserve(history_.size());
+  // historyHead_ points at the oldest entry once the ring has wrapped.
+  for (std::size_t i = 0; i < history_.size(); ++i) {
+    out.push_back(history_[(historyHead_ + i) % history_.size()]);
+  }
+  return out;
 }
 
 void GhostScheduler::tick(double t, RfProtectSystem& system,
@@ -39,7 +54,14 @@ void GhostScheduler::tick(double t, RfProtectSystem& system,
     ++activeCount_;
     system.addGhostAuto(source_(rng), epochStart, plan, rng);
   }
-  history_.push_back(activeCount_);
+  ++histogram_[static_cast<std::size_t>(activeCount_)];
+  ++recorded_;
+  if (history_.size() < config_.historyCapacity) {
+    history_.push_back(activeCount_);
+  } else {
+    history_[historyHead_] = activeCount_;
+    historyHead_ = (historyHead_ + 1) % history_.size();
+  }
 }
 
 }  // namespace rfp::core

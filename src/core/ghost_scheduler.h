@@ -8,6 +8,7 @@
 /// re-rolls each slot and schedules a fresh trajectory (from a pluggable
 /// source, typically the GAN) through the RfProtectSystem.
 
+#include <cstddef>
 #include <functional>
 #include <vector>
 
@@ -27,6 +28,10 @@ struct GhostScheduleConfig {
   int maxPhantoms = 4;             ///< M
   double activationProbability = 0.5;  ///< q
   double epochSeconds = rfp::common::kTraceDurationS;
+  /// Epochs of per-epoch activation counts retained for
+  /// activationHistory(); older epochs are evicted (the histogram keeps
+  /// counting them). Bounds memory on long-horizon runs.
+  std::size_t historyCapacity = 4096;
 };
 
 /// Drives an RfProtectSystem with Bin(M, q) phantom activity.
@@ -48,15 +53,30 @@ class GhostScheduler {
   /// Epochs elapsed so far.
   long epochsElapsed() const { return epoch_; }
 
-  /// History of per-epoch activation counts (for distribution analysis).
-  const std::vector<int>& activationHistory() const { return history_; }
+  /// Per-epoch activation counts in chronological order, most recent
+  /// last. At most config.historyCapacity epochs are retained (ring
+  /// buffer), so this is safe on unbounded runs.
+  std::vector<int> activationHistory() const;
+
+  /// Activation-count histogram over *all* epochs ever recorded (index =
+  /// count, size maxPhantoms + 1) -- never truncated, so Bin(M, q)
+  /// distribution checks keep working past the history capacity.
+  const std::vector<long>& activationHistogram() const { return histogram_; }
+
+  /// Total epochs recorded into the histogram (== epochsElapsed() + 1
+  /// once the first epoch has been rolled).
+  long epochsRecorded() const { return recorded_; }
 
  private:
   GhostScheduleConfig config_;
   TraceSource source_;
   long epoch_ = -1;
   int activeCount_ = 0;
+  // Ring buffer of the last historyCapacity per-epoch counts.
   std::vector<int> history_;
+  std::size_t historyHead_ = 0;
+  std::vector<long> histogram_;
+  long recorded_ = 0;
 };
 
 }  // namespace rfp::core

@@ -3,26 +3,45 @@
 /// \file multiradar.h
 /// The paper's extended threat model (Sec. 13): an eavesdropper deploying
 /// *multiple coordinated radars* can cross-check targets. A real human
-/// resolves to the same world position from every radar; an RF-Protect
-/// phantom does not -- each radar sees the reflection physically originate
-/// at the panel and pushed out along *its own* bearing to the panel, so
-/// the phantom's apparent positions disagree across radars. The paper
-/// names defeating this configuration as future work; this module
-/// implements the attack so the limitation is measurable.
+/// resolves to the same world position from every radar; a single-panel
+/// RF-Protect phantom does not -- each radar sees the reflection physically
+/// originate at the panel and pushed out along *its own* bearing to the
+/// panel, so the phantom's apparent positions disagree across radars. The
+/// paper names defeating this configuration as future work; this module
+/// implements the attack so the limitation is measurable -- and, since the
+/// counter is a coordinated reflector *fleet* (src/defense), the attack is
+/// configurable to N radar poses so the defense can be scored against the
+/// same adversary it is built to beat.
 
+#include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/vec2.h"
+#include "core/attack_config.h"
 #include "core/scenario.h"
+#include "env/scatterer.h"
 #include "trajectory/trace.h"
 
 namespace rfp::core {
 
+/// The legacy hardcoded secondary mount: same hardware on the *left* wall,
+/// outside, array along that wall, beamforming wedge opening into the room.
+RadarPose defaultSecondaryPose(const Scenario& scenario);
+
 /// One cross-checked track from the primary radar's perspective.
 struct CrossCheckedTrack {
   std::vector<rfp::common::Vec2> history;  ///< primary radar's track
-  double bestMatchErrorM = 0.0;  ///< distance to closest secondary track
+  /// Worst secondary's best match: max over secondary radars of the
+  /// distance to that radar's closest track. With one secondary this is
+  /// exactly the legacy "distance to closest secondary track".
+  double bestMatchErrorM = 0.0;
+  /// Distance to the closest track of each secondary radar, in config
+  /// order.
+  std::vector<double> perRadarErrorM;
+  /// True when every secondary radar confirms the track within
+  /// matchRadiusM.
   bool confirmedBySecondRadar = false;
 };
 
@@ -33,13 +52,37 @@ struct MultiRadarResult {
   std::size_t flaggedCount = 0;      ///< inconsistent (phantom suspects)
 };
 
-/// Runs the two-radar consistency attack: the primary radar is the
-/// scenario's; the secondary is an identical radar mounted on the *left*
-/// wall (outside, axis along that wall). One human walks \p humanPath
-/// while RF-Protect spoofs \p ghostTrace (placed for the primary radar, as
-/// the defender would). Tracks from the primary radar whose time-aligned
-/// positions match a secondary-radar track within \p matchRadiusM are
-/// confirmed; the rest are flagged as phantoms.
+/// Per-frame defense injection hook. Called exactly once per radar frame;
+/// returns either a single scatterer list shared by every radar, or one
+/// list per radar (index 0 = primary, then secondaries in config order)
+/// when the emission is observer-dependent -- a fleet of *directional*
+/// reflectors radiates a different amplitude towards each radar.
+using DefenseInjector =
+    std::function<std::vector<std::vector<env::PointScatterer>>(double t)>;
+
+/// Runs the N-radar consistency attack against an arbitrary defense: one
+/// human walks \p humanPath while \p injector supplies whatever the
+/// defense radiates each frame. Tracks from the primary radar whose
+/// time-aligned positions match a track of *every* secondary radar within
+/// config.matchRadiusM are confirmed; the rest are flagged as phantoms.
+/// Primary tracks localized outside the building footprint are discarded
+/// before cross-checking (the attacker knows the walls; that is where the
+/// reflector's switching harmonics land).
+MultiRadarResult runMultiRadarConsistencyAttack(
+    const Scenario& scenario, const std::vector<rfp::common::Vec2>& humanPath,
+    double pathDt, const DefenseInjector& injector, rfp::common::Rng& rng,
+    const MultiRadarAttackConfig& config);
+
+/// Single-reflector legacy defense against the configured radar network:
+/// RF-Protect spoofs \p ghostTrace with the scenario's one panel (placed
+/// for the primary radar, as the defender would).
+MultiRadarResult runMultiRadarConsistencyAttack(
+    const Scenario& scenario, const std::vector<rfp::common::Vec2>& humanPath,
+    double pathDt, const trajectory::Trace& ghostTrace,
+    rfp::common::Rng& rng, const MultiRadarAttackConfig& config);
+
+/// Backwards-compatible two-radar entry point: the hardcoded left-wall
+/// secondary with \p matchRadiusM (scenario.attack is ignored).
 MultiRadarResult runMultiRadarConsistencyAttack(
     const Scenario& scenario, const std::vector<rfp::common::Vec2>& humanPath,
     double pathDt, const trajectory::Trace& ghostTrace,

@@ -5,6 +5,7 @@
 /// a home, each with the eavesdropper radar on a boundary wall and the
 /// RF-Protect panel roughly 1.2 m away along the same wall.
 
+#include "core/attack_config.h"
 #include "core/eavesdropper.h"
 #include "env/environment.h"
 #include "env/floorplan.h"
@@ -23,6 +24,9 @@ struct Scenario {
   reflector::ReflectorHardware reflectorHardware;
   env::SnapshotOptions snapshot;
   fault::FaultConfig faults;  ///< hardware fault model (intensity 0 = none)
+  /// Threat-model radar network the deployment is scored against (empty
+  /// secondaries = the legacy left-wall two-radar attack).
+  MultiRadarAttackConfig attack;
 
   /// Builds the reflector controller (optionally with breathing spoofing).
   reflector::ReflectorController makeController(

@@ -29,6 +29,7 @@ struct ParsedScenario {
   double panelSpacing = rfp::common::kPanelSpacingM;
   double multipathLoss = 0.5;
   fault::FaultConfig faults;
+  MultiRadarAttackConfig attack;
 };
 
 /// Parse context: every diagnostic names the source and the 1-based line.
@@ -217,6 +218,14 @@ Scenario loadScenario(std::istream& in, const std::string& sourceName) {
       p.faults.adcSaturationMeanDurS = parsePositive(value, ctx);
     } else if (key == "fault.adc_clip_level") {
       p.faults.adcClipLevel = parsePositive(value, ctx);
+    } else if (key == "attack.match_radius") {
+      p.attack.matchRadiusM = parsePositive(value, ctx);
+    } else if (key == "attack.radar") {
+      // One secondary attacker radar per line: x y axis_x axis_y.
+      const auto v = parseNumbers(value, ctx, 4);
+      const Vec2 axis{v[2], v[3]};
+      if (axis.norm() <= 0.0) ctx.fail("radar axis must be non-zero");
+      p.attack.secondaries.push_back({{v[0], v[1]}, axis.normalized()});
     } else {
       ctx.fail("unknown key '" + key + "'");
     }
@@ -228,6 +237,12 @@ Scenario loadScenario(std::istream& in, const std::string& sourceName) {
     p.faults.validate();
   } catch (const std::exception& e) {
     throw std::runtime_error(sourceName + ": invalid fault config: " +
+                             e.what());
+  }
+  try {
+    p.attack.validate();
+  } catch (const std::exception& e) {
+    throw std::runtime_error(sourceName + ": invalid attack config: " +
                              e.what());
   }
 
@@ -251,6 +266,7 @@ Scenario loadScenario(std::istream& in, const std::string& sourceName) {
   scenario.snapshot.multipathLoss = p.multipathLoss;
   scenario.snapshot.multipathObserver = p.radarPos;
   scenario.faults = p.faults;
+  scenario.attack = p.attack;
   return scenario;
 }
 

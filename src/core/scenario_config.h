@@ -21,6 +21,8 @@
 ///   panel.spacing = 0.2
 ///   multipath.loss = 0.5
 ///   fault.intensity = 0.2        # hardware fault model (see fault_config.h)
+///   attack.match_radius = 1.0    # multiradar cross-check radius [m]
+///   attack.radar = -0.8 3.0 0 -1 # secondary attacker: x y ax ay (repeatable)
 ///
 /// Unknown keys throw (catching typos beats ignoring them); every key has
 /// the defaults of the built-in office scenario. See

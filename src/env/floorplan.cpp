@@ -81,7 +81,7 @@ std::vector<PointScatterer> FloorPlan::multipathImages(
         !w.segmentIntersects(*observer, img.position)) {
       continue;  // no physical specular bounce from this observer
     }
-    img.amplitude = s.amplitude * w.reflectivity * extraLoss;
+    img.amplitude = s.amplitude * w.reflectivity * extraLoss * s.multipathGain;
     images.push_back(img);
   }
   return images;

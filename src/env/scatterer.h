@@ -27,6 +27,11 @@ struct PointScatterer {
   double phaseOffsetRad = 0.0;    ///< extra carrier phase [rad]
   bool dynamic = true;            ///< false: removed by background subtraction
   int sourceId = kClutterId;      ///< originating entity (human/ghost id)
+  /// Extra amplitude factor on wall-multipath images of this scatterer.
+  /// 1 for isotropic sources (humans, clutter); a *directional* emitter
+  /// (e.g. a defense panel aimed at one radar) only illuminates
+  /// off-boresight walls at its sidelobe level.
+  double multipathGain = 1.0;
 };
 
 }  // namespace rfp::env

@@ -173,8 +173,24 @@ FaultSchedule::FaultSchedule(const FaultConfig& config, int antennaCount,
             });
 }
 
+void FaultSchedule::addScriptedEvent(const FaultEvent& event) {
+  if (!std::isfinite(event.startS) || !std::isfinite(event.endS) ||
+      event.endS < event.startS) {
+    throw std::invalid_argument(
+        "FaultSchedule: scripted event needs finite startS <= endS");
+  }
+  scripted_ = true;
+  // Keep the start-sorted invariant of the generated timeline.
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const FaultEvent& a, const FaultEvent& b) {
+        return a.startS < b.startS;
+      });
+  events_.insert(pos, event);
+}
+
 bool FaultSchedule::idle() const {
-  return config_.intensity == 0.0;
+  return config_.intensity == 0.0 && !scripted_;
 }
 
 FrameFaults FaultSchedule::at(double t) const {
@@ -239,7 +255,9 @@ FrameFaults FaultSchedule::at(double t) const {
                        hashJitter(seed, frame, kStreamSwitchJitter);
   ff.settleJitterRel = k * config_.switchSettleRel *
                        hashJitter(seed, frame, kStreamSettleJitter);
-  ff.phaseQuantBits = config_.phaseShifterBits;
+  // Quantization is tied to nonzero intensity; a scripted-events-only
+  // schedule (intensity 0) must not silently turn the phase DAC model on.
+  ff.phaseQuantBits = k > 0.0 ? config_.phaseShifterBits : 0;
 
   // Slow LNA gain drift: two incommensurate sinusoids, unit-normalized.
   const double twoPi = 2.0 * rfp::common::pi();

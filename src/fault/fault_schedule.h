@@ -86,6 +86,14 @@ class FaultSchedule {
   /// Ground-truth faults during the frame containing time \p t.
   FrameFaults at(double t) const;
 
+  /// Appends a *scripted* episodic event to the timeline. Chaos benches and
+  /// fleet-failover tests need a fault at an exact time (a reflector that
+  /// drops out mid-run), which the seeded Poisson streams cannot pin down;
+  /// a scripted event is merged into the generated timeline and honored by
+  /// at() even at intensity 0 (the schedule then stops reporting idle()).
+  /// Throws std::invalid_argument on non-finite or inverted times.
+  void addScriptedEvent(const FaultEvent& event);
+
   /// The episodic events of the timeline (per-frame impairments such as
   /// jitter and frame drops are not events; query at()).
   const std::vector<FaultEvent>& events() const { return events_; }
@@ -104,6 +112,7 @@ class FaultSchedule {
   int antennaCount_ = 0;
   double frameDtS_ = 0.05;
   double durationS_ = 0.0;
+  bool scripted_ = false;  ///< at least one addScriptedEvent() call
   std::vector<FaultEvent> events_;
   double driftPhase1_ = 0.0;  ///< seed-derived phases of the gain drift
   double driftPhase2_ = 0.0;

@@ -57,6 +57,49 @@ TEST(GhostScheduler, ActivationsFollowBinomialModel) {
   EXPECT_GE(system.ghosts().size(), 30u);
 }
 
+TEST(GhostScheduler, HistoryIsBoundedRingButHistogramIsNot) {
+  const core::Scenario scenario = core::makeHomeScenario();
+  core::RfProtectSystem system(scenario.makeController());
+  rfp::common::Rng rng(2);
+  trajectory::HumanWalkModel model;
+
+  core::GhostScheduleConfig cfg;
+  cfg.maxPhantoms = 4;
+  cfg.activationProbability = 0.5;
+  cfg.epochSeconds = 10.0;
+  cfg.historyCapacity = 8;
+  core::GhostScheduler scheduler(cfg, [&](rfp::common::Rng& r) {
+    return fittingTrace(model, r, 4.5);
+  });
+
+  std::vector<int> all;
+  for (double t = 0.0; t < 200.0; t += 2.5) {
+    const long before = scheduler.epochsElapsed();
+    scheduler.tick(t, system, scenario.plan, rng);
+    if (scheduler.epochsElapsed() != before) {
+      all.push_back(scheduler.activeCount());
+    }
+  }
+  ASSERT_EQ(all.size(), 20u);
+
+  // The ring keeps only the newest 8 epochs, in chronological order.
+  const auto history = scheduler.activationHistory();
+  ASSERT_EQ(history.size(), 8u);
+  EXPECT_EQ(history, std::vector<int>(all.end() - 8, all.end()));
+
+  // The histogram never truncates: all 20 epochs stay counted.
+  EXPECT_EQ(scheduler.epochsRecorded(), 20);
+  long total = 0;
+  for (long c : scheduler.activationHistogram()) total += c;
+  EXPECT_EQ(total, 20);
+  ASSERT_EQ(scheduler.activationHistogram().size(),
+            static_cast<std::size_t>(cfg.maxPhantoms) + 1);
+
+  cfg.historyCapacity = 0;
+  auto source = [&](rfp::common::Rng& r) { return fittingTrace(model, r, 4.5); };
+  EXPECT_THROW(core::GhostScheduler(cfg, source), std::invalid_argument);
+}
+
 TEST(GhostScheduler, ZeroProbabilityNeverSpawns) {
   const core::Scenario scenario = core::makeHomeScenario();
   core::RfProtectSystem system(scenario.makeController());

@@ -143,6 +143,47 @@ TEST(ScenarioConfig, ParsesFaultModel) {
   EXPECT_DOUBLE_EQ(s.faults.adcClipLevel, 0.2);
 }
 
+TEST(ScenarioConfig, ParsesMultiRadarAttackModel) {
+  std::istringstream in(
+      "attack.match_radius = 0.8\n"
+      "attack.radar = -0.8 3.0 0 -1\n"
+      "attack.radar = 10.8 3.0 0 1\n");
+  const Scenario s = loadScenario(in);
+  EXPECT_DOUBLE_EQ(s.attack.matchRadiusM, 0.8);
+  ASSERT_EQ(s.attack.secondaries.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.attack.secondaries[0].position.x, -0.8);
+  EXPECT_DOUBLE_EQ(s.attack.secondaries[0].position.y, 3.0);
+  EXPECT_DOUBLE_EQ(s.attack.secondaries[0].arrayAxis.y, -1.0);
+  EXPECT_DOUBLE_EQ(s.attack.secondaries[1].position.x, 10.8);
+  // Defaults: no secondaries configured (legacy left-wall mount), 1 m.
+  std::istringstream empty("");
+  const Scenario d = loadScenario(empty);
+  EXPECT_TRUE(d.attack.secondaries.empty());
+  EXPECT_DOUBLE_EQ(d.attack.matchRadiusM, 1.0);
+}
+
+TEST(ScenarioConfig, RejectsBadAttackKeysWithSourceAndLine) {
+  const char* bad[] = {
+      "attack.match_radius = 0\n",
+      "attack.match_radius = inf\n",
+      "attack.radar = 1 2 0 0\n",  // zero array axis
+      "attack.radar = 1 2 3\n",    // missing axis component
+  };
+  for (const char* text : bad) {
+    std::istringstream in(text);
+    EXPECT_THROW(loadScenario(in), std::runtime_error) << text;
+  }
+  std::istringstream in("room.width = 9\nattack.radar = 1 2 0 0\n");
+  try {
+    loadScenario(in, "net.scenario");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("net.scenario:2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("axis"), std::string::npos) << msg;
+  }
+}
+
 TEST(ScenarioConfig, LoadedScenarioRunsEndToEnd) {
   std::istringstream in(kSample);
   const Scenario scenario = loadScenario(in);
