@@ -119,16 +119,33 @@ void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
   }
 
   // Wait for every chunk before rethrowing, so `body`'s captures stay
-  // alive for stragglers even when an early chunk failed.
-  std::exception_ptr first;
+  // alive for stragglers even when an early chunk failed. Every failure is
+  // collected: rethrowing only the first would silently drop the rest.
+  std::vector<std::exception_ptr> failures;
   for (auto& f : futures) {
     try {
       f.get();
     } catch (...) {
-      if (!first) first = std::current_exception();
+      failures.push_back(std::current_exception());
     }
   }
-  if (first) std::rethrow_exception(first);
+  if (failures.empty()) return;
+  if (failures.size() == 1) std::rethrow_exception(failures.front());
+
+  std::string message = "parallelFor: " + std::to_string(failures.size()) +
+                        " of " + std::to_string(chunks) + " chunks failed";
+  constexpr std::size_t kMaxQuoted = 3;
+  for (std::size_t i = 0; i < std::min(failures.size(), kMaxQuoted); ++i) {
+    try {
+      std::rethrow_exception(failures[i]);
+    } catch (const std::exception& e) {
+      message += std::string("; [") + std::to_string(i) + "] " + e.what();
+    } catch (...) {
+      message += std::string("; [") + std::to_string(i) + "] <non-standard>";
+    }
+  }
+  if (failures.size() > kMaxQuoted) message += "; ...";
+  throw ParallelForError(std::move(message), failures.size());
 }
 
 namespace {

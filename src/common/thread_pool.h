@@ -22,10 +22,28 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
 namespace rfp::common {
+
+/// Thrown by parallelFor when more than one chunk failed. The single-failure
+/// case rethrows the original exception unchanged (type-preserving); with
+/// several failures the first alone would silently swallow the rest, so they
+/// are aggregated here with an explicit count and the first few reasons.
+class ParallelForError : public std::runtime_error {
+ public:
+  ParallelForError(std::string message, std::size_t failureCount)
+      : std::runtime_error(std::move(message)), failureCount_(failureCount) {}
+
+  /// Number of chunks that threw (>= 2 by construction).
+  std::size_t failureCount() const { return failureCount_; }
+
+ private:
+  std::size_t failureCount_;
+};
 
 /// Fixed-size shared-queue worker pool.
 ///
@@ -54,9 +72,11 @@ class ThreadPool {
 
   /// Runs body(i) for every i in [begin, end), statically chunked across
   /// the workers, and blocks until all iterations finished. Iterations
-  /// must write to disjoint state. The first exception thrown by any
-  /// iteration is rethrown on the calling thread after every chunk has
-  /// settled. Runs inline (deterministically, in index order) when the
+  /// must write to disjoint state. Exceptions are aggregated after every
+  /// chunk has settled: one failing chunk rethrows its original exception
+  /// unchanged; several failing chunks throw ParallelForError carrying the
+  /// failure count (no failure is dropped silently). Runs inline
+  /// (deterministically, in index order) when the
   /// pool has one worker, the range is a single index, or the caller is
   /// itself a pool worker (nested parallelism degrades to serial instead
   /// of deadlocking).

@@ -128,25 +128,33 @@ std::vector<double> robustAlignedErrors(const std::vector<Vec2>& source,
 
 }  // namespace
 
-namespace {
+/// Frame-loop state of one spoofing experiment (see SpoofEpochRunner in
+/// harness.h). The loop body and its RNG draw order are exactly the old
+/// monolithic runSpoofLoop's, just sliced at frame boundaries.
+struct SpoofEpochRunner::Impl {
+  Impl(const Scenario& scenario, RfProtectSystem& system, int ghostId,
+       double startTimeS, rfp::common::Rng& rng,
+       const fault::FaultSchedule* schedule)
+      : scenario(scenario),
+        system(system),
+        ghostId(ghostId),
+        rng(rng),
+        schedule(schedule),
+        environment(scenario.plan),  // no humans: phantom only
+        radar(scenario.sensing),
+        dt(1.0 / scenario.sensing.radar.frameRateHz),
+        duration(startTimeS + rfp::common::kTraceDurationS + 2.0 * dt),
+        follower(/*gateM=*/1.2) {}
 
-/// Shared frame loop of the spoofing experiments. When \p schedule is given,
-/// radar-side faults apply: dropped chirp frames are skipped (the actuator
-/// still advances via injectAt) and ADC-saturation episodes clip the frame
-/// between synthesis and processing.
-SpoofRunResult runSpoofLoop(const Scenario& scenario,
-                            RfProtectSystem& system, int ghostId,
-                            double start, rfp::common::Rng& rng,
-                            const fault::FaultSchedule* schedule = nullptr) {
-  env::Environment environment(scenario.plan);  // no humans: phantom only
-  EavesdropperRadar radar(scenario.sensing);
-  const double dt = 1.0 / scenario.sensing.radar.frameRateHz;
-  const double duration =
-      start + rfp::common::kTraceDurationS + 2.0 * dt;
+  /// One loop iteration at the current time cursor. When a schedule is
+  /// attached, radar-side faults apply: dropped chirp frames are skipped
+  /// (the actuator still advances via injectAt) and ADC-saturation
+  /// episodes clip the frame between synthesis and processing.
+  void stepFrame(SpoofEpochSample& epoch) {
+    const double t = tCursor;
+    tCursor += dt;
+    ++epoch.framesSimulated;
 
-  SpoofRunResult result;
-  DetectionFollower follower(/*gateM=*/1.2);
-  for (double t = 0.0; t <= duration; t += dt) {
     const auto injected = system.injectAt(t);
     fault::FrameFaults faults;
     if (schedule != nullptr) faults = schedule->at(t);
@@ -154,7 +162,7 @@ SpoofRunResult runSpoofLoop(const Scenario& scenario,
     if (ghostActive && faults.discrete()) ++result.framesFaulted;
     if (faults.radarFrameDropped) {
       if (ghostActive) ++result.framesDroppedRadar;
-      continue;
+      return;
     }
     const auto scatterers =
         combineScatterers(environment, t, rng, scenario.snapshot, injected);
@@ -163,26 +171,69 @@ SpoofRunResult runSpoofLoop(const Scenario& scenario,
       radar::applyAdcSaturation(frame, faults.adcClipLevel);
     }
     const auto obs = radar.observeFrame(std::move(frame), t);
-    if (!obs.has_value()) continue;
+    if (!obs.has_value()) return;
 
     const auto intended = system.intendedPosition(ghostId, t);
-    if (!intended.has_value()) continue;
+    if (!intended.has_value()) return;
     ++result.framesTotal;
+    ++epoch.framesTotal;
 
     const tracking::Detection* det = follower.select(*obs);
-    if (det == nullptr) continue;
+    if (det == nullptr) return;
     ++result.framesDetected;
+    ++epoch.framesDetected;
 
     result.intended.push_back(*intended);
     result.measured.push_back(det->world);
 
     const auto intendedPolar = radar.processor().toRadarPolar(*intended);
-    result.distanceErrorsM.push_back(
-        std::fabs(det->rangeM - intendedPolar.range));
-    result.angleErrorsDeg.push_back(rfp::common::rad2deg(
-        rfp::common::angularDistance(det->angleRad, intendedPolar.angle)));
+    const double distanceError = std::fabs(det->rangeM - intendedPolar.range);
+    const double angleError = rfp::common::rad2deg(
+        rfp::common::angularDistance(det->angleRad, intendedPolar.angle));
+    result.distanceErrorsM.push_back(distanceError);
+    result.angleErrorsDeg.push_back(angleError);
+    epoch.sumDistanceErrorM += distanceError;
+    epoch.sumAngleErrorDeg += angleError;
   }
 
+  const Scenario& scenario;
+  RfProtectSystem& system;
+  int ghostId;
+  rfp::common::Rng& rng;
+  const fault::FaultSchedule* schedule;
+  env::Environment environment;
+  EavesdropperRadar radar;
+  double dt;
+  double duration;
+  DetectionFollower follower;
+  double tCursor = 0.0;
+  SpoofRunResult result;
+};
+
+SpoofEpochRunner::SpoofEpochRunner(const Scenario& scenario,
+                                   RfProtectSystem& system, int ghostId,
+                                   double startTimeS, rfp::common::Rng& rng,
+                                   const fault::FaultSchedule* schedule)
+    : impl_(std::make_unique<Impl>(scenario, system, ghostId, startTimeS, rng,
+                                   schedule)) {}
+
+SpoofEpochRunner::~SpoofEpochRunner() = default;
+
+bool SpoofEpochRunner::done() const {
+  return impl_->tCursor > impl_->duration;
+}
+
+SpoofEpochSample SpoofEpochRunner::runFrames(std::size_t maxFrames) {
+  SpoofEpochSample epoch;
+  for (std::size_t i = 0; i < maxFrames && !done(); ++i) {
+    impl_->stepFrame(epoch);
+  }
+  return epoch;
+}
+
+SpoofRunResult SpoofEpochRunner::finish() {
+  SpoofRunResult result = std::move(impl_->result);
+  RfProtectSystem& system = impl_->system;
   if (result.measured.size() >= 4) {
     result.locationErrorsM =
         robustAlignedErrors(result.measured, result.intended);
@@ -222,6 +273,20 @@ SpoofRunResult runSpoofLoop(const Scenario& scenario,
   }
   result.linkStats = system.linkStats();
   return result;
+}
+
+namespace {
+
+/// Shared frame loop of the whole-run spoofing experiments, expressed over
+/// the resumable runner so the monolithic and epoch-sliced paths cannot
+/// drift apart.
+SpoofRunResult runSpoofLoop(const Scenario& scenario,
+                            RfProtectSystem& system, int ghostId,
+                            double start, rfp::common::Rng& rng,
+                            const fault::FaultSchedule* schedule = nullptr) {
+  SpoofEpochRunner runner(scenario, system, ghostId, start, rng, schedule);
+  while (!runner.done()) runner.runFrames(256);
+  return runner.finish();
 }
 
 }  // namespace

@@ -7,6 +7,7 @@
 /// (Fig. 13).
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -53,6 +54,50 @@ struct SpoofRunResult {
   std::vector<rfp::common::Vec2> ledgerIntended;
   std::vector<rfp::common::Vec2> ledgerApparent;
   std::vector<std::uint8_t> ledgerEmitted;
+};
+
+/// Incremental metrics of one epoch (a block of frames) from a
+/// SpoofEpochRunner: the per-epoch privacy sample the fleet scenario
+/// service streams to its clients.
+struct SpoofEpochSample {
+  std::size_t framesSimulated = 0;  ///< loop iterations consumed
+  std::size_t framesTotal = 0;      ///< ghost-active observed frames
+  std::size_t framesDetected = 0;   ///< frames with a followed detection
+  double sumDistanceErrorM = 0.0;   ///< summed |range| deviation
+  double sumAngleErrorDeg = 0.0;    ///< summed bearing deviation
+};
+
+/// The spoofing-experiment frame loop as a resumable object: construct
+/// once, then consume the run in epoch-sized slices with runFrames(). The
+/// frame sequence (and every RNG draw) is identical to
+/// runSpoofingExperiment's internal loop, so slicing the run into epochs
+/// of any size produces bit-identical results -- the property that lets
+/// the fleet service interleave thousands of scenario instances without
+/// changing any of their numbers. The referenced scenario, system, rng
+/// (and schedule, if given) must outlive the runner.
+class SpoofEpochRunner {
+ public:
+  SpoofEpochRunner(const Scenario& scenario, RfProtectSystem& system,
+                   int ghostId, double startTimeS, rfp::common::Rng& rng,
+                   const fault::FaultSchedule* schedule = nullptr);
+  ~SpoofEpochRunner();
+  SpoofEpochRunner(const SpoofEpochRunner&) = delete;
+  SpoofEpochRunner& operator=(const SpoofEpochRunner&) = delete;
+
+  /// True once the trace duration is exhausted.
+  bool done() const;
+
+  /// Runs up to \p maxFrames frames (fewer at the end of the run) and
+  /// returns the metrics accumulated over exactly those frames.
+  SpoofEpochSample runFrames(std::size_t maxFrames);
+
+  /// Rigid-aligned location errors, ledger decision counters, and link
+  /// stats over the whole run; call once, after done().
+  SpoofRunResult finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Spoofs one (centered) ghost trajectory in the scenario and measures it

@@ -14,24 +14,6 @@ using rfp::common::Vec2;
 
 namespace {
 
-struct ParsedScenario {
-  std::string roomName = "custom";
-  double roomWidth = 10.0;
-  double roomHeight = 6.6;
-  double wallReflectivity = 0.3;
-  std::vector<env::PointScatterer> clutter;
-  std::vector<env::Wall> interiorWalls;
-  Vec2 radarPos{4.0, -0.8};
-  Vec2 radarAxis{1.0, 0.0};
-  Vec2 panelBase{3.3, 0.35};
-  Vec2 panelDirection{1.0, 0.0};
-  int panelCount = rfp::common::kPanelAntennas;
-  double panelSpacing = rfp::common::kPanelSpacingM;
-  double multipathLoss = 0.5;
-  fault::FaultConfig faults;
-  MultiRadarAttackConfig attack;
-};
-
 /// Parse context: every diagnostic names the source and the 1-based line.
 struct ParseContext {
   const std::string& sourceName;
@@ -42,6 +24,54 @@ struct ParseContext {
     throw std::runtime_error(sourceName + ":" + std::to_string(lineNo) +
                              ": " + why + ": '" + line + "'");
   }
+};
+
+/// Last line that touched a config section, so *semantic* (cross-key)
+/// validation failures can point at a concrete source line like every
+/// syntactic one does.
+struct SectionMark {
+  int lineNo = 0;
+  std::string line;
+
+  void note(const ParseContext& ctx) {
+    lineNo = ctx.lineNo;
+    line = ctx.line;
+  }
+};
+
+/// Routes a semantic validation failure onto the source:line diagnostic
+/// path, attributed to the section's last-touched line. Sections left at
+/// their (always-valid) defaults have no mark; fall back to naming only
+/// the source.
+[[noreturn]] void failSemantic(const std::string& sourceName,
+                               const SectionMark& mark,
+                               const std::string& why) {
+  if (mark.lineNo == 0) throw std::runtime_error(sourceName + ": " + why);
+  ParseContext ctx{sourceName, mark.lineNo, mark.line};
+  ctx.fail(why);
+}
+
+struct ParsedScenario {
+  std::string roomName = "custom";
+  double roomWidth = 10.0;
+  double roomHeight = 6.6;
+  double wallReflectivity = 0.3;
+  std::vector<env::PointScatterer> clutter;
+  std::vector<env::Wall> interiorWalls;
+  Vec2 radarPos{4.0, -0.8};
+  Vec2 radarAxis{1.0, 0.0};
+  double radarSampleRateHz = 0.0;  ///< 0 -> keep the office default
+  int radarAntennas = 0;           ///< 0 -> keep the office default
+  Vec2 panelBase{3.3, 0.35};
+  Vec2 panelDirection{1.0, 0.0};
+  int panelCount = rfp::common::kPanelAntennas;
+  double panelSpacing = rfp::common::kPanelSpacingM;
+  double multipathLoss = 0.5;
+  fault::FaultConfig faults;
+  MultiRadarAttackConfig attack;
+  SectionMark faultsMark;
+  SectionMark attackMark;
+  SectionMark radarMark;
 };
 
 std::vector<double> parseNumbers(const std::string& value,
@@ -156,6 +186,10 @@ Scenario loadScenario(std::istream& in, const std::string& sourceName) {
       p.radarPos.y = parseOne(value, ctx);
     } else if (key == "radar.axis") {
       p.radarAxis = parseDirection(value, ctx);
+    } else if (key == "radar.sample_rate") {
+      p.radarSampleRateHz = parsePositive(value, ctx);
+    } else if (key == "radar.antennas") {
+      p.radarAntennas = parseCount(value, ctx, 1, 64);
     } else if (key == "panel.base") {
       const auto v = parseNumbers(value, ctx, 2);
       p.panelBase = {v[0], v[1]};
@@ -229,6 +263,16 @@ Scenario loadScenario(std::istream& in, const std::string& sourceName) {
     } else {
       ctx.fail("unknown key '" + key + "'");
     }
+
+    // Remember the last line of each semantically-validated section so an
+    // end-of-parse validate() failure has a line to point at.
+    if (key.rfind("fault.", 0) == 0) {
+      p.faultsMark.note(ctx);
+    } else if (key.rfind("attack.", 0) == 0) {
+      p.attackMark.note(ctx);
+    } else if (key.rfind("radar.", 0) == 0) {
+      p.radarMark.note(ctx);
+    }
   }
   if (in.bad()) {
     throw std::runtime_error(sourceName + ": read error (truncated input?)");
@@ -236,14 +280,14 @@ Scenario loadScenario(std::istream& in, const std::string& sourceName) {
   try {
     p.faults.validate();
   } catch (const std::exception& e) {
-    throw std::runtime_error(sourceName + ": invalid fault config: " +
-                             e.what());
+    failSemantic(sourceName, p.faultsMark,
+                 std::string("invalid fault config: ") + e.what());
   }
   try {
     p.attack.validate();
   } catch (const std::exception& e) {
-    throw std::runtime_error(sourceName + ": invalid attack config: " +
-                             e.what());
+    failSemantic(sourceName, p.attackMark,
+                 std::string("invalid attack config: ") + e.what());
   }
 
   // Assemble on top of the office defaults (sensing chain, detector...).
@@ -256,6 +300,16 @@ Scenario loadScenario(std::istream& in, const std::string& sourceName) {
 
   scenario.sensing.radar.position = p.radarPos;
   scenario.sensing.radar.arrayAxis = p.radarAxis.normalized();
+  if (p.radarSampleRateHz > 0.0) {
+    scenario.sensing.radar.chirp.sampleRateHz = p.radarSampleRateHz;
+  }
+  if (p.radarAntennas > 0) scenario.sensing.radar.numAntennas = p.radarAntennas;
+  try {
+    scenario.sensing.radar.validate();
+  } catch (const std::exception& e) {
+    failSemantic(sourceName, p.radarMark,
+                 std::string("invalid radar config: ") + e.what());
+  }
   constexpr double kMargin = 0.75;
   scenario.sensing.detector.bounds = tracking::WorldBounds{
       {-kMargin, -kMargin}, {p.roomWidth + kMargin, p.roomHeight + kMargin}};

@@ -15,6 +15,8 @@
 ///   radar.x = 3.0
 ///   radar.y = -0.8
 ///   radar.axis = 1 0
+///   radar.sample_rate = 1e6      # beat ADC rate [Hz] (cost knob)
+///   radar.antennas = 7           # eavesdropper ULA elements
 ///   panel.base = 2.4 0.35
 ///   panel.direction = 1 0
 ///   panel.count = 6
@@ -38,7 +40,10 @@ namespace rfp::core {
 /// Parses a scenario definition from a stream. Throws std::runtime_error
 /// naming \p sourceName, the line number, and the offending line on
 /// malformed input (bad syntax, non-numeric/NaN/inf values, out-of-range
-/// parameters, unknown keys).
+/// parameters, unknown keys). Semantic (cross-key) validation failures --
+/// e.g. a fault/attack/radar config that is inconsistent as a whole --
+/// follow the same source:line diagnostic path, attributed to the last
+/// line that touched the offending section.
 Scenario loadScenario(std::istream& in,
                       const std::string& sourceName = "<scenario>");
 

@@ -1,0 +1,25 @@
+#include "fault/scenario_fault.h"
+
+namespace rfp::fault {
+
+const char* scenarioFaultName(ScenarioFaultKind kind) {
+  switch (kind) {
+    case ScenarioFaultKind::kPoisonEpoch:
+      return "poison_epoch";
+    case ScenarioFaultKind::kStuckEpoch:
+      return "stuck_epoch";
+    case ScenarioFaultKind::kAllocFailure:
+      return "alloc_failure";
+  }
+  return "unknown";
+}
+
+std::optional<ScenarioFaultKind> ScenarioFaultScript::at(
+    std::uint64_t epoch) const {
+  for (const ScenarioFaultEvent& e : events_) {
+    if (e.epoch == epoch) return e.kind;
+  }
+  return std::nullopt;
+}
+
+}  // namespace rfp::fault

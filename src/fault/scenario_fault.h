@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file scenario_fault.h
+/// Scripted *scenario-level* faults for the fleet scenario service: the
+/// chaos vocabulary one level above the hardware fault timelines. Where
+/// fault_schedule.h breaks antennas and links inside one scenario, these
+/// events break the scenario *as a workload* -- the failure modes a
+/// process serving thousands of concurrent homes must contain:
+///
+///   - kPoisonEpoch:   scenario code throws from inside an epoch
+///   - kStuckEpoch:    an epoch never finishes on its own (an "infinite
+///                     loop" that only the epoch work-budget deadline ends)
+///   - kAllocFailure:  an allocation fails mid-epoch (std::bad_alloc)
+///
+/// Scripts are plain epoch-indexed event lists, so chaos benches can pin a
+/// fault to an exact epoch and same-script runs reproduce exactly (the
+/// service-ledger byte-identity gate depends on this).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace rfp::fault {
+
+/// What goes wrong with a scenario at a scripted epoch.
+enum class ScenarioFaultKind {
+  kPoisonEpoch = 0,   ///< epoch throws std::runtime_error
+  kStuckEpoch = 1,    ///< epoch spins until the work-budget deadline trips
+  kAllocFailure = 2,  ///< epoch throws std::bad_alloc
+};
+
+/// Canonical lower-snake names (ledger/bench JSON; stable across versions).
+const char* scenarioFaultName(ScenarioFaultKind kind);
+
+/// One scripted scenario fault, firing when the scenario reaches \p epoch.
+struct ScenarioFaultEvent {
+  std::uint64_t epoch = 0;
+  ScenarioFaultKind kind = ScenarioFaultKind::kPoisonEpoch;
+};
+
+/// Epoch-indexed script of scenario faults. Querying is pure (no state is
+/// consumed), so epochs may be probed in any order.
+class ScenarioFaultScript {
+ public:
+  ScenarioFaultScript() = default;
+
+  /// Appends one event. Multiple events on the same epoch are allowed; the
+  /// first added wins at().
+  void addEvent(const ScenarioFaultEvent& event) {
+    events_.push_back(event);
+  }
+
+  /// The fault scripted for \p epoch, if any.
+  std::optional<ScenarioFaultKind> at(std::uint64_t epoch) const;
+
+  const std::vector<ScenarioFaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<ScenarioFaultEvent> events_;
+};
+
+}  // namespace rfp::fault

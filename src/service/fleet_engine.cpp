@@ -1,0 +1,457 @@
+#include "service/fleet_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <new>
+#include <stdexcept>
+#include <utility>
+
+#include "common/det_hash.h"
+
+namespace rfp::service {
+
+namespace {
+
+std::int64_t nowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Stream id (det_hash) deriving each scenario instance's job seed from
+/// the service seed and the admission id, so two submissions of the same
+/// scenario text under different ids decorrelate unless the client pins
+/// the seed.
+constexpr std::uint64_t kStreamJobSeed = 41;
+
+}  // namespace
+
+/// One scenario instance's full state. Slots live behind unique_ptr so
+/// their addresses are stable across container reshuffles -- the watchdog
+/// thread holds no lock while the pool runs, only the per-slot atomics.
+struct FleetEngine::Slot {
+  // Immutable submission data.
+  std::uint64_t id = 0;
+  std::string name;
+  int priority = 0;
+  std::uint64_t jobSeed = 1;
+  std::string scenarioText;
+  fault::ScenarioFaultScript chaos;
+
+  // Engine-owned lifecycle state (mutated under the engine mutex or in
+  // the sequential post-pass).
+  ScenarioState state = ScenarioState::kQueued;
+  std::string reason;
+  std::unique_ptr<ScenarioJob> job;
+  std::uint64_t epochsDone = 0;
+  std::vector<EpochMetrics> pendingMetrics;
+  ScenarioSummary summary{};
+
+  // One round's staged outcome: written only by the worker running this
+  // slot's epoch, read only by the post-pass after the round barrier.
+  enum class Outcome { kNone, kRan, kFailedOut };
+  Outcome outcome = Outcome::kNone;
+  EpochMetrics stagedMetrics{};
+  bool stagedDone = false;
+  ScenarioSummary stagedSummary{};
+  std::string stagedReason;
+
+  // Watchdog handshake (the only cross-thread fields during a round).
+  std::atomic<bool> running{false};
+  std::atomic<bool> watchdogFlagged{false};
+};
+
+FleetEngine::FleetEngine(const FleetServiceConfig& config,
+                         rfp::common::ThreadPool* pool)
+    : config_(config),
+      pool_(pool != nullptr ? pool : &rfp::common::ThreadPool::global()) {
+  config_.validate();
+  if (config_.watchdogWallDeadlineS > 0.0) {
+    watchdog_ = std::thread([this] { watchdogLoop(); });
+  }
+}
+
+FleetEngine::~FleetEngine() {
+  if (watchdog_.joinable()) {
+    stopWatchdog_.store(true, std::memory_order_release);
+    watchdog_.join();
+  }
+}
+
+void FleetEngine::ledgerScenario(std::uint64_t round, const Slot& slot,
+                                 ScenarioState state, std::string reason) {
+  ServiceLedgerRecord rec;
+  rec.round = round;
+  rec.scenarioId = slot.id;
+  rec.priority = slot.priority;
+  rec.isTierRecord = false;
+  rec.state = state;
+  rec.reason = std::move(reason);
+  ledger_.add(std::move(rec));
+}
+
+void FleetEngine::ledgerTier(std::uint64_t round, AdmissionTier tier,
+                             std::string reason) {
+  ServiceLedgerRecord rec;
+  rec.round = round;
+  rec.isTierRecord = true;
+  rec.tier = tier;
+  rec.reason = std::move(reason);
+  ledger_.add(std::move(rec));
+}
+
+SubmitOutcome FleetEngine::submit(ScenarioSubmission submission) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto slot = std::make_unique<Slot>();
+  slot->id = nextId_++;
+  slot->name = std::move(submission.name);
+  slot->priority = submission.priority;
+  slot->jobSeed = rfp::common::hashBits(config_.seed, slot->id,
+                                        kStreamJobSeed) ^
+                  submission.seed;
+  slot->scenarioText = std::move(submission.scenarioText);
+  slot->chaos = std::move(submission.chaos);
+
+  SubmitOutcome out;
+  out.scenarioId = slot->id;
+
+  if (active_.size() < config_.maxActive) {
+    out.tier = AdmissionTier::kAccept;
+    out.state = ScenarioState::kActive;
+    out.reason = "admitted";
+    slot->state = ScenarioState::kActive;
+    slot->reason = out.reason;
+  } else if (queue_.size() < config_.queueCapacity) {
+    out.tier = AdmissionTier::kQueue;
+    out.state = ScenarioState::kQueued;
+    out.reason =
+        "shard full; queued at depth " + std::to_string(queue_.size() + 1);
+    slot->state = ScenarioState::kQueued;
+    slot->reason = out.reason;
+  } else {
+    // Queue full: shed the lowest-priority queued scenario (tie -> the
+    // youngest) only when the newcomer outranks it; otherwise reject.
+    auto victim = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (victim == queue_.end() ||
+          (*it)->priority < (*victim)->priority ||
+          ((*it)->priority == (*victim)->priority &&
+           (*it)->id > (*victim)->id)) {
+        victim = it;
+      }
+    }
+    if (victim != queue_.end() && (*victim)->priority < slot->priority) {
+      out.tier = AdmissionTier::kShedLowest;
+      out.state = ScenarioState::kQueued;
+      out.reason = "queued after shedding scenario " +
+                   std::to_string((*victim)->id) + " (priority " +
+                   std::to_string((*victim)->priority) + " < " +
+                   std::to_string(slot->priority) + ")";
+      std::unique_ptr<Slot> shed = std::move(*victim);
+      queue_.erase(victim);
+      shed->state = ScenarioState::kShed;
+      shed->reason = "shed for scenario " + std::to_string(slot->id) +
+                     " (priority " + std::to_string(slot->priority) + ")";
+      ledgerScenario(round_, *shed, ScenarioState::kShed, shed->reason);
+      ++counters_.shed;
+      archive_.push_back(std::move(shed));
+      slot->state = ScenarioState::kQueued;
+      slot->reason = out.reason;
+    } else {
+      out.tier = AdmissionTier::kRejectNew;
+      out.state = ScenarioState::kRejected;
+      out.reason = "queue full (depth " + std::to_string(queue_.size()) +
+                   ") and no lower-priority scenario to shed";
+      slot->state = ScenarioState::kRejected;
+      slot->reason = out.reason;
+    }
+  }
+
+  if (out.tier != lastTier_) {
+    ledgerTier(round_, out.tier,
+               std::string("admission degraded ") +
+                   admissionTierName(lastTier_) + " -> " +
+                   admissionTierName(out.tier));
+    lastTier_ = out.tier;
+  }
+  ledgerScenario(round_, *slot, slot->state, slot->reason);
+
+  switch (slot->state) {
+    case ScenarioState::kActive:
+      active_.push_back(std::move(slot));
+      break;
+    case ScenarioState::kQueued:
+      queue_.push_back(std::move(slot));
+      break;
+    default:
+      ++counters_.rejected;
+      archive_.push_back(std::move(slot));
+      break;
+  }
+  return out;
+}
+
+void FleetEngine::admitFromQueue(std::uint64_t round) {
+  while (active_.size() < config_.maxActive && !queue_.empty()) {
+    // Highest priority first, FIFO (lowest id) within a priority.
+    auto best = queue_.begin();
+    for (auto it = std::next(queue_.begin()); it != queue_.end(); ++it) {
+      if ((*it)->priority > (*best)->priority ||
+          ((*it)->priority == (*best)->priority &&
+           (*it)->id < (*best)->id)) {
+        best = it;
+      }
+    }
+    std::unique_ptr<Slot> slot = std::move(*best);
+    queue_.erase(best);
+    slot->state = ScenarioState::kActive;
+    slot->reason = "promoted from queue";
+    ledgerScenario(round, *slot, ScenarioState::kActive, slot->reason);
+    // Keep active_ sorted by id so the post-pass (and the ledger) walk
+    // scenarios in a deterministic order.
+    const auto pos = std::upper_bound(
+        active_.begin(), active_.end(), slot,
+        [](const std::unique_ptr<Slot>& a, const std::unique_ptr<Slot>& b) {
+          return a->id < b->id;
+        });
+    active_.insert(pos, std::move(slot));
+  }
+}
+
+void FleetEngine::runOneEpoch(Slot& slot) noexcept {
+  try {
+    if (slot.job == nullptr) {
+      // Lazy construction inside the containment boundary: a poison
+      // scenario file FAILs here with the loader's source:line message.
+      auto job = makeSpoofScenarioJob(slot.scenarioText, slot.name,
+                                      slot.jobSeed, config_.epochFrames);
+      if (!slot.chaos.empty()) {
+        job = makeFaultableJob(std::move(job), slot.chaos);
+      }
+      slot.job = std::move(job);
+    }
+    EpochContext ctx(config_.epochWorkBudget);
+    slot.stagedMetrics = slot.job->runEpoch(ctx);
+    slot.stagedDone = slot.job->done();
+    if (slot.stagedDone) slot.stagedSummary = slot.job->summary();
+    slot.outcome = Slot::Outcome::kRan;
+  } catch (const ScenarioError& e) {
+    slot.stagedReason = e.what();  // already "file:line: reason"
+    slot.outcome = Slot::Outcome::kFailedOut;
+  } catch (const std::bad_alloc&) {
+    slot.stagedReason =
+        std::string(RFP_SERVICE_HERE) + ": allocation failure (std::bad_alloc)";
+    slot.outcome = Slot::Outcome::kFailedOut;
+  } catch (const std::exception& e) {
+    slot.stagedReason = std::string(RFP_SERVICE_HERE) + ": " + e.what();
+    slot.outcome = Slot::Outcome::kFailedOut;
+  } catch (...) {
+    slot.stagedReason =
+        std::string(RFP_SERVICE_HERE) + ": non-standard exception";
+    slot.outcome = Slot::Outcome::kFailedOut;
+  }
+}
+
+void FleetEngine::retire(std::unique_ptr<Slot> slot) {
+  // The archive keeps status/summary/metrics, not the simulation state: a
+  // 1000-scenario sweep must not hold 1000 retired radar systems alive.
+  slot->job.reset();
+  switch (slot->state) {
+    case ScenarioState::kCompleted:
+      ++counters_.completed;
+      break;
+    case ScenarioState::kFailed:
+      ++counters_.failed;
+      break;
+    case ScenarioState::kCancelled:
+      ++counters_.cancelled;
+      break;
+    default:
+      break;
+  }
+  archive_.push_back(std::move(slot));
+}
+
+std::size_t FleetEngine::step() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t round = round_++;
+  admitFromQueue(round);
+  if (active_.empty()) return 0;
+
+  for (auto& slot : active_) {
+    slot->outcome = Slot::Outcome::kNone;
+    slot->stagedReason.clear();
+    slot->stagedDone = false;
+    slot->running.store(true, std::memory_order_release);
+  }
+  const std::size_t n = active_.size();
+  // The pool phase runs without the engine lock (the watchdog scans the
+  // slots meanwhile); active_ is not mutated until the post-pass below.
+  lock.unlock();
+  roundStartNs_.store(nowNs(), std::memory_order_release);
+  pool_->parallelFor(0, n, [this](std::size_t i) {
+    runOneEpoch(*active_[i]);
+    active_[i]->running.store(false, std::memory_order_release);
+  });
+  roundStartNs_.store(0, std::memory_order_release);
+  lock.lock();
+
+  // Sequential post-pass in scenario-id order (active_ is id-sorted):
+  // metrics, ledger transitions, retirement -- the deterministic surface.
+  std::size_t epochsExecuted = 0;
+  std::vector<std::unique_ptr<Slot>> stillActive;
+  stillActive.reserve(active_.size());
+  for (auto& slot : active_) {
+    switch (slot->outcome) {
+      case Slot::Outcome::kRan: {
+        ++epochsExecuted;
+        ++counters_.epochsRun;
+        ++slot->epochsDone;
+        slot->pendingMetrics.push_back(slot->stagedMetrics);
+        if (slot->stagedDone) {
+          slot->state = ScenarioState::kCompleted;
+          slot->summary = slot->stagedSummary;
+          slot->reason = "trace exhausted after " +
+                         std::to_string(slot->epochsDone) + " epochs";
+          ledgerScenario(round, *slot, slot->state, slot->reason);
+          retire(std::move(slot));
+        } else if (slot->watchdogFlagged.load(std::memory_order_acquire)) {
+          // Wall-clock overrun: cancel at this epoch boundary. Only
+          // reachable in runs that actually overran, so deterministic
+          // ledgers stay deterministic.
+          slot->state = ScenarioState::kCancelled;
+          slot->reason =
+              "wall-clock watchdog alarm; cancelled at epoch boundary";
+          ledgerScenario(round, *slot, slot->state, slot->reason);
+          retire(std::move(slot));
+        } else {
+          stillActive.push_back(std::move(slot));
+        }
+        break;
+      }
+      case Slot::Outcome::kFailedOut: {
+        ++epochsExecuted;
+        ++counters_.epochsRun;
+        slot->state = ScenarioState::kFailed;
+        slot->reason = slot->stagedReason;
+        ledgerScenario(round, *slot, slot->state, slot->reason);
+        retire(std::move(slot));
+        break;
+      }
+      case Slot::Outcome::kNone:
+        // Unreachable today (runOneEpoch is noexcept and always stages an
+        // outcome); kept active rather than silently dropped.
+        stillActive.push_back(std::move(slot));
+        break;
+    }
+  }
+  active_ = std::move(stillActive);
+  return epochsExecuted;
+}
+
+std::size_t FleetEngine::runUntilIdle(std::size_t maxRounds) {
+  std::size_t rounds = 0;
+  while (rounds < maxRounds && !idle()) {
+    step();
+    ++rounds;
+  }
+  return rounds;
+}
+
+bool FleetEngine::idle() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return active_.empty() && queue_.empty();
+}
+
+const FleetEngine::Slot* FleetEngine::findSlot(std::uint64_t id) const {
+  for (const auto& s : active_) {
+    if (s->id == id) return s.get();
+  }
+  for (const auto& s : queue_) {
+    if (s->id == id) return s.get();
+  }
+  for (const auto& s : archive_) {
+    if (s->id == id) return s.get();
+  }
+  return nullptr;
+}
+
+FleetEngine::Slot* FleetEngine::findSlot(std::uint64_t id) {
+  return const_cast<Slot*>(
+      static_cast<const FleetEngine*>(this)->findSlot(id));
+}
+
+std::vector<EpochMetrics> FleetEngine::drainMetrics(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot* slot = findSlot(id);
+  if (slot == nullptr) {
+    throw std::out_of_range("FleetEngine: unknown scenario id " +
+                            std::to_string(id));
+  }
+  std::vector<EpochMetrics> out = std::move(slot->pendingMetrics);
+  slot->pendingMetrics.clear();
+  return out;
+}
+
+ScenarioStatus FleetEngine::status(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const Slot* slot = findSlot(id);
+  if (slot == nullptr) {
+    throw std::out_of_range("FleetEngine: unknown scenario id " +
+                            std::to_string(id));
+  }
+  ScenarioStatus st;
+  st.id = slot->id;
+  st.name = slot->name;
+  st.priority = slot->priority;
+  st.state = slot->state;
+  st.reason = slot->reason;
+  st.epochsCompleted = slot->epochsDone;
+  st.summary = slot->summary;
+  return st;
+}
+
+FleetCounters FleetEngine::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  FleetCounters c = counters_;
+  c.active = active_.size();
+  c.queued = queue_.size();
+  return c;
+}
+
+WatchdogStats FleetEngine::watchdogStats() const {
+  WatchdogStats w;
+  w.alarms = alarms_.load(std::memory_order_acquire);
+  w.scenariosFlagged = scenariosFlagged_.load(std::memory_order_acquire);
+  return w;
+}
+
+void FleetEngine::watchdogLoop() {
+  const auto poll = std::chrono::duration<double>(config_.watchdogPollS);
+  const std::int64_t deadlineNs =
+      static_cast<std::int64_t>(config_.watchdogWallDeadlineS * 1e9);
+  std::int64_t lastAlarmedStart = 0;
+  while (!stopWatchdog_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(poll);
+    const std::int64_t start = roundStartNs_.load(std::memory_order_acquire);
+    if (start == 0 || start == lastAlarmedStart) continue;
+    if (nowNs() - start < deadlineNs) continue;
+    // This round overran its wall deadline: flag every scenario whose
+    // epoch is still running; the engine cancels them at the next epoch
+    // boundary. Take the engine lock to scan active_ -- if the post-pass
+    // already holds it, the round is over by the time we get it and the
+    // re-check below sees roundStartNs_ == 0.
+    lastAlarmedStart = start;
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (roundStartNs_.load(std::memory_order_acquire) != start) continue;
+    alarms_.fetch_add(1, std::memory_order_acq_rel);
+    for (const auto& slot : active_) {
+      if (slot->running.load(std::memory_order_acquire)) {
+        slot->watchdogFlagged.store(true, std::memory_order_release);
+        scenariosFlagged_.fetch_add(1, std::memory_order_acq_rel);
+      }
+    }
+  }
+}
+
+}  // namespace rfp::service

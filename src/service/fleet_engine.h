@@ -1,0 +1,176 @@
+#pragma once
+
+/// \file fleet_engine.h
+/// The sharded multi-scenario fleet engine (ROADMAP item 2): N
+/// independent scenario instances advanced in lockstep epoch rounds over
+/// the shared worker pool, with the three properties a service run by its
+/// own workload must keep:
+///
+///   *Fault containment.* Every scenario epoch runs behind a catch-all
+///   boundary on the worker; anything scenario code throws (poison
+///   epochs, allocation failure, a tripped work-budget deadline) becomes
+///   that scenario's FAILED(reason, file:line) terminal state. The
+///   process, the pool, and every other scenario keep going.
+///
+///   *Deterministic scheduling.* One step() = one epoch round: admit from
+///   the queue (priority order, FIFO within priority), run one epoch per
+///   active scenario in parallel (each instance owns all its mutable
+///   state; nested parallelism inside the sensing stack degrades to
+///   serial on the worker), then a sequential post-pass in scenario-id
+///   order ledgers every transition. Same seed + same submission sequence
+///   -> byte-identical service ledger, even under scripted chaos, and
+///   every *healthy* scenario's metrics are bit-identical to a solo run.
+///
+///   *Graceful overload.* Admission degrades through explicit tiers
+///   (accept -> queue -> shed_lowest -> reject_new) instead of growing
+///   unboundedly; every tier change and every shed scenario is ledgered.
+///
+/// The wall-clock watchdog thread is the second line of defense behind
+/// the deterministic work-budget deadline: it flags scenarios whose epoch
+/// round overruns real time (code that forgot to charge) and the engine
+/// cancels them at the next epoch boundary. Wall time is nondeterministic,
+/// so alarms only enter the ledger in runs that actually misbehave.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "fault/scenario_fault.h"
+#include "service/scenario_job.h"
+#include "service/service_config.h"
+#include "service/service_ledger.h"
+
+namespace rfp::service {
+
+/// One scenario submission: the key = value scenario text (parsed with
+/// the scenario_config.h loader at activation; a malformed file FAILs the
+/// scenario with the loader's source:line diagnostic), a client priority
+/// (higher = more important; governs queue order and shedding), a seed,
+/// and an optional scripted chaos timeline.
+struct ScenarioSubmission {
+  std::string name = "scenario";
+  std::string scenarioText;
+  int priority = 0;
+  std::uint64_t seed = 1;
+  fault::ScenarioFaultScript chaos;
+};
+
+/// What admission decided for one submission.
+struct SubmitOutcome {
+  std::uint64_t scenarioId = 0;
+  AdmissionTier tier = AdmissionTier::kAccept;
+  ScenarioState state = ScenarioState::kActive;
+  std::string reason;
+};
+
+/// A scenario's current (or final) state.
+struct ScenarioStatus {
+  std::uint64_t id = 0;
+  std::string name;
+  int priority = 0;
+  ScenarioState state = ScenarioState::kQueued;
+  std::string reason;
+  std::uint64_t epochsCompleted = 0;
+  ScenarioSummary summary{};  ///< valid when state == kCompleted
+};
+
+/// Cumulative shard counters (bench/overview surface).
+struct FleetCounters {
+  std::size_t active = 0;
+  std::size_t queued = 0;
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t shed = 0;
+  std::size_t rejected = 0;
+  std::size_t cancelled = 0;
+  std::uint64_t epochsRun = 0;
+};
+
+/// Wall-clock watchdog counters (nondeterministic; stats surface only).
+struct WatchdogStats {
+  std::uint64_t alarms = 0;            ///< rounds flagged as overrunning
+  std::uint64_t scenariosFlagged = 0;  ///< scenarios marked for cancellation
+};
+
+/// One shard of the fleet scenario service. Public methods are
+/// thread-safe against the watchdog thread; submit()/step()/accessors are
+/// intended to be driven from one service thread (step() is synchronous).
+class FleetEngine {
+ public:
+  /// \p pool defaults to the process-wide pool. Throws on invalid config.
+  explicit FleetEngine(const FleetServiceConfig& config,
+                       rfp::common::ThreadPool* pool = nullptr);
+  ~FleetEngine();
+
+  FleetEngine(const FleetEngine&) = delete;
+  FleetEngine& operator=(const FleetEngine&) = delete;
+
+  /// Admission control; never blocks on scenario work. Every outcome
+  /// (including rejections) is ledgered.
+  SubmitOutcome submit(ScenarioSubmission submission);
+
+  /// One epoch round. Returns the number of scenario epochs executed.
+  std::size_t step();
+
+  /// step() until no scenario is active or queued, at most \p maxRounds
+  /// rounds. Returns rounds executed.
+  std::size_t runUntilIdle(std::size_t maxRounds = 1000000);
+
+  /// True when nothing is active or queued.
+  bool idle() const;
+
+  /// Moves out the per-epoch metrics accumulated for \p id since the last
+  /// drain (the stream the protocol layer forwards to clients).
+  std::vector<EpochMetrics> drainMetrics(std::uint64_t id);
+
+  /// Throws std::out_of_range for an unknown id.
+  ScenarioStatus status(std::uint64_t id) const;
+
+  const ServiceLedger& ledger() const { return ledger_; }
+  FleetCounters counters() const;
+  WatchdogStats watchdogStats() const;
+  std::uint64_t round() const { return round_; }
+  const FleetServiceConfig& config() const { return config_; }
+
+ private:
+  struct Slot;
+
+  void ledgerScenario(std::uint64_t round, const Slot& slot,
+                      ScenarioState state, std::string reason);
+  void ledgerTier(std::uint64_t round, AdmissionTier tier,
+                  std::string reason);
+  void admitFromQueue(std::uint64_t round);
+  void runOneEpoch(Slot& slot) noexcept;
+  void retire(std::unique_ptr<Slot> slot);
+  const Slot* findSlot(std::uint64_t id) const;
+  Slot* findSlot(std::uint64_t id);
+  void watchdogLoop();
+
+  FleetServiceConfig config_;
+  rfp::common::ThreadPool* pool_;
+
+  mutable std::mutex mutex_;  ///< guards every container below + counters
+  std::vector<std::unique_ptr<Slot>> active_;  ///< kept sorted by id
+  std::vector<std::unique_ptr<Slot>> queue_;   ///< admission order
+  std::vector<std::unique_ptr<Slot>> archive_; ///< terminal scenarios
+  ServiceLedger ledger_;
+  FleetCounters counters_;
+  AdmissionTier lastTier_ = AdmissionTier::kAccept;
+  std::uint64_t nextId_ = 1;
+  std::uint64_t round_ = 0;
+
+  // Watchdog plumbing (atomics: written by step(), read by the thread).
+  std::thread watchdog_;
+  std::atomic<bool> stopWatchdog_{false};
+  std::atomic<std::int64_t> roundStartNs_{0};  ///< 0 = no round running
+  std::atomic<std::uint64_t> alarms_{0};
+  std::atomic<std::uint64_t> scenariosFlagged_{0};
+};
+
+}  // namespace rfp::service

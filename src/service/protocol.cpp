@@ -1,0 +1,267 @@
+#include "service/protocol.h"
+
+#include <cstring>
+#include <utility>
+
+namespace rfp::service {
+
+namespace {
+
+template <typename T>
+void put(std::string& out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+void putString(std::string& out, const std::string& s) {
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+  out.append(s);
+}
+
+template <typename T>
+bool get(std::string_view bytes, std::size_t& offset, T* value) {
+  if (bytes.size() - offset < sizeof(T)) return false;
+  std::memcpy(value, bytes.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return true;
+}
+
+bool getString(std::string_view bytes, std::size_t& offset, std::string* s) {
+  std::uint32_t len = 0;
+  if (!get(bytes, offset, &len)) return false;
+  if (bytes.size() - offset < len) return false;
+  s->assign(bytes.data() + offset, len);
+  offset += len;
+  return true;
+}
+
+void putMetrics(std::string& out, const EpochMetrics& m) {
+  put<std::uint64_t>(out, m.epoch);
+  put<std::uint64_t>(out, static_cast<std::uint64_t>(m.framesSimulated));
+  put<std::uint64_t>(out, static_cast<std::uint64_t>(m.framesTotal));
+  put<std::uint64_t>(out, static_cast<std::uint64_t>(m.framesDetected));
+  put<double>(out, m.sumDistanceErrorM);
+  put<double>(out, m.sumAngleErrorDeg);
+}
+
+bool getMetrics(std::string_view bytes, std::size_t& offset, EpochMetrics* m) {
+  std::uint64_t simulated = 0, total = 0, detected = 0;
+  if (!get(bytes, offset, &m->epoch) || !get(bytes, offset, &simulated) ||
+      !get(bytes, offset, &total) || !get(bytes, offset, &detected) ||
+      !get(bytes, offset, &m->sumDistanceErrorM) ||
+      !get(bytes, offset, &m->sumAngleErrorDeg)) {
+    return false;
+  }
+  m->framesSimulated = static_cast<std::size_t>(simulated);
+  m->framesTotal = static_cast<std::size_t>(total);
+  m->framesDetected = static_cast<std::size_t>(detected);
+  return true;
+}
+
+}  // namespace
+
+std::string encodeSubmission(const ScenarioSubmission& submission) {
+  std::string out;
+  putString(out, submission.name);
+  putString(out, submission.scenarioText);
+  put<std::int32_t>(out, submission.priority);
+  put<std::uint64_t>(out, submission.seed);
+  const auto& events = submission.chaos.events();
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(events.size()));
+  for (const fault::ScenarioFaultEvent& e : events) {
+    put<std::uint64_t>(out, e.epoch);
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(e.kind));
+  }
+  return out;
+}
+
+std::optional<ScenarioSubmission> decodeSubmission(std::string_view bytes) {
+  ScenarioSubmission s;
+  std::size_t offset = 0;
+  std::int32_t priority = 0;
+  std::uint32_t eventCount = 0;
+  if (!getString(bytes, offset, &s.name) ||
+      !getString(bytes, offset, &s.scenarioText) ||
+      !get(bytes, offset, &priority) || !get(bytes, offset, &s.seed) ||
+      !get(bytes, offset, &eventCount)) {
+    return std::nullopt;
+  }
+  s.priority = priority;
+  for (std::uint32_t i = 0; i < eventCount; ++i) {
+    fault::ScenarioFaultEvent e;
+    std::uint8_t kind = 0;
+    if (!get(bytes, offset, &e.epoch) || !get(bytes, offset, &kind)) {
+      return std::nullopt;
+    }
+    if (kind > static_cast<std::uint8_t>(
+                   fault::ScenarioFaultKind::kAllocFailure)) {
+      return std::nullopt;
+    }
+    e.kind = static_cast<fault::ScenarioFaultKind>(kind);
+    s.chaos.addEvent(e);
+  }
+  if (offset != bytes.size()) return std::nullopt;
+  return s;
+}
+
+std::string encodeOutcome(const SubmitOutcome& outcome) {
+  std::string out;
+  put<std::uint64_t>(out, outcome.scenarioId);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(outcome.tier));
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(outcome.state));
+  putString(out, outcome.reason);
+  return out;
+}
+
+std::optional<SubmitOutcome> decodeOutcome(std::string_view bytes) {
+  SubmitOutcome o;
+  std::size_t offset = 0;
+  std::uint8_t tier = 0, state = 0;
+  if (!get(bytes, offset, &o.scenarioId) || !get(bytes, offset, &tier) ||
+      !get(bytes, offset, &state) || !getString(bytes, offset, &o.reason)) {
+    return std::nullopt;
+  }
+  if (tier > static_cast<std::uint8_t>(AdmissionTier::kRejectNew) ||
+      state > static_cast<std::uint8_t>(ScenarioState::kCancelled)) {
+    return std::nullopt;
+  }
+  o.tier = static_cast<AdmissionTier>(tier);
+  o.state = static_cast<ScenarioState>(state);
+  if (offset != bytes.size()) return std::nullopt;
+  return o;
+}
+
+std::string encodeReport(const EpochReport& report) {
+  std::string out;
+  put<std::uint64_t>(out, report.scenarioId);
+  putMetrics(out, report.metrics);
+  put<std::uint8_t>(out, report.terminal ? 1 : 0);
+  put<std::uint8_t>(out, static_cast<std::uint8_t>(report.finalState));
+  putString(out, report.finalReason);
+  put<std::uint64_t>(out,
+                     static_cast<std::uint64_t>(report.summary.framesTotal));
+  put<std::uint64_t>(
+      out, static_cast<std::uint64_t>(report.summary.framesDetected));
+  put<double>(out, report.summary.medianDistanceErrorM);
+  put<double>(out, report.summary.medianLocationErrorM);
+  return out;
+}
+
+std::optional<EpochReport> decodeReport(std::string_view bytes) {
+  EpochReport r;
+  std::size_t offset = 0;
+  std::uint8_t terminal = 0, state = 0;
+  std::uint64_t framesTotal = 0, framesDetected = 0;
+  if (!get(bytes, offset, &r.scenarioId) ||
+      !getMetrics(bytes, offset, &r.metrics) ||
+      !get(bytes, offset, &terminal) || !get(bytes, offset, &state) ||
+      !getString(bytes, offset, &r.finalReason) ||
+      !get(bytes, offset, &framesTotal) ||
+      !get(bytes, offset, &framesDetected) ||
+      !get(bytes, offset, &r.summary.medianDistanceErrorM) ||
+      !get(bytes, offset, &r.summary.medianLocationErrorM)) {
+    return std::nullopt;
+  }
+  if (state > static_cast<std::uint8_t>(ScenarioState::kCancelled)) {
+    return std::nullopt;
+  }
+  r.terminal = terminal != 0;
+  r.finalState = static_cast<ScenarioState>(state);
+  r.summary.framesTotal = static_cast<std::size_t>(framesTotal);
+  r.summary.framesDetected = static_cast<std::size_t>(framesDetected);
+  if (offset != bytes.size()) return std::nullopt;
+  return r;
+}
+
+std::vector<EpochReport> FleetService::collectReports(
+    std::uint64_t scenarioId, bool& reportedTerminal) {
+  std::vector<EpochReport> reports;
+  for (EpochMetrics& m : engine_.drainMetrics(scenarioId)) {
+    EpochReport r;
+    r.scenarioId = scenarioId;
+    r.metrics = m;
+    reports.push_back(std::move(r));
+  }
+  if (!reportedTerminal) {
+    const ScenarioStatus st = engine_.status(scenarioId);
+    if (isTerminal(st.state)) {
+      EpochReport r;
+      r.scenarioId = scenarioId;
+      r.terminal = true;
+      r.finalState = st.state;
+      r.finalReason = st.reason;
+      r.summary = st.summary;
+      reports.push_back(std::move(r));
+      reportedTerminal = true;
+    }
+  }
+  return reports;
+}
+
+ServiceClient::ServiceClient(FleetService& service,
+                             const transport::TransportConfig& transport,
+                             std::uint64_t seed, double budgetDtS)
+    : service_(service),
+      uplink_(transport, seed),
+      downlink_(transport, seed ^ 0x9e3779b97f4a7c15ull),
+      budgetDtS_(budgetDtS) {}
+
+std::optional<SubmitOutcome> ServiceClient::submit(
+    const ScenarioSubmission& submission,
+    const transport::ChannelCondition& condition) {
+  transport::ServiceFrame request;
+  request.seq = nextUplinkSeq_++;
+  request.type = static_cast<std::uint16_t>(MessageType::kSubmit);
+  request.payload = encodeSubmission(submission);
+  const auto sent =
+      uplink_.transfer(request.seq, request, condition, budgetDtS_);
+  if (!sent.delivered) return std::nullopt;  // service never saw it
+
+  auto delivered = decodeSubmission(sent.frame->payload);
+  if (!delivered.has_value()) return std::nullopt;  // defensive; CRC-clean
+  const SubmitOutcome outcome = service_.handleSubmit(std::move(*delivered));
+
+  transport::ServiceFrame ack;
+  ack.seq = nextDownlinkSeq_++;
+  ack.type = static_cast<std::uint16_t>(MessageType::kSubmitAck);
+  ack.payload = encodeOutcome(outcome);
+  const auto acked = downlink_.transfer(ack.seq, ack, condition, budgetDtS_);
+  if (!acked.delivered) {
+    // Admitted but unconfirmed: the scenario runs, the client just does
+    // not know its id yet (at-most-once visibility).
+    unackedScenario_ = outcome.scenarioId;
+    return std::nullopt;
+  }
+  unackedScenario_ = 0;
+  return decodeOutcome(acked.frame->payload);
+}
+
+std::size_t ServiceClient::poll(std::uint64_t scenarioId,
+                                const transport::ChannelCondition& condition,
+                                std::vector<EpochReport>& out) {
+  std::vector<EpochReport> reports =
+      service_.collectReports(scenarioId, reportedTerminal_[scenarioId]);
+  std::size_t dropped = 0;
+  for (EpochReport& report : reports) {
+    transport::ServiceFrame frame;
+    frame.seq = nextDownlinkSeq_++;
+    frame.type = static_cast<std::uint16_t>(MessageType::kEpochReport);
+    frame.payload = encodeReport(report);
+    const auto result =
+        downlink_.transfer(frame.seq, frame, condition, budgetDtS_);
+    if (!result.delivered) {
+      ++dropped;  // gap in the stream; the service moved on regardless
+      continue;
+    }
+    auto decoded = decodeReport(result.frame->payload);
+    if (decoded.has_value()) {
+      out.push_back(std::move(*decoded));
+    } else {
+      ++dropped;
+    }
+  }
+  return dropped;
+}
+
+}  // namespace rfp::service

@@ -1,0 +1,127 @@
+#pragma once
+
+/// \file protocol.h
+/// Request/response protocol of the fleet scenario service over the
+/// CRC-framed service transport (transport/service_wire.h): a client
+/// submits a scenario and then polls a stream of per-epoch privacy
+/// metrics until a terminal report arrives. Payload encoding follows the
+/// framing.h idiom (host-native memcpy fields; the link is simulated
+/// in-process), and every message rides a ServiceFrame whose CRC rejects
+/// corruption before any field is read.
+///
+/// Loss semantics: requests and acks retry/backoff inside
+/// ServiceLink::transfer; a request whose budget runs out is simply never
+/// seen by the service, and an epoch report that cannot be delivered is
+/// dropped (at-most-once streaming). A lossy client link therefore
+/// degrades that client's stream -- gaps in the epochs it sees -- while
+/// the service and every other scenario keep running undisturbed.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "service/fleet_engine.h"
+#include "transport/service_wire.h"
+
+namespace rfp::service {
+
+/// ServiceFrame type tags.
+enum class MessageType : std::uint16_t {
+  kSubmit = 1,       ///< client -> service: ScenarioSubmission
+  kSubmitAck = 2,    ///< service -> client: SubmitOutcome
+  kEpochReport = 3,  ///< service -> client: one epoch's metrics
+};
+
+/// One streamed report: a per-epoch metrics sample, or (when terminal)
+/// the scenario's final state + summary.
+struct EpochReport {
+  std::uint64_t scenarioId = 0;
+  EpochMetrics metrics{};
+  bool terminal = false;
+  ScenarioState finalState = ScenarioState::kActive;  ///< valid if terminal
+  std::string finalReason;                            ///< valid if terminal
+  ScenarioSummary summary{};  ///< valid if terminal && kCompleted
+};
+
+/// Payload codecs (the ServiceFrame carries the bytes; its CRC guards
+/// them). Decoders return std::nullopt on malformed payloads.
+std::string encodeSubmission(const ScenarioSubmission& submission);
+std::optional<ScenarioSubmission> decodeSubmission(std::string_view bytes);
+std::string encodeOutcome(const SubmitOutcome& outcome);
+std::optional<SubmitOutcome> decodeOutcome(std::string_view bytes);
+std::string encodeReport(const EpochReport& report);
+std::optional<EpochReport> decodeReport(std::string_view bytes);
+
+/// Server side: owns the engine binding, turns delivered submissions into
+/// admissions and drains per-scenario metric streams into reports.
+class FleetService {
+ public:
+  explicit FleetService(FleetEngine& engine) : engine_(engine) {}
+
+  FleetEngine& engine() { return engine_; }
+
+  /// Admission of one delivered submission.
+  SubmitOutcome handleSubmit(ScenarioSubmission submission) {
+    return engine_.submit(std::move(submission));
+  }
+
+  /// Drains \p scenarioId's pending epoch metrics into reports, appending
+  /// a terminal report once the scenario reached a terminal state that
+  /// has not been reported yet (tracked via \p reportedTerminal, owned by
+  /// the caller's session).
+  std::vector<EpochReport> collectReports(std::uint64_t scenarioId,
+                                          bool& reportedTerminal);
+
+ private:
+  FleetEngine& engine_;
+};
+
+/// Client session: one submitting client behind a (possibly lossy)
+/// service link pair. Deterministic per (seed, message index).
+class ServiceClient {
+ public:
+  /// \p budgetDtS is the per-message retry budget handed to the link
+  /// (plays the actuation frame period's role).
+  ServiceClient(FleetService& service,
+                const transport::TransportConfig& transport,
+                std::uint64_t seed, double budgetDtS = 0.05);
+
+  /// Submits over the lossy uplink and waits for the ack on the downlink.
+  /// std::nullopt when either direction's retry budget ran out -- the
+  /// submission may still have been admitted (at-most-once visibility);
+  /// scenarioIfUnacked() then reports the last unconfirmed admission.
+  std::optional<SubmitOutcome> submit(
+      const ScenarioSubmission& submission,
+      const transport::ChannelCondition& condition);
+
+  /// Polls the service for \p scenarioId's stream: every pending report
+  /// is sent over the downlink once; undeliverable reports are dropped
+  /// (gaps in the stream). Delivered reports append to \p out; returns
+  /// the number dropped.
+  std::size_t poll(std::uint64_t scenarioId,
+                   const transport::ChannelCondition& condition,
+                   std::vector<EpochReport>& out);
+
+  /// Scenario id admitted by the service on the last submit whose ack
+  /// never arrived (0 = none).
+  std::uint64_t scenarioIfUnacked() const { return unackedScenario_; }
+
+  const transport::LinkStats& uplinkStats() const { return uplink_.stats(); }
+  const transport::LinkStats& downlinkStats() const {
+    return downlink_.stats();
+  }
+
+ private:
+  FleetService& service_;
+  transport::ServiceLink uplink_;
+  transport::ServiceLink downlink_;
+  double budgetDtS_;
+  std::uint64_t nextUplinkSeq_ = 1;
+  std::uint64_t nextDownlinkSeq_ = 1;
+  std::uint64_t unackedScenario_ = 0;
+  std::map<std::uint64_t, bool> reportedTerminal_;  ///< per scenario id
+};
+
+}  // namespace rfp::service

@@ -1,0 +1,87 @@
+#include "service/service_ledger.h"
+
+#include "common/atomic_io.h"
+
+namespace rfp::service {
+
+const char* admissionTierName(AdmissionTier tier) {
+  switch (tier) {
+    case AdmissionTier::kAccept:
+      return "accept";
+    case AdmissionTier::kQueue:
+      return "queue";
+    case AdmissionTier::kShedLowest:
+      return "shed_lowest";
+    case AdmissionTier::kRejectNew:
+      return "reject_new";
+  }
+  return "unknown";
+}
+
+const char* scenarioStateName(ScenarioState s) {
+  switch (s) {
+    case ScenarioState::kQueued:
+      return "queued";
+    case ScenarioState::kActive:
+      return "active";
+    case ScenarioState::kCompleted:
+      return "completed";
+    case ScenarioState::kFailed:
+      return "failed";
+    case ScenarioState::kShed:
+      return "shed";
+    case ScenarioState::kRejected:
+      return "rejected";
+    case ScenarioState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+bool isTerminal(ScenarioState s) {
+  switch (s) {
+    case ScenarioState::kQueued:
+    case ScenarioState::kActive:
+      return false;
+    case ScenarioState::kCompleted:
+    case ScenarioState::kFailed:
+    case ScenarioState::kShed:
+    case ScenarioState::kRejected:
+    case ScenarioState::kCancelled:
+      return true;
+  }
+  return true;
+}
+
+std::string ServiceLedger::serialize() const {
+  std::string out;
+  for (const ServiceLedgerRecord& r : records_) {
+    out += "round=";
+    out += std::to_string(r.round);
+    if (r.isTierRecord) {
+      out += " tier=";
+      out += admissionTierName(r.tier);
+    } else {
+      out += " scenario=";
+      out += std::to_string(r.scenarioId);
+      out += " prio=";
+      out += std::to_string(r.priority);
+      out += " state=";
+      out += scenarioStateName(r.state);
+    }
+    out += " reason=";
+    out += r.reason;
+    out += '\n';
+  }
+  return out;
+}
+
+void ServiceLedger::save(const std::string& path) const {
+  rfp::common::writeFileChecked(path, serialize());
+}
+
+std::string ServiceLedger::loadSerialized(const std::string& path) {
+  return rfp::common::readFileChecked(path);
+}
+
+}  // namespace rfp::service

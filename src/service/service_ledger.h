@@ -1,0 +1,77 @@
+#pragma once
+
+/// \file service_ledger.h
+/// Append-only log of every fleet-service transition: scenario lifecycle
+/// changes (queued, active, completed, failed, shed, rejected, cancelled)
+/// and admission-tier changes. Same contract as the defense fleet's
+/// failover ledger (PR 6): the stack's determinism (seeded jobs,
+/// counter-hash channels, work-budget deadlines, sequential post-pass in
+/// scenario-id order) makes serialize() byte-identical for the same seed
+/// and submission sequence -- the property the chaos bench's byte-diff
+/// gate pins. Persistence rides the common CRC-trailed atomic-write path
+/// (atomic_io.h), so a saved ledger is tamper-evident on re-read.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "service/service_config.h"
+
+namespace rfp::service {
+
+/// Lifecycle states of a scenario instance. kCompleted, kFailed, kShed,
+/// kRejected, and kCancelled are terminal.
+enum class ScenarioState {
+  kQueued = 0,     ///< admitted into the bounded queue
+  kActive = 1,     ///< running (holds one of maxActive slots)
+  kCompleted = 2,  ///< trace exhausted; summary available
+  kFailed = 3,     ///< contained failure; reason carries file:line
+  kShed = 4,       ///< evicted from the queue for a higher-priority arrival
+  kRejected = 5,   ///< refused at admission (overload)
+  kCancelled = 6,  ///< cancelled at an epoch boundary (watchdog alarm)
+};
+
+/// Canonical lower-snake names (ledger/bench JSON; stable across versions).
+const char* scenarioStateName(ScenarioState s);
+
+/// True for states a scenario never leaves.
+bool isTerminal(ScenarioState s);
+
+/// One ledgered transition. Tier records (scenario id 0) mark admission
+/// tier changes; scenario records mark lifecycle changes.
+struct ServiceLedgerRecord {
+  std::uint64_t round = 0;      ///< engine round the transition happened in
+  std::uint64_t scenarioId = 0; ///< 0 for tier records
+  int priority = 0;
+  bool isTierRecord = false;
+  ScenarioState state = ScenarioState::kQueued;  ///< scenario records
+  AdmissionTier tier = AdmissionTier::kAccept;   ///< tier records
+  std::string reason;  ///< deterministic transition text
+};
+
+/// Append-only transition log; serialize() is the byte-identity surface.
+class ServiceLedger {
+ public:
+  void add(ServiceLedgerRecord record) {
+    records_.push_back(std::move(record));
+  }
+  const std::vector<ServiceLedgerRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  /// Canonical one-line-per-record text form (fixed field order); the
+  /// byte-identity surface.
+  std::string serialize() const;
+
+  /// Atomic CRC-trailed write of serialize() to \p path (atomic_io.h).
+  void save(const std::string& path) const;
+
+  /// Reads and verifies a saved ledger's integrity trailer, returning the
+  /// serialized body. Throws (naming \p path and the failing offset) on
+  /// truncation or corruption.
+  static std::string loadSerialized(const std::string& path);
+
+ private:
+  std::vector<ServiceLedgerRecord> records_;
+};
+
+}  // namespace rfp::service

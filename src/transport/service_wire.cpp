@@ -1,0 +1,192 @@
+#include "transport/service_wire.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/det_hash.h"
+
+namespace rfp::transport {
+
+namespace {
+
+using rfp::common::hashBits;
+using rfp::common::hashUniform;
+
+template <typename T>
+void put(std::string& out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+/// Reads a T at \p offset, advancing it. Returns false on truncation.
+template <typename T>
+bool get(std::string_view bytes, std::size_t& offset, T* value) {
+  if (bytes.size() - offset < sizeof(T)) return false;
+  std::memcpy(value, bytes.data() + offset, sizeof(T));
+  offset += sizeof(T);
+  return true;
+}
+
+// Channel stream ids for the service link, disjoint from the fault
+// schedule's per-frame streams (11..15) and the ghost control link's
+// (21..26). Same per-attempt stride scheme as the control link.
+constexpr std::uint64_t kStreamLoss = 31;
+constexpr std::uint64_t kStreamCorrupt = 32;
+constexpr std::uint64_t kStreamCorruptBit = 33;
+constexpr std::uint64_t kStreamReorder = 34;
+constexpr std::uint64_t kStreamAckLoss = 35;
+constexpr std::uint64_t kStreamBackoffJitter = 36;
+constexpr std::uint64_t kAttemptStride = 0x65;
+
+std::uint64_t attemptStream(std::uint64_t stream, int attempt) {
+  return stream + kAttemptStride * static_cast<std::uint64_t>(attempt);
+}
+
+}  // namespace
+
+std::string encodeServiceFrame(const ServiceFrame& frame) {
+  std::string out;
+  out.reserve(20 + frame.payload.size() + 4);
+  put<std::uint32_t>(out, kServiceMagic);
+  put<std::uint16_t>(out, kServiceVersion);
+  put<std::uint64_t>(out, frame.seq);
+  put<std::uint16_t>(out, frame.type);
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(frame.payload.size()));
+  out.append(frame.payload);
+  put<std::uint32_t>(out, rfp::common::crc32(out.data(), out.size()));
+  return out;
+}
+
+std::optional<ServiceFrame> decodeServiceFrame(std::string_view bytes,
+                                               std::string* error) {
+  const auto fail = [&](const char* why) -> std::optional<ServiceFrame> {
+    if (error != nullptr) *error = why;
+    return std::nullopt;
+  };
+  if (bytes.size() < sizeof(std::uint32_t)) return fail("truncated frame");
+
+  // CRC first: everything else is untrustworthy until it matches.
+  const std::size_t bodyLen = bytes.size() - sizeof(std::uint32_t);
+  std::uint32_t wireCrc = 0;
+  std::memcpy(&wireCrc, bytes.data() + bodyLen, sizeof(wireCrc));
+  if (rfp::common::crc32(bytes.data(), bodyLen) != wireCrc) {
+    return fail("CRC mismatch");
+  }
+
+  std::size_t offset = 0;
+  std::uint32_t magic = 0;
+  std::uint16_t version = 0;
+  ServiceFrame frame;
+  std::uint32_t payloadLen = 0;
+  if (!get(bytes, offset, &magic) || !get(bytes, offset, &version) ||
+      !get(bytes, offset, &frame.seq) || !get(bytes, offset, &frame.type) ||
+      !get(bytes, offset, &payloadLen)) {
+    return fail("truncated header");
+  }
+  if (magic != kServiceMagic) return fail("bad magic");
+  if (version != kServiceVersion) return fail("unsupported version");
+  if (bodyLen - offset != payloadLen) return fail("bad length");
+  frame.payload.assign(bytes.data() + offset, payloadLen);
+  return frame;
+}
+
+ServiceTransferResult ServiceLink::transfer(std::uint64_t messageIdx,
+                                            const ServiceFrame& frame,
+                                            const ChannelCondition& condition,
+                                            double budgetDtS) {
+  ServiceTransferResult result;
+  const std::string encoded = encodeServiceFrame(frame);
+  const double budgetS = config_.timeoutBudgetFrac * budgetDtS;
+  double elapsedS = 0.0;
+
+  for (int attempt = 0;; ++attempt) {
+    ++result.attempts;
+    ++stats_.attempts;
+    if (attempt > 0) ++stats_.retransmissions;
+
+    const auto draw = [&](std::uint64_t stream) {
+      return hashUniform(seed_, messageIdx, attemptStream(stream, attempt));
+    };
+
+    bool arrived = true;
+    if (condition.lossProb > 0.0 && draw(kStreamLoss) < condition.lossProb) {
+      ++stats_.lostInFlight;
+      arrived = false;
+    }
+
+    if (arrived) {
+      if (condition.corruptProb > 0.0 &&
+          draw(kStreamCorrupt) < condition.corruptProb) {
+        // Flip a real bit and let the real CRC catch it: the integrity path
+        // is exercised end to end, not assumed.
+        std::string wire = encoded;
+        const std::uint64_t bit =
+            hashBits(seed_, messageIdx,
+                     attemptStream(kStreamCorruptBit, attempt)) %
+            (wire.size() * 8);
+        wire[bit / 8] = static_cast<char>(
+            static_cast<unsigned char>(wire[bit / 8]) ^ (1u << (bit % 8)));
+        if (!decodeServiceFrame(wire).has_value()) {
+          ++stats_.corruptedDetected;  // receiver stays silent -> retransmit
+          arrived = false;
+        }
+      }
+    }
+
+    if (arrived && condition.reorderProb > 0.0 &&
+        draw(kStreamReorder) < condition.reorderProb) {
+      // Delivered out of order: the receiver has moved past this sequence
+      // number and rejects it as stale.
+      ++stats_.reordersRejected;
+      arrived = false;
+    }
+
+    if (arrived) {
+      auto decoded = decodeServiceFrame(encoded);
+      if (decoded.has_value() &&
+          (!everAccepted_ || decoded->seq > lastAcceptedSeq_)) {
+        lastAcceptedSeq_ = decoded->seq;
+        everAccepted_ = true;
+        result.delivered = true;
+        result.frame = std::move(decoded);
+        ++stats_.framesDelivered;
+        if (condition.duplicateProb > 0.0 &&
+            draw(kStreamAckLoss) < condition.duplicateProb) {
+          // The ack was lost: the sender retransmits once more and the
+          // receiver rejects the duplicate sequence number (and re-acks).
+          ++result.attempts;
+          ++stats_.attempts;
+          ++stats_.retransmissions;
+          ++stats_.duplicatesRejected;
+        }
+        return result;
+      }
+      // Stale/duplicate sequence number: rejected; the budget loop below
+      // still terminates.
+      ++stats_.duplicatesRejected;
+      arrived = false;
+    }
+
+    if (attempt >= config_.maxRetries) {
+      ++stats_.timeouts;
+      break;
+    }
+    // Exponential backoff with seeded jitter before the next attempt.
+    const double base = std::min(
+        config_.backoffMaxS, config_.backoffBaseS * std::ldexp(1.0, attempt));
+    const double jitter =
+        1.0 + config_.backoffJitterFrac * draw(kStreamBackoffJitter);
+    elapsedS += base * jitter;
+    if (elapsedS > budgetS) {
+      ++stats_.timeouts;
+      break;
+    }
+  }
+  ++stats_.framesMissed;
+  return result;
+}
+
+}  // namespace rfp::transport

@@ -87,6 +87,44 @@ TEST(ThreadPool, ParallelForPropagatesWorkerExceptions) {
   EXPECT_EQ(after.load(), 8);
 }
 
+TEST(ThreadPool, ParallelForAggregatesMultipleChunkFailures) {
+  // One failure per chunk: with 4 workers and a 64-wide range every chunk
+  // throws, and the old first-exception-only behavior would silently drop
+  // three of them. The aggregate carries the count and stays catchable as
+  // std::runtime_error.
+  ThreadPool pool(4);
+  try {
+    pool.parallelFor(0, 64, [&](std::size_t i) {
+      if (i % 16 == 0) {
+        throw std::invalid_argument("chunk " + std::to_string(i / 16));
+      }
+    });
+    FAIL() << "expected ParallelForError";
+  } catch (const rfp::common::ParallelForError& e) {
+    EXPECT_EQ(e.failureCount(), 4u);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("4 of 4 chunks failed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("chunk 0"), std::string::npos) << msg;
+  }
+
+  // A single failing chunk still rethrows the original exception type.
+  try {
+    pool.parallelFor(0, 64, [&](std::size_t i) {
+      if (i == 3) throw std::invalid_argument("solo");
+    });
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "solo");
+  }
+
+  // Inline execution (1-thread pool) aborts at the first throw by design;
+  // the aggregate path only applies to chunked execution.
+  ThreadPool inlinePool(1);
+  EXPECT_THROW(inlinePool.parallelFor(
+                   0, 8, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+}
+
 TEST(ThreadPool, SubmitFutureRethrows) {
   ThreadPool pool(2);
   auto future = pool.submit([] { throw std::invalid_argument("bad job"); });

@@ -120,6 +120,37 @@ TEST(ScenarioConfig, ErrorNamesSourceAndLine) {
   }
 }
 
+TEST(ScenarioConfig, ParsesRadarCostKnobs) {
+  std::istringstream in(
+      "radar.sample_rate = 250000\n"
+      "radar.antennas = 5\n");
+  const Scenario s = loadScenario(in);
+  EXPECT_DOUBLE_EQ(s.sensing.radar.chirp.sampleRateHz, 250000.0);
+  EXPECT_EQ(s.sensing.radar.numAntennas, 5);
+  // 500 us chirp at 250 kHz: the sensing chain still has 125 samples.
+  EXPECT_EQ(s.sensing.radar.chirp.samplesPerChirp(), 125u);
+}
+
+TEST(ScenarioConfig, SemanticRadarErrorNamesSourceAndLine) {
+  // 10 kHz over the 500 us office chirp is 5 samples per chirp: each key
+  // parses fine on its own, only RadarConfig::validate() rejects the
+  // combination. The diagnostic must still point at source:line -- the
+  // last radar.* line -- like every syntactic error does.
+  std::istringstream in(
+      "room.width = 9\n"
+      "radar.sample_rate = 10000\n");
+  try {
+    loadScenario(in, "cheap.scenario");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cheap.scenario:2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("invalid radar config"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("radar.sample_rate = 10000"), std::string::npos)
+        << msg;
+  }
+}
+
 TEST(ScenarioConfig, ParsesFaultModel) {
   std::istringstream in(
       "fault.intensity = 0.3\n"
