@@ -31,19 +31,29 @@ constexpr int kTrailerVersion = 1;
 }
 
 /// Flushes file *data* to stable storage where the platform allows it.
+/// A reported fsync failure means the data's durability is unknown --
+/// that is an IO error, not a detail to swallow.
 void fsyncPath(const std::string& path) {
 #ifdef RFP_HAVE_FSYNC
   const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    ::fsync(fd);
+  if (fd < 0) ioFail("fsync: cannot open", path);
+  if (::fsync(fd) != 0) {
+    const int savedErrno = errno;
     ::close(fd);
+    errno = savedErrno;
+    ioFail("fsync failed", path);
   }
+  ::close(fd);
 #else
   (void)path;
 #endif
 }
 
-/// Flushes the directory entry (the rename itself) where possible.
+/// Flushes the directory entry (the rename itself) to stable storage.
+/// Without this, a rename that "succeeded" can vanish on power cut on
+/// filesystems without atomic-rename durability. Directory opens can
+/// legitimately fail on exotic filesystems; an fsync *error* on an open
+/// directory cannot be ignored.
 void fsyncParentDir(const std::filesystem::path& path) {
 #ifdef RFP_HAVE_FSYNC
   const std::filesystem::path dir =
@@ -51,7 +61,12 @@ void fsyncParentDir(const std::filesystem::path& path) {
                              : std::filesystem::path(".");
   const int fd = ::open(dir.string().c_str(), O_RDONLY);
   if (fd >= 0) {
-    ::fsync(fd);
+    if (::fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
+      const int savedErrno = errno;
+      ::close(fd);
+      errno = savedErrno;
+      ioFail("fsync of parent directory failed", dir.string());
+    }
     ::close(fd);
   }
 #else
@@ -176,6 +191,10 @@ void writeFileRotating(const std::string& path, std::string_view body) {
     if (std::rename(path.c_str(), (path + ".bak").c_str()) != 0) {
       ioFail("writeFileRotating: cannot rotate to .bak", path);
     }
+    // Make the rotation itself durable before the new primary is
+    // written: a crash window in which neither the rename nor the new
+    // file reached the disk would otherwise lose *both* generations.
+    fsyncParentDir(std::filesystem::path(path));
   }
   writeFileChecked(path, body);
 }

@@ -20,7 +20,12 @@
 /// `writeFileRotating`/`readFileRotating` add one generation of history
 /// (`<path>.bak`): a reader that finds the primary corrupt falls back to
 /// the previous generation, which covers a crash *during* the checkpoint
-/// write on filesystems without atomic rename durability.
+/// write. Renames themselves are made durable by fsyncing the parent
+/// directory after every rename (the atomic-replace rename and the .bak
+/// rotation), so a power cut after writeFileAtomic returns cannot roll
+/// the directory entry back to the old file on filesystems that do not
+/// persist renames on their own; fsync failures are reported as errors,
+/// never swallowed.
 
 #include <optional>
 #include <string>

@@ -1,0 +1,83 @@
+#include "fault/storage_fault.h"
+
+#include <csignal>
+
+#include "common/det_hash.h"
+
+namespace rfp::fault {
+
+namespace {
+
+/// det_hash stream ids of the storage fault family (disjoint from the
+/// hardware fault schedule's 11..15, the ghost control link's 21..26, and
+/// the service wire's streams).
+constexpr std::uint64_t kStreamTornLength = 31;
+constexpr std::uint64_t kStreamFlipBit = 32;
+
+}  // namespace
+
+const char* storageFaultName(StorageFaultKind kind) {
+  switch (kind) {
+    case StorageFaultKind::kTornWrite:
+      return "torn_write";
+    case StorageFaultKind::kBitFlip:
+      return "bit_flip";
+    case StorageFaultKind::kFsyncFail:
+      return "fsync_fail";
+    case StorageFaultKind::kEnospc:
+      return "enospc";
+  }
+  return "unknown";
+}
+
+const char* storageOpName(StorageOp op) {
+  switch (op) {
+    case StorageOp::kAppend:
+      return "append";
+    case StorageOp::kSync:
+      return "sync";
+    case StorageOp::kTempWrite:
+      return "temp_write";
+    case StorageOp::kRename:
+      return "rename";
+    case StorageOp::kDirSync:
+      return "dir_sync";
+  }
+  return "unknown";
+}
+
+std::optional<StorageFaultKind> StorageFaultScript::at(
+    std::uint64_t opIndex) const {
+  for (const StorageFaultEvent& e : events_) {
+    if (e.opIndex == opIndex) return e.kind;
+  }
+  return std::nullopt;
+}
+
+std::optional<StorageFaultKind> StorageFaultInjector::next(StorageOp op) {
+  (void)op;
+  const std::uint64_t index = opCount_++;
+  if (killArmed_ && index >= killOp_) {
+    // The kill-anywhere trigger: die exactly here, mid-durability-path,
+    // with whatever bytes earlier ops already made durable. raise() of
+    // SIGKILL never returns.
+    std::raise(SIGKILL);
+  }
+  return script_.at(index);
+}
+
+std::size_t StorageFaultInjector::tornLength(std::size_t fullLen) const {
+  if (fullLen == 0) return 0;
+  // opCount_ was already advanced past the firing op; key on that op.
+  const double u =
+      rfp::common::hashUniform(seed_, opCount_ - 1, kStreamTornLength);
+  return static_cast<std::size_t>(u * static_cast<double>(fullLen));
+}
+
+std::size_t StorageFaultInjector::flipBitIndex(std::size_t nBytes) const {
+  const double u =
+      rfp::common::hashUniform(seed_, opCount_ - 1, kStreamFlipBit);
+  return static_cast<std::size_t>(u * static_cast<double>(8 * nBytes));
+}
+
+}  // namespace rfp::fault

@@ -1,0 +1,151 @@
+#pragma once
+
+/// \file storage_fault.h
+/// Scripted *storage-level* faults for the fleet service's durability
+/// path: the chaos vocabulary one level below scenario_fault.h. Where
+/// scenario faults break a workload and hardware faults break antennas,
+/// these events break the write-ahead journal and snapshot files the
+/// service needs to survive a process kill -- the failure modes of real
+/// disks and filesystems:
+///
+///   - kTornWrite:   only a seeded prefix of an append/temp-file write
+///                   reaches the medium before the "crash" (the writer
+///                   sees a StorageError; the torn bytes stay on disk)
+///   - kBitFlip:     the write completes but a seeded bit of the
+///                   just-written range is flipped on the medium
+///                   (silent corruption -- only the per-record CRC or
+///                   the file trailer can catch it on re-read)
+///   - kFsyncFail:   the data write succeeds but the fsync reports an
+///                   IO error (durability of the tail is unknown)
+///   - kEnospc:      the write fails up front with "no space left"
+///
+/// Scripts are op-indexed: every physical storage operation (append,
+/// fsync, temp write, rename, directory sync) consumes one index from a
+/// monotonic per-injector counter, so a fault pins to an exact physical
+/// op and same-script runs reproduce exactly -- the same generate-once
+/// convention as fault_schedule.h and scenario_fault.h.
+///
+/// The injector doubles as the kill-anywhere crash harness's trigger:
+/// `killAtOp` raises SIGKILL the moment the counter reaches the given
+/// op, letting a fork()ed child die at any instrumented point of the
+/// durability path. Storage ops are the only points with durable side
+/// effects, so killing at every op index covers every distinguishable
+/// crash state of the epoch loop (a kill between two ops leaves the same
+/// bytes on disk as a kill at the next op's entry).
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace rfp::fault {
+
+/// What goes wrong with a physical storage operation.
+enum class StorageFaultKind {
+  kTornWrite = 0,  ///< prefix of the bytes reaches disk, then StorageError
+  kBitFlip = 1,    ///< write succeeds; one seeded bit flips on the medium
+  kFsyncFail = 2,  ///< data written; fsync reports an IO error
+  kEnospc = 3,     ///< write fails up front (no space left on device)
+};
+
+/// Canonical lower-snake names (ledger/bench JSON; stable across versions).
+const char* storageFaultName(StorageFaultKind kind);
+
+/// The physical operations of the durability path, as instrumented by the
+/// journal/snapshot writers (each consumes one op index).
+enum class StorageOp {
+  kAppend = 0,     ///< journal record append
+  kSync = 1,       ///< fsync of a journal or snapshot file
+  kTempWrite = 2,  ///< snapshot temp-file body write
+  kRename = 3,     ///< snapshot rename (tmp -> primary, primary -> .bak)
+  kDirSync = 4,    ///< parent-directory fsync after a rename
+};
+
+const char* storageOpName(StorageOp op);
+
+/// One scripted storage fault, firing when the injector's op counter
+/// reaches \p opIndex (0-based).
+struct StorageFaultEvent {
+  std::uint64_t opIndex = 0;
+  StorageFaultKind kind = StorageFaultKind::kTornWrite;
+};
+
+/// Op-indexed script of storage faults. Querying is pure; the eventual
+/// firing order is the injector's monotonic op counter.
+class StorageFaultScript {
+ public:
+  StorageFaultScript() = default;
+
+  /// Appends one event. Multiple events on the same op are allowed; the
+  /// first added wins at().
+  void addEvent(const StorageFaultEvent& event) { events_.push_back(event); }
+
+  /// The fault scripted for \p opIndex, if any.
+  std::optional<StorageFaultKind> at(std::uint64_t opIndex) const;
+
+  const std::vector<StorageFaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+ private:
+  std::vector<StorageFaultEvent> events_;
+};
+
+/// What a failed storage operation throws. Carries the op and fault so
+/// the service can ledger an explicit storage-degradation reason.
+class StorageError : public std::runtime_error {
+ public:
+  StorageError(StorageOp op, const std::string& what)
+      : std::runtime_error(std::string(storageOpName(op)) + ": " + what),
+        op_(op) {}
+
+  StorageOp op() const { return op_; }
+
+ private:
+  StorageOp op_;
+};
+
+/// Consumes one op index per physical storage operation and tells the
+/// writer how to misbehave. Seeded choices (torn-write length, flipped
+/// bit) derive from hash(seed, opIndex), so a script replays exactly.
+/// A default-constructed injector never fires and never kills.
+class StorageFaultInjector {
+ public:
+  StorageFaultInjector() = default;
+  StorageFaultInjector(StorageFaultScript script, std::uint64_t seed)
+      : script_(std::move(script)), seed_(seed) {}
+
+  /// Arms the kill-anywhere trigger: raise(SIGKILL) the moment the op
+  /// counter reaches \p opIndex (0-based, checked on op entry). 0 with
+  /// \p enabled false disarms.
+  void killAtOp(std::uint64_t opIndex, bool enabled = true) {
+    killOp_ = opIndex;
+    killArmed_ = enabled;
+  }
+
+  /// Called by the storage layer on entry of each physical op. Raises
+  /// SIGKILL when the kill trigger is armed for this index; otherwise
+  /// returns the scripted fault for this index, if any.
+  std::optional<StorageFaultKind> next(StorageOp op);
+
+  /// Ops consumed so far (the sweep range of the crash harness).
+  std::uint64_t opCount() const { return opCount_; }
+
+  /// Seeded torn-write length for the op that just fired: how many of
+  /// \p fullLen bytes reach the medium (in [0, fullLen)).
+  std::size_t tornLength(std::size_t fullLen) const;
+
+  /// Seeded bit index to flip within an \p nBytes-long just-written
+  /// range (in [0, 8 * nBytes)). nBytes must be > 0.
+  std::size_t flipBitIndex(std::size_t nBytes) const;
+
+ private:
+  StorageFaultScript script_;
+  std::uint64_t seed_ = 0;
+  std::uint64_t opCount_ = 0;
+  std::uint64_t killOp_ = 0;
+  bool killArmed_ = false;
+};
+
+}  // namespace rfp::fault

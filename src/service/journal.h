@@ -1,0 +1,198 @@
+#pragma once
+
+/// \file journal.h
+/// The fleet service's append-only write-ahead journal (DESIGN.md
+/// Sec. 12): every durable state transition of a FleetEngine shard --
+/// admission decisions (with the full submission, so a killed shard can
+/// rebuild the scenario instance), every service-ledger record (tier
+/// changes, lifecycle transitions, recovery marks), and epoch-round
+/// completions (with each participant's epoch position) -- is appended
+/// as one CRC-framed binary record:
+///
+///   u32  payload length
+///   u32  CRC-32 over the payload
+///   ...  payload bytes (wire_codec.h encoding, kind-tagged)
+///
+/// Appends are buffered by the OS; fsync is *batched at epoch-round
+/// boundaries* (one sync per round, plus optionally one per admission),
+/// so the journal's durability frontier advances in round-sized steps.
+/// Reading tolerates a torn tail -- a crash mid-append leaves a partial
+/// final record, which replay silently discards (the state it described
+/// is re-derived by deterministic re-execution). A CRC mismatch on a
+/// *complete* record, by contrast, is corruption: replay truncates
+/// there and reports it, and FleetEngine::recover ledgers an explicit
+/// RECOVERED(from_epoch) entry -- degraded, never silently divergent.
+///
+/// Journal files are generation-numbered (`journal-<gen>.wal`) and
+/// rotate with each snapshot: snapshot generation G is followed by
+/// journal-G.wal, and the previous generation's journal is retained
+/// until the next rotation so the snapshot's `.bak` fallback can still
+/// replay its full tail.
+///
+/// All physical IO goes through the storage helpers below, whose single
+/// fault seam (fault::StorageFaultInjector) injects torn writes, bit
+/// flips, fsync failures, and ENOSPC -- and doubles as the
+/// kill-anywhere crash trigger of the fork harness.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fault/scenario_fault.h"
+#include "fault/storage_fault.h"
+#include "service/scenario_job.h"
+#include "service/service_ledger.h"
+
+namespace rfp::service {
+
+namespace storage {
+
+/// Appends \p bytes to \p path (created if missing). Injection: ENOSPC
+/// throws up front; a torn write persists a seeded prefix then throws; a
+/// bit flip silently corrupts one seeded bit of the just-written range.
+void appendBytes(const std::string& path, std::string_view bytes,
+                 fault::StorageFaultInjector* injector);
+
+/// fsyncs \p path. Injection: kFsyncFail throws after the data write.
+void syncFile(const std::string& path,
+              fault::StorageFaultInjector* injector);
+
+/// fsyncs \p path's parent directory (rename durability).
+void syncParentDir(const std::string& path,
+                   fault::StorageFaultInjector* injector);
+
+/// Renames \p from to \p to (one injectable op; any scripted fault
+/// fails the rename).
+void renameFile(const std::string& from, const std::string& to,
+                fault::StorageFaultInjector* injector);
+
+/// Creates/truncates \p path to empty and makes the directory entry
+/// durable.
+void createFile(const std::string& path,
+                fault::StorageFaultInjector* injector);
+
+/// atomic_io-compatible checked write (integrity trailer + temp file +
+/// fsync + rename + parent-directory fsync), with every physical step an
+/// injectable op. Readable via common::readFileChecked.
+void writeFileCheckedInjected(const std::string& path, std::string_view body,
+                              fault::StorageFaultInjector* injector);
+
+}  // namespace storage
+
+/// Journal record kinds. Deliberately coarse: one kSubmit record per
+/// admission decision and one kRound record per epoch round, each
+/// *embedding* every service-ledger record that event appended. One
+/// durable event = one CRC frame, so torn-tail truncation is all-or-
+/// nothing at event granularity -- replay never sees half an admission
+/// or half a round.
+enum class JournalRecordKind : std::uint8_t {
+  kSubmit = 1,  ///< one admission decision (submission + its ledger records)
+  kRound = 2,   ///< one epoch round (positions + its ledger records)
+};
+
+/// An admitted submission as journaled: everything recover() needs to
+/// rebuild the scenario instance bit-exactly (the derived job seed is
+/// stored directly, so recovery does not depend on re-deriving it).
+struct JournalSubmission {
+  std::uint64_t scenarioId = 0;
+  std::string name;
+  int priority = 0;
+  std::uint64_t jobSeed = 1;
+  std::string scenarioText;
+  std::vector<fault::ScenarioFaultEvent> chaos;
+};
+
+/// One embedded service-ledger record; completed scenarios carry their
+/// final summary so recovery can serve status() without re-running.
+struct JournalLedgerEntry {
+  ServiceLedgerRecord record;
+  bool hasSummary = false;
+  ScenarioSummary summary{};
+};
+
+/// One (scenarioId, epochsDone-after-round) participant of a round.
+/// Explicit positions, not bare ids: a failed epoch does not advance
+/// epochsDone while a completed one does, and replay must not re-derive
+/// that distinction.
+struct RoundParticipant {
+  std::uint64_t scenarioId = 0;
+  std::uint64_t epochsDone = 0;
+};
+
+/// One journal record (tagged union over kind).
+struct JournalRecord {
+  JournalRecordKind kind = JournalRecordKind::kRound;
+
+  JournalSubmission submit;  ///< kSubmit
+
+  std::uint64_t round = 0;                     ///< kRound
+  std::vector<RoundParticipant> participants;  ///< kRound (id-ordered)
+
+  /// The service-ledger records this event appended, in append order
+  /// (kSubmit: tier change / shed victim / admission outcome; kRound:
+  /// queue promotions, terminal transitions, watchdog cancellations).
+  std::vector<JournalLedgerEntry> ledger;
+};
+
+/// Payload codecs (the record framing carries the CRC).
+std::string encodeJournalRecord(const JournalRecord& record);
+std::optional<JournalRecord> decodeJournalRecord(std::string_view bytes);
+
+/// Shared ServiceLedgerRecord field codec (journal + snapshot reuse).
+void putLedgerRecord(std::string& out, const ServiceLedgerRecord& record);
+bool getLedgerRecord(std::string_view bytes, std::size_t& offset,
+                     ServiceLedgerRecord* record);
+
+/// Shared EpochMetrics field codec (journal/snapshot/protocol layers).
+void putEpochMetrics(std::string& out, const EpochMetrics& m);
+bool getEpochMetrics(std::string_view bytes, std::size_t& offset,
+                     EpochMetrics* m);
+
+/// `<dir>/journal-<gen>.wal`.
+std::string journalPath(const std::string& dir, std::uint64_t generation);
+
+/// Append-side handle of one journal generation. Appends frame records
+/// with CRC; sync() batches durability (call it at epoch-round
+/// boundaries). Both throw fault::StorageError on (injected or real) IO
+/// failure -- the engine catches and degrades instead of dying.
+class JournalWriter {
+ public:
+  /// Opens generation \p generation under \p dir. \p truncate starts the
+  /// generation empty (fresh engine or rotation); false continues
+  /// appending (not used by recovery, which always rotates, but kept for
+  /// tools).
+  JournalWriter(const std::string& dir, std::uint64_t generation,
+                bool truncate, fault::StorageFaultInjector* injector);
+
+  void append(const JournalRecord& record);
+  void sync();
+
+  const std::string& path() const { return path_; }
+  std::uint64_t generation() const { return generation_; }
+
+ private:
+  std::string path_;
+  std::uint64_t generation_ = 0;
+  fault::StorageFaultInjector* injector_ = nullptr;
+};
+
+/// How reading a journal generation ended.
+struct JournalReadResult {
+  std::vector<JournalRecord> records;  ///< every record up to the frontier
+  /// A partial final record was discarded (a crash mid-append; normal,
+  /// the lost transition is re-derived by re-execution).
+  bool tornTail = false;
+  /// A *complete* record failed its CRC or did not decode: corruption.
+  /// Records beyond it are unrecoverable; recover() ledgers this.
+  bool corrupt = false;
+  std::size_t frontierOffset = 0;  ///< byte offset after the last good record
+  std::string detail;              ///< human-readable tail diagnosis
+};
+
+/// Reads every intact record of \p path. A missing file reads as empty
+/// and clean (a rotation point with nothing appended yet).
+JournalReadResult readJournal(const std::string& path);
+
+}  // namespace rfp::service

@@ -1,77 +1,31 @@
 #include "service/protocol.h"
 
-#include <cstring>
+#include <algorithm>
+#include <stdexcept>
 #include <utility>
+
+#include "service/journal.h"
+#include "service/wire_codec.h"
 
 namespace rfp::service {
 
 namespace {
 
-template <typename T>
-void put(std::string& out, T value) {
-  char buf[sizeof(T)];
-  std::memcpy(buf, &value, sizeof(T));
-  out.append(buf, sizeof(T));
-}
-
-void putString(std::string& out, const std::string& s) {
-  put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
-  out.append(s);
-}
-
-template <typename T>
-bool get(std::string_view bytes, std::size_t& offset, T* value) {
-  if (bytes.size() - offset < sizeof(T)) return false;
-  std::memcpy(value, bytes.data() + offset, sizeof(T));
-  offset += sizeof(T);
-  return true;
-}
-
-bool getString(std::string_view bytes, std::size_t& offset, std::string* s) {
-  std::uint32_t len = 0;
-  if (!get(bytes, offset, &len)) return false;
-  if (bytes.size() - offset < len) return false;
-  s->assign(bytes.data() + offset, len);
-  offset += len;
-  return true;
-}
-
-void putMetrics(std::string& out, const EpochMetrics& m) {
-  put<std::uint64_t>(out, m.epoch);
-  put<std::uint64_t>(out, static_cast<std::uint64_t>(m.framesSimulated));
-  put<std::uint64_t>(out, static_cast<std::uint64_t>(m.framesTotal));
-  put<std::uint64_t>(out, static_cast<std::uint64_t>(m.framesDetected));
-  put<double>(out, m.sumDistanceErrorM);
-  put<double>(out, m.sumAngleErrorDeg);
-}
-
-bool getMetrics(std::string_view bytes, std::size_t& offset, EpochMetrics* m) {
-  std::uint64_t simulated = 0, total = 0, detected = 0;
-  if (!get(bytes, offset, &m->epoch) || !get(bytes, offset, &simulated) ||
-      !get(bytes, offset, &total) || !get(bytes, offset, &detected) ||
-      !get(bytes, offset, &m->sumDistanceErrorM) ||
-      !get(bytes, offset, &m->sumAngleErrorDeg)) {
-    return false;
-  }
-  m->framesSimulated = static_cast<std::size_t>(simulated);
-  m->framesTotal = static_cast<std::size_t>(total);
-  m->framesDetected = static_cast<std::size_t>(detected);
-  return true;
-}
+namespace wc = rfp::service::codec;
 
 }  // namespace
 
 std::string encodeSubmission(const ScenarioSubmission& submission) {
   std::string out;
-  putString(out, submission.name);
-  putString(out, submission.scenarioText);
-  put<std::int32_t>(out, submission.priority);
-  put<std::uint64_t>(out, submission.seed);
+  wc::putString(out, submission.name);
+  wc::putString(out, submission.scenarioText);
+  wc::put<std::int32_t>(out, submission.priority);
+  wc::put<std::uint64_t>(out, submission.seed);
   const auto& events = submission.chaos.events();
-  put<std::uint32_t>(out, static_cast<std::uint32_t>(events.size()));
+  wc::put<std::uint32_t>(out, static_cast<std::uint32_t>(events.size()));
   for (const fault::ScenarioFaultEvent& e : events) {
-    put<std::uint64_t>(out, e.epoch);
-    put<std::uint8_t>(out, static_cast<std::uint8_t>(e.kind));
+    wc::put<std::uint64_t>(out, e.epoch);
+    wc::put<std::uint8_t>(out, static_cast<std::uint8_t>(e.kind));
   }
   return out;
 }
@@ -81,17 +35,17 @@ std::optional<ScenarioSubmission> decodeSubmission(std::string_view bytes) {
   std::size_t offset = 0;
   std::int32_t priority = 0;
   std::uint32_t eventCount = 0;
-  if (!getString(bytes, offset, &s.name) ||
-      !getString(bytes, offset, &s.scenarioText) ||
-      !get(bytes, offset, &priority) || !get(bytes, offset, &s.seed) ||
-      !get(bytes, offset, &eventCount)) {
+  if (!wc::getString(bytes, offset, &s.name) ||
+      !wc::getString(bytes, offset, &s.scenarioText) ||
+      !wc::get(bytes, offset, &priority) || !wc::get(bytes, offset, &s.seed) ||
+      !wc::get(bytes, offset, &eventCount)) {
     return std::nullopt;
   }
   s.priority = priority;
   for (std::uint32_t i = 0; i < eventCount; ++i) {
     fault::ScenarioFaultEvent e;
     std::uint8_t kind = 0;
-    if (!get(bytes, offset, &e.epoch) || !get(bytes, offset, &kind)) {
+    if (!wc::get(bytes, offset, &e.epoch) || !wc::get(bytes, offset, &kind)) {
       return std::nullopt;
     }
     if (kind > static_cast<std::uint8_t>(
@@ -107,10 +61,10 @@ std::optional<ScenarioSubmission> decodeSubmission(std::string_view bytes) {
 
 std::string encodeOutcome(const SubmitOutcome& outcome) {
   std::string out;
-  put<std::uint64_t>(out, outcome.scenarioId);
-  put<std::uint8_t>(out, static_cast<std::uint8_t>(outcome.tier));
-  put<std::uint8_t>(out, static_cast<std::uint8_t>(outcome.state));
-  putString(out, outcome.reason);
+  wc::put<std::uint64_t>(out, outcome.scenarioId);
+  wc::put<std::uint8_t>(out, static_cast<std::uint8_t>(outcome.tier));
+  wc::put<std::uint8_t>(out, static_cast<std::uint8_t>(outcome.state));
+  wc::putString(out, outcome.reason);
   return out;
 }
 
@@ -118,8 +72,9 @@ std::optional<SubmitOutcome> decodeOutcome(std::string_view bytes) {
   SubmitOutcome o;
   std::size_t offset = 0;
   std::uint8_t tier = 0, state = 0;
-  if (!get(bytes, offset, &o.scenarioId) || !get(bytes, offset, &tier) ||
-      !get(bytes, offset, &state) || !getString(bytes, offset, &o.reason)) {
+  if (!wc::get(bytes, offset, &o.scenarioId) ||
+      !wc::get(bytes, offset, &tier) || !wc::get(bytes, offset, &state) ||
+      !wc::getString(bytes, offset, &o.reason)) {
     return std::nullopt;
   }
   if (tier > static_cast<std::uint8_t>(AdmissionTier::kRejectNew) ||
@@ -134,17 +89,17 @@ std::optional<SubmitOutcome> decodeOutcome(std::string_view bytes) {
 
 std::string encodeReport(const EpochReport& report) {
   std::string out;
-  put<std::uint64_t>(out, report.scenarioId);
-  putMetrics(out, report.metrics);
-  put<std::uint8_t>(out, report.terminal ? 1 : 0);
-  put<std::uint8_t>(out, static_cast<std::uint8_t>(report.finalState));
-  putString(out, report.finalReason);
-  put<std::uint64_t>(out,
-                     static_cast<std::uint64_t>(report.summary.framesTotal));
-  put<std::uint64_t>(
+  wc::put<std::uint64_t>(out, report.scenarioId);
+  putEpochMetrics(out, report.metrics);
+  wc::put<std::uint8_t>(out, report.terminal ? 1 : 0);
+  wc::put<std::uint8_t>(out, static_cast<std::uint8_t>(report.finalState));
+  wc::putString(out, report.finalReason);
+  wc::put<std::uint64_t>(out,
+                         static_cast<std::uint64_t>(report.summary.framesTotal));
+  wc::put<std::uint64_t>(
       out, static_cast<std::uint64_t>(report.summary.framesDetected));
-  put<double>(out, report.summary.medianDistanceErrorM);
-  put<double>(out, report.summary.medianLocationErrorM);
+  wc::put<double>(out, report.summary.medianDistanceErrorM);
+  wc::put<double>(out, report.summary.medianLocationErrorM);
   return out;
 }
 
@@ -153,14 +108,14 @@ std::optional<EpochReport> decodeReport(std::string_view bytes) {
   std::size_t offset = 0;
   std::uint8_t terminal = 0, state = 0;
   std::uint64_t framesTotal = 0, framesDetected = 0;
-  if (!get(bytes, offset, &r.scenarioId) ||
-      !getMetrics(bytes, offset, &r.metrics) ||
-      !get(bytes, offset, &terminal) || !get(bytes, offset, &state) ||
-      !getString(bytes, offset, &r.finalReason) ||
-      !get(bytes, offset, &framesTotal) ||
-      !get(bytes, offset, &framesDetected) ||
-      !get(bytes, offset, &r.summary.medianDistanceErrorM) ||
-      !get(bytes, offset, &r.summary.medianLocationErrorM)) {
+  if (!wc::get(bytes, offset, &r.scenarioId) ||
+      !getEpochMetrics(bytes, offset, &r.metrics) ||
+      !wc::get(bytes, offset, &terminal) || !wc::get(bytes, offset, &state) ||
+      !wc::getString(bytes, offset, &r.finalReason) ||
+      !wc::get(bytes, offset, &framesTotal) ||
+      !wc::get(bytes, offset, &framesDetected) ||
+      !wc::get(bytes, offset, &r.summary.medianDistanceErrorM) ||
+      !wc::get(bytes, offset, &r.summary.medianLocationErrorM)) {
     return std::nullopt;
   }
   if (state > static_cast<std::uint8_t>(ScenarioState::kCancelled)) {
@@ -172,6 +127,64 @@ std::optional<EpochReport> decodeReport(std::string_view bytes) {
   r.summary.framesDetected = static_cast<std::size_t>(framesDetected);
   if (offset != bytes.size()) return std::nullopt;
   return r;
+}
+
+std::string encodeResume(const ResumeRequest& request) {
+  std::string out;
+  wc::put<std::uint32_t>(out, request.version);
+  wc::put<std::uint64_t>(out, request.sessionId);
+  wc::put<std::uint64_t>(out, request.scenarioId);
+  wc::put<std::uint64_t>(out, request.lastAckedEpoch);
+  wc::put<std::uint8_t>(out, request.hasAcked ? 1 : 0);
+  return out;
+}
+
+std::optional<ResumeRequest> decodeResume(std::string_view bytes) {
+  ResumeRequest r;
+  std::size_t offset = 0;
+  std::uint8_t hasAcked = 0;
+  if (!wc::get(bytes, offset, &r.version) ||
+      !wc::get(bytes, offset, &r.sessionId) ||
+      !wc::get(bytes, offset, &r.scenarioId) ||
+      !wc::get(bytes, offset, &r.lastAckedEpoch) ||
+      !wc::get(bytes, offset, &hasAcked)) {
+    return std::nullopt;
+  }
+  r.hasAcked = hasAcked != 0;
+  if (offset != bytes.size()) return std::nullopt;
+  return r;
+}
+
+std::string encodeResumeAck(const ResumeAck& ack) {
+  std::string out;
+  wc::put<std::uint64_t>(out, ack.sessionId);
+  wc::put<std::uint64_t>(out, ack.scenarioId);
+  wc::put<std::uint8_t>(out, static_cast<std::uint8_t>(ack.status));
+  wc::put<std::uint64_t>(out, ack.replayedEpochs);
+  wc::put<std::uint64_t>(out, ack.firstEpochReplayed);
+  wc::put<std::uint64_t>(out, ack.gapFrom);
+  wc::put<std::uint64_t>(out, ack.gapTo);
+  return out;
+}
+
+std::optional<ResumeAck> decodeResumeAck(std::string_view bytes) {
+  ResumeAck a;
+  std::size_t offset = 0;
+  std::uint8_t status = 0;
+  if (!wc::get(bytes, offset, &a.sessionId) ||
+      !wc::get(bytes, offset, &a.scenarioId) ||
+      !wc::get(bytes, offset, &status) ||
+      !wc::get(bytes, offset, &a.replayedEpochs) ||
+      !wc::get(bytes, offset, &a.firstEpochReplayed) ||
+      !wc::get(bytes, offset, &a.gapFrom) || !wc::get(bytes, offset, &a.gapTo)) {
+    return std::nullopt;
+  }
+  if (status > static_cast<std::uint8_t>(ResumeStatus::kVersionMismatch)) {
+    return std::nullopt;
+  }
+  a.status = static_cast<ResumeStatus>(status);
+  if (offset != bytes.size()) return std::nullopt;
+  return a;
 }
 
 std::vector<EpochReport> FleetService::collectReports(
@@ -199,13 +212,76 @@ std::vector<EpochReport> FleetService::collectReports(
   return reports;
 }
 
+ResumeAck FleetService::handleResume(const ResumeRequest& request,
+                                     std::vector<EpochReport>& replay) {
+  ResumeAck ack;
+  ack.sessionId = request.sessionId;
+  ack.scenarioId = request.scenarioId;
+  if (request.version == 0 || request.version > kProtocolVersion) {
+    ack.status = ResumeStatus::kVersionMismatch;
+    return ack;
+  }
+  ScenarioStatus st;
+  try {
+    st = engine_.status(request.scenarioId);
+  } catch (const std::out_of_range&) {
+    ack.status = ResumeStatus::kUnknownScenario;
+    return ack;
+  }
+  const std::uint64_t fromEpoch =
+      request.hasAcked ? request.lastAckedEpoch + 1 : 0;
+  const std::vector<EpochMetrics> history =
+      engine_.metricsSince(request.scenarioId, fromEpoch);
+  if (!history.empty() && history.front().epoch > fromEpoch) {
+    // Retention cap passed while the client was away: the epochs between
+    // its last ack and the oldest retained sample are gone. The range is
+    // named exactly -- an explicit gap, never a silently shortened stream.
+    ack.status = ResumeStatus::kGap;
+    ack.gapFrom = fromEpoch;
+    ack.gapTo = history.front().epoch - 1;
+  }
+  for (const EpochMetrics& m : history) {
+    EpochReport r;
+    r.scenarioId = request.scenarioId;
+    r.metrics = m;
+    replay.push_back(std::move(r));
+  }
+  ack.replayedEpochs = history.size();
+  if (!history.empty()) ack.firstEpochReplayed = history.front().epoch;
+  if (isTerminal(st.state)) {
+    EpochReport r;
+    r.scenarioId = request.scenarioId;
+    r.terminal = true;
+    r.finalState = st.state;
+    r.finalReason = st.reason;
+    r.summary = st.summary;
+    replay.push_back(std::move(r));
+  }
+  return ack;
+}
+
 ServiceClient::ServiceClient(FleetService& service,
                              const transport::TransportConfig& transport,
                              std::uint64_t seed, double budgetDtS)
-    : service_(service),
+    : service_(&service),
       uplink_(transport, seed),
       downlink_(transport, seed ^ 0x9e3779b97f4a7c15ull),
-      budgetDtS_(budgetDtS) {}
+      budgetDtS_(budgetDtS),
+      sessionId_(seed) {}
+
+void ServiceClient::noteDelivered(const EpochReport& report) {
+  if (report.terminal) return;
+  auto [it, inserted] =
+      lastAcked_.try_emplace(report.scenarioId, report.metrics.epoch);
+  if (!inserted) it->second = std::max(it->second, report.metrics.epoch);
+}
+
+std::optional<std::uint64_t> ServiceClient::lastAckedEpoch(
+    std::uint64_t scenarioId) const {
+  const auto it = lastAcked_.find(scenarioId);
+  if (it == lastAcked_.end()) return std::nullopt;
+  return it->second;
+}
 
 std::optional<SubmitOutcome> ServiceClient::submit(
     const ScenarioSubmission& submission,
@@ -220,7 +296,7 @@ std::optional<SubmitOutcome> ServiceClient::submit(
 
   auto delivered = decodeSubmission(sent.frame->payload);
   if (!delivered.has_value()) return std::nullopt;  // defensive; CRC-clean
-  const SubmitOutcome outcome = service_.handleSubmit(std::move(*delivered));
+  const SubmitOutcome outcome = service_->handleSubmit(std::move(*delivered));
 
   transport::ServiceFrame ack;
   ack.seq = nextDownlinkSeq_++;
@@ -241,7 +317,7 @@ std::size_t ServiceClient::poll(std::uint64_t scenarioId,
                                 const transport::ChannelCondition& condition,
                                 std::vector<EpochReport>& out) {
   std::vector<EpochReport> reports =
-      service_.collectReports(scenarioId, reportedTerminal_[scenarioId]);
+      service_->collectReports(scenarioId, reportedTerminal_[scenarioId]);
   std::size_t dropped = 0;
   for (EpochReport& report : reports) {
     transport::ServiceFrame frame;
@@ -256,12 +332,73 @@ std::size_t ServiceClient::poll(std::uint64_t scenarioId,
     }
     auto decoded = decodeReport(result.frame->payload);
     if (decoded.has_value()) {
+      noteDelivered(*decoded);
       out.push_back(std::move(*decoded));
     } else {
       ++dropped;
     }
   }
   return dropped;
+}
+
+std::optional<ResumeAck> ServiceClient::resume(
+    std::uint64_t scenarioId, const transport::ChannelCondition& condition,
+    std::vector<EpochReport>& out) {
+  ResumeRequest req;
+  req.sessionId = sessionId_;
+  req.scenarioId = scenarioId;
+  const auto acked = lastAckedEpoch(scenarioId);
+  req.hasAcked = acked.has_value();
+  req.lastAckedEpoch = acked.value_or(0);
+
+  transport::ServiceFrame request;
+  request.seq = nextUplinkSeq_++;
+  request.type = static_cast<std::uint16_t>(MessageType::kResume);
+  request.payload = encodeResume(req);
+  const auto sent =
+      uplink_.transfer(request.seq, request, condition, budgetDtS_);
+  if (!sent.delivered) return std::nullopt;
+  auto delivered = decodeResume(sent.frame->payload);
+  if (!delivered.has_value()) return std::nullopt;  // defensive; CRC-clean
+
+  std::vector<EpochReport> replay;
+  const ResumeAck serverAck = service_->handleResume(*delivered, replay);
+
+  transport::ServiceFrame ackFrame;
+  ackFrame.seq = nextDownlinkSeq_++;
+  ackFrame.type = static_cast<std::uint16_t>(MessageType::kResumeAck);
+  ackFrame.payload = encodeResumeAck(serverAck);
+  const auto ackResult =
+      downlink_.transfer(ackFrame.seq, ackFrame, condition, budgetDtS_);
+  if (!ackResult.delivered) return std::nullopt;
+  auto ack = decodeResumeAck(ackResult.frame->payload);
+  if (!ack.has_value()) return std::nullopt;
+
+  // Redelivery after a service recovery is at-least-once (the engine
+  // replays its full retained history); the session's last-acked cursor
+  // dedups, so what reaches the caller is exactly-once per epoch.
+  for (EpochReport& report : replay) {
+    transport::ServiceFrame frame;
+    frame.seq = nextDownlinkSeq_++;
+    frame.type = static_cast<std::uint16_t>(MessageType::kEpochReport);
+    frame.payload = encodeReport(report);
+    const auto result =
+        downlink_.transfer(frame.seq, frame, condition, budgetDtS_);
+    if (!result.delivered) continue;  // gap; a later resume retries
+    auto decoded = decodeReport(result.frame->payload);
+    if (!decoded.has_value()) continue;
+    if (!decoded->terminal && acked.has_value() &&
+        decoded->metrics.epoch <= *acked) {
+      continue;  // duplicate of an epoch this session already delivered
+    }
+    if (decoded->terminal) {
+      if (reportedTerminal_[scenarioId]) continue;
+      reportedTerminal_[scenarioId] = true;
+    }
+    noteDelivered(*decoded);
+    out.push_back(std::move(*decoded));
+  }
+  return ack;
 }
 
 }  // namespace rfp::service

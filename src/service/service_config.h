@@ -23,8 +23,40 @@
 #include <cstddef>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
 
 namespace rfp::service {
+
+/// Durability knobs of one shard (DESIGN.md Sec. 12). With \p dir empty
+/// the engine keeps all state in memory (the pre-durability behavior);
+/// with a directory set, every admission decision, tier transition,
+/// epoch-round completion, and terminal state is appended to a
+/// CRC-framed write-ahead journal, and the full engine state is
+/// snapshotted at epoch-round boundaries every \p snapshotEveryRounds
+/// rounds. FleetEngine::recover() rebuilds a killed shard from
+/// snapshot + journal tail.
+struct DurabilityConfig {
+  /// Durability directory (journal segments + snapshot generations).
+  /// Empty disables the durability layer entirely.
+  std::string dir;
+
+  /// Snapshot cadence [epoch rounds]. Journal segments rotate with each
+  /// snapshot generation, so this bounds both journal replay length and
+  /// on-disk journal growth.
+  std::uint64_t snapshotEveryRounds = 16;
+
+  /// Per-scenario retained metric-history depth [epochs] backing client
+  /// session resume: a reconnecting client is replayed from its last
+  /// acked epoch if that epoch is still retained, else gap-marked.
+  std::size_t retainMetricsEpochs = 256;
+
+  /// fsync the journal after every admission decision (so an acked
+  /// submission is never lost) in addition to the batched epoch-round
+  /// boundary sync. Off trades admission durability for submit latency.
+  bool syncOnSubmit = true;
+
+  bool enabled() const { return !dir.empty(); }
+};
 
 /// Configuration of one FleetEngine shard.
 struct FleetServiceConfig {
@@ -52,6 +84,9 @@ struct FleetServiceConfig {
   /// and its (deterministic) admission id.
   std::uint64_t seed = 1;
 
+  /// Crash-safety layer (journal + snapshots); disabled by default.
+  DurabilityConfig durability;
+
   /// Throws std::invalid_argument on out-of-range knobs.
   void validate() const {
     if (maxActive == 0) {
@@ -68,6 +103,16 @@ struct FleetServiceConfig {
     if (watchdogPollS <= 0.0) {
       throw std::invalid_argument(
           "FleetServiceConfig: watchdogPollS must be > 0");
+    }
+    if (durability.enabled()) {
+      if (durability.snapshotEveryRounds == 0) {
+        throw std::invalid_argument(
+            "FleetServiceConfig: durability.snapshotEveryRounds must be >= 1");
+      }
+      if (durability.retainMetricsEpochs == 0) {
+        throw std::invalid_argument(
+            "FleetServiceConfig: durability.retainMetricsEpochs must be >= 1");
+      }
     }
   }
 };

@@ -1,5 +1,9 @@
 #include "service/service_ledger.h"
 
+#include <cstdio>
+#include <filesystem>
+#include <stdexcept>
+
 #include "common/atomic_io.h"
 
 namespace rfp::service {
@@ -58,7 +62,10 @@ std::string ServiceLedger::serialize() const {
   for (const ServiceLedgerRecord& r : records_) {
     out += "round=";
     out += std::to_string(r.round);
-    if (r.isTierRecord) {
+    if (r.isRecoveryRecord) {
+      out += " recovered_from=";
+      out += std::to_string(r.recoveredFromRound);
+    } else if (r.isTierRecord) {
       out += " tier=";
       out += admissionTierName(r.tier);
     } else {
@@ -82,6 +89,69 @@ void ServiceLedger::save(const std::string& path) const {
 
 std::string ServiceLedger::loadSerialized(const std::string& path) {
   return rfp::common::readFileChecked(path);
+}
+
+namespace {
+
+std::string segmentPath(const std::string& basePath, std::size_t index) {
+  char suffix[16];
+  std::snprintf(suffix, sizeof(suffix), ".seg%03zu", index);
+  return basePath + suffix;
+}
+
+}  // namespace
+
+std::size_t ServiceLedger::saveSegmented(const std::string& basePath,
+                                         std::size_t maxSegmentBytes) const {
+  if (maxSegmentBytes == 0) {
+    throw std::invalid_argument(
+        "ServiceLedger::saveSegmented: maxSegmentBytes must be >= 1");
+  }
+  // Split serialize() at record ('\n') boundaries. An empty ledger still
+  // writes one (empty) segment so load distinguishes "saved empty" from
+  // "never saved".
+  const std::string body = serialize();
+  std::vector<std::string> segments;
+  std::string current;
+  std::size_t lineStart = 0;
+  while (lineStart < body.size()) {
+    const std::size_t lineEnd = body.find('\n', lineStart) + 1;  // incl. '\n'
+    const std::size_t lineLen = lineEnd - lineStart;
+    if (!current.empty() && current.size() + lineLen > maxSegmentBytes) {
+      segments.push_back(std::move(current));
+      current.clear();
+    }
+    current.append(body, lineStart, lineLen);
+    lineStart = lineEnd;
+  }
+  segments.push_back(std::move(current));
+
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    rfp::common::writeFileChecked(segmentPath(basePath, i), segments[i]);
+  }
+  // Remove stale segments of a previous, longer save so load never
+  // concatenates two runs.
+  std::error_code ec;
+  for (std::size_t i = segments.size();
+       std::filesystem::exists(segmentPath(basePath, i), ec); ++i) {
+    std::filesystem::remove(segmentPath(basePath, i), ec);
+  }
+  return segments.size();
+}
+
+std::string ServiceLedger::loadSegmentedSerialized(
+    const std::string& basePath) {
+  std::string body;
+  std::error_code ec;
+  if (!std::filesystem::exists(segmentPath(basePath, 0), ec)) {
+    throw std::runtime_error("ServiceLedger::loadSegmentedSerialized: " +
+                             segmentPath(basePath, 0) + " does not exist");
+  }
+  for (std::size_t i = 0; std::filesystem::exists(segmentPath(basePath, i), ec);
+       ++i) {
+    body += rfp::common::readFileChecked(segmentPath(basePath, i));
+  }
+  return body;
 }
 
 }  // namespace rfp::service

@@ -38,14 +38,19 @@ const char* scenarioStateName(ScenarioState s);
 bool isTerminal(ScenarioState s);
 
 /// One ledgered transition. Tier records (scenario id 0) mark admission
-/// tier changes; scenario records mark lifecycle changes.
+/// tier changes; scenario records mark lifecycle changes; recovery
+/// records mark crash recoveries that lost journal tail state (the
+/// explicit `RECOVERED(from_epoch)` trail -- data loss is ledgered,
+/// never silent) and storage-layer degradations.
 struct ServiceLedgerRecord {
   std::uint64_t round = 0;      ///< engine round the transition happened in
   std::uint64_t scenarioId = 0; ///< 0 for tier records
   int priority = 0;
   bool isTierRecord = false;
+  bool isRecoveryRecord = false;
   ScenarioState state = ScenarioState::kQueued;  ///< scenario records
   AdmissionTier tier = AdmissionTier::kAccept;   ///< tier records
+  std::uint64_t recoveredFromRound = 0;  ///< recovery records: last durable round
   std::string reason;  ///< deterministic transition text
 };
 
@@ -69,6 +74,24 @@ class ServiceLedger {
   /// serialized body. Throws (naming \p path and the failing offset) on
   /// truncation or corruption.
   static std::string loadSerialized(const std::string& path);
+
+  /// Size-capped segmented save for long-lived service runs, where one
+  /// monolithic ledger file grows unboundedly: serialize() is split at
+  /// record boundaries into `<basePath>.seg000`, `.seg001`, ... of at
+  /// most \p maxSegmentBytes of body each (a single record longer than
+  /// the cap still gets its own segment -- records are never split).
+  /// Every segment carries its own CRC integrity trailer, so corruption
+  /// is localized to one segment on re-read. Stale higher-numbered
+  /// segments from a previous longer save are removed. Returns the
+  /// number of segments written.
+  std::size_t saveSegmented(const std::string& basePath,
+                            std::size_t maxSegmentBytes) const;
+
+  /// Reads `<basePath>.seg000`... in order, verifying each segment's
+  /// trailer, and returns the concatenated body (== serialize() of the
+  /// saved ledger). Throws naming the failing segment on a missing
+  /// first segment, a gap, or a corrupt segment.
+  static std::string loadSegmentedSerialized(const std::string& basePath);
 
  private:
   std::vector<ServiceLedgerRecord> records_;

@@ -1,0 +1,103 @@
+#pragma once
+
+/// \file snapshot.h
+/// Epoch-boundary snapshots of the fleet engine's durable state. A
+/// snapshot is the *logical frontier* of the shard, not its heap: the
+/// scenario instances' internal simulation state (the full radar stack
+/// behind SpoofEpochRunner) is never serialized. Instead each slot is
+/// captured as its submission (text, seed, chaos script) plus its epoch
+/// position, and recovery *re-executes* in-flight scenarios forward to
+/// that position -- bit-identical, because every layer of the stack is
+/// deterministic for a fixed seed. That keeps snapshots small (kilobytes
+/// per scenario, independent of radar geometry), makes recovery cost
+/// proportional to active-set progress (bounded by maxActive x epochs,
+/// not fleet size), and reuses the simulation itself as the only codec
+/// the simulation state will ever need.
+///
+/// Snapshots persist through atomic_io's checked-write path with one
+/// generation of `.bak` rotation, driven through the injectable storage
+/// ops of journal.h so the crash harness can kill or corrupt any physical
+/// step. The journal rotates with the snapshot: snapshot generation G is
+/// followed by journal-G.wal, and journal-(G-1).wal is retained so a
+/// fallback to the `.bak` snapshot (generation G-1) still has its full
+/// journal tail to replay -- the rotation never creates a window where a
+/// readable snapshot lacks its journal.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/scenario_fault.h"
+#include "fault/storage_fault.h"
+#include "service/scenario_job.h"
+#include "service/service_config.h"
+#include "service/service_ledger.h"
+
+namespace rfp::service {
+
+/// One scenario slot as snapshotted: the submission (enough to rebuild
+/// the job bit-exactly), the lifecycle state, the epoch position, and the
+/// retained metrics history (the session-resume replay window).
+struct SlotSnapshot {
+  std::uint64_t id = 0;
+  std::string name;
+  int priority = 0;
+  std::uint64_t jobSeed = 1;
+  std::string scenarioText;
+  std::vector<fault::ScenarioFaultEvent> chaos;
+  ScenarioState state = ScenarioState::kQueued;
+  std::string reason;
+  std::uint64_t epochsDone = 0;
+  bool hasSummary = false;
+  ScenarioSummary summary{};
+  std::vector<EpochMetrics> history;  ///< capped at retainMetricsEpochs
+};
+
+/// The full durable engine state at one epoch-round boundary.
+struct EngineSnapshot {
+  std::uint64_t generation = 0;  ///< journal-<generation>.wal follows this
+  std::uint64_t round = 0;       ///< rounds completed when snapshotted
+  std::uint64_t nextId = 1;
+  AdmissionTier lastTier = AdmissionTier::kAccept;
+  std::uint64_t epochsRun = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t cancelled = 0;
+  std::vector<ServiceLedgerRecord> ledger;
+  std::vector<SlotSnapshot> active;   ///< id order
+  std::vector<SlotSnapshot> queue;    ///< admission order (FIFO authority)
+  std::vector<SlotSnapshot> archive;  ///< retirement order
+};
+
+/// Versioned body codec (the file-level CRC lives in the atomic_io
+/// integrity trailer). decode throws std::runtime_error on version or
+/// structure mismatch -- snapshot corruption must be loud.
+std::string encodeSnapshot(const EngineSnapshot& snapshot);
+EngineSnapshot decodeSnapshot(const std::string& body);
+
+/// `<dir>/snapshot.rfps` (plus `.bak` / `.tmp` derivatives).
+std::string snapshotPath(const std::string& dir);
+
+/// Persists \p snapshot with `.bak` rotation, every physical step (temp
+/// write, fsync, renames, directory syncs) routed through \p injector.
+/// Throws fault::StorageError on injected or real IO failure; the
+/// previous generation survives any single failure.
+void saveSnapshot(const std::string& dir, const EngineSnapshot& snapshot,
+                  fault::StorageFaultInjector* injector);
+
+/// How a snapshot load went.
+struct SnapshotLoadResult {
+  EngineSnapshot snapshot;
+  bool usedBackup = false;  ///< primary missing/corrupt; .bak restored
+  std::string detail;       ///< which generation loaded, and why
+};
+
+/// Loads the snapshot, falling back to `.bak` when the primary is missing
+/// or fails verification (fallback is *reported*, it implies the tail
+/// journal generation must also be replayed). Throws std::runtime_error
+/// when no generation verifies.
+SnapshotLoadResult loadSnapshot(const std::string& dir);
+
+}  // namespace rfp::service
