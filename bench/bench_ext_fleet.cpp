@@ -218,7 +218,8 @@ void writeJson(const std::vector<ScaleResult>& scales,
   bench::JsonWriter json;
   json.beginObject()
       .field("scenario", "fleet-home")
-      .field("smoke", smoke)
+      .field("smoke", smoke);
+  bench::stampKernelProvenance(json)
       .field("healthy_metrics_bit_identical", healthyIdentical)
       .field("service_ledger_deterministic", ledgerDeterministic)
       .beginArray("scales");

@@ -1,21 +1,27 @@
 /// \file bench_ext_gemm.cpp
-/// GEMM kernel and training-throughput benchmark (DESIGN.md Sec. 9):
+/// GEMM kernel and training-throughput benchmark (DESIGN.md Sec. 9, 13):
 ///
-///  1. Raw GFLOP/s of the tiled destination-passing kernel vs the
-///     seed-faithful naive reference across representative shapes (cubes,
-///     the GAN's tall-skinny products, a tile-edge case), with a bitwise
-///     equality check per shape -- the tiled kernel's contract is
-///     bit-identical output, not just "close".
+///  1. Raw GFLOP/s of the tiled destination-passing kernel at every ISA
+///     level this host supports (sse2 / avx2_fma / avx512, swept via
+///     setActiveKernelLevel) vs the seed-faithful naive reference, across
+///     representative shapes (cubes, the GAN's tall-skinny products, a
+///     tile-edge case). Each level's output is memcmp-checked against its
+///     scalar reference (referenceGemmForLevel) at 1/2/4 pool threads --
+///     the determinism contract is bit-identity within a level, not just
+///     "close".
 ///  2. End-to-end conditional-GAN training steps/sec with every matrix
 ///     product routed through the naive kernel vs the tiled kernel
 ///     (GemmKernel switch), verifying that per-batch losses and the final
-///     serialized network weights are bit-identical between kernels.
+///     serialized network weights are bit-identical between kernels. This
+///     comparison is an sse2-level claim (the naive kernel has no FMA
+///     variant), so the level is pinned to sse2 for parts 2 and 3.
 ///  3. The tiled kernel at 1/2/4 pool threads: steps/sec plus bit-identity
 ///     of the final weights against the single-thread run (parallel GEMM
 ///     splits only M, so the per-element accumulation order never changes).
 ///
-/// Emits `BENCH_gemm.json` (methodology in EXPERIMENTS.md). `--smoke` is
-/// the CI variant: tiny shapes/step counts and a non-zero exit if any
+/// Emits `BENCH_gemm.json` with the active kernel level and detected CPU
+/// feature flags (methodology in EXPERIMENTS.md). `--smoke` is the CI
+/// variant: tiny shapes/step counts and a non-zero exit if any
 /// bit-identity check fails.
 
 #include <benchmark/benchmark.h>
@@ -54,31 +60,34 @@ bool bitIdentical(const Matrix& a, const Matrix& b) {
 }
 
 // ---------------------------------------------------------------------------
-// Part 1: raw kernel GFLOP/s
+// Part 1: raw kernel GFLOP/s, swept over the dispatched ISA levels
 // ---------------------------------------------------------------------------
 
 struct ShapeResult {
   std::size_t m, k, n;
   double gflopsTiled = 0.0;
   double gflopsNaive = 0.0;
-  bool bitExact = false;
+  bool bitExact = false;  ///< memcmp vs the level's scalar reference, 1/2/4 threads
 };
 
-double timeGemm(void (*kernel)(Matrix&, const Matrix&, const Matrix&, bool,
-                               bool, double, double),
-                Matrix& c, const Matrix& a, const Matrix& b,
+template <typename Kernel>
+double timeGemm(Kernel&& kernel, Matrix& c, const Matrix& a, const Matrix& b,
                 std::size_t reps) {
-  kernel(c, a, b, false, false, 1.0, 0.0);  // warm-up (sizes buffers)
+  kernel(c, a, b);  // warm-up (sizes buffers)
   bench::WallTimer timer;
   for (std::size_t r = 0; r < reps; ++r) {
-    kernel(c, a, b, false, false, 1.0, 0.0);
+    kernel(c, a, b);
     benchmark::DoNotOptimize(c.data().data());
   }
   return timer.elapsedS();
 }
 
-ShapeResult benchShape(std::size_t m, std::size_t k, std::size_t n,
-                       bool smoke) {
+/// Times linalg::gemm at the *currently active* kernel level and checks the
+/// level's bit-identity contract: memcmp equality against
+/// referenceGemmForLevel(level) at 1, 2, and 4 pool threads. GFLOP/s is
+/// measured single-thread.
+ShapeResult benchShape(common::simd::KernelLevel level, std::size_t m,
+                       std::size_t k, std::size_t n, bool smoke) {
   common::Rng rng(99);
   const Matrix a = randomMatrix(m, k, rng);
   const Matrix b = randomMatrix(k, n, rng);
@@ -93,12 +102,31 @@ ShapeResult benchShape(std::size_t m, std::size_t k, std::size_t n,
   res.k = k;
   res.n = n;
 
+  common::ThreadPool::setGlobalThreads(1);  // single-thread kernel numbers
   Matrix cTiled, cNaive;
-  const double tTiled = timeGemm(&linalg::gemm, cTiled, a, b, reps);
-  const double tNaive = timeGemm(&linalg::referenceGemm, cNaive, a, b, reps);
+  const double tTiled = timeGemm(
+      [](Matrix& c, const Matrix& x, const Matrix& y) {
+        linalg::gemm(c, x, y);
+      },
+      cTiled, a, b, reps);
+  const double tNaive = timeGemm(
+      [](Matrix& c, const Matrix& x, const Matrix& y) {
+        linalg::referenceGemm(c, x, y);
+      },
+      cNaive, a, b, reps);
   res.gflopsTiled = flopsPerCall * static_cast<double>(reps) / tTiled / 1.0e9;
   res.gflopsNaive = flopsPerCall * static_cast<double>(reps) / tNaive / 1.0e9;
-  res.bitExact = bitIdentical(cTiled, cNaive);
+
+  Matrix ref;
+  linalg::referenceGemmForLevel(level, ref, a, b);
+  res.bitExact = true;
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    common::ThreadPool::setGlobalThreads(threads);
+    Matrix c;
+    linalg::gemm(c, a, b);
+    res.bitExact = res.bitExact && bitIdentical(c, ref);
+  }
+  common::ThreadPool::setGlobalThreads(0);
   return res;
 }
 
@@ -166,16 +194,26 @@ bool lossesIdentical(const GanRunResult& a, const GanRunResult& b) {
                      a.gLosses.size() * sizeof(double)) == 0;
 }
 
+/// Per-ISA-level slice of the part-1 sweep.
+struct LevelResult {
+  common::simd::KernelLevel level;
+  std::size_t mr = 0, nr = 0;  ///< micro-tile extents at this level
+  std::vector<ShapeResult> shapes;
+  /// Geometric mean of tiled GFLOP/s across shapes; what the avx2-vs-sse2
+  /// speedup acceptance bound is computed from.
+  double meanGflops = 0.0;
+};
+
 int runGemmBench(bool smoke) {
   bench::printHeader(
-      "GEMM -- tiled kernel GFLOP/s and GAN training steps/sec vs the seed "
-      "kernel");
+      "GEMM -- per-ISA-level kernel GFLOP/s and GAN training steps/sec vs "
+      "the seed kernel");
 
   bool allExact = true;
 
-  // Part 1: raw kernel throughput. Shapes: cubes, the GAN's tall-skinny
-  // LSTM/FC products (M = batch*T), and a deliberately tile-unaligned edge
-  // case.
+  // Part 1: raw kernel throughput per dispatched ISA level. Shapes: cubes,
+  // the GAN's tall-skinny LSTM/FC products (M = batch*T), and a
+  // deliberately tile-unaligned edge case.
   const std::vector<std::array<std::size_t, 3>> shapes =
       smoke ? std::vector<std::array<std::size_t, 3>>{{64, 64, 64},
                                                       {33, 17, 29}}
@@ -183,19 +221,48 @@ int runGemmBench(bool smoke) {
                                                       {256, 256, 256},
                                                       {784, 40, 128},
                                                       {33, 17, 29}};
-  common::ThreadPool::setGlobalThreads(1);  // single-thread kernel numbers
-  std::vector<ShapeResult> shapeResults;
-  for (const auto& s : shapes) {
-    const ShapeResult r = benchShape(s[0], s[1], s[2], smoke);
-    shapeResults.push_back(r);
-    allExact = allExact && r.bitExact;
-    std::printf(
-        "  gemm %4zux%4zux%4zu : tiled %7.2f GFLOP/s  naive %7.2f GFLOP/s  "
-        "(%4.1fx)  %s\n",
-        r.m, r.k, r.n, r.gflopsTiled, r.gflopsNaive,
-        r.gflopsTiled / r.gflopsNaive, r.bitExact ? "bit-exact" : "MISMATCH");
+  const common::simd::KernelLevel prevLevel =
+      common::simd::activeKernelLevel();
+  std::vector<LevelResult> levelResults;
+  for (const linalg::GemmLevelInfo& info : linalg::availableGemmLevels()) {
+    common::simd::setActiveKernelLevel(info.level);
+    LevelResult lr;
+    lr.level = info.level;
+    lr.mr = info.mr;
+    lr.nr = info.nr;
+    double logSum = 0.0;
+    for (const auto& s : shapes) {
+      const ShapeResult r = benchShape(info.level, s[0], s[1], s[2], smoke);
+      lr.shapes.push_back(r);
+      logSum += std::log(r.gflopsTiled);
+      allExact = allExact && r.bitExact;
+      std::printf(
+          "  gemm[%-8s] %4zux%4zux%4zu : tiled %7.2f GFLOP/s  naive %7.2f "
+          "GFLOP/s  (%4.1fx)  %s\n",
+          common::simd::kernelLevelName(info.level), r.m, r.k, r.n,
+          r.gflopsTiled, r.gflopsNaive, r.gflopsTiled / r.gflopsNaive,
+          r.bitExact ? "bit-exact" : "MISMATCH");
+    }
+    lr.meanGflops = std::exp(logSum / static_cast<double>(lr.shapes.size()));
+    levelResults.push_back(std::move(lr));
   }
-  common::ThreadPool::setGlobalThreads(0);
+  common::simd::setActiveKernelLevel(prevLevel);
+
+  // Acceptance bound (ISSUE 9): on an AVX2+FMA host the avx2_fma level
+  // must deliver >= 2x the sse2 level's GFLOP/s (geomean across shapes).
+  double fmaSpeedup = 0.0;
+  for (const LevelResult& lr : levelResults) {
+    if (lr.level == common::simd::KernelLevel::kAvx2Fma) {
+      fmaSpeedup = lr.meanGflops / levelResults.front().meanGflops;
+      std::printf("  avx2_fma vs sse2 geomean speedup: %.2fx%s\n", fmaSpeedup,
+                  fmaSpeedup >= 2.0 ? "" : "  (below the 2x target)");
+    }
+  }
+
+  // Parts 2 and 3 compare against the naive seed kernel, which exists only
+  // in the sse2 numeric regime -- pin the level so the bit-identity checks
+  // are meaningful regardless of the host's auto-dispatched level.
+  common::simd::setActiveKernelLevel(common::simd::KernelLevel::kSse2);
 
   // Part 2: end-to-end GAN training, naive vs tiled kernels, 1 thread.
   trajectory::HumanWalkModel walker;
@@ -238,25 +305,42 @@ int runGemmBench(bool smoke) {
                 exact ? "bit-identical" : "MISMATCH");
   }
 
+  common::simd::setActiveKernelLevel(prevLevel);
+
   bench::JsonWriter json;
   json.beginObject()
       .field("bench", "gemm")
       .field("smoke", smoke)
-      .field("hardware_concurrency", std::thread::hardware_concurrency())
-      .beginArray("shapes");
-  for (const ShapeResult& r : shapeResults) {
+      .field("hardware_concurrency", std::thread::hardware_concurrency());
+  bench::stampKernelProvenance(json).beginArray("levels");
+  for (const LevelResult& lr : levelResults) {
     json.beginObject()
-        .field("m", r.m)
-        .field("k", r.k)
-        .field("n", r.n)
-        .field("gflops_tiled", r.gflopsTiled)
-        .field("gflops_naive", r.gflopsNaive)
-        .field("speedup", r.gflopsTiled / r.gflopsNaive)
-        .field("bit_exact", r.bitExact)
-        .endObject();
+        .field("level", common::simd::kernelLevelName(lr.level))
+        .field("micro_tile_mr", lr.mr)
+        .field("micro_tile_nr", lr.nr)
+        .field("geomean_gflops", lr.meanGflops)
+        .beginArray("shapes");
+    for (const ShapeResult& r : lr.shapes) {
+      json.beginObject()
+          .field("m", r.m)
+          .field("k", r.k)
+          .field("n", r.n)
+          .field("gflops_tiled", r.gflopsTiled)
+          .field("gflops_naive", r.gflopsNaive)
+          .field("speedup", r.gflopsTiled / r.gflopsNaive)
+          .field("bit_exact_threads_1_2_4", r.bitExact)
+          .endObject();
+    }
+    json.endArray().endObject();
   }
-  json.endArray()
-      .beginObject("gan_training")
+  json.endArray();
+  if (fmaSpeedup > 0.0) {
+    json.field("avx2_fma_vs_sse2_geomean_speedup", fmaSpeedup);
+  } else {
+    json.nullField("avx2_fma_vs_sse2_geomean_speedup");
+  }
+  json.beginObject("gan_training")
+      .field("kernel_level", "sse2")
       .field("steps", tiled.steps)
       .field("batch_size", 16)
       .field("naive_steps_per_sec", naive.stepsPerSec)

@@ -1,0 +1,250 @@
+/// \file bench_ext_kernels.cpp
+/// Sweep of the cpuid-dispatched SIMD kernel family (DESIGN.md Sec. 13):
+/// for every ISA level this host can execute (sse2 / avx2_fma / avx512,
+/// forced via setActiveKernelLevel) it measures
+///
+///   - GEMM GFLOP/s of the tiled kernel (single thread, one cube and one
+///     GAN-shaped product),
+///   - range-FFT transforms/s (the butterfly kernel family),
+///   - end-to-end radar frames/s (Frontend::synthesize + Processor::process,
+///     i.e. the tone-synthesis and Eq. 2 beamforming kernels together),
+///   - end-to-end conditional-GAN training steps/s,
+///
+/// and re-checks each level's bit-identity contract (gemm output
+/// memcmp-equal to referenceGemmForLevel) so the sweep doubles as a
+/// cheap determinism gate. Emits `BENCH_kernels.json` with the detected
+/// CPU feature flags; on a host without AVX2+FMA only the sse2 row is
+/// produced (the JSON records that explicitly so results from such a box
+/// are not misread as a regression). `--smoke` is the CI variant: tiny
+/// workloads, non-zero exit if any bit-identity check fails.
+
+#include <benchmark/benchmark.h>
+
+#include <complex>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "env/scatterer.h"
+#include "gan/trajectory_gan.h"
+#include "linalg/gemm.h"
+#include "linalg/matrix.h"
+#include "radar/frontend.h"
+#include "radar/processor.h"
+#include "signal/fft.h"
+#include "trajectory/human_walk.h"
+
+namespace {
+
+using namespace rfp;
+using common::simd::KernelLevel;
+using linalg::Matrix;
+
+Matrix randomMatrix(std::size_t rows, std::size_t cols, common::Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+/// One measured row of the sweep (all at the forced kernel level).
+struct LevelRow {
+  KernelLevel level;
+  double gemmGflopsCube = 0.0;    ///< 256^3 (smoke: 64^3), 1 thread
+  double gemmGflopsGan = 0.0;     ///< 784x40x128 tall-skinny, 1 thread
+  double fftTransformsPerSec = 0.0;
+  double radarFramesPerSec = 0.0;
+  double ganStepsPerSec = 0.0;
+  bool gemmBitExact = false;  ///< memcmp vs referenceGemmForLevel
+};
+
+double gemmGflops(std::size_t m, std::size_t k, std::size_t n, bool smoke,
+                  bool* bitExact) {
+  common::Rng rng(17);
+  const Matrix a = randomMatrix(m, k, rng);
+  const Matrix b = randomMatrix(k, n, rng);
+  const double flopsPerCall = 2.0 * static_cast<double>(m) *
+                              static_cast<double>(k) * static_cast<double>(n);
+  const auto reps = static_cast<std::size_t>(
+      std::max(1.0, (smoke ? 2.0e7 : 4.0e8) / flopsPerCall));
+
+  Matrix c;
+  linalg::gemm(c, a, b);  // warm-up (sizes buffers)
+  bench::WallTimer timer;
+  for (std::size_t r = 0; r < reps; ++r) {
+    linalg::gemm(c, a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  const double seconds = timer.elapsedS();
+
+  if (bitExact != nullptr) {
+    Matrix ref;
+    linalg::referenceGemmForLevel(common::simd::activeKernelLevel(), ref, a,
+                                  b);
+    *bitExact = c.rows() == ref.rows() && c.cols() == ref.cols() &&
+                std::memcmp(c.data().data(), ref.data().data(),
+                            ref.data().size() * sizeof(double)) == 0;
+  }
+  return flopsPerCall * static_cast<double>(reps) / seconds / 1.0e9;
+}
+
+double fftThroughput(bool smoke) {
+  const std::size_t n = smoke ? 256 : 1024;
+  const std::size_t reps = smoke ? 200 : 2000;
+  common::Rng rng(23);
+  std::vector<signal::Complex> base(n);
+  for (auto& v : base) v = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+
+  std::vector<signal::Complex> data = base;
+  signal::fftInPlace(data);  // warm-up (twiddle cache)
+  bench::WallTimer timer;
+  for (std::size_t r = 0; r < reps; ++r) {
+    data = base;
+    signal::fftInPlace(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  return static_cast<double>(reps) / timer.elapsedS();
+}
+
+double radarThroughput(bool smoke) {
+  radar::RadarConfig cfg;
+  cfg.position = {5.0, 0.05};
+  cfg.noisePower = 1e-6;
+  const radar::Frontend frontend(cfg);
+  const radar::Processor processor(cfg);
+  std::vector<env::PointScatterer> scatterers(2);
+  scatterers[0].position = cfg.position + common::Vec2{0.3, 3.0};
+  scatterers[1].position = cfg.position + common::Vec2{-1.0, 5.5};
+  scatterers[1].amplitude = 0.6;
+
+  const std::size_t frames = smoke ? 4 : 40;
+  // Warm-up primes the steering/twiddle caches and the thread pool.
+  processor.process(frontend.synthesize(scatterers, 0.0, 99, 0));
+  bench::WallTimer timer;
+  for (std::size_t f = 0; f < frames; ++f) {
+    const radar::Frame frame =
+        frontend.synthesize(scatterers, 0.02 * static_cast<double>(f), 99,
+                            static_cast<std::uint64_t>(f));
+    const radar::RangeAngleMap map = processor.process(frame);
+    benchmark::DoNotOptimize(map.power.data());
+  }
+  return static_cast<double>(frames) / timer.elapsedS();
+}
+
+double ganThroughput(const std::vector<trajectory::Trace>& dataset,
+                     bool smoke) {
+  common::Rng rng(7);
+  gan::GanTrainingConfig tc;
+  tc.batchSize = 16;
+  tc.epochs = 100000;  // the step budget below is the actual limit
+  gan::TrajectoryGan gan(bench::benchGeneratorConfig(),
+                         bench::benchDiscriminatorConfig(), tc, rng);
+  gan::TrainingSession session(gan, dataset, rng);
+
+  const std::size_t numSteps = smoke ? 2 : 12;
+  std::size_t steps = 0;
+  bench::WallTimer timer;
+  while (steps < numSteps) {
+    const auto ev = session.advance();
+    if (ev.type == gan::TrainingSession::Event::Type::kDone) break;
+    if (ev.type == gan::TrainingSession::Event::Type::kBatch) ++steps;
+  }
+  return static_cast<double>(steps) / timer.elapsedS();
+}
+
+int runKernelSweep(bool smoke) {
+  bench::printHeader(
+      "SIMD kernel sweep -- GEMM / FFT / radar / GAN throughput per ISA "
+      "level");
+  std::printf("  cpu features: %s\n",
+              common::simd::cpuFeatureString().c_str());
+
+  const std::vector<KernelLevel> levels = common::simd::availableKernelLevels();
+  const bool fmaAvailable =
+      levels.back() != KernelLevel::kSse2;
+  if (!fmaAvailable) {
+    std::printf(
+        "  NOTE: this host lacks AVX2+FMA; only the sse2 baseline row is "
+        "measured.\n");
+  }
+
+  trajectory::HumanWalkModel walker;
+  common::Rng dataRng(42);
+  const auto dataset = walker.dataset(smoke ? 32 : 96, dataRng);
+
+  const KernelLevel prevLevel = common::simd::activeKernelLevel();
+  bool allExact = true;
+  std::vector<LevelRow> rows;
+  for (KernelLevel level : levels) {
+    common::simd::setActiveKernelLevel(level);
+    LevelRow row;
+    row.level = level;
+
+    common::ThreadPool::setGlobalThreads(1);
+    bool cubeExact = false, ganShapeExact = false;
+    if (smoke) {
+      row.gemmGflopsCube = gemmGflops(64, 64, 64, smoke, &cubeExact);
+      row.gemmGflopsGan = gemmGflops(33, 17, 29, smoke, &ganShapeExact);
+    } else {
+      row.gemmGflopsCube = gemmGflops(256, 256, 256, smoke, &cubeExact);
+      row.gemmGflopsGan = gemmGflops(784, 40, 128, smoke, &ganShapeExact);
+    }
+    row.gemmBitExact = cubeExact && ganShapeExact;
+    allExact = allExact && row.gemmBitExact;
+    row.fftTransformsPerSec = fftThroughput(smoke);
+    common::ThreadPool::setGlobalThreads(0);  // end-to-end uses the full pool
+    row.radarFramesPerSec = radarThroughput(smoke);
+    row.ganStepsPerSec = ganThroughput(dataset, smoke);
+    rows.push_back(row);
+
+    std::printf(
+        "  %-8s : gemm %7.2f / %7.2f GFLOP/s  fft %8.0f /s  radar %6.1f "
+        "frames/s  gan %5.2f steps/s  %s\n",
+        common::simd::kernelLevelName(level), row.gemmGflopsCube,
+        row.gemmGflopsGan, row.fftTransformsPerSec, row.radarFramesPerSec,
+        row.ganStepsPerSec, row.gemmBitExact ? "bit-exact" : "MISMATCH");
+  }
+  common::simd::setActiveKernelLevel(prevLevel);
+
+  bench::JsonWriter json;
+  json.beginObject()
+      .field("bench", "kernels")
+      .field("smoke", smoke)
+      .field("hardware_concurrency", std::thread::hardware_concurrency());
+  bench::stampKernelProvenance(json)
+      .field("avx2_fma_available", fmaAvailable)
+      .beginArray("levels");
+  for (const LevelRow& row : rows) {
+    json.beginObject()
+        .field("level", common::simd::kernelLevelName(row.level))
+        .field("gemm_gflops_cube", row.gemmGflopsCube)
+        .field("gemm_gflops_gan_shape", row.gemmGflopsGan)
+        .field("fft_transforms_per_sec", row.fftTransformsPerSec)
+        .field("radar_frames_per_sec", row.radarFramesPerSec)
+        .field("gan_steps_per_sec", row.ganStepsPerSec)
+        .field("gemm_bit_exact", row.gemmBitExact)
+        .endObject();
+  }
+  json.endArray().field("all_bit_exact", allExact).endObject();
+  if (json.writeFile("BENCH_kernels.json")) {
+    std::printf("  wrote BENCH_kernels.json\n");
+  }
+
+  if (!allExact) {
+    std::fprintf(stderr,
+                 "FAIL: a kernel level diverged from its scalar reference\n");
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  return runKernelSweep(smoke);
+}

@@ -194,7 +194,8 @@ void writeJson(const std::vector<CaseResult>& cases, bool smoke,
   bench::JsonWriter json;
   json.beginObject()
       .field("scenario", "home")
-      .field("smoke", smoke)
+      .field("smoke", smoke);
+  bench::stampKernelProvenance(json)
       .field("match_radius_m", 1.0)
       .field("failover_ledger_deterministic", ledgerDeterministic)
       .beginArray("cases");

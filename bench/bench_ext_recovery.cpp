@@ -194,7 +194,8 @@ void writeJson(const std::vector<ScaleResult>& scales, bool smoke) {
   bench::JsonWriter json;
   json.beginObject()
       .field("scenario", "recovery-home")
-      .field("smoke", smoke)
+      .field("smoke", smoke);
+  bench::stampKernelProvenance(json)
       .beginArray("scales");
   for (const ScaleResult& s : scales) {
     json.beginObject()

@@ -162,7 +162,8 @@ int runScaling(bool smoke) {
       .field("bench", "scaling")
       .field("scenario", "fig9-office-localization")
       .field("smoke", smoke)
-      .field("hardware_concurrency", std::thread::hardware_concurrency())
+      .field("hardware_concurrency", std::thread::hardware_concurrency());
+  bench::stampKernelProvenance(json)
       .field("timed_frames", timedFrames)
       .field("checked_frames", checkedFrames)
       .beginArray("results");

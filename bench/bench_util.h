@@ -20,6 +20,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/cpuid.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "gan/trajectory_gan.h"
@@ -169,6 +170,19 @@ class JsonWriter {
   std::string out_;
   std::vector<char> firstAtDepth_;  ///< "no items emitted yet" per level
 };
+
+/// Stamps the standard SIMD-kernel provenance fields into a bench JSON
+/// object (DESIGN.md Sec. 13): the active dispatched kernel level and the
+/// host's detected CPU feature flags. Every BENCH_*.json carries these so
+/// numbers can be interpreted against the level/box that produced them.
+/// Call inside an open object.
+inline JsonWriter& stampKernelProvenance(JsonWriter& json) {
+  json.field("kernel_level",
+             rfp::common::simd::kernelLevelName(
+                 rfp::common::simd::activeKernelLevel()))
+      .field("cpu_features", rfp::common::simd::cpuFeatureString());
+  return json;
+}
 
 /// Prints the standard percentile summary used for the Fig. 11 CDFs.
 inline void printErrorSummary(const std::string& label,

@@ -1,0 +1,35 @@
+#pragma once
+
+/// \file fma_complex.h
+/// The one complex-multiply rounding pattern every FMA-level SIMD kernel
+/// in this repo uses, as a portable scalar function. This is the numeric
+/// *specification* of the kAvx2Fma/kAvx512 regime (DESIGN.md Sec. 13):
+/// the vector kernels implement exactly this sequence with
+/// vfmaddsub/vfmadd instructions, and the per-level scalar references
+/// test_kernels memcmps against are built from this helper, so
+/// "bit-identical to its scalar reference" is a meaningful contract at
+/// every ISA level.
+///
+/// Pattern (the x86 fmaddsub idiom: broadcast w.re, fuse it against v,
+/// add/sub the separately rounded cross product):
+///
+///   re = fma(v.re, w.re, -(v.im * w.im))   // one rounding for the fused
+///   im = fma(v.im, w.re, +(v.re * w.im))   // term, one for the cross mul
+///
+/// versus the strict std::complex product, which rounds all four partial
+/// products before combining. Negation is exact, so the even/odd
+/// add-sub lanes match the signs above exactly.
+
+#include <cmath>
+#include <complex>
+
+namespace rfp::common::simd {
+
+/// v * w in the FMA-regime rounding pattern (see file comment).
+inline std::complex<double> fmaComplexMul(std::complex<double> v,
+                                          std::complex<double> w) {
+  return {std::fma(v.real(), w.real(), -(v.imag() * w.imag())),
+          std::fma(v.imag(), w.real(), v.real() * w.imag())};
+}
+
+}  // namespace rfp::common::simd

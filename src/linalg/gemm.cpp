@@ -2,21 +2,20 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 #include <vector>
 
+#include "common/cpuid.h"
 #include "common/thread_pool.h"
+#include "linalg/gemm_kernels.h"
 
 namespace rfp::linalg {
 
-namespace {
+using rfp::common::simd::KernelLevel;
 
-// Micro-tile extents. 4x4 doubles = 16 register accumulators: small enough
-// for the SSE2 baseline register file, large enough to amortize the A/B
-// panel loads (each loaded value feeds 4 multiply-adds).
-constexpr std::size_t kMR = 4;
-constexpr std::size_t kNR = 4;
+namespace {
 
 // Parallelize only when the arithmetic dwarfs the fork/join cost. Purely a
 // performance threshold: the inline and pooled paths produce identical bits.
@@ -24,11 +23,35 @@ constexpr std::size_t kParallelFlops = 1u << 18;
 
 std::atomic<int> g_kernel{static_cast<int>(GemmKernel::kTiled)};
 
+/// The dispatch registry row tiledGemm runs with: the level's micro-tile
+/// extents (which fix the packing strides) and its kernel function.
+struct MicroKernelEntry {
+  GemmLevelInfo info;
+  detail::MicroKernelFn fn = nullptr;
+};
+
+/// Registry keyed by KernelLevel. The SSE2 baseline is always present;
+/// the vector rows exist only in x86 builds and are runtime-gated by
+/// cpuid before selection.
+MicroKernelEntry microKernelForLevel(KernelLevel level) {
+#if defined(RFP_X86_KERNELS)
+  switch (level) {
+    case KernelLevel::kAvx512:
+      return {{KernelLevel::kAvx512, 8, 8}, &detail::microKernelAvx512};
+    case KernelLevel::kAvx2Fma:
+      return {{KernelLevel::kAvx2Fma, 4, 4}, &detail::microKernelAvx2};
+    case KernelLevel::kSse2:
+      break;
+  }
+#endif
+  return {{KernelLevel::kSse2, 4, 4}, &detail::microKernelSse2};
+}
+
 /// N-dimension block size: how many output columns share one packed B
-/// panel. Tunable via RFP_GEMM_NC (rounded up to a multiple of the 4-wide
-/// micro-tile, clamped to [4, 8192]); perf-only, never affects results.
-std::size_t resolveNc() {
-  static const std::size_t nc = [] {
+/// panel. Tunable via RFP_GEMM_NC (rounded up to a multiple of the active
+/// level's nr, clamped to [nr, 8192]); perf-only, never affects results.
+std::size_t resolveNc(std::size_t nrMax) {
+  static const std::size_t raw = [] {
     std::size_t v = 256;
     if (const char* env = std::getenv("RFP_GEMM_NC")) {
       char* end = nullptr;
@@ -37,93 +60,61 @@ std::size_t resolveNc() {
         v = static_cast<std::size_t>(parsed);
       }
     }
-    v = ((v + kNR - 1) / kNR) * kNR;
-    return std::clamp<std::size_t>(v, kNR, 8192);
+    return std::min<std::size_t>(v, 8192);
   }();
-  return nc;
+  const std::size_t rounded = ((raw + nrMax - 1) / nrMax) * nrMax;
+  return std::clamp<std::size_t>(rounded, nrMax, 8192);
 }
 
-/// Packs op(A) rows [i0, i0+mr) into ap as K consecutive kMR-wide column
-/// slivers: ap[k * kMR + ir] = op(A)(i0 + ir, k). Lanes ir >= mr are
+/// Packs op(A) rows [i0, i0+mr) into ap as K consecutive mrMax-wide column
+/// slivers: ap[k * mrMax + ir] = op(A)(i0 + ir, k). Lanes ir >= mr are
 /// zeroed; they feed accumulators that are never written back.
 void packA(std::vector<double>& ap, const Matrix& a, bool transA,
-           std::size_t i0, std::size_t mr, std::size_t kDim) {
-  if (ap.size() < kDim * kMR) ap.resize(kDim * kMR);
+           std::size_t i0, std::size_t mr, std::size_t kDim,
+           std::size_t mrMax) {
+  if (ap.size() < kDim * mrMax) ap.resize(kDim * mrMax);
   double* dst = ap.data();
-  if (mr < kMR) std::fill(dst, dst + kDim * kMR, 0.0);
+  if (mr < mrMax) std::fill(dst, dst + kDim * mrMax, 0.0);
   if (!transA) {
     const std::size_t lda = a.cols();
     const double* base = a.data().data();
     for (std::size_t ir = 0; ir < mr; ++ir) {
       const double* src = base + (i0 + ir) * lda;
-      for (std::size_t k = 0; k < kDim; ++k) dst[k * kMR + ir] = src[k];
+      for (std::size_t k = 0; k < kDim; ++k) dst[k * mrMax + ir] = src[k];
     }
   } else {
     const std::size_t lda = a.cols();
     const double* base = a.data().data();
     for (std::size_t k = 0; k < kDim; ++k) {
       const double* src = base + k * lda + i0;
-      for (std::size_t ir = 0; ir < mr; ++ir) dst[k * kMR + ir] = src[ir];
+      for (std::size_t ir = 0; ir < mr; ++ir) dst[k * mrMax + ir] = src[ir];
     }
   }
 }
 
-/// Packs op(B) columns [j0, j0+jb) into bp as ceil(jb/kNR) panels, each K
-/// consecutive kNR-wide row slivers: bp[(jp * K + k) * kNR + jr] =
-/// op(B)(k, j0 + jp * kNR + jr). Edge lanes are zeroed.
+/// Packs op(B) columns [j0, j0+jb) into bp as ceil(jb/nrMax) panels, each K
+/// consecutive nrMax-wide row slivers: bp[(jp * K + k) * nrMax + jr] =
+/// op(B)(k, j0 + jp * nrMax + jr). Edge lanes are zeroed.
 void packB(std::vector<double>& bp, const Matrix& b, bool transB,
-           std::size_t j0, std::size_t jb, std::size_t kDim) {
-  const std::size_t panels = (jb + kNR - 1) / kNR;
-  if (bp.size() < panels * kDim * kNR) bp.resize(panels * kDim * kNR);
+           std::size_t j0, std::size_t jb, std::size_t kDim,
+           std::size_t nrMax) {
+  const std::size_t panels = (jb + nrMax - 1) / nrMax;
+  if (bp.size() < panels * kDim * nrMax) bp.resize(panels * kDim * nrMax);
   const std::size_t ldb = b.cols();
   const double* base = b.data().data();
   for (std::size_t jp = 0; jp < panels; ++jp) {
-    double* dst = bp.data() + jp * kDim * kNR;
-    const std::size_t nr = std::min(kNR, jb - jp * kNR);
-    if (nr < kNR) std::fill(dst, dst + kDim * kNR, 0.0);
+    double* dst = bp.data() + jp * kDim * nrMax;
+    const std::size_t nr = std::min(nrMax, jb - jp * nrMax);
+    if (nr < nrMax) std::fill(dst, dst + kDim * nrMax, 0.0);
     if (!transB) {
       for (std::size_t k = 0; k < kDim; ++k) {
-        const double* src = base + k * ldb + j0 + jp * kNR;
-        for (std::size_t jr = 0; jr < nr; ++jr) dst[k * kNR + jr] = src[jr];
+        const double* src = base + k * ldb + j0 + jp * nrMax;
+        for (std::size_t jr = 0; jr < nr; ++jr) dst[k * nrMax + jr] = src[jr];
       }
     } else {
       for (std::size_t jr = 0; jr < nr; ++jr) {
-        const double* src = base + (j0 + jp * kNR + jr) * ldb;
-        for (std::size_t k = 0; k < kDim; ++k) dst[k * kNR + jr] = src[k];
-      }
-    }
-  }
-}
-
-/// mr x nr micro-tile: full-K register accumulation (k ascending, one
-/// accumulator per element -- the determinism-critical property), then a
-/// single `+= alpha * acc` store. Inner loops run the full kMR x kNR tile
-/// so the compiler can keep acc in registers and vectorize; padded lanes
-/// only feed accumulators that are never stored.
-void microKernel(double* c, std::size_t ldc, const double* ap,
-                 const double* bp, std::size_t kDim, std::size_t mr,
-                 std::size_t nr, double alpha) {
-  double acc[kMR][kNR] = {};
-  for (std::size_t k = 0; k < kDim; ++k) {
-    const double* arow = ap + k * kMR;
-    const double* brow = bp + k * kNR;
-    for (std::size_t ir = 0; ir < kMR; ++ir) {
-      const double av = arow[ir];
-      for (std::size_t jr = 0; jr < kNR; ++jr) {
-        acc[ir][jr] += av * brow[jr];
-      }
-    }
-  }
-  if (alpha == 1.0) {
-    for (std::size_t ir = 0; ir < mr; ++ir) {
-      for (std::size_t jr = 0; jr < nr; ++jr) {
-        c[ir * ldc + jr] += acc[ir][jr];
-      }
-    }
-  } else {
-    for (std::size_t ir = 0; ir < mr; ++ir) {
-      for (std::size_t jr = 0; jr < nr; ++jr) {
-        c[ir * ldc + jr] += alpha * acc[ir][jr];
+        const double* src = base + (j0 + jp * nrMax + jr) * ldb;
+        for (std::size_t k = 0; k < kDim; ++k) dst[k * nrMax + jr] = src[k];
       }
     }
   }
@@ -136,16 +127,18 @@ thread_local std::vector<double> tlsAPack;
 thread_local std::vector<double> tlsBPack;
 
 void tiledGemm(Matrix& c, const Matrix& a, const Matrix& b, bool transA,
-               bool transB, double alpha) {
+               bool transB, double alpha, const MicroKernelEntry& kernel) {
   const std::size_t m = c.rows();
   const std::size_t n = c.cols();
   const std::size_t kDim = transA ? a.rows() : a.cols();
   if (m == 0 || n == 0) return;
 
+  const std::size_t mrMax = kernel.info.mr;
+  const std::size_t nrMax = kernel.info.nr;
   const std::size_t ldc = n;
   double* cBase = c.data().data();
-  const std::size_t rowPanels = (m + kMR - 1) / kMR;
-  const std::size_t nc = resolveNc();
+  const std::size_t rowPanels = (m + mrMax - 1) / mrMax;
+  const std::size_t nc = resolveNc(nrMax);
 
   auto& pool = common::ThreadPool::global();
   const bool parallel =
@@ -153,19 +146,19 @@ void tiledGemm(Matrix& c, const Matrix& a, const Matrix& b, bool transA,
 
   for (std::size_t j0 = 0; j0 < n; j0 += nc) {
     const std::size_t jb = std::min(nc, n - j0);
-    packB(tlsBPack, b, transB, j0, jb, kDim);
+    packB(tlsBPack, b, transB, j0, jb, kDim, nrMax);
     const double* bPack = tlsBPack.data();
-    const std::size_t colPanels = (jb + kNR - 1) / kNR;
+    const std::size_t colPanels = (jb + nrMax - 1) / nrMax;
 
     auto rowPanel = [&](std::size_t p) {
-      const std::size_t i0 = p * kMR;
-      const std::size_t mr = std::min(kMR, m - i0);
-      packA(tlsAPack, a, transA, i0, mr, kDim);
+      const std::size_t i0 = p * mrMax;
+      const std::size_t mr = std::min(mrMax, m - i0);
+      packA(tlsAPack, a, transA, i0, mr, kDim, mrMax);
       const double* aPack = tlsAPack.data();
       for (std::size_t jp = 0; jp < colPanels; ++jp) {
-        const std::size_t nr = std::min(kNR, jb - jp * kNR);
-        microKernel(cBase + i0 * ldc + j0 + jp * kNR, ldc, aPack,
-                    bPack + jp * kDim * kNR, kDim, mr, nr, alpha);
+        const std::size_t nr = std::min(nrMax, jb - jp * nrMax);
+        kernel.fn(cBase + i0 * ldc + j0 + jp * nrMax, ldc, aPack,
+                  bPack + jp * kDim * nrMax, kDim, mr, nr, alpha);
       }
     };
 
@@ -210,7 +203,82 @@ void prepareC(Matrix& c, const Matrix& a, const Matrix& b, bool transA,
   }
 }
 
+/// Portable per-element FMA-chain kernel shared by the two FmaRef packing
+/// layouts: acc = fma(a_ik, b_kj, acc), k ascending -- exactly the chain
+/// the AVX2/AVX-512 tiles run per element.
+void microKernelFmaRefImpl(double* c, std::size_t ldc, const double* ap,
+                           const double* bp, std::size_t kDim,
+                           std::size_t mr, std::size_t nr, double alpha,
+                           std::size_t mrMax, std::size_t nrMax) {
+  for (std::size_t ir = 0; ir < mr; ++ir) {
+    for (std::size_t jr = 0; jr < nr; ++jr) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < kDim; ++k) {
+        acc = std::fma(ap[k * mrMax + ir], bp[k * nrMax + jr], acc);
+      }
+      if (alpha == 1.0) {
+        c[ir * ldc + jr] += acc;
+      } else {
+        c[ir * ldc + jr] += alpha * acc;
+      }
+    }
+  }
+}
+
 }  // namespace
+
+namespace detail {
+
+void microKernelSse2(double* c, std::size_t ldc, const double* ap,
+                     const double* bp, std::size_t kDim, std::size_t mr,
+                     std::size_t nr, double alpha) {
+  constexpr std::size_t kMr = 4;
+  constexpr std::size_t kNr = 4;
+  // mr x nr micro-tile: full-K register accumulation (k ascending, one
+  // accumulator per element -- the determinism-critical property), then a
+  // single `+= alpha * acc` store. Inner loops run the full kMr x kNr tile
+  // so the compiler can keep acc in registers and vectorize; padded lanes
+  // only feed accumulators that are never stored. Baseline codegen has no
+  // FMA instruction, so each step is the seed's separate mul+add rounding.
+  double acc[kMr][kNr] = {};
+  for (std::size_t k = 0; k < kDim; ++k) {
+    const double* arow = ap + k * kMr;
+    const double* brow = bp + k * kNr;
+    for (std::size_t ir = 0; ir < kMr; ++ir) {
+      const double av = arow[ir];
+      for (std::size_t jr = 0; jr < kNr; ++jr) {
+        acc[ir][jr] += av * brow[jr];
+      }
+    }
+  }
+  if (alpha == 1.0) {
+    for (std::size_t ir = 0; ir < mr; ++ir) {
+      for (std::size_t jr = 0; jr < nr; ++jr) {
+        c[ir * ldc + jr] += acc[ir][jr];
+      }
+    }
+  } else {
+    for (std::size_t ir = 0; ir < mr; ++ir) {
+      for (std::size_t jr = 0; jr < nr; ++jr) {
+        c[ir * ldc + jr] += alpha * acc[ir][jr];
+      }
+    }
+  }
+}
+
+void microKernelFmaRef4(double* c, std::size_t ldc, const double* ap,
+                        const double* bp, std::size_t kDim, std::size_t mr,
+                        std::size_t nr, double alpha) {
+  microKernelFmaRefImpl(c, ldc, ap, bp, kDim, mr, nr, alpha, 4, 4);
+}
+
+void microKernelFmaRef8(double* c, std::size_t ldc, const double* ap,
+                        const double* bp, std::size_t kDim, std::size_t mr,
+                        std::size_t nr, double alpha) {
+  microKernelFmaRefImpl(c, ldc, ap, bp, kDim, mr, nr, alpha, 8, 8);
+}
+
+}  // namespace detail
 
 void setGemmKernel(GemmKernel kernel) {
   g_kernel.store(static_cast<int>(kernel), std::memory_order_relaxed);
@@ -220,6 +288,18 @@ GemmKernel gemmKernel() {
   return static_cast<GemmKernel>(g_kernel.load(std::memory_order_relaxed));
 }
 
+GemmLevelInfo activeGemmLevelInfo() {
+  return microKernelForLevel(common::simd::activeKernelLevel()).info;
+}
+
+std::vector<GemmLevelInfo> availableGemmLevels() {
+  std::vector<GemmLevelInfo> out;
+  for (KernelLevel level : common::simd::availableKernelLevels()) {
+    out.push_back(microKernelForLevel(level).info);
+  }
+  return out;
+}
+
 void gemm(Matrix& c, const Matrix& a, const Matrix& b, bool transA,
           bool transB, double alpha, double beta) {
   if (gemmKernel() == GemmKernel::kNaive) {
@@ -227,7 +307,8 @@ void gemm(Matrix& c, const Matrix& a, const Matrix& b, bool transA,
     return;
   }
   prepareC(c, a, b, transA, transB, beta);
-  tiledGemm(c, a, b, transA, transB, alpha);
+  tiledGemm(c, a, b, transA, transB, alpha,
+            microKernelForLevel(common::simd::activeKernelLevel()));
 }
 
 void referenceGemm(Matrix& c, const Matrix& a, const Matrix& b, bool transA,
@@ -254,6 +335,37 @@ void referenceGemm(Matrix& c, const Matrix& a, const Matrix& b, bool transA,
   } else {
     for (std::size_t i = 0; i < c.data().size(); ++i) {
       c.data()[i] += alpha * product.data()[i];
+    }
+  }
+}
+
+void referenceGemmForLevel(common::simd::KernelLevel level, Matrix& c,
+                           const Matrix& a, const Matrix& b, bool transA,
+                           bool transB, double alpha, double beta) {
+  if (level == KernelLevel::kSse2) {
+    referenceGemm(c, a, b, transA, transB, alpha, beta);
+    return;
+  }
+  prepareC(c, a, b, transA, transB, beta);
+  // FMA regime: one k-ascending std::fma chain per output element, then
+  // the shared `+= alpha * acc` combine. Direct op() indexing -- packing
+  // is a pure data movement and cannot change the chain.
+  const std::size_t m = c.rows();
+  const std::size_t n = c.cols();
+  const std::size_t kDim = transA ? a.rows() : a.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < kDim; ++k) {
+        const double av = transA ? a(k, i) : a(i, k);
+        const double bv = transB ? b(j, k) : b(k, j);
+        acc = std::fma(av, bv, acc);
+      }
+      if (alpha == 1.0) {
+        c(i, j) += acc;
+      } else {
+        c(i, j) += alpha * acc;
+      }
     }
   }
 }

@@ -20,9 +20,21 @@
 /// reference kernel and break the bit-identity contract; blocking over M
 /// (row panels across threads) and N (column panels, RFP_GEMM_NC) leaves
 /// every element's accumulation order untouched.
+///
+/// ISA dispatch (DESIGN.md Sec. 13). The micro-tile is a cpuid-dispatched
+/// kernel family selected by `common::simd::activeKernelLevel()`
+/// (RFP_KERNEL override): an SSE2-baseline scalar tile (bit-identical to
+/// referenceGemm), a 4x4 AVX2+FMA tile, and an 8x8 AVX-512 tile. The two
+/// FMA tiles accumulate each element as one fused-multiply-add chain over
+/// the full K extent, so they are bit-identical to *each other* and to
+/// the portable `referenceGemmForLevel` emulation, and differ from the
+/// SSE2 level only by the documented product-rounding tolerance. Within
+/// any level, output stays bit-identical at every thread count.
 
 #include <cstddef>
+#include <vector>
 
+#include "common/cpuid.h"
 #include "linalg/matrix.h"
 
 namespace rfp::linalg {
@@ -53,6 +65,37 @@ void gemm(Matrix& c, const Matrix& a, const Matrix& b, bool transA = false,
 void referenceGemm(Matrix& c, const Matrix& a, const Matrix& b,
                    bool transA = false, bool transB = false,
                    double alpha = 1.0, double beta = 0.0);
+
+// --- ISA-level registry -----------------------------------------------------
+
+/// One entry of the dispatched micro-kernel family: the ISA level it
+/// needs and its micro-tile extents (mr x nr doubles).
+struct GemmLevelInfo {
+  common::simd::KernelLevel level = common::simd::KernelLevel::kSse2;
+  std::size_t mr = 4;
+  std::size_t nr = 4;
+};
+
+/// The micro-kernel gemm() would dispatch to right now (i.e. for
+/// common::simd::activeKernelLevel()). Recorded by benchmarks and the
+/// service ledger header.
+GemmLevelInfo activeGemmLevelInfo();
+
+/// Registry of micro-kernels this *host* can run, narrowest first
+/// (always contains the SSE2 baseline). What test_kernels and
+/// bench_ext_kernels sweep.
+std::vector<GemmLevelInfo> availableGemmLevels();
+
+/// Portable scalar reference with the exact FP semantics of \p level:
+/// kSse2 delegates to referenceGemm (separate mul+add roundings);
+/// kAvx2Fma/kAvx512 accumulate each output element as a single
+/// k-ascending std::fma chain -- the contract the vector kernels are
+/// memcmp-tested against (DESIGN.md Sec. 13). Same argument rules as
+/// gemm().
+void referenceGemmForLevel(common::simd::KernelLevel level, Matrix& c,
+                           const Matrix& a, const Matrix& b,
+                           bool transA = false, bool transB = false,
+                           double alpha = 1.0, double beta = 0.0);
 
 // --- in-place element-wise kernels ------------------------------------------
 // All throw std::invalid_argument on shape mismatch and perform the same

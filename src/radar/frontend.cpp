@@ -5,7 +5,9 @@
 #include <stdexcept>
 
 #include "common/constants.h"
+#include "common/cpuid.h"
 #include "common/thread_pool.h"
+#include "radar/simd_kernels.h"
 #include "signal/noise.h"
 
 namespace rfp::radar {
@@ -58,7 +60,11 @@ Frame Frontend::synthesize(std::span<const env::PointScatterer> scatterers,
   }
 
   // Each antenna owns its sample buffer and accumulates scatterer tones in
-  // list order, so the result is bit-identical at any thread count.
+  // list order, so the result is bit-identical at any thread count. The
+  // tone accumulation runs through the cpuid-selected kernel (DESIGN.md
+  // Sec. 13), resolved once per frame.
+  const detail::ToneAccumFn toneAccum =
+      detail::toneAccumForLevel(rfp::common::simd::activeKernelLevel());
   rfp::common::ThreadPool::global().parallelFor(
       0, static_cast<std::size_t>(numAntennas), [&](std::size_t k) {
         std::vector<Complex>& dst = frame.samples[k];
@@ -76,11 +82,8 @@ Frame Frontend::synthesize(std::span<const env::PointScatterer> scatterers,
           // recurrence avoids numSamples sin/cos calls per
           // scatterer-antenna pair.
           const Complex rot = std::polar(1.0, twoPi * beatHz * dt);
-          Complex phasor = std::polar(amp, basePhase);
-          for (std::size_t n = 0; n < numSamples; ++n) {
-            dst[n] += phasor;
-            phasor *= rot;
-          }
+          const Complex phasor = std::polar(amp, basePhase);
+          toneAccum(dst.data(), numSamples, phasor, rot);
         }
         if (config_.noisePower > 0.0) {
           rfp::signal::addAwgn(dst, config_.noisePower, noiseSeed,

@@ -10,7 +10,9 @@
 #include <tuple>
 
 #include "common/constants.h"
+#include "common/cpuid.h"
 #include "common/thread_pool.h"
+#include "radar/simd_kernels.h"
 #include "signal/fft.h"
 
 namespace rfp::radar {
@@ -189,19 +191,30 @@ RangeAngleMap Processor::process(const Frame& frame) const {
   map.anglesRad = anglesRad_;
   map.power.assign(numRanges * numAngles, 0.0);
 
+  // Transpose the spectra to contiguous per-range antenna rows so the
+  // beamforming dot streams unit-stride. Pure data movement -- exact at
+  // every kernel level.
+  const std::size_t nAnt = static_cast<std::size_t>(numAntennas);
+  std::vector<Complex> spectraT(numRanges * nAnt);
+  for (std::size_t k = 0; k < nAnt; ++k) {
+    const std::vector<Complex>& col = spectra[k];
+    for (std::size_t r = 0; r < numRanges; ++r) {
+      spectraT[r * nAnt + k] = col[r];
+    }
+  }
+
   // Beamform row-parallel: each range row writes its own disjoint slice of
   // map.power with a fixed antenna accumulation order (paper Eq. 2, using
-  // the cached steering matrix).
+  // the cached steering matrix). The dot product runs through the
+  // cpuid-selected kernel (DESIGN.md Sec. 13), resolved once per frame.
+  const detail::BeamformDotFn beamformDot =
+      detail::beamformDotForLevel(rfp::common::simd::activeKernelLevel());
   const std::vector<Complex>& steering = *steering_;
   rfp::common::ThreadPool::global().parallelFor(0, numRanges, [&](
                                                     std::size_t r) {
+    const Complex* row = &spectraT[r * nAnt];
     for (std::size_t a = 0; a < numAngles; ++a) {
-      Complex acc{};
-      const Complex* steer = &steering[a * numAntennas];
-      for (int k = 0; k < numAntennas; ++k) {
-        acc += spectra[static_cast<std::size_t>(k)][r] * steer[k];
-      }
-      map.at(r, a) = std::norm(acc);
+      map.at(r, a) = std::norm(beamformDot(row, &steering[a * nAnt], nAnt));
     }
   });
   return map;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "common/atomic_io.h"
+#include "common/cpuid.h"
 
 namespace rfp::service {
 
@@ -58,7 +59,12 @@ bool isTerminal(ScenarioState s) {
 }
 
 std::string ServiceLedger::serialize() const {
-  std::string out;
+  // Header names the active SIMD kernel level so a saved ledger records
+  // which numeric regime produced it (DESIGN.md Sec. 13).
+  std::string out = "# kernel=";
+  out += rfp::common::simd::kernelLevelName(
+      rfp::common::simd::activeKernelLevel());
+  out += '\n';
   for (const ServiceLedgerRecord& r : records_) {
     out += "round=";
     out += std::to_string(r.round);
@@ -107,9 +113,9 @@ std::size_t ServiceLedger::saveSegmented(const std::string& basePath,
     throw std::invalid_argument(
         "ServiceLedger::saveSegmented: maxSegmentBytes must be >= 1");
   }
-  // Split serialize() at record ('\n') boundaries. An empty ledger still
-  // writes one (empty) segment so load distinguishes "saved empty" from
-  // "never saved".
+  // Split serialize() at record ('\n') boundaries (the kernel header is
+  // line zero). An empty ledger still writes one header-only segment so
+  // load distinguishes "saved empty" from "never saved".
   const std::string body = serialize();
   std::vector<std::string> segments;
   std::string current;

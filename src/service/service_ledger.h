@@ -64,7 +64,11 @@ class ServiceLedger {
   std::size_t size() const { return records_.size(); }
 
   /// Canonical one-line-per-record text form (fixed field order); the
-  /// byte-identity surface.
+  /// byte-identity surface. The first line is a `# kernel=<level>`
+  /// header recording the active SIMD kernel level (DESIGN.md Sec. 13),
+  /// so a saved ledger names the numeric regime that produced it.
+  /// Byte-identity across runs therefore also requires the same
+  /// RFP_KERNEL selection, matching the determinism contract.
   std::string serialize() const;
 
   /// Atomic CRC-trailed write of serialize() to \p path (atomic_io.h).

@@ -1,0 +1,64 @@
+/// \file fft_kernels_avx2.cpp
+/// AVX2+FMA butterfly stage pass: two butterflies per 256-bit vector.
+/// Compiled with -mavx2 -mfma -ffp-contract=off; runtime-gated by cpuid.
+/// The complex product is the vfmaddsub idiom specified by
+/// common/fma_complex.h, so the pass is bit-identical to stagePassFmaRef.
+
+#include "signal/fft_kernels.h"
+
+#if defined(RFP_X86_KERNELS)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "common/fma_complex.h"
+
+namespace rfp::signal::detail {
+
+void stagePassAvx2(Complex* a, std::size_t n, std::size_t len,
+                   const Complex* stage, bool forward) {
+  const std::size_t half = len / 2;
+  // Inverse transforms conjugate the forward table on the fly: flip the
+  // sign bit of the imaginary (odd) lanes -- exact, like std::conj.
+  const __m256d conjMask = forward
+                               ? _mm256_setzero_pd()
+                               : _mm256_castsi256_pd(_mm256_set_epi64x(
+                                     INT64_MIN, 0, INT64_MIN, 0));
+  for (std::size_t i = 0; i < n; i += len) {
+    double* lo = reinterpret_cast<double*>(a + i);
+    double* hi = reinterpret_cast<double*>(a + i + half);
+    std::size_t k = 0;
+    for (; k + 2 <= half; k += 2) {
+      __m256d w = _mm256_loadu_pd(
+          reinterpret_cast<const double*>(stage + k));
+      w = _mm256_xor_pd(w, conjMask);
+      const __m256d v = _mm256_loadu_pd(hi + 2 * k);
+      // v * w, the fma_complex.h pattern: even lanes
+      // fma(v.re, w.re, -(v.im*w.im)), odd fma(v.im, w.re, v.re*w.im).
+      const __m256d wre = _mm256_movedup_pd(w);
+      const __m256d wim = _mm256_permute_pd(w, 0xF);
+      const __m256d vswap = _mm256_permute_pd(v, 0x5);
+      const __m256d t = _mm256_mul_pd(vswap, wim);
+      const __m256d vw = _mm256_fmaddsub_pd(v, wre, t);
+      const __m256d u = _mm256_loadu_pd(lo + 2 * k);
+      _mm256_storeu_pd(lo + 2 * k, _mm256_add_pd(u, vw));
+      _mm256_storeu_pd(hi + 2 * k, _mm256_sub_pd(u, vw));
+    }
+    // half == 1 (the len == 2 stage): scalar butterfly with the same
+    // product pattern (w is exactly (1, 0) there, so every regime
+    // agrees bit for bit anyway).
+    for (; k < half; ++k) {
+      const Complex w =
+          forward ? stage[k] : Complex(stage[k].real(), -stage[k].imag());
+      const Complex u = a[i + k];
+      const Complex v = rfp::common::simd::fmaComplexMul(a[i + k + half], w);
+      a[i + k] = u + v;
+      a[i + k + half] = u - v;
+    }
+  }
+}
+
+}  // namespace rfp::signal::detail
+
+#endif  // RFP_X86_KERNELS

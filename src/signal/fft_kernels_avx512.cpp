@@ -1,0 +1,85 @@
+/// \file fft_kernels_avx512.cpp
+/// AVX-512F butterfly stage pass: four butterflies per 512-bit vector,
+/// falling back to the 256-bit path for the short early stages (half
+/// < 4) and scalar for half == 1. Compiled with -mavx512f
+/// -ffp-contract=off; runtime-gated by cpuid. Every butterfly runs the
+/// same fma_complex.h product pattern as stagePassAvx2, so the whole
+/// pass is bit-identical to it (and to stagePassFmaRef) -- vector width
+/// only changes how many independent butterflies fly together.
+
+#include "signal/fft_kernels.h"
+
+#if defined(RFP_X86_KERNELS)
+
+#include <immintrin.h>
+
+#include <cstdint>
+
+#include "common/fma_complex.h"
+
+// GCC's unmasked _mm512_permute_pd/_mm512_movedup_pd wrappers pass
+// _mm512_undefined_pd() as the ignored merge source, which trips
+// -Wmaybe-uninitialized (GCC PR105593). Spurious: the undefined lanes
+// are fully overwritten.
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+
+namespace rfp::signal::detail {
+
+void stagePassAvx512(Complex* a, std::size_t n, std::size_t len,
+                     const Complex* stage, bool forward) {
+  const std::size_t half = len / 2;
+  const __m512d conjMask512 =
+      forward ? _mm512_setzero_pd()
+              : _mm512_castsi512_pd(_mm512_set_epi64(
+                    INT64_MIN, 0, INT64_MIN, 0, INT64_MIN, 0, INT64_MIN, 0));
+  const __m256d conjMask256 = _mm512_castpd512_pd256(conjMask512);
+  for (std::size_t i = 0; i < n; i += len) {
+    double* lo = reinterpret_cast<double*>(a + i);
+    double* hi = reinterpret_cast<double*>(a + i + half);
+    std::size_t k = 0;
+    for (; k + 4 <= half; k += 4) {
+      __m512d w = _mm512_loadu_pd(
+          reinterpret_cast<const double*>(stage + k));
+      // Integer xor: _mm512_xor_pd needs AVX512DQ, which this TU does
+      // not assume.
+      w = _mm512_castsi512_pd(_mm512_xor_epi64(_mm512_castpd_si512(w),
+                                               _mm512_castpd_si512(conjMask512)));
+      const __m512d v = _mm512_loadu_pd(hi + 2 * k);
+      const __m512d wre = _mm512_movedup_pd(w);
+      const __m512d wim = _mm512_permute_pd(w, 0xFF);
+      const __m512d vswap = _mm512_permute_pd(v, 0x55);
+      const __m512d t = _mm512_mul_pd(vswap, wim);
+      const __m512d vw = _mm512_fmaddsub_pd(v, wre, t);
+      const __m512d u = _mm512_loadu_pd(lo + 2 * k);
+      _mm512_storeu_pd(lo + 2 * k, _mm512_add_pd(u, vw));
+      _mm512_storeu_pd(hi + 2 * k, _mm512_sub_pd(u, vw));
+    }
+    for (; k + 2 <= half; k += 2) {
+      __m256d w = _mm256_loadu_pd(
+          reinterpret_cast<const double*>(stage + k));
+      w = _mm256_xor_pd(w, conjMask256);
+      const __m256d v = _mm256_loadu_pd(hi + 2 * k);
+      const __m256d wre = _mm256_movedup_pd(w);
+      const __m256d wim = _mm256_permute_pd(w, 0xF);
+      const __m256d vswap = _mm256_permute_pd(v, 0x5);
+      const __m256d t = _mm256_mul_pd(vswap, wim);
+      const __m256d vw = _mm256_fmaddsub_pd(v, wre, t);
+      const __m256d u = _mm256_loadu_pd(lo + 2 * k);
+      _mm256_storeu_pd(lo + 2 * k, _mm256_add_pd(u, vw));
+      _mm256_storeu_pd(hi + 2 * k, _mm256_sub_pd(u, vw));
+    }
+    for (; k < half; ++k) {
+      const Complex w =
+          forward ? stage[k] : Complex(stage[k].real(), -stage[k].imag());
+      const Complex u = a[i + k];
+      const Complex v = rfp::common::simd::fmaComplexMul(a[i + k + half], w);
+      a[i + k] = u + v;
+      a[i + k + half] = u - v;
+    }
+  }
+}
+
+}  // namespace rfp::signal::detail
+
+#endif  // RFP_X86_KERNELS

@@ -1,0 +1,572 @@
+/// Determinism-contract tests for the runtime-dispatched SIMD kernel
+/// family (DESIGN.md Sec. 13): dispatch resolution and override, memcmp
+/// bit-identity of every available level against its scalar reference
+/// for all four kernel families (GEMM, tone synthesis, FFT butterflies,
+/// Eq. 2 beamforming), bit-identity across the two FMA widths, thread
+/// invariance per level, and the documented cross-regime tolerance --
+/// asserted loudly so a regime drift fails CI instead of rotting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/cpuid.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "linalg/gemm.h"
+#include "linalg/matrix.h"
+#include "radar/config.h"
+#include "radar/frontend.h"
+#include "radar/processor.h"
+#include "radar/simd_kernels.h"
+#include "service/service_ledger.h"
+#include "signal/fft.h"
+#include "signal/fft_kernels.h"
+
+namespace rfp {
+namespace {
+
+namespace simd = rfp::common::simd;
+using simd::CpuFeatures;
+using simd::KernelLevel;
+using Complex = std::complex<double>;
+
+/// Documented cross-regime bounds (DESIGN.md Sec. 13): individual
+/// kernel outputs of the sse2 regime and the FMA regime agree to
+/// |a - b| <= kKernelTol * (|a| + |b| + 1); end-to-end range-angle
+/// power maps (window -> FFT -> beamform -> |.|^2 chains) to
+/// kEndToEndTol in the same metric.
+constexpr double kKernelTol = 1e-12;
+constexpr double kEndToEndTol = 1e-9;
+
+bool withinTol(double a, double b, double tol) {
+  return std::abs(a - b) <= tol * (std::abs(a) + std::abs(b) + 1.0);
+}
+
+bool withinTol(Complex a, Complex b, double tol) {
+  return withinTol(a.real(), b.real(), tol) &&
+         withinTol(a.imag(), b.imag(), tol);
+}
+
+/// Restores the active kernel level and the global thread count on scope
+/// exit so a failing assertion cannot leak a forced level into later
+/// tests.
+class LevelGuard {
+ public:
+  LevelGuard() : prev_(simd::activeKernelLevel()) {}
+  ~LevelGuard() {
+    simd::setActiveKernelLevel(prev_);
+    common::ThreadPool::setGlobalThreads(0);
+  }
+
+ private:
+  KernelLevel prev_;
+};
+
+/// The FMA-regime levels available on this host (possibly empty).
+std::vector<KernelLevel> fmaLevels() {
+  std::vector<KernelLevel> out;
+  for (KernelLevel level : simd::availableKernelLevels()) {
+    if (level != KernelLevel::kSse2) out.push_back(level);
+  }
+  return out;
+}
+
+std::vector<Complex> randomComplex(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (Complex& x : v) {
+    x = {rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0)};
+  }
+  return v;
+}
+
+void lcgFill(linalg::Matrix& m, std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      s = s * 6364136223846793005ull + 1442695040888963407ull;
+      m(r, c) = static_cast<double>(s >> 11) * 0x1p-53 - 0.5;
+    }
+  }
+}
+
+bool bitIdentical(const linalg::Matrix& a, const linalg::Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data().data(), b.data().data(),
+                     a.rows() * a.cols() * sizeof(double)) == 0;
+}
+
+bool bitIdentical(const std::vector<Complex>& a,
+                  const std::vector<Complex>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(Complex)) == 0);
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch resolution: pure logic over synthetic feature sets.
+
+CpuFeatures fullBox() {
+  CpuFeatures f;
+  f.sse2 = f.avx = f.fma = f.avx2 = f.avx512f = true;
+  return f;
+}
+
+CpuFeatures avx2Box() {
+  CpuFeatures f = fullBox();
+  f.avx512f = false;
+  return f;
+}
+
+CpuFeatures sse2Box() {
+  CpuFeatures f;
+  f.sse2 = true;
+  return f;
+}
+
+TEST(KernelDispatch, ResolvesRequestStrings) {
+  const CpuFeatures full = fullBox();
+  struct Case {
+    const char* request;
+    KernelLevel expect;
+  };
+  const Case cases[] = {
+      {"sse2", KernelLevel::kSse2},      {"scalar", KernelLevel::kSse2},
+      {"avx2", KernelLevel::kAvx2Fma},   {"avx2_fma", KernelLevel::kAvx2Fma},
+      {"avx512", KernelLevel::kAvx512},  {"auto", KernelLevel::kAvx512},
+      {nullptr, KernelLevel::kAvx512},   {"", KernelLevel::kAvx512},
+  };
+  for (const Case& c : cases) {
+    const simd::KernelResolution r = simd::resolveKernelLevel(c.request, full);
+    EXPECT_EQ(r.level, c.expect)
+        << "request=" << (c.request ? c.request : "(null)");
+    EXPECT_FALSE(r.requestedUnsupported);
+    EXPECT_FALSE(r.requestUnrecognized);
+  }
+}
+
+TEST(KernelDispatch, UnsupportedRequestFallsBackToWidestSupported) {
+  const simd::KernelResolution narrow =
+      simd::resolveKernelLevel("avx512", avx2Box());
+  EXPECT_EQ(narrow.level, KernelLevel::kAvx2Fma);
+  EXPECT_TRUE(narrow.requestedUnsupported);
+  EXPECT_FALSE(narrow.requestUnrecognized);
+
+  const simd::KernelResolution scalar =
+      simd::resolveKernelLevel("avx2", sse2Box());
+  EXPECT_EQ(scalar.level, KernelLevel::kSse2);
+  EXPECT_TRUE(scalar.requestedUnsupported);
+}
+
+TEST(KernelDispatch, UnrecognizedRequestResolvesToAuto) {
+  const simd::KernelResolution r =
+      simd::resolveKernelLevel("turbo9000", avx2Box());
+  EXPECT_EQ(r.level, KernelLevel::kAvx2Fma);
+  EXPECT_TRUE(r.requestUnrecognized);
+  EXPECT_FALSE(r.requestedUnsupported);
+}
+
+TEST(KernelDispatch, MaxSupportedLevelRequiresBothAvx2AndFma) {
+  CpuFeatures noFma = avx2Box();
+  noFma.fma = false;
+  EXPECT_EQ(simd::maxSupportedLevel(noFma), KernelLevel::kSse2);
+  CpuFeatures noAvx2 = avx2Box();
+  noAvx2.avx2 = false;
+  EXPECT_EQ(simd::maxSupportedLevel(noAvx2), KernelLevel::kSse2);
+  EXPECT_EQ(simd::maxSupportedLevel(avx2Box()), KernelLevel::kAvx2Fma);
+  EXPECT_EQ(simd::maxSupportedLevel(fullBox()), KernelLevel::kAvx512);
+}
+
+TEST(KernelDispatch, LevelNamesAreCanonical) {
+  EXPECT_STREQ(simd::kernelLevelName(KernelLevel::kSse2), "sse2");
+  EXPECT_STREQ(simd::kernelLevelName(KernelLevel::kAvx2Fma), "avx2_fma");
+  EXPECT_STREQ(simd::kernelLevelName(KernelLevel::kAvx512), "avx512");
+}
+
+TEST(KernelDispatch, AvailableLevelsFormLadderFromSse2) {
+  const auto levels = simd::availableKernelLevels();
+  ASSERT_FALSE(levels.empty());
+  EXPECT_EQ(levels.front(), KernelLevel::kSse2);
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_LT(static_cast<int>(levels[i - 1]), static_cast<int>(levels[i]));
+  }
+}
+
+TEST(KernelDispatch, OverrideRoundTripsAndRejectsUnsupported) {
+  LevelGuard guard;
+  const auto levels = simd::availableKernelLevels();
+  for (KernelLevel level : levels) {
+    simd::setActiveKernelLevel(level);
+    EXPECT_EQ(simd::activeKernelLevel(), level);
+    EXPECT_EQ(linalg::activeGemmLevelInfo().level, level);
+  }
+  const KernelLevel widest = levels.back();
+  if (widest != KernelLevel::kAvx512) {
+    EXPECT_THROW(simd::setActiveKernelLevel(KernelLevel::kAvx512),
+                 std::invalid_argument);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GEMM: every available level memcmp-matches its scalar reference at
+// 1/2/4 threads across shapes that straddle the micro-tile.
+
+TEST(KernelGemm, EveryLevelBitIdenticalToItsReference) {
+  LevelGuard guard;
+  struct Shape {
+    std::size_t m, k, n;
+  };
+  const Shape shapes[] = {{4, 4, 4},  {8, 8, 8}, {33, 17, 29}, {1, 7, 5},
+                          {5, 7, 1},  {6, 1, 6}, {64, 3, 2},   {2, 3, 64},
+                          {9, 9, 9}};
+  const double alphas[] = {1.0, -0.5};
+  const double betas[] = {0.0, 0.7};
+  std::uint64_t seed = 1;
+  for (KernelLevel level : simd::availableKernelLevels()) {
+    simd::setActiveKernelLevel(level);
+    for (const Shape& s : shapes) {
+      for (int transA = 0; transA < 2; ++transA) {
+        for (int transB = 0; transB < 2; ++transB) {
+          for (double alpha : alphas) {
+            for (double beta : betas) {
+              linalg::Matrix a(transA ? s.k : s.m, transA ? s.m : s.k);
+              linalg::Matrix b(transB ? s.n : s.k, transB ? s.k : s.n);
+              linalg::Matrix cInit(s.m, s.n);
+              lcgFill(a, seed++);
+              lcgFill(b, seed++);
+              lcgFill(cInit, seed++);
+              linalg::Matrix c = cInit;
+              linalg::Matrix ref = cInit;
+              linalg::gemm(c, a, b, transA != 0, transB != 0, alpha, beta);
+              linalg::referenceGemmForLevel(level, ref, a, b, transA != 0,
+                                            transB != 0, alpha, beta);
+              ASSERT_TRUE(bitIdentical(c, ref))
+                  << "level=" << simd::kernelLevelName(level) << " m=" << s.m
+                  << " k=" << s.k << " n=" << s.n << " tA=" << transA
+                  << " tB=" << transB << " alpha=" << alpha
+                  << " beta=" << beta;
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelGemm, EveryLevelThreadInvariantAndReferenceExact) {
+  LevelGuard guard;
+  linalg::Matrix a(64, 96);
+  linalg::Matrix b(96, 80);
+  lcgFill(a, 31);
+  lcgFill(b, 32);
+  for (KernelLevel level : simd::availableKernelLevels()) {
+    simd::setActiveKernelLevel(level);
+    linalg::Matrix ref;
+    linalg::referenceGemmForLevel(level, ref, a, b);
+    for (std::size_t threads : {1ul, 2ul, 4ul}) {
+      common::ThreadPool::setGlobalThreads(threads);
+      linalg::Matrix c;
+      linalg::gemm(c, a, b);
+      EXPECT_TRUE(bitIdentical(c, ref))
+          << "level=" << simd::kernelLevelName(level)
+          << " threads=" << threads;
+    }
+    common::ThreadPool::setGlobalThreads(0);
+  }
+}
+
+TEST(KernelGemm, FmaWidthsBitIdenticalToEachOther) {
+  const auto fma = fmaLevels();
+  if (fma.size() < 2) {
+    GTEST_SKIP() << "host supports " << fma.size()
+                 << " FMA level(s); need avx2_fma and avx512";
+  }
+  LevelGuard guard;
+  linalg::Matrix a(37, 53);
+  linalg::Matrix b(53, 41);
+  lcgFill(a, 71);
+  lcgFill(b, 72);
+  simd::setActiveKernelLevel(fma[0]);
+  linalg::Matrix cNarrow;
+  linalg::gemm(cNarrow, a, b);
+  simd::setActiveKernelLevel(fma[1]);
+  linalg::Matrix cWide;
+  linalg::gemm(cWide, a, b);
+  EXPECT_TRUE(bitIdentical(cNarrow, cWide))
+      << "avx2_fma and avx512 GEMM diverged: the two FMA widths must share "
+         "one numeric regime (DESIGN.md Sec. 13)";
+}
+
+TEST(KernelGemm, CrossRegimeDifferenceWithinDocumentedBound) {
+  const auto fma = fmaLevels();
+  if (fma.empty()) GTEST_SKIP() << "host has no FMA-regime level";
+  LevelGuard guard;
+  linalg::Matrix a(48, 64);
+  linalg::Matrix b(64, 32);
+  lcgFill(a, 81);
+  lcgFill(b, 82);
+  simd::setActiveKernelLevel(KernelLevel::kSse2);
+  linalg::Matrix cScalar;
+  linalg::gemm(cScalar, a, b);
+  simd::setActiveKernelLevel(fma.back());
+  linalg::Matrix cFma;
+  linalg::gemm(cFma, a, b);
+  for (std::size_t r = 0; r < cScalar.rows(); ++r) {
+    for (std::size_t c = 0; c < cScalar.cols(); ++c) {
+      ASSERT_TRUE(withinTol(cScalar(r, c), cFma(r, c), kKernelTol))
+          << "GEMM cross-regime drift exceeds the documented bound "
+          << kKernelTol << " (DESIGN.md Sec. 13) at (" << r << "," << c
+          << "): sse2=" << cScalar(r, c) << " fma=" << cFma(r, c);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FFT butterflies: drive fft() at each level against a local oracle
+// built from the scalar stage passes, plus cross-regime tolerance.
+
+std::vector<Complex> fftOracle(std::vector<Complex> a,
+                               signal::detail::StagePassFn pass,
+                               bool forward) {
+  const std::size_t n = a.size();
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  if (n < 2) return a;
+  const auto table = signal::twiddlesFor(n);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    pass(a.data(), n, len, table->data() + (len / 2 - 1), forward);
+  }
+  return a;
+}
+
+TEST(KernelFft, EveryLevelBitIdenticalToItsReferencePass) {
+  LevelGuard guard;
+  for (std::size_t n : {2ul, 4ul, 8ul, 64ul, 256ul, 1024ul}) {
+    const std::vector<Complex> input = randomComplex(n, 1000 + n);
+    for (KernelLevel level : simd::availableKernelLevels()) {
+      simd::setActiveKernelLevel(level);
+      const signal::detail::StagePassFn refPass =
+          level == KernelLevel::kSse2 ? &signal::detail::stagePassScalar
+                                      : &signal::detail::stagePassFmaRef;
+      const std::vector<Complex> out = signal::fft(input, n);
+      const std::vector<Complex> ref = fftOracle(input, refPass, true);
+      EXPECT_TRUE(bitIdentical(out, ref))
+          << "level=" << simd::kernelLevelName(level) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelFft, InverseRoundTripsAtEveryLevel) {
+  LevelGuard guard;
+  const std::size_t n = 512;
+  const std::vector<Complex> input = randomComplex(n, 2024);
+  for (KernelLevel level : simd::availableKernelLevels()) {
+    simd::setActiveKernelLevel(level);
+    std::vector<Complex> data = input;
+    signal::fftInPlace(data);
+    signal::ifftInPlace(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(withinTol(data[i], input[i], 1e-10))
+          << "level=" << simd::kernelLevelName(level) << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelFft, CrossRegimeDifferenceWithinDocumentedBound) {
+  if (fmaLevels().empty()) GTEST_SKIP() << "host has no FMA-regime level";
+  const std::size_t n = 1024;
+  const std::vector<Complex> input = randomComplex(n, 555);
+  const std::vector<Complex> scalar =
+      fftOracle(input, &signal::detail::stagePassScalar, true);
+  const std::vector<Complex> fmaRef =
+      fftOracle(input, &signal::detail::stagePassFmaRef, true);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(withinTol(scalar[i], fmaRef[i], kKernelTol))
+        << "FFT cross-regime drift exceeds the documented bound "
+        << kKernelTol << " (DESIGN.md Sec. 13) at bin " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tone synthesis: each level's kernel memcmp-matches its scalar
+// reference over sizes straddling the four-lane split.
+
+TEST(KernelTone, EveryLevelBitIdenticalToItsReference) {
+  const Complex phasor = std::polar(0.37, 1.1);
+  const Complex rot = std::polar(1.0, 0.0123);
+  for (std::size_t n : {0ul, 1ul, 2ul, 3ul, 4ul, 5ul, 7ul, 8ul, 16ul, 17ul,
+                        33ul, 257ul, 500ul}) {
+    const std::vector<Complex> init = randomComplex(n, 3000 + n);
+    for (KernelLevel level : simd::availableKernelLevels()) {
+      const radar::detail::ToneAccumFn fn =
+          radar::detail::toneAccumForLevel(level);
+      const radar::detail::ToneAccumFn refFn =
+          level == KernelLevel::kSse2 ? &radar::detail::toneAccumScalar
+                                      : &radar::detail::toneAccumFmaRef;
+      std::vector<Complex> out = init;
+      std::vector<Complex> ref = init;
+      fn(out.data(), n, phasor, rot);
+      refFn(ref.data(), n, phasor, rot);
+      EXPECT_TRUE(bitIdentical(out, ref))
+          << "level=" << simd::kernelLevelName(level) << " n=" << n;
+    }
+  }
+}
+
+TEST(KernelTone, CrossRegimeDifferenceWithinDocumentedBound) {
+  const Complex phasor = std::polar(0.8, -0.4);
+  const Complex rot = std::polar(1.0, 0.031);
+  const std::size_t n = 500;
+  std::vector<Complex> scalar(n), fmaRef(n);
+  radar::detail::toneAccumScalar(scalar.data(), n, phasor, rot);
+  radar::detail::toneAccumFmaRef(fmaRef.data(), n, phasor, rot);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(withinTol(scalar[i], fmaRef[i], kKernelTol))
+        << "tone cross-regime drift exceeds the documented bound "
+        << kKernelTol << " (DESIGN.md Sec. 13) at sample " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Eq. 2 beamforming dot product.
+
+TEST(KernelBeamform, EveryLevelBitIdenticalToItsReference) {
+  for (std::size_t n :
+       {1ul, 2ul, 3ul, 4ul, 5ul, 7ul, 8ul, 9ul, 16ul, 31ul}) {
+    const std::vector<Complex> s = randomComplex(n, 4000 + n);
+    const std::vector<Complex> w = randomComplex(n, 5000 + n);
+    for (KernelLevel level : simd::availableKernelLevels()) {
+      const radar::detail::BeamformDotFn fn =
+          radar::detail::beamformDotForLevel(level);
+      const radar::detail::BeamformDotFn refFn =
+          level == KernelLevel::kSse2 ? &radar::detail::beamformDotScalar
+                                      : &radar::detail::beamformDotFmaRef;
+      const Complex out = fn(s.data(), w.data(), n);
+      const Complex ref = refFn(s.data(), w.data(), n);
+      EXPECT_EQ(std::memcmp(&out, &ref, sizeof(Complex)), 0)
+          << "level=" << simd::kernelLevelName(level) << " n=" << n
+          << " out=" << out << " ref=" << ref;
+    }
+  }
+}
+
+TEST(KernelBeamform, CrossRegimeDifferenceWithinDocumentedBound) {
+  const std::size_t n = 64;
+  const std::vector<Complex> s = randomComplex(n, 61);
+  const std::vector<Complex> w = randomComplex(n, 62);
+  const Complex scalar = radar::detail::beamformDotScalar(s.data(), w.data(), n);
+  const Complex fmaRef = radar::detail::beamformDotFmaRef(s.data(), w.data(), n);
+  EXPECT_TRUE(withinTol(scalar, fmaRef, kKernelTol))
+      << "beamform cross-regime drift exceeds the documented bound "
+      << kKernelTol << " (DESIGN.md Sec. 13): scalar=" << scalar
+      << " fma=" << fmaRef;
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end radar pipeline: per-level thread invariance and
+// cross-regime tolerance of the range-angle power map.
+
+radar::RadarConfig e2eConfig() {
+  radar::RadarConfig cfg;
+  cfg.position = {5.0, 0.05};
+  cfg.noisePower = 1e-6;
+  return cfg;
+}
+
+radar::RangeAngleMap e2eMap(const radar::RadarConfig& cfg) {
+  const radar::Frontend fe(cfg);
+  const radar::Processor proc(cfg);
+  std::vector<env::PointScatterer> scatterers(2);
+  scatterers[0].position = cfg.position + common::Vec2{0.3, 3.0};
+  scatterers[1].position = cfg.position + common::Vec2{-1.0, 5.5};
+  scatterers[1].amplitude = 0.6;
+  const radar::Frame frame =
+      fe.synthesize(scatterers, 0.0, /*noiseSeed=*/99, /*chirpIndex=*/0);
+  return proc.process(frame);
+}
+
+TEST(KernelRadarPipeline, EveryLevelThreadInvariant) {
+  LevelGuard guard;
+  const radar::RadarConfig cfg = e2eConfig();
+  for (KernelLevel level : simd::availableKernelLevels()) {
+    simd::setActiveKernelLevel(level);
+    common::ThreadPool::setGlobalThreads(1);
+    const radar::RangeAngleMap base = e2eMap(cfg);
+    for (std::size_t threads : {2ul, 4ul}) {
+      common::ThreadPool::setGlobalThreads(threads);
+      const radar::RangeAngleMap map = e2eMap(cfg);
+      ASSERT_EQ(map.power.size(), base.power.size());
+      EXPECT_EQ(std::memcmp(map.power.data(), base.power.data(),
+                            base.power.size() * sizeof(double)),
+                0)
+          << "level=" << simd::kernelLevelName(level)
+          << " threads=" << threads;
+    }
+    common::ThreadPool::setGlobalThreads(0);
+  }
+}
+
+TEST(KernelRadarPipeline, CrossRegimeMapWithinDocumentedBound) {
+  const auto fma = fmaLevels();
+  if (fma.empty()) GTEST_SKIP() << "host has no FMA-regime level";
+  LevelGuard guard;
+  const radar::RadarConfig cfg = e2eConfig();
+  simd::setActiveKernelLevel(KernelLevel::kSse2);
+  const radar::RangeAngleMap scalar = e2eMap(cfg);
+  simd::setActiveKernelLevel(fma.back());
+  const radar::RangeAngleMap fmaMap = e2eMap(cfg);
+  ASSERT_EQ(scalar.power.size(), fmaMap.power.size());
+  for (std::size_t i = 0; i < scalar.power.size(); ++i) {
+    ASSERT_TRUE(withinTol(scalar.power[i], fmaMap.power[i], kEndToEndTol))
+        << "end-to-end cross-regime drift exceeds the documented bound "
+        << kEndToEndTol << " (DESIGN.md Sec. 13) at cell " << i << ": sse2="
+        << scalar.power[i] << " fma=" << fmaMap.power[i];
+  }
+}
+
+TEST(KernelRadarPipeline, FmaWidthsProduceIdenticalMaps) {
+  const auto fma = fmaLevels();
+  if (fma.size() < 2) {
+    GTEST_SKIP() << "host supports " << fma.size()
+                 << " FMA level(s); need avx2_fma and avx512";
+  }
+  LevelGuard guard;
+  const radar::RadarConfig cfg = e2eConfig();
+  simd::setActiveKernelLevel(fma[0]);
+  const radar::RangeAngleMap narrow = e2eMap(cfg);
+  simd::setActiveKernelLevel(fma[1]);
+  const radar::RangeAngleMap wide = e2eMap(cfg);
+  ASSERT_EQ(narrow.power.size(), wide.power.size());
+  EXPECT_EQ(std::memcmp(narrow.power.data(), wide.power.data(),
+                        narrow.power.size() * sizeof(double)),
+            0)
+      << "avx2_fma and avx512 range-angle maps diverged: the two FMA widths "
+         "must share one numeric regime (DESIGN.md Sec. 13)";
+}
+
+// ---------------------------------------------------------------------------
+// Service ledger records the regime that produced it.
+
+TEST(KernelLedger, SerializeHeaderNamesActiveLevel) {
+  LevelGuard guard;
+  for (KernelLevel level : simd::availableKernelLevels()) {
+    simd::setActiveKernelLevel(level);
+    service::ServiceLedger ledger;
+    const std::string expected =
+        std::string("# kernel=") + simd::kernelLevelName(level) + "\n";
+    EXPECT_EQ(ledger.serialize(), expected)
+        << "level=" << simd::kernelLevelName(level);
+  }
+}
+
+}  // namespace
+}  // namespace rfp

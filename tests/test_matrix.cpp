@@ -156,7 +156,8 @@ TEST(Gemm, MatchesReferenceBitwiseAllTransposesAlphaBeta) {
             Matrix cTiled = cInit;
             Matrix cRef = cInit;
             gemm(cTiled, a, b, transA != 0, transB != 0, alpha, beta);
-            referenceGemm(cRef, a, b, transA != 0, transB != 0, alpha, beta);
+            referenceGemmForLevel(common::simd::activeKernelLevel(), cRef, a,
+                                  b, transA != 0, transB != 0, alpha, beta);
             ASSERT_TRUE(bitIdentical(cTiled, cRef))
                 << "m=" << s.m << " k=" << s.k << " n=" << s.n
                 << " tA=" << transA << " tB=" << transB << " alpha=" << alpha
@@ -192,7 +193,7 @@ TEST(Gemm, BetaZeroResizesReusingCapacity) {
   EXPECT_EQ(c.rows(), 6u);
   EXPECT_EQ(c.cols(), 2u);
   Matrix ref;
-  referenceGemm(ref, a, b);
+  referenceGemmForLevel(common::simd::activeKernelLevel(), ref, a, b);
   EXPECT_TRUE(bitIdentical(c, ref));
 }
 
@@ -237,6 +238,11 @@ TEST(Gemm, BitIdenticalAcrossThreadCounts) {
 
 TEST(Gemm, KernelSwitchRoundTrips) {
   ASSERT_EQ(gemmKernel(), GemmKernel::kTiled);
+  // Naive gemm is always the seed scalar loop, so the tiled-vs-naive
+  // bit-identity claim only holds at the sse2 dispatch level
+  // (DESIGN.md Sec. 13); pin it for this test.
+  const auto prevLevel = common::simd::activeKernelLevel();
+  common::simd::setActiveKernelLevel(common::simd::KernelLevel::kSse2);
   Matrix a(5, 6);
   Matrix b(6, 7);
   lcgFill(a, 41);
@@ -248,6 +254,7 @@ TEST(Gemm, KernelSwitchRoundTrips) {
   Matrix cNaive;
   gemm(cNaive, a, b);
   setGemmKernel(GemmKernel::kTiled);
+  common::simd::setActiveKernelLevel(prevLevel);
   EXPECT_TRUE(bitIdentical(cTiled, cNaive));
 }
 
@@ -258,7 +265,7 @@ TEST(Gemm, OperatorStarRoutesThroughGemm) {
   lcgFill(b, 52);
   const Matrix c = a * b;
   Matrix ref;
-  referenceGemm(ref, a, b);
+  referenceGemmForLevel(common::simd::activeKernelLevel(), ref, a, b);
   EXPECT_TRUE(bitIdentical(c, ref));
 }
 

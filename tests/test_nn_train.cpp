@@ -490,6 +490,13 @@ bool lossesBitIdentical(const ShortRunResult& a, const ShortRunResult& b) {
 }
 
 TEST(TrainHotPath, BitIdenticalAcrossKernelsAndThreadCounts) {
+  // The naive gemm is always the seed scalar loop, so naive-vs-tiled
+  // bit-identity is an sse2-level claim (DESIGN.md Sec. 13); pin the
+  // dispatch level for the whole run.
+  const auto prevLevel = rfp::common::simd::activeKernelLevel();
+  rfp::common::simd::setActiveKernelLevel(
+      rfp::common::simd::KernelLevel::kSse2);
+
   rfp::common::Rng dataRng(42);
   const auto dataset = syntheticDataset(16, 10, dataRng);
 
@@ -506,6 +513,7 @@ TEST(TrainHotPath, BitIdenticalAcrossKernelsAndThreadCounts) {
     EXPECT_TRUE(lossesBitIdentical(tiled1, tiledN)) << "threads=" << threads;
     EXPECT_EQ(tiled1.weights, tiledN.weights) << "threads=" << threads;
   }
+  rfp::common::simd::setActiveKernelLevel(prevLevel);
 }
 
 }  // namespace
