@@ -26,17 +26,29 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "common/cpuid.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
+#include "core/harness.h"
+#include "core/rfprotect_system.h"
+#include "core/scenario.h"
+#include "core/scenario_config.h"
 #include "fault/scenario_fault.h"
+#include "radar/batch.h"
+#include "radar/processor.h"
 #include "service/fleet_engine.h"
+#include "trajectory/human_walk.h"
 
 namespace {
 
@@ -73,6 +85,7 @@ struct ScaleResult {
   double scenariosPerSec = 0.0;
   double p50RoundMs = 0.0;
   double p99RoundMs = 0.0;
+  double p999RoundMs = 0.0;
   service::FleetCounters counters;
 };
 
@@ -116,8 +129,128 @@ ScaleResult runScale(std::size_t scenarios) {
   if (!roundMs.empty()) {
     out.p50RoundMs = rfp::common::percentile(roundMs, 50.0);
     out.p99RoundMs = rfp::common::percentile(roundMs, 99.0);
+    out.p999RoundMs = rfp::common::percentile(roundMs, 99.9);
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Cold-vs-warm cache identity gate
+// ---------------------------------------------------------------------------
+
+/// Serialized pipeline output of one full fleet-home scenario run: the raw
+/// I/Q bytes of every background-subtracted frame plus every processed
+/// range-angle power map, in frame order. This is the memcmp surface of
+/// the identity gate -- if one bit anywhere in the sensing path differs
+/// between the cached and cache-disabled runs, the byte strings differ.
+std::vector<std::uint8_t> runScenarioBytes(bool sceneCache) {
+  std::istringstream in(kFleetScenario);
+  core::Scenario scenario = core::loadScenario(in, "identity-gate");
+  rfp::common::Rng rng(1001);
+  trajectory::HumanWalkModel model;
+  trajectory::Trace trace;
+  do {
+    trace = trajectory::centered(model.sample(rng));
+  } while (trajectory::motionRange(trace) > 3.5);
+  core::RfProtectSystem system(scenario.makeController());
+  const double dt = 1.0 / scenario.sensing.radar.frameRateHz;
+  const double start = 2.0 * dt;
+  const int ghostId = system.addGhostAuto(trace, start, scenario.plan, rng);
+  core::SpoofEpochRunner runner(scenario, system, ghostId, start, rng,
+                                /*schedule=*/nullptr, sceneCache);
+
+  radar::ProcessorScratch scratch;
+  core::SpoofEpochSample epoch;
+  std::vector<std::uint8_t> bytes;
+  const auto append = [&bytes](const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    bytes.insert(bytes.end(), b, b + n);
+  };
+  while (!runner.done()) {
+    radar::FrameWorkItem item;
+    if (!runner.produceFrame(epoch, item)) continue;
+    for (const auto& row : item.frame->samples) {
+      append(row.data(), row.size() * sizeof(radar::Complex));
+    }
+    item.processor->processInto(*item.frame, *item.out, scratch);
+    append(item.out->power.data(),
+           item.out->power.size() * sizeof(double));
+    runner.consumeFrame(epoch);
+  }
+  return bytes;
+}
+
+/// Engine-level identity surface: the service ledger bytes plus every
+/// scenario's retained metric stream, raw field bytes appended in id
+/// order.
+std::string runEngineBytes(bool sceneCache) {
+  service::FleetServiceConfig config = scaleConfig(16);
+  config.sceneCache = sceneCache;
+  service::FleetEngine engine(config);
+  std::vector<std::uint64_t> ids;
+  for (std::size_t i = 0; i < 16; ++i) {
+    ids.push_back(engine.submit(homeSubmission(i)).scenarioId);
+  }
+  engine.runUntilIdle(/*maxRounds=*/4096);
+  std::string out = engine.ledger().serialize();
+  for (const std::uint64_t id : ids) {
+    for (const service::EpochMetrics& m : engine.metricsSince(id, 0)) {
+      out.append(reinterpret_cast<const char*>(&m.epoch), sizeof(m.epoch));
+      out.append(reinterpret_cast<const char*>(&m.framesSimulated),
+                 sizeof(m.framesSimulated));
+      out.append(reinterpret_cast<const char*>(&m.framesTotal),
+                 sizeof(m.framesTotal));
+      out.append(reinterpret_cast<const char*>(&m.framesDetected),
+                 sizeof(m.framesDetected));
+      out.append(reinterpret_cast<const char*>(&m.sumDistanceErrorM),
+                 sizeof(m.sumDistanceErrorM));
+      out.append(reinterpret_cast<const char*>(&m.sumAngleErrorDeg),
+                 sizeof(m.sumAngleErrorDeg));
+    }
+  }
+  return out;
+}
+
+/// Sweeps thread count x kernel level and requires the cached pipeline
+/// output to be memcmp-equal to the cache-disabled run in every cell,
+/// then repeats the comparison at the engine level (ledger + metric
+/// streams with FleetServiceConfig::sceneCache off vs on). Restores the
+/// pool size and kernel level it found. Returns true iff every cell held.
+bool runCacheIdentityGate() {
+  namespace simd = rfp::common::simd;
+  const simd::KernelLevel entryLevel = simd::activeKernelLevel();
+  std::vector<simd::KernelLevel> levels{simd::KernelLevel::kSse2};
+  const simd::KernelLevel best =
+      simd::maxSupportedLevel(simd::cpuFeatures());
+  if (best != simd::KernelLevel::kSse2) levels.push_back(best);
+
+  bool allOk = true;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    rfp::common::ThreadPool::setGlobalThreads(threads);
+    for (const simd::KernelLevel level : levels) {
+      simd::setActiveKernelLevel(level);
+      const std::vector<std::uint8_t> warm = runScenarioBytes(true);
+      const std::vector<std::uint8_t> cold = runScenarioBytes(false);
+      const bool ok =
+          !warm.empty() && warm.size() == cold.size() &&
+          std::memcmp(warm.data(), cold.data(), warm.size()) == 0;
+      std::printf(
+          "  identity threads=%zu kernel=%-8s  %zu bytes  %s\n", threads,
+          simd::kernelLevelName(level), warm.size(),
+          ok ? "bit-identical" : "DIVERGED");
+      allOk = allOk && ok;
+    }
+  }
+  rfp::common::ThreadPool::setGlobalThreads(0);  // back to RFP_THREADS / hw
+  simd::setActiveKernelLevel(entryLevel);
+
+  const std::string warmEngine = runEngineBytes(true);
+  const std::string coldEngine = runEngineBytes(false);
+  const bool engineOk = !warmEngine.empty() && warmEngine == coldEngine;
+  std::printf("  identity engine wave (ledger + metric streams)  %s\n",
+              engineOk ? "bit-identical" : "DIVERGED");
+  return allOk && engineOk;
 }
 
 struct ChaosResult {
@@ -214,14 +347,18 @@ bool metricsBitIdentical(const ChaosResult& a, const ChaosResult& b) {
 
 void writeJson(const std::vector<ScaleResult>& scales,
                const ChaosResult& chaos, bool smoke, bool healthyIdentical,
-               bool ledgerDeterministic) {
+               bool ledgerDeterministic, bool cacheIdentity) {
   bench::JsonWriter json;
   json.beginObject()
       .field("scenario", "fleet-home")
-      .field("smoke", smoke);
+      .field("smoke", smoke)
+      .field("hardware_concurrency", std::thread::hardware_concurrency())
+      .field("rfp_threads",
+             rfp::common::ThreadPool::resolveThreadCount());
   bench::stampKernelProvenance(json)
       .field("healthy_metrics_bit_identical", healthyIdentical)
       .field("service_ledger_deterministic", ledgerDeterministic)
+      .field("cold_warm_bit_identical", cacheIdentity)
       .beginArray("scales");
   for (const ScaleResult& s : scales) {
     json.beginObject()
@@ -233,6 +370,7 @@ void writeJson(const std::vector<ScaleResult>& scales,
         .field("scenarios_per_sec", s.scenariosPerSec)
         .field("p50_epoch_round_ms", s.p50RoundMs)
         .field("p99_epoch_round_ms", s.p99RoundMs)
+        .field("p999_epoch_round_ms", s.p999RoundMs)
         .field("completed", s.counters.completed)
         .field("failed", s.counters.failed)
         .field("shed", s.counters.shed)
@@ -268,10 +406,14 @@ int runSweep(bool smoke) {
     const ScaleResult& s = scales.back();
     std::printf(
         "  %-12s rounds %-6zu %7.2f s  %8.1f scen/s  round p50 %7.2f ms  "
-        "p99 %7.2f ms  failed %zu  shed %zu\n",
+        "p99 %7.2f ms  p99.9 %7.2f ms  failed %zu  shed %zu\n",
         s.name.c_str(), s.rounds, s.elapsedS, s.scenariosPerSec,
-        s.p50RoundMs, s.p99RoundMs, s.counters.failed, s.counters.shed);
+        s.p50RoundMs, s.p99RoundMs, s.p999RoundMs, s.counters.failed,
+        s.counters.shed);
   }
+
+  std::printf("  running cold-vs-warm cache identity gate ...\n");
+  const bool cacheIdentity = runCacheIdentityGate();
 
   std::printf("  running chaos case (x2 for ledger determinism) ...\n");
   const ChaosResult quiet = runChaosCase(/*withChaos=*/false);
@@ -286,7 +428,8 @@ int runSweep(bool smoke) {
       chaos.counters.completed, chaos.counters.failed, chaos.counters.shed,
       chaos.counters.rejected, chaos.tierRecords);
 
-  writeJson(scales, chaos, smoke, healthyIdentical, ledgerDeterministic);
+  writeJson(scales, chaos, smoke, healthyIdentical, ledgerDeterministic,
+            cacheIdentity);
   std::printf("\n  wrote %s\n", kOutputPath);
 
   // Acceptance shape checks (mirrors ISSUE/EXPERIMENTS.md):
@@ -316,6 +459,9 @@ int runSweep(bool smoke) {
         "same-seed run");
   check(ledgerDeterministic,
         "service ledger byte-identical across two same-seed chaos runs");
+  check(cacheIdentity,
+        "warm-cache output memcmp-equal to cache-disabled at 1/2/4 "
+        "threads, sse2 + best kernel, and engine level");
   return status;
 }
 
@@ -338,6 +484,15 @@ BENCHMARK(BM_FleetEpochRound)->Unit(benchmark::kMillisecond)->Iterations(20);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // --identity runs only the cold-vs-warm bit-identity gate (the fast
+  // CI-matrix entry point); --smoke runs the full sweep minus the
+  // google-benchmark timing loop.
+  if (argc > 1 && std::strcmp(argv[1], "--identity") == 0) {
+    bench::printHeader("Fleet scene-cache cold-vs-warm identity gate");
+    const bool ok = runCacheIdentityGate();
+    std::printf("  identity gate: %s\n", ok ? "holds" : "VIOLATED");
+    return ok ? 0 : 1;
+  }
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   const int status = runSweep(smoke);
   if (smoke || status != 0) return status;

@@ -1,0 +1,66 @@
+#pragma once
+
+/// \file cache_budget.h
+/// Process-wide byte budget for the immutable derived-data caches (the
+/// steering-matrix cache in src/radar and the FFT twiddle cache in
+/// src/signal). A 1000-home fleet with heterogeneous radar configs would
+/// otherwise grow those caches without bound -- one entry per distinct
+/// (angles, antennas, spacing, wavelength) tuple or FFT size for the
+/// process lifetime.
+///
+/// The budget is resolved once from the `RFP_CACHE_MB` environment
+/// variable (whole megabytes, clamped to [1, 65536]; unparsable values
+/// are ignored), defaulting to 64 MB, and is split evenly between the
+/// two caches. Each cache evicts least-recently-used entries when its
+/// half exceeds the budget; entries are handed out as shared_ptr, so
+/// eviction never invalidates data a frame in flight still holds.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+
+namespace rfp::common {
+
+namespace detail {
+
+inline std::size_t resolveCacheBudgetBytes() {
+  constexpr std::size_t kDefaultMb = 64;
+  constexpr std::size_t kMinMb = 1;
+  constexpr std::size_t kMaxMb = 65536;
+  std::size_t mb = kDefaultMb;
+  if (const char* env = std::getenv("RFP_CACHE_MB")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      mb = static_cast<std::size_t>(parsed);
+      if (mb < kMinMb) mb = kMinMb;
+      if (mb > kMaxMb) mb = kMaxMb;
+    }
+  }
+  return mb * std::size_t{1024} * std::size_t{1024};
+}
+
+inline std::atomic<std::size_t>& cacheBudgetOverride() {
+  static std::atomic<std::size_t> value{0};  // 0 = use the env resolution
+  return value;
+}
+
+}  // namespace detail
+
+/// Total derived-data cache budget [bytes]: the RFP_CACHE_MB resolution,
+/// unless a test override is in effect.
+inline std::size_t cacheBudgetBytes() {
+  const std::size_t forced =
+      detail::cacheBudgetOverride().load(std::memory_order_acquire);
+  if (forced != 0) return forced;
+  static const std::size_t resolved = detail::resolveCacheBudgetBytes();
+  return resolved;
+}
+
+/// Forces the budget (test/ops hook; 0 restores the RFP_CACHE_MB
+/// resolution). Takes effect on the next cache insertion.
+inline void setCacheBudgetBytes(std::size_t bytes) {
+  detail::cacheBudgetOverride().store(bytes, std::memory_order_release);
+}
+
+}  // namespace rfp::common

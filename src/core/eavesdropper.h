@@ -5,6 +5,16 @@
 /// front end + processing pipeline + peak detector + multi-target tracker.
 /// The legitimate sensor reuses the same sensing stack (Sec. 11.3) -- the
 /// only difference is what it does with the ledger.
+///
+/// The stack owns a radar::SceneCache (on by default; RFP_SCENE_CACHE=0
+/// or setSceneCacheEnabled(false) disables it) so repeated synthesis of a
+/// mostly-static scene re-sums memoized beat-tone rows instead of
+/// re-deriving them -- bit-identical either way (scene_cache.h). The
+/// observeFrame() pipeline is also exposed as split phases
+/// (backgroundDiff / processor().processInto / observeDetections) so the
+/// fleet service can batch the middle phase across scenarios
+/// (radar/batch.h) without a second code path: observe()/observeFrame()
+/// are themselves composed from the same pieces.
 
 #include <optional>
 #include <span>
@@ -14,6 +24,7 @@
 #include "env/scatterer.h"
 #include "radar/frontend.h"
 #include "radar/processor.h"
+#include "radar/scene_cache.h"
 #include "tracking/detection.h"
 #include "tracking/tracker.h"
 
@@ -37,7 +48,9 @@ struct Observation {
 /// A complete FMCW sensing stack.
 class EavesdropperRadar {
  public:
-  explicit EavesdropperRadar(SensingConfig config);
+  /// \p sceneCache enables beat-tone memoization (the RFP_SCENE_CACHE=0
+  /// environment kill-switch overrides it to off).
+  explicit EavesdropperRadar(SensingConfig config, bool sceneCache = true);
 
   const SensingConfig& config() const { return config_; }
   const radar::Processor& processor() const { return processor_; }
@@ -58,16 +71,44 @@ class EavesdropperRadar {
                                           double timestampS);
 
   /// Raw frame synthesis without processing (for phase-level analyses such
-  /// as breathing extraction, Fig. 14).
+  /// as breathing extraction, Fig. 14). Non-const: feeds the scene cache.
   radar::Frame senseRaw(std::span<const env::PointScatterer> scatterers,
-                        double timestampS, rfp::common::Rng& rng) const;
+                        double timestampS, rfp::common::Rng& rng);
+
+  /// senseRaw() into a caller-owned reused frame buffer (no steady-state
+  /// allocation). Draws the same single per-chirp noise seed from \p rng
+  /// as senseRaw when config().radar.noisePower > 0.
+  void senseRawInto(radar::Frame& frame,
+                    std::span<const env::PointScatterer> scatterers,
+                    double timestampS, rfp::common::Rng& rng);
 
   /// Range-angle map without background subtraction (Fig. 10 visuals).
   radar::RangeAngleMap mapOf(const radar::Frame& frame) const {
     return processor_.process(frame);
   }
 
-  /// Resets tracker and background state.
+  // --- Split phases of observeFrame() (batched execution) ---
+
+  /// Background-subtraction phase: nullptr primes (first frame),
+  /// otherwise the internally stored difference frame, valid until the
+  /// next call.
+  const radar::Frame* backgroundDiff(const radar::Frame& frame) {
+    return processor_.backgroundDiff(frame);
+  }
+
+  /// Detection + tracking tail of observeFrame() over a processed map:
+  /// fills \p detections (cleared first) and advances the tracker.
+  void observeDetections(const radar::RangeAngleMap& map, double timestampS,
+                         std::vector<tracking::Detection>& detections);
+
+  /// Scene-cache controls. invalidateSceneCache() drops memoized rows
+  /// (the harness calls it on frame-corrupting fault events).
+  void setSceneCacheEnabled(bool enabled) { sceneCacheEnabled_ = enabled; }
+  bool sceneCacheEnabled() const { return sceneCacheEnabled_; }
+  const radar::SceneCache& sceneCache() const { return sceneCache_; }
+  void invalidateSceneCache() { sceneCache_.invalidate(); }
+
+  /// Resets tracker, background, and scene-cache state.
   void reset();
 
  private:
@@ -76,6 +117,10 @@ class EavesdropperRadar {
   radar::Processor processor_;
   tracking::PeakDetector detector_;
   tracking::MultiTargetTracker tracker_;
+  radar::SceneCache sceneCache_;
+  bool sceneCacheEnabled_ = true;
+  radar::ProcessorScratch processorScratch_;
+  tracking::DetectScratch detectScratch_;
 };
 
 }  // namespace rfp::core

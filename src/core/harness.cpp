@@ -17,34 +17,44 @@ std::vector<env::PointScatterer> combineScatterers(
     const env::Environment& environment, double t, rfp::common::Rng& rng,
     const env::SnapshotOptions& opts,
     const std::vector<env::PointScatterer>& injected) {
-  std::vector<env::PointScatterer> all =
-      environment.snapshot(t, rng, opts);
-  if (injected.empty()) return all;
+  std::vector<env::PointScatterer> all;
+  combineScatterersInto(all, environment, t, rng, opts, injected);
+  return all;
+}
+
+void combineScatterersInto(std::vector<env::PointScatterer>& out,
+                           const env::Environment& environment, double t,
+                           rfp::common::Rng& rng,
+                           const env::SnapshotOptions& opts,
+                           const std::vector<env::PointScatterer>& injected) {
+  environment.snapshotInto(out, t, rng, opts);
+  if (injected.empty()) return;
 
   // Expand injected-reflection multipath in one parallel batch (pure
   // geometry), then flatten in injection order -- deterministic at any
-  // thread count.
-  std::vector<std::vector<env::PointScatterer>> images;
+  // thread count. Thread-local scratch: fully rewritten per call, reuse
+  // only spares the per-frame nested allocations.
+  static thread_local std::vector<std::vector<env::PointScatterer>> images;
   if (opts.includeMultipath) {
-    images = env::multipathImagesBatch(environment.plan(), injected,
-                                       opts.multipathLoss,
-                                       opts.multipathObserver);
+    env::multipathImagesBatchInto(environment.plan(), injected,
+                                  opts.multipathLoss, opts.multipathObserver,
+                                  images);
   }
   for (std::size_t i = 0; i < injected.size(); ++i) {
-    all.push_back(injected[i]);
+    out.push_back(injected[i]);
     if (opts.includeMultipath && injected[i].dynamic) {
-      all.insert(all.end(), images[i].begin(), images[i].end());
+      out.insert(out.end(), images[i].begin(), images[i].end());
     }
   }
-  return all;
 }
 
 namespace {
 
-/// Strongest detection in an observation, or nullptr.
-const tracking::Detection* strongestDetection(const Observation& obs) {
+/// Strongest detection of a frame, or nullptr.
+const tracking::Detection* strongestDetection(
+    const std::vector<tracking::Detection>& detections) {
   const tracking::Detection* best = nullptr;
-  for (const tracking::Detection& d : obs.detections) {
+  for (const tracking::Detection& d : detections) {
     if (best == nullptr || d.power > best->power) best = &d;
   }
   return best;
@@ -59,11 +69,12 @@ class DetectionFollower {
  public:
   explicit DetectionFollower(double gateM) : gateM_(gateM) {}
 
-  const tracking::Detection* select(const Observation& obs) {
+  const tracking::Detection* select(
+      const std::vector<tracking::Detection>& detections) {
     const tracking::Detection* chosen = nullptr;
     if (acquired_) {
       double best = gateM_;
-      for (const tracking::Detection& d : obs.detections) {
+      for (const tracking::Detection& d : detections) {
         const double dist = distance(d.world, last_);
         if (dist < best) {
           best = dist;
@@ -71,13 +82,13 @@ class DetectionFollower {
         }
       }
     } else {
-      chosen = strongestDetection(obs);
+      chosen = strongestDetection(detections);
     }
     if (chosen == nullptr) {
       // Re-acquire on the strongest peak after a sustained loss (the
       // target may have drifted out of the gate during a pause).
       if (++missStreak_ > 12) {
-        chosen = strongestDetection(obs);
+        chosen = strongestDetection(detections);
         missStreak_ = 0;
       }
     } else {
@@ -134,23 +145,26 @@ std::vector<double> robustAlignedErrors(const std::vector<Vec2>& source,
 struct SpoofEpochRunner::Impl {
   Impl(const Scenario& scenario, RfProtectSystem& system, int ghostId,
        double startTimeS, rfp::common::Rng& rng,
-       const fault::FaultSchedule* schedule)
+       const fault::FaultSchedule* schedule, bool sceneCache)
       : scenario(scenario),
         system(system),
         ghostId(ghostId),
         rng(rng),
         schedule(schedule),
         environment(scenario.plan),  // no humans: phantom only
-        radar(scenario.sensing),
+        radar(scenario.sensing, sceneCache),
         dt(1.0 / scenario.sensing.radar.frameRateHz),
         duration(startTimeS + rfp::common::kTraceDurationS + 2.0 * dt),
         follower(/*gateM=*/1.2) {}
 
-  /// One loop iteration at the current time cursor. When a schedule is
-  /// attached, radar-side faults apply: dropped chirp frames are skipped
-  /// (the actuator still advances via injectAt) and ADC-saturation
-  /// episodes clip the frame between synthesis and processing.
-  void stepFrame(SpoofEpochSample& epoch) {
+  /// Phase A of one loop iteration at the current time cursor. When a
+  /// schedule is attached, radar-side faults apply: dropped chirp frames
+  /// are skipped (the actuator still advances via injectAt) and
+  /// ADC-saturation episodes clip the frame between synthesis and
+  /// processing. Returns true when a difference frame is pending in
+  /// \p item; phase B (processing) and consumeFrame must follow.
+  bool produceFrame(SpoofEpochSample& epoch, radar::FrameWorkItem& item) {
+    pendingMap = false;
     const double t = tCursor;
     tCursor += dt;
     ++epoch.framesSimulated;
@@ -162,23 +176,46 @@ struct SpoofEpochRunner::Impl {
     if (ghostActive && faults.discrete()) ++result.framesFaulted;
     if (faults.radarFrameDropped) {
       if (ghostActive) ++result.framesDroppedRadar;
-      return;
+      // Defensive cache hygiene on frame-corrupting fault events: drop
+      // memoized rows so a fault episode can never interact with reuse
+      // (correctness never depends on this -- entries are keyed on pure
+      // physics -- but it keeps the fault path trivially auditable).
+      radar.invalidateSceneCache();
+      return false;
     }
-    const auto scatterers =
-        combineScatterers(environment, t, rng, scenario.snapshot, injected);
-    radar::Frame frame = radar.senseRaw(scatterers, t, rng);
+    combineScatterersInto(scatterers, environment, t, rng,
+                          scenario.snapshot, injected);
+    radar.senseRawInto(frameBuf, scatterers, t, rng);
     if (std::isfinite(faults.adcClipLevel)) {
-      radar::applyAdcSaturation(frame, faults.adcClipLevel);
+      radar::applyAdcSaturation(frameBuf, faults.adcClipLevel);
+      radar.invalidateSceneCache();
     }
-    const auto obs = radar.observeFrame(std::move(frame), t);
-    if (!obs.has_value()) return;
+    const radar::Frame* diff = radar.backgroundDiff(frameBuf);
+    if (diff == nullptr) return false;
+
+    pendingMap = true;
+    pendingT = t;
+    item.processor = &radar.processor();
+    item.frame = diff;
+    item.out = &mapBuf;
+    return true;
+  }
+
+  /// Phase C: detection, tracking, follower, and error metrics over the
+  /// processed map. No-op unless produceFrame returned true this frame.
+  void consumeFrame(SpoofEpochSample& epoch) {
+    if (!pendingMap) return;
+    pendingMap = false;
+    const double t = pendingT;
+
+    radar.observeDetections(mapBuf, t, detections);
 
     const auto intended = system.intendedPosition(ghostId, t);
     if (!intended.has_value()) return;
     ++result.framesTotal;
     ++epoch.framesTotal;
 
-    const tracking::Detection* det = follower.select(*obs);
+    const tracking::Detection* det = follower.select(detections);
     if (det == nullptr) return;
     ++result.framesDetected;
     ++epoch.framesDetected;
@@ -196,6 +233,17 @@ struct SpoofEpochRunner::Impl {
     epoch.sumAngleErrorDeg += angleError;
   }
 
+  /// One full loop iteration: produce + solo process + consume. The
+  /// batched path runs the same phases with processFrameBatch in the
+  /// middle, so the two executions are the same statements per frame.
+  void stepFrame(SpoofEpochSample& epoch) {
+    radar::FrameWorkItem item;
+    if (produceFrame(epoch, item)) {
+      item.processor->processInto(*item.frame, *item.out, processorScratch);
+      consumeFrame(epoch);
+    }
+  }
+
   const Scenario& scenario;
   RfProtectSystem& system;
   int ghostId;
@@ -208,14 +256,24 @@ struct SpoofEpochRunner::Impl {
   DetectionFollower follower;
   double tCursor = 0.0;
   SpoofRunResult result;
+
+  // Reused per-frame buffers (split-phase state).
+  std::vector<env::PointScatterer> scatterers;
+  radar::Frame frameBuf;
+  radar::RangeAngleMap mapBuf;
+  std::vector<tracking::Detection> detections;
+  radar::ProcessorScratch processorScratch;
+  bool pendingMap = false;
+  double pendingT = 0.0;
 };
 
 SpoofEpochRunner::SpoofEpochRunner(const Scenario& scenario,
                                    RfProtectSystem& system, int ghostId,
                                    double startTimeS, rfp::common::Rng& rng,
-                                   const fault::FaultSchedule* schedule)
+                                   const fault::FaultSchedule* schedule,
+                                   bool sceneCache)
     : impl_(std::make_unique<Impl>(scenario, system, ghostId, startTimeS, rng,
-                                   schedule)) {}
+                                   schedule, sceneCache)) {}
 
 SpoofEpochRunner::~SpoofEpochRunner() = default;
 
@@ -229,6 +287,19 @@ SpoofEpochSample SpoofEpochRunner::runFrames(std::size_t maxFrames) {
     impl_->stepFrame(epoch);
   }
   return epoch;
+}
+
+bool SpoofEpochRunner::produceFrame(SpoofEpochSample& epoch,
+                                    radar::FrameWorkItem& item) {
+  return impl_->produceFrame(epoch, item);
+}
+
+void SpoofEpochRunner::consumeFrame(SpoofEpochSample& epoch) {
+  impl_->consumeFrame(epoch);
+}
+
+const radar::SceneCache& SpoofEpochRunner::sceneCache() const {
+  return impl_->radar.sceneCache();
 }
 
 SpoofRunResult SpoofEpochRunner::finish() {
@@ -345,7 +416,7 @@ LocalizationRunResult runLocalizationExperiment(
         combineScatterers(environment, t, rng, scenario.snapshot, {});
     const auto obs = radar.observe(scatterers, t, rng);
     if (!obs.has_value()) continue;
-    const tracking::Detection* det = strongestDetection(*obs);
+    const tracking::Detection* det = strongestDetection(obs->detections);
     if (det == nullptr) continue;
     const Vec2 truth = environment.humans().front().positionAt(t);
     result.truth.push_back(truth);

@@ -18,6 +18,7 @@
 #include "core/scenario.h"
 #include "fault/fault_schedule.h"
 #include "fault/self_healing.h"
+#include "radar/batch.h"
 #include "trajectory/trace.h"
 #include "transport/control_link.h"
 
@@ -77,9 +78,13 @@ struct SpoofEpochSample {
 /// (and schedule, if given) must outlive the runner.
 class SpoofEpochRunner {
  public:
+  /// \p sceneCache enables the eavesdropper stack's beat-tone memoization
+  /// (bit-identical either way; the recovery replay path runs with it off
+  /// to record cache-bypass).
   SpoofEpochRunner(const Scenario& scenario, RfProtectSystem& system,
                    int ghostId, double startTimeS, rfp::common::Rng& rng,
-                   const fault::FaultSchedule* schedule = nullptr);
+                   const fault::FaultSchedule* schedule = nullptr,
+                   bool sceneCache = true);
   ~SpoofEpochRunner();
   SpoofEpochRunner(const SpoofEpochRunner&) = delete;
   SpoofEpochRunner& operator=(const SpoofEpochRunner&) = delete;
@@ -90,6 +95,26 @@ class SpoofEpochRunner {
   /// Runs up to \p maxFrames frames (fewer at the end of the run) and
   /// returns the metrics accumulated over exactly those frames.
   SpoofEpochSample runFrames(std::size_t maxFrames);
+
+  /// Split-phase stepping for cross-scenario batched execution. One
+  /// frame = produceFrame, then -- only when it returned true -- process
+  /// the item (radar::processFrameBatch across many runners, or
+  /// Processor::processInto solo) and call consumeFrame.
+  ///
+  /// produceFrame advances the clock and runs actuation, fault lookup,
+  /// scene snapshot, (cached) synthesis, ADC saturation, and background
+  /// subtraction; on true, \p item points at this runner's pending
+  /// difference frame and reused output map. False means nothing to
+  /// process this frame (dropped / priming); do not consume.
+  /// consumeFrame runs detection, tracking, the follower, and the error
+  /// metrics over the processed map. runFrames() is composed of exactly
+  /// these phases, so solo and batched execution cannot drift; batching
+  /// changes wall-clock only, never bits (DESIGN.md Sec. 14).
+  bool produceFrame(SpoofEpochSample& epoch, radar::FrameWorkItem& item);
+  void consumeFrame(SpoofEpochSample& epoch);
+
+  /// Scene-cache statistics of the underlying eavesdropper stack.
+  const radar::SceneCache& sceneCache() const;
 
   /// Rigid-aligned location errors, ledger decision counters, and link
   /// stats over the whole run; call once, after done().
@@ -168,5 +193,13 @@ std::vector<env::PointScatterer> combineScatterers(
     const env::Environment& environment, double t, rfp::common::Rng& rng,
     const env::SnapshotOptions& opts,
     const std::vector<env::PointScatterer>& injected);
+
+/// combineScatterers into a reused buffer (\p out is cleared first):
+/// identical contents and RNG consumption.
+void combineScatterersInto(std::vector<env::PointScatterer>& out,
+                           const env::Environment& environment, double t,
+                           rfp::common::Rng& rng,
+                           const env::SnapshotOptions& opts,
+                           const std::vector<env::PointScatterer>& injected);
 
 }  // namespace rfp::core

@@ -13,41 +13,61 @@ int Environment::addHuman(TimedPath path, BreathingModel breathing,
 
 std::vector<PointScatterer> Environment::snapshot(
     double t, rfp::common::Rng& rng, const SnapshotOptions& opts) const {
+  std::vector<PointScatterer> out;
+  snapshotInto(out, t, rng, opts);
+  return out;
+}
+
+void Environment::snapshotInto(std::vector<PointScatterer>& out, double t,
+                               rfp::common::Rng& rng,
+                               const SnapshotOptions& opts) const {
+  out.clear();
   // Stochastic draws first, in human order, on the caller's sequential
   // Rng (the seeded-stream contract); geometry fans out afterwards.
-  std::vector<PointScatterer> primaries;
-  primaries.reserve(humans_.size());
+  // Per-thread scratch: contents are fully rewritten every call, so reuse
+  // cannot leak state between frames (or between scenarios sharing a
+  // worker thread) -- it only spares the per-frame allocations.
+  static thread_local std::vector<PointScatterer> primaries;
+  static thread_local std::vector<std::vector<PointScatterer>> images;
+  primaries.clear();
   for (const Human& h : humans_) {
     primaries.push_back(h.scatterAt(t, rng, opts.rcsJitter));
   }
 
-  std::vector<PointScatterer> out;
   if (opts.includeMultipath) {
-    const auto images = multipathImagesBatch(
-        plan_, primaries, opts.multipathLoss, opts.multipathObserver);
+    multipathImagesBatchInto(plan_, primaries, opts.multipathLoss,
+                             opts.multipathObserver, images);
     for (std::size_t i = 0; i < primaries.size(); ++i) {
       out.push_back(primaries[i]);
       out.insert(out.end(), images[i].begin(), images[i].end());
     }
   } else {
-    out = std::move(primaries);
+    out.insert(out.end(), primaries.begin(), primaries.end());
   }
 
   if (opts.includeClutter) {
     for (const PointScatterer& c : plan_.clutter()) out.push_back(c);
   }
-  return out;
 }
 
 std::vector<std::vector<PointScatterer>> multipathImagesBatch(
     const FloorPlan& plan, std::span<const PointScatterer> primaries,
     double extraLoss, std::optional<rfp::common::Vec2> observer) {
-  std::vector<std::vector<PointScatterer>> images(primaries.size());
+  std::vector<std::vector<PointScatterer>> images;
+  multipathImagesBatchInto(plan, primaries, extraLoss, observer, images);
+  return images;
+}
+
+void multipathImagesBatchInto(
+    const FloorPlan& plan, std::span<const PointScatterer> primaries,
+    double extraLoss, std::optional<rfp::common::Vec2> observer,
+    std::vector<std::vector<PointScatterer>>& images) {
+  images.resize(primaries.size());
   rfp::common::ThreadPool::global().parallelFor(
       0, primaries.size(), [&](std::size_t i) {
-        images[i] = plan.multipathImages(primaries[i], extraLoss, observer);
+        plan.multipathImagesInto(primaries[i], extraLoss, observer,
+                                 images[i]);
       });
-  return images;
 }
 
 }  // namespace rfp::env

@@ -54,6 +54,13 @@ class Environment {
   std::vector<PointScatterer> snapshot(double t, rfp::common::Rng& rng,
                                        const SnapshotOptions& opts = {}) const;
 
+  /// snapshot() into a reused buffer (\p out is cleared first): identical
+  /// contents and RNG consumption, no steady-state allocation when the
+  /// environment has no humans (the fleet scenario's per-frame path).
+  void snapshotInto(std::vector<PointScatterer>& out, double t,
+                    rfp::common::Rng& rng,
+                    const SnapshotOptions& opts = {}) const;
+
  private:
   FloorPlan plan_;
   std::vector<Human> humans_;
@@ -68,5 +75,14 @@ std::vector<std::vector<PointScatterer>> multipathImagesBatch(
     const FloorPlan& plan, std::span<const PointScatterer> primaries,
     double extraLoss,
     std::optional<rfp::common::Vec2> observer = std::nullopt);
+
+/// multipathImagesBatch() into a reused nested buffer: \p images is
+/// resized to primaries.size() and each inner vector keeps its capacity
+/// across frames, so the steady-state per-frame path is allocation-free.
+/// Identical contents to multipathImagesBatch.
+void multipathImagesBatchInto(
+    const FloorPlan& plan, std::span<const PointScatterer> primaries,
+    double extraLoss, std::optional<rfp::common::Vec2> observer,
+    std::vector<std::vector<PointScatterer>>& images);
 
 }  // namespace rfp::env

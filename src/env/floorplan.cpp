@@ -72,6 +72,14 @@ std::vector<PointScatterer> FloorPlan::multipathImages(
     const PointScatterer& s, double extraLoss,
     std::optional<Vec2> observer) const {
   std::vector<PointScatterer> images;
+  multipathImagesInto(s, extraLoss, observer, images);
+  return images;
+}
+
+void FloorPlan::multipathImagesInto(const PointScatterer& s, double extraLoss,
+                                    std::optional<Vec2> observer,
+                                    std::vector<PointScatterer>& out) const {
+  out.clear();
   for (const Wall& w : walls_) {
     if (w.reflectivity <= 0.0) continue;
     if (!w.footWithinSegment(s.position)) continue;
@@ -82,9 +90,8 @@ std::vector<PointScatterer> FloorPlan::multipathImages(
       continue;  // no physical specular bounce from this observer
     }
     img.amplitude = s.amplitude * w.reflectivity * extraLoss * s.multipathGain;
-    images.push_back(img);
+    out.push_back(img);
   }
-  return images;
 }
 
 FloorPlan FloorPlan::office() {

@@ -9,29 +9,31 @@ namespace rfp::linalg {
 
 namespace {
 
-/// In-place partially pivoted LU factorization. Returns the permutation and
-/// the parity of the permutation (for determinants).
-struct LuFactors {
-  Matrix lu;                  ///< combined L (unit diagonal) and U
-  std::vector<std::size_t> perm;
-  double permSign = 1.0;
-};
+/// Kalman-sized systems solve out of stack scratch; only larger ones (FID
+/// covariances and the like) touch the heap.
+constexpr std::size_t kInlineLuDim = 16;
 
-LuFactors luFactorize(const Matrix& a) {
+/// In-place partially pivoted LU factorization into \p lu (overwritten
+/// with the combined unit-diagonal L and U) and \p perm (n slots, filled
+/// with the row permutation). Returns the permutation parity (for
+/// determinants). Output-parameter form so the hot callers can keep the
+/// permutation in stack scratch.
+double luFactorizeInto(Matrix& lu, std::size_t* perm, const Matrix& a) {
   if (a.rows() != a.cols()) {
     throw std::invalid_argument("LU factorization requires a square matrix");
   }
   const std::size_t n = a.rows();
-  LuFactors f{a, std::vector<std::size_t>(n), 1.0};
-  std::iota(f.perm.begin(), f.perm.end(), std::size_t{0});
+  lu = a;
+  std::iota(perm, perm + n, std::size_t{0});
+  double permSign = 1.0;
 
   for (std::size_t k = 0; k < n; ++k) {
     // Partial pivoting: bring the largest remaining entry in column k up.
     std::size_t pivot = k;
-    double best = std::fabs(f.lu(k, k));
+    double best = std::fabs(lu(k, k));
     for (std::size_t i = k + 1; i < n; ++i) {
-      if (std::fabs(f.lu(i, k)) > best) {
-        best = std::fabs(f.lu(i, k));
+      if (std::fabs(lu(i, k)) > best) {
+        best = std::fabs(lu(i, k));
         pivot = i;
       }
     }
@@ -40,21 +42,21 @@ LuFactors luFactorize(const Matrix& a) {
     }
     if (pivot != k) {
       for (std::size_t j = 0; j < n; ++j) {
-        std::swap(f.lu(k, j), f.lu(pivot, j));
+        std::swap(lu(k, j), lu(pivot, j));
       }
-      std::swap(f.perm[k], f.perm[pivot]);
-      f.permSign = -f.permSign;
+      std::swap(perm[k], perm[pivot]);
+      permSign = -permSign;
     }
     for (std::size_t i = k + 1; i < n; ++i) {
-      f.lu(i, k) /= f.lu(k, k);
-      const double lik = f.lu(i, k);
+      lu(i, k) /= lu(k, k);
+      const double lik = lu(i, k);
       if (lik == 0.0) continue;
       for (std::size_t j = k + 1; j < n; ++j) {
-        f.lu(i, j) -= lik * f.lu(k, j);
+        lu(i, j) -= lik * lu(k, j);
       }
     }
   }
-  return f;
+  return permSign;
 }
 
 }  // namespace
@@ -63,24 +65,38 @@ Matrix luSolve(const Matrix& a, const Matrix& b) {
   if (a.rows() != b.rows()) {
     throw std::invalid_argument("luSolve: rhs row count mismatch");
   }
-  const LuFactors f = luFactorize(a);
   const std::size_t n = a.rows();
   const std::size_t m = b.cols();
+
+  std::size_t permInline[kInlineLuDim];
+  std::vector<std::size_t> permHeap;
+  std::size_t* perm = permInline;
+  double yInline[kInlineLuDim];
+  std::vector<double> yHeap;
+  double* y = yInline;
+  if (n > kInlineLuDim) {
+    permHeap.resize(n);
+    perm = permHeap.data();
+    yHeap.resize(n);
+    y = yHeap.data();
+  }
+
+  Matrix lu;
+  luFactorizeInto(lu, perm, a);
 
   Matrix x(n, m);
   for (std::size_t c = 0; c < m; ++c) {
     // Forward substitution with the permuted rhs.
-    std::vector<double> y(n);
     for (std::size_t i = 0; i < n; ++i) {
-      double s = b(f.perm[i], c);
-      for (std::size_t j = 0; j < i; ++j) s -= f.lu(i, j) * y[j];
+      double s = b(perm[i], c);
+      for (std::size_t j = 0; j < i; ++j) s -= lu(i, j) * y[j];
       y[i] = s;
     }
     // Back substitution.
     for (std::size_t i = n; i-- > 0;) {
       double s = y[i];
-      for (std::size_t j = i + 1; j < n; ++j) s -= f.lu(i, j) * x(j, c);
-      x(i, c) = s / f.lu(i, i);
+      for (std::size_t j = i + 1; j < n; ++j) s -= lu(i, j) * x(j, c);
+      x(i, c) = s / lu(i, i);
     }
   }
   return x;
@@ -91,14 +107,22 @@ Matrix inverse(const Matrix& a) {
 }
 
 double determinant(const Matrix& a) {
-  LuFactors f;
+  const std::size_t n = a.rows();
+  std::size_t permInline[kInlineLuDim];
+  std::vector<std::size_t> permHeap;
+  std::size_t* perm = permInline;
+  if (n > kInlineLuDim) {
+    permHeap.resize(n);
+    perm = permHeap.data();
+  }
+  Matrix lu;
+  double det;
   try {
-    f = luFactorize(a);
+    det = luFactorizeInto(lu, perm, a);
   } catch (const std::runtime_error&) {
     return 0.0;
   }
-  double det = f.permSign;
-  for (std::size_t i = 0; i < a.rows(); ++i) det *= f.lu(i, i);
+  for (std::size_t i = 0; i < n; ++i) det *= lu(i, i);
   return det;
 }
 

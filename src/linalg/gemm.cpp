@@ -173,6 +173,49 @@ void tiledGemm(Matrix& c, const Matrix& a, const Matrix& b, bool transA,
   }
 }
 
+/// Direct kernel for tiny products (the tracker's 4x4 Kalman algebra,
+/// innovation solves, assignment costs). Runs the exact per-element
+/// accumulation chain of the active level's micro-tile -- k-ascending
+/// separate mul+add at the SSE2 baseline, one k-ascending std::fma chain
+/// in the FMA regime -- against op()-indexed operands, so the bits match
+/// tiledGemm while skipping the packing round-trip (and its thread-local
+/// buffer traffic), which dominates below one tile of work.
+void directGemm(Matrix& c, const Matrix& a, const Matrix& b, bool transA,
+                bool transB, double alpha, bool fmaChain) {
+  const std::size_t m = c.rows();
+  const std::size_t n = c.cols();
+  const std::size_t kDim = transA ? a.rows() : a.cols();
+  const double* ad = a.data().data();
+  const double* bd = b.data().data();
+  const std::size_t lda = a.cols();
+  const std::size_t ldb = b.cols();
+  double* cd = c.data().data();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      if (fmaChain) {
+        for (std::size_t k = 0; k < kDim; ++k) {
+          const double av = transA ? ad[k * lda + i] : ad[i * lda + k];
+          const double bv = transB ? bd[j * ldb + k] : bd[k * ldb + j];
+          acc = std::fma(av, bv, acc);
+        }
+      } else {
+        for (std::size_t k = 0; k < kDim; ++k) {
+          const double av = transA ? ad[k * lda + i] : ad[i * lda + k];
+          const double bv = transB ? bd[j * ldb + k] : bd[k * ldb + j];
+          acc += av * bv;
+        }
+      }
+      cd[i * n + j] += alpha == 1.0 ? acc : alpha * acc;
+    }
+  }
+}
+
+/// Below this many multiply-adds the packed path is all overhead; one
+/// AVX-512 tile's worth (8x8x8). Perf threshold only -- both sides of the
+/// cut produce identical bits.
+constexpr std::size_t kDirectGemmFlops = 512;
+
 /// Shared argument validation + beta pre-pass. Applying beta in one pass
 /// over C before the product keeps the per-element combine identical
 /// between the tiled and naive kernels: C = (beta-scaled C) + alpha * sum.
@@ -307,8 +350,15 @@ void gemm(Matrix& c, const Matrix& a, const Matrix& b, bool transA,
     return;
   }
   prepareC(c, a, b, transA, transB, beta);
-  tiledGemm(c, a, b, transA, transB, alpha,
-            microKernelForLevel(common::simd::activeKernelLevel()));
+  const MicroKernelEntry kernel =
+      microKernelForLevel(common::simd::activeKernelLevel());
+  const std::size_t kDim = transA ? a.rows() : a.cols();
+  if (c.rows() * c.cols() * kDim <= kDirectGemmFlops) {
+    directGemm(c, a, b, transA, transB, alpha,
+               kernel.info.level != KernelLevel::kSse2);
+    return;
+  }
+  tiledGemm(c, a, b, transA, transB, alpha, kernel);
 }
 
 void referenceGemm(Matrix& c, const Matrix& a, const Matrix& b, bool transA,

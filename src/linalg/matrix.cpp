@@ -15,12 +15,15 @@ Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
 Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   rows_ = rows.size();
   cols_ = rows_ > 0 ? rows.begin()->size() : 0;
-  data_.reserve(rows_ * cols_);
   for (const auto& row : rows) {
     if (row.size() != cols_) {
       throw std::invalid_argument("Matrix: ragged initializer list");
     }
-    data_.insert(data_.end(), row.begin(), row.end());
+  }
+  data_.assign(rows_ * cols_, 0.0);
+  double* dst = data_.data();
+  for (const auto& row : rows) {
+    dst = std::copy(row.begin(), row.end(), dst);
   }
 }
 

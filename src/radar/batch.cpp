@@ -1,0 +1,92 @@
+#include "radar/batch.h"
+
+#include <complex>
+
+#include "common/cpuid.h"
+#include "common/thread_pool.h"
+#include "radar/simd_kernels.h"
+
+namespace rfp::radar {
+
+void processFrameBatch(std::span<const FrameWorkItem> items,
+                       BatchScratch& scratch,
+                       rfp::common::ThreadPool* pool) {
+  const std::size_t numItems = items.size();
+  scratch.fftOffset.resize(numItems);
+  scratch.spectraOffset.resize(numItems);
+  scratch.antennaItem.clear();
+  scratch.antennaLane.clear();
+  scratch.rowItem.clear();
+  scratch.rowLane.clear();
+
+  // Serial plan: prefix sums for the stacked buffers and the flattened
+  // (item, antenna) / (item, row) task lists. Also fills each map's axes
+  // (prepareMap shape-checks, so a bad frame throws here, before any
+  // parallel work).
+  std::size_t fftTotal = 0;
+  std::size_t spectraTotal = 0;
+  for (std::size_t i = 0; i < numItems; ++i) {
+    const FrameWorkItem& item = items[i];
+    scratch.fftOffset[i] = fftTotal;
+    scratch.spectraOffset[i] = spectraTotal;
+    if (item.frame == nullptr || item.out == nullptr) continue;
+    const Processor& p = *item.processor;
+    p.prepareMap(*item.frame, *item.out);
+    const std::size_t nAnt =
+        static_cast<std::size_t>(p.config().numAntennas);
+    const std::size_t numRanges = p.numRangeBins();
+    for (std::size_t k = 0; k < nAnt; ++k) {
+      scratch.antennaItem.push_back(static_cast<std::uint32_t>(i));
+      scratch.antennaLane.push_back(static_cast<std::uint32_t>(k));
+    }
+    for (std::size_t r = 0; r < numRanges; ++r) {
+      scratch.rowItem.push_back(static_cast<std::uint32_t>(i));
+      scratch.rowLane.push_back(static_cast<std::uint32_t>(r));
+    }
+    fftTotal += nAnt * p.fftLength();
+    spectraTotal += numRanges * nAnt;
+  }
+  scratch.fft.resize(fftTotal);
+  scratch.spectraT.resize(spectraTotal);
+
+  rfp::common::ThreadPool& workers =
+      pool != nullptr ? *pool : rfp::common::ThreadPool::global();
+
+  // Pass 1: every (item, antenna) window + range FFT, one pool fan-out
+  // over the whole shard. Each task writes its own stacked fft slice and
+  // its own column of its item's transposed spectra.
+  workers.parallelFor(0, scratch.antennaItem.size(), [&](std::size_t t) {
+    const std::size_t i = scratch.antennaItem[t];
+    const std::size_t k = scratch.antennaLane[t];
+    const FrameWorkItem& item = items[i];
+    const Processor& p = *item.processor;
+    p.fftAntennaInto(*item.frame, k,
+                     scratch.fft.data() + scratch.fftOffset[i] +
+                         k * p.fftLength(),
+                     scratch.spectraT.data() + scratch.spectraOffset[i]);
+  });
+
+  // Pass 2: every (item, range-row) beamforming sweep. The kernel is
+  // resolved once for the batch; each row writes its own disjoint slice
+  // of its item's power grid in fixed angle order -- the same whole-row
+  // sweep the solo path runs, so bits cannot depend on batch composition.
+  const detail::BeamformRowFn beamformRow =
+      detail::beamformRowForLevel(rfp::common::simd::activeKernelLevel());
+  workers.parallelFor(0, scratch.rowItem.size(), [&](std::size_t t) {
+    const std::size_t i = scratch.rowItem[t];
+    const std::size_t r = scratch.rowLane[t];
+    const FrameWorkItem& item = items[i];
+    const Processor& p = *item.processor;
+    const std::size_t nAnt =
+        static_cast<std::size_t>(p.config().numAntennas);
+    const std::size_t numAngles = p.options().numAngleBins;
+    const SteeringMatrix& steering = p.steeringMatrix();
+    const Complex* row =
+        scratch.spectraT.data() + scratch.spectraOffset[i] + r * nAnt;
+    beamformRow(row, steering.w.data(), steering.reT.data(),
+                steering.imT.data(), nAnt, numAngles,
+                item.out->power.data() + r * numAngles);
+  });
+}
+
+}  // namespace rfp::radar

@@ -1,0 +1,63 @@
+#pragma once
+
+/// \file batch.h
+/// Cross-scenario batched range processing (DESIGN.md Sec. 14). A fleet
+/// epoch produces one difference frame per scenario per step; processing
+/// them one scenario at a time fans tiny per-antenna / per-row loops onto
+/// the pool and pays the synchronization per scenario. processFrameBatch
+/// coalesces the whole shard into two planned pool passes over stacked
+/// contiguous buffers -- one over all (frame, antenna) FFTs, one over all
+/// (frame, range-row) beamforming sums -- with the SIMD kernels resolved
+/// once per batch.
+///
+/// Determinism: every work unit is the same pure Processor hook the solo
+/// processInto() path runs (fftAntennaInto / the Eq. 2 dot in fixed
+/// antenna order), each writing disjoint output cells, so each frame's
+/// map is bit-identical to its solo result at any thread count and any
+/// batch composition (batch-size independence).
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "radar/frame.h"
+#include "radar/processor.h"
+
+namespace rfp::common {
+class ThreadPool;
+}
+
+namespace rfp::radar {
+
+/// One frame to process: the producing scenario's processor, the input
+/// (difference) frame, and the caller-owned output map. Frames from
+/// heterogeneous radar configs may share a batch.
+struct FrameWorkItem {
+  const Processor* processor = nullptr;
+  const Frame* frame = nullptr;
+  RangeAngleMap* out = nullptr;
+};
+
+/// Reusable batch workspace: the stacked FFT / transposed-spectra buffers
+/// plus the flattened work plans. One scratch per batching caller.
+struct BatchScratch {
+  std::vector<Complex> fft;       ///< stacked per-(item,antenna) slices
+  std::vector<Complex> spectraT;  ///< stacked per-item [range][antenna]
+  std::vector<std::size_t> fftOffset;      ///< item -> fft slice start
+  std::vector<std::size_t> spectraOffset;  ///< item -> spectraT start
+  std::vector<std::uint32_t> antennaItem;  ///< antenna task -> item
+  std::vector<std::uint32_t> antennaLane;  ///< antenna task -> antenna k
+  std::vector<std::uint32_t> rowItem;      ///< row task -> item
+  std::vector<std::uint32_t> rowLane;      ///< row task -> range row r
+};
+
+/// Processes every item of \p items (skipping entries whose frame or out
+/// is null) through the batched two-pass pipeline. Each out map receives
+/// exactly processInto()'s bits. \p pool defaults to the process-wide
+/// pool.
+void processFrameBatch(std::span<const FrameWorkItem> items,
+                       BatchScratch& scratch,
+                       rfp::common::ThreadPool* pool = nullptr);
+
+}  // namespace rfp::radar

@@ -1,12 +1,15 @@
 #include "radar/frontend.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
 #include "common/constants.h"
 #include "common/cpuid.h"
+#include "common/det_hash.h"
 #include "common/thread_pool.h"
+#include "radar/scene_cache.h"
 #include "radar/simd_kernels.h"
 #include "signal/noise.h"
 
@@ -14,8 +17,40 @@ namespace rfp::radar {
 
 using rfp::common::Vec2;
 
+namespace {
+
+std::uint64_t mixField(std::uint64_t h, double v) {
+  return rfp::common::splitmix64(h ^ std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace
+
 Frontend::Frontend(RadarConfig config) : config_(std::move(config)) {
   config_.validate();
+  // Hash every field the tone math reads: chirp timing/sweep, array
+  // geometry, and the path-loss model. The kernel level is mixed in per
+  // frame by sceneFingerprint() because it can change at runtime.
+  std::uint64_t h = 0x5ce7eca5eull;
+  h = mixField(h, config_.chirp.startHz);
+  h = mixField(h, config_.chirp.stopHz);
+  h = mixField(h, config_.chirp.durationS);
+  h = mixField(h, config_.chirp.sampleRateHz);
+  h = rfp::common::splitmix64(
+      h ^ static_cast<std::uint64_t>(config_.numAntennas));
+  h = mixField(h, config_.spacing());
+  h = mixField(h, config_.position.x);
+  h = mixField(h, config_.position.y);
+  h = mixField(h, config_.arrayAxis.x);
+  h = mixField(h, config_.arrayAxis.y);
+  h = mixField(h, config_.pathLossRefM);
+  h = mixField(h, config_.pathLossExponent);
+  configHash_ = h;
+}
+
+std::uint64_t Frontend::sceneFingerprint() const {
+  return rfp::common::splitmix64(
+      configHash_ ^
+      static_cast<std::uint64_t>(rfp::common::simd::activeKernelLevel()));
 }
 
 double Frontend::pathAmplitude(double distanceM) const {
@@ -35,17 +70,106 @@ Frame Frontend::synthesize(std::span<const env::PointScatterer> scatterers,
 Frame Frontend::synthesize(std::span<const env::PointScatterer> scatterers,
                            double timestampS, std::uint64_t noiseSeed,
                            std::uint64_t chirpIndex) const {
+  Frame frame;
+  synthesizeInto(frame, scatterers, timestampS, noiseSeed, chirpIndex,
+                 /*cache=*/nullptr);
+  return frame;
+}
+
+void Frontend::synthesizeInto(Frame& frame,
+                              std::span<const env::PointScatterer> scatterers,
+                              double timestampS, std::uint64_t noiseSeed,
+                              std::uint64_t chirpIndex,
+                              SceneCache* cache) const {
   const std::size_t numSamples = config_.chirp.samplesPerChirp();
-  const int numAntennas = config_.numAntennas;
+  const std::size_t numAntennas =
+      static_cast<std::size_t>(config_.numAntennas);
   const double dt = 1.0 / config_.chirp.sampleRateHz;
   const double sl = config_.chirp.slope();
   const double f0 = config_.chirp.startHz;
   const double twoPi = 2.0 * rfp::common::pi();
   const Vec2 txPos = config_.position;  // TX colocated with element 0
 
-  Frame frame;
   frame.timestampS = timestampS;
-  frame.samples.assign(numAntennas, std::vector<Complex>(numSamples));
+  frame.samples.resize(numAntennas);
+  for (auto& row : frame.samples) row.assign(numSamples, Complex{});
+
+  // The tone accumulation runs through the cpuid-selected kernel
+  // (DESIGN.md Sec. 13), resolved once per frame.
+  const detail::ToneAccumFn toneAccum =
+      detail::toneAccumForLevel(rfp::common::simd::activeKernelLevel());
+  auto& pool = rfp::common::ThreadPool::global();
+
+  if (cache != nullptr) {
+    // Cached path: serial acquire in list order (the fingerprint drops
+    // the cache across config/kernel changes), then an antenna fan-out
+    // that fills only the fresh rows and re-sums every row in the same
+    // list order -- bit-identical to the fused loop below because the
+    // kernel's tone values do not depend on the accumulator.
+    cache->beginFrame(sceneFingerprint(), numAntennas, numSamples);
+    for (const env::PointScatterer& s : scatterers) {
+      SceneCache::Ref& r = cache->acquire(s);
+      if (r.entry == nullptr) {
+        // Doorkeeper declined (first sighting, typically a moving ghost
+        // pose): hoist the TX geometry onto the ref and synthesize fused.
+        r.dTx = (s.position - txPos).norm() + s.radialOffsetM;
+        r.amp = s.amplitude * pathAmplitude(r.dTx);
+      } else if (r.fresh) {
+        SceneCache::Entry& e = *r.entry;
+        e.dTx = (s.position - txPos).norm() + s.radialOffsetM;
+        e.amp = s.amplitude * pathAmplitude(e.dTx);
+        e.nonzero = e.amp > 0.0;
+      }
+    }
+    const std::span<const SceneCache::Ref> refs = cache->frameRefs();
+    pool.parallelFor(0, numAntennas, [&](std::size_t k) {
+      std::vector<Complex>& dst = frame.samples[k];
+      const Vec2 rxPos = config_.antennaPosition(static_cast<int>(k));
+      for (std::size_t i = 0; i < scatterers.size(); ++i) {
+        if (refs[i].entry == nullptr) {
+          // Bypassed dynamic scatterer: same math as the fused loop
+          // below, accumulated straight into the output row. Order is
+          // list order either way, so the frame stays bit-identical.
+          const double amp = refs[i].amp;
+          if (amp <= 0.0) continue;
+          const env::PointScatterer& s = scatterers[i];
+          const double dRx = (s.position - rxPos).norm() + s.radialOffsetM;
+          const double tau =
+              (refs[i].dTx + dRx) / rfp::common::kSpeedOfLight;
+          const double beatHz = sl * tau + s.beatFreqOffsetHz;
+          const double basePhase = twoPi * f0 * tau + s.phaseOffsetRad;
+          toneAccum(dst.data(), numSamples, std::polar(amp, basePhase),
+                    std::polar(1.0, twoPi * beatHz * dt));
+          continue;
+        }
+        SceneCache::Entry& e = *refs[i].entry;
+        // A duplicate key later in the list resolves to the same entry:
+        // only the first (fresh) occurrence fills the row, every
+        // occurrence re-sums it -- matching the fused double-accumulate.
+        if (refs[i].fresh && e.nonzero) {
+          const env::PointScatterer& s = scatterers[i];
+          const double dRx = (s.position - rxPos).norm() + s.radialOffsetM;
+          const double tau = (e.dTx + dRx) / rfp::common::kSpeedOfLight;
+          const double beatHz = sl * tau + s.beatFreqOffsetHz;
+          const double basePhase = twoPi * f0 * tau + s.phaseOffsetRad;
+          toneAccum(e.data.data() + k * numSamples, numSamples,
+                    std::polar(e.amp, basePhase),
+                    std::polar(1.0, twoPi * beatHz * dt));
+        }
+        if (e.nonzero) {
+          const Complex* row = e.data.data() + k * numSamples;
+          Complex* out = dst.data();
+          for (std::size_t n = 0; n < numSamples; ++n) out[n] += row[n];
+        }
+      }
+      if (config_.noisePower > 0.0) {
+        rfp::signal::addAwgn(dst, config_.noisePower, noiseSeed,
+                             chirpIndex, /*stream=*/k);
+      }
+    });
+    cache->endFrame();
+    return;
+  }
 
   // TX-side geometry is antenna-independent; hoist it out of the fan-out.
   struct TxPath {
@@ -60,37 +184,31 @@ Frame Frontend::synthesize(std::span<const env::PointScatterer> scatterers,
   }
 
   // Each antenna owns its sample buffer and accumulates scatterer tones in
-  // list order, so the result is bit-identical at any thread count. The
-  // tone accumulation runs through the cpuid-selected kernel (DESIGN.md
-  // Sec. 13), resolved once per frame.
-  const detail::ToneAccumFn toneAccum =
-      detail::toneAccumForLevel(rfp::common::simd::activeKernelLevel());
-  rfp::common::ThreadPool::global().parallelFor(
-      0, static_cast<std::size_t>(numAntennas), [&](std::size_t k) {
-        std::vector<Complex>& dst = frame.samples[k];
-        const Vec2 rxPos = config_.antennaPosition(static_cast<int>(k));
-        for (std::size_t i = 0; i < scatterers.size(); ++i) {
-          const env::PointScatterer& s = scatterers[i];
-          const double amp = tx[i].amp;
-          if (amp <= 0.0) continue;
-          const double dRx = (s.position - rxPos).norm() + s.radialOffsetM;
-          const double tau = (tx[i].dTx + dRx) / rfp::common::kSpeedOfLight;
-          const double beatHz = sl * tau + s.beatFreqOffsetHz;
-          const double basePhase = twoPi * f0 * tau + s.phaseOffsetRad;
+  // list order, so the result is bit-identical at any thread count.
+  pool.parallelFor(0, numAntennas, [&](std::size_t k) {
+    std::vector<Complex>& dst = frame.samples[k];
+    const Vec2 rxPos = config_.antennaPosition(static_cast<int>(k));
+    for (std::size_t i = 0; i < scatterers.size(); ++i) {
+      const env::PointScatterer& s = scatterers[i];
+      const double amp = tx[i].amp;
+      if (amp <= 0.0) continue;
+      const double dRx = (s.position - rxPos).norm() + s.radialOffsetM;
+      const double tau = (tx[i].dTx + dRx) / rfp::common::kSpeedOfLight;
+      const double beatHz = sl * tau + s.beatFreqOffsetHz;
+      const double basePhase = twoPi * f0 * tau + s.phaseOffsetRad;
 
-          // Accumulate the tone with a per-sample phase rotation; the
-          // recurrence avoids numSamples sin/cos calls per
-          // scatterer-antenna pair.
-          const Complex rot = std::polar(1.0, twoPi * beatHz * dt);
-          const Complex phasor = std::polar(amp, basePhase);
-          toneAccum(dst.data(), numSamples, phasor, rot);
-        }
-        if (config_.noisePower > 0.0) {
-          rfp::signal::addAwgn(dst, config_.noisePower, noiseSeed,
-                               chirpIndex, /*stream=*/k);
-        }
-      });
-  return frame;
+      // Accumulate the tone with a per-sample phase rotation; the
+      // recurrence avoids numSamples sin/cos calls per
+      // scatterer-antenna pair.
+      const Complex rot = std::polar(1.0, twoPi * beatHz * dt);
+      const Complex phasor = std::polar(amp, basePhase);
+      toneAccum(dst.data(), numSamples, phasor, rot);
+    }
+    if (config_.noisePower > 0.0) {
+      rfp::signal::addAwgn(dst, config_.noisePower, noiseSeed,
+                           chirpIndex, /*stream=*/k);
+    }
+  });
 }
 
 void applyAdcSaturation(Frame& frame, double clipLevel) {

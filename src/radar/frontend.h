@@ -31,6 +31,8 @@
 
 namespace rfp::radar {
 
+class SceneCache;
+
 /// Beat-signal synthesizer for a configured radar.
 ///
 /// Thread-safety: const and internally synchronized -- synthesize() may be
@@ -60,12 +62,31 @@ class Frontend {
                    double timestampS, std::uint64_t noiseSeed,
                    std::uint64_t chirpIndex) const;
 
+  /// Deterministic synthesis into a caller-owned buffer: \p frame is
+  /// resized (antenna rows reuse their capacity) and overwritten, so a
+  /// steady-state caller performs no allocation. With a non-null \p cache
+  /// each scatterer's per-antenna beat-tone rows are memoized and the
+  /// frame assembled by re-summing them in list order; the result is
+  /// bit-identical to the uncached path at any thread count and cache
+  /// temperature (scene_cache.h).
+  void synthesizeInto(Frame& frame,
+                      std::span<const env::PointScatterer> scatterers,
+                      double timestampS, std::uint64_t noiseSeed,
+                      std::uint64_t chirpIndex,
+                      SceneCache* cache = nullptr) const;
+
+  /// Fingerprint over every configuration field that enters the tone
+  /// math plus the active SIMD kernel level; SceneCache drops itself when
+  /// this changes between frames.
+  std::uint64_t sceneFingerprint() const;
+
   /// Amplitude observed from a scatterer of unit reflectivity at distance
   /// \p d (radar-equation path loss, normalized at config.pathLossRefM).
   double pathAmplitude(double distanceM) const;
 
  private:
   RadarConfig config_;
+  std::uint64_t configHash_ = 0;  ///< tone-math fields, hashed once
 };
 
 /// Models ADC saturation: clips every I/Q sample of \p frame to

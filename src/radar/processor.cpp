@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <tuple>
 
+#include "common/cache_budget.h"
 #include "common/constants.h"
 #include "common/cpuid.h"
 #include "common/thread_pool.h"
@@ -25,14 +26,30 @@ namespace {
 /// depends on -- angle-grid size, array size, element spacing, and
 /// wavelength (doubles compared by exact bit pattern, so any config change
 /// resolves to a fresh entry rather than a stale one). Entries are
-/// immutable and shared across Processor instances and threads.
+/// immutable and shared across Processor instances and threads; least
+/// recently used entries are evicted once the steering half of the
+/// RFP_CACHE_MB budget is exceeded (eviction is safe because instances
+/// hold shared_ptr references).
 using SteeringKey = std::tuple<std::size_t, int, std::uint64_t, std::uint64_t>;
 
-std::mutex steeringMutex;
-std::map<SteeringKey, std::shared_ptr<const std::vector<Complex>>>
-    steeringCache;
+struct SteeringSlot {
+  std::shared_ptr<const SteeringMatrix> matrix;
+  std::uint64_t lastUse = 0;
+};
 
-std::shared_ptr<const std::vector<Complex>> steeringFor(
+std::mutex steeringMutex;
+std::map<SteeringKey, SteeringSlot> steeringCache;
+std::uint64_t steeringUseCounter = 0;
+std::size_t steeringCacheBytes = 0;
+
+std::size_t steeringBytes(const SteeringKey& key) {
+  // Interleaved matrix + the two transposed planes (each pair of doubles
+  // in the planes mirrors one Complex).
+  return std::get<0>(key) * static_cast<std::size_t>(std::get<1>(key)) *
+         (2 * sizeof(Complex));
+}
+
+std::shared_ptr<const SteeringMatrix> steeringFor(
     const std::vector<double>& anglesRad, int numAntennas, double spacingM,
     double lambda) {
   auto& cache = steeringCache;
@@ -47,22 +64,48 @@ std::shared_ptr<const std::vector<Complex>> steeringFor(
     // shortening), so the matched beamformer multiplies by the conjugate
     // (paper Eq. 2).
     const double twoPi = 2.0 * rfp::common::pi();
-    std::vector<Complex> steering(anglesRad.size() *
-                                  static_cast<std::size_t>(numAntennas));
-    for (std::size_t a = 0; a < anglesRad.size(); ++a) {
+    const std::size_t numAngles = anglesRad.size();
+    const std::size_t nAnt = static_cast<std::size_t>(numAntennas);
+    SteeringMatrix m;
+    m.w.resize(numAngles * nAnt);
+    m.reT.resize(nAnt * numAngles);
+    m.imT.resize(nAnt * numAngles);
+    for (std::size_t a = 0; a < numAngles; ++a) {
       const double cosTheta = std::cos(anglesRad[a]);
-      for (int k = 0; k < numAntennas; ++k) {
-        steering[a * numAntennas + k] = std::polar(
+      for (std::size_t k = 0; k < nAnt; ++k) {
+        const Complex v = std::polar(
             1.0,
             twoPi * spacingM * static_cast<double>(k) * cosTheta / lambda);
+        m.w[a * nAnt + k] = v;
+        m.reT[k * numAngles + a] = v.real();
+        m.imT[k * numAngles + a] = v.imag();
       }
     }
     it = cache
-             .emplace(key, std::make_shared<const std::vector<Complex>>(
-                               std::move(steering)))
+             .emplace(key, SteeringSlot{std::make_shared<
+                                            const SteeringMatrix>(
+                                            std::move(m)),
+                                        0})
              .first;
+    steeringCacheBytes += steeringBytes(key);
+    const std::size_t cap = rfp::common::cacheBudgetBytes() / 2;
+    while (steeringCacheBytes > cap && cache.size() > 1) {
+      auto victim = cache.end();
+      for (auto jt = cache.begin(); jt != cache.end(); ++jt) {
+        if (jt == it) continue;
+        if (victim == cache.end() ||
+            jt->second.lastUse < victim->second.lastUse) {
+          victim = jt;
+        }
+      }
+      if (victim == cache.end()) break;
+      steeringCacheBytes -=
+          std::min(steeringBytes(victim->first), steeringCacheBytes);
+      cache.erase(victim);
+    }
   }
-  return it->second;
+  it->second.lastUse = ++steeringUseCounter;
+  return it->second.matrix;
 }
 
 }  // namespace
@@ -156,81 +199,115 @@ rfp::common::Polar Processor::toRadarPolar(Vec2 world) const {
   return {range, angle};
 }
 
-std::vector<std::vector<Complex>> Processor::rangeSpectra(
-    const Frame& frame) const {
+void Processor::checkShape(const Frame& frame) const {
   if (frame.numAntennas() != static_cast<std::size_t>(config_.numAntennas)) {
     throw std::invalid_argument("Processor: frame antenna count mismatch");
   }
   if (frame.samplesPerChirp() != config_.chirp.samplesPerChirp()) {
     throw std::invalid_argument("Processor: frame sample count mismatch");
   }
+}
+
+void Processor::prepareMap(const Frame& frame, RangeAngleMap& out) const {
+  checkShape(frame);
+  const std::size_t numRanges = lastBin_ - firstBin_;
+  out.timestampS = frame.timestampS;
+  out.rangesM.resize(numRanges);
+  for (std::size_t r = 0; r < numRanges; ++r) out.rangesM[r] = rangeOfBin(r);
+  out.anglesRad = anglesRad_;
+  out.power.assign(numRanges * options_.numAngleBins, 0.0);
+}
+
+void Processor::fftAntennaInto(const Frame& frame, std::size_t k,
+                               Complex* fftSlot, Complex* spectraT) const {
+  // Same value sequence as the historical copy + applyWindow +
+  // fft(windowed, fftSize_) chain, on caller storage: the window touches
+  // the first samplesPerChirp entries, the rest is the zero padding.
+  const std::size_t samples = config_.chirp.samplesPerChirp();
+  const std::vector<Complex>& src = frame.samples[k];
+  std::copy(src.begin(), src.end(), fftSlot);
+  rfp::signal::applyWindow(std::span<Complex>(fftSlot, samples),
+                           windowCoeffs_);
+  std::fill(fftSlot + samples, fftSlot + fftSize_, Complex{});
+  rfp::signal::fftInPlaceSpan(std::span<Complex>(fftSlot, fftSize_));
+  const std::size_t nAnt = static_cast<std::size_t>(config_.numAntennas);
+  const std::size_t numRanges = lastBin_ - firstBin_;
+  for (std::size_t r = 0; r < numRanges; ++r) {
+    spectraT[r * nAnt + k] = fftSlot[firstBin_ + r];
+  }
+}
+
+void Processor::processInto(const Frame& frame, RangeAngleMap& out,
+                            ProcessorScratch& scratch) const {
+  prepareMap(frame, out);
+  const std::size_t numRanges = lastBin_ - firstBin_;
+  const std::size_t numAngles = options_.numAngleBins;
+  const std::size_t nAnt = static_cast<std::size_t>(config_.numAntennas);
+
+  scratch.fft.resize(nAnt * fftSize_);
+  scratch.spectraT.resize(numRanges * nAnt);
+
   // One independent window + FFT per antenna; each iteration writes its
-  // own slot, so the fan-out is deterministic at any thread count.
-  std::vector<std::vector<Complex>> spectra(frame.numAntennas());
+  // own stacked slice and its own transposed column, so the fan-out is
+  // deterministic at any thread count. The transpose makes the
+  // beamforming dot stream unit-stride.
+  rfp::common::ThreadPool::global().parallelFor(0, nAnt, [&](std::size_t k) {
+    fftAntennaInto(frame, k, scratch.fft.data() + k * fftSize_,
+                   scratch.spectraT.data());
+  });
+
+  // Beamform row-parallel: each range row writes its own disjoint slice of
+  // out.power with a fixed antenna accumulation order (paper Eq. 2, using
+  // the cached steering matrix). The whole-row sweep runs through the
+  // cpuid-selected kernel (DESIGN.md Sec. 13), resolved once per frame.
+  const detail::BeamformRowFn beamformRow =
+      detail::beamformRowForLevel(rfp::common::simd::activeKernelLevel());
+  const SteeringMatrix& steering = *steering_;
   rfp::common::ThreadPool::global().parallelFor(
-      0, frame.numAntennas(), [&](std::size_t k) {
-        std::vector<Complex> windowed = frame.samples[k];
-        rfp::signal::applyWindow(windowed, windowCoeffs_);
-        std::vector<Complex> spec = rfp::signal::fft(windowed, fftSize_);
-        spectra[k] = std::vector<Complex>(spec.begin() + firstBin_,
-                                          spec.begin() + lastBin_);
+      0, numRanges, [&](std::size_t r) {
+        beamformRow(&scratch.spectraT[r * nAnt], steering.w.data(),
+                    steering.reT.data(), steering.imT.data(), nAnt,
+                    numAngles, &out.power[r * numAngles]);
       });
-  return spectra;
 }
 
 RangeAngleMap Processor::process(const Frame& frame) const {
-  const auto spectra = rangeSpectra(frame);
-  const std::size_t numRanges = lastBin_ - firstBin_;
-  const std::size_t numAngles = options_.numAngleBins;
-  const int numAntennas = config_.numAntennas;
-
   RangeAngleMap map;
-  map.timestampS = frame.timestampS;
-  map.rangesM.resize(numRanges);
-  for (std::size_t r = 0; r < numRanges; ++r) map.rangesM[r] = rangeOfBin(r);
-  map.anglesRad = anglesRad_;
-  map.power.assign(numRanges * numAngles, 0.0);
-
-  // Transpose the spectra to contiguous per-range antenna rows so the
-  // beamforming dot streams unit-stride. Pure data movement -- exact at
-  // every kernel level.
-  const std::size_t nAnt = static_cast<std::size_t>(numAntennas);
-  std::vector<Complex> spectraT(numRanges * nAnt);
-  for (std::size_t k = 0; k < nAnt; ++k) {
-    const std::vector<Complex>& col = spectra[k];
-    for (std::size_t r = 0; r < numRanges; ++r) {
-      spectraT[r * nAnt + k] = col[r];
-    }
-  }
-
-  // Beamform row-parallel: each range row writes its own disjoint slice of
-  // map.power with a fixed antenna accumulation order (paper Eq. 2, using
-  // the cached steering matrix). The dot product runs through the
-  // cpuid-selected kernel (DESIGN.md Sec. 13), resolved once per frame.
-  const detail::BeamformDotFn beamformDot =
-      detail::beamformDotForLevel(rfp::common::simd::activeKernelLevel());
-  const std::vector<Complex>& steering = *steering_;
-  rfp::common::ThreadPool::global().parallelFor(0, numRanges, [&](
-                                                    std::size_t r) {
-    const Complex* row = &spectraT[r * nAnt];
-    for (std::size_t a = 0; a < numAngles; ++a) {
-      map.at(r, a) = std::norm(beamformDot(row, &steering[a * nAnt], nAnt));
-    }
-  });
+  ProcessorScratch scratch;
+  processInto(frame, map, scratch);
   return map;
+}
+
+const Frame* Processor::backgroundDiff(const Frame& frame) {
+  if (!hasPrevious_) {
+    previous_ = frame;
+    hasPrevious_ = true;
+    return nullptr;
+  }
+  if (frame.numAntennas() != previous_.numAntennas() ||
+      frame.samplesPerChirp() != previous_.samplesPerChirp()) {
+    throw std::invalid_argument("Frame subtraction: shape mismatch");
+  }
+  diff_.timestampS = frame.timestampS;
+  diff_.samples.resize(frame.numAntennas());
+  for (std::size_t k = 0; k < frame.numAntennas(); ++k) {
+    const std::vector<Complex>& cur = frame.samples[k];
+    const std::vector<Complex>& prev = previous_.samples[k];
+    std::vector<Complex>& d = diff_.samples[k];
+    d.resize(cur.size());
+    for (std::size_t n = 0; n < cur.size(); ++n) d[n] = cur[n] - prev[n];
+  }
+  previous_ = frame;
+  return &diff_;
 }
 
 std::optional<RangeAngleMap> Processor::processWithBackgroundSubtraction(
     const Frame& frame) {
-  if (!previous_.has_value()) {
-    previous_ = frame;
-    return std::nullopt;
-  }
-  const Frame diff = frame - *previous_;
-  previous_ = frame;
-  return process(diff);
+  const Frame* diff = backgroundDiff(frame);
+  if (diff == nullptr) return std::nullopt;
+  return process(*diff);
 }
 
-void Processor::resetBackground() { previous_.reset(); }
+void Processor::resetBackground() { hasPrevious_ = false; }
 
 }  // namespace rfp::radar

@@ -15,11 +15,18 @@
 /// (numAngles, numAntennas, spacing, wavelength) tuple from a process-wide
 /// immutable cache (repeated frames -- and repeated Processor
 /// constructions in sweep harnesses -- stop re-deriving it), and the range
-/// FFT reuses the signal-layer twiddle cache keyed by fftSize.
+/// FFT reuses the signal-layer twiddle cache keyed by fftSize. Both caches
+/// are LRU-bounded by the RFP_CACHE_MB budget (common/cache_budget.h).
+///
+/// Zero-allocation path. processInto() + ProcessorScratch expose the same
+/// pipeline on caller-owned storage; processFrameBatch (radar/batch.h)
+/// builds on the per-antenna / per-row hooks below to run many frames
+/// through one pool pass over stacked contiguous buffers.
 
 #include <cstddef>
 #include <memory>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/vec2.h"
@@ -57,6 +64,18 @@ struct RangeAngleMap {
   double totalPower() const;
 };
 
+/// One shared steering-matrix cache entry: the row-major [angle][antenna]
+/// Eq. 2 matrix plus its transposed, deinterleaved planes ([antenna 0's
+/// factor for every angle, then antenna 1's, ...]). The planes are what
+/// the angle-batched beamformRow kernels stream -- contiguous loads
+/// across angle lanes instead of a strided gather -- while the scalar
+/// kernels and tests keep using the interleaved matrix.
+struct SteeringMatrix {
+  std::vector<Complex> w;   ///< [angle][antenna]
+  std::vector<double> reT;  ///< [antenna][angle], real parts
+  std::vector<double> imT;  ///< [antenna][angle], imaginary parts
+};
+
 /// Processor options.
 struct ProcessorOptions {
   rfp::signal::WindowType window = rfp::signal::WindowType::kHann;
@@ -66,12 +85,22 @@ struct ProcessorOptions {
   double minRangeM = 0.3;         ///< rows below this are dropped
 };
 
+/// Reusable workspace for processInto(): the stacked per-antenna FFT
+/// buffer and the [range][antenna] transposed spectra. Pass the same
+/// instance across frames to run the pipeline allocation-free after the
+/// first call. One scratch per concurrent caller.
+struct ProcessorScratch {
+  std::vector<Complex> fft;       ///< [antenna][fftSize], row-major
+  std::vector<Complex> spectraT;  ///< [range][antenna], row-major
+};
+
 /// Converts frames into range-angle maps and manages background subtraction.
 ///
-/// Thread-safety: process() and the coordinate transforms are const and
-/// safe to call concurrently; processWithBackgroundSubtraction() mutates
-/// the stored previous frame and must be externally serialized per
-/// instance (one eavesdropper pipeline = one frame sequence).
+/// Thread-safety: process()/processInto() and the coordinate transforms
+/// are const and safe to call concurrently (with distinct scratches);
+/// backgroundDiff()/processWithBackgroundSubtraction() mutate the stored
+/// previous frame and must be externally serialized per instance (one
+/// eavesdropper pipeline = one frame sequence).
 class Processor {
  public:
   Processor(RadarConfig config, ProcessorOptions options = {});
@@ -83,10 +112,22 @@ class Processor {
   /// Deterministic: bit-identical output at any thread count.
   RangeAngleMap process(const Frame& frame) const;
 
+  /// process() onto caller-owned storage: \p out's vectors and \p scratch
+  /// reuse their capacity, so steady-state calls allocate nothing.
+  /// Bit-identical to process().
+  void processInto(const Frame& frame, RangeAngleMap& out,
+                   ProcessorScratch& scratch) const;
+
   /// Range-angle map of (frame - previous frame); the first call returns
   /// std::nullopt (nothing to subtract against yet) and primes the state.
   std::optional<RangeAngleMap> processWithBackgroundSubtraction(
       const Frame& frame);
+
+  /// The background-subtraction step alone, on reused storage: returns
+  /// nullptr on the priming call, afterwards a pointer to the internally
+  /// stored (frame - previous) difference, valid until the next call.
+  /// Throws std::invalid_argument on shape mismatch with the primed frame.
+  const Frame* backgroundDiff(const Frame& frame);
 
   /// Forgets the stored previous frame.
   void resetBackground();
@@ -102,9 +143,29 @@ class Processor {
   /// Inverse of toWorld: (range, angle-from-array-axis) of a world point.
   rfp::common::Polar toRadarPolar(rfp::common::Vec2 world) const;
 
+  // --- Batched-execution hooks (radar/batch.h). Each is a pure slice of
+  // the processInto() pipeline, bit-identical to the fused path. ---
+
+  /// Rows kept of the range FFT ([minRangeM, maxRangeM) window).
+  std::size_t numRangeBins() const { return lastBin_ - firstBin_; }
+  std::size_t fftLength() const { return fftSize_; }
+  /// Row-major [angle][antenna] Eq. 2 steering matrix.
+  std::span<const Complex> steering() const { return steering_->w; }
+  /// Full cache entry including the transposed planes beamformRow wants.
+  const SteeringMatrix& steeringMatrix() const { return *steering_; }
+
+  /// Fills \p out's axes/timestamp and zeroes its power grid (vectors
+  /// reuse capacity); shape-checks \p frame against the config.
+  void prepareMap(const Frame& frame, RangeAngleMap& out) const;
+
+  /// Window + range FFT of antenna \p k into the caller's
+  /// fftLength()-long slice \p fftSlot, scattering the kept rows into
+  /// column \p k of the [range][antenna] buffer \p spectraT.
+  void fftAntennaInto(const Frame& frame, std::size_t k, Complex* fftSlot,
+                      Complex* spectraT) const;
+
  private:
-  /// Per-antenna range spectra (rows of the FFT kept within range limits).
-  std::vector<std::vector<Complex>> rangeSpectra(const Frame& frame) const;
+  void checkShape(const Frame& frame) const;
 
   RadarConfig config_;
   ProcessorOptions options_;
@@ -113,15 +174,17 @@ class Processor {
   std::size_t lastBin_;  // exclusive
   std::vector<double> windowCoeffs_;
   std::vector<double> anglesRad_;  ///< beamforming angle grid, (0, pi)
-  /// Eq. 2 steering matrix, row-major [angle][antenna]; shared immutable
-  /// entry of the process-wide steering cache.
-  std::shared_ptr<const std::vector<Complex>> steering_;
-  std::optional<Frame> previous_;
+  /// Eq. 2 steering matrix (+ transposed planes); shared immutable entry
+  /// of the process-wide steering cache.
+  std::shared_ptr<const SteeringMatrix> steering_;
+  bool hasPrevious_ = false;
+  Frame previous_;   ///< last frame seen by backgroundDiff
+  Frame diff_;       ///< reused (frame - previous) buffer
 };
 
 /// Number of distinct steering matrices currently cached process-wide
 /// (test/introspection hook for the cache keyed on numAngles, numAntennas,
-/// spacing, and wavelength).
+/// spacing, and wavelength; LRU-bounded to half the RFP_CACHE_MB budget).
 std::size_t steeringCacheEntries();
 
 }  // namespace rfp::radar

@@ -1,0 +1,122 @@
+#include "radar/scene_cache.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/cache_budget.h"
+#include "common/det_hash.h"
+
+namespace rfp::radar {
+
+namespace {
+
+/// Sweep cadence: entries unused for a full window are evicted. Static
+/// scene scatterers are re-acquired every frame and never age out; a
+/// moving ghost's per-pose entries are reclaimed within one window.
+constexpr std::uint64_t kSweepEveryFrames = 32;
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return rfp::common::splitmix64(h ^ v);
+}
+
+}  // namespace
+
+std::size_t SceneCache::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = 0x5ce4eca5u;
+  for (int i = 0; i < 6; ++i) h = mix(h, k.bits[i]);
+  return static_cast<std::size_t>(h);
+}
+
+SceneCache::SceneCache(std::size_t maxBytes)
+    : door_(kDoorSlots), maxBytes_(maxBytes) {
+  if (maxBytes_ == 0) maxBytes_ = rfp::common::cacheBudgetBytes() / 4;
+  if (maxBytes_ == 0) maxBytes_ = 1;
+}
+
+void SceneCache::dropAll(bool countInvalidation) {
+  if (countInvalidation && !entries_.empty()) ++stats_.invalidations;
+  entries_.clear();
+  std::fill(door_.begin(), door_.end(), DoorSlot{});
+  bytes_ = 0;
+}
+
+void SceneCache::invalidate() { dropAll(/*countInvalidation=*/true); }
+
+void SceneCache::beginFrame(std::uint64_t configFingerprint,
+                            std::size_t numAntennas,
+                            std::size_t numSamples) {
+  if (!hasFingerprint_ || fingerprint_ != configFingerprint) {
+    dropAll(/*countInvalidation=*/hasFingerprint_);
+    fingerprint_ = configFingerprint;
+    hasFingerprint_ = true;
+  }
+  rowBytes_ = numAntennas * numSamples * sizeof(Complex);
+  ++generation_;
+  refs_.clear();
+}
+
+SceneCache::Ref& SceneCache::acquire(const env::PointScatterer& s) {
+  const Key key{{std::bit_cast<std::uint64_t>(s.position.x),
+                 std::bit_cast<std::uint64_t>(s.position.y),
+                 std::bit_cast<std::uint64_t>(s.amplitude),
+                 std::bit_cast<std::uint64_t>(s.radialOffsetM),
+                 std::bit_cast<std::uint64_t>(s.beatFreqOffsetHz),
+                 std::bit_cast<std::uint64_t>(s.phaseOffsetRad)}};
+  const std::uint64_t h = KeyHash{}(key);
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    Entry& e = it->second;
+    e.lastUse = generation_;
+    ++stats_.hits;
+    refs_.push_back({&e, /*fresh=*/false});
+    return refs_.back();
+  }
+  // Unknown key: consult the doorkeeper. Only a key sighted within the
+  // last couple of frames (or earlier this frame -- a duplicate) earns a
+  // full entry; a first sighting is parked and synthesized fused. The
+  // window is deliberately tight: epoch-stable scatterers reappear every
+  // frame, ghost poses never do.
+  DoorSlot& slot = door_[static_cast<std::size_t>(h) & (kDoorSlots - 1)];
+  const bool promote = slot.hash == h && generation_ - slot.gen <= 2;
+  slot.hash = h;
+  slot.gen = generation_;
+  if (!promote) {
+    ++stats_.bypassed;
+    refs_.push_back(Ref{});
+    return refs_.back();
+  }
+  Entry& e = entries_[key];
+  e.lastUse = generation_;
+  e.data.assign(rowBytes_ / sizeof(Complex), Complex{});
+  bytes_ += rowBytes_;
+  ++stats_.misses;
+  refs_.push_back({&e, /*fresh=*/true});
+  return refs_.back();
+}
+
+void SceneCache::endFrame() {
+  const bool overBudget = bytes_ > maxBytes_;
+  if (overBudget || generation_ % kSweepEveryFrames == 0) {
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.lastUse != generation_) {
+        bytes_ -= std::min(rowBytes_, bytes_);
+        it = entries_.erase(it);
+        ++stats_.evictions;
+      } else {
+        ++it;
+      }
+    }
+  }
+  // A single frame's working set larger than the cap: caching it would
+  // pin more than the budget, so drop everything and run uncached until
+  // the scene shrinks (correctness is unaffected; rows are recomputed).
+  if (bytes_ > maxBytes_) dropAll(/*countInvalidation=*/false);
+}
+
+SceneCache::Stats SceneCache::stats() const {
+  Stats out = stats_;
+  out.entries = entries_.size();
+  out.bytes = bytes_;
+  return out;
+}
+
+}  // namespace rfp::radar

@@ -1,0 +1,180 @@
+#pragma once
+
+/// \file scene_cache.h
+/// Incremental scene cache for the FMCW front end (DESIGN.md Sec. 14).
+///
+/// A fleet epoch re-synthesizes every scenario's frame even though most
+/// scatterers -- walls, furniture multipath images, idle residents -- are
+/// bit-identical between frames. The beat tone of one scatterer at one
+/// antenna depends only on the scatterer's pose/gain fields and the chirp
+/// configuration, *not* on the frame timestamp, so its per-antenna
+/// contribution can be memoized and re-summed.
+///
+/// Key contract. An entry is keyed on the exact bit patterns
+/// (`std::bit_cast<uint64_t>`) of the six scatterer fields that enter the
+/// tone math: position.x, position.y, amplitude, radialOffsetM,
+/// beatFreqOffsetHz, phaseOffsetRad. `multipathGain` and `sourceId` are
+/// deliberately excluded -- they never reach the front end's arithmetic.
+/// Keys compare by full field equality (the hash only buckets), so a
+/// collision can never splice one scatterer's physics into another's.
+///
+/// Admission. A moving ghost presents a brand-new key every frame; caching
+/// it would allocate rows, fill them, and evict them one frame later --
+/// pure churn that costs more than the synthesis it saves. Instead of
+/// trusting any scatterer flag (the `dynamic` bit means "survives
+/// background subtraction", and idle residents carry it while standing
+/// perfectly still), admission is history-driven: a fixed-size doorkeeper
+/// table records first sightings, and a key is only promoted to a full
+/// entry when it reappears within a couple of frames. One-shot keys are
+/// returned as *bypass* refs (null entry) that the front end synthesizes
+/// fused, which is bit-identical anyway (see below). Doorkeeper collisions
+/// merely mis-admit or re-probe a key -- correctness never depends on the
+/// admission decision.
+///
+/// Invalidation. Every frame carries a configuration fingerprint hashed
+/// over the chirp parameters, array geometry, path-loss model, *and the
+/// active SIMD kernel level*; a fingerprint change (scenario
+/// reconfiguration, RFP_KERNEL switch) drops the whole cache, because
+/// cached contributions were produced by the old kernel's rounding.
+/// Callers additionally call invalidate() on fault events that corrupt
+/// frames in place. Entries not referenced for a sweep window are evicted
+/// on frame end; a per-instance byte cap bounds worst-case footprint.
+///
+/// Bit-identity. The cached row for antenna k is produced by the *same*
+/// toneAccum kernel the fused path uses, starting from a zeroed buffer.
+/// toneAccum's contribution is accumulator-independent (it adds the tone
+/// into dst), so summing rows in scatterer list order reproduces the fused
+/// accumulation bit-exactly -- including the `amp <= 0` skip, which the
+/// assembly replicates via the per-entry `nonzero` flag instead of adding
+/// a zero row (adding one could flip a -0.0 sample to +0.0).
+///
+/// Thread-safety: none. One SceneCache belongs to one scenario's front end
+/// and is driven serially (beginFrame / acquire... / endFrame) from the
+/// synthesis call; the antenna fan-out only writes disjoint rows of
+/// already-allocated entry buffers.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "env/scatterer.h"
+#include "radar/frame.h"
+
+namespace rfp::radar {
+
+class SceneCache {
+ public:
+  /// Hit/miss accounting (cumulative since construction).
+  struct Stats {
+    std::uint64_t hits = 0;          ///< scatterer looked up, row reused
+    std::uint64_t misses = 0;        ///< scatterer synthesized fresh
+    std::uint64_t bypassed = 0;      ///< dynamic scatterer, fused uncached
+    std::uint64_t invalidations = 0; ///< full drops (config/kernel/explicit)
+    std::uint64_t evictions = 0;     ///< stale entries swept on frame end
+    std::size_t entries = 0;         ///< live entries
+    std::size_t bytes = 0;           ///< live payload bytes
+  };
+
+  /// One memoized scatterer: its per-antenna beat-tone rows plus the
+  /// TX-side geometry hoisted by the front end.
+  struct Entry {
+    std::vector<Complex> data;  ///< [antenna][sample], row-major
+    double dTx = 0.0;           ///< TX path length incl. radialOffsetM
+    double amp = 0.0;           ///< amplitude after path loss
+    bool nonzero = false;       ///< amp > 0: rows carry signal
+    std::uint64_t lastUse = 0;  ///< frame generation of last acquire
+  };
+
+  /// Lookup result: `fresh` entries have zeroed rows the caller must fill
+  /// (when nonzero) before endFrame(). Pointers stay valid until the next
+  /// beginFrame()/invalidate() (unordered_map nodes are stable).
+  ///
+  /// A null `entry` marks a bypassed scatterer (declined by the admission
+  /// doorkeeper): the front end synthesizes its tone fused directly into
+  /// the output row using the hoisted dTx/amp the caller stores below,
+  /// exactly as the uncached path would. Because the tone kernel's
+  /// contribution is accumulator-independent, mixing fused and row-summed
+  /// scatterers in list order stays bit-identical to the fully fused loop.
+  struct Ref {
+    Entry* entry = nullptr;  ///< null: bypassed, synthesize fused
+    bool fresh = false;
+    double dTx = 0.0;  ///< bypass only: TX path incl. radialOffsetM
+    double amp = 0.0;  ///< bypass only: amplitude after path loss
+  };
+
+  /// \p maxBytes caps the payload; 0 selects a quarter of the process-wide
+  /// RFP_CACHE_MB budget (the per-scenario working set is tiny next to the
+  /// shared steering/twiddle caches).
+  explicit SceneCache(std::size_t maxBytes = 0);
+
+  /// Drops every entry (fault events, scenario reconfiguration).
+  void invalidate();
+
+  /// Starts a frame. If \p configFingerprint differs from the previous
+  /// frame's (chirp/geometry change or kernel-level switch), the cache is
+  /// dropped first.
+  void beginFrame(std::uint64_t configFingerprint, std::size_t numAntennas,
+                  std::size_t numSamples);
+
+  /// Looks up \p s and appends its Ref for this frame, in list order.
+  /// Three outcomes: an existing entry (hit, rows ready to re-sum); a
+  /// fresh zeroed entry (second sighting promoted by the doorkeeper --
+  /// the caller fills dTx/amp/nonzero and, when nonzero, the rows); or a
+  /// bypass ref with a null entry (first sighting -- the caller stores
+  /// the hoisted dTx/amp on the returned Ref and synthesizes fused).
+  /// The reference stays valid until the next acquire()/beginFrame().
+  Ref& acquire(const env::PointScatterer& s);
+
+  /// This frame's acquisitions in scatterer list order (cleared by
+  /// beginFrame); the synthesis fan-out walks this, not the map.
+  std::span<const Ref> frameRefs() const { return refs_; }
+
+  /// Ends the frame: periodically sweeps entries not referenced this
+  /// frame, and falls back to a full drop if the frame's own working set
+  /// exceeds the byte cap.
+  void endFrame();
+
+  Stats stats() const;
+  std::size_t maxBytes() const { return maxBytes_; }
+
+ private:
+  struct Key {
+    std::uint64_t bits[6];
+    bool operator==(const Key& o) const {
+      for (int i = 0; i < 6; ++i) {
+        if (bits[i] != o.bits[i]) return false;
+      }
+      return true;
+    }
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  void dropAll(bool countInvalidation);
+
+  /// Doorkeeper admission slot: the key hash last parked here and the
+  /// frame generation that parked it. Direct-mapped, overwrite on
+  /// conflict -- no allocation, so one-shot ghost keys cost a single
+  /// array write instead of a map insert + payload + eviction.
+  struct DoorSlot {
+    std::uint64_t hash = 0;
+    std::uint64_t gen = 0;
+  };
+  static constexpr std::size_t kDoorSlots = 512;  ///< power of two
+
+  std::unordered_map<Key, Entry, KeyHash> entries_;
+  std::vector<DoorSlot> door_;
+  std::vector<Ref> refs_;
+  std::uint64_t fingerprint_ = 0;
+  bool hasFingerprint_ = false;
+  std::uint64_t generation_ = 0;  ///< bumped by beginFrame
+  std::size_t rowBytes_ = 0;      ///< payload bytes of one entry
+  std::size_t bytes_ = 0;
+  std::size_t maxBytes_ = 0;
+  Stats stats_;
+};
+
+}  // namespace rfp::radar

@@ -56,6 +56,28 @@ Complex beamformDotFmaRef(const Complex* s, const Complex* w, std::size_t n) {
   return acc;
 }
 
+void beamformRowScalar(const Complex* s, const Complex* w,
+                       const double* wReT, const double* wImT,
+                       std::size_t nAnt, std::size_t nAngles, double* out) {
+  (void)wReT;
+  (void)wImT;
+  for (std::size_t a = 0; a < nAngles; ++a) {
+    const Complex d = beamformDotScalar(s, w + a * nAnt, nAnt);
+    out[a] = d.real() * d.real() + d.imag() * d.imag();
+  }
+}
+
+void beamformRowFmaRef(const Complex* s, const Complex* w,
+                       const double* wReT, const double* wImT,
+                       std::size_t nAnt, std::size_t nAngles, double* out) {
+  (void)wReT;
+  (void)wImT;
+  for (std::size_t a = 0; a < nAngles; ++a) {
+    const Complex d = beamformDotFmaRef(s, w + a * nAnt, nAnt);
+    out[a] = d.real() * d.real() + d.imag() * d.imag();
+  }
+}
+
 ToneAccumFn toneAccumForLevel(KernelLevel level) {
 #if defined(RFP_X86_KERNELS)
   switch (level) {
@@ -86,6 +108,22 @@ BeamformDotFn beamformDotForLevel(KernelLevel level) {
   (void)level;
 #endif
   return &beamformDotScalar;
+}
+
+BeamformRowFn beamformRowForLevel(KernelLevel level) {
+#if defined(RFP_X86_KERNELS)
+  switch (level) {
+    case KernelLevel::kAvx512:
+      return &beamformRowAvx512;
+    case KernelLevel::kAvx2Fma:
+      return &beamformRowAvx2;
+    case KernelLevel::kSse2:
+      break;
+  }
+#else
+  (void)level;
+#endif
+  return &beamformRowScalar;
 }
 
 }  // namespace rfp::radar::detail

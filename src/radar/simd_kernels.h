@@ -40,6 +40,21 @@ using ToneAccumFn = void (*)(Complex* dst, std::size_t n, Complex phasor,
 using BeamformDotFn = Complex (*)(const Complex* s, const Complex* w,
                                   std::size_t n);
 
+/// Whole-row beamforming sweep: out[a] = |dot(s, w row a)|^2 for every
+/// steering angle, where the per-angle dot follows this level's
+/// BeamformDot chain exactly and the squared magnitude is the plain
+/// re*re + im*im (no contraction). The per-angle indirect-call overhead
+/// dominated the map build at small antenna counts, so the vector
+/// variants batch angles instead of antennas: they run the *same*
+/// per-angle chain elementwise across angle lanes using the transposed
+/// deinterleaved steering planes \p wReT / \p wImT ([antenna][angle],
+/// see SteeringMatrix), which is bit-identical to calling the dot per
+/// angle. Scalar variants ignore the planes and sweep \p w directly.
+using BeamformRowFn = void (*)(const Complex* s, const Complex* w,
+                               const double* wReT, const double* wImT,
+                               std::size_t nAnt, std::size_t nAngles,
+                               double* out);
+
 /// Seed-exact scalar recurrence (simd_kernels.cpp).
 void toneAccumScalar(Complex* dst, std::size_t n, Complex phasor, Complex rot);
 
@@ -53,6 +68,17 @@ Complex beamformDotScalar(const Complex* s, const Complex* w, std::size_t n);
 /// Portable scalar emulation of the FMA-regime beamforming dot.
 Complex beamformDotFmaRef(const Complex* s, const Complex* w, std::size_t n);
 
+/// Seed-exact row sweep: beamformDotScalar + std::norm per angle.
+void beamformRowScalar(const Complex* s, const Complex* w,
+                       const double* wReT, const double* wImT,
+                       std::size_t nAnt, std::size_t nAngles, double* out);
+
+/// Portable scalar emulation of the FMA-regime row sweep: the memcmp
+/// oracle for beamformRowAvx2/beamformRowAvx512.
+void beamformRowFmaRef(const Complex* s, const Complex* w,
+                       const double* wReT, const double* wImT,
+                       std::size_t nAnt, std::size_t nAngles, double* out);
+
 #if defined(RFP_X86_KERNELS)
 /// Two complex lanes per 256-bit vector, two vectors in flight
 /// (simd_kernels_avx2.cpp).
@@ -63,11 +89,21 @@ Complex beamformDotAvx2(const Complex* s, const Complex* w, std::size_t n);
 /// bit-identical to the AVX2 variants by construction.
 void toneAccumAvx512(Complex* dst, std::size_t n, Complex phasor, Complex rot);
 Complex beamformDotAvx512(const Complex* s, const Complex* w, std::size_t n);
+
+/// Angle-batched row sweeps: four (AVX2) / eight (AVX-512) angle lanes
+/// per vector, per-lane chains identical to beamformRowFmaRef.
+void beamformRowAvx2(const Complex* s, const Complex* w, const double* wReT,
+                     const double* wImT, std::size_t nAnt,
+                     std::size_t nAngles, double* out);
+void beamformRowAvx512(const Complex* s, const Complex* w,
+                       const double* wReT, const double* wImT,
+                       std::size_t nAnt, std::size_t nAngles, double* out);
 #endif
 
 /// Kernel registries for \p level (SSE2 scalar when the vector TUs are
 /// not compiled in).
 ToneAccumFn toneAccumForLevel(rfp::common::simd::KernelLevel level);
 BeamformDotFn beamformDotForLevel(rfp::common::simd::KernelLevel level);
+BeamformRowFn beamformRowForLevel(rfp::common::simd::KernelLevel level);
 
 }  // namespace rfp::radar::detail

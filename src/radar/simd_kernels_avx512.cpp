@@ -80,6 +80,63 @@ Complex beamformDotAvx512(const Complex* s, const Complex* w, std::size_t n) {
   return result;
 }
 
+void beamformRowAvx512(const Complex* s, const Complex* w,
+                       const double* wReT, const double* wImT,
+                       std::size_t nAnt, std::size_t nAngles, double* out) {
+  // Eight angle lanes per vector; within a lane the op chain is exactly
+  // beamformDotFmaRef + re*re + im*im, so every lane matches the scalar
+  // per-angle sweep bit for bit. s[k] broadcasts; the steering factors
+  // stream from the transposed deinterleaved planes.
+  const std::size_t nA8 = nAngles & ~std::size_t{7};
+  const std::size_t n4 = nAnt & ~std::size_t{3};
+  std::size_t a = 0;
+  for (; a < nA8; a += 8) {
+    __m512d pre[4], pim[4];
+    for (int j = 0; j < 4; ++j) {
+      pre[j] = _mm512_setzero_pd();
+      pim[j] = _mm512_setzero_pd();
+    }
+    std::size_t k = 0;
+    for (; k < n4; ++k) {
+      const __m512d wre = _mm512_loadu_pd(wReT + k * nAngles + a);
+      const __m512d wim = _mm512_loadu_pd(wImT + k * nAngles + a);
+      const __m512d sre = _mm512_set1_pd(s[k].real());
+      const __m512d sim = _mm512_set1_pd(s[k].imag());
+      // fmaComplexMul elementwise: re = fma(s.re, w.re, -(s.im*w.im)),
+      // im = fma(s.im, w.re, s.re*w.im).
+      const __m512d cre =
+          _mm512_fmsub_pd(sre, wre, _mm512_mul_pd(sim, wim));
+      const __m512d cim =
+          _mm512_fmadd_pd(sim, wre, _mm512_mul_pd(sre, wim));
+      pre[k & 3] = _mm512_add_pd(pre[k & 3], cre);
+      pim[k & 3] = _mm512_add_pd(pim[k & 3], cim);
+    }
+    // Fixed combine (p0 + p2) + (p1 + p3), then the fmaComplexMul tail.
+    __m512d accRe = _mm512_add_pd(_mm512_add_pd(pre[0], pre[2]),
+                                  _mm512_add_pd(pre[1], pre[3]));
+    __m512d accIm = _mm512_add_pd(_mm512_add_pd(pim[0], pim[2]),
+                                  _mm512_add_pd(pim[1], pim[3]));
+    for (; k < nAnt; ++k) {
+      const __m512d wre = _mm512_loadu_pd(wReT + k * nAngles + a);
+      const __m512d wim = _mm512_loadu_pd(wImT + k * nAngles + a);
+      const __m512d sre = _mm512_set1_pd(s[k].real());
+      const __m512d sim = _mm512_set1_pd(s[k].imag());
+      accRe = _mm512_add_pd(
+          accRe, _mm512_fmsub_pd(sre, wre, _mm512_mul_pd(sim, wim)));
+      accIm = _mm512_add_pd(
+          accIm, _mm512_fmadd_pd(sim, wre, _mm512_mul_pd(sre, wim)));
+    }
+    // Plain-rounded |.|^2, separate mul + add (never fused): matches
+    // the scalar out[a] = re*re + im*im.
+    _mm512_storeu_pd(out + a, _mm512_add_pd(_mm512_mul_pd(accRe, accRe),
+                                            _mm512_mul_pd(accIm, accIm)));
+  }
+  for (; a < nAngles; ++a) {
+    const Complex d = beamformDotFmaRef(s, w + a * nAnt, nAnt);
+    out[a] = d.real() * d.real() + d.imag() * d.imag();
+  }
+}
+
 }  // namespace rfp::radar::detail
 
 #endif  // RFP_X86_KERNELS

@@ -18,11 +18,11 @@ namespace {
 /// epoch. Owns every mutable piece (scenario, system, rng, runner), so
 /// instances are fully independent; the only shared state is the
 /// process-wide immutable twiddle/steering caches.
-class SpoofScenarioJob : public ScenarioJob {
+class SpoofScenarioJob : public ScenarioJob, public BatchableJob {
  public:
   SpoofScenarioJob(const std::string& scenarioText,
                    const std::string& sourceName, std::uint64_t seed,
-                   std::size_t epochFrames)
+                   std::size_t epochFrames, bool sceneCache)
       : epochFrames_(epochFrames),
         rng_(seed),
         scenario_(loadFrom(scenarioText, sourceName)) {
@@ -39,7 +39,8 @@ class SpoofScenarioJob : public ScenarioJob {
     const int ghostId =
         system_->addGhostAuto(trace, start, scenario_.plan, rng_);
     runner_ = std::make_unique<core::SpoofEpochRunner>(
-        scenario_, *system_, ghostId, start, rng_);
+        scenario_, *system_, ghostId, start, rng_, /*schedule=*/nullptr,
+        sceneCache);
   }
 
   bool done() const override { return runner_->done(); }
@@ -59,6 +60,39 @@ class SpoofScenarioJob : public ScenarioJob {
       m.sumAngleErrorDeg += s.sumAngleErrorDeg;
     }
     return m;
+  }
+
+  BatchableJob* batchable() override { return this; }
+
+  // Split-phase epoch: the same loop as runEpoch with the frame split
+  // into its produce / process / consume halves. Charge order, RNG draws,
+  // and metric addend order are identical, so the two paths cannot drift.
+  void batchEpochBegin(EpochContext&) override {
+    batchMetrics_ = EpochMetrics{};
+    batchMetrics_.epoch = nextEpoch_++;
+    batchSample_ = core::SpoofEpochSample{};
+    batchFrame_ = 0;
+  }
+
+  bool batchProduce(EpochContext& ctx, radar::FrameWorkItem& item,
+                    bool& hasItem) override {
+    hasItem = false;
+    if (batchFrame_ >= epochFrames_ || runner_->done()) return false;
+    ++batchFrame_;
+    ctx.charge(1);
+    hasItem = runner_->produceFrame(batchSample_, item);
+    return true;
+  }
+
+  void batchConsume() override { runner_->consumeFrame(batchSample_); }
+
+  EpochMetrics batchEpochEnd() override {
+    batchMetrics_.framesSimulated = batchSample_.framesSimulated;
+    batchMetrics_.framesTotal = batchSample_.framesTotal;
+    batchMetrics_.framesDetected = batchSample_.framesDetected;
+    batchMetrics_.sumDistanceErrorM = batchSample_.sumDistanceErrorM;
+    batchMetrics_.sumAngleErrorDeg = batchSample_.sumAngleErrorDeg;
+    return batchMetrics_;
   }
 
   ScenarioSummary summary() override {
@@ -88,41 +122,73 @@ class SpoofScenarioJob : public ScenarioJob {
   std::unique_ptr<core::RfProtectSystem> system_;
   std::unique_ptr<core::SpoofEpochRunner> runner_;
   std::uint64_t nextEpoch_ = 0;
+
+  // Split-phase epoch state (valid between batchEpochBegin/End).
+  EpochMetrics batchMetrics_{};
+  core::SpoofEpochSample batchSample_{};
+  std::size_t batchFrame_ = 0;
 };
 
 /// Chaos wrapper: misbehaves at scripted epochs instead of delegating.
-class FaultableJob : public ScenarioJob {
+/// Batchable iff the wrapped job is; chaos fires in batchEpochBegin --
+/// the epoch's entry point in split-phase mode -- so scripted faults trip
+/// the same containment boundary on both execution paths.
+class FaultableJob : public ScenarioJob, public BatchableJob {
  public:
   FaultableJob(std::unique_ptr<ScenarioJob> inner,
                fault::ScenarioFaultScript script)
-      : inner_(std::move(inner)), script_(std::move(script)) {}
+      : inner_(std::move(inner)),
+        innerBatch_(inner_->batchable()),
+        script_(std::move(script)) {}
 
   bool done() const override { return inner_->done(); }
 
   EpochMetrics runEpoch(EpochContext& ctx) override {
-    const std::uint64_t epoch = nextEpoch_++;
-    const auto fault = script_.at(epoch);
-    if (fault.has_value()) {
-      switch (*fault) {
-        case fault::ScenarioFaultKind::kPoisonEpoch:
-          throw ScenarioError("scripted poison epoch " +
-                                  std::to_string(epoch),
-                              RFP_SERVICE_HERE);
-        case fault::ScenarioFaultKind::kStuckEpoch:
-          // An "infinite loop" that only the work-budget deadline ends:
-          // charge forever and let EpochContext throw.
-          for (;;) ctx.charge(1);
-        case fault::ScenarioFaultKind::kAllocFailure:
-          throw std::bad_alloc();
-      }
-    }
+    misbehaveAt(nextEpoch_++, ctx);
     return inner_->runEpoch(ctx);
   }
 
   ScenarioSummary summary() override { return inner_->summary(); }
 
+  BatchableJob* batchable() override {
+    return innerBatch_ != nullptr ? this : nullptr;
+  }
+
+  void batchEpochBegin(EpochContext& ctx) override {
+    misbehaveAt(nextEpoch_++, ctx);
+    innerBatch_->batchEpochBegin(ctx);
+  }
+
+  bool batchProduce(EpochContext& ctx, radar::FrameWorkItem& item,
+                    bool& hasItem) override {
+    return innerBatch_->batchProduce(ctx, item, hasItem);
+  }
+
+  void batchConsume() override { innerBatch_->batchConsume(); }
+
+  EpochMetrics batchEpochEnd() override {
+    return innerBatch_->batchEpochEnd();
+  }
+
  private:
+  void misbehaveAt(std::uint64_t epoch, EpochContext& ctx) {
+    const auto fault = script_.at(epoch);
+    if (!fault.has_value()) return;
+    switch (*fault) {
+      case fault::ScenarioFaultKind::kPoisonEpoch:
+        throw ScenarioError("scripted poison epoch " + std::to_string(epoch),
+                            RFP_SERVICE_HERE);
+      case fault::ScenarioFaultKind::kStuckEpoch:
+        // An "infinite loop" that only the work-budget deadline ends:
+        // charge forever and let EpochContext throw.
+        for (;;) ctx.charge(1);
+      case fault::ScenarioFaultKind::kAllocFailure:
+        throw std::bad_alloc();
+    }
+  }
+
   std::unique_ptr<ScenarioJob> inner_;
+  BatchableJob* innerBatch_ = nullptr;
   fault::ScenarioFaultScript script_;
   std::uint64_t nextEpoch_ = 0;
 };
@@ -131,9 +197,9 @@ class FaultableJob : public ScenarioJob {
 
 std::unique_ptr<ScenarioJob> makeSpoofScenarioJob(
     const std::string& scenarioText, const std::string& sourceName,
-    std::uint64_t seed, std::size_t epochFrames) {
+    std::uint64_t seed, std::size_t epochFrames, bool sceneCache) {
   return std::make_unique<SpoofScenarioJob>(scenarioText, sourceName, seed,
-                                            epochFrames);
+                                            epochFrames, sceneCache);
 }
 
 std::unique_ptr<ScenarioJob> makeFaultableJob(

@@ -39,6 +39,16 @@ std::shared_ptr<const std::vector<Complex>> twiddlesFor(std::size_t n);
 /// std::invalid_argument otherwise. Unnormalized (sum convention).
 void fftInPlace(std::vector<Complex>& data);
 
+/// Span form of fftInPlace, for transforming one slice of a stacked
+/// buffer (batched range processing) without per-transform allocation.
+/// Bit-identical to fftInPlace over the same values.
+void fftInPlaceSpan(std::span<Complex> data);
+
+/// Number of twiddle tables currently cached process-wide (the LRU keeps
+/// total table bytes within half the RFP_CACHE_MB budget; see
+/// common/cache_budget.h).
+std::size_t twiddleCacheEntries();
+
 /// In-place inverse FFT (normalized by 1/N).
 void ifftInPlace(std::vector<Complex>& data);
 

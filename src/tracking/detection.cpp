@@ -1,6 +1,7 @@
 #include "tracking/detection.h"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 
 #include "common/vec2.h"
@@ -37,16 +38,17 @@ double PeakDetector::noiseFloor(const radar::RangeAngleMap& map) {
   return cells[mid];
 }
 
-std::vector<Detection> PeakDetector::suppressAndConvert(
+void PeakDetector::suppressAndConvert(
     const radar::RangeAngleMap& map, const radar::Processor& processor,
-    std::vector<std::pair<std::size_t, std::size_t>> candidates) const {
+    std::vector<std::pair<std::size_t, std::size_t>>& candidates,
+    std::vector<Detection>& out) const {
   // Strongest-first greedy non-maximum suppression.
   std::sort(candidates.begin(), candidates.end(),
             [&](const auto& x, const auto& y) {
               return map.at(x.first, x.second) > map.at(y.first, y.second);
             });
 
-  std::vector<Detection> out;
+  out.clear();
   for (const auto& [r, a] : candidates) {
     const double range = map.rangesM[r];
     const double angle = map.anglesRad[a];
@@ -79,22 +81,56 @@ std::vector<Detection> PeakDetector::suppressAndConvert(
     std::erase_if(out,
                   [&](const Detection& d) { return d.power < floor; });
   }
-  return out;
+}
+
+void PeakDetector::detectInto(const radar::RangeAngleMap& map,
+                              const radar::Processor& processor,
+                              DetectScratch& scratch,
+                              std::vector<Detection>& out) const {
+  // Same statistic as noiseFloor(), on the reused median scratch.
+  double floorValue = 0.0;
+  const std::size_t total = map.power.size();
+  scratch.cells.assign(map.power.begin(), map.power.end());
+  if (total > 0) {
+    const std::size_t mid = total / 2;
+    std::nth_element(scratch.cells.begin(), scratch.cells.begin() + mid,
+                     scratch.cells.end());
+    floorValue = scratch.cells[mid];
+  }
+  const double threshold = floorValue * options_.thresholdFactor;
+  scratch.candidates.clear();
+  // Flat row-major sweep (same (r, a) visit order as the nested loop).
+  // Blocks with no cell above threshold -- the overwhelming majority --
+  // are skipped on one vectorizable compare-reduce.
+  const double* p = map.power.data();
+  const std::size_t nA = map.numAngles();
+  constexpr std::size_t kBlock = 16;
+  std::size_t idx = 0;
+  while (idx < total) {
+    const std::size_t end = std::min(idx + kBlock, total);
+    bool any = false;
+    for (std::size_t i = idx; i < end; ++i) any |= p[i] > threshold;
+    if (any) {
+      for (std::size_t i = idx; i < end; ++i) {
+        if (p[i] > threshold) {
+          const std::size_t r = i / nA;
+          const std::size_t a = i % nA;
+          if (isLocalMax(map, r, a)) scratch.candidates.emplace_back(r, a);
+        }
+      }
+    }
+    idx = end;
+  }
+  suppressAndConvert(map, processor, scratch.candidates, out);
 }
 
 std::vector<Detection> PeakDetector::detect(
     const radar::RangeAngleMap& map,
     const radar::Processor& processor) const {
-  const double threshold = noiseFloor(map) * options_.thresholdFactor;
-  std::vector<std::pair<std::size_t, std::size_t>> candidates;
-  for (std::size_t r = 0; r < map.numRanges(); ++r) {
-    for (std::size_t a = 0; a < map.numAngles(); ++a) {
-      if (map.at(r, a) > threshold && isLocalMax(map, r, a)) {
-        candidates.emplace_back(r, a);
-      }
-    }
-  }
-  return suppressAndConvert(map, processor, std::move(candidates));
+  DetectScratch scratch;
+  std::vector<Detection> out;
+  detectInto(map, processor, scratch, out);
+  return out;
 }
 
 std::vector<Detection> PeakDetector::detectCfar(
@@ -128,7 +164,9 @@ std::vector<Detection> PeakDetector::detectCfar(
       }
     }
   }
-  return suppressAndConvert(map, processor, std::move(candidates));
+  std::vector<Detection> out;
+  suppressAndConvert(map, processor, candidates, out);
+  return out;
 }
 
 }  // namespace rfp::tracking

@@ -7,6 +7,7 @@
 /// suppression; a cell-averaging CFAR variant is provided as well.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include <optional>
@@ -55,6 +56,13 @@ struct DetectorOptions {
   double dynamicRangeDb = 10.0;
 };
 
+/// Reusable workspace for PeakDetector::detectInto(): the noise-floor
+/// median scratch and the candidate list. One instance per pipeline.
+struct DetectScratch {
+  std::vector<double> cells;
+  std::vector<std::pair<std::size_t, std::size_t>> candidates;
+};
+
 /// Extracts peaks from range-angle maps.
 class PeakDetector {
  public:
@@ -71,6 +79,12 @@ class PeakDetector {
   std::vector<Detection> detect(const radar::RangeAngleMap& map,
                                 const radar::Processor& processor) const;
 
+  /// detect() onto caller-owned storage (\p out is cleared and refilled):
+  /// identical results with no steady-state allocation.
+  void detectInto(const radar::RangeAngleMap& map,
+                  const radar::Processor& processor, DetectScratch& scratch,
+                  std::vector<Detection>& out) const;
+
   /// Cell-averaging CFAR along the range dimension of each angle column,
   /// followed by the same local-max/NMS logic. More adaptive to a range-
   /// dependent noise floor.
@@ -78,9 +92,11 @@ class PeakDetector {
                                     const radar::Processor& processor) const;
 
  private:
-  std::vector<Detection> suppressAndConvert(
+  /// Sorts \p candidates strongest-first in place and fills \p out.
+  void suppressAndConvert(
       const radar::RangeAngleMap& map, const radar::Processor& processor,
-      std::vector<std::pair<std::size_t, std::size_t>> candidates) const;
+      std::vector<std::pair<std::size_t, std::size_t>>& candidates,
+      std::vector<Detection>& out) const;
 
   DetectorOptions options_;
 };

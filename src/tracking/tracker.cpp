@@ -72,17 +72,28 @@ void MultiTargetTracker::update(const std::vector<Detection>& detections,
                          options_.kalman);
   }
 
-  // Retire tracks that have missed too long.
-  std::vector<Track> alive;
-  alive.reserve(tracks_.size());
-  for (Track& t : tracks_) {
+  // Retire tracks that have missed too long. The rebuild happens only on
+  // frames where something actually retires -- the common frame keeps the
+  // track list untouched and allocation-free.
+  bool anyRetired = false;
+  for (const Track& t : tracks_) {
     if (t.misses > options_.maxMisses) {
-      if (t.confirmed) finished_.push_back(std::move(t));
-    } else {
-      alive.push_back(std::move(t));
+      anyRetired = true;
+      break;
     }
   }
-  tracks_ = std::move(alive);
+  if (anyRetired) {
+    std::vector<Track> alive;
+    alive.reserve(tracks_.size());
+    for (Track& t : tracks_) {
+      if (t.misses > options_.maxMisses) {
+        if (t.confirmed) finished_.push_back(std::move(t));
+      } else {
+        alive.push_back(std::move(t));
+      }
+    }
+    tracks_ = std::move(alive);
+  }
 }
 
 std::vector<const Track*> MultiTargetTracker::confirmedTracks() const {
